@@ -1,0 +1,159 @@
+//! Dynamic Time Warping (Berndt & Clifford).
+//!
+//! Aligns two point sequences by stretching them along the index axis,
+//! summing the Euclidean distances of aligned pairs. Included for
+//! completeness (the paper cites it but omits it from Figure 9 because LCSS
+//! and EDR were already shown to outperform it).
+
+use mst_trajectory::Trajectory;
+
+use crate::prep::interpolation_improve;
+
+/// Classic DTW with Euclidean point cost and an optional Sakoe–Chiba band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Dtw {
+    /// Band half-width in index positions (`None` = unconstrained).
+    pub band: Option<usize>,
+}
+
+impl Dtw {
+    /// Unconstrained DTW.
+    pub fn new() -> Self {
+        Dtw { band: None }
+    }
+
+    /// DTW restricted to a Sakoe–Chiba band of half-width `band`.
+    pub fn with_band(band: usize) -> Self {
+        Dtw { band: Some(band) }
+    }
+
+    /// The DTW distance between the two point sequences.
+    pub fn distance(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        let pa = a.points();
+        let pb = b.points();
+        let (n, m) = (pa.len(), pb.len());
+        // Effective band: must be at least |n - m| for a path to exist.
+        let band = self
+            .band
+            .map(|w| w.max(n.abs_diff(m)))
+            .unwrap_or(usize::MAX);
+        let mut prev = vec![f64::INFINITY; m + 1];
+        let mut curr = vec![f64::INFINITY; m + 1];
+        prev[0] = 0.0;
+        for i in 1..=n {
+            curr[0] = f64::INFINITY;
+            let lo = if band == usize::MAX {
+                1
+            } else {
+                i.saturating_sub(band).max(1)
+            };
+            let hi = if band == usize::MAX {
+                m
+            } else {
+                (i + band).min(m)
+            };
+            for j in 1..=m {
+                if j < lo || j > hi {
+                    curr[j] = f64::INFINITY;
+                    continue;
+                }
+                let cost = pa[i - 1].position().distance(&pb[j - 1].position());
+                curr[j] = cost + prev[j - 1].min(prev[j]).min(curr[j - 1]);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[m]
+    }
+
+    /// DTW after interpolating query samples at the data's timestamps.
+    pub fn distance_improved(&self, query: &Trajectory, data: &Trajectory) -> f64 {
+        let improved = interpolation_improve(query, data);
+        self.distance(&improved, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(pts: &[(f64, f64, f64)]) -> Trajectory {
+        Trajectory::from_txy(pts).unwrap()
+    }
+
+    #[test]
+    fn identical_sequences_cost_zero() {
+        let t = traj(&[(0.0, 0.0, 0.0), (1.0, 1.0, 2.0), (2.0, 2.0, 0.0)]);
+        assert_eq!(Dtw::new().distance(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn warping_absorbs_stretched_sampling() {
+        // The same shape sampled at different densities still aligns
+        // (point-for-point duplicates cost 0 under warping).
+        let a = traj(&[(0.0, 0.0, 0.0), (1.0, 1.0, 0.0), (2.0, 2.0, 0.0)]);
+        let b = traj(&[
+            (0.0, 0.0, 0.0),
+            (0.5, 0.0, 0.0),
+            (1.0, 1.0, 0.0),
+            (1.5, 1.0, 0.0),
+            (2.0, 2.0, 0.0),
+        ]);
+        assert_eq!(Dtw::new().distance(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_small_case() {
+        // a = [(0,0), (2,0)]; b = [(1,0)]: both points align to (1,0),
+        // cost 1 + 1 = 2.
+        let a = traj(&[(0.0, 0.0, 0.0), (1.0, 2.0, 0.0)]);
+        let b = traj(&[(0.0, 1.0, 0.0), (0.5, 1.0, 0.0)]);
+        assert_eq!(Dtw::new().distance(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = traj(&[(0.0, 0.0, 0.0), (1.0, 3.0, 1.0), (2.0, 1.0, 4.0)]);
+        let b = traj(&[
+            (0.0, 0.5, 0.0),
+            (1.0, 2.0, 2.0),
+            (2.0, 1.5, 3.0),
+            (3.0, 0.0, 1.0),
+        ]);
+        let d = Dtw::new();
+        assert!((d.distance(&a, &b) - d.distance(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_never_beats_unconstrained() {
+        let a = traj(&[
+            (0.0, 0.0, 0.0),
+            (1.0, 5.0, 0.0),
+            (2.0, 0.0, 0.0),
+            (3.0, 5.0, 0.0),
+        ]);
+        let b = traj(&[
+            (0.0, 5.0, 0.0),
+            (1.0, 0.0, 0.0),
+            (2.0, 5.0, 0.0),
+            (3.0, 0.0, 0.0),
+        ]);
+        let free = Dtw::new().distance(&a, &b);
+        let banded = Dtw::with_band(1).distance(&a, &b);
+        assert!(banded >= free);
+        assert!(
+            banded.is_finite(),
+            "band is widened to keep a path feasible"
+        );
+    }
+
+    #[test]
+    fn improved_variant_helps_undersampled_queries() {
+        let query = traj(&[(0.0, 0.0, 0.0), (10.0, 10.0, 0.0)]);
+        let data_pts: Vec<(f64, f64, f64)> = (0..=10)
+            .map(|i| (f64::from(i), f64::from(i), 0.0))
+            .collect();
+        let data = traj(&data_pts);
+        let d = Dtw::new();
+        assert!(d.distance_improved(&query, &data) < d.distance(&query, &data));
+    }
+}

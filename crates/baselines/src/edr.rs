@@ -1,0 +1,141 @@
+//! Edit Distance on Real sequences (Chen, Özsu & Oria, SIGMOD 2005).
+//!
+//! The number of insert/delete/replace operations needed to turn one point
+//! sequence into the other, where two points "match" (replace cost 0) when
+//! both coordinate differences are within `epsilon`. More robust to noise
+//! than DTW/LCSS, but — as the paper's Figure 9 analysis shows — strongly
+//! penalized by differing sequence lengths: `EDR(A, A_compressed) >= n - m`,
+//! which lets short unrelated trajectories outscore the true original.
+
+use mst_trajectory::{SamplePoint, Trajectory};
+
+use crate::prep::interpolation_improve;
+
+/// EDR distance with matching threshold `epsilon`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edr {
+    /// Per-coordinate matching threshold.
+    pub epsilon: f64,
+}
+
+impl Edr {
+    /// Creates an EDR measure.
+    pub fn new(epsilon: f64) -> Self {
+        Edr { epsilon }
+    }
+
+    #[inline]
+    fn matches(&self, a: &SamplePoint, b: &SamplePoint) -> bool {
+        (a.x - b.x).abs() <= self.epsilon && (a.y - b.y).abs() <= self.epsilon
+    }
+
+    /// The raw edit distance (number of operations).
+    pub fn distance(&self, a: &Trajectory, b: &Trajectory) -> usize {
+        let pa = a.points();
+        let pb = b.points();
+        let (n, m) = (pa.len(), pb.len());
+        let mut prev: Vec<usize> = (0..=m).collect();
+        let mut curr = vec![0usize; m + 1];
+        for i in 1..=n {
+            curr[0] = i;
+            for j in 1..=m {
+                let subcost = usize::from(!self.matches(&pa[i - 1], &pb[j - 1]));
+                curr[j] = (prev[j - 1] + subcost)
+                    .min(prev[j] + 1)
+                    .min(curr[j - 1] + 1);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[m]
+    }
+
+    /// Edit distance normalized by the longer sequence, in `[0, 1]`.
+    pub fn normalized_distance(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        let max_len = a.num_points().max(b.num_points());
+        self.distance(a, b) as f64 / max_len as f64
+    }
+
+    /// EDR-I: interpolate samples into the query at the data trajectory's
+    /// timestamps before computing the edit distance.
+    pub fn distance_improved(&self, query: &Trajectory, data: &Trajectory) -> usize {
+        let improved = interpolation_improve(query, data);
+        self.distance(&improved, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(pts: &[(f64, f64, f64)]) -> Trajectory {
+        Trajectory::from_txy(pts).unwrap()
+    }
+
+    #[test]
+    fn identical_sequences_cost_zero() {
+        let t = traj(&[(0.0, 0.0, 0.0), (1.0, 1.0, 1.0), (2.0, 2.0, 0.0)]);
+        assert_eq!(Edr::new(0.1).distance(&t, &t), 0);
+        assert_eq!(Edr::new(0.1).normalized_distance(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn length_difference_lower_bounds_the_distance() {
+        // The paper's analysis: EDR(A, Ac) >= n - m.
+        let long_pts: Vec<(f64, f64, f64)> =
+            (0..10).map(|i| (f64::from(i), f64::from(i), 0.0)).collect();
+        let a = traj(&long_pts);
+        let ac = traj(&[(0.0, 0.0, 0.0), (9.0, 9.0, 0.0)]);
+        let d = Edr::new(0.1).distance(&a, &ac);
+        assert!(d >= 8);
+    }
+
+    #[test]
+    fn one_substitution_costs_one() {
+        let a = traj(&[(0.0, 0.0, 0.0), (1.0, 1.0, 0.0), (2.0, 2.0, 0.0)]);
+        let b = traj(&[(0.0, 0.0, 0.0), (1.0, 50.0, 0.0), (2.0, 2.0, 0.0)]);
+        assert_eq!(Edr::new(0.1).distance(&a, &b), 1);
+    }
+
+    #[test]
+    fn insertion_costs_one() {
+        let a = traj(&[(0.0, 0.0, 0.0), (1.0, 1.0, 0.0), (2.0, 2.0, 0.0)]);
+        let b = traj(&[(0.0, 0.0, 0.0), (2.0, 2.0, 0.0)]);
+        assert_eq!(Edr::new(0.1).distance(&a, &b), 1);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = traj(&[
+            (0.0, 0.0, 0.0),
+            (1.0, 3.0, 1.0),
+            (2.0, 5.0, 0.0),
+            (3.0, 2.0, 2.0),
+        ]);
+        let b = traj(&[(0.0, 0.1, 0.0), (1.0, 4.0, 1.0), (2.0, 5.0, 0.1)]);
+        let e = Edr::new(0.3);
+        assert_eq!(e.distance(&a, &b), e.distance(&b, &a));
+    }
+
+    #[test]
+    fn improvement_recovers_compressed_originals() {
+        // Straight line, original 11 points vs compressed 2 points: raw EDR
+        // is ~9, EDR-I drops to 0.
+        let orig_pts: Vec<(f64, f64, f64)> = (0..=10)
+            .map(|i| (f64::from(i), f64::from(i), 0.0))
+            .collect();
+        let orig = traj(&orig_pts);
+        let compressed = traj(&[(0.0, 0.0, 0.0), (10.0, 10.0, 0.0)]);
+        let e = Edr::new(0.2);
+        assert!(e.distance(&compressed, &orig) >= 9);
+        assert_eq!(e.distance_improved(&compressed, &orig), 0);
+    }
+
+    #[test]
+    fn edr_triangle_like_bound_against_empty_ish() {
+        // Completely disjoint sequences: distance equals max length (replace
+        // everything, then insert/delete the remainder).
+        let a = traj(&[(0.0, 0.0, 0.0), (1.0, 1.0, 0.0), (2.0, 2.0, 0.0)]);
+        let b = traj(&[(0.0, 100.0, 0.0), (1.0, 101.0, 0.0)]);
+        assert_eq!(Edr::new(0.5).distance(&a, &b), 3);
+    }
+}

@@ -1,0 +1,50 @@
+//! Lock-step Euclidean distance — the strawman the sequence measures
+//! improve on: it requires equal lengths and aligned sampling.
+
+use mst_trajectory::Trajectory;
+
+/// Sum of point-wise Euclidean distances between two equally long point
+/// sequences, or `None` when the lengths differ (the measure is undefined
+/// then — exactly the limitation the paper's related work discusses for
+/// [22] and similar shape-based approaches).
+pub fn lockstep_euclidean(a: &Trajectory, b: &Trajectory) -> Option<f64> {
+    if a.num_points() != b.num_points() {
+        return None;
+    }
+    Some(
+        a.points()
+            .iter()
+            .zip(b.points())
+            .map(|(p, q)| p.position().distance(&q.position()))
+            .sum(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(pts: &[(f64, f64, f64)]) -> Trajectory {
+        Trajectory::from_txy(pts).unwrap()
+    }
+
+    #[test]
+    fn equal_length_sums_distances() {
+        let a = traj(&[(0.0, 0.0, 0.0), (1.0, 0.0, 0.0)]);
+        let b = traj(&[(0.0, 3.0, 4.0), (1.0, 0.0, 1.0)]);
+        assert_eq!(lockstep_euclidean(&a, &b), Some(6.0));
+    }
+
+    #[test]
+    fn unequal_length_is_undefined() {
+        let a = traj(&[(0.0, 0.0, 0.0), (1.0, 0.0, 0.0), (2.0, 0.0, 0.0)]);
+        let b = traj(&[(0.0, 0.0, 0.0), (1.0, 0.0, 0.0)]);
+        assert_eq!(lockstep_euclidean(&a, &b), None);
+    }
+
+    #[test]
+    fn self_distance_is_zero() {
+        let a = traj(&[(0.0, 1.0, 2.0), (1.0, 3.0, 4.0)]);
+        assert_eq!(lockstep_euclidean(&a, &a), Some(0.0));
+    }
+}

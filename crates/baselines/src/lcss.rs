@@ -1,0 +1,201 @@
+//! Longest Common SubSequence similarity for trajectories
+//! (Vlachos, Kollios & Gunopulos, ICDE 2002).
+//!
+//! Two points match when both coordinate differences are below `epsilon`;
+//! an optional temporal constraint `delta` restricts matching to index
+//! positions at most `delta` apart. LCSS tolerates outliers and different
+//! scaling, but — matching sampled positions one by one — fails when
+//! sampling rates differ (the paper's Figure 1 argument).
+
+use mst_trajectory::{SamplePoint, Trajectory};
+
+use crate::prep::interpolation_improve;
+
+/// LCSS similarity/distance with threshold `epsilon` and optional index
+/// warp window `delta`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lcss {
+    /// Per-coordinate matching threshold.
+    pub epsilon: f64,
+    /// Maximum index offset between matched positions (`None` = unlimited).
+    pub delta: Option<usize>,
+}
+
+impl Lcss {
+    /// Creates an LCSS measure with no temporal constraint.
+    pub fn new(epsilon: f64) -> Self {
+        Lcss {
+            epsilon,
+            delta: None,
+        }
+    }
+
+    /// Creates an LCSS measure with a `delta` index window.
+    pub fn with_delta(epsilon: f64, delta: usize) -> Self {
+        Lcss {
+            epsilon,
+            delta: Some(delta),
+        }
+    }
+
+    #[inline]
+    fn matches(&self, a: &SamplePoint, b: &SamplePoint) -> bool {
+        (a.x - b.x).abs() < self.epsilon && (a.y - b.y).abs() < self.epsilon
+    }
+
+    /// Length of the longest common subsequence of the two point sequences.
+    pub fn lcss_length(&self, a: &Trajectory, b: &Trajectory) -> usize {
+        let pa = a.points();
+        let pb = b.points();
+        let (n, m) = (pa.len(), pb.len());
+        // Two-row DP.
+        let mut prev = vec![0usize; m + 1];
+        let mut curr = vec![0usize; m + 1];
+        for i in 1..=n {
+            for j in 1..=m {
+                let within_delta = match self.delta {
+                    Some(d) => i.abs_diff(j) <= d,
+                    None => true,
+                };
+                curr[j] = if within_delta && self.matches(&pa[i - 1], &pb[j - 1]) {
+                    prev[j - 1] + 1
+                } else {
+                    prev[j].max(curr[j - 1])
+                };
+            }
+            std::mem::swap(&mut prev, &mut curr);
+            curr.fill(0);
+        }
+        prev[m]
+    }
+
+    /// Similarity in `[0, 1]`: `LCSS / min(n, m)`.
+    pub fn similarity(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        let min_len = a.num_points().min(b.num_points());
+        self.lcss_length(a, b) as f64 / min_len as f64
+    }
+
+    /// Distance in `[0, 1]`: `1 - similarity`.
+    pub fn distance(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        1.0 - self.similarity(a, b)
+    }
+
+    /// LCSS-I: the paper's improved variant — interpolate samples into the
+    /// query at the data trajectory's timestamps before matching.
+    pub fn distance_improved(&self, query: &Trajectory, data: &Trajectory) -> f64 {
+        let improved = interpolation_improve(query, data);
+        self.distance(&improved, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(pts: &[(f64, f64, f64)]) -> Trajectory {
+        Trajectory::from_txy(pts).unwrap()
+    }
+
+    #[test]
+    fn identical_sequences_have_similarity_one() {
+        let t = traj(&[(0.0, 0.0, 0.0), (1.0, 1.0, 1.0), (2.0, 2.0, 0.0)]);
+        let m = Lcss::new(0.1);
+        assert_eq!(m.lcss_length(&t, &t), 3);
+        assert_eq!(m.similarity(&t, &t), 1.0);
+        assert_eq!(m.distance(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn disjoint_sequences_have_similarity_zero() {
+        let a = traj(&[(0.0, 0.0, 0.0), (1.0, 1.0, 0.0)]);
+        let b = traj(&[(0.0, 100.0, 100.0), (1.0, 101.0, 100.0)]);
+        let m = Lcss::new(0.5);
+        assert_eq!(m.similarity(&a, &b), 0.0);
+        assert_eq!(m.distance(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn tolerates_one_outlier() {
+        // Same path except one wild sample in the middle: LCSS skips it.
+        let a = traj(&[
+            (0.0, 0.0, 0.0),
+            (1.0, 1.0, 0.0),
+            (2.0, 2.0, 0.0),
+            (3.0, 3.0, 0.0),
+        ]);
+        let b = traj(&[
+            (0.0, 0.0, 0.0),
+            (1.0, 1.0, 0.0),
+            (2.0, 500.0, 0.0), // outlier
+            (3.0, 3.0, 0.0),
+        ]);
+        let m = Lcss::new(0.2);
+        assert_eq!(m.lcss_length(&a, &b), 3);
+        assert!((m.similarity(&a, &b) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_subsequence() {
+        // a: p q r s ; b: q s -> LCS = 2.
+        let a = traj(&[
+            (0.0, 0.0, 0.0),
+            (1.0, 1.0, 0.0),
+            (2.0, 2.0, 0.0),
+            (3.0, 3.0, 0.0),
+        ]);
+        let b = traj(&[(0.0, 1.0, 0.0), (1.0, 3.0, 0.0)]);
+        let m = Lcss::new(0.1);
+        assert_eq!(m.lcss_length(&a, &b), 2);
+        assert_eq!(m.similarity(&a, &b), 1.0); // normalized by min(4, 2)
+    }
+
+    #[test]
+    fn delta_window_restricts_matches() {
+        // Matching elements sit 3 index positions apart.
+        let a = traj(&[
+            (0.0, 9.0, 9.0),
+            (1.0, 8.0, 8.0),
+            (2.0, 7.0, 7.0),
+            (3.0, 0.0, 0.0),
+        ]);
+        let b = traj(&[
+            (0.0, 0.0, 0.0),
+            (1.0, 5.0, 5.0),
+            (2.0, 6.0, 6.0),
+            (3.0, 4.0, 4.0),
+        ]);
+        assert_eq!(Lcss::new(0.1).lcss_length(&a, &b), 1);
+        assert_eq!(Lcss::with_delta(0.1, 1).lcss_length(&a, &b), 0);
+        assert_eq!(Lcss::with_delta(0.1, 3).lcss_length(&a, &b), 1);
+    }
+
+    #[test]
+    fn undersampling_hurts_lcss_but_not_lcss_i() {
+        // The same straight movement, sampled 3 vs 13 times with samples at
+        // incompatible positions: plain LCSS matches poorly, LCSS-I
+        // (interpolating the query at the data's timestamps) matches fully.
+        let query = traj(&[(0.0, 0.0, 0.0), (6.5, 6.5, 0.0), (13.0, 13.0, 0.0)]);
+        let data_pts: Vec<(f64, f64, f64)> = (0..=12)
+            .map(|i| (f64::from(i), f64::from(i), 0.0))
+            .collect();
+        let data = traj(&data_pts);
+        let m = Lcss::new(0.3);
+        let plain = m.distance(&query, &data);
+        let improved = m.distance_improved(&query, &data);
+        assert!(improved < plain, "improved={improved} plain={plain}");
+        assert!(improved.abs() < 1e-12, "perfect match after interpolation");
+    }
+
+    #[test]
+    fn similarity_is_symmetric_without_delta() {
+        let a = traj(&[(0.0, 0.0, 0.0), (1.0, 2.0, 1.0), (2.0, 4.0, 0.0)]);
+        let b = traj(&[
+            (0.0, 0.1, 0.0),
+            (1.0, 1.9, 1.0),
+            (2.0, 7.0, 0.0),
+            (3.0, 4.1, 0.0),
+        ]);
+        let m = Lcss::new(0.5);
+        assert_eq!(m.lcss_length(&a, &b), m.lcss_length(&b, &a));
+    }
+}

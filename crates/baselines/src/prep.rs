@@ -1,0 +1,114 @@
+//! Shared preprocessing for the baseline measures: the matching threshold
+//! `epsilon`, per-trajectory normalization, and the interpolation
+//! improvement the paper applies to build LCSS-I / EDR-I.
+
+use mst_trajectory::{Trajectory, TrajectoryStats};
+
+/// The paper's epsilon rule (following Chen et al.): a quarter of the
+/// maximum coordinate standard deviation over all trajectories.
+pub fn epsilon_for<'a, I: IntoIterator<Item = &'a Trajectory>>(trajectories: I) -> f64 {
+    let max_std = trajectories
+        .into_iter()
+        .map(|t| TrajectoryStats::of(t).max_std())
+        .fold(0.0, f64::max);
+    0.25 * max_std
+}
+
+/// Normalizes every trajectory to zero mean / unit variance per coordinate,
+/// as the paper does before running LCSS/EDR (returns fresh trajectories;
+/// the DISSIM pipeline never normalizes).
+pub fn normalize_all(trajectories: &[Trajectory]) -> Vec<Trajectory> {
+    trajectories
+        .iter()
+        .map(|t| mst_trajectory::normalize(t).expect("normalizing a valid trajectory"))
+        .collect()
+}
+
+/// The paper's "obvious improvement over LCSS and EDR": re-sample the
+/// (typically under-sampled) query by adding, via linear interpolation,
+/// samples at the timestamps where `data` was sampled.
+///
+/// The result contains the union of the query's own timestamps and those of
+/// `data` that fall inside the query's validity period.
+pub fn interpolation_improve(query: &Trajectory, data: &Trajectory) -> Trajectory {
+    let mut stamps: Vec<f64> = query.points().iter().map(|p| p.t).collect();
+    stamps.extend(
+        data.points()
+            .iter()
+            .map(|p| p.t)
+            .filter(|&t| t >= query.start_time() && t <= query.end_time()),
+    );
+    stamps.sort_by(f64::total_cmp);
+    stamps.dedup();
+    query
+        .resample(&stamps)
+        .expect("union timestamps lie inside the query's validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(pts: &[(f64, f64, f64)]) -> Trajectory {
+        Trajectory::from_txy(pts).unwrap()
+    }
+
+    #[test]
+    fn epsilon_takes_quarter_of_max_std() {
+        // One trajectory with std_x = 0.5 (values 0/1 repeated), another
+        // with a larger spread.
+        let a = traj(&[
+            (0.0, 0.0, 0.0),
+            (1.0, 1.0, 0.0),
+            (2.0, 0.0, 0.0),
+            (3.0, 1.0, 0.0),
+        ]);
+        let b = traj(&[(0.0, -10.0, 0.0), (1.0, 10.0, 0.0)]);
+        let eps = epsilon_for([&a, &b]);
+        assert!((eps - 2.5).abs() < 1e-12); // std of {-10, 10} is 10; /4
+    }
+
+    #[test]
+    fn improve_adds_data_timestamps() {
+        let query = traj(&[(0.0, 0.0, 0.0), (10.0, 10.0, 0.0)]);
+        let data = traj(&[
+            (0.0, 0.0, 1.0),
+            (2.5, 1.0, 1.0),
+            (5.0, 2.0, 1.0),
+            (10.0, 4.0, 1.0),
+        ]);
+        let improved = interpolation_improve(&query, &data);
+        let stamps: Vec<f64> = improved.points().iter().map(|p| p.t).collect();
+        assert_eq!(stamps, vec![0.0, 2.5, 5.0, 10.0]);
+        // Interpolated positions follow the query's own line.
+        assert_eq!(improved.points()[1].x, 2.5);
+    }
+
+    #[test]
+    fn improve_ignores_timestamps_outside_query() {
+        let query = traj(&[(2.0, 0.0, 0.0), (4.0, 2.0, 0.0)]);
+        let data = traj(&[(0.0, 0.0, 0.0), (3.0, 1.0, 0.0), (9.0, 2.0, 0.0)]);
+        let improved = interpolation_improve(&query, &data);
+        let stamps: Vec<f64> = improved.points().iter().map(|p| p.t).collect();
+        assert_eq!(stamps, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn improve_with_identical_sampling_is_identity() {
+        let query = traj(&[(0.0, 0.0, 0.0), (1.0, 1.0, 1.0), (2.0, 2.0, 0.0)]);
+        let improved = interpolation_improve(&query, &query);
+        assert_eq!(improved, query);
+    }
+
+    #[test]
+    fn normalize_all_standardizes_each() {
+        let out = normalize_all(&[
+            traj(&[(0.0, 100.0, 0.0), (1.0, 104.0, 4.0), (2.0, 108.0, 0.0)]),
+            traj(&[(0.0, -5.0, 7.0), (1.0, 5.0, 7.0)]),
+        ]);
+        for t in &out {
+            let s = TrajectoryStats::of(t);
+            assert!(s.mean_x.abs() < 1e-9 && s.mean_y.abs() < 1e-9);
+        }
+    }
+}

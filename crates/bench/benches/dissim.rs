@@ -1,0 +1,86 @@
+//! Microbenchmarks of the DISSIM kernels: the closed-form integral vs the
+//! trapezoid approximation (the cost gap that motivates Lemma 1), the error
+//! bound, and full-trajectory DISSIM at several sampling densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mst_search::dissim::{dissim_between, Integration};
+use mst_search::scan_kmst;
+use mst_search::TrajectoryStore;
+use mst_trajectory::kinematics::DistanceTrinomial;
+use mst_trajectory::{SamplePoint, Segment, TimeInterval, Trajectory};
+
+fn seg(t0: f64, x0: f64, y0: f64, t1: f64, x1: f64, y1: f64) -> Segment {
+    Segment::new(SamplePoint::new(t0, x0, y0), SamplePoint::new(t1, x1, y1)).unwrap()
+}
+
+fn zigzag(n: usize, phase: f64) -> Trajectory {
+    Trajectory::new(
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                SamplePoint::new(t, t * 0.3 + phase, ((t + phase) * 0.7).sin() * 3.0)
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn bench_trinomial(c: &mut Criterion) {
+    let p = seg(0.0, 0.0, 0.0, 4.0, 4.0, 1.0);
+    let q = seg(0.0, 3.0, -2.0, 4.0, -1.0, 2.0);
+    let tri = DistanceTrinomial::between(&p, &q).unwrap();
+
+    let mut g = c.benchmark_group("trinomial");
+    g.bench_function("integral_exact", |b| {
+        b.iter(|| black_box(tri.integral_exact(black_box(0.0), black_box(4.0))))
+    });
+    g.bench_function("integral_trapezoid", |b| {
+        b.iter(|| black_box(tri.integral_trapezoid(black_box(0.0), black_box(4.0))))
+    });
+    g.bench_function("trapezoid_error_bound", |b| {
+        b.iter(|| black_box(tri.trapezoid_error_bound(black_box(0.0), black_box(4.0))))
+    });
+    g.bench_function("construct_from_segments", |b| {
+        b.iter(|| black_box(DistanceTrinomial::between(black_box(&p), black_box(&q)).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_trajectory_dissim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dissim_full_trajectory");
+    for n in [50usize, 200, 1000] {
+        let a = zigzag(n, 0.0);
+        let b = zigzag(n, 1.3);
+        let period = TimeInterval::new(0.0, (n - 1) as f64).unwrap();
+        g.bench_with_input(BenchmarkId::new("exact", n), &n, |bench, _| {
+            bench.iter(|| black_box(dissim_between(&a, &b, &period, Integration::Exact).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("trapezoid", n), &n, |bench, _| {
+            bench.iter(|| {
+                black_box(dissim_between(&a, &b, &period, Integration::Trapezoid).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    // Linear scan over a modest store: the no-index baseline cost.
+    let store = TrajectoryStore::from_trajectories(
+        (0..50).map(|i| zigzag(200, f64::from(i) * 0.37)).collect(),
+    );
+    let q = zigzag(200, 0.11);
+    let period = TimeInterval::new(0.0, 199.0).unwrap();
+    c.bench_function("scan_kmst_50x200", |b| {
+        b.iter(|| black_box(scan_kmst(&store, &q, &period, 5, Integration::Trapezoid).unwrap()))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_trinomial, bench_trajectory_dissim, bench_scan
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Index construction throughput: 3D R-tree (choose-subtree + quadratic
+//! split) vs TB-tree (tip append + right-most path), under the MOD arrival
+//! order.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use mst_bench::datasets::{temporal_entries, DatasetSpec};
+use mst_index::{LeafEntry, Rtree3D, TbTree, TrajectoryIndex};
+
+fn entries_for(objects: usize) -> Vec<LeafEntry> {
+    let store = DatasetSpec::Synthetic {
+        objects,
+        samples: 200,
+        seed: 17,
+    }
+    .build_store();
+    temporal_entries(&store)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_build");
+    g.sample_size(10);
+    for objects in [20usize, 60] {
+        let entries = entries_for(objects);
+        g.throughput(Throughput::Elements(entries.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("rtree3d", entries.len()),
+            &entries,
+            |b, entries| {
+                b.iter(|| {
+                    let mut idx = Rtree3D::new();
+                    for e in entries {
+                        idx.insert(*e).unwrap();
+                    }
+                    black_box(idx.num_pages())
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("tbtree", entries.len()),
+            &entries,
+            |b, entries| {
+                b.iter(|| {
+                    let mut idx = TbTree::new();
+                    for e in entries {
+                        idx.insert(*e).unwrap();
+                    }
+                    black_box(idx.num_pages())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

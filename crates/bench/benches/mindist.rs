@@ -1,0 +1,52 @@
+//! Microbenchmarks of the MINDIST kernels: moving point vs rectangle, and
+//! query trajectory vs node MBB — the per-node cost of the best-first
+//! traversal.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mst_index::mindist::{segment_rect_mindist, trajectory_mbb_mindist};
+use mst_trajectory::{Mbb, Rect, SamplePoint, Segment, TimeInterval, Trajectory};
+
+fn bench_segment_rect(c: &mut Criterion) {
+    let seg = Segment::new(
+        SamplePoint::new(0.0, -4.0, 6.0),
+        SamplePoint::new(3.0, 7.0, -5.0),
+    )
+    .unwrap();
+    let rect = Rect::new(0.0, 0.0, 2.0, 2.0);
+    c.bench_function("segment_rect_mindist", |b| {
+        b.iter(|| black_box(segment_rect_mindist(black_box(&seg), black_box(&rect))))
+    });
+}
+
+fn bench_trajectory_mbb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trajectory_mbb_mindist");
+    for n in [100usize, 1000] {
+        let q = Trajectory::new(
+            (0..n)
+                .map(|i| {
+                    let t = i as f64;
+                    SamplePoint::new(t, (t * 0.1).sin() * 5.0, (t * 0.05).cos() * 5.0)
+                })
+                .collect(),
+        )
+        .unwrap();
+        let period = TimeInterval::new(0.0, (n - 1) as f64).unwrap();
+        // A node box overlapping 10% of the period: the common case during
+        // traversal.
+        let mid = (n - 1) as f64 / 2.0;
+        let mbb = Mbb::new(1.0, 1.0, mid, 3.0, 3.0, mid + (n as f64) * 0.1);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(trajectory_mbb_mindist(&q, &mbb, &period)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_segment_rect, bench_trajectory_mbb
+);
+criterion_main!(benches);

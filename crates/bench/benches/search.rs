@@ -1,0 +1,84 @@
+//! End-to-end query benchmarks: BFMST on both index structures vs the
+//! linear scan, across k and query length — the criterion-level companions
+//! of Figure 10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mst_bench::datasets::{build_rtree, build_tbtree, DatasetSpec};
+use mst_bench::workload::sample_queries;
+use mst_search::{bfmst_search, scan_kmst, Integration, MstConfig};
+
+fn bench_search(c: &mut Criterion) {
+    let store = DatasetSpec::Synthetic {
+        objects: 50,
+        samples: 400,
+        seed: 17,
+    }
+    .build_store();
+    let mut rtree = build_rtree(&store);
+    let mut tbtree = build_tbtree(&store);
+    let queries = sample_queries(&store, 8, 0.05, 3);
+
+    let mut g = c.benchmark_group("kmst_query");
+    g.sample_size(20);
+    for k in [1usize, 10] {
+        g.bench_with_input(BenchmarkId::new("bfmst_rtree", k), &k, |b, &k| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(
+                    bfmst_search(&mut rtree, &store, &q.query, &q.period, &MstConfig::k(k))
+                        .unwrap(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("bfmst_tbtree", k), &k, |b, &k| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(
+                    bfmst_search(&mut tbtree, &store, &q.query, &q.period, &MstConfig::k(k))
+                        .unwrap(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("scan", k), &k, |b, &k| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(scan_kmst(&store, &q.query, &q.period, k, Integration::Exact).unwrap())
+            })
+        });
+    }
+    g.finish();
+
+    // Query-length scaling (the Q2 effect) on the R-tree.
+    let mut g = c.benchmark_group("kmst_query_length");
+    g.sample_size(10);
+    for length in [0.05f64, 0.25, 1.0] {
+        let qs = sample_queries(&store, 4, length, 11);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.0}%", length * 100.0)),
+            &qs,
+            |b, qs| {
+                let mut i = 0;
+                b.iter(|| {
+                    let q = &qs[i % qs.len()];
+                    i += 1;
+                    black_box(
+                        bfmst_search(&mut rtree, &store, &q.query, &q.period, &MstConfig::k(1))
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

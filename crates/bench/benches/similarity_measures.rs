@@ -1,0 +1,54 @@
+//! Pairwise similarity-measure cost: DISSIM (exact and trapezoid) vs the
+//! quadratic-DP baselines (LCSS, EDR, DTW) and their interpolation-improved
+//! variants, on Trucks-like trajectories.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mst_baselines::{epsilon_for, Dtw, Edr, Lcss};
+use mst_datagen::{td_tr_fraction, TrucksConfig};
+use mst_search::dissim::{dissim_between, Integration};
+
+fn bench_measures(c: &mut Criterion) {
+    let fleet = TrucksConfig::small(4, 21).generate();
+    let data = &fleet[0];
+    let other = &fleet[1];
+    let query = td_tr_fraction(data, 0.01);
+    let eps = epsilon_for(fleet.iter());
+    let period = data.time();
+
+    let lcss = Lcss::new(eps);
+    let edr = Edr::new(eps);
+    let dtw = Dtw::new();
+
+    let mut g = c.benchmark_group("pairwise_measure");
+    g.sample_size(20);
+    let n = query.num_points().min(other.num_points());
+    g.bench_with_input(BenchmarkId::new("dissim_exact", n), &n, |b, _| {
+        b.iter(|| black_box(dissim_between(&query, other, &period, Integration::Exact).unwrap()))
+    });
+    g.bench_with_input(BenchmarkId::new("dissim_trapezoid", n), &n, |b, _| {
+        b.iter(|| {
+            black_box(dissim_between(&query, other, &period, Integration::Trapezoid).unwrap())
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("lcss", n), &n, |b, _| {
+        b.iter(|| black_box(lcss.distance(&query, other)))
+    });
+    g.bench_with_input(BenchmarkId::new("lcss_improved", n), &n, |b, _| {
+        b.iter(|| black_box(lcss.distance_improved(&query, other)))
+    });
+    g.bench_with_input(BenchmarkId::new("edr", n), &n, |b, _| {
+        b.iter(|| black_box(edr.distance(&query, other)))
+    });
+    g.bench_with_input(BenchmarkId::new("edr_improved", n), &n, |b, _| {
+        b.iter(|| black_box(edr.distance_improved(&query, other)))
+    });
+    g.bench_with_input(BenchmarkId::new("dtw", n), &n, |b, _| {
+        b.iter(|| black_box(dtw.distance(&query, other)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_measures);
+criterion_main!(benches);

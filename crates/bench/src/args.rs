@@ -1,0 +1,86 @@
+//! A deliberately tiny `--flag value` parser so the experiment binaries
+//! need no CLI dependency.
+
+use std::collections::HashMap;
+
+/// Parsed command line: positional words plus `--key value` pairs
+/// (`--key` alone is a boolean flag).
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses the given tokens (usually `std::env::args().skip(1)`).
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Self {
+        let mut out = Args::default();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().unwrap(),
+                    _ => String::from("true"),
+                };
+                out.flags.insert(key.to_string(), value);
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        out
+    }
+
+    /// Parses the process's own command line.
+    pub fn from_env() -> Self {
+        Args::parse(std::env::args().skip(1))
+    }
+
+    /// Positional arguments in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// A flag parsed into `T`, or `default` when absent. Panics with a
+    /// usage-style message when the value does not parse.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flags.get(key) {
+            None => default,
+            Some(raw) => raw.parse().unwrap_or_else(|e| panic!("--{key} {raw}: {e}")),
+        }
+    }
+
+    /// True when `--key` was passed (with or without a value).
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_positionals_and_flags() {
+        let a = parse("q1 --queries 50 --scale 0.5 --cold");
+        assert_eq!(a.positional(), ["q1"]);
+        assert_eq!(a.get("queries", 10usize), 50);
+        assert_eq!(a.get("scale", 1.0f64), 0.5);
+        assert!(a.has("cold"));
+        assert!(!a.has("warm"));
+        assert_eq!(a.get("missing", 7u32), 7);
+    }
+
+    #[test]
+    fn boolean_flag_before_another_flag() {
+        let a = parse("--cold --queries 5");
+        assert!(a.has("cold"));
+        assert_eq!(a.get("queries", 0usize), 5);
+    }
+}

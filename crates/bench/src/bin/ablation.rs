@@ -1,0 +1,29 @@
+//! Runs the ablation study (BFMST ingredients vs the exact scan).
+//!
+//! Usage: `cargo run -p mst-bench --release --bin ablation -- [--objects 250]
+//! [--samples 2000] [--queries 25] [--length 0.05] [--k 1] [--seed 7]
+//! [--csv results]`
+
+use mst_bench::args::Args;
+use mst_bench::experiments::{ablation, AblationConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = AblationConfig {
+        objects: args.get("objects", 250),
+        samples: args.get("samples", 2000),
+        queries: args.get("queries", 25),
+        length: args.get("length", 0.05),
+        k: args.get("k", 1),
+        seed: args.get("seed", 7),
+    };
+    eprintln!(
+        "[ablation] {} objects, {} queries...",
+        cfg.objects, cfg.queries
+    );
+    let table = ablation(&cfg);
+    let dir = args
+        .has("csv")
+        .then(|| std::path::PathBuf::from(args.get("csv", String::from("results"))));
+    table.emit(dir.as_deref());
+}

@@ -1,0 +1,29 @@
+//! Runs the buffer-size ablation (physical I/O vs buffer capacity).
+//!
+//! Usage: `cargo run -p mst-bench --release --bin buffer_sweep --
+//! [--objects 250] [--samples 2000] [--queries 50] [--length 0.25]
+//! [--seed 7] [--csv results]`
+
+use mst_bench::args::Args;
+use mst_bench::experiments::{buffer_sweep, BufferSweepConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = BufferSweepConfig {
+        objects: args.get("objects", 250),
+        samples: args.get("samples", 2000),
+        queries: args.get("queries", 50),
+        length: args.get("length", 0.25),
+        seed: args.get("seed", 7),
+        ..BufferSweepConfig::default()
+    };
+    eprintln!(
+        "[buffer_sweep] {} objects, {} queries, fractions {:?}...",
+        cfg.objects, cfg.queries, cfg.fractions
+    );
+    let table = buffer_sweep(&cfg);
+    let dir = args
+        .has("csv")
+        .then(|| std::path::PathBuf::from(args.get("csv", String::from("results"))));
+    table.emit(dir.as_deref());
+}

@@ -1,0 +1,42 @@
+//! Regenerates the paper's Figure 10 (BFMST performance: Q1/Q2/Q3).
+//!
+//! Usage: `cargo run -p mst-bench --release --bin figure10 -- [q1|q2|q3|all]
+//! [--scale 1.0] [--queries 500] [--cold] [--seed 7] [--csv results]`
+
+use mst_bench::args::Args;
+use mst_bench::experiments::{figure10, Figure10Config};
+use mst_bench::workload::QuerySet;
+
+fn main() {
+    let args = Args::from_env();
+    let which = args
+        .positional()
+        .first()
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_ascii_lowercase();
+    let sets: Vec<QuerySet> = match which.as_str() {
+        "q1" => vec![QuerySet::Q1],
+        "q2" => vec![QuerySet::Q2],
+        "q3" => vec![QuerySet::Q3],
+        "all" => vec![QuerySet::Q1, QuerySet::Q2, QuerySet::Q3],
+        other => panic!("unknown query set {other:?}; expected q1, q2, q3, or all"),
+    };
+    let dir = args
+        .has("csv")
+        .then(|| std::path::PathBuf::from(args.get("csv", String::from("results"))));
+    for set in sets {
+        let cfg = Figure10Config {
+            set,
+            scale: args.get("scale", 1.0),
+            queries: args.get("queries", 500),
+            cold: args.has("cold"),
+            seed: args.get("seed", 7),
+        };
+        eprintln!(
+            "[figure10] {:?}: scale {}, {} queries per setting...",
+            cfg.set, cfg.scale, cfg.queries
+        );
+        figure10(&cfg).emit(dir.as_deref());
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates the paper's Figure 8 (TD-TR compression degrees).
+//!
+//! Usage: `cargo run -p mst-bench --release --bin figure8 -- [--trucks 273]
+//! [--trajectory 0] [--seed 7] [--csv results]`
+
+use mst_bench::args::Args;
+use mst_bench::experiments::figure8;
+
+fn main() {
+    let args = Args::from_env();
+    let table = figure8(
+        args.get("trucks", 273),
+        args.get("trajectory", 0),
+        args.get("seed", 7),
+    );
+    let dir = args
+        .has("csv")
+        .then(|| std::path::PathBuf::from(args.get("csv", String::from("results"))));
+    table.emit(dir.as_deref());
+}

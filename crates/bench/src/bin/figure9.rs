@@ -1,0 +1,27 @@
+//! Regenerates the paper's Figure 9 (quality: false results vs TD-TR p).
+//!
+//! Usage: `cargo run -p mst-bench --release --bin figure9 -- [--trucks 273]
+//! [--queries 100] [--seed 7] [--no-normalize] [--csv results]`
+
+use mst_bench::args::Args;
+use mst_bench::experiments::{figure9, Figure9Config};
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = Figure9Config {
+        num_trucks: args.get("trucks", 273),
+        num_queries: args.get("queries", 100),
+        normalize: !args.has("no-normalize"),
+        seed: args.get("seed", 7),
+        ..Figure9Config::default()
+    };
+    eprintln!(
+        "[figure9] {} trucks, {} queries, p sweep {:?}...",
+        cfg.num_trucks, cfg.num_queries, cfg.ps
+    );
+    let table = figure9(&cfg);
+    let dir = args
+        .has("csv")
+        .then(|| std::path::PathBuf::from(args.get("csv", String::from("results"))));
+    table.emit(dir.as_deref());
+}

@@ -1,0 +1,29 @@
+//! Three-way index comparison (3D R-tree / STR-tree / TB-tree).
+//!
+//! Usage: `cargo run -p mst-bench --release --bin index_comparison --
+//! [--objects 250] [--samples 2000] [--queries 50] [--length 0.25]
+//! [--k 1] [--seed 7] [--csv results]`
+
+use mst_bench::args::Args;
+use mst_bench::experiments::{index_comparison, IndexComparisonConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = IndexComparisonConfig {
+        objects: args.get("objects", 250),
+        samples: args.get("samples", 2000),
+        queries: args.get("queries", 50),
+        length: args.get("length", 0.25),
+        k: args.get("k", 1),
+        seed: args.get("seed", 7),
+    };
+    eprintln!(
+        "[index_comparison] {} objects, {} queries...",
+        cfg.objects, cfg.queries
+    );
+    let table = index_comparison(&cfg);
+    let dir = args
+        .has("csv")
+        .then(|| std::path::PathBuf::from(args.get("csv", String::from("results"))));
+    table.emit(dir.as_deref());
+}

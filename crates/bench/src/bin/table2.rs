@@ -1,0 +1,27 @@
+//! Regenerates the paper's Table 2 (dataset and index summary).
+//!
+//! Usage: `cargo run -p mst-bench --release --bin table2 -- [--scale 1.0]
+//! [--seed 7] [--no-trucks] [--csv results]`
+
+use mst_bench::args::Args;
+use mst_bench::experiments::{table2, Table2Config};
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = Table2Config {
+        scale: args.get("scale", 1.0),
+        include_trucks: !args.has("no-trucks"),
+        seed: args.get("seed", 7),
+    };
+    eprintln!(
+        "[table2] building datasets and indexes (scale {})...",
+        cfg.scale
+    );
+    let table = table2(&cfg);
+    table.emit(csv_dir(&args).as_deref());
+}
+
+fn csv_dir(args: &Args) -> Option<std::path::PathBuf> {
+    args.has("csv")
+        .then(|| std::path::PathBuf::from(args.get("csv", String::from("results"))))
+}

@@ -1,0 +1,82 @@
+//! Figure 8: the effect of TD-TR compression on a single trajectory — the
+//! vertex count shrinks as the tolerance parameter `p` grows while the
+//! general sketch survives (the paper shows 168 → 65 → 29 → 22 vertices for
+//! p = 0, 0.1%, 1%, 2%).
+
+use mst_datagen::{td_tr_fraction, TrucksConfig};
+use mst_trajectory::TrajectoryStats;
+
+use crate::metrics::Table;
+
+/// Compresses one Trucks-like trajectory at the paper's four settings and
+/// reports the vertex counts plus shape-preservation statistics.
+pub fn figure8(num_trucks: usize, trajectory_index: usize, seed: u64) -> Table {
+    let fleet = TrucksConfig {
+        num_trucks,
+        ..TrucksConfig::paper_like(seed)
+    }
+    .generate();
+    let original = &fleet[trajectory_index % fleet.len()];
+
+    let mut table = Table::new(
+        "Figure 8: degrees of TD-TR compression on one trajectory",
+        &[
+            "p (% of length)",
+            "Vertices",
+            "Kept (%)",
+            "Length ratio",
+            "Max SED / tolerance",
+        ],
+    );
+    for p in [0.0, 0.001, 0.01, 0.02] {
+        let compressed = td_tr_fraction(original, p);
+        let tolerance = p * original.spatial_length();
+        // Largest synchronized deviation of any dropped original sample.
+        let max_dev = original
+            .points()
+            .iter()
+            .map(|pt| {
+                let pos = compressed.position_at(pt.t).expect("same validity");
+                ((pt.x - pos.x).powi(2) + (pt.y - pos.y).powi(2)).sqrt()
+            })
+            .fold(0.0, f64::max);
+        table.push_row(vec![
+            format!("{:.1}", p * 100.0),
+            compressed.num_points().to_string(),
+            format!(
+                "{:.1}",
+                100.0 * compressed.num_points() as f64 / original.num_points() as f64
+            ),
+            format!(
+                "{:.3}",
+                TrajectoryStats::of(&compressed).spatial_length
+                    / TrajectoryStats::of(original).spatial_length
+            ),
+            if tolerance > 0.0 {
+                format!("{:.2}", max_dev / tolerance)
+            } else {
+                format!("{max_dev:.2} m")
+            },
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_counts_decrease_with_p() {
+        let t = figure8(6, 0, 3);
+        assert_eq!(t.len(), 4);
+        let csv = t.to_csv();
+        let counts: Vec<usize> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]), "{counts:?}");
+        assert!(counts[0] > counts[3], "compression must bite");
+    }
+}

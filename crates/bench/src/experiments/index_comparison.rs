@@ -1,0 +1,203 @@
+//! Three-way index comparison (extension): the paper evaluates the 3D
+//! R-tree and the TB-tree; its reference [13] defines a third structure,
+//! the STR-tree, sitting between them. This experiment builds all three
+//! over the same insertion stream and runs the same k-MST workload,
+//! reporting build cost, size, query time, pruning, and physical I/O.
+
+use mst_index::{Rtree3D, StrTree, TbTree, TrajectoryIndexWrite};
+use mst_search::{bfmst_search, MstConfig, TrajectoryStore};
+
+use crate::datasets::{temporal_entries, DatasetSpec};
+use crate::metrics::{pruning_power, time_ms, Summary, Table};
+use crate::workload::sample_queries;
+
+/// Configuration of the three-way comparison.
+#[derive(Debug, Clone)]
+pub struct IndexComparisonConfig {
+    /// Moving objects in the synthetic dataset.
+    pub objects: usize,
+    /// Samples per object.
+    pub samples: usize,
+    /// Queries per index.
+    pub queries: usize,
+    /// Query length fraction.
+    pub length: f64,
+    /// k of the k-MST queries.
+    pub k: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IndexComparisonConfig {
+    fn default() -> Self {
+        IndexComparisonConfig {
+            objects: 250,
+            samples: 2000,
+            queries: 50,
+            length: 0.25,
+            k: 1,
+            seed: 7,
+        }
+    }
+}
+
+fn measure<I: TrajectoryIndexWrite>(
+    index: I,
+    label: &str,
+    entries: &[mst_index::LeafEntry],
+    store: &TrajectoryStore,
+    cfg: &IndexComparisonConfig,
+    table: &mut Table,
+    expected: &[Vec<mst_trajectory::TrajectoryId>],
+) {
+    let mut index = index;
+    let (build_ms, ()) = time_ms(|| {
+        for e in entries {
+            index.insert_entry(*e).expect("valid insert");
+        }
+    });
+    measure_queries(index, label, build_ms, store, cfg, table, expected);
+}
+
+fn measure_queries<I: TrajectoryIndexWrite>(
+    mut index: I,
+    label: &str,
+    build_ms: f64,
+    store: &TrajectoryStore,
+    cfg: &IndexComparisonConfig,
+    table: &mut Table,
+    expected: &[Vec<mst_trajectory::TrajectoryId>],
+) {
+    let queries = sample_queries(store, cfg.queries, cfg.length, cfg.seed ^ 0xC0);
+    let total_pages = index.num_pages();
+    let mut times = Vec::new();
+    let mut prunings = Vec::new();
+    let mut misses = Vec::new();
+    let mut agree = true;
+    for (q, want) in queries.iter().zip(expected) {
+        index.reset_stats();
+        let (ms, report) = time_ms(|| {
+            bfmst_search(&mut index, store, &q.query, &q.period, &MstConfig::k(cfg.k))
+                .expect("valid query")
+        });
+        let got: Vec<_> = report.matches.iter().map(|m| m.traj).collect();
+        agree &= got == *want;
+        times.push(ms);
+        let stats = index.stats();
+        prunings.push(pruning_power(stats.node_reads, total_pages));
+        misses.push(stats.buffer.misses as f64);
+    }
+    table.push_row(vec![
+        label.to_string(),
+        format!("{:.0}", build_ms),
+        format!("{:.1}", index.stats().size_bytes as f64 / (1024.0 * 1024.0)),
+        format!("{:.2}", Summary::of(&times).mean),
+        format!("{:.3}", Summary::of(&prunings).mean),
+        format!("{:.1}", Summary::of(&misses).mean),
+        agree.to_string(),
+    ]);
+}
+
+/// Runs the comparison and returns the result table.
+pub fn index_comparison(cfg: &IndexComparisonConfig) -> Table {
+    let store = DatasetSpec::Synthetic {
+        objects: cfg.objects,
+        samples: cfg.samples,
+        seed: cfg.seed,
+    }
+    .build_store();
+    let entries = temporal_entries(&store);
+    let queries = sample_queries(&store, cfg.queries, cfg.length, cfg.seed ^ 0xC0);
+
+    // Ground truth once (exact scan).
+    let expected: Vec<Vec<mst_trajectory::TrajectoryId>> = queries
+        .iter()
+        .map(|q| {
+            mst_search::scan_kmst(
+                &store,
+                &q.query,
+                &q.period,
+                cfg.k,
+                mst_search::Integration::Exact,
+            )
+            .expect("scan succeeds")
+            .into_iter()
+            .map(|m| m.traj)
+            .collect()
+        })
+        .collect();
+
+    let mut table = Table::new(
+        "Index comparison: 3D R-tree vs STR-tree vs TB-tree",
+        &[
+            "Index",
+            "Build (ms)",
+            "Size (MB)",
+            "Query (ms)",
+            "Pruning power",
+            "Page misses",
+            "Agrees with exact scan",
+        ],
+    );
+    measure(
+        Rtree3D::new(),
+        "3D R-tree",
+        &entries,
+        &store,
+        cfg,
+        &mut table,
+        &expected,
+    );
+    // Bulk-loaded variant of the same R-tree.
+    let (bulk_ms, bulk) = time_ms(|| Rtree3D::bulk_load(entries.clone()).expect("bulk load"));
+    measure_queries(
+        bulk,
+        "3D R-tree (bulk)",
+        bulk_ms,
+        &store,
+        cfg,
+        &mut table,
+        &expected,
+    );
+    measure(
+        StrTree::new(),
+        "STR-tree",
+        &entries,
+        &store,
+        cfg,
+        &mut table,
+        &expected,
+    );
+    measure(
+        TbTree::new(),
+        "TB-tree",
+        &entries,
+        &store,
+        cfg,
+        &mut table,
+        &expected,
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_agree_with_the_scan() {
+        let cfg = IndexComparisonConfig {
+            objects: 12,
+            samples: 150,
+            queries: 5,
+            length: 0.3,
+            k: 2,
+            seed: 3,
+        };
+        let t = index_comparison(&cfg);
+        assert_eq!(t.len(), 4);
+        for line in t.to_csv().lines().skip(1) {
+            assert_eq!(line.split(',').nth(6).unwrap(), "true", "{line}");
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! The experiment implementations, one per paper table/figure.
+
+mod ablation;
+mod buffer_sweep;
+mod figure10;
+mod figure8;
+mod figure9;
+mod index_comparison;
+mod table2;
+
+pub use ablation::{ablation, AblationConfig};
+pub use buffer_sweep::{buffer_sweep, BufferSweepConfig};
+pub use figure10::{figure10, Figure10Config};
+pub use figure8::figure8;
+pub use figure9::{figure9, Figure9Config};
+pub use index_comparison::{index_comparison, IndexComparisonConfig};
+pub use table2::{table2, Table2Config};

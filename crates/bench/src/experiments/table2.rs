@@ -1,0 +1,93 @@
+//! Table 2: summary of the datasets and the sizes of the indexes built over
+//! them.
+
+use mst_index::TrajectoryIndex;
+
+use crate::datasets::{build_rtree, build_tbtree, DatasetSpec};
+use crate::metrics::Table;
+
+/// Configuration of the Table 2 run.
+#[derive(Debug, Clone)]
+pub struct Table2Config {
+    /// Scale factor on the paper's dataset sizes (1.0 = full Table 2).
+    pub scale: f64,
+    /// Include the Trucks-like dataset row.
+    pub include_trucks: bool,
+    /// RNG seed shared by the generators.
+    pub seed: u64,
+}
+
+impl Default for Table2Config {
+    fn default() -> Self {
+        Table2Config {
+            scale: 1.0,
+            include_trucks: true,
+            seed: 7,
+        }
+    }
+}
+
+/// Builds every dataset and both indexes, reporting the paper's Table 2
+/// columns.
+pub fn table2(cfg: &Table2Config) -> Table {
+    let mut specs: Vec<(DatasetSpec, &str)> = Vec::new();
+    if cfg.include_trucks {
+        specs.push((
+            DatasetSpec::Trucks {
+                num_trucks: ((273.0 * cfg.scale).round() as usize).max(4),
+                seed: cfg.seed,
+            },
+            "Fleet sim",
+        ));
+    }
+    for spec in DatasetSpec::paper_ladder(cfg.scale, cfg.seed) {
+        specs.push((spec, "Lognormal (sigma 0.6)"));
+    }
+
+    let mut table = Table::new(
+        "Table 2: dataset and index summary",
+        &[
+            "Dataset",
+            "Objects",
+            "Entries (x1K)",
+            "Speed model",
+            "3D R-tree (MB)",
+            "TB-tree (MB)",
+        ],
+    );
+    for (spec, speed_label) in specs {
+        let store = spec.build_store();
+        let rtree = build_rtree(&store);
+        let tbtree = build_tbtree(&store);
+        table.push_row(vec![
+            spec.name(),
+            store.len().to_string(),
+            format!("{:.0}", store.total_segments() as f64 / 1000.0),
+            speed_label.to_string(),
+            format!("{:.1}", rtree.stats().size_bytes as f64 / (1024.0 * 1024.0)),
+            format!(
+                "{:.1}",
+                tbtree.stats().size_bytes as f64 / (1024.0 * 1024.0)
+            ),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_run_produces_all_rows() {
+        let t = table2(&Table2Config {
+            scale: 0.02,
+            include_trucks: true,
+            seed: 1,
+        });
+        assert_eq!(t.len(), 5);
+        let csv = t.to_csv();
+        assert!(csv.contains("Trucks"));
+        assert!(csv.contains("S0005")); // 250 * 0.02
+    }
+}

@@ -1,0 +1,225 @@
+//! Measurement helpers: wall-clock timing, mean/standard-error aggregation,
+//! pruning power, and plain-text/CSV emission of result tables.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Times a closure, returning `(elapsed milliseconds, result)`.
+pub fn time_ms<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let start = Instant::now();
+    let r = f();
+    (start.elapsed().as_secs_f64() * 1e3, r)
+}
+
+/// Mean and standard error of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Standard error of the mean (0 for n < 2).
+    pub std_err: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    pub fn of(values: &[f64]) -> Summary {
+        let n = values.len();
+        if n == 0 {
+            return Summary {
+                mean: f64::NAN,
+                std_err: f64::NAN,
+                n: 0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let std_err = if n > 1 {
+            let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+            (var / n as f64).sqrt()
+        } else {
+            0.0
+        };
+        Summary { mean, std_err, n }
+    }
+}
+
+/// Pruning power: the fraction of the index *not* touched by a query —
+/// the paper's "pruned space".
+pub fn pruning_power(nodes_read: u64, total_pages: usize) -> f64 {
+    if total_pages == 0 {
+        return 0.0;
+    }
+    (1.0 - nodes_read as f64 / total_pages as f64).max(0.0)
+}
+
+/// A rectangular result table, printed aligned and optionally saved as CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header arity).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(s, "{:width$}  ", cell, width = widths[i]);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders as CSV (header row first).
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Prints the table to stdout and, when `csv_dir` is set, also writes
+    /// `<csv_dir>/<slug>.csv`.
+    pub fn emit(&self, csv_dir: Option<&std::path::Path>) {
+        print!("{}", self.render());
+        println!();
+        if let Some(dir) = csv_dir {
+            std::fs::create_dir_all(dir).expect("create results directory");
+            let slug: String = self
+                .title
+                .chars()
+                .map(|c| {
+                    if c.is_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            let path = dir.join(format!("{slug}.csv"));
+            std::fs::write(&path, self.to_csv()).expect("write CSV");
+            println!("[saved {}]", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mean_and_std_err() {
+        let s = Summary::of(&[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.n, 4);
+        // Sample variance 20/3; std err = sqrt(20/3/4).
+        assert!((s.std_err - (20.0 / 3.0 / 4.0f64).sqrt()).abs() < 1e-12);
+        let single = Summary::of(&[3.0]);
+        assert_eq!(single.std_err, 0.0);
+        assert!(Summary::of(&[]).mean.is_nan());
+    }
+
+    #[test]
+    fn pruning_power_basics() {
+        assert_eq!(pruning_power(10, 100), 0.9);
+        assert_eq!(pruning_power(0, 100), 1.0);
+        assert_eq!(pruning_power(200, 100), 0.0); // clamped
+        assert_eq!(pruning_power(5, 0), 0.0);
+    }
+
+    #[test]
+    fn table_renders_and_csv_escapes() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "x,y".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("== Demo =="));
+        assert!(rendered.contains("a"));
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_wrong_arity() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn time_ms_measures_something() {
+        let (ms, v) = time_ms(|| {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(ms >= 0.0);
+        assert!(v > 0);
+    }
+}

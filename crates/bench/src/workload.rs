@@ -1,0 +1,146 @@
+//! Query workloads (the paper's Table 3).
+//!
+//! Every performance query is "part of a random data trajectory": pick a
+//! trajectory, pick a random window of the requested fraction of the time
+//! domain, clip. The query is then guaranteed to cover its period, and —
+//! being real data — exercises realistic pruning behaviour.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use mst_search::TrajectoryStore;
+use mst_trajectory::{TimeInterval, Trajectory};
+
+/// One MST query: the query trajectory plus its period.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// The query trajectory (already clipped to the period).
+    pub query: Trajectory,
+    /// The query period.
+    pub period: TimeInterval,
+}
+
+/// Draws `count` queries, each a clip of a random store trajectory with
+/// duration `length_fraction` of that trajectory's validity
+/// (`length_fraction = 1.0` uses whole trajectories — the paper's "100%
+/// query length").
+pub fn sample_queries(
+    store: &TrajectoryStore,
+    count: usize,
+    length_fraction: f64,
+    seed: u64,
+) -> Vec<QuerySpec> {
+    assert!(
+        length_fraction > 0.0 && length_fraction <= 1.0,
+        "length fraction must be in (0, 1]"
+    );
+    assert!(
+        !store.is_empty(),
+        "cannot sample queries from an empty store"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let trajs: Vec<&Trajectory> = store.iter().map(|(_, t)| t).collect();
+    (0..count)
+        .map(|_| {
+            let t = trajs[rng.gen_range(0..trajs.len())];
+            let span = t.duration() * length_fraction;
+            let latest_start = t.end_time() - span;
+            let start = if latest_start > t.start_time() {
+                rng.gen_range(t.start_time()..latest_start)
+            } else {
+                t.start_time()
+            };
+            let period = TimeInterval::new(start, start + span)
+                .expect("window inside the trajectory's validity");
+            let query = t.clip(&period).expect("trajectory covers its own window");
+            QuerySpec { query, period }
+        })
+        .collect()
+}
+
+/// The paper's Table 3 query-set definitions, parameterized by scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuerySet {
+    /// Q1: scale dataset cardinality; query length 5%, k = 1.
+    Q1,
+    /// Q2: scale query length 1%..100% on S0500; k = 1.
+    Q2,
+    /// Q3: scale k 1..10 on S0500; query length 5%.
+    Q3,
+}
+
+impl QuerySet {
+    /// The query-length fractions the set sweeps (singleton except Q2).
+    pub fn lengths(&self) -> Vec<f64> {
+        match self {
+            QuerySet::Q2 => vec![0.01, 0.05, 0.10, 0.25, 0.50, 1.00],
+            _ => vec![0.05],
+        }
+    }
+
+    /// The k values the set sweeps (singleton except Q3).
+    pub fn ks(&self) -> Vec<usize> {
+        match self {
+            QuerySet::Q3 => vec![1, 2, 4, 6, 8, 10],
+            _ => vec![1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TrajectoryStore {
+        let trajs = (0..5)
+            .map(|i| {
+                let y = f64::from(i);
+                Trajectory::from_txy(
+                    &(0..=100)
+                        .map(|s| (f64::from(s), f64::from(s) * 0.1, y))
+                        .collect::<Vec<_>>(),
+                )
+                .unwrap()
+            })
+            .collect();
+        TrajectoryStore::from_trajectories(trajs)
+    }
+
+    #[test]
+    fn queries_cover_their_periods() {
+        let s = store();
+        for q in sample_queries(&s, 20, 0.25, 7) {
+            assert!(q.query.covers(&q.period));
+            assert!((q.period.duration() - 25.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn full_length_queries_use_whole_trajectories() {
+        let s = store();
+        for q in sample_queries(&s, 5, 1.0, 3) {
+            assert_eq!(q.period.start(), 0.0);
+            assert_eq!(q.period.end(), 100.0);
+            assert_eq!(q.query.num_points(), 101);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let s = store();
+        let a = sample_queries(&s, 10, 0.1, 42);
+        let b = sample_queries(&s, 10, 0.1, 42);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.period, y.period);
+            assert_eq!(x.query, y.query);
+        }
+    }
+
+    #[test]
+    fn table3_sweeps() {
+        assert_eq!(QuerySet::Q1.lengths(), vec![0.05]);
+        assert_eq!(QuerySet::Q2.lengths().len(), 6);
+        assert_eq!(QuerySet::Q3.ks(), vec![1, 2, 4, 6, 8, 10]);
+        assert_eq!(QuerySet::Q1.ks(), vec![1]);
+    }
+}

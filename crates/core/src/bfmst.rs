@@ -1,0 +1,577 @@
+//! BFMSTSearch: the best-first k-Most-Similar-Trajectory algorithm
+//! (Section 4, Figure 7 of the paper).
+//!
+//! The algorithm traverses any R-tree-like trajectory index in increasing
+//! order of `MINDIST(Q, N)` (the distance-browsing strategy of Hjaltason &
+//! Samet), incrementally assembling candidate trajectories from the segment
+//! entries it encounters:
+//!
+//! * each candidate keeps the DISSIM enclosure of its retrieved pieces plus
+//!   its OPTDISSIM / PESDISSIM speed-dependent bounds ([`crate::bounds`]);
+//! * **heuristic 1** rejects a candidate whose OPTDISSIM exceeds the current
+//!   k-th best upper key — it provably cannot enter the answer;
+//! * **heuristic 2** terminates the whole search when the popped node's
+//!   MINDISSIMINC exceeds that threshold — every unseen segment is at least
+//!   `MINDIST` away, so no remaining or future candidate can qualify;
+//! * with trapezoid integration, the **error management** of Section 4.4
+//!   keeps the answer exact: bound comparisons use the enclosure's safe
+//!   side, and a post-processing step recomputes the closed-form DISSIM for
+//!   every candidate whose enclosure straddles the decision boundary.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use mst_index::mindist::trajectory_mbb_mindist;
+use mst_index::{Node, PageId, TrajectoryIndex};
+use mst_trajectory::{Segment, TimeInterval, Trajectory, TrajectoryId};
+
+use crate::bounds::Candidate;
+use crate::dissim::{dissim_exact, piece, Dissim, Integration};
+use crate::topk::UpperKeys;
+use crate::{MstMatch, Result, SearchError, TrajectoryStore};
+
+/// Configuration of a BFMST search.
+#[derive(Debug, Clone, Copy)]
+pub struct MstConfig {
+    /// Number of most similar trajectories to return.
+    pub k: usize,
+    /// Integration scheme for per-piece DISSIM contributions.
+    pub integration: Integration,
+    /// Apply Section 4.4: error-aware comparisons plus exact post-processing
+    /// (only meaningful with [`Integration::Trapezoid`]).
+    pub error_management: bool,
+    /// Enable heuristic 1 (candidate rejection by OPTDISSIM). Disabling it
+    /// is only useful for ablation studies.
+    pub use_heuristic1: bool,
+    /// Enable heuristic 2 (termination by MINDISSIMINC). Disabling it is
+    /// only useful for ablation studies.
+    pub use_heuristic2: bool,
+    /// Optional dissimilarity ceiling: trajectories with DISSIM above it are
+    /// excluded even when fewer than `k` results remain (a *range-MST*
+    /// query: "everything within DISSIM theta, up to k results"). The
+    /// ceiling also feeds the pruning threshold, so a tight theta makes
+    /// queries cheaper from the first node on.
+    pub max_dissim: Option<f64>,
+}
+
+impl Default for MstConfig {
+    fn default() -> Self {
+        MstConfig {
+            k: 1,
+            integration: Integration::Trapezoid,
+            error_management: true,
+            use_heuristic1: true,
+            use_heuristic2: true,
+            max_dissim: None,
+        }
+    }
+}
+
+impl MstConfig {
+    /// Convenience constructor for a k-MST query with the paper's defaults.
+    pub fn k(k: usize) -> Self {
+        MstConfig {
+            k,
+            ..MstConfig::default()
+        }
+    }
+
+    /// Convenience constructor for a range-MST query: up to `k` results
+    /// with DISSIM at most `theta`.
+    pub fn within(k: usize, theta: f64) -> Self {
+        MstConfig {
+            k,
+            max_dissim: Some(theta),
+            ..MstConfig::default()
+        }
+    }
+}
+
+/// Outcome of a BFMST search: the matches plus traversal accounting.
+#[derive(Debug, Clone, Default)]
+pub struct SearchReport {
+    /// The k most similar trajectories, ascending dissimilarity.
+    pub matches: Vec<MstMatch>,
+    /// Nodes popped and processed.
+    pub nodes_visited: u64,
+    /// Leaf nodes among them.
+    pub leaves_visited: u64,
+    /// Leaf entries matched against the query.
+    pub entries_matched: u64,
+    /// Distinct candidate trajectories touched.
+    pub candidates_seen: usize,
+    /// Candidates rejected by heuristic 1.
+    pub candidates_rejected: usize,
+    /// Candidates fully assembled.
+    pub candidates_completed: usize,
+    /// True when heuristic 2 cut the traversal short.
+    pub terminated_early: bool,
+    /// Exact integrals recomputed by the post-processing step.
+    pub exact_recomputations: usize,
+}
+
+/// A queue element: node page keyed by its MINDIST from the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct QueueEntry {
+    mindist: f64,
+    page: PageId,
+}
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.mindist
+            .total_cmp(&other.mindist)
+            .then(self.page.cmp(&other.page))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs the best-first k-MST search of `query` over `period` against
+/// `index`, with `store` supplying full trajectories for the exact
+/// post-processing step.
+///
+/// Returns the k most similar trajectories in ascending DISSIM order. With
+/// `error_management` (or exact integration) the result is *exact*: it
+/// matches the linear scan with closed-form integration.
+pub fn bfmst_search<I: TrajectoryIndex>(
+    index: &mut I,
+    store: &TrajectoryStore,
+    query: &Trajectory,
+    period: &TimeInterval,
+    config: &MstConfig,
+) -> Result<SearchReport> {
+    let mut report = SearchReport::default();
+    if config.k == 0 {
+        return Ok(report);
+    }
+    if !query.covers(period) {
+        return Err(SearchError::QueryOutsidePeriod {
+            period: (period.start(), period.end()),
+            valid: (query.start_time(), query.end_time()),
+        });
+    }
+    if period.is_instant() {
+        return Ok(report);
+    }
+    let q = query.clip(period)?;
+    let vmax = index.max_speed() + q.max_speed();
+    let span = period.duration();
+    let merge_eps = span.max(1.0) * 1e-9;
+
+    let mut heap: BinaryHeap<Reverse<QueueEntry>> = BinaryHeap::new();
+    if let Some(root) = index.root() {
+        heap.push(Reverse(QueueEntry {
+            mindist: 0.0,
+            page: root,
+        }));
+    }
+
+    let mut valid: HashMap<TrajectoryId, Candidate> = HashMap::new();
+    let mut completed: HashMap<TrajectoryId, Dissim> = HashMap::new();
+    let mut rejected: HashSet<TrajectoryId> = HashSet::new();
+    let mut upper = UpperKeys::new(config.k);
+    let ceiling = config.max_dissim.unwrap_or(f64::INFINITY);
+
+    while let Some(Reverse(head)) = heap.pop() {
+        // Heuristic 2: nodes arrive in increasing MINDIST, so once the
+        // node-level MINDISSIMINC exceeds the k-th best upper key nothing
+        // later can qualify either — stop the whole search.
+        if config.use_heuristic2 && (!completed.is_empty() || ceiling.is_finite()) {
+            let tau = upper.kth().min(ceiling);
+            // Cheap test first (the paper's optimization): only evaluate the
+            // per-candidate OPTDISSIMINC values when the blanket bound
+            // MINDIST * span already clears the threshold.
+            if tau.is_finite() && head.mindist * span > tau {
+                let min_inc = valid
+                    .values()
+                    .map(|c| c.opt_dissim_inc(period, head.mindist))
+                    .fold(f64::INFINITY, f64::min);
+                if min_inc > tau {
+                    report.terminated_early = true;
+                    break;
+                }
+            }
+        }
+
+        let node = index.read_node(head.page)?;
+        report.nodes_visited += 1;
+        match node {
+            Node::Leaf { mut entries, .. } => {
+                report.leaves_visited += 1;
+                // Plane sweep over the leaf in temporal order (the TB-tree
+                // stores leaves temporally sorted already; the R-tree needs
+                // the sort — Figure 7, line 10).
+                entries.sort_by(|a, b| {
+                    a.segment
+                        .start()
+                        .t
+                        .total_cmp(&b.segment.start().t)
+                        .then(a.traj.cmp(&b.traj))
+                });
+                for e in entries {
+                    if rejected.contains(&e.traj) {
+                        continue;
+                    }
+                    let Some(window) = e.segment.time().intersect(period) else {
+                        continue;
+                    };
+                    if window.is_instant() {
+                        continue;
+                    }
+                    report.entries_matched += 1;
+                    let cand = valid
+                        .entry(e.traj)
+                        .or_insert_with(|| Candidate::new(e.traj, merge_eps));
+                    match_entry(&q, &e.segment, &window, config.integration, cand)?;
+
+                    if cand.is_complete(period) {
+                        let value = cand.value();
+                        valid.remove(&e.traj);
+                        completed.insert(e.traj, value);
+                        report.candidates_completed += 1;
+                        upper.update(e.traj, value.upper());
+                    } else {
+                        let pes = cand.pes_dissim(period, vmax);
+                        upper.update(e.traj, pes);
+                        if config.use_heuristic1 {
+                            let tau = upper.kth().min(ceiling);
+                            // The enclosure's safe side: OPTDISSIM already
+                            // folds the approximation error in (Section 4.4's
+                            // "PESDISSIM - ERR" discipline on the lower side).
+                            if cand.opt_dissim(period, vmax) > tau {
+                                valid.remove(&e.traj);
+                                rejected.insert(e.traj);
+                                report.candidates_rejected += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            Node::Internal { entries, .. } => {
+                for e in entries {
+                    if let Some(mindist) = trajectory_mbb_mindist(&q, &e.mbb, period) {
+                        heap.push(Reverse(QueueEntry {
+                            mindist,
+                            page: e.child,
+                        }));
+                    }
+                }
+            }
+        }
+    }
+
+    report.candidates_seen = completed.len() + valid.len() + rejected.len();
+    report.matches = finalize(
+        store,
+        &q,
+        period,
+        config,
+        completed,
+        &mut report.exact_recomputations,
+    )?;
+    Ok(report)
+}
+
+/// Matches one indexed segment against the query over `window`, feeding
+/// every co-temporal piece into the candidate.
+fn match_entry(
+    q: &Trajectory,
+    data_segment: &Segment,
+    window: &TimeInterval,
+    integration: Integration,
+    cand: &mut Candidate,
+) -> Result<()> {
+    let first = q
+        .segment_index_at(window.start())
+        .map_err(SearchError::Trajectory)?;
+    for i in first..q.num_segments() {
+        let q_seg = q.segment(i);
+        if q_seg.time().start() >= window.end() {
+            break;
+        }
+        let Some(sub) = q_seg.time().intersect(window) else {
+            continue;
+        };
+        if sub.is_instant() {
+            continue;
+        }
+        let qs = q_seg.clip(&sub).expect("positive-duration overlap");
+        let ds = data_segment.clip(&sub).expect("window within data segment");
+        let p = piece(&qs, &ds, integration)?;
+        cand.add_piece(&p);
+    }
+    Ok(())
+}
+
+/// Sorts the completed candidates, applies the exact post-processing of
+/// Section 4.4 when requested, and truncates to k.
+fn finalize(
+    store: &TrajectoryStore,
+    q: &Trajectory,
+    period: &TimeInterval,
+    config: &MstConfig,
+    completed: HashMap<TrajectoryId, Dissim>,
+    exact_recomputations: &mut usize,
+) -> Result<Vec<MstMatch>> {
+    let mut all: Vec<(TrajectoryId, Dissim)> = completed.into_iter().collect();
+    all.sort_by(|a, b| a.1.approx.total_cmp(&b.1.approx).then(a.0.cmp(&b.0)));
+    let ceiling = config.max_dissim.unwrap_or(f64::INFINITY);
+
+    let needs_exact =
+        config.error_management && config.integration == Integration::Trapezoid && !all.is_empty();
+    if !needs_exact {
+        return Ok(all
+            .into_iter()
+            .filter(|(_, d)| d.approx <= ceiling)
+            .take(config.k)
+            .map(|(traj, d)| MstMatch {
+                traj,
+                dissim: d.approx,
+            })
+            .collect());
+    }
+
+    // K upper-bounds the k-th smallest exact DISSIM; every candidate whose
+    // enclosure dips below K could still belong to the answer and gets the
+    // closed-form treatment.
+    let kth_idx = config.k.min(all.len()) - 1;
+    let cutoff = all[kth_idx].1.approx.min(ceiling);
+    let mut finalists: Vec<MstMatch> = Vec::new();
+    for (traj, d) in all {
+        if d.lower() <= cutoff {
+            let t = store
+                .get(traj)
+                .ok_or(SearchError::MissingTrajectory(traj))?;
+            let exact = dissim_exact(q, t, period)?;
+            *exact_recomputations += 1;
+            finalists.push(MstMatch {
+                traj,
+                dissim: exact,
+            });
+        }
+    }
+    finalists.retain(|m| m.dissim <= ceiling);
+    finalists.sort_by(|a, b| a.dissim.total_cmp(&b.dissim).then(a.traj.cmp(&b.traj)));
+    finalists.truncate(config.k);
+    Ok(finalists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_kmst;
+    use mst_index::{LeafEntry, Rtree3D, TbTree};
+
+    /// Builds a small deterministic dataset of horizontal movers at distinct
+    /// heights plus one weaving trajectory.
+    fn dataset() -> TrajectoryStore {
+        let mut trajs = Vec::new();
+        for i in 0..12 {
+            let y = f64::from(i) * 2.0;
+            let pts: Vec<(f64, f64, f64)> = (0..=20)
+                .map(|s| {
+                    let t = f64::from(s);
+                    (t, t * 0.8 + f64::from(i % 3) * 0.1, y)
+                })
+                .collect();
+            trajs.push(Trajectory::from_txy(&pts).unwrap());
+        }
+        // A weaving trajectory crossing several lanes.
+        let pts: Vec<(f64, f64, f64)> = (0..=20)
+            .map(|s| {
+                let t = f64::from(s);
+                (t, t * 0.8, (t * 0.9).sin() * 6.0 + 6.0)
+            })
+            .collect();
+        trajs.push(Trajectory::from_txy(&pts).unwrap());
+        TrajectoryStore::from_trajectories(trajs)
+    }
+
+    fn build_rtree(store: &TrajectoryStore) -> Rtree3D {
+        let mut idx = Rtree3D::new();
+        // Insert interleaved in temporal order, as a MOD would.
+        let mut entries: Vec<LeafEntry> = Vec::new();
+        for (id, t) in store.iter() {
+            for (seq, segment) in t.segments().enumerate() {
+                entries.push(LeafEntry {
+                    traj: id,
+                    seq: seq as u32,
+                    segment,
+                });
+            }
+        }
+        entries.sort_by(|a, b| a.segment.start().t.total_cmp(&b.segment.start().t));
+        for e in entries {
+            idx.insert(e).unwrap();
+        }
+        idx
+    }
+
+    fn build_tbtree(store: &TrajectoryStore) -> TbTree {
+        let mut idx = TbTree::new();
+        let mut entries: Vec<LeafEntry> = Vec::new();
+        for (id, t) in store.iter() {
+            for (seq, segment) in t.segments().enumerate() {
+                entries.push(LeafEntry {
+                    traj: id,
+                    seq: seq as u32,
+                    segment,
+                });
+            }
+        }
+        entries.sort_by(|a, b| a.segment.start().t.total_cmp(&b.segment.start().t));
+        for e in entries {
+            idx.insert(e).unwrap();
+        }
+        idx
+    }
+
+    fn query() -> Trajectory {
+        // Close to trajectory 2 (y = 4).
+        let pts: Vec<(f64, f64, f64)> = (0..=10)
+            .map(|s| {
+                let t = f64::from(s) * 2.0;
+                (t, t * 0.8 + 0.05, 4.3)
+            })
+            .collect();
+        Trajectory::from_txy(&pts).unwrap()
+    }
+
+    #[test]
+    fn matches_linear_scan_on_rtree() {
+        let store = dataset();
+        let mut idx = build_rtree(&store);
+        let period = TimeInterval::new(0.0, 20.0).unwrap();
+        let q = query();
+        for k in [1usize, 3, 5] {
+            let expected = scan_kmst(&store, &q, &period, k, Integration::Exact).unwrap();
+            let got = bfmst_search(&mut idx, &store, &q, &period, &MstConfig::k(k)).unwrap();
+            let e_ids: Vec<_> = expected.iter().map(|m| m.traj).collect();
+            let g_ids: Vec<_> = got.matches.iter().map(|m| m.traj).collect();
+            assert_eq!(e_ids, g_ids, "k={k}");
+            for (e, g) in expected.iter().zip(&got.matches) {
+                assert!((e.dissim - g.dissim).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_linear_scan_on_tbtree() {
+        let store = dataset();
+        let mut idx = build_tbtree(&store);
+        let period = TimeInterval::new(0.0, 20.0).unwrap();
+        let q = query();
+        let expected = scan_kmst(&store, &q, &period, 4, Integration::Exact).unwrap();
+        let got = bfmst_search(&mut idx, &store, &q, &period, &MstConfig::k(4)).unwrap();
+        let e_ids: Vec<_> = expected.iter().map(|m| m.traj).collect();
+        let g_ids: Vec<_> = got.matches.iter().map(|m| m.traj).collect();
+        assert_eq!(e_ids, g_ids);
+    }
+
+    #[test]
+    fn exact_mode_matches_scan_too() {
+        let store = dataset();
+        let mut idx = build_rtree(&store);
+        let period = TimeInterval::new(0.0, 20.0).unwrap();
+        let q = query();
+        let cfg = MstConfig {
+            k: 2,
+            integration: Integration::Exact,
+            error_management: false,
+            ..MstConfig::default()
+        };
+        let got = bfmst_search(&mut idx, &store, &q, &period, &cfg).unwrap();
+        let expected = scan_kmst(&store, &q, &period, 2, Integration::Exact).unwrap();
+        assert_eq!(
+            got.matches.iter().map(|m| m.traj).collect::<Vec<_>>(),
+            expected.iter().map(|m| m.traj).collect::<Vec<_>>()
+        );
+        assert_eq!(got.exact_recomputations, 0);
+    }
+
+    #[test]
+    fn subperiod_queries_agree_with_scan() {
+        let store = dataset();
+        let mut idx = build_rtree(&store);
+        let q = query();
+        for (a, b) in [(0.0, 5.0), (3.0, 11.0), (14.5, 20.0)] {
+            let period = TimeInterval::new(a, b).unwrap();
+            let expected = scan_kmst(&store, &q, &period, 3, Integration::Exact).unwrap();
+            let got = bfmst_search(&mut idx, &store, &q, &period, &MstConfig::k(3)).unwrap();
+            assert_eq!(
+                got.matches.iter().map(|m| m.traj).collect::<Vec<_>>(),
+                expected.iter().map(|m| m.traj).collect::<Vec<_>>(),
+                "period [{a}, {b}]"
+            );
+        }
+    }
+
+    #[test]
+    fn query_must_cover_period() {
+        let store = dataset();
+        let mut idx = build_rtree(&store);
+        let q = query();
+        let period = TimeInterval::new(0.0, 30.0).unwrap();
+        assert!(matches!(
+            bfmst_search(&mut idx, &store, &q, &period, &MstConfig::default()),
+            Err(SearchError::QueryOutsidePeriod { .. })
+        ));
+    }
+
+    #[test]
+    fn k_zero_and_empty_index() {
+        let store = dataset();
+        let mut idx = build_rtree(&store);
+        let q = query();
+        let period = TimeInterval::new(0.0, 20.0).unwrap();
+        let got = bfmst_search(&mut idx, &store, &q, &period, &MstConfig::k(0)).unwrap();
+        assert!(got.matches.is_empty());
+
+        let mut empty = Rtree3D::new();
+        let got = bfmst_search(&mut empty, &store, &q, &period, &MstConfig::k(2)).unwrap();
+        assert!(got.matches.is_empty());
+        assert_eq!(got.nodes_visited, 0);
+    }
+
+    #[test]
+    fn heuristics_prune_without_changing_the_answer() {
+        let store = dataset();
+        let period = TimeInterval::new(0.0, 20.0).unwrap();
+        let q = query();
+
+        let mut idx_full = build_rtree(&store);
+        let no_heuristics = MstConfig {
+            use_heuristic1: false,
+            use_heuristic2: false,
+            ..MstConfig::k(2)
+        };
+        let baseline = bfmst_search(&mut idx_full, &store, &q, &period, &no_heuristics).unwrap();
+
+        let mut idx = build_rtree(&store);
+        let pruned = bfmst_search(&mut idx, &store, &q, &period, &MstConfig::k(2)).unwrap();
+
+        assert_eq!(
+            baseline.matches.iter().map(|m| m.traj).collect::<Vec<_>>(),
+            pruned.matches.iter().map(|m| m.traj).collect::<Vec<_>>()
+        );
+        assert!(pruned.nodes_visited <= baseline.nodes_visited);
+    }
+
+    #[test]
+    fn self_query_returns_itself_with_zero_dissim() {
+        let store = dataset();
+        let mut idx = build_rtree(&store);
+        let period = TimeInterval::new(0.0, 20.0).unwrap();
+        let q = store.get(TrajectoryId(5)).unwrap().clone();
+        let got = bfmst_search(&mut idx, &store, &q, &period, &MstConfig::k(1)).unwrap();
+        assert_eq!(got.matches[0].traj, TrajectoryId(5));
+        assert!(got.matches[0].dissim.abs() < 1e-9);
+    }
+}

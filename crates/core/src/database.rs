@@ -1,0 +1,333 @@
+//! A small moving-object-database facade tying the pieces together: raw
+//! position streams in, every query flavour out of one structure.
+//!
+//! The paper's point is that a MOD should *not* need a dedicated similarity
+//! index — the R-tree-like structure it already keeps for range and
+//! nearest-neighbour queries also serves k-MST search. The
+//! [`MovingObjectDatabase`] makes that concrete: it ingests timestamped
+//! positions (or whole trajectories), maintains the segment index and the
+//! trajectory store in lockstep, and exposes range, point-kNN, k-MST,
+//! range-MST, and time-relaxed MST queries over the same data.
+
+use std::collections::{HashMap, HashSet};
+
+use mst_index::{knn_segments, KnnMatch, LeafEntry, Rtree3D, TbTree, TrajectoryIndexWrite};
+use mst_trajectory::{Mbb, Point, SamplePoint, Segment, TimeInterval, Trajectory, TrajectoryId};
+
+use crate::bfmst::{bfmst_search, MstConfig};
+use crate::nn::{nearest_trajectories, NnMatch};
+use crate::time_relaxed::{time_relaxed_kmst, TimeRelaxedConfig, TimeRelaxedMatch};
+use crate::{MstMatch, Result, SearchError, TrajectoryStore};
+
+/// A moving-object database: trajectory storage plus one general-purpose
+/// segment index answering every query type.
+///
+/// ```
+/// use mst_search::MovingObjectDatabase;
+/// use mst_trajectory::{SamplePoint, TimeInterval, TrajectoryId};
+///
+/// let mut db = MovingObjectDatabase::with_rtree();
+/// // Stream position reports for two vehicles.
+/// for i in 0..20 {
+///     let t = f64::from(i);
+///     db.append(TrajectoryId(0), SamplePoint::new(t, t, 0.0))?;
+///     db.append(TrajectoryId(1), SamplePoint::new(t, t, 5.0))?;
+/// }
+/// let period = TimeInterval::new(0.0, 19.0)?;
+/// let query = db.trajectory(TrajectoryId(0)).unwrap().clone();
+/// let top = db.most_similar(&query, &period, 2)?;
+/// assert_eq!(top[0].traj, TrajectoryId(0)); // itself, DISSIM 0
+/// assert_eq!(top[1].traj, TrajectoryId(1)); // the parallel vehicle
+/// # Ok::<(), mst_search::SearchError>(())
+/// ```
+pub struct MovingObjectDatabase<I: TrajectoryIndexWrite> {
+    index: I,
+    /// Raw sample streams, per object.
+    samples: HashMap<TrajectoryId, Vec<SamplePoint>>,
+    /// Materialized trajectory snapshot used by queries.
+    store: TrajectoryStore,
+    /// Objects whose snapshot is stale.
+    dirty: HashSet<TrajectoryId>,
+}
+
+impl MovingObjectDatabase<Rtree3D> {
+    /// A MOD backed by a 3D R-tree.
+    pub fn with_rtree() -> Self {
+        MovingObjectDatabase::new(Rtree3D::new())
+    }
+}
+
+impl MovingObjectDatabase<TbTree> {
+    /// A MOD backed by a TB-tree. Positions of each object must arrive in
+    /// temporal order (they do in a live feed).
+    pub fn with_tbtree() -> Self {
+        MovingObjectDatabase::new(TbTree::new())
+    }
+}
+
+impl<I: TrajectoryIndexWrite> MovingObjectDatabase<I> {
+    /// Wraps an existing (possibly pre-loaded) index.
+    pub fn new(index: I) -> Self {
+        MovingObjectDatabase {
+            index,
+            samples: HashMap::new(),
+            store: TrajectoryStore::new(),
+            dirty: HashSet::new(),
+        }
+    }
+
+    /// Ingests one position report. The second and every later report of an
+    /// object adds a segment to the index immediately.
+    pub fn append(&mut self, id: TrajectoryId, sample: SamplePoint) -> Result<()> {
+        if !sample.is_finite() {
+            return Err(SearchError::Trajectory(
+                mst_trajectory::TrajectoryError::NonFinite { index: 0 },
+            ));
+        }
+        let stream = self.samples.entry(id).or_default();
+        if let Some(last) = stream.last() {
+            if last.t >= sample.t {
+                return Err(SearchError::Trajectory(
+                    mst_trajectory::TrajectoryError::NonMonotonicTime {
+                        index: stream.len(),
+                        prev: last.t,
+                        next: sample.t,
+                    },
+                ));
+            }
+            let segment = Segment::new(*last, sample)?;
+            self.index.insert_entry(LeafEntry {
+                traj: id,
+                seq: (stream.len() - 1) as u32,
+                segment,
+            })?;
+        }
+        stream.push(sample);
+        self.dirty.insert(id);
+        Ok(())
+    }
+
+    /// Ingests a whole trajectory at once.
+    pub fn insert_trajectory(&mut self, id: TrajectoryId, trajectory: &Trajectory) -> Result<()> {
+        for p in trajectory.points() {
+            self.append(id, *p)?;
+        }
+        Ok(())
+    }
+
+    /// Number of tracked objects.
+    pub fn num_objects(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Number of indexed segments.
+    pub fn num_segments(&self) -> u64 {
+        self.index.num_entries()
+    }
+
+    /// Read access to the underlying index (statistics, persistence, ...).
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    /// Mutable access to the underlying index.
+    pub fn index_mut(&mut self) -> &mut I {
+        &mut self.index
+    }
+
+    /// Refreshes the trajectory snapshot for every dirty object. Objects
+    /// with fewer than two samples are not yet query-visible.
+    fn materialize(&mut self) {
+        for id in self.dirty.drain() {
+            let stream = &self.samples[&id];
+            if stream.len() >= 2 {
+                let t = Trajectory::new(stream.clone())
+                    .expect("append() maintains the trajectory invariants");
+                self.store.insert(id, t);
+            }
+        }
+    }
+
+    /// The current trajectory of an object (`None` until it has two
+    /// samples).
+    pub fn trajectory(&mut self, id: TrajectoryId) -> Option<&Trajectory> {
+        self.materialize();
+        self.store.get(id)
+    }
+
+    /// Classic 3D range query: all segments intersecting the window.
+    pub fn range(&mut self, window: &Mbb) -> Result<Vec<LeafEntry>> {
+        Ok(self.index.range_query(window)?)
+    }
+
+    /// Point k-nearest-neighbour query: the k segments that came closest to
+    /// `location` during `window`.
+    pub fn nearest_segments(
+        &mut self,
+        location: Point,
+        window: &TimeInterval,
+        k: usize,
+    ) -> Result<Vec<KnnMatch>> {
+        Ok(knn_segments(&mut self.index, location, window, k)?)
+    }
+
+    /// Moving-query nearest neighbours: the k trajectories whose closest
+    /// approach to `query` during `period` is smallest.
+    pub fn nearest_trajectories(
+        &mut self,
+        query: &Trajectory,
+        period: &TimeInterval,
+        k: usize,
+    ) -> Result<Vec<NnMatch>> {
+        self.materialize();
+        nearest_trajectories(&mut self.index, query, period, k)
+    }
+
+    /// k-MST query with the paper's default configuration.
+    pub fn most_similar(
+        &mut self,
+        query: &Trajectory,
+        period: &TimeInterval,
+        k: usize,
+    ) -> Result<Vec<MstMatch>> {
+        self.most_similar_with(query, period, &MstConfig::k(k))
+    }
+
+    /// k-MST query with full configuration control.
+    pub fn most_similar_with(
+        &mut self,
+        query: &Trajectory,
+        period: &TimeInterval,
+        config: &MstConfig,
+    ) -> Result<Vec<MstMatch>> {
+        self.materialize();
+        let report = bfmst_search(&mut self.index, &self.store, query, period, config)?;
+        Ok(report.matches)
+    }
+
+    /// Range-MST query: up to `limit` trajectories with DISSIM at most
+    /// `theta`.
+    pub fn within_dissim(
+        &mut self,
+        query: &Trajectory,
+        period: &TimeInterval,
+        theta: f64,
+        limit: usize,
+    ) -> Result<Vec<MstMatch>> {
+        self.most_similar_with(query, period, &MstConfig::within(limit, theta))
+    }
+
+    /// Time-relaxed k-MST query (shift-minimized DISSIM).
+    pub fn most_similar_time_relaxed(
+        &mut self,
+        query: &Trajectory,
+        config: &TimeRelaxedConfig,
+    ) -> Result<Vec<TimeRelaxedMatch>> {
+        self.materialize();
+        time_relaxed_kmst(&self.store, query, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed<I: TrajectoryIndexWrite>(db: &mut MovingObjectDatabase<I>, id: u64, y: f64, n: usize) {
+        for i in 0..n {
+            let t = i as f64;
+            db.append(TrajectoryId(id), SamplePoint::new(t, t * 0.5, y))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn streaming_ingest_builds_queryable_state() {
+        let mut db = MovingObjectDatabase::with_rtree();
+        for id in 0..6u64 {
+            feed(&mut db, id, id as f64, 50);
+        }
+        assert_eq!(db.num_objects(), 6);
+        assert_eq!(db.num_segments(), 6 * 49);
+        let period = TimeInterval::new(0.0, 49.0).unwrap();
+        let q = db.trajectory(TrajectoryId(2)).unwrap().clone();
+        let top = db.most_similar(&q, &period, 3).unwrap();
+        assert_eq!(top[0].traj, TrajectoryId(2));
+        assert!(top[0].dissim.abs() < 1e-9);
+        assert_eq!(top.len(), 3);
+    }
+
+    #[test]
+    fn all_query_flavours_work_on_one_database() {
+        let mut db = MovingObjectDatabase::with_tbtree();
+        for id in 0..5u64 {
+            feed(&mut db, id, id as f64 * 2.0, 40);
+        }
+        // Range.
+        let hits = db.range(&Mbb::new(0.0, -0.5, 0.0, 5.0, 0.5, 40.0)).unwrap();
+        assert!(hits.iter().all(|e| e.traj == TrajectoryId(0)));
+        assert!(!hits.is_empty());
+        // Point kNN.
+        let window = TimeInterval::new(0.0, 39.0).unwrap();
+        let nn = db
+            .nearest_segments(Point::new(5.0, 4.1), &window, 2)
+            .unwrap();
+        assert_eq!(nn[0].entry.traj, TrajectoryId(2)); // y = 4
+                                                       // Range-MST.
+        let q = db.trajectory(TrajectoryId(1)).unwrap().clone();
+        let within = db.within_dissim(&q, &window, 39.0 * 2.0 + 1.0, 10).unwrap();
+        // Itself (0), plus the neighbours at distance 2 (dissim 78 <= 79).
+        let ids: Vec<_> = within.iter().map(|m| m.traj).collect();
+        assert!(ids.contains(&TrajectoryId(1)));
+        assert!(ids.contains(&TrajectoryId(0)));
+        assert!(ids.contains(&TrajectoryId(2)));
+        assert_eq!(within.len(), 3);
+        // Time-relaxed.
+        let relaxed = db
+            .most_similar_time_relaxed(&q, &TimeRelaxedConfig::k(1))
+            .unwrap();
+        assert_eq!(relaxed[0].traj, TrajectoryId(1));
+    }
+
+    #[test]
+    fn rejects_out_of_order_and_non_finite_samples() {
+        let mut db = MovingObjectDatabase::with_rtree();
+        db.append(TrajectoryId(0), SamplePoint::new(5.0, 0.0, 0.0))
+            .unwrap();
+        assert!(db
+            .append(TrajectoryId(0), SamplePoint::new(5.0, 1.0, 0.0))
+            .is_err());
+        assert!(db
+            .append(TrajectoryId(0), SamplePoint::new(6.0, f64::NAN, 0.0))
+            .is_err());
+        // A different object is unaffected.
+        db.append(TrajectoryId(1), SamplePoint::new(0.0, 0.0, 0.0))
+            .unwrap();
+    }
+
+    #[test]
+    fn single_sample_objects_are_not_query_visible() {
+        let mut db = MovingObjectDatabase::with_rtree();
+        db.append(TrajectoryId(0), SamplePoint::new(0.0, 0.0, 0.0))
+            .unwrap();
+        assert!(db.trajectory(TrajectoryId(0)).is_none());
+        assert_eq!(db.num_segments(), 0);
+        feed(&mut db, 1, 1.0, 30);
+        let period = TimeInterval::new(0.0, 29.0).unwrap();
+        let q = db.trajectory(TrajectoryId(1)).unwrap().clone();
+        let top = db.most_similar(&q, &period, 5).unwrap();
+        // Only object 1 qualifies.
+        assert_eq!(top.len(), 1);
+    }
+
+    #[test]
+    fn incremental_appends_extend_existing_objects() {
+        let mut db = MovingObjectDatabase::with_rtree();
+        feed(&mut db, 0, 0.0, 10);
+        let before = db.trajectory(TrajectoryId(0)).unwrap().num_points();
+        db.append(TrajectoryId(0), SamplePoint::new(100.0, 50.0, 0.0))
+            .unwrap();
+        let after = db.trajectory(TrajectoryId(0)).unwrap().num_points();
+        assert_eq!(after, before + 1);
+        assert_eq!(db.num_segments(), 10);
+    }
+}

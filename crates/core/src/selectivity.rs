@@ -1,0 +1,323 @@
+//! Selectivity estimation for DISSIM predicates — the paper's second
+//! future-work direction ("development of selectivity estimation formulae
+//! for query optimization purposes").
+//!
+//! A query optimizer deciding between a BFMST traversal and a plain scan
+//! wants a cheap estimate of how many trajectories satisfy
+//! `DISSIM(Q, T) <= theta` *before* running anything. This module provides
+//! two estimators:
+//!
+//! * [`estimate_selectivity`] — uniform sampling without replacement: draw
+//!   `sample_size` covering trajectories, evaluate DISSIM exactly, report
+//!   the hit fraction with its standard error (hypergeometric-corrected).
+//! * [`SelectivityHistogram`] — a precomputed equi-width histogram of the
+//!   DISSIM distribution against a set of *pivot* trajectories, answering
+//!   estimates in O(buckets) per query without touching the dataset. This
+//!   trades accuracy for amortization, the classic optimizer-statistics
+//!   trade-off.
+//!
+//! Both estimators are deterministic given their seed.
+
+use mst_trajectory::{TimeInterval, Trajectory};
+
+use crate::dissim::dissim_exact;
+use crate::{Result, TrajectoryStore};
+
+/// A sampled selectivity estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectivityEstimate {
+    /// Estimated fraction of covering trajectories with `DISSIM <= theta`.
+    pub fraction: f64,
+    /// Standard error of the fraction (finite-population corrected).
+    pub std_err: f64,
+    /// Trajectories actually evaluated.
+    pub sample_size: usize,
+    /// Size of the candidate population (trajectories covering the period).
+    pub population: usize,
+}
+
+impl SelectivityEstimate {
+    /// The estimated result cardinality.
+    pub fn cardinality(&self) -> f64 {
+        self.fraction * self.population as f64
+    }
+}
+
+/// Minimal deterministic PRNG (splitmix64) so the estimator needs no RNG
+/// dependency and stays reproducible.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Estimates the selectivity of `DISSIM(query, ·) <= theta` over `period`
+/// by exact evaluation on a uniform sample (without replacement) of the
+/// covering trajectories.
+pub fn estimate_selectivity(
+    store: &TrajectoryStore,
+    query: &Trajectory,
+    period: &TimeInterval,
+    theta: f64,
+    sample_size: usize,
+    seed: u64,
+) -> Result<SelectivityEstimate> {
+    let candidates: Vec<&Trajectory> = store.covering(period).map(|(_, t)| t).collect();
+    let population = candidates.len();
+    if population == 0 || sample_size == 0 {
+        return Ok(SelectivityEstimate {
+            fraction: 0.0,
+            std_err: 0.0,
+            sample_size: 0,
+            population,
+        });
+    }
+    // Partial Fisher–Yates for sampling without replacement.
+    let n = sample_size.min(population);
+    let mut indices: Vec<usize> = (0..population).collect();
+    let mut rng = SplitMix64(seed ^ 0x5E1EC7);
+    let mut hits = 0usize;
+    for i in 0..n {
+        let j = i + rng.below(population - i);
+        indices.swap(i, j);
+        let d = dissim_exact(query, candidates[indices[i]], period)?;
+        if d <= theta {
+            hits += 1;
+        }
+    }
+    let fraction = hits as f64 / n as f64;
+    // Finite-population-corrected standard error of a proportion.
+    let fpc = if population > 1 {
+        ((population - n) as f64 / (population - 1) as f64).max(0.0)
+    } else {
+        0.0
+    };
+    let std_err = (fraction * (1.0 - fraction) / n as f64 * fpc).sqrt();
+    Ok(SelectivityEstimate {
+        fraction,
+        std_err,
+        sample_size: n,
+        population,
+    })
+}
+
+/// Optimizer statistics: an equi-width histogram of DISSIM values between
+/// dataset trajectories and a small pivot set, built once and queried in
+/// O(buckets).
+///
+/// The estimate for a fresh query uses the pivot whose DISSIM distribution
+/// the query most plausibly shares — the pivot *closest to the query* — and
+/// reads the cumulative frequency at `theta`. Coarse by construction, but
+/// it never touches the dataset at estimation time.
+#[derive(Debug, Clone)]
+pub struct SelectivityHistogram {
+    period: TimeInterval,
+    pivots: Vec<Trajectory>,
+    /// Per pivot: bucket upper bounds (equi-width) and cumulative counts.
+    buckets: Vec<Vec<(f64, usize)>>,
+    population: usize,
+}
+
+impl SelectivityHistogram {
+    /// Builds statistics from `num_pivots` sampled pivot trajectories and
+    /// `num_buckets` equi-width buckets per pivot.
+    pub fn build(
+        store: &TrajectoryStore,
+        period: &TimeInterval,
+        num_pivots: usize,
+        num_buckets: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        assert!(num_buckets >= 1, "need at least one bucket");
+        let candidates: Vec<&Trajectory> = store.covering(period).map(|(_, t)| t).collect();
+        let population = candidates.len();
+        let mut rng = SplitMix64(seed ^ 0x4157_0001);
+        let mut pivots = Vec::new();
+        let mut buckets = Vec::new();
+        if population == 0 {
+            return Ok(SelectivityHistogram {
+                period: *period,
+                pivots,
+                buckets,
+                population,
+            });
+        }
+        for _ in 0..num_pivots.max(1).min(population) {
+            let pivot = candidates[rng.below(population)].clip(period)?;
+            let mut dists = Vec::with_capacity(population);
+            for t in &candidates {
+                dists.push(dissim_exact(&pivot, t, period)?);
+            }
+            let max = dists.iter().copied().fold(0.0, f64::max).max(1e-12);
+            let width = max / num_buckets as f64;
+            let mut counts = vec![0usize; num_buckets];
+            for d in &dists {
+                let b = ((d / width) as usize).min(num_buckets - 1);
+                counts[b] += 1;
+            }
+            let mut cumulative = Vec::with_capacity(num_buckets);
+            let mut acc = 0usize;
+            for (i, c) in counts.iter().enumerate() {
+                acc += c;
+                cumulative.push(((i + 1) as f64 * width, acc));
+            }
+            pivots.push(pivot);
+            buckets.push(cumulative);
+        }
+        Ok(SelectivityHistogram {
+            period: *period,
+            pivots,
+            buckets,
+            population,
+        })
+    }
+
+    /// Number of trajectories the statistics cover.
+    pub fn population(&self) -> usize {
+        self.population
+    }
+
+    /// Estimates the fraction of trajectories with `DISSIM(query, ·) <=
+    /// theta`, using the pivot nearest to the query (by DISSIM) and linear
+    /// interpolation inside its histogram bucket.
+    pub fn estimate(&self, query: &Trajectory, theta: f64) -> Result<f64> {
+        if self.population == 0 || self.pivots.is_empty() {
+            return Ok(0.0);
+        }
+        // Nearest pivot.
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, p) in self.pivots.iter().enumerate() {
+            let d = dissim_exact(query, p, &self.period)?;
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        // Shift the threshold by the query-to-pivot distance: by the
+        // triangle inequality, DISSIM(Q, T) <= theta implies
+        // DISSIM(P, T) <= theta + DISSIM(Q, P).
+        let shifted = theta + best_d;
+        let hist = &self.buckets[best];
+        let total = self.population as f64;
+        let mut prev_bound = 0.0;
+        let mut prev_count = 0usize;
+        for &(bound, count) in hist {
+            if shifted <= bound {
+                let inside = (shifted - prev_bound) / (bound - prev_bound).max(1e-300);
+                let interp = prev_count as f64 + inside * (count - prev_count) as f64;
+                return Ok((interp / total).clamp(0.0, 1.0));
+            }
+            prev_bound = bound;
+            prev_count = count;
+        }
+        Ok(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_kmst;
+    use crate::Integration;
+    use mst_trajectory::TrajectoryId;
+
+    fn lanes(n: usize) -> TrajectoryStore {
+        TrajectoryStore::from_trajectories(
+            (0..n)
+                .map(|i| {
+                    let y = i as f64;
+                    Trajectory::from_txy(&[(0.0, 0.0, y), (10.0, 10.0, y)]).unwrap()
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn full_sample_is_exact() {
+        let store = lanes(30);
+        let period = TimeInterval::new(0.0, 10.0).unwrap();
+        let q = store.get(TrajectoryId(10)).unwrap().clone();
+        // theta = 25 covers lanes within distance 2.5: lanes 8..=12 -> 5.
+        let est = estimate_selectivity(&store, &q, &period, 25.0, 1000, 1).unwrap();
+        assert_eq!(est.sample_size, 30);
+        assert!((est.fraction - 5.0 / 30.0).abs() < 1e-12);
+        assert_eq!(est.std_err, 0.0); // full census
+        assert!((est.cardinality() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_sample_is_close_and_bounded() {
+        let store = lanes(200);
+        let period = TimeInterval::new(0.0, 10.0).unwrap();
+        let q = store.get(TrajectoryId(100)).unwrap().clone();
+        // True fraction for theta = 105: lanes within 10.5 -> 21 of 200.
+        let truth = 21.0 / 200.0;
+        let est = estimate_selectivity(&store, &q, &period, 105.0, 60, 7).unwrap();
+        assert_eq!(est.sample_size, 60);
+        assert!(
+            (est.fraction - truth).abs() <= 4.0 * est.std_err + 1e-9,
+            "fraction {} truth {truth} stderr {}",
+            est.fraction,
+            est.std_err
+        );
+    }
+
+    #[test]
+    fn empty_population_and_zero_sample() {
+        let store = lanes(5);
+        let late = TimeInterval::new(100.0, 110.0).unwrap();
+        let q = Trajectory::from_txy(&[(100.0, 0.0, 0.0), (110.0, 1.0, 0.0)]).unwrap();
+        let est = estimate_selectivity(&store, &q, &late, 10.0, 10, 3).unwrap();
+        assert_eq!(est.population, 0);
+        assert_eq!(est.cardinality(), 0.0);
+        let period = TimeInterval::new(0.0, 10.0).unwrap();
+        let q2 = store.get(TrajectoryId(0)).unwrap().clone();
+        let est2 = estimate_selectivity(&store, &q2, &period, 10.0, 0, 3).unwrap();
+        assert_eq!(est2.sample_size, 0);
+    }
+
+    #[test]
+    fn histogram_estimates_are_sane_overestimates() {
+        let store = lanes(100);
+        let period = TimeInterval::new(0.0, 10.0).unwrap();
+        let hist = SelectivityHistogram::build(&store, &period, 4, 32, 11).unwrap();
+        assert_eq!(hist.population(), 100);
+        let q = store.get(TrajectoryId(50)).unwrap().clone();
+        // For theta covering ~11 lanes, the histogram (which shifts the
+        // threshold conservatively by the pivot distance) must not
+        // underestimate wildly and must stay in [0, 1].
+        let est = hist.estimate(&q, 55.0).unwrap();
+        let truth = 11.0 / 100.0;
+        assert!((0.0..=1.0).contains(&est));
+        assert!(est >= truth * 0.5, "est {est} truth {truth}");
+        // Monotone in theta.
+        let lo = hist.estimate(&q, 5.0).unwrap();
+        let hi = hist.estimate(&q, 500.0).unwrap();
+        assert!(lo <= est && est <= hi);
+        assert!((hi - 1.0).abs() < 1e-9 || hi <= 1.0);
+    }
+
+    #[test]
+    fn estimator_agrees_with_kmst_derived_truth() {
+        // Cross-check against scan_kmst: the number of matches below theta.
+        let store = lanes(40);
+        let period = TimeInterval::new(0.0, 10.0).unwrap();
+        let q = store.get(TrajectoryId(5)).unwrap().clone();
+        let theta = 72.0;
+        let all = scan_kmst(&store, &q, &period, 40, Integration::Exact).unwrap();
+        let truth = all.iter().filter(|m| m.dissim <= theta).count();
+        let est = estimate_selectivity(&store, &q, &period, theta, 40, 5).unwrap();
+        assert_eq!(est.cardinality().round() as usize, truth);
+    }
+}

@@ -1,0 +1,150 @@
+//! The pruning-threshold tracker of the k-MST search.
+//!
+//! The BFMST algorithm prunes against the dissimilarity of the current k-th
+//! most similar candidate, where a candidate's key is its exact/approximate
+//! DISSIM when completed or its PESDISSIM while partial (Section 4.3). Both
+//! are *upper bounds* on the candidate's true dissimilarity, so the k-th
+//! smallest key over all seen candidates upper-bounds the k-th smallest true
+//! DISSIM over the whole dataset — the soundness fact both heuristics rest
+//! on.
+//!
+//! Keys only ever improve (PESDISSIM shrinks as pieces arrive; a completed
+//! DISSIM replaces it), so the threshold is monotonically non-increasing and
+//! can be cached: a recomputation is needed only when a key drops below the
+//! cached threshold.
+
+use std::collections::HashMap;
+
+use mst_trajectory::TrajectoryId;
+
+/// Tracks the best-known upper key of every candidate and serves the k-th
+/// smallest key as the pruning threshold.
+#[derive(Debug)]
+pub struct UpperKeys {
+    k: usize,
+    keys: HashMap<TrajectoryId, f64>,
+    cached_kth: f64,
+    dirty: bool,
+}
+
+impl UpperKeys {
+    /// Creates a tracker for a k-MST query (`k >= 1`).
+    pub fn new(k: usize) -> Self {
+        UpperKeys {
+            k: k.max(1),
+            keys: HashMap::new(),
+            cached_kth: f64::INFINITY,
+            dirty: false,
+        }
+    }
+
+    /// Number of candidates with a finite key.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no candidate has a finite key yet.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Records `key` as candidate `id`'s current upper bound. Ignores
+    /// non-finite keys and keys worse than the already-recorded one (keys
+    /// must only improve).
+    pub fn update(&mut self, id: TrajectoryId, key: f64) {
+        if !key.is_finite() {
+            return;
+        }
+        let entry = self.keys.entry(id).or_insert(f64::INFINITY);
+        if key < *entry {
+            *entry = key;
+            // The threshold can only change if this key undercuts it.
+            if key < self.cached_kth {
+                self.dirty = true;
+            }
+        }
+    }
+
+    /// The current pruning threshold: the k-th smallest recorded key, or
+    /// `+inf` while fewer than `k` candidates have keys.
+    pub fn kth(&mut self) -> f64 {
+        if self.dirty {
+            self.cached_kth = if self.keys.len() < self.k {
+                f64::INFINITY
+            } else {
+                let mut vals: Vec<f64> = self.keys.values().copied().collect();
+                let (_, kth, _) = vals.select_nth_unstable_by(self.k - 1, f64::total_cmp);
+                *kth
+            };
+            self.dirty = false;
+        }
+        self.cached_kth
+    }
+
+    /// The recorded key of a candidate.
+    pub fn key_of(&self, id: TrajectoryId) -> Option<f64> {
+        self.keys.get(&id).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> TrajectoryId {
+        TrajectoryId(n)
+    }
+
+    #[test]
+    fn threshold_is_infinite_below_k_candidates() {
+        let mut u = UpperKeys::new(3);
+        u.update(id(1), 5.0);
+        u.update(id(2), 7.0);
+        assert_eq!(u.kth(), f64::INFINITY);
+        u.update(id(3), 6.0);
+        assert_eq!(u.kth(), 7.0);
+    }
+
+    #[test]
+    fn threshold_tracks_kth_smallest() {
+        let mut u = UpperKeys::new(2);
+        u.update(id(1), 10.0);
+        u.update(id(2), 20.0);
+        u.update(id(3), 30.0);
+        assert_eq!(u.kth(), 20.0);
+        // A new candidate undercutting the threshold moves it.
+        u.update(id(4), 5.0);
+        assert_eq!(u.kth(), 10.0);
+        // Improving an existing candidate's key.
+        u.update(id(2), 1.0);
+        assert_eq!(u.kth(), 5.0);
+    }
+
+    #[test]
+    fn worse_keys_are_ignored() {
+        let mut u = UpperKeys::new(1);
+        u.update(id(1), 3.0);
+        u.update(id(1), 8.0); // regression attempt
+        assert_eq!(u.kth(), 3.0);
+        assert_eq!(u.key_of(id(1)), Some(3.0));
+    }
+
+    #[test]
+    fn non_finite_keys_are_ignored() {
+        let mut u = UpperKeys::new(1);
+        u.update(id(1), f64::INFINITY);
+        u.update(id(2), f64::NAN);
+        assert!(u.is_empty());
+        assert_eq!(u.kth(), f64::INFINITY);
+    }
+
+    #[test]
+    fn k1_threshold_is_minimum() {
+        let mut u = UpperKeys::new(1);
+        for (i, v) in [9.0, 4.0, 6.0, 2.0, 8.0].iter().enumerate() {
+            u.update(id(i as u64), *v);
+        }
+        assert_eq!(u.kth(), 2.0);
+        assert_eq!(u.len(), 5);
+    }
+}

@@ -1,0 +1,260 @@
+//! Plain-text dataset interchange.
+//!
+//! Real trajectory datasets (the Trucks data the paper used came as text
+//! files from the R-tree portal) are flat sample lists. This module reads
+//! and writes that shape:
+//!
+//! ```text
+//! # anything after '#' is a comment; blank lines are ignored
+//! # one sample per line: <trajectory id> <t> <x> <y>
+//! 0 0.0 12.5 7.25
+//! 0 30.0 13.1 7.9
+//! 1 0.0 -3.0 2.0
+//! ...
+//! ```
+//!
+//! Samples of one trajectory must appear in temporal order; trajectories
+//! may interleave (files sorted by time work as well as files sorted by
+//! id). Floating-point values are written with full round-trip precision.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use mst_trajectory::{SamplePoint, Trajectory, TrajectoryBuilder, TrajectoryId};
+
+/// Errors raised while reading a dataset file.
+#[derive(Debug)]
+pub enum DatasetIoError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A line did not parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A trajectory was invalid as a whole (e.g. only one sample).
+    BadTrajectory {
+        /// The offending trajectory.
+        id: TrajectoryId,
+        /// The underlying validation error.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DatasetIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetIoError::Io(e) => write!(f, "I/O error: {e}"),
+            DatasetIoError::Parse { line, reason } => write!(f, "line {line}: {reason}"),
+            DatasetIoError::BadTrajectory { id, reason } => {
+                write!(f, "trajectory {id}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetIoError {}
+
+impl From<std::io::Error> for DatasetIoError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetIoError::Io(e)
+    }
+}
+
+/// Writes a dataset as `id t x y` lines (with a descriptive header).
+pub fn write_dataset<W: Write>(
+    mut w: W,
+    trajectories: impl IntoIterator<Item = (TrajectoryId, impl std::borrow::Borrow<Trajectory>)>,
+) -> Result<(), DatasetIoError> {
+    writeln!(w, "# mst trajectory dataset: <id> <t> <x> <y> per line")?;
+    for (id, t) in trajectories {
+        for p in t.borrow().points() {
+            writeln!(w, "{} {} {} {}", id.0, p.t, p.x, p.y)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a dataset written by [`write_dataset`] (or hand-assembled in the
+/// same shape). Returns `(id, trajectory)` pairs ordered by first
+/// appearance in the file.
+pub fn read_dataset<R: BufRead>(r: R) -> Result<Vec<(TrajectoryId, Trajectory)>, DatasetIoError> {
+    let mut builders: Vec<(TrajectoryId, TrajectoryBuilder)> = Vec::new();
+    let mut slots: HashMap<TrajectoryId, usize> = HashMap::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let content = line.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut fields = content.split_whitespace();
+        let mut next_field = |name: &str| {
+            fields.next().ok_or_else(|| DatasetIoError::Parse {
+                line: lineno + 1,
+                reason: format!("missing field <{name}>"),
+            })
+        };
+        let id: u64 = next_field("id")?
+            .parse()
+            .map_err(|e| DatasetIoError::Parse {
+                line: lineno + 1,
+                reason: format!("bad id: {e}"),
+            })?;
+        let mut num = |name: &str| -> Result<f64, DatasetIoError> {
+            next_field(name)?
+                .parse()
+                .map_err(|e| DatasetIoError::Parse {
+                    line: lineno + 1,
+                    reason: format!("bad {name}: {e}"),
+                })
+        };
+        let (t, x, y) = (num("t")?, num("x")?, num("y")?);
+        if fields.next().is_some() {
+            return Err(DatasetIoError::Parse {
+                line: lineno + 1,
+                reason: "trailing fields after <y>".into(),
+            });
+        }
+        let id = TrajectoryId(id);
+        let slot = *slots.entry(id).or_insert_with(|| {
+            builders.push((id, TrajectoryBuilder::new()));
+            builders.len() - 1
+        });
+        builders[slot]
+            .1
+            .push(SamplePoint::new(t, x, y))
+            .map_err(|e| DatasetIoError::Parse {
+                line: lineno + 1,
+                reason: e.to_string(),
+            })?;
+    }
+    builders
+        .into_iter()
+        .map(|(id, b)| {
+            b.build()
+                .map(|t| (id, t))
+                .map_err(|e| DatasetIoError::BadTrajectory {
+                    id,
+                    reason: e.to_string(),
+                })
+        })
+        .collect()
+}
+
+/// Saves a dataset to a file.
+pub fn save_to_path<P: AsRef<std::path::Path>>(
+    path: P,
+    trajectories: impl IntoIterator<Item = (TrajectoryId, impl std::borrow::Borrow<Trajectory>)>,
+) -> Result<(), DatasetIoError> {
+    let file = std::fs::File::create(path)?;
+    write_dataset(std::io::BufWriter::new(file), trajectories)
+}
+
+/// Loads a dataset from a file.
+pub fn load_from_path<P: AsRef<std::path::Path>>(
+    path: P,
+) -> Result<Vec<(TrajectoryId, Trajectory)>, DatasetIoError> {
+    let file = std::fs::File::open(path)?;
+    read_dataset(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GstdConfig;
+
+    #[test]
+    fn roundtrip_preserves_everything_bitwise() {
+        let data = GstdConfig {
+            num_objects: 5,
+            samples_per_object: 30,
+            ..GstdConfig::paper_dataset(5, 3)
+        }
+        .generate();
+        let pairs: Vec<(TrajectoryId, &Trajectory)> = data
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TrajectoryId(i as u64), t))
+            .collect();
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, pairs).unwrap();
+        let back = read_dataset(&buf[..]).unwrap();
+        assert_eq!(back.len(), 5);
+        for (i, (id, t)) in back.iter().enumerate() {
+            assert_eq!(*id, TrajectoryId(i as u64));
+            assert_eq!(t, &data[i]);
+        }
+    }
+
+    #[test]
+    fn interleaved_and_commented_input_parses() {
+        let text = "\
+# a fleet of two
+0 0.0 1.0 2.0   # depot
+1 0.0 5.0 5.0
+0 1.0 1.5 2.5
+1 2.0 6.0 6.0
+";
+        let back = read_dataset(text.as_bytes()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].0, TrajectoryId(0));
+        assert_eq!(back[0].1.num_points(), 2);
+        assert_eq!(back[1].1.points()[1].x, 6.0);
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line_numbers() {
+        let bad_field = "0 0.0 1.0\n";
+        match read_dataset(bad_field.as_bytes()) {
+            Err(DatasetIoError::Parse { line: 1, reason }) => {
+                assert!(reason.contains("missing field"), "{reason}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let bad_number = "# header\n0 zero 1.0 2.0\n";
+        match read_dataset(bad_number.as_bytes()) {
+            Err(DatasetIoError::Parse { line: 2, .. }) => {}
+            other => panic!("expected parse error on line 2, got {other:?}"),
+        }
+        let trailing = "0 0.0 1.0 2.0 3.0\n";
+        assert!(matches!(
+            read_dataset(trailing.as_bytes()),
+            Err(DatasetIoError::Parse { .. })
+        ));
+        let out_of_order = "0 5.0 1.0 2.0\n0 4.0 1.0 2.0\n";
+        assert!(matches!(
+            read_dataset(out_of_order.as_bytes()),
+            Err(DatasetIoError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn single_sample_trajectory_is_rejected_as_a_whole() {
+        let text = "0 0.0 1.0 2.0\n1 0.0 0.0 0.0\n1 1.0 1.0 1.0\n";
+        match read_dataset(text.as_bytes()) {
+            Err(DatasetIoError::BadTrajectory { id, .. }) => assert_eq!(id, TrajectoryId(0)),
+            other => panic!("expected BadTrajectory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("mst_dataset_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet.txt");
+        let data = crate::TrucksConfig::small(3, 1).generate();
+        let pairs: Vec<(TrajectoryId, &Trajectory)> = data
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TrajectoryId(i as u64), t))
+            .collect();
+        save_to_path(&path, pairs).unwrap();
+        let back = load_from_path(&path).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(&back[1].1, &data[1]);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,174 @@
+//! TD-TR trajectory compression (Meratnia & By, EDBT 2004).
+//!
+//! A Douglas–Peucker variant whose error measure is the *time-synchronized
+//! Euclidean distance* (SED): a point is compared against where the object
+//! *would have been at that point's timestamp* if it moved linearly between
+//! the two retained anchor points. The paper compresses every Trucks
+//! trajectory with TD-TR at tolerances `p` between 0.1% and 10% of the
+//! trajectory length to manufacture query trajectories that are "similar
+//! but not identical" to their originals (Figures 8–9).
+
+use mst_trajectory::{SamplePoint, Trajectory};
+
+/// Time-synchronized Euclidean distance of `p` w.r.t. the anchor segment
+/// `(s, e)`: the distance between `p` and the linearly interpolated position
+/// at `p.t`.
+pub fn synchronized_distance(p: &SamplePoint, s: &SamplePoint, e: &SamplePoint) -> f64 {
+    debug_assert!(s.t < e.t && s.t <= p.t && p.t <= e.t);
+    let f = (p.t - s.t) / (e.t - s.t);
+    let ix = s.x + f * (e.x - s.x);
+    let iy = s.y + f * (e.y - s.y);
+    let dx = p.x - ix;
+    let dy = p.y - iy;
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// Compresses `trajectory` with TD-TR at the given absolute `tolerance`.
+///
+/// The first and last samples are always retained; every dropped sample's
+/// SED w.r.t. the compressed trajectory is at most `tolerance`.
+pub fn td_tr(trajectory: &Trajectory, tolerance: f64) -> Trajectory {
+    assert!(tolerance >= 0.0, "tolerance must be non-negative");
+    let pts = trajectory.points();
+    let mut keep = vec![false; pts.len()];
+    keep[0] = true;
+    keep[pts.len() - 1] = true;
+    // Explicit stack instead of recursion: trajectories can be long.
+    let mut stack = vec![(0usize, pts.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (mut worst, mut worst_idx) = (0.0f64, lo + 1);
+        for i in (lo + 1)..hi {
+            let d = synchronized_distance(&pts[i], &pts[lo], &pts[hi]);
+            if d > worst {
+                worst = d;
+                worst_idx = i;
+            }
+        }
+        if worst > tolerance {
+            keep[worst_idx] = true;
+            stack.push((lo, worst_idx));
+            stack.push((worst_idx, hi));
+        }
+    }
+    let kept: Vec<SamplePoint> = pts
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(p, _)| *p)
+        .collect();
+    Trajectory::new(kept).expect("first/last retained, order preserved")
+}
+
+/// Compresses with the paper's parameterization: tolerance `p` expressed as
+/// a fraction of the trajectory's spatial length (e.g. `0.001` for the
+/// paper's "0.1%").
+pub fn td_tr_fraction(trajectory: &Trajectory, p: f64) -> Trajectory {
+    td_tr(trajectory, p * trajectory.spatial_length())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(pts: &[(f64, f64, f64)]) -> Trajectory {
+        Trajectory::from_txy(pts).unwrap()
+    }
+
+    /// A jagged path: straight line plus alternating small bumps and one
+    /// large detour.
+    fn jagged() -> Trajectory {
+        let mut pts = Vec::new();
+        for i in 0..=40 {
+            let t = f64::from(i);
+            let bump = if i % 2 == 0 { 0.0 } else { 0.05 };
+            let detour = if i == 20 { 3.0 } else { 0.0 };
+            pts.push((t, t, bump + detour));
+        }
+        traj(&pts)
+    }
+
+    #[test]
+    fn zero_tolerance_keeps_every_deviating_point() {
+        let t = jagged();
+        let c = td_tr(&t, 0.0);
+        assert_eq!(c.num_points(), t.num_points());
+    }
+
+    #[test]
+    fn collinear_constant_speed_points_collapse() {
+        // Perfectly linear in space *and* time: everything between the
+        // endpoints is redundant under SED.
+        let t = traj(&[
+            (0.0, 0.0, 0.0),
+            (1.0, 1.0, 1.0),
+            (2.0, 2.0, 2.0),
+            (3.0, 3.0, 3.0),
+        ]);
+        let c = td_tr(&t, 1e-12);
+        assert_eq!(c.num_points(), 2);
+    }
+
+    #[test]
+    fn sed_differs_from_plain_perpendicular_distance() {
+        // Spatially collinear but with non-uniform timing: the object
+        // lingers, so its synchronized position differs. Plain DP would drop
+        // the middle point; TD-TR keeps it at tight tolerance.
+        let t = traj(&[(0.0, 0.0, 0.0), (9.0, 1.0, 0.0), (10.0, 10.0, 0.0)]);
+        let mid = t.points()[1];
+        let d = synchronized_distance(&mid, &t.points()[0], &t.points()[2]);
+        assert!((d - 8.0).abs() < 1e-12); // interpolated x at t=9 is 9.0
+        let c = td_tr(&t, 1.0);
+        assert_eq!(c.num_points(), 3);
+    }
+
+    #[test]
+    fn tolerance_monotonically_reduces_vertices() {
+        let t = jagged();
+        let mut last = usize::MAX;
+        for tol in [0.0, 0.01, 0.06, 0.5, 5.0] {
+            let c = td_tr(&t, tol);
+            assert!(c.num_points() <= last);
+            last = c.num_points();
+        }
+        // Huge tolerance leaves only the endpoints.
+        assert_eq!(last, 2);
+    }
+
+    #[test]
+    fn all_dropped_points_are_within_tolerance() {
+        let t = jagged();
+        let tol = 0.2;
+        let c = td_tr(&t, tol);
+        // Every original sample must be within tol of the compressed
+        // trajectory's synchronized position.
+        for p in t.points() {
+            let pos = c.position_at(p.t).unwrap();
+            let d = ((p.x - pos.x).powi(2) + (p.y - pos.y).powi(2)).sqrt();
+            assert!(d <= tol + 1e-9, "sample at t={} deviates {d}", p.t);
+        }
+        // The large detour must have been retained.
+        assert!(c.points().iter().any(|p| p.y > 2.0));
+    }
+
+    #[test]
+    fn endpoints_always_survive() {
+        let t = jagged();
+        let c = td_tr(&t, 100.0);
+        assert_eq!(c.points()[0], t.points()[0]);
+        assert_eq!(
+            c.points()[c.num_points() - 1],
+            t.points()[t.num_points() - 1]
+        );
+    }
+
+    #[test]
+    fn fraction_parameterization_scales_with_length() {
+        let t = jagged();
+        let fine = td_tr_fraction(&t, 0.0001);
+        let coarse = td_tr_fraction(&t, 0.05);
+        assert!(fine.num_points() > coarse.num_points());
+    }
+}

@@ -1,0 +1,271 @@
+//! A synthetic substitute for the "Trucks" real dataset (273 delivery-truck
+//! trajectories, ~112K segments, from rtreeportal.org — no longer
+//! distributable).
+//!
+//! The quality experiment of the paper (Figure 9) needs exactly three
+//! properties from this data, all of which the generator reproduces:
+//!
+//! 1. many trajectories sharing the same streets, so a compressed query has
+//!    plausible *confusers*: trucks move along a grid road network between
+//!    random destinations, pausing at stops;
+//! 2. irregular sampling: the nominal GPS period is jittered and samples
+//!    drop out, so trajectories have varying rates (the situation LCSS/EDR
+//!    mishandle);
+//! 3. local shape detail for TD-TR to erode: per-sample GPS noise plus
+//!    frequent turns.
+//!
+//! All trucks share the common period `[0, duration]` so that any
+//! trajectory's validity covers any query period — the paper's standing
+//! assumption.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+use mst_trajectory::{SamplePoint, Trajectory, TrajectoryBuilder};
+
+/// Configuration of the fleet generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrucksConfig {
+    /// Number of trucks (the real dataset: 273).
+    pub num_trucks: usize,
+    /// Common observation period in seconds.
+    pub duration: f64,
+    /// Nominal GPS sampling period in seconds.
+    pub sample_period: f64,
+    /// Relative jitter of the sampling period (0.2 = ±20%).
+    pub sample_jitter: f64,
+    /// Probability that a scheduled sample is lost.
+    pub dropout: f64,
+    /// Standard deviation of the per-sample position noise, in meters.
+    pub gps_noise: f64,
+    /// Side length of the square city, in meters.
+    pub world_size: f64,
+    /// Distance between parallel streets of the road grid, in meters.
+    pub grid_spacing: f64,
+    /// Number of depots trucks start from.
+    pub num_depots: usize,
+    /// Per-tour cruising speed range, in m/s.
+    pub speed_range: (f64, f64),
+    /// Dwell time range at each destination, in seconds.
+    pub dwell_range: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TrucksConfig {
+    /// A configuration matched to the real dataset's shape statistics:
+    /// 273 trucks, ~411 samples each (~112K segments total).
+    pub fn paper_like(seed: u64) -> Self {
+        TrucksConfig {
+            num_trucks: 273,
+            duration: 12_600.0,
+            sample_period: 30.0,
+            sample_jitter: 0.2,
+            dropout: 0.05,
+            gps_noise: 4.0,
+            world_size: 10_000.0,
+            grid_spacing: 500.0,
+            num_depots: 6,
+            speed_range: (7.0, 14.0),
+            dwell_range: (60.0, 600.0),
+            seed,
+        }
+    }
+
+    /// A small configuration for tests and examples (fast to generate and
+    /// index).
+    pub fn small(num_trucks: usize, seed: u64) -> Self {
+        TrucksConfig {
+            num_trucks,
+            duration: 3_000.0,
+            ..TrucksConfig::paper_like(seed)
+        }
+    }
+
+    /// Number of grid nodes per axis.
+    fn grid_nodes(&self) -> usize {
+        (self.world_size / self.grid_spacing) as usize + 1
+    }
+
+    /// Generates the fleet.
+    pub fn generate(&self) -> Vec<Trajectory> {
+        assert!(self.num_trucks > 0);
+        assert!(self.duration > 2.0 * self.sample_period);
+        assert!((0.0..1.0).contains(&self.dropout));
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let n = self.grid_nodes();
+        // Depots: fixed grid nodes shared by the fleet.
+        let depots: Vec<(usize, usize)> = (0..self.num_depots.max(1))
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect();
+        (0..self.num_trucks)
+            .map(|i| {
+                let depot = depots[i % depots.len()];
+                self.generate_truck(depot, &mut rng)
+            })
+            .collect()
+    }
+
+    /// Builds one truck: a ground-truth tour plan along the grid, then noisy
+    /// irregular samples of it.
+    fn generate_truck(&self, depot: (usize, usize), rng: &mut SmallRng) -> Trajectory {
+        let plan = self.tour_plan(depot, rng);
+        let ground = Trajectory::new(plan).expect("plan has ordered waypoints");
+        let noise = Normal::new(0.0, self.gps_noise).expect("finite std");
+
+        let mut b = TrajectoryBuilder::new();
+        let mut t: f64 = 0.0;
+        loop {
+            let clamped = t.min(self.duration);
+            let is_last = clamped >= self.duration;
+            let keep = is_last || b.is_empty() || rng.gen::<f64>() >= self.dropout;
+            if keep {
+                let p = ground
+                    .position_at(clamped)
+                    .expect("plan covers [0, duration]");
+                let x = (p.x + noise.sample(rng)).clamp(0.0, self.world_size);
+                let y = (p.y + noise.sample(rng)).clamp(0.0, self.world_size);
+                b.push(SamplePoint::new(clamped, x, y))
+                    .expect("sampling times strictly increase");
+            }
+            if is_last {
+                break;
+            }
+            let jitter = 1.0 + self.sample_jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+            t += self.sample_period * jitter;
+        }
+        b.build().expect("duration guarantees >= 2 samples")
+    }
+
+    /// Ground-truth waypoints: drive Manhattan routes between random grid
+    /// nodes, dwell at each destination, until the observation period is
+    /// exhausted.
+    fn tour_plan(&self, depot: (usize, usize), rng: &mut SmallRng) -> Vec<SamplePoint> {
+        let n = self.grid_nodes();
+        let g = self.grid_spacing;
+        let node_pos = |(cx, cy): (usize, usize)| (cx as f64 * g, cy as f64 * g);
+
+        let mut waypoints: Vec<SamplePoint> = Vec::new();
+        let mut t = 0.0;
+        let (mut cx, mut cy) = depot;
+        let (x0, y0) = node_pos((cx, cy));
+        waypoints.push(SamplePoint::new(t, x0, y0));
+
+        while t <= self.duration {
+            // Pick a destination different from the current node, biased
+            // towards moderate trip lengths (delivery rounds, not random
+            // teleports across the city).
+            let reach = (n / 3).max(2) as i64;
+            let tx = (cx as i64 + rng.gen_range(-reach..=reach)).clamp(0, n as i64 - 1) as usize;
+            let ty = (cy as i64 + rng.gen_range(-reach..=reach)).clamp(0, n as i64 - 1) as usize;
+            if tx == cx && ty == cy {
+                continue;
+            }
+            let speed = rng.gen_range(self.speed_range.0..self.speed_range.1);
+            // Manhattan route: along x first or y first, at random.
+            let corner = if rng.gen() { (tx, cy) } else { (cx, ty) };
+            let mut from = (cx, cy);
+            for target in [corner, (tx, ty)] {
+                if target == from {
+                    continue;
+                }
+                let (fx, fy) = node_pos(from);
+                let (gx, gy) = node_pos(target);
+                let dist = (gx - fx).abs() + (gy - fy).abs();
+                t += dist / speed;
+                waypoints.push(SamplePoint::new(t, gx, gy));
+                from = target;
+            }
+            cx = tx;
+            cy = ty;
+            // Dwell at the destination.
+            let dwell = rng.gen_range(self.dwell_range.0..self.dwell_range.1);
+            t += dwell;
+            let (px, py) = node_pos((cx, cy));
+            waypoints.push(SamplePoint::new(t, px, py));
+        }
+        waypoints
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_fleet_with_common_period() {
+        let cfg = TrucksConfig::small(8, 11);
+        let fleet = cfg.generate();
+        assert_eq!(fleet.len(), 8);
+        for t in &fleet {
+            assert_eq!(t.start_time(), 0.0);
+            assert_eq!(t.end_time(), cfg.duration);
+            assert!(t.num_points() > 10);
+            for p in t.points() {
+                assert!((0.0..=cfg.world_size).contains(&p.x));
+                assert!((0.0..=cfg.world_size).contains(&p.y));
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_irregular() {
+        let cfg = TrucksConfig::small(3, 5);
+        let fleet = cfg.generate();
+        let t = &fleet[0];
+        let mut periods: Vec<f64> = t.points().windows(2).map(|w| w[1].t - w[0].t).collect();
+        periods.sort_by(f64::total_cmp);
+        let min = periods[0];
+        let max = periods[periods.len() - 1];
+        assert!(
+            max / min > 1.3,
+            "sampling periods should vary (min {min}, max {max})"
+        );
+    }
+
+    #[test]
+    fn trucks_share_streets() {
+        // Different trucks from the same depot must overlap spatially —
+        // that is the confusability the quality experiment relies on.
+        let cfg = TrucksConfig::small(12, 2);
+        let fleet = cfg.generate();
+        let a = fleet[0].mbb();
+        let overlapping = fleet[1..].iter().filter(|t| t.mbb().intersects(&a)).count();
+        assert!(overlapping >= 6, "only {overlapping} overlap");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TrucksConfig::small(4, 77).generate();
+        let b = TrucksConfig::small(4, 77).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_like_matches_dataset_scale() {
+        // Shrink the fleet but keep per-truck parameters: samples per truck
+        // should land near 411 (112203 segments / 273 trucks).
+        let cfg = TrucksConfig {
+            num_trucks: 6,
+            ..TrucksConfig::paper_like(123)
+        };
+        let fleet = cfg.generate();
+        let avg: f64 =
+            fleet.iter().map(|t| t.num_points() as f64).sum::<f64>() / fleet.len() as f64;
+        assert!(
+            (330.0..=480.0).contains(&avg),
+            "average samples per truck {avg}"
+        );
+    }
+
+    #[test]
+    fn speeds_are_plausible_for_urban_trucks() {
+        let cfg = TrucksConfig::small(5, 9);
+        for t in cfg.generate() {
+            // GPS noise inflates instantaneous speeds a little; still far
+            // below anything absurd.
+            assert!(t.max_speed() < 40.0, "max speed {}", t.max_speed());
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! LRU page buffer.
+//!
+//! The paper's experiments use "a (variable size) buffer fitting 10% of the
+//! index size, with a maximum capacity of 1000 pages". [`BufferPool`]
+//! reproduces that: a write-back LRU cache in front of the [`PageStore`],
+//! with hit/miss/eviction accounting. The underlying [`LruCache`] is a
+//! general-purpose O(1) structure (hash map + arena-allocated doubly linked
+//! list) that is also unit-tested on its own.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::{PageId, PageStore, Result, PAGE_SIZE};
+
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    /// `None` only while the slot sits on the free list.
+    value: Option<V>,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used cache with O(1) get/insert/evict.
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot.
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Current capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let &i = self.map.get(key)?;
+        if i != self.head {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        self.slots[i].value.as_ref()
+    }
+
+    /// Mutable lookup, promoting to most-recently-used.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let &i = self.map.get(key)?;
+        if i != self.head {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        self.slots[i].value.as_mut()
+    }
+
+    /// True when `key` is cached (does *not* promote).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts `key -> value` as most-recently-used. Returns the evicted
+    /// `(key, value)` when the cache was full, or the replaced value when the
+    /// key was already present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&i) = self.map.get(&key) {
+            let old = self.slots[i]
+                .value
+                .replace(value)
+                .expect("live slots always hold a value");
+            if i != self.head {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return Some((key, old));
+        }
+        let evicted = if self.map.len() >= self.capacity {
+            self.pop_lru()
+        } else {
+            None
+        };
+        let slot = Slot {
+            key: key.clone(),
+            value: Some(value),
+            prev: NIL,
+            next: NIL,
+        };
+        let i = if let Some(free) = self.free.pop() {
+            self.slots[free] = slot;
+            free
+        } else {
+            self.slots.push(slot);
+            self.slots.len() - 1
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+        evicted
+    }
+
+    /// Removes and returns the least-recently-used entry.
+    pub fn pop_lru(&mut self) -> Option<(K, V)> {
+        if self.tail == NIL {
+            return None;
+        }
+        let i = self.tail;
+        self.unlink(i);
+        self.free.push(i);
+        let key = self.slots[i].key.clone();
+        self.map.remove(&key);
+        let value = self.slots[i]
+            .value
+            .take()
+            .expect("live slots always hold a value");
+        Some((key, value))
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let i = self.map.remove(key)?;
+        self.unlink(i);
+        self.free.push(i);
+        self.slots[i].value.take()
+    }
+
+    /// Drains the cache in LRU-to-MRU order.
+    pub fn drain(&mut self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(kv) = self.pop_lru() {
+            out.push(kv);
+        }
+        out
+    }
+
+    /// Adjusts the capacity, returning entries evicted to fit (LRU first).
+    pub fn set_capacity(&mut self, capacity: usize) -> Vec<(K, V)> {
+        self.capacity = capacity.max(1);
+        let mut evicted = Vec::new();
+        while self.map.len() > self.capacity {
+            if let Some(kv) = self.pop_lru() {
+                evicted.push(kv);
+            }
+        }
+        evicted
+    }
+
+    /// Iterates over `(key, value)` pairs in unspecified order without
+    /// promoting anything.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter().map(move |(k, &i)| {
+            (
+                k,
+                self.slots[i]
+                    .value
+                    .as_ref()
+                    .expect("live slots always hold a value"),
+            )
+        })
+    }
+}
+
+/// Hit/miss statistics of the buffer pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Page requests satisfied from the buffer.
+    pub hits: u64,
+    /// Page requests that went to the disk.
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+    /// Dirty pages written back to disk on eviction or flush.
+    pub writebacks: u64,
+}
+
+#[derive(Default)]
+struct Frame {
+    data: Vec<u8>,
+    dirty: bool,
+}
+
+/// A write-back LRU buffer pool in front of a [`PageStore`].
+pub struct BufferPool {
+    cache: LruCache<PageId, Frame>,
+    stats: BufferStats,
+}
+
+impl BufferPool {
+    /// Creates a pool caching at most `capacity` pages.
+    pub fn new(capacity: usize) -> Self {
+        BufferPool {
+            cache: LruCache::new(capacity),
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Current page capacity.
+    pub fn capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// Resizes the pool (the paper's buffer grows with the index: 10% of its
+    /// pages up to 1000), writing back any dirty pages that fall out.
+    pub fn set_capacity(&mut self, capacity: usize, store: &mut PageStore) -> Result<()> {
+        for (id, frame) in self.cache.set_capacity(capacity) {
+            self.stats.evictions += 1;
+            if frame.dirty {
+                self.stats.writebacks += 1;
+                store.write(id, &frame.data)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a page through the buffer, faulting it in from the store on a
+    /// miss.
+    pub fn read<'a>(&'a mut self, store: &mut PageStore, id: PageId) -> Result<&'a [u8]> {
+        if self.cache.contains(&id) {
+            self.stats.hits += 1;
+            return Ok(&self.cache.get(&id).expect("checked contains").data);
+        }
+        self.stats.misses += 1;
+        let data = store.read(id)?.to_vec();
+        self.install(store, id, Frame { data, dirty: false })?;
+        Ok(&self.cache.get(&id).expect("just installed").data)
+    }
+
+    /// Writes a page through the buffer (write-back: the store is only
+    /// touched when the page is evicted or flushed).
+    pub fn write(&mut self, store: &mut PageStore, id: PageId, data: &[u8]) -> Result<()> {
+        assert_eq!(data.len(), PAGE_SIZE, "pages are written whole");
+        if let Some(frame) = self.cache.get_mut(&id) {
+            frame.data.clear();
+            frame.data.extend_from_slice(data);
+            frame.dirty = true;
+            self.stats.hits += 1;
+            return Ok(());
+        }
+        self.stats.misses += 1;
+        self.install(
+            store,
+            id,
+            Frame {
+                data: data.to_vec(),
+                dirty: true,
+            },
+        )
+    }
+
+    fn install(&mut self, store: &mut PageStore, id: PageId, frame: Frame) -> Result<()> {
+        if let Some((old_id, old)) = self.cache.insert(id, frame) {
+            if old_id != id {
+                self.stats.evictions += 1;
+            }
+            if old.dirty {
+                self.stats.writebacks += 1;
+                store.write(old_id, &old.data)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes all dirty pages back to the store (cache contents retained).
+    pub fn flush(&mut self, store: &mut PageStore) -> Result<()> {
+        // Collect dirty ids first to appease the borrow checker.
+        let dirty: Vec<PageId> = self
+            .cache
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in dirty {
+            if let Some(frame) = self.cache.get_mut(&id) {
+                frame.dirty = false;
+                self.stats.writebacks += 1;
+                let data = frame.data.clone();
+                store.write(id, &data)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Empties the cache entirely (writing back dirty pages), so the next
+    /// queries run against a cold buffer.
+    pub fn clear(&mut self, store: &mut PageStore) -> Result<()> {
+        for (id, frame) in self.cache.drain() {
+            if frame.dirty {
+                self.stats.writebacks += 1;
+                store.write(id, &frame.data)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops a page from the cache without writing it back (used when the
+    /// page has been freed and its content is dead).
+    pub fn discard(&mut self, id: PageId) {
+        self.cache.remove(&id);
+    }
+
+    /// Snapshot of the buffer statistics.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Resets the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = BufferStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c: LruCache<u32, String> = LruCache::new(2);
+        assert!(c.insert(1, "a".into()).is_none());
+        assert!(c.insert(2, "b".into()).is_none());
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(c.get(&1).map(String::as_str), Some("a"));
+        let evicted = c.insert(3, "c".into()).expect("full cache evicts");
+        assert_eq!(evicted, (2, "b".into()));
+        assert!(c.contains(&1));
+        assert!(c.contains(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_reinsert_replaces_value() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        let replaced = c.insert(1, 11);
+        assert_eq!(replaced, Some((1, 10)));
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_pop_and_remove() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        assert_eq!(c.pop_lru(), Some((1, 10)));
+        assert_eq!(c.remove(&3), Some(30));
+        assert_eq!(c.remove(&3), None);
+        assert_eq!(c.len(), 1);
+        // Freed slots are recycled without breaking the list.
+        c.insert(4, 40);
+        c.insert(5, 50);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.pop_lru(), Some((2, 20)));
+    }
+
+    #[test]
+    fn lru_shrink_capacity_evicts_in_order() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        for i in 0..4 {
+            c.insert(i, i * 10);
+        }
+        c.get(&0); // order now (MRU→LRU): 0,3,2,1
+        let evicted = c.set_capacity(2);
+        assert_eq!(evicted, vec![(1, 10), (2, 20)]);
+        assert!(c.contains(&0) && c.contains(&3));
+    }
+
+    #[test]
+    fn lru_heavy_mixed_workload_stays_consistent() {
+        // Pseudo-random workload cross-checked against a naive model.
+        let mut c: LruCache<u64, u64> = LruCache::new(8);
+        let mut model: Vec<u64> = Vec::new(); // MRU at the end
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for _ in 0..4000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (x >> 33) % 16;
+            if x.is_multiple_of(3) {
+                let hit = c.get(&key).is_some();
+                assert_eq!(hit, model.contains(&key));
+                if hit {
+                    model.retain(|&k| k != key);
+                    model.push(key);
+                }
+            } else {
+                let evicted = c.insert(key, key);
+                if let Some(pos) = model.iter().position(|&k| k == key) {
+                    model.remove(pos);
+                    model.push(key);
+                    assert_eq!(evicted.map(|(k, _)| k), Some(key));
+                } else {
+                    if model.len() == 8 {
+                        let lru = model.remove(0);
+                        assert_eq!(evicted.map(|(k, _)| k), Some(lru));
+                    } else {
+                        assert!(evicted.is_none());
+                    }
+                    model.push(key);
+                }
+            }
+            assert_eq!(c.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn pool_counts_hits_and_misses() {
+        let mut store = PageStore::new();
+        let a = store.allocate();
+        let b = store.allocate();
+        store.reset_stats();
+        let mut pool = BufferPool::new(1);
+        pool.read(&mut store, a).unwrap();
+        pool.read(&mut store, a).unwrap();
+        pool.read(&mut store, b).unwrap(); // evicts a (clean)
+        let s = pool.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.writebacks, 0);
+        assert_eq!(store.stats().reads, 2);
+    }
+
+    #[test]
+    fn pool_writes_back_dirty_pages() {
+        let mut store = PageStore::new();
+        let a = store.allocate();
+        let b = store.allocate();
+        store.reset_stats();
+        let mut pool = BufferPool::new(1);
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[7] = 42;
+        pool.write(&mut store, a, &page).unwrap();
+        // Nothing hit the disk yet (write-back).
+        assert_eq!(store.stats().writes, 0);
+        // Faulting b evicts dirty a.
+        pool.read(&mut store, b).unwrap();
+        assert_eq!(store.stats().writes, 1);
+        assert_eq!(pool.stats().writebacks, 1);
+        // The data survived the round trip.
+        pool.read(&mut store, a).unwrap();
+        assert_eq!(pool.read(&mut store, a).unwrap()[7], 42);
+    }
+
+    #[test]
+    fn pool_flush_and_clear() {
+        let mut store = PageStore::new();
+        let a = store.allocate();
+        let mut pool = BufferPool::new(4);
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[0] = 9;
+        pool.write(&mut store, a, &page).unwrap();
+        pool.flush(&mut store).unwrap();
+        assert_eq!(store.stats().writes, 1);
+        // Flushing again writes nothing (page now clean).
+        pool.flush(&mut store).unwrap();
+        assert_eq!(store.stats().writes, 1);
+        pool.clear(&mut store).unwrap();
+        store.reset_stats();
+        // After clear, reads are cold again.
+        pool.read(&mut store, a).unwrap();
+        assert_eq!(store.stats().reads, 1);
+        assert_eq!(pool.read(&mut store, a).unwrap()[0], 9);
+    }
+}

@@ -1,0 +1,155 @@
+//! Minimal little-endian page codec.
+//!
+//! Nodes are persisted as raw bytes inside fixed 4 KB pages; this module
+//! provides the cursor-style reader/writer the node (de)serializers use.
+//! Panics on overflow are intentional: layout constants guarantee fits, so
+//! an overflow is a programming error, not a runtime condition.
+
+/// Sequential writer over a fixed-size page buffer.
+pub struct Writer<'a> {
+    buf: &'a mut [u8],
+    pos: usize,
+}
+
+impl<'a> Writer<'a> {
+    /// Starts writing at the beginning of `buf`.
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        Writer { buf, pos: 0 }
+    }
+
+    /// Bytes written so far.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf[self.pos] = v;
+        self.pos += 1;
+    }
+
+    /// Appends a little-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf[self.pos..self.pos + 2].copy_from_slice(&v.to_le_bytes());
+        self.pos += 2;
+    }
+
+    /// Appends a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf[self.pos..self.pos + 4].copy_from_slice(&v.to_le_bytes());
+        self.pos += 4;
+    }
+
+    /// Appends a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf[self.pos..self.pos + 8].copy_from_slice(&v.to_le_bytes());
+        self.pos += 8;
+    }
+
+    /// Appends a little-endian f64.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+/// Sequential reader over a page buffer.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> u8 {
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    /// Reads a little-endian u16.
+    pub fn get_u16(&mut self) -> u16 {
+        let v = u16::from_le_bytes(
+            self.buf[self.pos..self.pos + 2]
+                .try_into()
+                .expect("2 bytes"),
+        );
+        self.pos += 2;
+        v
+    }
+
+    /// Reads a little-endian u32.
+    pub fn get_u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(
+            self.buf[self.pos..self.pos + 4]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        self.pos += 4;
+        v
+    }
+
+    /// Reads a little-endian u64.
+    pub fn get_u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(
+            self.buf[self.pos..self.pos + 8]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        self.pos += 8;
+        v
+    }
+
+    /// Reads a little-endian f64.
+    pub fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = vec![0u8; 64];
+        let mut w = Writer::new(&mut buf);
+        w.put_u8(0xAB);
+        w.put_u16(0x1234);
+        w.put_u32(0xDEADBEEF);
+        w.put_u64(0x0123456789ABCDEF);
+        w.put_f64(-1234.5678e12);
+        w.put_f64(f64::INFINITY);
+        let written = w.position();
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16(), 0x1234);
+        assert_eq!(r.get_u32(), 0xDEADBEEF);
+        assert_eq!(r.get_u64(), 0x0123456789ABCDEF);
+        assert_eq!(r.get_f64(), -1234.5678e12);
+        assert_eq!(r.get_f64(), f64::INFINITY);
+        assert_eq!(r.position(), written);
+    }
+
+    #[test]
+    fn f64_bit_exact_including_negative_zero() {
+        let mut buf = vec![0u8; 16];
+        let mut w = Writer::new(&mut buf);
+        w.put_f64(-0.0);
+        let mut r = Reader::new(&buf);
+        let v = r.get_f64();
+        assert_eq!(v.to_bits(), (-0.0f64).to_bits());
+    }
+}

@@ -1,0 +1,86 @@
+//! Page-based spatiotemporal index substrate for the MST reproduction.
+//!
+//! The ICDE'07 paper runs its best-first k-MST algorithm on *general-purpose*
+//! R-tree-like trajectory indexes — structures a moving-object database
+//! would maintain anyway for range and nearest-neighbour queries. This crate
+//! builds that substrate from scratch:
+//!
+//! * [`PageStore`] — an in-process "disk" of fixed 4 KB pages with physical
+//!   I/O accounting;
+//! * [`BufferPool`] — an LRU buffer manager (the paper: 10% of the index
+//!   size, at most 1000 pages);
+//! * [`Node`] — byte-serialized leaf/internal nodes; each leaf entry is one
+//!   trajectory *segment* `(trajectory id, sequence number, 3D line)`;
+//! * [`Rtree3D`] — a Guttman-style 3D (x, y, t) R-tree with quadratic split;
+//! * [`TbTree`] — the trajectory-bundle tree of Pfoser et al. (VLDB 2000):
+//!   leaves contain segments of a single trajectory, connected in a doubly
+//!   linked list, appended at the right-most path;
+//! * [`StrTree`] — Pfoser et al.'s spatio-temporal R-tree: R-tree structure
+//!   with trajectory-preserving insertion (the middle ground);
+//! * [`mindist`] — the exact minimum distance between a (moving-point) query
+//!   trajectory and a node MBB over their temporal overlap, following
+//!   Frentzos et al.'s nearest-neighbour work that the paper builds on;
+//! * [`TrajectoryIndex`] — the read interface the search algorithm consumes,
+//!   implemented by both trees.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod codec;
+pub mod knn;
+pub mod mindist;
+mod node;
+mod pagestore;
+pub mod persist;
+mod rtree;
+mod strtree;
+mod tbtree;
+mod traits;
+mod validate;
+
+pub use buffer::{BufferPool, BufferStats, LruCache};
+pub use knn::{knn_segments, KnnMatch};
+pub use node::{InternalEntry, LeafEntry, Node, INTERNAL_CAPACITY, LEAF_CAPACITY};
+pub use pagestore::{DiskStats, PageId, PageStore, PAGE_SIZE};
+pub use rtree::Rtree3D;
+pub use strtree::StrTree;
+pub use tbtree::TbTree;
+pub use traits::{IndexStats, TrajectoryIndex, TrajectoryIndexWrite};
+pub use validate::{check_invariants, InvariantReport};
+
+/// Errors produced by the index layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexError {
+    /// A page id did not refer to an allocated page.
+    UnknownPage(PageId),
+    /// A page's bytes did not decode into a valid node.
+    CorruptNode {
+        /// The offending page.
+        page: PageId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The segment being inserted was invalid for this index.
+    BadInsert(String),
+    /// A persistence operation failed (I/O error or malformed image).
+    Persist(String),
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::UnknownPage(p) => write!(f, "unknown page {p:?}"),
+            IndexError::CorruptNode { page, reason } => {
+                write!(f, "corrupt node in page {page:?}: {reason}")
+            }
+            IndexError::BadInsert(msg) => write!(f, "bad insert: {msg}"),
+            IndexError::Persist(msg) => write!(f, "persistence failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// Result alias for the index crate.
+pub type Result<T> = std::result::Result<T, IndexError>;

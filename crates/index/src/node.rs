@@ -1,0 +1,400 @@
+//! On-page node layout shared by the 3D R-tree and the TB-tree.
+//!
+//! Every node occupies exactly one 4 KB page:
+//!
+//! ```text
+//! header (24 bytes)
+//!   [0]      node type      u8   (0 = leaf, 1 = internal)
+//!   [1]      level          u8   (0 at leaves, grows towards the root)
+//!   [2..4]   entry count    u16
+//!   [4..8]   reserved       u32  (zero)
+//!   [8..16]  owner traj id  u64  (TB-tree leaves; u64::MAX elsewhere)
+//!   [16..20] prev leaf      u32  (TB-tree doubly linked leaf list)
+//!   [20..24] next leaf      u32
+//! entries
+//!   leaf:     traj id u64 | seq u32 | t1 x1 y1 t2 x2 y2 (6 × f64)   = 60 B
+//!   internal: child page u32 | x_min y_min t_min x_max y_max t_max  = 52 B
+//! ```
+//!
+//! Capacities derive from the page size: 67 segments per leaf, 78 children
+//! per internal node — matching the order of magnitude of the paper's
+//! indexes (4 KB pages over 3D line segments).
+
+use mst_trajectory::{Mbb, SamplePoint, Segment, TrajectoryId};
+
+use crate::codec::{Reader, Writer};
+use crate::{IndexError, PageId, Result, PAGE_SIZE};
+
+const HEADER_SIZE: usize = 24;
+const LEAF_ENTRY_SIZE: usize = 8 + 4 + 6 * 8;
+const INTERNAL_ENTRY_SIZE: usize = 4 + 6 * 8;
+
+/// Maximum number of segment entries in a leaf page.
+pub const LEAF_CAPACITY: usize = (PAGE_SIZE - HEADER_SIZE) / LEAF_ENTRY_SIZE;
+/// Maximum number of child entries in an internal page.
+pub const INTERNAL_CAPACITY: usize = (PAGE_SIZE - HEADER_SIZE) / INTERNAL_ENTRY_SIZE;
+
+const TYPE_LEAF: u8 = 0;
+const TYPE_INTERNAL: u8 = 1;
+const NO_OWNER: u64 = u64::MAX;
+
+/// One indexed trajectory segment (a leaf-level index entry).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeafEntry {
+    /// The trajectory this segment belongs to.
+    pub traj: TrajectoryId,
+    /// Position of the segment within its trajectory (0-based).
+    pub seq: u32,
+    /// The 3D line segment itself.
+    pub segment: Segment,
+}
+
+impl LeafEntry {
+    /// The 3D bounding box of the segment.
+    pub fn mbb(&self) -> Mbb {
+        self.segment.mbb()
+    }
+}
+
+/// A child pointer plus its minimum bounding box (an internal index entry).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InternalEntry {
+    /// Page of the child node.
+    pub child: PageId,
+    /// Minimum bounding box of the whole child subtree.
+    pub mbb: Mbb,
+}
+
+/// A decoded index node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// A leaf node holding trajectory segments.
+    Leaf {
+        /// Segment entries.
+        entries: Vec<LeafEntry>,
+        /// For TB-tree leaves: the single trajectory the leaf belongs to.
+        owner: Option<TrajectoryId>,
+        /// Previous leaf of the same trajectory (TB-tree leaf list).
+        prev: Option<PageId>,
+        /// Next leaf of the same trajectory (TB-tree leaf list).
+        next: Option<PageId>,
+    },
+    /// An internal (directory) node.
+    Internal {
+        /// Height of the node above the leaf level (leaves are level 0, so
+        /// internal nodes have `level >= 1`).
+        level: u8,
+        /// Child entries.
+        entries: Vec<InternalEntry>,
+    },
+}
+
+impl Node {
+    /// Creates an empty plain leaf (R-tree style, no owner/links).
+    pub fn empty_leaf() -> Node {
+        Node::Leaf {
+            entries: Vec::new(),
+            owner: None,
+            prev: None,
+            next: None,
+        }
+    }
+
+    /// The node's level: 0 for leaves, `>= 1` for internal nodes.
+    pub fn level(&self) -> u8 {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Internal { level, .. } => *level,
+        }
+    }
+
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// Number of entries in the node.
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => entries.len(),
+            Node::Internal { entries, .. } => entries.len(),
+        }
+    }
+
+    /// True when the node has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The node's capacity in entries (leaf vs internal).
+    pub fn capacity(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => LEAF_CAPACITY,
+            Node::Internal { .. } => INTERNAL_CAPACITY,
+        }
+    }
+
+    /// The minimum bounding box of all entries ([`Mbb::empty`] for an empty
+    /// node).
+    pub fn mbb(&self) -> Mbb {
+        match self {
+            Node::Leaf { entries, .. } => entries
+                .iter()
+                .fold(Mbb::empty(), |acc, e| acc.union(&e.mbb())),
+            Node::Internal { entries, .. } => entries
+                .iter()
+                .fold(Mbb::empty(), |acc, e| acc.union(&e.mbb)),
+        }
+    }
+
+    /// Serializes the node into a fresh `PAGE_SIZE` buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut w = Writer::new(&mut buf);
+        match self {
+            Node::Leaf {
+                entries,
+                owner,
+                prev,
+                next,
+            } => {
+                assert!(entries.len() <= LEAF_CAPACITY, "leaf overflow");
+                w.put_u8(TYPE_LEAF);
+                w.put_u8(0);
+                w.put_u16(entries.len() as u16);
+                w.put_u32(0);
+                w.put_u64(owner.map_or(NO_OWNER, |t| t.0));
+                w.put_u32(prev.unwrap_or(PageId::NONE).0);
+                w.put_u32(next.unwrap_or(PageId::NONE).0);
+                for e in entries {
+                    w.put_u64(e.traj.0);
+                    w.put_u32(e.seq);
+                    let (s, t) = (e.segment.start(), e.segment.end());
+                    w.put_f64(s.t);
+                    w.put_f64(s.x);
+                    w.put_f64(s.y);
+                    w.put_f64(t.t);
+                    w.put_f64(t.x);
+                    w.put_f64(t.y);
+                }
+            }
+            Node::Internal { level, entries } => {
+                assert!(entries.len() <= INTERNAL_CAPACITY, "internal overflow");
+                assert!(*level >= 1, "internal nodes live above the leaves");
+                w.put_u8(TYPE_INTERNAL);
+                w.put_u8(*level);
+                w.put_u16(entries.len() as u16);
+                w.put_u32(0);
+                w.put_u64(NO_OWNER);
+                w.put_u32(PageId::NONE.0);
+                w.put_u32(PageId::NONE.0);
+                for e in entries {
+                    w.put_u32(e.child.0);
+                    w.put_f64(e.mbb.x_min);
+                    w.put_f64(e.mbb.y_min);
+                    w.put_f64(e.mbb.t_min);
+                    w.put_f64(e.mbb.x_max);
+                    w.put_f64(e.mbb.y_max);
+                    w.put_f64(e.mbb.t_max);
+                }
+            }
+        }
+        buf
+    }
+
+    /// Decodes a node from page bytes.
+    pub fn decode(page: PageId, buf: &[u8]) -> Result<Node> {
+        if buf.len() != PAGE_SIZE {
+            return Err(IndexError::CorruptNode {
+                page,
+                reason: format!("page has {} bytes, expected {}", buf.len(), PAGE_SIZE),
+            });
+        }
+        let mut r = Reader::new(buf);
+        let node_type = r.get_u8();
+        let level = r.get_u8();
+        let count = r.get_u16() as usize;
+        let _reserved = r.get_u32();
+        let owner = r.get_u64();
+        let prev = r.get_u32();
+        let next = r.get_u32();
+        match node_type {
+            TYPE_LEAF => {
+                if count > LEAF_CAPACITY {
+                    return Err(IndexError::CorruptNode {
+                        page,
+                        reason: format!("leaf count {count} exceeds capacity {LEAF_CAPACITY}"),
+                    });
+                }
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let traj = TrajectoryId(r.get_u64());
+                    let seq = r.get_u32();
+                    let (t1, x1, y1) = (r.get_f64(), r.get_f64(), r.get_f64());
+                    let (t2, x2, y2) = (r.get_f64(), r.get_f64(), r.get_f64());
+                    let segment =
+                        Segment::new(SamplePoint::new(t1, x1, y1), SamplePoint::new(t2, x2, y2))
+                            .map_err(|e| IndexError::CorruptNode {
+                                page,
+                                reason: format!("invalid segment: {e}"),
+                            })?;
+                    entries.push(LeafEntry { traj, seq, segment });
+                }
+                Ok(Node::Leaf {
+                    entries,
+                    owner: (owner != NO_OWNER).then_some(TrajectoryId(owner)),
+                    prev: (prev != PageId::NONE.0).then_some(PageId(prev)),
+                    next: (next != PageId::NONE.0).then_some(PageId(next)),
+                })
+            }
+            TYPE_INTERNAL => {
+                if count > INTERNAL_CAPACITY {
+                    return Err(IndexError::CorruptNode {
+                        page,
+                        reason: format!(
+                            "internal count {count} exceeds capacity {INTERNAL_CAPACITY}"
+                        ),
+                    });
+                }
+                if level == 0 {
+                    return Err(IndexError::CorruptNode {
+                        page,
+                        reason: "internal node with level 0".into(),
+                    });
+                }
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let child = PageId(r.get_u32());
+                    let (x_min, y_min, t_min) = (r.get_f64(), r.get_f64(), r.get_f64());
+                    let (x_max, y_max, t_max) = (r.get_f64(), r.get_f64(), r.get_f64());
+                    if !(x_min <= x_max && y_min <= y_max && t_min <= t_max) {
+                        return Err(IndexError::CorruptNode {
+                            page,
+                            reason: "inverted MBB".into(),
+                        });
+                    }
+                    entries.push(InternalEntry {
+                        child,
+                        mbb: Mbb::new(x_min, y_min, t_min, x_max, y_max, t_max),
+                    });
+                }
+                Ok(Node::Internal { level, entries })
+            }
+            other => Err(IndexError::CorruptNode {
+                page,
+                reason: format!("unknown node type {other}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u64, seq: u32, t0: f64) -> LeafEntry {
+        LeafEntry {
+            traj: TrajectoryId(id),
+            seq,
+            segment: Segment::new(
+                SamplePoint::new(t0, id as f64, seq as f64),
+                SamplePoint::new(t0 + 1.0, id as f64 + 0.5, seq as f64 - 0.25),
+            )
+            .unwrap(),
+        }
+    }
+
+    #[test]
+    fn capacities_match_layout() {
+        assert_eq!(LEAF_CAPACITY, 67);
+        assert_eq!(INTERNAL_CAPACITY, 78);
+        const { assert!(HEADER_SIZE + LEAF_CAPACITY * LEAF_ENTRY_SIZE <= PAGE_SIZE) };
+        const { assert!(HEADER_SIZE + INTERNAL_CAPACITY * INTERNAL_ENTRY_SIZE <= PAGE_SIZE) };
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let node = Node::Leaf {
+            entries: (0..LEAF_CAPACITY as u32)
+                .map(|i| entry(7, i, i as f64))
+                .collect(),
+            owner: Some(TrajectoryId(7)),
+            prev: Some(PageId(3)),
+            next: None,
+        };
+        let bytes = node.encode();
+        assert_eq!(bytes.len(), PAGE_SIZE);
+        let back = Node::decode(PageId(0), &bytes).unwrap();
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let node = Node::Internal {
+            level: 3,
+            entries: (0..INTERNAL_CAPACITY as u32)
+                .map(|i| InternalEntry {
+                    child: PageId(i),
+                    mbb: Mbb::new(
+                        -(i as f64),
+                        0.0,
+                        i as f64,
+                        i as f64 + 1.0,
+                        2.0,
+                        i as f64 + 5.0,
+                    ),
+                })
+                .collect(),
+        };
+        let back = Node::decode(PageId(9), &node.encode()).unwrap();
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn empty_leaf_roundtrip() {
+        let node = Node::empty_leaf();
+        let back = Node::decode(PageId(0), &node.encode()).unwrap();
+        assert_eq!(back, node);
+        assert!(back.is_empty());
+        assert!(back.mbb().is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[0] = 99; // unknown type
+        assert!(matches!(
+            Node::decode(PageId(1), &buf),
+            Err(IndexError::CorruptNode { .. })
+        ));
+        // Internal node claiming level 0.
+        let mut buf2 = vec![0u8; PAGE_SIZE];
+        buf2[0] = TYPE_INTERNAL;
+        buf2[1] = 0;
+        assert!(Node::decode(PageId(1), &buf2).is_err());
+        // Leaf with an absurd count.
+        let mut buf3 = vec![0u8; PAGE_SIZE];
+        buf3[0] = TYPE_LEAF;
+        buf3[2..4].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert!(Node::decode(PageId(1), &buf3).is_err());
+        // Wrong buffer length.
+        assert!(Node::decode(PageId(1), &buf[..100]).is_err());
+    }
+
+    #[test]
+    fn node_mbb_covers_entries() {
+        let node = Node::Leaf {
+            entries: vec![entry(1, 0, 0.0), entry(2, 5, 10.0)],
+            owner: None,
+            prev: None,
+            next: None,
+        };
+        let mbb = node.mbb();
+        if let Node::Leaf { entries, .. } = &node {
+            for e in entries {
+                let u = mbb.union(&e.mbb());
+                assert_eq!(u, mbb);
+            }
+        }
+    }
+}

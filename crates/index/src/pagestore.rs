@@ -1,0 +1,198 @@
+//! The simulated disk: a flat array of fixed-size pages with I/O accounting.
+//!
+//! The paper's experiments ran on a real disk with a 4 KB page size; this
+//! in-process substitute preserves the quantity the evaluation actually
+//! reports — *how much of the index a query touches* — while making runs
+//! deterministic and portable (see DESIGN.md, substitution 3).
+
+use crate::{IndexError, Result};
+
+/// Size of one disk page in bytes (the paper's setting).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page on the simulated disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Sentinel used on disk for "no page" (e.g. a TB-tree leaf with no
+    /// predecessor).
+    pub const NONE: PageId = PageId(u32::MAX);
+}
+
+/// Physical I/O counters of the simulated disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Number of page reads served by the "disk" (i.e. buffer misses).
+    pub reads: u64,
+    /// Number of page writes that reached the "disk".
+    pub writes: u64,
+}
+
+/// An in-process array of 4 KB pages standing in for a disk volume.
+#[derive(Debug)]
+pub struct PageStore {
+    pages: Vec<Box<[u8]>>,
+    /// Pages returned by [`PageStore::free`], reused by the next allocation.
+    free_list: Vec<PageId>,
+    stats: DiskStats,
+}
+
+impl PageStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        PageStore {
+            pages: Vec::new(),
+            free_list: Vec::new(),
+            stats: DiskStats::default(),
+        }
+    }
+
+    /// Allocates a zeroed page (reusing a freed one when available) and
+    /// returns its id.
+    pub fn allocate(&mut self) -> PageId {
+        if let Some(id) = self.free_list.pop() {
+            self.pages[id.0 as usize].fill(0);
+            return id;
+        }
+        let id = PageId(
+            u32::try_from(self.pages.len()).expect("page store limited to u32::MAX - 1 pages"),
+        );
+        assert!(id != PageId::NONE, "page store exhausted");
+        self.pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice());
+        id
+    }
+
+    /// Returns a page to the free list for reuse. Freeing an unknown or
+    /// already-free page is a logic error in the caller; the store checks
+    /// the former.
+    pub fn free(&mut self, id: PageId) -> Result<()> {
+        if id.0 as usize >= self.pages.len() {
+            return Err(IndexError::UnknownPage(id));
+        }
+        debug_assert!(!self.free_list.contains(&id), "double free of {id:?}");
+        self.free_list.push(id);
+        Ok(())
+    }
+
+    /// Number of live pages (allocated minus freed).
+    pub fn num_pages(&self) -> usize {
+        self.pages.len() - self.free_list.len()
+    }
+
+    /// Total size of the store in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.pages.len() * PAGE_SIZE
+    }
+
+    /// Reads a page, counting one physical read.
+    pub fn read(&mut self, id: PageId) -> Result<&[u8]> {
+        self.stats.reads += 1;
+        self.pages
+            .get(id.0 as usize)
+            .map(|p| &p[..])
+            .ok_or(IndexError::UnknownPage(id))
+    }
+
+    /// Writes a full page, counting one physical write.
+    pub fn write(&mut self, id: PageId, data: &[u8]) -> Result<()> {
+        assert_eq!(data.len(), PAGE_SIZE, "pages are written whole");
+        let page = self
+            .pages
+            .get_mut(id.0 as usize)
+            .ok_or(IndexError::UnknownPage(id))?;
+        page.copy_from_slice(data);
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    /// Raw page bytes in allocation order (persistence support).
+    pub(crate) fn raw_pages(&self) -> impl Iterator<Item = &[u8]> {
+        self.pages.iter().map(|p| &p[..])
+    }
+
+    /// The current free list (persistence support).
+    pub(crate) fn free_list(&self) -> &[PageId] {
+        &self.free_list
+    }
+
+    /// Rebuilds a store from persisted raw pages and free list.
+    pub(crate) fn from_raw(pages: Vec<Box<[u8]>>, free_list: Vec<PageId>) -> Self {
+        PageStore {
+            pages,
+            free_list,
+            stats: DiskStats::default(),
+        }
+    }
+
+    /// Snapshot of the physical I/O counters.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// Resets the physical I/O counters (e.g. between experiment phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = DiskStats::default();
+    }
+}
+
+impl Default for PageStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_read_write_roundtrip() {
+        let mut s = PageStore::new();
+        let a = s.allocate();
+        let b = s.allocate();
+        assert_eq!(a, PageId(0));
+        assert_eq!(b, PageId(1));
+        assert_eq!(s.num_pages(), 2);
+        assert_eq!(s.size_bytes(), 2 * PAGE_SIZE);
+
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[0] = 0xAB;
+        data[PAGE_SIZE - 1] = 0xCD;
+        s.write(b, &data).unwrap();
+        let r = s.read(b).unwrap();
+        assert_eq!(r[0], 0xAB);
+        assert_eq!(r[PAGE_SIZE - 1], 0xCD);
+        // Page `a` is still zeroed.
+        assert!(s.read(a).unwrap().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn stats_count_physical_io() {
+        let mut s = PageStore::new();
+        let a = s.allocate();
+        let zero = vec![0u8; PAGE_SIZE];
+        s.write(a, &zero).unwrap();
+        s.read(a).unwrap();
+        s.read(a).unwrap();
+        assert_eq!(
+            s.stats(),
+            DiskStats {
+                reads: 2,
+                writes: 1
+            }
+        );
+        s.reset_stats();
+        assert_eq!(s.stats(), DiskStats::default());
+    }
+
+    #[test]
+    fn unknown_page_is_an_error() {
+        let mut s = PageStore::new();
+        assert!(matches!(
+            s.read(PageId(7)),
+            Err(IndexError::UnknownPage(PageId(7)))
+        ));
+        assert!(s.write(PageId(7), &[0u8; PAGE_SIZE]).is_err());
+    }
+}

@@ -1,0 +1,312 @@
+//! Single-file persistence for the index structures.
+//!
+//! Both trees serialize into the same framed binary image:
+//!
+//! ```text
+//! magic   "MSTIDX01"                       8 bytes
+//! kind    u8 (0 = 3D R-tree, 1 = TB-tree)
+//! root    u32 (PageId::NONE for empty)
+//! height  u8
+//! entries u64
+//! vmax    f64
+//! pages   u64  (total allocated slots, including freed)
+//! free    u32 count, then that many u32 page ids
+//! tips    u32 count, then (u64 traj, u32 page) pairs   (TB-tree only)
+//! parents u32 count, then (u32 child, u32 parent) pairs (TB-tree only)
+//! data    pages × 4096 raw bytes
+//! ```
+//!
+//! Dirty buffered pages are flushed before the image is taken, so the file
+//! is a faithful snapshot. Loading rebuilds the store and a cold buffer —
+//! the image is validated structurally on first use by the usual node
+//! decoding (plus [`crate::check_invariants`] for the paranoid).
+
+use std::io::{Read, Write};
+
+use mst_trajectory::TrajectoryId;
+
+use crate::{IndexError, PageId, Result, PAGE_SIZE};
+
+const MAGIC: &[u8; 8] = b"MSTIDX01";
+
+/// Which tree kind a persisted image holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImageKind {
+    /// A 3D R-tree image.
+    Rtree3D,
+    /// A TB-tree image.
+    TbTree,
+    /// An STR-tree image.
+    StrTree,
+}
+
+/// Everything needed to reconstruct a tree (internal representation shared
+/// by both save paths).
+pub(crate) struct Image {
+    pub kind: ImageKind,
+    pub root: Option<PageId>,
+    pub height: u8,
+    pub entries: u64,
+    pub max_speed: f64,
+    pub pages: Vec<Box<[u8]>>,
+    pub free_list: Vec<PageId>,
+    pub tips: Vec<(TrajectoryId, PageId)>,
+    pub parents: Vec<(PageId, PageId)>,
+}
+
+fn io_err(e: std::io::Error) -> IndexError {
+    IndexError::Persist(e.to_string())
+}
+
+impl Image {
+    pub(crate) fn write_to<W: Write>(&self, mut w: W) -> Result<()> {
+        let mut header = Vec::with_capacity(64);
+        header.extend_from_slice(MAGIC);
+        header.push(match self.kind {
+            ImageKind::Rtree3D => 0,
+            ImageKind::TbTree => 1,
+            ImageKind::StrTree => 2,
+        });
+        header.extend_from_slice(&self.root.unwrap_or(PageId::NONE).0.to_le_bytes());
+        header.push(self.height);
+        header.extend_from_slice(&self.entries.to_le_bytes());
+        header.extend_from_slice(&self.max_speed.to_bits().to_le_bytes());
+        header.extend_from_slice(&(self.pages.len() as u64).to_le_bytes());
+        header.extend_from_slice(&(self.free_list.len() as u32).to_le_bytes());
+        for id in &self.free_list {
+            header.extend_from_slice(&id.0.to_le_bytes());
+        }
+        header.extend_from_slice(&(self.tips.len() as u32).to_le_bytes());
+        for (traj, page) in &self.tips {
+            header.extend_from_slice(&traj.0.to_le_bytes());
+            header.extend_from_slice(&page.0.to_le_bytes());
+        }
+        header.extend_from_slice(&(self.parents.len() as u32).to_le_bytes());
+        for (child, parent) in &self.parents {
+            header.extend_from_slice(&child.0.to_le_bytes());
+            header.extend_from_slice(&parent.0.to_le_bytes());
+        }
+        w.write_all(&header).map_err(io_err)?;
+        for page in &self.pages {
+            w.write_all(page).map_err(io_err)?;
+        }
+        w.flush().map_err(io_err)
+    }
+
+    pub(crate) fn read_from<R: Read>(mut r: R) -> Result<Image> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic).map_err(io_err)?;
+        if &magic != MAGIC {
+            return Err(IndexError::Persist("bad magic — not an index image".into()));
+        }
+        let kind = match read_u8(&mut r)? {
+            0 => ImageKind::Rtree3D,
+            1 => ImageKind::TbTree,
+            2 => ImageKind::StrTree,
+            other => {
+                return Err(IndexError::Persist(format!("unknown tree kind {other}")));
+            }
+        };
+        let root_raw = read_u32(&mut r)?;
+        let height = read_u8(&mut r)?;
+        let entries = read_u64(&mut r)?;
+        let max_speed = f64::from_bits(read_u64(&mut r)?);
+        if !max_speed.is_finite() || max_speed < 0.0 {
+            return Err(IndexError::Persist(format!("invalid vmax {max_speed}")));
+        }
+        let num_pages = read_u64(&mut r)? as usize;
+        let free_count = read_u32(&mut r)? as usize;
+        if free_count > num_pages {
+            return Err(IndexError::Persist(format!(
+                "{free_count} free pages exceed the {num_pages} allocated"
+            )));
+        }
+        let mut free_list = Vec::with_capacity(free_count);
+        for _ in 0..free_count {
+            free_list.push(PageId(read_u32(&mut r)?));
+        }
+        let tips_count = read_u32(&mut r)? as usize;
+        let mut tips = Vec::with_capacity(tips_count);
+        for _ in 0..tips_count {
+            tips.push((TrajectoryId(read_u64(&mut r)?), PageId(read_u32(&mut r)?)));
+        }
+        let parents_count = read_u32(&mut r)? as usize;
+        let mut parents = Vec::with_capacity(parents_count);
+        for _ in 0..parents_count {
+            parents.push((PageId(read_u32(&mut r)?), PageId(read_u32(&mut r)?)));
+        }
+        let mut pages = Vec::with_capacity(num_pages);
+        for _ in 0..num_pages {
+            let mut page = vec![0u8; PAGE_SIZE];
+            r.read_exact(&mut page).map_err(io_err)?;
+            pages.push(page.into_boxed_slice());
+        }
+        let root = (root_raw != PageId::NONE.0).then_some(PageId(root_raw));
+        if let Some(root) = root {
+            if root.0 as usize >= num_pages {
+                return Err(IndexError::Persist(format!(
+                    "root {root:?} outside the {num_pages}-page image"
+                )));
+            }
+        }
+        Ok(Image {
+            kind,
+            root,
+            height,
+            entries,
+            max_speed,
+            pages,
+            free_list,
+            tips,
+            parents,
+        })
+    }
+}
+
+fn read_u8<R: Read>(r: &mut R) -> Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b).map_err(io_err)?;
+    Ok(b[0])
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b).map_err(io_err)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b).map_err(io_err)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_garbage_images() {
+        let err = Image::read_from(&b"not an index"[..])
+            .err()
+            .expect("must fail");
+        assert!(matches!(err, IndexError::Persist(_)));
+        // Correct magic, truncated body.
+        let err = Image::read_from(&b"MSTIDX01"[..]).err().expect("must fail");
+        assert!(matches!(err, IndexError::Persist(_)));
+        // Unknown kind byte.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(9);
+        let err = Image::read_from(&buf[..]).err().expect("must fail");
+        assert!(matches!(err, IndexError::Persist(_)));
+    }
+}
+
+#[cfg(test)]
+mod roundtrip_tests {
+    use crate::{check_invariants, LeafEntry, Rtree3D, TbTree, TrajectoryIndex};
+    use mst_trajectory::{Mbb, SamplePoint, Segment, TrajectoryId};
+
+    fn entry(id: u64, seq: u32, t: f64) -> LeafEntry {
+        LeafEntry {
+            traj: TrajectoryId(id),
+            seq,
+            segment: Segment::new(
+                SamplePoint::new(t, f64::from(seq) * 0.7 + id as f64, 0.3 * id as f64),
+                SamplePoint::new(
+                    t + 1.0,
+                    f64::from(seq) * 0.7 + id as f64 + 0.5,
+                    0.3 * id as f64,
+                ),
+            )
+            .unwrap(),
+        }
+    }
+
+    #[test]
+    fn rtree_roundtrips_through_bytes() {
+        let mut tree = Rtree3D::new();
+        for s in 0..120u32 {
+            for id in 0..5u64 {
+                tree.insert(entry(id, s, f64::from(s))).unwrap();
+            }
+        }
+        // Exercise the free list too.
+        for s in (0..120u32).step_by(7) {
+            assert!(tree.delete(TrajectoryId(2), s).unwrap());
+        }
+        let mut bytes = Vec::new();
+        tree.save(&mut bytes).unwrap();
+        let mut loaded = Rtree3D::load(&bytes[..]).unwrap();
+
+        assert_eq!(loaded.num_entries(), tree.num_entries());
+        assert_eq!(loaded.height(), tree.height());
+        assert_eq!(loaded.max_speed(), tree.max_speed());
+        assert_eq!(loaded.num_pages(), tree.num_pages());
+        check_invariants(&mut loaded).unwrap();
+        // Every surviving entry is still reachable.
+        let all = |t: &mut Rtree3D| {
+            let mut v = t
+                .range_query(&Mbb::new(-1e12, -1e12, -1e12, 1e12, 1e12, 1e12))
+                .unwrap();
+            v.sort_by_key(|e| (e.traj, e.seq));
+            v
+        };
+        assert_eq!(all(&mut loaded), all(&mut tree));
+        // The loaded tree keeps working.
+        loaded.insert(entry(9, 0, 500.0)).unwrap();
+        check_invariants(&mut loaded).unwrap();
+    }
+
+    #[test]
+    fn tbtree_roundtrips_with_tips_and_parents() {
+        let mut tree = TbTree::new();
+        for s in 0..200u32 {
+            for id in 0..4u64 {
+                tree.insert(entry(id, s, f64::from(s))).unwrap();
+            }
+        }
+        let mut bytes = Vec::new();
+        tree.save(&mut bytes).unwrap();
+        let mut loaded = TbTree::load(&bytes[..]).unwrap();
+        assert_eq!(loaded.num_entries(), 800);
+        check_invariants(&mut loaded).unwrap();
+        // Leaf-list reconstruction still works (tips survived).
+        let segs = loaded.trajectory_segments(TrajectoryId(3)).unwrap();
+        assert_eq!(segs.len(), 200);
+        // And appending continues where the tip left off (parents survived).
+        loaded.insert(entry(3, 200, 200.0)).unwrap();
+        assert_eq!(
+            loaded.trajectory_segments(TrajectoryId(3)).unwrap().len(),
+            201
+        );
+        check_invariants(&mut loaded).unwrap();
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let mut rtree = Rtree3D::new();
+        rtree.insert(entry(0, 0, 0.0)).unwrap();
+        let mut bytes = Vec::new();
+        rtree.save(&mut bytes).unwrap();
+        assert!(TbTree::load(&bytes[..]).is_err());
+        assert!(Rtree3D::load(&bytes[..]).is_ok());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("mst_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rtree.idx");
+        let mut tree = Rtree3D::new();
+        for s in 0..50u32 {
+            tree.insert(entry(1, s, f64::from(s))).unwrap();
+        }
+        tree.save_to_path(&path).unwrap();
+        let mut loaded = Rtree3D::load_from_path(&path).unwrap();
+        assert_eq!(loaded.num_entries(), 50);
+        check_invariants(&mut loaded).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,208 @@
+//! The read interface the MST search consumes, plus the shared pager that
+//! both trees use to move nodes through the buffer.
+
+use mst_trajectory::Mbb;
+
+use crate::{BufferPool, BufferStats, DiskStats, LeafEntry, Node, PageId, PageStore, Result};
+
+/// The paper's buffer sizing rule: 10% of the index size, capped at 1000
+/// pages (and floored at a handful so tiny indexes still run buffered).
+pub(crate) fn paper_buffer_capacity(index_pages: usize) -> usize {
+    (index_pages / 10).clamp(8, 1000)
+}
+
+/// Combined statistics of an index: structure plus I/O counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Total pages occupied by the index.
+    pub pages: usize,
+    /// Total bytes (`pages * PAGE_SIZE`).
+    pub size_bytes: usize,
+    /// Tree height (number of levels; a single-leaf tree has height 1).
+    pub height: u8,
+    /// Segment entries stored.
+    pub entries: u64,
+    /// Logical node reads performed (through the buffer).
+    pub node_reads: u64,
+    /// Physical disk counters.
+    pub disk: DiskStats,
+    /// Buffer counters.
+    pub buffer: BufferStats,
+}
+
+/// Pages + buffer, shared by both tree implementations.
+pub(crate) struct Pager {
+    pub store: PageStore,
+    pub pool: BufferPool,
+    pub node_reads: u64,
+    /// When set, pins the buffer to a fixed page count instead of the
+    /// paper's auto-sizing rule (used by the buffer-sweep ablation).
+    pub fixed_capacity: Option<usize>,
+}
+
+impl Pager {
+    pub fn new() -> Self {
+        Pager {
+            store: PageStore::new(),
+            pool: BufferPool::new(paper_buffer_capacity(0)),
+            node_reads: 0,
+            fixed_capacity: None,
+        }
+    }
+
+    /// Wraps a rebuilt store (persistence load path) with a cold buffer.
+    pub fn from_store(store: PageStore) -> Self {
+        let cap = paper_buffer_capacity(store.num_pages());
+        Pager {
+            store,
+            pool: BufferPool::new(cap),
+            node_reads: 0,
+            fixed_capacity: None,
+        }
+    }
+
+    /// Pins (or, with `None`, un-pins) the buffer capacity.
+    pub fn set_fixed_capacity(&mut self, capacity: Option<usize>) -> Result<()> {
+        self.fixed_capacity = capacity;
+        let cap = capacity.unwrap_or_else(|| paper_buffer_capacity(self.store.num_pages()));
+        self.pool.set_capacity(cap, &mut self.store)
+    }
+
+    /// Allocates a page for `node` and writes it (through the buffer).
+    pub fn allocate_node(&mut self, node: &Node) -> Result<PageId> {
+        let id = self.store.allocate();
+        self.write_node(id, node)?;
+        // Grow the buffer with the index, per the paper's 10%/1000 rule
+        // (unless the caller pinned a capacity).
+        if self.fixed_capacity.is_none() {
+            let cap = paper_buffer_capacity(self.store.num_pages());
+            if cap != self.pool.capacity() {
+                self.pool.set_capacity(cap, &mut self.store)?;
+            }
+        }
+        Ok(id)
+    }
+
+    /// Reads and decodes the node stored in `page`.
+    pub fn read_node(&mut self, page: PageId) -> Result<Node> {
+        self.node_reads += 1;
+        let bytes = self.pool.read(&mut self.store, page)?;
+        Node::decode(page, bytes)
+    }
+
+    /// Encodes and writes `node` into `page`.
+    pub fn write_node(&mut self, page: PageId, node: &Node) -> Result<()> {
+        let bytes = node.encode();
+        self.pool.write(&mut self.store, page, &bytes)
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.node_reads = 0;
+        self.store.reset_stats();
+        self.pool.reset_stats();
+    }
+
+    /// Drops all cached pages so the next query starts cold.
+    pub fn clear_buffer(&mut self) -> Result<()> {
+        self.pool.clear(&mut self.store)
+    }
+
+    /// Frees a node's page (its bytes are dead; the buffer copy is
+    /// discarded, the page returns to the store's free list).
+    pub fn free_node(&mut self, page: PageId) -> Result<()> {
+        self.pool.discard(page);
+        self.store.free(page)
+    }
+}
+
+/// Read access to an R-tree-like trajectory index, as required by the
+/// best-first MST search: a root pointer, node fetches (with I/O
+/// accounting), and the metadata the bounds need (`max_speed`, sizes).
+pub trait TrajectoryIndex {
+    /// The root page, or `None` for an empty index.
+    fn root(&self) -> Option<PageId>;
+
+    /// Fetches and decodes a node (counts one logical read; physical I/O
+    /// depends on the buffer).
+    fn read_node(&mut self, page: PageId) -> Result<Node>;
+
+    /// Number of pages the index occupies.
+    fn num_pages(&self) -> usize;
+
+    /// Number of segment entries stored.
+    fn num_entries(&self) -> u64;
+
+    /// Tree height (1 for a single-leaf tree, 0 when empty).
+    fn height(&self) -> u8;
+
+    /// Maximum speed over all indexed segments (the `Vmax` ingredient of the
+    /// speed-dependent bounds; the query adds its own max speed).
+    fn max_speed(&self) -> f64;
+
+    /// Snapshot of structural and I/O statistics.
+    fn stats(&self) -> IndexStats;
+
+    /// Resets the I/O counters (structure metadata is preserved).
+    fn reset_stats(&mut self);
+
+    /// Empties the buffer pool so subsequent queries run cold.
+    fn clear_buffer(&mut self) -> Result<()>;
+
+    /// Pins the buffer pool to a fixed page capacity, or restores the
+    /// paper's auto-sizing rule with `None` (used by buffer ablations).
+    fn set_buffer_capacity(&mut self, capacity: Option<usize>) -> Result<()>;
+
+    /// All segments whose MBB intersects `window` — the classic 3D range
+    /// query the substrate also serves (the paper's premise is that the
+    /// *same* index answers both traditional and similarity queries).
+    fn range_query(&mut self, window: &Mbb) -> Result<Vec<LeafEntry>> {
+        let mut out = Vec::new();
+        let Some(root) = self.root() else {
+            return Ok(out);
+        };
+        let mut stack = vec![root];
+        while let Some(page) = stack.pop() {
+            match self.read_node(page)? {
+                Node::Leaf { entries, .. } => {
+                    out.extend(
+                        entries
+                            .iter()
+                            .filter(|e| e.mbb().intersects(window))
+                            .copied(),
+                    );
+                }
+                Node::Internal { entries, .. } => {
+                    stack.extend(
+                        entries
+                            .iter()
+                            .filter(|e| e.mbb.intersects(window))
+                            .map(|e| e.child),
+                    );
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Write access to an R-tree-like trajectory index. Separate from
+/// [`TrajectoryIndex`] because read-only views (e.g. a loaded snapshot
+/// served to queries) need not be writable.
+pub trait TrajectoryIndexWrite: TrajectoryIndex {
+    /// Inserts one segment entry.
+    fn insert_entry(&mut self, entry: LeafEntry) -> Result<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_capacity_follows_paper_rule() {
+        assert_eq!(paper_buffer_capacity(0), 8);
+        assert_eq!(paper_buffer_capacity(50), 8);
+        assert_eq!(paper_buffer_capacity(200), 20);
+        assert_eq!(paper_buffer_capacity(5000), 500);
+        assert_eq!(paper_buffer_capacity(100_000), 1000);
+    }
+}

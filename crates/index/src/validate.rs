@@ -1,0 +1,137 @@
+//! Structural invariant checker for the R-tree-like structures.
+//!
+//! Used by tests (including property tests) and available to downstream
+//! users as a debugging aid: it verifies the containment, level, capacity,
+//! and entry-count invariants that the search algorithm's correctness rests
+//! on.
+
+use mst_trajectory::Mbb;
+
+use crate::{Node, PageId, TrajectoryIndex};
+
+/// Tolerance for MBB containment comparisons (pure f64 copies should be
+/// exact; the slack guards against future arithmetic in MBB maintenance).
+const TOL: f64 = 1e-9;
+
+/// Summary of a structural validation pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InvariantReport {
+    /// Total nodes visited.
+    pub nodes: usize,
+    /// Leaf nodes visited.
+    pub leaves: usize,
+    /// Leaf entries counted.
+    pub entries: u64,
+    /// Maximum depth observed (root = 0).
+    pub max_depth: usize,
+}
+
+fn mbb_contains(outer: &Mbb, inner: &Mbb) -> bool {
+    outer.x_min <= inner.x_min + TOL
+        && outer.y_min <= inner.y_min + TOL
+        && outer.t_min <= inner.t_min + TOL
+        && outer.x_max >= inner.x_max - TOL
+        && outer.y_max >= inner.y_max - TOL
+        && outer.t_max >= inner.t_max - TOL
+}
+
+/// Walks the whole tree checking:
+///
+/// 1. every internal entry's MBB contains (within tolerance) the MBB of the
+///    child subtree it points to;
+/// 2. levels decrease by exactly one on each descent and reach 0 at leaves;
+/// 3. no node exceeds its capacity;
+/// 4. every leaf sits at the same depth;
+/// 5. reported entry/height metadata matches the structure.
+///
+/// Returns a summary on success, or a description of the first violation.
+pub fn check_invariants<I: TrajectoryIndex>(index: &mut I) -> Result<InvariantReport, String> {
+    let mut report = InvariantReport::default();
+    let Some(root) = index.root() else {
+        if index.num_entries() != 0 {
+            return Err("empty tree reports nonzero entries".into());
+        }
+        return Ok(report);
+    };
+
+    let root_node = index.read_node(root).map_err(|e| e.to_string())?;
+    let expected_height = index.height();
+    if root_node.level() + 1 != expected_height {
+        return Err(format!(
+            "root level {} inconsistent with height {}",
+            root_node.level(),
+            expected_height
+        ));
+    }
+
+    let mut leaf_depth: Option<usize> = None;
+    // (page, expected_level, expected_mbb (None at root), depth)
+    let mut stack: Vec<(PageId, u8, Option<Mbb>, usize)> = vec![(root, root_node.level(), None, 0)];
+
+    while let Some((page, expected_level, expected_mbb, depth)) = stack.pop() {
+        let node = index.read_node(page).map_err(|e| e.to_string())?;
+        report.nodes += 1;
+        report.max_depth = report.max_depth.max(depth);
+        if node.level() != expected_level {
+            return Err(format!(
+                "page {page:?}: level {} but parent expects {expected_level}",
+                node.level()
+            ));
+        }
+        if node.len() > node.capacity() {
+            return Err(format!(
+                "page {page:?}: {} entries exceed capacity {}",
+                node.len(),
+                node.capacity()
+            ));
+        }
+        if node.is_empty() && depth > 0 {
+            return Err(format!("page {page:?}: empty non-root node"));
+        }
+        if let Some(parent_mbb) = expected_mbb {
+            let own = node.mbb();
+            if !mbb_contains(&parent_mbb, &own) {
+                return Err(format!(
+                    "page {page:?}: parent MBB {parent_mbb:?} does not contain node MBB {own:?}"
+                ));
+            }
+        }
+        match node {
+            Node::Leaf { entries, owner, .. } => {
+                report.leaves += 1;
+                report.entries += entries.len() as u64;
+                if let Some(d) = leaf_depth {
+                    if d != depth {
+                        return Err(format!(
+                            "page {page:?}: leaf at depth {depth}, earlier leaves at {d}"
+                        ));
+                    }
+                } else {
+                    leaf_depth = Some(depth);
+                }
+                // TB-tree leaves must be single-trajectory.
+                if let Some(owner) = owner {
+                    if entries.iter().any(|e| e.traj != owner) {
+                        return Err(format!(
+                            "page {page:?}: owned leaf ({owner}) contains foreign segments"
+                        ));
+                    }
+                }
+            }
+            Node::Internal { level, entries } => {
+                for e in entries {
+                    stack.push((e.child, level - 1, Some(e.mbb), depth + 1));
+                }
+            }
+        }
+    }
+
+    if report.entries != index.num_entries() {
+        return Err(format!(
+            "tree holds {} entries but index reports {}",
+            report.entries,
+            index.num_entries()
+        ));
+    }
+    Ok(report)
+}

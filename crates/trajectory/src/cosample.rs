@@ -1,0 +1,210 @@
+//! Co-temporal alignment of two trajectories.
+//!
+//! DISSIM integrates the distance between two trajectories over a period
+//! during which both are valid. Because the trajectories may be sampled at
+//! *different* timestamps (the motivating example of the paper's Figure 1),
+//! the integration domain is first split at the union of both sample sets;
+//! inside each resulting piece both objects move linearly, so the distance
+//! is a single trinomial `sqrt(a t^2 + b t + c)`.
+
+use crate::{Result, Segment, TimeInterval, Trajectory, TrajectoryError};
+
+/// A pair of co-temporal segments: both span exactly the same time interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoSegment {
+    /// Piece of the first trajectory.
+    pub first: Segment,
+    /// Piece of the second trajectory.
+    pub second: Segment,
+}
+
+impl CoSegment {
+    /// The shared temporal extent of the pair.
+    pub fn time(&self) -> TimeInterval {
+        self.first.time()
+    }
+}
+
+/// Splits `period` at the union of the two trajectories' sample timestamps
+/// and returns the aligned segment pairs.
+///
+/// Both trajectories must cover `period`; the period must have positive
+/// duration.
+pub fn co_segments(
+    a: &Trajectory,
+    b: &Trajectory,
+    period: &TimeInterval,
+) -> Result<Vec<CoSegment>> {
+    let cuts = merged_timestamps(a, b, period)?;
+    let mut out = Vec::with_capacity(cuts.len() - 1);
+    for w in cuts.windows(2) {
+        let iv = TimeInterval::new(w[0], w[1])?;
+        let sa = a
+            .segment(a.segment_index_at(iv.start())?)
+            .clip(&iv)
+            .expect("cut interval lies inside one segment");
+        let sb = b
+            .segment(b.segment_index_at(iv.start())?)
+            .clip(&iv)
+            .expect("cut interval lies inside one segment");
+        out.push(CoSegment {
+            first: sa,
+            second: sb,
+        });
+    }
+    Ok(out)
+}
+
+/// The sorted, deduplicated union of both trajectories' sample timestamps
+/// restricted to `period`, with the period endpoints always included.
+///
+/// The result has at least two entries and consecutive entries are strictly
+/// increasing, so it directly defines the integration pieces.
+pub fn merged_timestamps(
+    a: &Trajectory,
+    b: &Trajectory,
+    period: &TimeInterval,
+) -> Result<Vec<f64>> {
+    for t in [a, b] {
+        if !t.covers(period) {
+            return Err(TrajectoryError::PeriodNotCovered {
+                period: (period.start(), period.end()),
+                valid: (t.start_time(), t.end_time()),
+            });
+        }
+    }
+    if period.is_instant() {
+        return Err(TrajectoryError::InvalidInterval {
+            start: period.start(),
+            end: period.end(),
+        });
+    }
+    let mut cuts = Vec::with_capacity(a.num_points() + b.num_points() + 2);
+    cuts.push(period.start());
+    let mut ia = a.points().iter().map(|p| p.t).peekable();
+    let mut ib = b.points().iter().map(|p| p.t).peekable();
+    // Merge the two sorted timestamp streams.
+    loop {
+        let next = match (ia.peek(), ib.peek()) {
+            (Some(&ta), Some(&tb)) => {
+                if ta <= tb {
+                    ia.next();
+                    if ta == tb {
+                        ib.next();
+                    }
+                    ta
+                } else {
+                    ib.next();
+                    tb
+                }
+            }
+            (Some(&ta), None) => {
+                ia.next();
+                ta
+            }
+            (None, Some(&tb)) => {
+                ib.next();
+                tb
+            }
+            (None, None) => break,
+        };
+        if next > period.start() && next < period.end() {
+            if *cuts.last().expect("seeded with period start") != next {
+                cuts.push(next);
+            }
+        } else if next >= period.end() {
+            break;
+        }
+    }
+    cuts.push(period.end());
+    Ok(cuts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(samples: &[(f64, f64)]) -> Trajectory {
+        // 1D motion along x for readability.
+        Trajectory::new(
+            samples
+                .iter()
+                .map(|&(t, x)| crate::SamplePoint::new(t, x, 0.0))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn merges_distinct_sampling_rates() {
+        // One trajectory sampled 4 times, the other 7 times (the paper's
+        // Figure 1 situation, scaled down).
+        let a = line(&[(0.0, 0.0), (3.0, 3.0), (6.0, 6.0), (9.0, 9.0)]);
+        let b = line(&[
+            (0.0, 1.0),
+            (1.5, 2.0),
+            (3.0, 3.5),
+            (4.5, 5.0),
+            (6.0, 6.5),
+            (7.5, 8.0),
+            (9.0, 9.5),
+        ]);
+        let period = TimeInterval::new(0.0, 9.0).unwrap();
+        let cuts = merged_timestamps(&a, &b, &period).unwrap();
+        assert_eq!(cuts, vec![0.0, 1.5, 3.0, 4.5, 6.0, 7.5, 9.0]);
+        let pairs = co_segments(&a, &b, &period).unwrap();
+        assert_eq!(pairs.len(), 6);
+        // Pieces tile the period exactly and pairs are aligned.
+        let mut t = period.start();
+        for p in &pairs {
+            assert_eq!(p.first.time().start(), t);
+            assert_eq!(p.first.time(), p.second.time());
+            t = p.first.time().end();
+        }
+        assert_eq!(t, period.end());
+    }
+
+    #[test]
+    fn restricts_to_subperiod() {
+        let a = line(&[(0.0, 0.0), (10.0, 10.0)]);
+        let b = line(&[(0.0, 5.0), (2.0, 4.0), (8.0, 1.0), (10.0, 0.0)]);
+        let period = TimeInterval::new(1.0, 9.0).unwrap();
+        let cuts = merged_timestamps(&a, &b, &period).unwrap();
+        assert_eq!(cuts, vec![1.0, 2.0, 8.0, 9.0]);
+        let pairs = co_segments(&a, &b, &period).unwrap();
+        assert_eq!(pairs.len(), 3);
+        // Interpolated positions at the cut points are consistent with the
+        // source trajectories.
+        let first = pairs[0];
+        assert_eq!(first.first.start().x, 1.0);
+        assert!((first.second.start().x - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_timestamps_do_not_duplicate_cuts() {
+        let a = line(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        let b = line(&[(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]);
+        let period = TimeInterval::new(0.0, 2.0).unwrap();
+        let cuts = merged_timestamps(&a, &b, &period).unwrap();
+        assert_eq!(cuts, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn errors_when_period_not_covered() {
+        let a = line(&[(0.0, 0.0), (5.0, 5.0)]);
+        let b = line(&[(1.0, 0.0), (5.0, 5.0)]);
+        let period = TimeInterval::new(0.0, 5.0).unwrap();
+        assert!(matches!(
+            co_segments(&a, &b, &period),
+            Err(TrajectoryError::PeriodNotCovered { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_on_instant_period() {
+        let a = line(&[(0.0, 0.0), (5.0, 5.0)]);
+        let b = line(&[(0.0, 1.0), (5.0, 6.0)]);
+        let period = TimeInterval::new(2.0, 2.0).unwrap();
+        assert!(co_segments(&a, &b, &period).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+use std::fmt;
+
+/// Errors produced when constructing or manipulating trajectories.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrajectoryError {
+    /// A trajectory needs at least two sample points to define movement.
+    TooFewPoints {
+        /// Number of points supplied.
+        got: usize,
+    },
+    /// Timestamps must be strictly increasing.
+    NonMonotonicTime {
+        /// Index of the offending sample (its timestamp is `<=` the previous one).
+        index: usize,
+        /// Timestamp of the previous sample.
+        prev: f64,
+        /// Timestamp of the offending sample.
+        next: f64,
+    },
+    /// A coordinate or timestamp was NaN or infinite.
+    NonFinite {
+        /// Index of the offending sample.
+        index: usize,
+    },
+    /// A query time fell outside the trajectory's validity period.
+    OutOfRange {
+        /// The requested time.
+        t: f64,
+        /// The trajectory's validity period, as `(start, end)`.
+        valid: (f64, f64),
+    },
+    /// An interval with `start > end` (or non-finite endpoints) was supplied.
+    InvalidInterval {
+        /// Interval start.
+        start: f64,
+        /// Interval end.
+        end: f64,
+    },
+    /// Two segments were expected to span the same time interval but did not.
+    MisalignedSegments {
+        /// Interval of the first segment.
+        first: (f64, f64),
+        /// Interval of the second segment.
+        second: (f64, f64),
+    },
+    /// An operation required both trajectories to cover a time period and one
+    /// did not.
+    PeriodNotCovered {
+        /// The period that had to be covered.
+        period: (f64, f64),
+        /// The validity of the trajectory that failed to cover it.
+        valid: (f64, f64),
+    },
+}
+
+impl fmt::Display for TrajectoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrajectoryError::TooFewPoints { got } => {
+                write!(f, "trajectory needs at least 2 sample points, got {got}")
+            }
+            TrajectoryError::NonMonotonicTime { index, prev, next } => write!(
+                f,
+                "timestamps must be strictly increasing: point {index} has t={next} after t={prev}"
+            ),
+            TrajectoryError::NonFinite { index } => {
+                write!(f, "sample point {index} has a NaN or infinite component")
+            }
+            TrajectoryError::OutOfRange { t, valid } => write!(
+                f,
+                "time {t} outside trajectory validity [{}, {}]",
+                valid.0, valid.1
+            ),
+            TrajectoryError::InvalidInterval { start, end } => {
+                write!(f, "invalid time interval [{start}, {end}]")
+            }
+            TrajectoryError::MisalignedSegments { first, second } => write!(
+                f,
+                "segments span different periods: [{}, {}] vs [{}, {}]",
+                first.0, first.1, second.0, second.1
+            ),
+            TrajectoryError::PeriodNotCovered { period, valid } => write!(
+                f,
+                "trajectory valid on [{}, {}] does not cover the period [{}, {}]",
+                valid.0, valid.1, period.0, period.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrajectoryError {}

@@ -1,0 +1,58 @@
+//! Trajectory model for moving-object databases.
+//!
+//! This crate provides the geometric and kinematic substrate used by the
+//! Most-Similar-Trajectory (MST) search reproduction of Frentzos, Gratsias
+//! and Theodoridis (ICDE 2007):
+//!
+//! * [`Point`], [`SamplePoint`] — spatial and spatiotemporal positions;
+//! * [`Segment`] — a moving point interpolated linearly between two samples;
+//! * [`Trajectory`] — a validated, time-ordered polyline of samples;
+//! * [`Rect`] / [`Mbb`] — 2D and 3D (x, y, t) bounding boxes;
+//! * [`TimeInterval`] — closed time periods with overlap arithmetic;
+//! * [`kinematics::DistanceTrinomial`] — the Euclidean distance between two
+//!   linearly moving points as a function of time, `D(t) = sqrt(a t^2 + b t +
+//!   c)`, with its exact integral, trapezoid approximation, and the Lemma 1
+//!   error bound of the paper;
+//! * [`cosample`] — co-temporal alignment of two trajectories, producing the
+//!   synchronized segment pairs over which DISSIM is integrated.
+//!
+//! Trajectories are immutable after construction and guaranteed to have
+//! finite coordinates and strictly increasing timestamps, so downstream code
+//! never re-validates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cosample;
+mod error;
+pub mod kinematics;
+mod mbb;
+mod point;
+mod segment;
+mod stats;
+mod time;
+mod trajectory;
+
+pub use error::TrajectoryError;
+pub use mbb::{Mbb, Rect};
+pub use point::{Point, SamplePoint};
+pub use segment::Segment;
+pub use stats::{normalize, TrajectoryStats};
+pub use time::TimeInterval;
+pub use trajectory::{Trajectory, TrajectoryBuilder};
+
+/// Identifier of a trajectory inside a moving-object dataset.
+///
+/// The MST index stores one entry per trajectory *segment*; the id ties the
+/// segments of an object together across index nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TrajectoryId(pub u64);
+
+impl std::fmt::Display for TrajectoryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Result alias used throughout the trajectory crate.
+pub type Result<T> = std::result::Result<T, TrajectoryError>;

@@ -1,0 +1,102 @@
+/// A 2D spatial position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to another point (avoids the square root
+    /// when only comparisons are needed).
+    #[inline]
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// True when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+/// A timestamped 2D position: one sample of a moving object's trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplePoint {
+    /// Timestamp of the sample.
+    pub t: f64,
+    /// X coordinate at time `t`.
+    pub x: f64,
+    /// Y coordinate at time `t`.
+    pub y: f64,
+}
+
+impl SamplePoint {
+    /// Creates a sample point.
+    #[inline]
+    pub const fn new(t: f64, x: f64, y: f64) -> Self {
+        SamplePoint { t, x, y }
+    }
+
+    /// The spatial part of the sample.
+    #[inline]
+    pub const fn position(&self) -> Point {
+        Point::new(self.x, self.y)
+    }
+
+    /// True when timestamp and coordinates are all finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.t.is_finite() && self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(-1.5, 2.0);
+        let b = Point::new(7.25, -3.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn sample_point_position_drops_time() {
+        let s = SamplePoint::new(10.0, 1.0, 2.0);
+        assert_eq!(s.position(), Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn finiteness_checks() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 2.0).is_finite());
+        assert!(!SamplePoint::new(f64::INFINITY, 0.0, 0.0).is_finite());
+        assert!(SamplePoint::new(0.0, 0.0, 0.0).is_finite());
+    }
+}

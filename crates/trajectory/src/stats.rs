@@ -1,0 +1,140 @@
+use crate::{Point, Result, SamplePoint, Trajectory};
+
+/// Descriptive statistics of a trajectory, used by the baselines (the
+/// LCSS/EDR matching threshold `epsilon` is derived from coordinate standard
+/// deviations, following Chen et al.) and by the data generators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryStats {
+    /// Number of sample points.
+    pub num_points: usize,
+    /// Mean of the x coordinates.
+    pub mean_x: f64,
+    /// Mean of the y coordinates.
+    pub mean_y: f64,
+    /// Population standard deviation of the x coordinates.
+    pub std_x: f64,
+    /// Population standard deviation of the y coordinates.
+    pub std_y: f64,
+    /// Total spatial length of the polyline.
+    pub spatial_length: f64,
+    /// Duration of the validity period.
+    pub duration: f64,
+    /// Maximum instantaneous speed.
+    pub max_speed: f64,
+    /// Mean sampling period (duration / number of segments).
+    pub mean_sampling_period: f64,
+}
+
+impl TrajectoryStats {
+    /// Computes statistics over a trajectory's samples.
+    pub fn of(t: &Trajectory) -> Self {
+        let n = t.num_points() as f64;
+        let (mut sx, mut sy) = (0.0, 0.0);
+        for p in t.points() {
+            sx += p.x;
+            sy += p.y;
+        }
+        let (mean_x, mean_y) = (sx / n, sy / n);
+        let (mut vx, mut vy) = (0.0, 0.0);
+        for p in t.points() {
+            vx += (p.x - mean_x) * (p.x - mean_x);
+            vy += (p.y - mean_y) * (p.y - mean_y);
+        }
+        TrajectoryStats {
+            num_points: t.num_points(),
+            mean_x,
+            mean_y,
+            std_x: (vx / n).sqrt(),
+            std_y: (vy / n).sqrt(),
+            spatial_length: t.spatial_length(),
+            duration: t.duration(),
+            max_speed: t.max_speed(),
+            mean_sampling_period: t.duration() / t.num_segments() as f64,
+        }
+    }
+
+    /// The larger of the two coordinate standard deviations.
+    pub fn max_std(&self) -> f64 {
+        self.std_x.max(self.std_y)
+    }
+
+    /// The spatial centroid of the samples.
+    pub fn centroid(&self) -> Point {
+        Point::new(self.mean_x, self.mean_y)
+    }
+}
+
+/// Normalizes a trajectory to zero mean and unit variance per spatial
+/// coordinate (timestamps unchanged), as prescribed for the LCSS/EDR quality
+/// comparison in the paper (following Chen et al., SIGMOD'05).
+///
+/// Coordinates with zero variance are only translated.
+pub fn normalize(t: &Trajectory) -> Result<Trajectory> {
+    let s = TrajectoryStats::of(t);
+    let kx = if s.std_x > 0.0 { 1.0 / s.std_x } else { 1.0 };
+    let ky = if s.std_y > 0.0 { 1.0 / s.std_y } else { 1.0 };
+    Trajectory::new(
+        t.points()
+            .iter()
+            .map(|p| SamplePoint::new(p.t, (p.x - s.mean_x) * kx, (p.y - s.mean_y) * ky))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_square_path() {
+        let t = Trajectory::from_txy(&[
+            (0.0, 0.0, 0.0),
+            (1.0, 1.0, 0.0),
+            (2.0, 1.0, 1.0),
+            (3.0, 0.0, 1.0),
+        ])
+        .unwrap();
+        let s = TrajectoryStats::of(&t);
+        assert_eq!(s.num_points, 4);
+        assert_eq!(s.mean_x, 0.5);
+        assert_eq!(s.mean_y, 0.5);
+        assert_eq!(s.std_x, 0.5);
+        assert_eq!(s.std_y, 0.5);
+        assert_eq!(s.spatial_length, 3.0);
+        assert_eq!(s.duration, 3.0);
+        assert_eq!(s.max_speed, 1.0);
+        assert_eq!(s.mean_sampling_period, 1.0);
+        assert_eq!(s.max_std(), 0.5);
+        assert_eq!(s.centroid(), Point::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn normalize_produces_zero_mean_unit_std() {
+        let t = Trajectory::from_txy(&[
+            (0.0, 10.0, -5.0),
+            (1.0, 14.0, -5.0),
+            (2.0, 18.0, -1.0),
+            (3.0, 22.0, 3.0),
+        ])
+        .unwrap();
+        let n = normalize(&t).unwrap();
+        let s = TrajectoryStats::of(&n);
+        assert!(s.mean_x.abs() < 1e-12);
+        assert!(s.mean_y.abs() < 1e-12);
+        assert!((s.std_x - 1.0).abs() < 1e-12);
+        assert!((s.std_y - 1.0).abs() < 1e-12);
+        // Timestamps are untouched.
+        assert_eq!(n.points()[2].t, 2.0);
+    }
+
+    #[test]
+    fn normalize_handles_degenerate_axis() {
+        // Constant y: std_y = 0 must not produce NaN.
+        let t = Trajectory::from_txy(&[(0.0, 0.0, 7.0), (1.0, 2.0, 7.0), (2.0, 4.0, 7.0)]).unwrap();
+        let n = normalize(&t).unwrap();
+        for p in n.points() {
+            assert!(p.is_finite());
+            assert_eq!(p.y, 0.0);
+        }
+    }
+}

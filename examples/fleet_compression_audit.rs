@@ -1,0 +1,88 @@
+//! Fleet compression audit — the paper's quality experiment as a workflow.
+//!
+//! A fleet operator archives GPS tracks compressed with TD-TR to save
+//! space. Before deleting the originals, they audit that each compressed
+//! track still *identifies* its source: querying the archive with the
+//! compressed track must return the original as the most similar
+//! trajectory. The audit runs DISSIM (index-based) next to LCSS/EDR and
+//! their interpolation-improved variants, at increasing compression.
+//!
+//! Run with: `cargo run --release --example fleet_compression_audit`
+
+use mst::baselines::{epsilon_for, normalize_all, Edr, Lcss};
+use mst::datagen::{td_tr_fraction, TrucksConfig};
+use mst::index::Rtree3D;
+use mst::search::{bfmst_search, MstConfig, TrajectoryStore};
+use mst::trajectory::{normalize, TrajectoryId};
+
+fn main() {
+    let fleet = TrucksConfig {
+        num_trucks: 40,
+        ..TrucksConfig::paper_like(2026)
+    }
+    .generate();
+    println!(
+        "fleet: {} trucks, {:.0} samples/truck on average",
+        fleet.len(),
+        fleet.iter().map(|t| t.num_points() as f64).sum::<f64>() / fleet.len() as f64
+    );
+
+    let store = TrajectoryStore::from_trajectories(fleet.clone());
+    let mut index = Rtree3D::new();
+    for (id, t) in store.iter() {
+        index.insert_trajectory(id, t).unwrap();
+    }
+    let period = fleet[0].time();
+
+    // Baseline setup per the paper: normalized data, epsilon = 1/4 max std.
+    let prepared = normalize_all(&fleet);
+    let eps = epsilon_for(prepared.iter());
+    let lcss = Lcss::new(eps);
+    let edr = Edr::new(eps);
+
+    println!(
+        "\n{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "p", "DISSIM", "LCSS", "LCSS-I", "EDR", "EDR-I"
+    );
+    for p in [0.001, 0.01, 0.05, 0.10] {
+        let mut wrong = [0usize; 5];
+        for (qi, original) in fleet.iter().enumerate() {
+            let compressed = td_tr_fraction(original, p);
+
+            // DISSIM via the index.
+            let top = bfmst_search(&mut index, &store, &compressed, &period, &MstConfig::k(1))
+                .unwrap()
+                .matches[0]
+                .traj;
+            wrong[0] += usize::from(top != TrajectoryId(qi as u64));
+
+            // Sequence measures on normalized data.
+            let q = normalize(&compressed).unwrap();
+            let argmin = |f: &dyn Fn(usize) -> f64| {
+                (0..prepared.len())
+                    .min_by(|&a, &b| f(a).total_cmp(&f(b)))
+                    .unwrap()
+            };
+            wrong[1] += usize::from(argmin(&|i| lcss.distance(&q, &prepared[i])) != qi);
+            wrong[2] += usize::from(argmin(&|i| lcss.distance_improved(&q, &prepared[i])) != qi);
+            wrong[3] += usize::from(argmin(&|i| edr.distance(&q, &prepared[i]) as f64) != qi);
+            wrong[4] +=
+                usize::from(argmin(&|i| edr.distance_improved(&q, &prepared[i]) as f64) != qi);
+        }
+        let pct = |w: usize| 100.0 * w as f64 / fleet.len() as f64;
+        println!(
+            "{:<10} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+            format!("{:.1}%", p * 100.0),
+            pct(wrong[0]),
+            pct(wrong[1]),
+            pct(wrong[2]),
+            pct(wrong[3]),
+            pct(wrong[4]),
+        );
+    }
+    println!(
+        "\nReading: DISSIM keeps identifying originals far into the compression\n\
+         range because it integrates the *spatiotemporal* gap; the edit-style\n\
+         measures degrade as the vertex counts diverge (the paper's Figure 9)."
+    );
+}

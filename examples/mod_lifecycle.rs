@@ -1,0 +1,136 @@
+//! A day in the life of a moving-object database: stream positions in,
+//! answer every query flavour, estimate selectivities like an optimizer
+//! would, and persist the index across a "restart".
+//!
+//! Run with: `cargo run --release --example mod_lifecycle`
+
+use mst::datagen::TrucksConfig;
+use mst::index::{Rtree3D, TrajectoryIndex};
+use mst::search::{
+    estimate_selectivity, MovingObjectDatabase, SelectivityHistogram, TimeRelaxedConfig,
+    TrajectoryStore,
+};
+use mst::trajectory::{Point, TimeInterval, TrajectoryId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Morning: the fleet comes online and streams GPS fixes. ---
+    let fleet = TrucksConfig::small(25, 99).generate();
+    let mut db = MovingObjectDatabase::with_rtree();
+    // Feed positions in global temporal order, as a live gateway would.
+    let mut feed: Vec<(TrajectoryId, mst::trajectory::SamplePoint)> = Vec::new();
+    for (i, t) in fleet.iter().enumerate() {
+        for p in t.points() {
+            feed.push((TrajectoryId(i as u64), *p));
+        }
+    }
+    feed.sort_by(|a, b| a.1.t.total_cmp(&b.1.t).then(a.0.cmp(&b.0)));
+    for (id, p) in feed {
+        db.append(id, p)?;
+    }
+    println!(
+        "ingested {} objects / {} segments ({} index pages)",
+        db.num_objects(),
+        db.num_segments(),
+        db.index().num_pages()
+    );
+
+    let horizon = fleet[0].time();
+
+    // --- Dispatcher queries. ---
+    // "Who passed near the depot between 10 and 20 minutes in?"
+    let window = TimeInterval::new(600.0, 1200.0)?;
+    let depot = Point::new(5000.0, 5000.0);
+    let nn = db.nearest_segments(depot, &window, 3)?;
+    println!("\nclosest passes to the depot in [600s, 1200s]:");
+    for m in &nn {
+        println!(
+            "  {} came within {:.0} m (segment starting t={:.0}s)",
+            m.entry.traj,
+            m.distance,
+            m.entry.segment.start().t
+        );
+    }
+
+    // "Which trucks moved most like truck 7 all day?"
+    let q = db.trajectory(TrajectoryId(7)).unwrap().clone();
+    let top = db.most_similar(&q, &horizon, 4)?;
+    println!("\ntrucks most similar to truck 7 (DISSIM, whole shift):");
+    for m in &top {
+        println!("  {}  {:.0}", m.traj, m.dissim);
+    }
+
+    // "Same question, but ignore departure times" — the time-relaxed query.
+    let clipped = q.clip(&TimeInterval::new(300.0, 1500.0)?)?;
+    let relaxed = db.most_similar_time_relaxed(&clipped, &TimeRelaxedConfig::k(3))?;
+    println!("\ntime-relaxed matches for truck 7's 300-1500s leg:");
+    for m in &relaxed {
+        println!(
+            "  {}  dissim {:.0} at shift {:+.0}s",
+            m.traj, m.dissim, m.shift
+        );
+    }
+
+    // --- Optimizer statistics. ---
+    let store = {
+        // Rebuild a read-only snapshot for the estimators.
+        let mut s = TrajectoryStore::new();
+        for i in 0..db.num_objects() {
+            let id = TrajectoryId(i as u64);
+            s.insert(id, db.trajectory(id).unwrap().clone());
+        }
+        s
+    };
+    let theta = top.last().unwrap().dissim;
+    let est = estimate_selectivity(&store, &q, &horizon, theta, 12, 42)?;
+    println!(
+        "\nselectivity of DISSIM <= {:.0}: sampled estimate {:.1}% +/- {:.1}% \
+         (~{:.0} of {} trucks)",
+        theta,
+        est.fraction * 100.0,
+        est.std_err * 100.0,
+        est.cardinality(),
+        est.population
+    );
+    let hist = SelectivityHistogram::build(&store, &horizon, 3, 24, 42)?;
+    println!(
+        "histogram estimate for the same predicate: {:.1}%",
+        hist.estimate(&q, theta)? * 100.0
+    );
+
+    // --- Evening: persist everything, "restart", and keep serving. ---
+    let dir = std::env::temp_dir();
+    let idx_path = dir.join("mst_mod_lifecycle.idx");
+    let data_path = dir.join("mst_mod_lifecycle.txt");
+    db.index_mut().save_to_path(&idx_path)?;
+    mst::datagen::io::save_to_path(&data_path, store.iter())?;
+
+    let mut reloaded = Rtree3D::load_from_path(&idx_path)?;
+    let dataset = mst::datagen::io::load_from_path(&data_path)?;
+    println!(
+        "\npersisted and reloaded: {} pages, {} segments, {} trajectories",
+        reloaded.num_pages(),
+        reloaded.num_entries(),
+        dataset.len()
+    );
+    // The reloaded index answers queries immediately.
+    let mut snapshot = TrajectoryStore::new();
+    for (id, t) in dataset {
+        snapshot.insert(id, t);
+    }
+    let again = mst::search::bfmst_search(
+        &mut reloaded,
+        &snapshot,
+        &q,
+        &horizon,
+        &mst::search::MstConfig::k(4),
+    )?;
+    assert_eq!(
+        again.matches.iter().map(|m| m.traj).collect::<Vec<_>>(),
+        top.iter().map(|m| m.traj).collect::<Vec<_>>(),
+        "the reloaded index must reproduce the pre-restart answer"
+    );
+    println!("post-restart k-MST answer matches the pre-restart one");
+    std::fs::remove_file(&idx_path).ok();
+    std::fs::remove_file(&data_path).ok();
+    Ok(())
+}

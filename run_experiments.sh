@@ -1,0 +1,20 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper at recorded scale.
+set -e
+cd "$(dirname "$0")"
+BIN=target/release
+echo "=== table2 (full scale) ==="
+$BIN/table2 --scale 1.0 --csv results
+echo "=== figure8 ==="
+$BIN/figure8 --trucks 273 --trajectory 0 --csv results
+echo "=== figure9 (273 trucks, 100 queries) ==="
+$BIN/figure9 --trucks 273 --queries 100 --csv results
+echo "=== figure10 q1/q2/q3 (full scale, 100 queries/setting) ==="
+$BIN/figure10 all --scale 1.0 --queries 100 --csv results
+echo "=== ablation ==="
+$BIN/ablation --objects 250 --samples 2000 --queries 25 --csv results
+echo "=== index comparison ==="
+$BIN/index_comparison --csv results
+echo "=== buffer sweep ==="
+$BIN/buffer_sweep --csv results
+echo "ALL EXPERIMENTS DONE"

@@ -1,0 +1,29 @@
+//! Umbrella crate re-exporting the MST reproduction workspace.
+//!
+//! See the member crates for the substance:
+//! [`trajectory`](mst_trajectory), [`index`](mst_index),
+//! [`search`](mst_search), [`baselines`](mst_baselines),
+//! [`datagen`](mst_datagen).
+#![forbid(unsafe_code)]
+pub use mst_baselines as baselines;
+pub use mst_datagen as datagen;
+pub use mst_index as index;
+pub use mst_search as search;
+pub use mst_trajectory as trajectory;
+
+/// Everything a typical user needs, in one import:
+/// `use mst::prelude::*;`
+pub mod prelude {
+    pub use mst_datagen::{td_tr, td_tr_fraction, GstdConfig, TrucksConfig};
+    pub use mst_index::{
+        check_invariants, knn_segments, Rtree3D, StrTree, TbTree, TrajectoryIndex,
+        TrajectoryIndexWrite,
+    };
+    pub use mst_search::{
+        bfmst_search, nearest_trajectories, scan_kmst, time_relaxed_kmst, Integration,
+        MovingObjectDatabase, MstConfig, MstMatch, TimeRelaxedConfig, TrajectoryStore,
+    };
+    pub use mst_trajectory::{
+        Mbb, Point, SamplePoint, Segment, TimeInterval, Trajectory, TrajectoryBuilder, TrajectoryId,
+    };
+}

@@ -1,0 +1,282 @@
+//! Property-based tests on the core invariants, spanning crates:
+//!
+//! * the trapezoid DISSIM enclosure always contains the exact integral;
+//! * OPTDISSIM/PESDISSIM sandwich the exact DISSIM for arbitrary partial
+//!   retrievals;
+//! * BFMST on both index structures equals the exact linear scan;
+//! * MINDIST lower-bounds every realized query–candidate distance;
+//! * TD-TR respects its tolerance and keeps endpoints;
+//! * R-tree / TB-tree structural invariants survive arbitrary insertions.
+
+use proptest::prelude::*;
+
+use mst::datagen::td_tr;
+use mst::index::mindist::trajectory_mbb_mindist;
+use mst::index::{check_invariants, LeafEntry, Rtree3D, TbTree, TrajectoryIndex};
+use mst::search::bounds::Candidate;
+use mst::search::dissim::{dissim_between, dissim_exact, piece};
+use mst::search::{bfmst_search, scan_kmst, Integration, MstConfig, TrajectoryStore};
+use mst::trajectory::cosample::co_segments;
+use mst::trajectory::{TimeInterval, Trajectory, TrajectoryId};
+
+/// Strategy: a trajectory with `n` points on the shared time grid
+/// `0, 1, ..., n-1` and coordinates in [-10, 10].
+fn trajectory(n: usize) -> impl Strategy<Value = Trajectory> {
+    prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), n).prop_map(|coords| {
+        Trajectory::new(
+            coords
+                .into_iter()
+                .enumerate()
+                .map(|(i, (x, y))| mst::trajectory::SamplePoint::new(i as f64, x, y))
+                .collect(),
+        )
+        .expect("grid timestamps are strictly increasing")
+    })
+}
+
+/// Strategy: a small dataset of trajectories over the same grid.
+fn dataset(objects: usize, n: usize) -> impl Strategy<Value = Vec<Trajectory>> {
+    prop::collection::vec(trajectory(n), objects)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn trapezoid_enclosure_contains_exact((a, b) in (trajectory(8), trajectory(12))) {
+        let period = TimeInterval::new(0.0, 7.0).unwrap();
+        let exact = dissim_exact(&a, &b, &period).unwrap();
+        let approx = dissim_between(&a, &b, &period, Integration::Trapezoid).unwrap();
+        prop_assert!(exact <= approx.upper() + 1e-9 * (1.0 + exact.abs()));
+        prop_assert!(exact >= approx.lower() - 1e-9 * (1.0 + exact.abs()));
+    }
+
+    #[test]
+    fn dissim_is_symmetric_and_nonnegative((a, b) in (trajectory(6), trajectory(9))) {
+        let period = TimeInterval::new(0.0, 5.0).unwrap();
+        let ab = dissim_exact(&a, &b, &period).unwrap();
+        let ba = dissim_exact(&b, &a, &period).unwrap();
+        prop_assert!(ab >= -1e-12);
+        prop_assert!((ab - ba).abs() < 1e-9 * (1.0 + ab.abs()));
+    }
+
+    #[test]
+    fn partial_candidate_bounds_sandwich_exact(
+        (q, t) in (trajectory(7), trajectory(7)),
+        mask in prop::collection::vec(any::<bool>(), 16),
+    ) {
+        let period = TimeInterval::new(0.0, 6.0).unwrap();
+        let exact = dissim_exact(&q, &t, &period).unwrap();
+        let vmax = q.max_speed() + t.max_speed();
+        let pairs = co_segments(&q, &t, &period).unwrap();
+        let mut cand = Candidate::new(TrajectoryId(0), 1e-9);
+        let mut any = false;
+        for (i, pair) in pairs.iter().enumerate() {
+            if mask[i % mask.len()] {
+                let p = piece(&pair.first, &pair.second, Integration::Trapezoid).unwrap();
+                cand.add_piece(&p);
+                any = true;
+            }
+        }
+        prop_assume!(any);
+        let opt = cand.opt_dissim(&period, vmax);
+        let pes = cand.pes_dissim(&period, vmax);
+        let tol = 1e-9 * (1.0 + exact.abs());
+        prop_assert!(opt <= exact + tol, "opt {opt} > exact {exact}");
+        prop_assert!(pes >= exact - tol, "pes {pes} < exact {exact}");
+    }
+
+    #[test]
+    fn bfmst_equals_scan_on_random_datasets(
+        data in dataset(8, 6),
+        k in 1usize..6,
+        qi in 0usize..8,
+    ) {
+        let store = TrajectoryStore::from_trajectories(data);
+        let period = TimeInterval::new(0.0, 5.0).unwrap();
+        let q = store.get(TrajectoryId(qi as u64)).unwrap().clone();
+        let expected: Vec<_> = scan_kmst(&store, &q, &period, k, Integration::Exact)
+            .unwrap()
+            .into_iter()
+            .map(|m| m.traj)
+            .collect();
+
+        let mut rtree = Rtree3D::new();
+        let mut tbtree = TbTree::new();
+        for (id, t) in store.iter() {
+            rtree.insert_trajectory(id, t).unwrap();
+            tbtree.insert_trajectory(id, t).unwrap();
+        }
+        let r = bfmst_search(&mut rtree, &store, &q, &period, &MstConfig::k(k)).unwrap();
+        let t = bfmst_search(&mut tbtree, &store, &q, &period, &MstConfig::k(k)).unwrap();
+        let got_r: Vec<_> = r.matches.iter().map(|m| m.traj).collect();
+        let got_t: Vec<_> = t.matches.iter().map(|m| m.traj).collect();
+        prop_assert_eq!(got_r, expected.clone());
+        prop_assert_eq!(got_t, expected);
+    }
+
+    #[test]
+    fn mindist_lower_bounds_realized_distances(
+        (q, t) in (trajectory(6), trajectory(6)),
+    ) {
+        // For any candidate segment's MBB, MINDIST(Q, mbb) must lower-bound
+        // the actual distance between the query and that segment over the
+        // overlap.
+        let period = TimeInterval::new(0.0, 5.0).unwrap();
+        for seg in t.segments() {
+            let mbb = seg.mbb();
+            let Some(lower) = trajectory_mbb_mindist(&q, &mbb, &period) else { continue };
+            // Sample the realized distance densely over the overlap.
+            let window = period.intersect(&seg.time()).unwrap();
+            for i in 0..=50 {
+                let tt = window.start()
+                    + (window.end() - window.start()) * f64::from(i) / 50.0;
+                let qp = q.position_at(tt).unwrap();
+                let sp = seg.position_at(tt).unwrap();
+                let d = qp.distance(&sp);
+                prop_assert!(
+                    lower <= d + 1e-9,
+                    "mindist {lower} exceeds realized {d} at t={tt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tdtr_respects_tolerance(t in trajectory(30), tol in 0.01f64..5.0) {
+        let c = td_tr(&t, tol);
+        // Endpoints survive.
+        prop_assert_eq!(c.points()[0], t.points()[0]);
+        prop_assert_eq!(*c.points().last().unwrap(), *t.points().last().unwrap());
+        // Every original sample within tolerance of the compressed line.
+        for p in t.points() {
+            let pos = c.position_at(p.t).unwrap();
+            let d = ((p.x - pos.x).powi(2) + (p.y - pos.y).powi(2)).sqrt();
+            prop_assert!(d <= tol + 1e-9, "deviation {d} > tol {tol}");
+        }
+    }
+
+    #[test]
+    fn index_invariants_hold_after_random_insertions(data in dataset(6, 12)) {
+        let mut rtree = Rtree3D::new();
+        let mut tbtree = TbTree::new();
+        // Temporal interleave.
+        let mut entries: Vec<LeafEntry> = Vec::new();
+        for (i, t) in data.iter().enumerate() {
+            for (seq, segment) in t.segments().enumerate() {
+                entries.push(LeafEntry {
+                    traj: TrajectoryId(i as u64),
+                    seq: seq as u32,
+                    segment,
+                });
+            }
+        }
+        entries.sort_by(|a, b| a.segment.start().t.total_cmp(&b.segment.start().t));
+        for e in entries {
+            rtree.insert(e).unwrap();
+            tbtree.insert(e).unwrap();
+        }
+        check_invariants(&mut rtree).unwrap();
+        check_invariants(&mut tbtree).unwrap();
+        prop_assert_eq!(rtree.num_entries(), tbtree.num_entries());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn strtree_matches_rtree_query_results(data in dataset(6, 10), qi in 0usize..6) {
+        let store = TrajectoryStore::from_trajectories(data);
+        let mut rtree = Rtree3D::new();
+        let mut strtree = mst::index::StrTree::new();
+        for (id, t) in store.iter() {
+            rtree.insert_trajectory(id, t).unwrap();
+            strtree.insert_trajectory(id, t).unwrap();
+        }
+        check_invariants(&mut strtree).unwrap();
+        let period = TimeInterval::new(0.0, 9.0).unwrap();
+        let q = store.get(TrajectoryId(qi as u64)).unwrap().clone();
+        let a = bfmst_search(&mut rtree, &store, &q, &period, &MstConfig::k(3)).unwrap();
+        let b = bfmst_search(&mut strtree, &store, &q, &period, &MstConfig::k(3)).unwrap();
+        let ids_a: Vec<_> = a.matches.iter().map(|m| m.traj).collect();
+        let ids_b: Vec<_> = b.matches.iter().map(|m| m.traj).collect();
+        prop_assert_eq!(ids_a, ids_b);
+    }
+
+    #[test]
+    fn persistence_roundtrip_preserves_query_answers(data in dataset(5, 8), qi in 0usize..5) {
+        let store = TrajectoryStore::from_trajectories(data);
+        let mut tree = Rtree3D::new();
+        for (id, t) in store.iter() {
+            tree.insert_trajectory(id, t).unwrap();
+        }
+        let period = TimeInterval::new(0.0, 7.0).unwrap();
+        let q = store.get(TrajectoryId(qi as u64)).unwrap().clone();
+        let before = bfmst_search(&mut tree, &store, &q, &period, &MstConfig::k(2)).unwrap();
+        let mut bytes = Vec::new();
+        tree.save(&mut bytes).unwrap();
+        let mut loaded = Rtree3D::load(&bytes[..]).unwrap();
+        check_invariants(&mut loaded).unwrap();
+        let after = bfmst_search(&mut loaded, &store, &q, &period, &MstConfig::k(2)).unwrap();
+        let ids_before: Vec<_> = before.matches.iter().map(|m| m.traj).collect();
+        let ids_after: Vec<_> = after.matches.iter().map(|m| m.traj).collect();
+        prop_assert_eq!(ids_before, ids_after);
+    }
+
+    #[test]
+    fn rtree_delete_then_query_is_consistent(
+        data in dataset(5, 10),
+        kill in prop::collection::vec((0u64..5, 0u32..9), 1..12),
+    ) {
+        let store = TrajectoryStore::from_trajectories(data);
+        let mut tree = Rtree3D::new();
+        for (id, t) in store.iter() {
+            tree.insert_trajectory(id, t).unwrap();
+        }
+        let mut removed = std::collections::HashSet::new();
+        for (traj, seq) in kill {
+            let id = TrajectoryId(traj);
+            let was_present = !removed.contains(&(id, seq));
+            let deleted = tree.delete(id, seq).unwrap();
+            prop_assert_eq!(deleted, was_present);
+            removed.insert((id, seq));
+        }
+        check_invariants(&mut tree).unwrap();
+        let expected = 5 * 9 - removed.len() as u64;
+        prop_assert_eq!(tree.num_entries(), expected);
+    }
+
+    #[test]
+    fn knn_segments_matches_oracle(
+        data in dataset(4, 8),
+        px in -10.0f64..10.0,
+        py in -10.0f64..10.0,
+    ) {
+        let store = TrajectoryStore::from_trajectories(data);
+        let mut tree = Rtree3D::new();
+        for (id, t) in store.iter() {
+            tree.insert_trajectory(id, t).unwrap();
+        }
+        let window = TimeInterval::new(1.0, 6.0).unwrap();
+        let point = mst::trajectory::Point::new(px, py);
+        let got = mst::index::knn_segments(&mut tree, point, &window, 4).unwrap();
+        // Oracle: every indexed segment, clipped, measured directly.
+        let mut all: Vec<f64> = Vec::new();
+        for (_, t) in store.iter() {
+            for seg in t.segments() {
+                if let Some(c) = seg.clip(&window) {
+                    all.push(mst::index::mindist::segment_rect_mindist(
+                        &c,
+                        &mst::trajectory::Rect::from_point(point),
+                    ));
+                }
+            }
+        }
+        all.sort_by(f64::total_cmp);
+        prop_assert_eq!(got.len(), 4.min(all.len()));
+        for (g, want) in got.iter().zip(&all) {
+            prop_assert!((g.distance - want).abs() < 1e-9);
+        }
+    }
+}
