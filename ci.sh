@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Offline correctness gate for the MST reproduction.
+#
+# Runs everything a reviewer needs before merging, with no network access:
+#   1. formatting drift
+#   2. the zero-dependency static-analysis pass (crates/xtask)
+#   3. a release build of the whole workspace
+#   4. the full test suite
+#   5. the index tests again with `paranoid` audits after every mutation
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> static analysis (xtask)"
+cargo run --release -q -p xtask -- check
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "==> cargo test -p mst-index --features paranoid"
+cargo test -q -p mst-index --features paranoid
+
+echo "ci.sh: all gates passed"

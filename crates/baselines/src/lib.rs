@@ -10,7 +10,7 @@
 //! trajectories are sampled at different rates.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod dtw;
 mod edr;

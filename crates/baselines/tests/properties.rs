@@ -1,84 +1,111 @@
-//! Property-based tests for the baseline measures.
-
-use proptest::prelude::*;
+//! Property-based tests for the baseline measures, run as seeded
+//! deterministic loops (the hermetic build carries no `proptest`; the
+//! in-tree [`mst_prng`] generator drives the same invariants instead).
 
 use mst_baselines::{interpolation_improve, lockstep_euclidean, Dtw, Edr, Lcss};
+use mst_prng::Rng;
 use mst_trajectory::Trajectory;
 
-fn trajectory(n: usize) -> impl Strategy<Value = Trajectory> {
-    prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0), n).prop_map(|coords| {
-        Trajectory::new(
-            coords
-                .into_iter()
-                .enumerate()
-                .map(|(i, (x, y))| mst_trajectory::SamplePoint::new(i as f64, x, y))
-                .collect(),
-        )
-        .unwrap()
-    })
+/// A random trajectory with `n` points on the shared grid `0, 1, ..., n-1`
+/// and coordinates in `[-5, 5]`.
+fn trajectory(rng: &mut Rng, n: usize) -> Trajectory {
+    Trajectory::new(
+        (0..n)
+            .map(|i| {
+                mst_trajectory::SamplePoint::new(
+                    i as f64,
+                    rng.f64_range(-5.0, 5.0),
+                    rng.f64_range(-5.0, 5.0),
+                )
+            })
+            .collect(),
+    )
+    .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+/// Runs `cases` independently seeded iterations of `body`; the failure
+/// message carries the case seed so any violation replays exactly.
+fn check(name: &str, cases: u64, mut body: impl FnMut(&mut Rng)) {
+    for case in 0..cases {
+        let mut rng = Rng::seed_from(0xBA5E_11E5 ^ case.wrapping_mul(0x9E37_79B9));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(e) = result {
+            panic!("property `{name}` failed at case {case}: {e:?}");
+        }
+    }
+}
 
-    #[test]
-    fn lcss_similarity_is_bounded_and_symmetric(
-        (a, b) in (trajectory(9), trajectory(13)),
-        eps in 0.01f64..5.0,
-    ) {
+#[test]
+fn lcss_similarity_is_bounded_and_symmetric() {
+    check("lcss_bounded_symmetric", 96, |rng| {
+        let a = trajectory(rng, 9);
+        let b = trajectory(rng, 13);
+        let eps = rng.f64_range(0.01, 5.0);
         let m = Lcss::new(eps);
         let s = m.similarity(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&s));
-        prop_assert_eq!(m.lcss_length(&a, &b), m.lcss_length(&b, &a));
+        assert!((0.0..=1.0).contains(&s));
+        assert_eq!(m.lcss_length(&a, &b), m.lcss_length(&b, &a));
         // Self-similarity is 1 for any positive epsilon.
-        prop_assert_eq!(m.similarity(&a, &a), 1.0);
-    }
+        assert_eq!(m.similarity(&a, &a), 1.0);
+    });
+}
 
-    #[test]
-    fn lcss_is_monotone_in_epsilon((a, b) in (trajectory(8), trajectory(8))) {
+#[test]
+fn lcss_is_monotone_in_epsilon() {
+    check("lcss_monotone_in_epsilon", 96, |rng| {
+        let a = trajectory(rng, 8);
+        let b = trajectory(rng, 8);
         let tight = Lcss::new(0.1).lcss_length(&a, &b);
         let loose = Lcss::new(2.0).lcss_length(&a, &b);
-        prop_assert!(loose >= tight);
-    }
+        assert!(loose >= tight);
+    });
+}
 
-    #[test]
-    fn edr_is_symmetric_and_bounded(
-        (a, b) in (trajectory(7), trajectory(11)),
-        eps in 0.01f64..5.0,
-    ) {
+#[test]
+fn edr_is_symmetric_and_bounded() {
+    check("edr_symmetric_bounded", 96, |rng| {
+        let a = trajectory(rng, 7);
+        let b = trajectory(rng, 11);
+        let eps = rng.f64_range(0.01, 5.0);
         let m = Edr::new(eps);
         let d = m.distance(&a, &b);
-        prop_assert_eq!(d, m.distance(&b, &a));
-        prop_assert!(d <= a.num_points().max(b.num_points()));
-        prop_assert!(d >= a.num_points().abs_diff(b.num_points()));
-        prop_assert_eq!(m.distance(&a, &a), 0);
-        prop_assert!((0.0..=1.0).contains(&m.normalized_distance(&a, &b)));
-    }
+        assert_eq!(d, m.distance(&b, &a));
+        assert!(d <= a.num_points().max(b.num_points()));
+        assert!(d >= a.num_points().abs_diff(b.num_points()));
+        assert_eq!(m.distance(&a, &a), 0);
+        assert!((0.0..=1.0).contains(&m.normalized_distance(&a, &b)));
+    });
+}
 
-    #[test]
-    fn dtw_never_exceeds_lockstep_on_equal_lengths((a, b) in (trajectory(10), trajectory(10))) {
+#[test]
+fn dtw_never_exceeds_lockstep_on_equal_lengths() {
+    check("dtw_vs_lockstep", 96, |rng| {
+        let a = trajectory(rng, 10);
+        let b = trajectory(rng, 10);
         let dtw = Dtw::new().distance(&a, &b);
         let lockstep = lockstep_euclidean(&a, &b).unwrap();
-        prop_assert!(dtw <= lockstep + 1e-9, "dtw {dtw} > lockstep {lockstep}");
-        prop_assert!(dtw >= -1e-12);
-        prop_assert!((Dtw::new().distance(&a, &a)).abs() < 1e-12);
-    }
+        assert!(dtw <= lockstep + 1e-9, "dtw {dtw} > lockstep {lockstep}");
+        assert!(dtw >= -1e-12);
+        assert!((Dtw::new().distance(&a, &a)).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn interpolation_improve_is_a_superset_resampling(
-        (q, d) in (trajectory(5), trajectory(12)),
-    ) {
+#[test]
+fn interpolation_improve_is_a_superset_resampling() {
+    check("interpolation_improve_superset", 96, |rng| {
+        let q = trajectory(rng, 5);
+        let d = trajectory(rng, 12);
         let improved = interpolation_improve(&q, &d);
         // All original query timestamps survive.
         let stamps: Vec<f64> = improved.points().iter().map(|p| p.t).collect();
         for p in q.points() {
-            prop_assert!(stamps.contains(&p.t));
+            assert!(stamps.contains(&p.t));
         }
         // Positions still lie on the original query's polyline.
         for p in improved.points() {
             let on_line = q.position_at(p.t).unwrap();
-            prop_assert!((p.x - on_line.x).abs() < 1e-9);
-            prop_assert!((p.y - on_line.y).abs() < 1e-9);
+            assert!((p.x - on_line.x).abs() < 1e-9);
+            assert!((p.y - on_line.y).abs() < 1e-9);
         }
-    }
+    });
 }

@@ -6,8 +6,7 @@
 //! to 10% and reports the percentage of false results for DISSIM, LCSS,
 //! LCSS-I, EDR, and EDR-I.
 
-use rand::rngs::SmallRng;
-use rand::{seq::SliceRandom, SeedableRng};
+use mst_prng::Rng;
 
 use mst_baselines::{epsilon_for, normalize_all, Edr, Lcss};
 use mst_datagen::{td_tr_fraction, TrucksConfig};
@@ -80,8 +79,8 @@ pub fn figure9(cfg: &Figure9Config) -> Table {
 
     // Query sample: a deterministic subset of the fleet.
     let mut ids: Vec<usize> = (0..fleet.len()).collect();
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xF19);
-    ids.shuffle(&mut rng);
+    let mut rng = Rng::seed_from(cfg.seed ^ 0xF19);
+    rng.shuffle(&mut ids);
     ids.truncate(cfg.num_queries.min(fleet.len()));
 
     let mut table = Table::new(

@@ -13,7 +13,7 @@
 //! | ablations | `ablation` | [`experiments::ablation`] |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod args;
 pub mod datasets;

@@ -5,9 +5,7 @@
 //! domain, clip. The query is then guaranteed to cover its period, and —
 //! being real data — exercises realistic pruning behaviour.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
+use mst_prng::Rng;
 use mst_search::TrajectoryStore;
 use mst_trajectory::{TimeInterval, Trajectory};
 
@@ -38,15 +36,15 @@ pub fn sample_queries(
         !store.is_empty(),
         "cannot sample queries from an empty store"
     );
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from(seed);
     let trajs: Vec<&Trajectory> = store.iter().map(|(_, t)| t).collect();
     (0..count)
         .map(|_| {
-            let t = trajs[rng.gen_range(0..trajs.len())];
+            let t = trajs[rng.usize_below(trajs.len())];
             let span = t.duration() * length_fraction;
             let latest_start = t.end_time() - span;
             let start = if latest_start > t.start_time() {
-                rng.gen_range(t.start_time()..latest_start)
+                rng.f64_range(t.start_time(), latest_start)
             } else {
                 t.start_time()
             };

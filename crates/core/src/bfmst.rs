@@ -302,8 +302,14 @@ fn match_entry(
         if sub.is_instant() {
             continue;
         }
-        let qs = q_seg.clip(&sub).expect("positive-duration overlap");
-        let ds = data_segment.clip(&sub).expect("window within data segment");
+        // `sub` has positive duration and lies inside both segments'
+        // spans, so both clips succeed; a failed clip means the caller
+        // handed us an inconsistent window, and skipping the piece keeps
+        // the accumulated distance a sound lower bound.
+        let (Some(qs), Some(ds)) = (q_seg.clip(&sub), data_segment.clip(&sub)) else {
+            debug_assert!(false, "window {sub:?} escaped the overlapping segments");
+            continue;
+        };
         let p = piece(&qs, &ds, integration)?;
         cand.add_piece(&p);
     }

@@ -16,6 +16,7 @@
 //!   intervals (with boundary distances), accumulated DISSIM enclosure, and
 //!   the derived OPTDISSIM / PESDISSIM / OPTDISSIMINC values (Lemmas 2–4).
 
+use mst_trajectory::float;
 use mst_trajectory::{TimeInterval, TrajectoryId};
 
 use crate::dissim::{Dissim, Piece};
@@ -55,7 +56,7 @@ pub fn gap_lower(left: Option<f64>, right: Option<f64>, dt: f64, vmax: f64) -> f
         (None, None) => 0.0,
         (Some(d), None) | (None, Some(d)) => ldd(d, -vmax, dt),
         (Some(dl), Some(dr)) => {
-            if vmax == 0.0 {
+            if float::exactly_zero(vmax) {
                 // Distance cannot change; any consistent profile is constant.
                 return dl.min(dr) * dt;
             }
@@ -81,7 +82,7 @@ pub fn gap_upper(left: Option<f64>, right: Option<f64>, dt: f64, vmax: f64) -> O
         (None, None) => None,
         (Some(d), None) | (None, Some(d)) => Some(ldd(d, vmax, dt)),
         (Some(dl), Some(dr)) => {
-            if vmax == 0.0 {
+            if float::exactly_zero(vmax) {
                 return Some(dl.max(dr) * dt);
             }
             // Peak of the two ascending legs.

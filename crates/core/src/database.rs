@@ -142,6 +142,8 @@ impl<I: TrajectoryIndexWrite> MovingObjectDatabase<I> {
             let stream = &self.samples[&id];
             if stream.len() >= 2 {
                 let t = Trajectory::new(stream.clone())
+                    // invariant: append() rejects out-of-order and non-finite
+                    // samples, so the stream always forms a valid trajectory.
                     .expect("append() maintains the trajectory invariants");
                 self.store.insert(id, t);
             }

@@ -22,7 +22,7 @@
 //!   of (needed for the exact post-processing step).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bfmst;
 pub mod bounds;

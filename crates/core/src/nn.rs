@@ -156,8 +156,14 @@ fn segment_closest_approach(
         if sub.is_instant() {
             continue;
         }
-        let qs = q_seg.clip(&sub).expect("positive-duration overlap");
-        let ds = segment.clip(&sub).expect("window within data segment");
+        // `sub` has positive duration and lies inside both segments'
+        // spans, so both clips succeed; a failed clip means the caller
+        // handed us an inconsistent window, and skipping the piece keeps
+        // the accumulated distance a sound lower bound.
+        let (Some(qs), Some(ds)) = (q_seg.clip(&sub), segment.clip(&sub)) else {
+            debug_assert!(false, "window {sub:?} escaped the overlapping segments");
+            continue;
+        };
         let tri = DistanceTrinomial::between(&qs, &ds)?;
         let m = tri.min_on(sub.start(), sub.end());
         if m.0 < best.0 {

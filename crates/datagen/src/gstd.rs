@@ -7,10 +7,7 @@
 //! times. Objects that hit the world border are reflected back inside
 //! (GSTD's "adjustment" option).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, LogNormal, Normal};
-
+use mst_prng::Rng;
 use mst_trajectory::{SamplePoint, Trajectory, TrajectoryBuilder};
 
 /// Per-step speed model.
@@ -42,15 +39,10 @@ impl SpeedDistribution {
         }
     }
 
-    fn sample(&self, rng: &mut SmallRng) -> f64 {
+    fn sample(&self, rng: &mut Rng) -> f64 {
         match *self {
-            SpeedDistribution::Lognormal { mu, sigma } => LogNormal::new(mu, sigma)
-                .expect("sigma validated finite")
-                .sample(rng),
-            SpeedDistribution::Normal { mean, std } => Normal::new(mean, std)
-                .expect("std validated finite")
-                .sample(rng)
-                .max(0.0),
+            SpeedDistribution::Lognormal { mu, sigma } => rng.lognormal(mu, sigma),
+            SpeedDistribution::Normal { mean, std } => rng.normal(mean, std).max(0.0),
         }
     }
 }
@@ -95,18 +87,18 @@ impl GstdConfig {
             "trajectories need >= 2 samples"
         );
         assert!(self.time_step > 0.0, "time must advance");
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from(self.seed);
         let mut out = Vec::with_capacity(self.num_objects);
         for _ in 0..self.num_objects {
-            let mut x: f64 = rng.gen();
-            let mut y: f64 = rng.gen();
+            let mut x: f64 = rng.f64();
+            let mut y: f64 = rng.f64();
             let mut b = TrajectoryBuilder::with_capacity(self.samples_per_object);
             for step in 0..self.samples_per_object {
                 let t = step as f64 * self.time_step;
                 b.push(SamplePoint::new(t, x, y))
                     .expect("generated samples are finite and ordered");
                 // Random heading, sampled speed; reflect at the borders.
-                let heading = rng.gen_range(0.0..std::f64::consts::TAU);
+                let heading = rng.f64_range(0.0, std::f64::consts::TAU);
                 let dist = self.speed.sample(&mut rng) * self.time_step;
                 x = reflect(x + dist * heading.cos());
                 y = reflect(y + dist * heading.sin());

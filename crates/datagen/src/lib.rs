@@ -16,7 +16,7 @@
 //!   real datasets in the Trucks format can be dropped in.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod gstd;
 pub mod io;

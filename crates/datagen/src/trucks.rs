@@ -18,10 +18,7 @@
 //! trajectory's validity covers any query period — the paper's standing
 //! assumption.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, Normal};
-
+use mst_prng::Rng;
 use mst_trajectory::{SamplePoint, Trajectory, TrajectoryBuilder};
 
 /// Configuration of the fleet generator.
@@ -93,11 +90,11 @@ impl TrucksConfig {
         assert!(self.num_trucks > 0);
         assert!(self.duration > 2.0 * self.sample_period);
         assert!((0.0..1.0).contains(&self.dropout));
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from(self.seed);
         let n = self.grid_nodes();
         // Depots: fixed grid nodes shared by the fleet.
         let depots: Vec<(usize, usize)> = (0..self.num_depots.max(1))
-            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .map(|_| (rng.usize_below(n), rng.usize_below(n)))
             .collect();
         (0..self.num_trucks)
             .map(|i| {
@@ -109,30 +106,29 @@ impl TrucksConfig {
 
     /// Builds one truck: a ground-truth tour plan along the grid, then noisy
     /// irregular samples of it.
-    fn generate_truck(&self, depot: (usize, usize), rng: &mut SmallRng) -> Trajectory {
+    fn generate_truck(&self, depot: (usize, usize), rng: &mut Rng) -> Trajectory {
         let plan = self.tour_plan(depot, rng);
         let ground = Trajectory::new(plan).expect("plan has ordered waypoints");
-        let noise = Normal::new(0.0, self.gps_noise).expect("finite std");
 
         let mut b = TrajectoryBuilder::new();
         let mut t: f64 = 0.0;
         loop {
             let clamped = t.min(self.duration);
             let is_last = clamped >= self.duration;
-            let keep = is_last || b.is_empty() || rng.gen::<f64>() >= self.dropout;
+            let keep = is_last || b.is_empty() || !rng.chance(self.dropout);
             if keep {
                 let p = ground
                     .position_at(clamped)
                     .expect("plan covers [0, duration]");
-                let x = (p.x + noise.sample(rng)).clamp(0.0, self.world_size);
-                let y = (p.y + noise.sample(rng)).clamp(0.0, self.world_size);
+                let x = (p.x + rng.normal(0.0, self.gps_noise)).clamp(0.0, self.world_size);
+                let y = (p.y + rng.normal(0.0, self.gps_noise)).clamp(0.0, self.world_size);
                 b.push(SamplePoint::new(clamped, x, y))
                     .expect("sampling times strictly increase");
             }
             if is_last {
                 break;
             }
-            let jitter = 1.0 + self.sample_jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+            let jitter = 1.0 + self.sample_jitter * (rng.f64() * 2.0 - 1.0);
             t += self.sample_period * jitter;
         }
         b.build().expect("duration guarantees >= 2 samples")
@@ -141,7 +137,7 @@ impl TrucksConfig {
     /// Ground-truth waypoints: drive Manhattan routes between random grid
     /// nodes, dwell at each destination, until the observation period is
     /// exhausted.
-    fn tour_plan(&self, depot: (usize, usize), rng: &mut SmallRng) -> Vec<SamplePoint> {
+    fn tour_plan(&self, depot: (usize, usize), rng: &mut Rng) -> Vec<SamplePoint> {
         let n = self.grid_nodes();
         let g = self.grid_spacing;
         let node_pos = |(cx, cy): (usize, usize)| (cx as f64 * g, cy as f64 * g);
@@ -157,14 +153,16 @@ impl TrucksConfig {
             // towards moderate trip lengths (delivery rounds, not random
             // teleports across the city).
             let reach = (n / 3).max(2) as i64;
-            let tx = (cx as i64 + rng.gen_range(-reach..=reach)).clamp(0, n as i64 - 1) as usize;
-            let ty = (cy as i64 + rng.gen_range(-reach..=reach)).clamp(0, n as i64 - 1) as usize;
+            let tx = (cx as i64 + rng.i64_range_inclusive(-reach, reach)).clamp(0, n as i64 - 1)
+                as usize;
+            let ty = (cy as i64 + rng.i64_range_inclusive(-reach, reach)).clamp(0, n as i64 - 1)
+                as usize;
             if tx == cx && ty == cy {
                 continue;
             }
-            let speed = rng.gen_range(self.speed_range.0..self.speed_range.1);
+            let speed = rng.f64_range(self.speed_range.0, self.speed_range.1);
             // Manhattan route: along x first or y first, at random.
-            let corner = if rng.gen() { (tx, cy) } else { (cx, ty) };
+            let corner = if rng.bool() { (tx, cy) } else { (cx, ty) };
             let mut from = (cx, cy);
             for target in [corner, (tx, ty)] {
                 if target == from {
@@ -180,7 +178,7 @@ impl TrucksConfig {
             cx = tx;
             cy = ty;
             // Dwell at the destination.
-            let dwell = rng.gen_range(self.dwell_range.0..self.dwell_range.1);
+            let dwell = rng.f64_range(self.dwell_range.0, self.dwell_range.1);
             t += dwell;
             let (px, py) = node_pos((cx, cy));
             waypoints.push(SamplePoint::new(t, px, py));

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
-use crate::{PageId, PageStore, Result, PAGE_SIZE};
+use crate::{IndexError, PageId, PageStore, Result, PAGE_SIZE};
 
 const NIL: usize = usize::MAX;
 
@@ -122,6 +122,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             let old = self.slots[i]
                 .value
                 .replace(value)
+                // invariant: `map` only points at occupied slots.
                 .expect("live slots always hold a value");
             if i != self.head {
                 self.unlink(i);
@@ -165,6 +166,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         let value = self.slots[i]
             .value
             .take()
+            // invariant: `map` only points at occupied slots.
             .expect("live slots always hold a value");
         Some((key, value))
     }
@@ -198,6 +200,58 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         evicted
     }
 
+    /// Verifies the map/list/arena bookkeeping: the list is a cycle-free
+    /// chain whose ends match `head`/`tail`, every linked slot is occupied
+    /// and mapped back to its index, and free slots are empty. O(n); meant
+    /// for test harnesses and the `paranoid` audit hooks.
+    pub fn audit(&self) -> std::result::Result<(), String> {
+        let mut walked = 0usize;
+        let mut prev = NIL;
+        let mut i = self.head;
+        while i != NIL {
+            if walked >= self.slots.len() {
+                return Err("LRU list contains a cycle".into());
+            }
+            let slot = self
+                .slots
+                .get(i)
+                .ok_or_else(|| format!("list index {i} is out of bounds"))?;
+            if slot.prev != prev {
+                return Err(format!(
+                    "slot {i}: prev link {} disagrees with the walk ({prev})",
+                    slot.prev
+                ));
+            }
+            if slot.value.is_none() {
+                return Err(format!("slot {i} is linked but holds no value"));
+            }
+            if self.map.get(&slot.key) != Some(&i) {
+                return Err(format!("slot {i}: its key does not map back to it"));
+            }
+            walked += 1;
+            prev = i;
+            i = slot.next;
+        }
+        if prev != self.tail {
+            return Err(format!(
+                "tail {} disagrees with the walk ({prev})",
+                self.tail
+            ));
+        }
+        if walked != self.map.len() {
+            return Err(format!(
+                "list links {walked} slots but the map holds {}",
+                self.map.len()
+            ));
+        }
+        for &f in &self.free {
+            if self.slots.get(f).map_or(true, |s| s.value.is_some()) {
+                return Err(format!("free slot {f} still holds a value"));
+            }
+        }
+        Ok(())
+    }
+
     /// Iterates over `(key, value)` pairs in unspecified order without
     /// promoting anything.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
@@ -207,6 +261,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                 self.slots[i]
                     .value
                     .as_ref()
+                    // invariant: `map` only points at occupied slots.
                     .expect("live slots always hold a value"),
             )
         })
@@ -235,6 +290,11 @@ struct Frame {
 /// A write-back LRU buffer pool in front of a [`PageStore`].
 pub struct BufferPool {
     cache: LruCache<PageId, Frame>,
+    /// Outstanding pin counts. Pins are short-lived — taken while a caller
+    /// decodes a frame's bytes — and every pin must be matched by an
+    /// [`BufferPool::unpin`] before the pool is considered idle; the audits
+    /// flag leftovers as leaks.
+    pins: HashMap<PageId, u32>,
     stats: BufferStats,
 }
 
@@ -243,6 +303,7 @@ impl BufferPool {
     pub fn new(capacity: usize) -> Self {
         BufferPool {
             cache: LruCache::new(capacity),
+            pins: HashMap::new(),
             stats: BufferStats::default(),
         }
     }
@@ -261,6 +322,9 @@ impl BufferPool {
                 self.stats.writebacks += 1;
                 store.write(id, &frame.data)?;
             }
+            if self.pins.contains_key(&id) {
+                return Err(IndexError::Buffer(format!("evicted pinned page {id:?}")));
+            }
         }
         Ok(())
     }
@@ -270,12 +334,91 @@ impl BufferPool {
     pub fn read<'a>(&'a mut self, store: &mut PageStore, id: PageId) -> Result<&'a [u8]> {
         if self.cache.contains(&id) {
             self.stats.hits += 1;
-            return Ok(&self.cache.get(&id).expect("checked contains").data);
+        } else {
+            self.stats.misses += 1;
+            let data = store.read(id)?.to_vec();
+            self.install(store, id, Frame { data, dirty: false })?;
         }
-        self.stats.misses += 1;
-        let data = store.read(id)?.to_vec();
-        self.install(store, id, Frame { data, dirty: false })?;
-        Ok(&self.cache.get(&id).expect("just installed").data)
+        // The page was either present or installed just above; a miss here
+        // would mean the cache dropped it mid-call, which is a real error,
+        // not a panic-worthy impossibility.
+        match self.cache.get(&id) {
+            Some(frame) => Ok(&frame.data),
+            None => Err(IndexError::UnknownPage(id)),
+        }
+    }
+
+    /// Like [`BufferPool::read`], but leaves the page pinned so the caller
+    /// can decode the returned bytes knowing the frame is accounted for.
+    /// Every successful call must be matched by an [`BufferPool::unpin`].
+    pub fn read_pinned<'a>(&'a mut self, store: &mut PageStore, id: PageId) -> Result<&'a [u8]> {
+        if self.cache.contains(&id) {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+            let data = store.read(id)?.to_vec();
+            self.install(store, id, Frame { data, dirty: false })?;
+        }
+        *self.pins.entry(id).or_insert(0) += 1;
+        match self.cache.get(&id) {
+            Some(frame) => Ok(&frame.data),
+            None => Err(IndexError::UnknownPage(id)),
+        }
+    }
+
+    /// Pins a resident page. Pinning a page that is not in the buffer is an
+    /// accounting error.
+    pub fn pin(&mut self, id: PageId) -> Result<()> {
+        if !self.cache.contains(&id) {
+            return Err(IndexError::Buffer(format!(
+                "pin of non-resident page {id:?}"
+            )));
+        }
+        *self.pins.entry(id).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Releases one pin on `id`. Unpinning a page with no outstanding pins
+    /// is an accounting error.
+    pub fn unpin(&mut self, id: PageId) -> Result<()> {
+        match self.pins.get_mut(&id) {
+            Some(n) if *n > 1 => {
+                *n -= 1;
+                Ok(())
+            }
+            Some(_) => {
+                self.pins.remove(&id);
+                Ok(())
+            }
+            None => Err(IndexError::Buffer(format!(
+                "unbalanced unpin of page {id:?}"
+            ))),
+        }
+    }
+
+    /// Structural audit: LRU bookkeeping consistent and every pinned page
+    /// resident. Returns a description of the first violation.
+    pub fn audit(&self) -> std::result::Result<(), String> {
+        self.cache.audit()?;
+        for (&id, &n) in &self.pins {
+            if n == 0 {
+                return Err(format!("page {id:?} carries a zero pin-count entry"));
+            }
+            if !self.cache.contains(&id) {
+                return Err(format!("pinned page {id:?} is not resident"));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`BufferPool::audit`] plus the between-operations requirement that no
+    /// pins are outstanding — a leftover pin means some caller leaked one.
+    pub fn audit_idle(&self) -> std::result::Result<(), String> {
+        self.audit()?;
+        if let Some((&id, &n)) = self.pins.iter().next() {
+            return Err(format!("leaked pin: page {id:?} still pinned {n} time(s)"));
+        }
+        Ok(())
     }
 
     /// Writes a page through the buffer (write-back: the store is only
@@ -309,6 +452,11 @@ impl BufferPool {
                 self.stats.writebacks += 1;
                 store.write(old_id, &old.data)?;
             }
+            if old_id != id && self.pins.contains_key(&old_id) {
+                return Err(IndexError::Buffer(format!(
+                    "evicted pinned page {old_id:?}"
+                )));
+            }
         }
         Ok(())
     }
@@ -336,6 +484,11 @@ impl BufferPool {
     /// Empties the cache entirely (writing back dirty pages), so the next
     /// queries run against a cold buffer.
     pub fn clear(&mut self, store: &mut PageStore) -> Result<()> {
+        if let Some((&id, _)) = self.pins.iter().next() {
+            return Err(IndexError::Buffer(format!(
+                "clear while page {id:?} is pinned"
+            )));
+        }
         for (id, frame) in self.cache.drain() {
             if frame.dirty {
                 self.stats.writebacks += 1;
@@ -359,6 +512,14 @@ impl BufferPool {
     /// Resets the statistics counters.
     pub fn reset_stats(&mut self) {
         self.stats = BufferStats::default();
+    }
+
+    /// Restores a previously captured counter snapshot (used by the
+    /// `paranoid` audit hooks so their own reads stay invisible to the
+    /// experiment's accounting).
+    #[cfg(feature = "paranoid")]
+    pub(crate) fn set_stats(&mut self, stats: BufferStats) {
+        self.stats = stats;
     }
 }
 
@@ -453,6 +614,92 @@ mod tests {
             }
             assert_eq!(c.len(), model.len());
         }
+    }
+
+    #[test]
+    fn lru_audit_accepts_live_and_catches_corruption() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        for i in 0..4 {
+            c.insert(i, i);
+        }
+        c.get(&1);
+        c.pop_lru();
+        c.insert(7, 7);
+        c.audit().expect("healthy cache audits clean");
+        // Break the list by hand: point a linked slot's prev somewhere wrong.
+        let head = c.head;
+        let second = c.slots[head].next;
+        c.slots[second].prev = NIL;
+        let err = c.audit().expect_err("broken prev link must be caught");
+        assert!(err.contains("prev link"), "{err}");
+        // And a cycle: make the list chase its own tail.
+        let mut c2: LruCache<u32, u32> = LruCache::new(2);
+        c2.insert(1, 1);
+        c2.insert(2, 2);
+        let h = c2.head;
+        let t = c2.slots[h].next;
+        c2.slots[t].next = h;
+        let err = c2.audit().expect_err("cycle must be caught");
+        assert!(err.contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn pool_pin_accounting_and_leak_detection() {
+        let mut store = PageStore::new();
+        let a = store.allocate();
+        let mut pool = BufferPool::new(2);
+        assert!(matches!(pool.pin(a), Err(IndexError::Buffer(_))));
+        pool.read(&mut store, a).unwrap();
+        pool.pin(a).unwrap();
+        pool.pin(a).unwrap();
+        pool.audit().expect("pins on resident pages audit clean");
+        let err = pool.audit_idle().expect_err("outstanding pins are a leak");
+        assert!(err.contains("leaked pin"), "{err}");
+        pool.unpin(a).unwrap();
+        pool.unpin(a).unwrap();
+        pool.audit_idle()
+            .expect("balanced pins leave the pool idle");
+        assert!(matches!(pool.unpin(a), Err(IndexError::Buffer(_))));
+    }
+
+    #[test]
+    fn pool_refuses_to_evict_or_clear_pinned_pages() {
+        let mut store = PageStore::new();
+        let a = store.allocate();
+        let b = store.allocate();
+        let mut pool = BufferPool::new(1);
+        pool.read(&mut store, a).unwrap();
+        pool.pin(a).unwrap();
+        // Faulting b in must evict a, which is pinned: accounting violation.
+        assert!(matches!(
+            pool.read(&mut store, b),
+            Err(IndexError::Buffer(_))
+        ));
+        let mut pool = BufferPool::new(2);
+        pool.read(&mut store, a).unwrap();
+        pool.pin(a).unwrap();
+        assert!(matches!(pool.clear(&mut store), Err(IndexError::Buffer(_))));
+        assert!(matches!(
+            pool.set_capacity(1, &mut store)
+                .and_then(|()| { pool.read(&mut store, b).map(|_| ()) }),
+            Err(IndexError::Buffer(_))
+        ));
+        pool.unpin(a).unwrap();
+    }
+
+    #[test]
+    fn pool_read_pinned_matches_read_stats() {
+        let mut store = PageStore::new();
+        let a = store.allocate();
+        store.reset_stats();
+        let mut pool = BufferPool::new(2);
+        pool.read_pinned(&mut store, a).unwrap();
+        pool.unpin(a).unwrap();
+        pool.read_pinned(&mut store, a).unwrap();
+        pool.unpin(a).unwrap();
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        pool.audit_idle().expect("pins balanced");
     }
 
     #[test]

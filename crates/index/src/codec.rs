@@ -2,8 +2,17 @@
 //!
 //! Nodes are persisted as raw bytes inside fixed 4 KB pages; this module
 //! provides the cursor-style reader/writer the node (de)serializers use.
-//! Panics on overflow are intentional: layout constants guarantee fits, so
-//! an overflow is a programming error, not a runtime condition.
+//!
+//! The reader is *total*: every accessor is a `try_get_*` returning
+//! `Option`, so a truncated or overrun page surfaces as a clean
+//! [`crate::IndexError::CorruptNode`] at the decode layer instead of a
+//! panic. [`Reader::remaining`] lets decoders validate an entry count
+//! against the bytes actually present before allocating for it.
+//!
+//! The writer stays panicking-by-slice-indexing: encoders write layouts
+//! whose sizes are compile-time constants checked against `PAGE_SIZE`
+//! (see `node.rs`), so an overflow there is a programming error, and the
+//! slice bounds check is exactly the assertion we want.
 
 /// Sequential writer over a fixed-size page buffer.
 pub struct Writer<'a> {
@@ -17,8 +26,8 @@ impl<'a> Writer<'a> {
         Writer { buf, pos: 0 }
     }
 
-    /// Bytes written so far.
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// Bytes written so far (encoders use this to cross-check the layout
+    /// arithmetic after serializing).
     pub fn position(&self) -> usize {
         self.pos
     }
@@ -53,7 +62,7 @@ impl<'a> Writer<'a> {
     }
 }
 
-/// Sequential reader over a page buffer.
+/// Sequential checked reader over a page buffer.
 pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -66,54 +75,51 @@ impl<'a> Reader<'a> {
     }
 
     /// Bytes consumed so far.
-    #[cfg_attr(not(test), allow(dead_code))]
     pub fn position(&self) -> usize {
         self.pos
     }
 
-    /// Reads one byte.
-    pub fn get_u8(&mut self) -> u8 {
-        let v = self.buf[self.pos];
-        self.pos += 1;
-        v
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
     }
 
-    /// Reads a little-endian u16.
-    pub fn get_u16(&mut self) -> u16 {
-        let v = u16::from_le_bytes(
-            self.buf[self.pos..self.pos + 2]
-                .try_into()
-                .expect("2 bytes"),
-        );
-        self.pos += 2;
-        v
+    /// Takes the next `n` bytes, or `None` when fewer remain.
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
     }
 
-    /// Reads a little-endian u32.
-    pub fn get_u32(&mut self) -> u32 {
-        let v = u32::from_le_bytes(
-            self.buf[self.pos..self.pos + 4]
-                .try_into()
-                .expect("4 bytes"),
-        );
-        self.pos += 4;
-        v
+    /// Reads one byte, or `None` at end of buffer.
+    pub fn try_get_u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
     }
 
-    /// Reads a little-endian u64.
-    pub fn get_u64(&mut self) -> u64 {
-        let v = u64::from_le_bytes(
-            self.buf[self.pos..self.pos + 8]
-                .try_into()
-                .expect("8 bytes"),
-        );
-        self.pos += 8;
-        v
+    /// Reads a little-endian u16, or `None` when under 2 bytes remain.
+    pub fn try_get_u16(&mut self) -> Option<u16> {
+        let b = self.take(2)?;
+        Some(u16::from_le_bytes([b[0], b[1]]))
     }
 
-    /// Reads a little-endian f64.
-    pub fn get_f64(&mut self) -> f64 {
-        f64::from_bits(self.get_u64())
+    /// Reads a little-endian u32, or `None` when under 4 bytes remain.
+    pub fn try_get_u32(&mut self) -> Option<u32> {
+        let b = self.take(4)?;
+        Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian u64, or `None` when under 8 bytes remain.
+    pub fn try_get_u64(&mut self) -> Option<u64> {
+        let b = self.take(8)?;
+        Some(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a little-endian f64, or `None` when under 8 bytes remain.
+    pub fn try_get_f64(&mut self) -> Option<f64> {
+        self.try_get_u64().map(f64::from_bits)
     }
 }
 
@@ -134,13 +140,14 @@ mod tests {
         let written = w.position();
 
         let mut r = Reader::new(&buf);
-        assert_eq!(r.get_u8(), 0xAB);
-        assert_eq!(r.get_u16(), 0x1234);
-        assert_eq!(r.get_u32(), 0xDEADBEEF);
-        assert_eq!(r.get_u64(), 0x0123456789ABCDEF);
-        assert_eq!(r.get_f64(), -1234.5678e12);
-        assert_eq!(r.get_f64(), f64::INFINITY);
+        assert_eq!(r.try_get_u8(), Some(0xAB));
+        assert_eq!(r.try_get_u16(), Some(0x1234));
+        assert_eq!(r.try_get_u32(), Some(0xDEADBEEF));
+        assert_eq!(r.try_get_u64(), Some(0x0123456789ABCDEF));
+        assert_eq!(r.try_get_f64(), Some(-1234.5678e12));
+        assert_eq!(r.try_get_f64(), Some(f64::INFINITY));
         assert_eq!(r.position(), written);
+        assert_eq!(r.remaining(), 64 - written);
     }
 
     #[test]
@@ -149,7 +156,39 @@ mod tests {
         let mut w = Writer::new(&mut buf);
         w.put_f64(-0.0);
         let mut r = Reader::new(&buf);
-        let v = r.get_f64();
+        let v = r.try_get_f64().unwrap();
         assert_eq!(v.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn truncated_buffers_return_none_not_panic() {
+        // One byte short of each width, at every prefix of a 7-byte buffer.
+        let buf = [1u8, 2, 3, 4, 5, 6, 7];
+        assert_eq!(Reader::new(&buf[..0]).try_get_u8(), None);
+        assert_eq!(Reader::new(&buf[..1]).try_get_u16(), None);
+        assert_eq!(Reader::new(&buf[..3]).try_get_u32(), None);
+        assert_eq!(Reader::new(&buf[..7]).try_get_u64(), None);
+        assert_eq!(Reader::new(&buf[..7]).try_get_f64(), None);
+        // A failed read consumes nothing and leaves the cursor usable.
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.try_get_u32(), Some(u32::from_le_bytes([1, 2, 3, 4])));
+        assert_eq!(r.try_get_u64(), None);
+        assert_eq!(r.position(), 4);
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.try_get_u16(), Some(u16::from_le_bytes([5, 6])));
+        assert_eq!(r.try_get_u8(), Some(7));
+        assert_eq!(r.try_get_u8(), None);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn remaining_tracks_consumption() {
+        let buf = [0u8; 12];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.remaining(), 12);
+        r.try_get_u64();
+        assert_eq!(r.remaining(), 4);
+        r.try_get_u32();
+        assert_eq!(r.remaining(), 0);
     }
 }

@@ -24,7 +24,7 @@
 //!   implemented by both trees.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod buffer;
 mod codec;
@@ -65,6 +65,9 @@ pub enum IndexError {
     BadInsert(String),
     /// A persistence operation failed (I/O error or malformed image).
     Persist(String),
+    /// The buffer manager detected an accounting violation (pinned-page
+    /// eviction, unbalanced unpin, pin of a non-resident page).
+    Buffer(String),
 }
 
 impl std::fmt::Display for IndexError {
@@ -76,6 +79,7 @@ impl std::fmt::Display for IndexError {
             }
             IndexError::BadInsert(msg) => write!(f, "bad insert: {msg}"),
             IndexError::Persist(msg) => write!(f, "persistence failure: {msg}"),
+            IndexError::Buffer(msg) => write!(f, "buffer accounting violation: {msg}"),
         }
     }
 }

@@ -14,6 +14,7 @@
 //! `dx(t)^2 + dy(t)^2` is a convex quadratic whose minimum is at its vertex
 //! or at the piece boundary — all closed-form.
 
+use mst_trajectory::float;
 use mst_trajectory::{Mbb, Rect, Segment, TimeInterval, Trajectory};
 
 /// Minimum spatial distance between a moving point (one trajectory segment)
@@ -35,7 +36,7 @@ pub fn segment_rect_mindist(seg: &Segment, rect: &Rect) -> f64 {
         (x0, vx, rect.x_min, rect.x_max),
         (y0, vy, rect.y_min, rect.y_max),
     ] {
-        if v != 0.0 {
+        if !float::exactly_zero(v) {
             for bound in [lo, hi] {
                 let tc = (bound - p0) / v;
                 if tc > 0.0 && tc < dur {
@@ -80,7 +81,7 @@ pub fn segment_rect_mindist(seg: &Segment, rect: &Rect) -> f64 {
             }
         }
         best = best.min(piece);
-        if best == 0.0 {
+        if float::exactly_zero(best) {
             break;
         }
     }
@@ -107,6 +108,7 @@ pub fn trajectory_mbb_mindist(query: &Trajectory, mbb: &Mbb, period: &TimeInterv
     // child entry, so this is hot).
     let first = query
         .segment_index_at(window.start())
+        // invariant: `window` was intersected with `query.time()` above.
         .expect("window is inside the query's validity");
     for i in first..query.num_segments() {
         let seg = query.segment(i);
@@ -117,7 +119,7 @@ pub fn trajectory_mbb_mindist(query: &Trajectory, mbb: &Mbb, period: &TimeInterv
             continue;
         };
         best = best.min(segment_rect_mindist(&clipped, &rect));
-        if best == 0.0 {
+        if float::exactly_zero(best) {
             break;
         }
     }

@@ -199,39 +199,63 @@ impl Node {
                 }
             }
         }
+        let entry_size = match self {
+            Node::Leaf { .. } => LEAF_ENTRY_SIZE,
+            Node::Internal { .. } => INTERNAL_ENTRY_SIZE,
+        };
+        assert_eq!(
+            w.position(),
+            HEADER_SIZE + self.len() * entry_size,
+            "encoded size disagrees with the layout constants"
+        );
         buf
     }
 
     /// Decodes a node from page bytes.
+    ///
+    /// Total over arbitrary input: short buffers, overrunning entry counts,
+    /// and malformed payloads all come back as
+    /// [`IndexError::CorruptNode`] — never a panic.
     pub fn decode(page: PageId, buf: &[u8]) -> Result<Node> {
+        let corrupt = |reason: String| IndexError::CorruptNode { page, reason };
+        let truncated = || corrupt("page truncated mid-field".to_string());
         if buf.len() != PAGE_SIZE {
-            return Err(IndexError::CorruptNode {
-                page,
-                reason: format!("page has {} bytes, expected {}", buf.len(), PAGE_SIZE),
-            });
+            return Err(corrupt(format!(
+                "page has {} bytes, expected {}",
+                buf.len(),
+                PAGE_SIZE
+            )));
         }
         let mut r = Reader::new(buf);
-        let node_type = r.get_u8();
-        let level = r.get_u8();
-        let count = r.get_u16() as usize;
-        let _reserved = r.get_u32();
-        let owner = r.get_u64();
-        let prev = r.get_u32();
-        let next = r.get_u32();
+        let node_type = r.try_get_u8().ok_or_else(truncated)?;
+        let level = r.try_get_u8().ok_or_else(truncated)?;
+        let count = usize::from(r.try_get_u16().ok_or_else(truncated)?);
+        let _reserved = r.try_get_u32().ok_or_else(truncated)?;
+        let owner = r.try_get_u64().ok_or_else(truncated)?;
+        let prev = r.try_get_u32().ok_or_else(truncated)?;
+        let next = r.try_get_u32().ok_or_else(truncated)?;
+        debug_assert_eq!(r.position(), HEADER_SIZE);
         match node_type {
             TYPE_LEAF => {
                 if count > LEAF_CAPACITY {
-                    return Err(IndexError::CorruptNode {
-                        page,
-                        reason: format!("leaf count {count} exceeds capacity {LEAF_CAPACITY}"),
-                    });
+                    return Err(corrupt(format!(
+                        "leaf count {count} exceeds capacity {LEAF_CAPACITY}"
+                    )));
+                }
+                if r.remaining() < count * LEAF_ENTRY_SIZE {
+                    return Err(corrupt(format!(
+                        "leaf count {count} overruns the page: {} bytes needed, {} left",
+                        count * LEAF_ENTRY_SIZE,
+                        r.remaining()
+                    )));
                 }
                 let mut entries = Vec::with_capacity(count);
                 for _ in 0..count {
-                    let traj = TrajectoryId(r.get_u64());
-                    let seq = r.get_u32();
-                    let (t1, x1, y1) = (r.get_f64(), r.get_f64(), r.get_f64());
-                    let (t2, x2, y2) = (r.get_f64(), r.get_f64(), r.get_f64());
+                    let traj = TrajectoryId(r.try_get_u64().ok_or_else(truncated)?);
+                    let seq = r.try_get_u32().ok_or_else(truncated)?;
+                    let mut f = || r.try_get_f64().ok_or_else(truncated);
+                    let (t1, x1, y1) = (f()?, f()?, f()?);
+                    let (t2, x2, y2) = (f()?, f()?, f()?);
                     let segment =
                         Segment::new(SamplePoint::new(t1, x1, y1), SamplePoint::new(t2, x2, y2))
                             .map_err(|e| IndexError::CorruptNode {
@@ -240,6 +264,7 @@ impl Node {
                             })?;
                     entries.push(LeafEntry { traj, seq, segment });
                 }
+                debug_assert_eq!(r.position(), HEADER_SIZE + count * LEAF_ENTRY_SIZE);
                 Ok(Node::Leaf {
                     entries,
                     owner: (owner != NO_OWNER).then_some(TrajectoryId(owner)),
@@ -249,41 +274,38 @@ impl Node {
             }
             TYPE_INTERNAL => {
                 if count > INTERNAL_CAPACITY {
-                    return Err(IndexError::CorruptNode {
-                        page,
-                        reason: format!(
-                            "internal count {count} exceeds capacity {INTERNAL_CAPACITY}"
-                        ),
-                    });
+                    return Err(corrupt(format!(
+                        "internal count {count} exceeds capacity {INTERNAL_CAPACITY}"
+                    )));
                 }
                 if level == 0 {
-                    return Err(IndexError::CorruptNode {
-                        page,
-                        reason: "internal node with level 0".into(),
-                    });
+                    return Err(corrupt("internal node with level 0".to_string()));
+                }
+                if r.remaining() < count * INTERNAL_ENTRY_SIZE {
+                    return Err(corrupt(format!(
+                        "internal count {count} overruns the page: {} bytes needed, {} left",
+                        count * INTERNAL_ENTRY_SIZE,
+                        r.remaining()
+                    )));
                 }
                 let mut entries = Vec::with_capacity(count);
                 for _ in 0..count {
-                    let child = PageId(r.get_u32());
-                    let (x_min, y_min, t_min) = (r.get_f64(), r.get_f64(), r.get_f64());
-                    let (x_max, y_max, t_max) = (r.get_f64(), r.get_f64(), r.get_f64());
+                    let child = PageId(r.try_get_u32().ok_or_else(truncated)?);
+                    let mut f = || r.try_get_f64().ok_or_else(truncated);
+                    let (x_min, y_min, t_min) = (f()?, f()?, f()?);
+                    let (x_max, y_max, t_max) = (f()?, f()?, f()?);
                     if !(x_min <= x_max && y_min <= y_max && t_min <= t_max) {
-                        return Err(IndexError::CorruptNode {
-                            page,
-                            reason: "inverted MBB".into(),
-                        });
+                        return Err(corrupt("inverted MBB".to_string()));
                     }
                     entries.push(InternalEntry {
                         child,
                         mbb: Mbb::new(x_min, y_min, t_min, x_max, y_max, t_max),
                     });
                 }
+                debug_assert_eq!(r.position(), HEADER_SIZE + count * INTERNAL_ENTRY_SIZE);
                 Ok(Node::Internal { level, entries })
             }
-            other => Err(IndexError::CorruptNode {
-                page,
-                reason: format!("unknown node type {other}"),
-            }),
+            other => Err(corrupt(format!("unknown node type {other}"))),
         }
     }
 }

@@ -18,6 +18,16 @@ impl PageId {
     /// Sentinel used on disk for "no page" (e.g. a TB-tree leaf with no
     /// predecessor).
     pub const NONE: PageId = PageId(u32::MAX);
+
+    /// The page's index into the store's backing array — the one sanctioned
+    /// `u32 → usize` conversion in the storage layer.
+    pub(crate) fn index(self) -> usize {
+        const _: () = assert!(
+            usize::BITS >= u32::BITS,
+            "16-bit targets cannot address the page store"
+        );
+        self.0 as usize // invariant: lossless, by the const assertion above
+    }
 }
 
 /// Physical I/O counters of the simulated disk.
@@ -52,10 +62,12 @@ impl PageStore {
     /// returns its id.
     pub fn allocate(&mut self) -> PageId {
         if let Some(id) = self.free_list.pop() {
-            self.pages[id.0 as usize].fill(0);
+            self.pages[id.index()].fill(0);
             return id;
         }
         let id = PageId(
+            // invariant: a store of u32::MAX 4 KB pages is 16 TiB of index —
+            // allocation fails long before the id space runs out.
             u32::try_from(self.pages.len()).expect("page store limited to u32::MAX - 1 pages"),
         );
         assert!(id != PageId::NONE, "page store exhausted");
@@ -67,7 +79,7 @@ impl PageStore {
     /// already-free page is a logic error in the caller; the store checks
     /// the former.
     pub fn free(&mut self, id: PageId) -> Result<()> {
-        if id.0 as usize >= self.pages.len() {
+        if id.index() >= self.pages.len() {
             return Err(IndexError::UnknownPage(id));
         }
         debug_assert!(!self.free_list.contains(&id), "double free of {id:?}");
@@ -89,7 +101,7 @@ impl PageStore {
     pub fn read(&mut self, id: PageId) -> Result<&[u8]> {
         self.stats.reads += 1;
         self.pages
-            .get(id.0 as usize)
+            .get(id.index())
             .map(|p| &p[..])
             .ok_or(IndexError::UnknownPage(id))
     }
@@ -99,7 +111,7 @@ impl PageStore {
         assert_eq!(data.len(), PAGE_SIZE, "pages are written whole");
         let page = self
             .pages
-            .get_mut(id.0 as usize)
+            .get_mut(id.index())
             .ok_or(IndexError::UnknownPage(id))?;
         page.copy_from_slice(data);
         self.stats.writes += 1;
@@ -133,6 +145,14 @@ impl PageStore {
     /// Resets the physical I/O counters (e.g. between experiment phases).
     pub fn reset_stats(&mut self) {
         self.stats = DiskStats::default();
+    }
+
+    /// Restores a previously captured counter snapshot (used by the
+    /// `paranoid` audit hooks so their own page reads stay invisible to the
+    /// experiment's I/O accounting).
+    #[cfg(feature = "paranoid")]
+    pub(crate) fn set_stats(&mut self, stats: DiskStats) {
+        self.stats = stats;
     }
 }
 

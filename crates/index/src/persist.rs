@@ -71,17 +71,17 @@ impl Image {
         header.push(self.height);
         header.extend_from_slice(&self.entries.to_le_bytes());
         header.extend_from_slice(&self.max_speed.to_bits().to_le_bytes());
-        header.extend_from_slice(&(self.pages.len() as u64).to_le_bytes());
-        header.extend_from_slice(&(self.free_list.len() as u32).to_le_bytes());
+        header.extend_from_slice(&len_u64(self.pages.len(), "page")?.to_le_bytes());
+        header.extend_from_slice(&len_u32(self.free_list.len(), "free-list")?.to_le_bytes());
         for id in &self.free_list {
             header.extend_from_slice(&id.0.to_le_bytes());
         }
-        header.extend_from_slice(&(self.tips.len() as u32).to_le_bytes());
+        header.extend_from_slice(&len_u32(self.tips.len(), "tip")?.to_le_bytes());
         for (traj, page) in &self.tips {
             header.extend_from_slice(&traj.0.to_le_bytes());
             header.extend_from_slice(&page.0.to_le_bytes());
         }
-        header.extend_from_slice(&(self.parents.len() as u32).to_le_bytes());
+        header.extend_from_slice(&len_u32(self.parents.len(), "parent")?.to_le_bytes());
         for (child, parent) in &self.parents {
             header.extend_from_slice(&child.0.to_le_bytes());
             header.extend_from_slice(&parent.0.to_le_bytes());
@@ -114,8 +114,8 @@ impl Image {
         if !max_speed.is_finite() || max_speed < 0.0 {
             return Err(IndexError::Persist(format!("invalid vmax {max_speed}")));
         }
-        let num_pages = read_u64(&mut r)? as usize;
-        let free_count = read_u32(&mut r)? as usize;
+        let num_pages = count_from_u64(read_u64(&mut r)?, "page")?;
+        let free_count = count_from_u32(read_u32(&mut r)?);
         if free_count > num_pages {
             return Err(IndexError::Persist(format!(
                 "{free_count} free pages exceed the {num_pages} allocated"
@@ -125,12 +125,12 @@ impl Image {
         for _ in 0..free_count {
             free_list.push(PageId(read_u32(&mut r)?));
         }
-        let tips_count = read_u32(&mut r)? as usize;
+        let tips_count = count_from_u32(read_u32(&mut r)?);
         let mut tips = Vec::with_capacity(tips_count);
         for _ in 0..tips_count {
             tips.push((TrajectoryId(read_u64(&mut r)?), PageId(read_u32(&mut r)?)));
         }
-        let parents_count = read_u32(&mut r)? as usize;
+        let parents_count = count_from_u32(read_u32(&mut r)?);
         let mut parents = Vec::with_capacity(parents_count);
         for _ in 0..parents_count {
             parents.push((PageId(read_u32(&mut r)?), PageId(read_u32(&mut r)?)));
@@ -143,7 +143,7 @@ impl Image {
         }
         let root = (root_raw != PageId::NONE.0).then_some(PageId(root_raw));
         if let Some(root) = root {
-            if root.0 as usize >= num_pages {
+            if root.index() >= num_pages {
                 return Err(IndexError::Persist(format!(
                     "root {root:?} outside the {num_pages}-page image"
                 )));
@@ -161,6 +161,29 @@ impl Image {
             parents,
         })
     }
+}
+
+/// Converts a collection length to the on-disk `u64` count field.
+fn len_u64(n: usize, what: &str) -> Result<u64> {
+    u64::try_from(n).map_err(|_| IndexError::Persist(format!("{what} count {n} exceeds u64")))
+}
+
+/// Converts a collection length to the on-disk `u32` count field.
+fn len_u32(n: usize, what: &str) -> Result<u32> {
+    u32::try_from(n).map_err(|_| IndexError::Persist(format!("{what} count {n} exceeds u32")))
+}
+
+/// Converts an on-disk `u64` count into an in-memory `usize`, rejecting
+/// values this platform cannot address.
+fn count_from_u64(n: u64, what: &str) -> Result<usize> {
+    usize::try_from(n)
+        .map_err(|_| IndexError::Persist(format!("{what} count {n} exceeds the address space")))
+}
+
+/// Converts an on-disk `u32` count into an in-memory `usize` (lossless:
+/// 16-bit targets are rejected at compile time by the page store).
+fn count_from_u32(n: u32) -> usize {
+    PageId(n).index()
 }
 
 fn read_u8<R: Read>(r: &mut R) -> Result<u8> {

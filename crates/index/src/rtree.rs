@@ -41,6 +41,35 @@ impl Rtree3D {
 
     /// Inserts one trajectory segment.
     pub fn insert(&mut self, entry: LeafEntry) -> Result<()> {
+        self.insert_impl(entry)?;
+        self.paranoid_audit("insert");
+        Ok(())
+    }
+
+    /// Audit hook behind the `paranoid` feature: re-validates the whole
+    /// tree and the buffer accounting after a mutating operation. The I/O
+    /// counters are snapshot-restored around the audit so measurements stay
+    /// comparable with unaudited runs.
+    #[cfg(feature = "paranoid")]
+    fn paranoid_audit(&mut self, op: &str) {
+        let disk = self.pager.store.stats();
+        let buf = self.pager.pool.stats();
+        let reads = self.pager.node_reads;
+        let failure = crate::check_invariants(self).err();
+        self.pager.store.set_stats(disk);
+        self.pager.pool.set_stats(buf);
+        self.pager.node_reads = reads;
+        if let Some(reason) = failure {
+            let _ = &reason;
+            debug_assert!(false, "paranoid audit after {op}: {reason}");
+        }
+    }
+
+    #[cfg(not(feature = "paranoid"))]
+    #[inline(always)]
+    fn paranoid_audit(&mut self, _op: &str) {}
+
+    fn insert_impl(&mut self, entry: LeafEntry) -> Result<()> {
         self.max_speed = self.max_speed.max(entry.segment.speed());
         self.num_entries += 1;
 
@@ -218,6 +247,7 @@ impl Rtree3D {
             tree.height += 1;
         }
         tree.root = Some(level_entries[0].child);
+        tree.paranoid_audit("bulk_load");
         Ok(tree)
     }
 
@@ -296,6 +326,12 @@ impl Rtree3D {
     /// `max_speed` is intentionally *not* recomputed — it remains a sound
     /// (if possibly loose) upper bound for the Vmax-based pruning metrics.
     pub fn delete(&mut self, traj: TrajectoryId, seq: u32) -> Result<bool> {
+        let deleted = self.delete_impl(traj, seq)?;
+        self.paranoid_audit("delete");
+        Ok(deleted)
+    }
+
+    fn delete_impl(&mut self, traj: TrajectoryId, seq: u32) -> Result<bool> {
         let Some(root) = self.root else {
             return Ok(false);
         };
@@ -306,12 +342,17 @@ impl Rtree3D {
 
         let mut node = self.pager.read_node(leaf_page)?;
         let Node::Leaf { entries, .. } = &mut node else {
-            unreachable!("find_leaf returns leaves");
+            return Err(IndexError::CorruptNode {
+                page: leaf_page,
+                reason: "find_leaf returned a non-leaf page".into(),
+            });
         };
-        let idx = entries
-            .iter()
-            .position(|e| e.traj == traj && e.seq == seq)
-            .expect("find_leaf verified membership");
+        let Some(idx) = entries.iter().position(|e| e.traj == traj && e.seq == seq) else {
+            return Err(IndexError::CorruptNode {
+                page: leaf_page,
+                reason: "leaf lost the matched entry between lookup and delete".into(),
+            });
+        };
         entries.remove(idx);
         self.num_entries -= 1;
         self.pager.write_node(leaf_page, &node)?;
@@ -415,11 +456,13 @@ impl Rtree3D {
             }
         }
 
-        // Reinsert what the dissolved nodes still held. `insert` counts
-        // entries, so compensate.
+        // Reinsert what the dissolved nodes still held. `insert_impl`
+        // counts entries, so compensate; the unaudited path is deliberate —
+        // the tree is transiently inconsistent until the last orphan lands,
+        // and the delete wrapper audits the final state.
         for e in orphans {
             self.num_entries -= 1;
-            self.insert(e)?;
+            self.insert_impl(e)?;
         }
         Ok(())
     }
@@ -444,6 +487,25 @@ impl Rtree3D {
 impl Default for Rtree3D {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+#[cfg(test)]
+impl Rtree3D {
+    /// Test-only: overwrite a node's page, bypassing every invariant — used
+    /// by the validator's negative tests to plant corruption.
+    pub(crate) fn corrupt_node_for_tests(&mut self, page: PageId, node: &Node) -> Result<()> {
+        self.pager.write_node(page, node)
+    }
+
+    /// Test-only: desynchronize the entry counter.
+    pub(crate) fn set_num_entries_for_tests(&mut self, n: u64) {
+        self.num_entries = n;
+    }
+
+    /// Test-only: pin a resident page and never unpin it (a simulated leak).
+    pub(crate) fn leak_pin_for_tests(&mut self, page: PageId) -> Result<()> {
+        self.pager.pool.pin(page)
     }
 }
 
@@ -500,6 +562,10 @@ impl TrajectoryIndex for Rtree3D {
 
     fn set_buffer_capacity(&mut self, capacity: Option<usize>) -> Result<()> {
         self.pager.set_fixed_capacity(capacity)
+    }
+
+    fn audit_buffer(&self) -> std::result::Result<(), String> {
+        self.pager.audit()
     }
 }
 

@@ -52,6 +52,35 @@ impl StrTree {
     /// Inserts one trajectory segment: into its predecessor's leaf when
     /// that leaf has room, otherwise via the least-enlargement descent.
     pub fn insert(&mut self, entry: LeafEntry) -> Result<()> {
+        self.insert_impl(entry)?;
+        self.paranoid_audit("insert");
+        Ok(())
+    }
+
+    /// Audit hook behind the `paranoid` feature: re-validates the whole
+    /// tree and the buffer accounting after a mutating operation. The I/O
+    /// counters are snapshot-restored around the audit so measurements stay
+    /// comparable with unaudited runs.
+    #[cfg(feature = "paranoid")]
+    fn paranoid_audit(&mut self, op: &str) {
+        let disk = self.pager.store.stats();
+        let buf = self.pager.pool.stats();
+        let reads = self.pager.node_reads;
+        let failure = crate::check_invariants(self).err();
+        self.pager.store.set_stats(disk);
+        self.pager.pool.set_stats(buf);
+        self.pager.node_reads = reads;
+        if let Some(reason) = failure {
+            let _ = &reason;
+            debug_assert!(false, "paranoid audit after {op}: {reason}");
+        }
+    }
+
+    #[cfg(not(feature = "paranoid"))]
+    #[inline(always)]
+    fn paranoid_audit(&mut self, _op: &str) {}
+
+    fn insert_impl(&mut self, entry: LeafEntry) -> Result<()> {
         self.max_speed = self.max_speed.max(entry.segment.speed());
         self.num_entries += 1;
 
@@ -376,6 +405,10 @@ impl TrajectoryIndex for StrTree {
 
     fn set_buffer_capacity(&mut self, capacity: Option<usize>) -> Result<()> {
         self.pager.set_fixed_capacity(capacity)
+    }
+
+    fn audit_buffer(&self) -> std::result::Result<(), String> {
+        self.pager.audit()
     }
 }
 

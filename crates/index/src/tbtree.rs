@@ -57,6 +57,35 @@ impl TbTree {
     /// appended to the trajectory's tip leaf); interleaving different
     /// trajectories is fine and expected.
     pub fn insert(&mut self, entry: LeafEntry) -> Result<()> {
+        self.insert_impl(entry)?;
+        self.paranoid_audit("insert");
+        Ok(())
+    }
+
+    /// Audit hook behind the `paranoid` feature: re-validates the whole
+    /// tree and the buffer accounting after a mutating operation. The I/O
+    /// counters are snapshot-restored around the audit so measurements stay
+    /// comparable with unaudited runs.
+    #[cfg(feature = "paranoid")]
+    fn paranoid_audit(&mut self, op: &str) {
+        let disk = self.pager.store.stats();
+        let buf = self.pager.pool.stats();
+        let reads = self.pager.node_reads;
+        let failure = crate::check_invariants(self).err();
+        self.pager.store.set_stats(disk);
+        self.pager.pool.set_stats(buf);
+        self.pager.node_reads = reads;
+        if let Some(reason) = failure {
+            let _ = &reason;
+            debug_assert!(false, "paranoid audit after {op}: {reason}");
+        }
+    }
+
+    #[cfg(not(feature = "paranoid"))]
+    #[inline(always)]
+    fn paranoid_audit(&mut self, _op: &str) {}
+
+    fn insert_impl(&mut self, entry: LeafEntry) -> Result<()> {
         self.max_speed = self.max_speed.max(entry.segment.speed());
 
         if let Some(&tip) = self.tips.get(&entry.traj) {
@@ -156,10 +185,15 @@ impl TbTree {
             if *level == 1 {
                 break;
             }
-            current = entries
-                .last()
-                .expect("non-root internals are non-empty")
-                .child;
+            current = match entries.last() {
+                Some(e) => e.child,
+                None => {
+                    return Err(IndexError::CorruptNode {
+                        page: current,
+                        reason: "empty internal node on the right-most path".into(),
+                    })
+                }
+            };
         }
 
         // Append the leaf entry, splitting B+-tree-style (new right sibling
@@ -171,7 +205,10 @@ impl TbTree {
         for (depth, &page) in path.iter().enumerate().rev() {
             let mut node = self.pager.read_node(page)?;
             let Node::Internal { level, entries } = &mut node else {
-                unreachable!("path contains internal nodes only");
+                return Err(IndexError::CorruptNode {
+                    page,
+                    reason: "leaf node on the internal insertion path".into(),
+                });
             };
             if entries.len() < INTERNAL_CAPACITY {
                 entries.push(pending);
@@ -213,7 +250,9 @@ impl TbTree {
                 return Ok(());
             }
         }
-        unreachable!("loop either returns or grows the root");
+        Err(IndexError::BadInsert(
+            "insertion path was empty; the right-most descent pushes at least one node".into(),
+        ))
     }
 
     /// Propagates an updated child MBB to the root.
@@ -394,6 +433,25 @@ impl Default for TbTree {
     }
 }
 
+#[cfg(test)]
+impl TbTree {
+    /// Test-only: overwrite a node's page, bypassing every invariant — used
+    /// by the validator's negative tests to plant corruption.
+    pub(crate) fn corrupt_node_for_tests(&mut self, page: PageId, node: &Node) -> Result<()> {
+        self.pager.write_node(page, node)
+    }
+
+    /// Test-only: desynchronize the entry counter.
+    pub(crate) fn set_num_entries_for_tests(&mut self, n: u64) {
+        self.num_entries = n;
+    }
+
+    /// Test-only: pin a resident page and never unpin it (a simulated leak).
+    pub(crate) fn leak_pin_for_tests(&mut self, page: PageId) -> Result<()> {
+        self.pager.pool.pin(page)
+    }
+}
+
 impl crate::TrajectoryIndexWrite for TbTree {
     fn insert_entry(&mut self, entry: LeafEntry) -> Result<()> {
         self.insert(entry)
@@ -447,6 +505,17 @@ impl TrajectoryIndex for TbTree {
 
     fn set_buffer_capacity(&mut self, capacity: Option<usize>) -> Result<()> {
         self.pager.set_fixed_capacity(capacity)
+    }
+
+    fn leaf_chain_tips(&self) -> Vec<(TrajectoryId, PageId)> {
+        let mut tips: Vec<(TrajectoryId, PageId)> =
+            self.tips.iter().map(|(&t, &p)| (t, p)).collect();
+        tips.sort_unstable();
+        tips
+    }
+
+    fn audit_buffer(&self) -> std::result::Result<(), String> {
+        self.pager.audit()
     }
 }
 

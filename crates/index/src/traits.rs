@@ -1,7 +1,7 @@
 //! The read interface the MST search consumes, plus the shared pager that
 //! both trees use to move nodes through the buffer.
 
-use mst_trajectory::Mbb;
+use mst_trajectory::{Mbb, TrajectoryId};
 
 use crate::{BufferPool, BufferStats, DiskStats, LeafEntry, Node, PageId, PageStore, Result};
 
@@ -83,11 +83,17 @@ impl Pager {
         Ok(id)
     }
 
-    /// Reads and decodes the node stored in `page`.
+    /// Reads and decodes the node stored in `page`. The frame stays pinned
+    /// for the duration of the decode, so the buffer audits see every node
+    /// access and a decode can never race an eviction.
     pub fn read_node(&mut self, page: PageId) -> Result<Node> {
         self.node_reads += 1;
-        let bytes = self.pool.read(&mut self.store, page)?;
-        Node::decode(page, bytes)
+        let decoded = {
+            let bytes = self.pool.read_pinned(&mut self.store, page)?;
+            Node::decode(page, bytes)
+        };
+        self.pool.unpin(page)?;
+        decoded
     }
 
     /// Encodes and writes `node` into `page`.
@@ -112,6 +118,13 @@ impl Pager {
     pub fn free_node(&mut self, page: PageId) -> Result<()> {
         self.pool.discard(page);
         self.store.free(page)
+    }
+
+    /// Buffer-manager audit: LRU bookkeeping consistent and no leaked pins.
+    /// The pager pins only inside [`Pager::read_node`], so between calls the
+    /// pool must be fully unpinned.
+    pub fn audit(&self) -> std::result::Result<(), String> {
+        self.pool.audit_idle()
     }
 }
 
@@ -151,6 +164,20 @@ pub trait TrajectoryIndex {
     /// Pins the buffer pool to a fixed page capacity, or restores the
     /// paper's auto-sizing rule with `None` (used by buffer ablations).
     fn set_buffer_capacity(&mut self, capacity: Option<usize>) -> Result<()>;
+
+    /// For trajectory-preserving indexes (the TB-tree): each trajectory's
+    /// tip leaf, the head of its backward leaf chain. Indexes without leaf
+    /// chains return an empty list, which skips the chain validation in
+    /// [`crate::check_invariants`].
+    fn leaf_chain_tips(&self) -> Vec<(TrajectoryId, PageId)> {
+        Vec::new()
+    }
+
+    /// Audits the buffer manager's bookkeeping (LRU consistency, leaked
+    /// pins). The default is a no-op for index views without a buffer.
+    fn audit_buffer(&self) -> std::result::Result<(), String> {
+        Ok(())
+    }
 
     /// All segments whose MBB intersects `window` — the classic 3D range
     /// query the substrate also serves (the paper's premise is that the

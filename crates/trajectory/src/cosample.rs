@@ -42,10 +42,13 @@ pub fn co_segments(
         let sa = a
             .segment(a.segment_index_at(iv.start())?)
             .clip(&iv)
+            // invariant: cuts are the merged sample timestamps, so no cut
+            // interval straddles a sample of either trajectory
             .expect("cut interval lies inside one segment");
         let sb = b
             .segment(b.segment_index_at(iv.start())?)
             .clip(&iv)
+            // invariant: same merged-timestamp argument as for `sa` above
             .expect("cut interval lies inside one segment");
         out.push(CoSegment {
             first: sa,
@@ -109,6 +112,7 @@ pub fn merged_timestamps(
             (None, None) => break,
         };
         if next > period.start() && next < period.end() {
+            // invariant: `cuts` starts with `period.start()` pushed above
             if *cuts.last().expect("seeded with period start") != next {
                 cuts.push(next);
             }

@@ -1,0 +1,67 @@
+//! Floating-point comparison policy for the whole workspace.
+//!
+//! Library code never writes `==` / `!=` against floats directly — the
+//! static-analysis gate (`cargo run -p xtask -- check`, rule R4) rejects
+//! it. The two legitimate needs are named here instead, so every call site
+//! states *which* kind of comparison it means:
+//!
+//! * [`approx_eq`] — value comparison under the workspace tolerance, for
+//!   geometric/metric quantities accumulated through rounding arithmetic;
+//! * [`exactly_zero`] — bit-exact zero tests, for division guards and
+//!   "can't get any smaller" early exits where a tolerance would be wrong
+//!   (a denominator of `1e-30` is small but perfectly divisible; a distance
+//!   of `1e-30` must not terminate a search that could still reach `0`).
+//!
+//! This module is the R4 allowlist: it is the only non-test code permitted
+//! to compare floats exactly.
+
+/// Workspace-wide relative/absolute tolerance for metric comparisons.
+///
+/// Matches the slack used by the structural validator and the property
+/// suites: large enough to absorb double-rounding in the DISSIM integrals,
+/// far below any physically meaningful distance in the datasets.
+pub const TOLERANCE: f64 = 1e-9;
+
+/// True when `a` and `b` agree within [`TOLERANCE`], scaled by magnitude.
+///
+/// Uses the mixed absolute/relative form `|a - b| <= TOLERANCE * (1 +
+/// max(|a|, |b|))`, so values near zero are compared absolutely and large
+/// values relatively.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= TOLERANCE * (1.0 + a.abs().max(b.abs()))
+}
+
+/// True when `x` is exactly `+0.0` or `-0.0`.
+///
+/// This is a deliberate bit-exact test for division guards (any nonzero
+/// divisor is usable) and for early exits on quantities that are bounded
+/// below by zero (a squared distance of exactly `0` cannot improve).
+#[inline]
+pub fn exactly_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absorbs_tolerance_scale_noise() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(approx_eq(0.0, 1e-10));
+        assert!(!approx_eq(0.0, 1e-6));
+        // Relative at large magnitude: 1e9 +- 0.1 is within 1e-9 relative.
+        assert!(approx_eq(1.0e9, 1.0e9 + 0.1));
+        assert!(!approx_eq(1.0e9, 1.0e9 + 10.0));
+    }
+
+    #[test]
+    fn exactly_zero_is_bit_exact() {
+        assert!(exactly_zero(0.0));
+        assert!(exactly_zero(-0.0));
+        assert!(!exactly_zero(f64::MIN_POSITIVE));
+        assert!(!exactly_zero(1e-300));
+        assert!(!exactly_zero(f64::NAN));
+    }
+}

@@ -12,7 +12,7 @@
 //! (with `origin` the interval start) to keep the trinomial coefficients
 //! well-conditioned even when absolute timestamps are large.
 
-use crate::{Result, Segment, TrajectoryError};
+use crate::{float, Result, Segment, TrajectoryError};
 
 /// Relative tolerance used to decide degenerate cases (`a == 0`,
 /// discriminant `== 0`).
@@ -196,7 +196,7 @@ impl DistanceTrinomial {
     pub fn second_derivative(&self, t: f64) -> f64 {
         let tau = t - self.origin;
         let q = ((self.a * tau + self.b) * tau + self.c).max(0.0);
-        if q == 0.0 {
+        if float::exactly_zero(q) {
             return f64::INFINITY;
         }
         self.disc() / (4.0 * q * q.sqrt())

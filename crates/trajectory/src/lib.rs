@@ -21,10 +21,11 @@
 //! never re-validates.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cosample;
 mod error;
+pub mod float;
 pub mod kinematics;
 mod mbb;
 mod point;

@@ -188,6 +188,7 @@ impl Mbb {
     /// The temporal extent of the box.
     pub fn time(&self) -> TimeInterval {
         TimeInterval::new(self.t_min, self.t_max)
+            // invariant: Mbb construction rejects t_min > t_max and NaN
             .expect("a non-empty Mbb always has a valid time interval")
     }
 }

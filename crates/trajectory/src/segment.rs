@@ -46,6 +46,7 @@ impl Segment {
     /// The temporal extent `[start.t, end.t]`.
     #[inline]
     pub fn time(&self) -> TimeInterval {
+        // invariant: Segment::new rejects end.t <= start.t and non-finite
         TimeInterval::new(self.start.t, self.end.t).expect("segment construction validated times")
     }
 

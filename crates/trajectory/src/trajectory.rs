@@ -85,6 +85,7 @@ impl Trajectory {
     /// The validity period `[first.t, last.t]`.
     pub fn time(&self) -> TimeInterval {
         TimeInterval::new(self.start_time(), self.end_time())
+            // invariant: Trajectory::new enforces strictly increasing times
             .expect("construction validated ordering")
     }
 
@@ -96,6 +97,7 @@ impl Trajectory {
     /// The `i`-th line segment.
     pub fn segment(&self, i: usize) -> Segment {
         Segment::new(self.points[i], self.points[i + 1])
+            // invariant: Trajectory::new enforces ordered, finite samples
             .expect("construction validated ordering and finiteness")
     }
 
@@ -103,6 +105,7 @@ impl Trajectory {
     pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
         self.points
             .windows(2)
+            // invariant: Trajectory::new enforces ordered, finite samples
             .map(|w| Segment::new(w[0], w[1]).expect("validated at construction"))
     }
 

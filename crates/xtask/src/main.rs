@@ -1,0 +1,859 @@
+//! Repository-specific static analysis: `cargo run -p xtask -- check`.
+//!
+//! The standard toolchain lints (`clippy`, `rustc` warnings) cannot express
+//! the policies this codebase actually relies on, so this zero-dependency
+//! binary enforces them directly on the source tree:
+//!
+//! * **R1** — no `unwrap()` / `expect(` / `panic!` / `todo!` /
+//!   `unimplemented!` / `unreachable!` in non-`#[cfg(test)]` library code of
+//!   `mst-trajectory`, `mst-index`, and `mst-search`. A line may opt out by
+//!   carrying an `// invariant: <why this cannot fire>` justification.
+//! * **R2** — no `as` numeric casts in the binary-format modules
+//!   (`index/src/codec.rs`, `index/src/persist.rs`,
+//!   `index/src/pagestore.rs`); width changes there must go through
+//!   `From`/`TryFrom` or the checked codec helpers so truncation is
+//!   impossible by construction.
+//! * **R3** — every crate root declares `#![forbid(unsafe_code)]` and
+//!   `#![deny(missing_docs)]`.
+//! * **R4** — no `==` / `!=` against floating-point literals outside test
+//!   code and the allow-listed tolerance module
+//!   (`trajectory/src/float.rs`). Detection is a literal-adjacency
+//!   heuristic (an exact type-aware check needs full inference); it is a
+//!   tripwire, not a proof.
+//! * **R5** — no `std::time` / `Instant` outside `mst-bench`: library code
+//!   must stay deterministic and clock-free so results are reproducible.
+//!
+//! The scanner is line-based. Comments and string/char literal bodies are
+//! stripped before pattern matching, and `#[cfg(test)]` items are skipped
+//! via brace tracking. Multi-line string literals are not understood —
+//! none exist in library code, and a false positive can always be silenced
+//! with an `// invariant:` comment explaining itself.
+//!
+//! Exit status: `0` when the tree is clean, `1` with `file:line: [R#] ...`
+//! diagnostics otherwise.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// A single rule violation, printed as `file:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source scanning: comment/string stripping and #[cfg(test)] tracking
+// ---------------------------------------------------------------------------
+
+/// One source line after sanitisation.
+#[derive(Debug, Clone)]
+struct Line {
+    /// 1-based line number.
+    number: usize,
+    /// The line with comments removed and literal bodies blanked out.
+    code: String,
+    /// Whether the raw line carries an `// invariant:` justification.
+    invariant: bool,
+    /// Whether the line sits inside a `#[cfg(test)]` item.
+    in_test: bool,
+}
+
+/// Strips comments and literal bodies, and marks `#[cfg(test)]` regions.
+fn scan(source: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut in_block_comment = false;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let chars: Vec<char> = raw.chars().collect();
+        let mut code = String::with_capacity(raw.len());
+        let mut invariant = false;
+        let mut j = 0;
+        while j < chars.len() {
+            if in_block_comment {
+                if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    in_block_comment = false;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+                continue;
+            }
+            let c = chars[j];
+            if c == '/' && chars.get(j + 1) == Some(&'/') {
+                let comment: String = chars[j..].iter().collect();
+                if comment
+                    .trim_start_matches('/')
+                    .trim_start()
+                    .starts_with("invariant:")
+                {
+                    invariant = true;
+                }
+                break;
+            }
+            if c == '/' && chars.get(j + 1) == Some(&'*') {
+                in_block_comment = true;
+                j += 2;
+                continue;
+            }
+            if c == 'r'
+                && (chars.get(j + 1) == Some(&'"')
+                    || (chars.get(j + 1) == Some(&'#') && chars.get(j + 2) == Some(&'"')))
+            {
+                // Raw string literal: r"..." or r#"..."#. No escapes inside.
+                let hashed = chars[j + 1] == '#';
+                j += if hashed { 3 } else { 2 };
+                while j < chars.len() {
+                    if chars[j] == '"' && (!hashed || chars.get(j + 1) == Some(&'#')) {
+                        j += if hashed { 2 } else { 1 };
+                        break;
+                    }
+                    j += 1;
+                }
+                code.push_str("\"\"");
+                continue;
+            }
+            if c == '"' {
+                j += 1;
+                while j < chars.len() {
+                    if chars[j] == '\\' {
+                        j += 2;
+                        continue;
+                    }
+                    if chars[j] == '"' {
+                        j += 1;
+                        break;
+                    }
+                    j += 1;
+                }
+                code.push_str("\"\"");
+                continue;
+            }
+            if c == '\'' {
+                // Char literal vs lifetime: a literal closes within a few
+                // characters; a lifetime never closes.
+                if chars.get(j + 1) == Some(&'\\') {
+                    j += 2;
+                    while j < chars.len() && chars[j] != '\'' {
+                        j += 1;
+                    }
+                    j += 1;
+                    code.push_str("''");
+                } else if chars.get(j + 2) == Some(&'\'') {
+                    j += 3;
+                    code.push_str("''");
+                } else {
+                    code.push('\'');
+                    j += 1;
+                }
+                continue;
+            }
+            code.push(c);
+            j += 1;
+        }
+        lines.push(Line {
+            number: idx + 1,
+            code,
+            invariant,
+            in_test: false,
+        });
+    }
+
+    // Second pass: mark `#[cfg(test)]` items by brace depth.
+    let mut depth: i64 = 0;
+    let mut pending_test = false;
+    let mut skip_depth: Option<i64> = None;
+    for line in &mut lines {
+        let mut in_test = skip_depth.is_some();
+        if line.code.contains("#[cfg(test)]") || line.code.contains("#[cfg(all(test") {
+            pending_test = true;
+            in_test = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending_test && skip_depth.is_none() {
+                        skip_depth = Some(depth);
+                        pending_test = false;
+                        in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if skip_depth == Some(depth) {
+                        skip_depth = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+        line.in_test = in_test || skip_depth.is_some();
+    }
+    lines
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+/// R1: panicking constructs in library code.
+const PANIC_PATTERNS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "todo!",
+    "unimplemented!",
+    "unreachable!",
+];
+
+/// True when `lines[i]` carries an `// invariant:` tag itself or in the
+/// comment block (comment-only or blank lines) immediately above it. This
+/// lets the justification live on its own line, where rustfmt keeps it and
+/// multi-line explanations stay readable.
+fn excused_by_invariant(lines: &[Line], i: usize) -> bool {
+    if lines[i].invariant {
+        return true;
+    }
+    let mut j = i;
+    while j > 0 && lines[j - 1].code.trim().is_empty() {
+        j -= 1;
+        if lines[j].invariant {
+            return true;
+        }
+    }
+    false
+}
+
+fn check_no_panics(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test || excused_by_invariant(lines, i) {
+            continue;
+        }
+        for pat in PANIC_PATTERNS {
+            if line.code.contains(pat) {
+                out.push(Violation {
+                    file: file.to_path_buf(),
+                    line: line.number,
+                    rule: "R1",
+                    message: format!(
+                        "`{pat}` in library code; return an error or add \
+                         `// invariant: <why this cannot fire>`"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// R2: numeric `as` casts in binary-format modules.
+const NUMERIC_TYPES: [&str; 13] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "isize", "f32", "f64",
+];
+
+fn find_numeric_cast(code: &str) -> Option<&'static str> {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(" as ") {
+        let after = &code[start + pos + 4..];
+        for ty in NUMERIC_TYPES {
+            if let Some(rest) = after.strip_prefix(ty) {
+                let boundary = rest
+                    .chars()
+                    .next()
+                    .map_or(true, |c| !c.is_alphanumeric() && c != '_');
+                if boundary {
+                    return Some(ty);
+                }
+            }
+        }
+        start += pos + 4;
+    }
+    None
+}
+
+fn check_no_lossy_casts(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test || excused_by_invariant(lines, i) {
+            continue;
+        }
+        if let Some(ty) = find_numeric_cast(&line.code) {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: line.number,
+                rule: "R2",
+                message: format!(
+                    "`as {ty}` cast in a binary-format module; use \
+                     `From`/`TryFrom` or the checked codec helpers"
+                ),
+            });
+        }
+    }
+}
+
+/// R3: crate roots must carry the safety/documentation attributes.
+fn check_crate_root_attrs(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
+    for required in ["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"] {
+        if !lines.iter().any(|l| l.code.contains(required)) {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: 1,
+                rule: "R3",
+                message: format!("crate root does not declare `{required}`"),
+            });
+        }
+    }
+}
+
+/// A token for the float-equality heuristic: either a number literal or
+/// opaque punctuation/identifier text.
+#[derive(Debug, PartialEq)]
+enum Token {
+    Number { has_fraction: bool },
+    Op(String),
+    Word,
+}
+
+fn tokenize(code: &str) -> Vec<Token> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut j = 0;
+    while j < chars.len() {
+        let c = chars[j];
+        if c.is_whitespace() {
+            j += 1;
+        } else if c.is_ascii_digit() {
+            let mut has_fraction = false;
+            while j < chars.len() {
+                let d = chars[j];
+                if d.is_ascii_digit() || d == '_' {
+                    j += 1;
+                } else if d == '.' && chars.get(j + 1) != Some(&'.') {
+                    // A fractional point, unless it starts a `..` range or a
+                    // method call on the literal.
+                    if chars.get(j + 1).is_some_and(|n| n.is_ascii_digit()) {
+                        has_fraction = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                } else if (d == 'e' || d == 'E')
+                    && chars
+                        .get(j + 1)
+                        .is_some_and(|n| n.is_ascii_digit() || *n == '-' || *n == '+')
+                {
+                    has_fraction = true;
+                    j += 2;
+                } else {
+                    break;
+                }
+            }
+            out.push(Token::Number { has_fraction });
+        } else if c.is_alphanumeric() || c == '_' {
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            out.push(Token::Word);
+        } else if (c == '=' || c == '!') && chars.get(j + 1) == Some(&'=') {
+            out.push(Token::Op(format!("{c}=")));
+            j += 2;
+        } else if (c == '<' || c == '>' || c == '.') && chars.get(j + 1) == Some(&'=') {
+            // `<=`, `>=`, `..=`: consume the `=` so it cannot pair up with a
+            // following `=` into a phantom `==`.
+            out.push(Token::Op(format!("{c}=")));
+            j += 2;
+        } else {
+            out.push(Token::Op(c.to_string()));
+            j += 1;
+        }
+    }
+    out
+}
+
+/// R4: `==` / `!=` adjacent to a fractional literal.
+fn has_float_equality(code: &str) -> bool {
+    let tokens = tokenize(code);
+    for (i, tok) in tokens.iter().enumerate() {
+        let Token::Op(op) = tok else { continue };
+        if op != "==" && op != "!=" {
+            continue;
+        }
+        let float_at = |k: Option<&Token>| matches!(k, Some(Token::Number { has_fraction: true }));
+        // Look one past a possible unary minus on the right.
+        let right = match tokens.get(i + 1) {
+            Some(Token::Op(m)) if m == "-" => tokens.get(i + 2),
+            other => other,
+        };
+        if float_at(i.checked_sub(1).and_then(|k| tokens.get(k))) || float_at(right) {
+            return true;
+        }
+    }
+    false
+}
+
+fn check_no_float_equality(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
+    for line in lines {
+        if line.in_test || line.invariant {
+            continue;
+        }
+        if has_float_equality(&line.code) {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: line.number,
+                rule: "R4",
+                message: "exact `==`/`!=` against a float literal; compare \
+                          through `trajectory::float` or justify with \
+                          `// invariant:`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// R5: wall-clock access outside the benchmark crate.
+fn check_no_clocks(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
+    for line in lines {
+        if line.in_test || line.invariant {
+            continue;
+        }
+        let has_instant = tokenize_words(&line.code).any(|w| w == "Instant");
+        if line.code.contains("std::time") || has_instant {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: line.number,
+                rule: "R5",
+                message: "wall-clock access in library code; timing belongs \
+                          in `mst-bench`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Iterates the identifier-shaped words of a sanitised line.
+fn tokenize_words(code: &str) -> impl Iterator<Item = &str> {
+    code.split(|c: char| !c.is_alphanumeric() && c != '_')
+        .filter(|w| !w.is_empty())
+}
+
+// ---------------------------------------------------------------------------
+// Tree walking and rule wiring
+// ---------------------------------------------------------------------------
+
+/// Collects `.rs` files under `dir` recursively, sorted for stable output.
+fn rs_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return out;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            out.extend(rs_files(&path));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out
+}
+
+/// The rule → scope wiring for this repository, rooted at `root`.
+fn run_check(root: &Path) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // R1: panic-free library code in the three core crates.
+    for dir in [
+        "crates/trajectory/src",
+        "crates/index/src",
+        "crates/core/src",
+    ] {
+        for file in rs_files(&root.join(dir)) {
+            if let Ok(src) = fs::read_to_string(&file) {
+                check_no_panics(&file, &scan(&src), &mut out);
+            }
+        }
+    }
+
+    // R2: cast-free binary-format modules.
+    for name in ["codec.rs", "persist.rs", "pagestore.rs"] {
+        let file = root.join("crates/index/src").join(name);
+        if let Ok(src) = fs::read_to_string(&file) {
+            check_no_lossy_casts(&file, &scan(&src), &mut out);
+        }
+    }
+
+    // R3: attributes on every crate root (workspace crates + root package).
+    let mut roots = vec![root.join("src/lib.rs")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs {
+            for candidate in ["src/lib.rs", "src/main.rs"] {
+                let p = dir.join(candidate);
+                if p.is_file() {
+                    roots.push(p);
+                    break;
+                }
+            }
+        }
+    }
+    for file in roots {
+        if let Ok(src) = fs::read_to_string(&file) {
+            check_crate_root_attrs(&file, &scan(&src), &mut out);
+        }
+    }
+
+    // R4/R5: all library source. The tolerance module is the R4 allowlist;
+    // mst-bench is the R5 allowlist; xtask scans everything but itself (its
+    // sources quote the forbidden patterns in diagnostics and tests).
+    let float_allowlist = root.join("crates/trajectory/src/float.rs");
+    let mut lib_dirs = vec![root.join("src")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs {
+            if dir.file_name().is_some_and(|n| n == "xtask") {
+                continue;
+            }
+            lib_dirs.push(dir.join("src"));
+        }
+    }
+    for dir in &lib_dirs {
+        let in_bench = dir.ends_with("bench/src");
+        for file in rs_files(dir) {
+            let Ok(src) = fs::read_to_string(&file) else {
+                continue;
+            };
+            let lines = scan(&src);
+            if file != float_allowlist {
+                check_no_float_equality(&file, &lines, &mut out);
+            }
+            if !in_bench {
+                check_no_clocks(&file, &lines, &mut out);
+            }
+        }
+    }
+
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo run -p xtask -- check [--root <path>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage(),
+            },
+            "check" if cmd.is_none() => cmd = Some("check"),
+            _ => return usage(),
+        }
+    }
+    if cmd != Some("check") {
+        return usage();
+    }
+    // A mistyped --root must not silently scan nothing and report clean.
+    if !root.join("crates").is_dir() {
+        eprintln!(
+            "xtask check: {} does not contain a `crates/` directory; nothing to scan",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let violations = run_check(&root);
+    if violations.is_empty() {
+        println!("xtask check: clean");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!("xtask check: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn lines_of(src: &str) -> Vec<Line> {
+        scan(src)
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let lines = lines_of(
+            "let s = \"contains .unwrap() and panic!\"; // and .expect( here\nlet c = 'x';",
+        );
+        assert!(!lines[0].code.contains(".unwrap()"));
+        assert!(!lines[0].code.contains("panic!"));
+        assert!(!lines[0].code.contains(".expect("));
+        assert_eq!(lines[1].code, "let c = '';");
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let lines = lines_of("a /* panic!\nstill panic!\n*/ b.unwrap()");
+        assert!(!lines[0].code.contains("panic!"));
+        assert!(!lines[1].code.contains("panic!"));
+        assert!(lines[2].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_are_stripped() {
+        let lines = lines_of("let s = r\"panic!\"; let t = r#\"x.unwrap()\"#; y");
+        assert!(!lines[0].code.contains("panic!"));
+        assert!(!lines[0].code.contains(".unwrap()"));
+        assert!(lines[0].code.ends_with("y"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_stripping() {
+        let lines = lines_of("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(lines[0].code.contains("<'a>"));
+    }
+
+    #[test]
+    fn invariant_comments_are_detected() {
+        let lines = lines_of("x.unwrap(); // invariant: validated above\ny.unwrap();");
+        assert!(lines[0].invariant);
+        assert!(!lines[1].invariant);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn lib() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn lib2() { z.unwrap(); }";
+        let lines = lines_of(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn r1_flags_panicking_constructs_with_line_numbers() {
+        let src = "fn a() {}\nfn b() { x.unwrap(); }\nfn c() { panic!(\"boom\") }";
+        let mut out = Vec::new();
+        check_no_panics(Path::new("lib.rs"), &lines_of(src), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].line, 2);
+        assert_eq!(out[1].line, 3);
+        assert!(out[0].to_string().starts_with("lib.rs:2: [R1]"));
+    }
+
+    #[test]
+    fn r1_respects_test_code_and_invariants() {
+        let src = "x.unwrap(); // invariant: index verified by caller\n\
+                   #[cfg(test)]\nmod t { fn f() { y.expect(\"fine in tests\"); } }";
+        let mut out = Vec::new();
+        check_no_panics(Path::new("lib.rs"), &lines_of(src), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn r1_accepts_invariant_comment_block_above() {
+        // A multi-line justification ending right above the call excuses it;
+        // a justification separated by code does not.
+        let excused = "// invariant: the store caps page ids well below u32::MAX,\n\
+                       // so this conversion is lossless.\n\
+                       let id = u32::try_from(n).expect(\"capped\");";
+        let mut out = Vec::new();
+        check_no_panics(Path::new("lib.rs"), &lines_of(excused), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+
+        let stale = "// invariant: only applies to the line below\n\
+                     let a = first();\n\
+                     b.unwrap();";
+        check_no_panics(Path::new("lib.rs"), &lines_of(stale), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn r1_does_not_flag_unwrap_or_variants() {
+        let src = "let v = x.unwrap_or(0) + y.unwrap_or_else(|| 1);";
+        let mut out = Vec::new();
+        check_no_panics(Path::new("lib.rs"), &lines_of(src), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn r2_flags_numeric_casts_only() {
+        assert_eq!(find_numeric_cast("let x = y as u32;"), Some("u32"));
+        assert_eq!(find_numeric_cast("let x = y as usize + 1;"), Some("usize"));
+        assert_eq!(find_numeric_cast("let d = dyn_ref as &dyn Trait;"), None);
+        assert_eq!(find_numeric_cast("let x = y as u32z;"), None);
+        let mut out = Vec::new();
+        check_no_lossy_casts(
+            Path::new("codec.rs"),
+            &lines_of("fn f(n: u64) -> u32 { n as u32 }"),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "R2");
+    }
+
+    #[test]
+    fn r3_requires_both_attributes() {
+        let mut out = Vec::new();
+        check_crate_root_attrs(
+            Path::new("lib.rs"),
+            &lines_of("#![forbid(unsafe_code)]\n#![deny(missing_docs)]\npub fn f() {}"),
+            &mut out,
+        );
+        assert!(out.is_empty());
+        check_crate_root_attrs(
+            Path::new("lib.rs"),
+            &lines_of("#![warn(missing_docs)]\npub fn f() {}"),
+            &mut out,
+        );
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn r4_heuristic_matches_float_literal_comparisons() {
+        assert!(has_float_equality("if x == 0.0 {"));
+        assert!(has_float_equality("if 1.5 != y {"));
+        assert!(has_float_equality("x == 1e-9"));
+        assert!(has_float_equality("x == -2.5"));
+        assert!(!has_float_equality("if x == 0 {"));
+        assert!(!has_float_equality("if x <= 0.5 {"));
+        assert!(!has_float_equality("for i in 0..=10 {"));
+        assert!(!has_float_equality("let r = 0.0..1.0;"));
+        assert!(!has_float_equality("a == b"));
+    }
+
+    #[test]
+    fn r5_flags_clock_access_but_not_lookalikes() {
+        let mut out = Vec::new();
+        check_no_clocks(
+            Path::new("lib.rs"),
+            &lines_of("use std::time::Instant;\nlet t = Instant::now();"),
+            &mut out,
+        );
+        assert_eq!(out.len(), 2);
+        out.clear();
+        check_no_clocks(
+            Path::new("lib.rs"),
+            &lines_of("let instantaneous = 1; struct NotAnInstantiation;"),
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    /// End-to-end: a synthetic mini-repo produces diagnostics with paths,
+    /// line numbers, and a nonzero violation count; a clean tree is clean.
+    #[test]
+    fn run_check_reports_and_clears() {
+        static NONCE: AtomicUsize = AtomicUsize::new(0);
+        let root = std::env::temp_dir().join(format!(
+            "xtask-fixture-{}-{}",
+            std::process::id(),
+            NONCE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let write = |rel: &str, body: &str| {
+            let p = root.join(rel);
+            fs::create_dir_all(p.parent().unwrap()).unwrap();
+            fs::write(p, body).unwrap();
+        };
+        let clean_root = "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n//! x\n";
+
+        write("src/lib.rs", clean_root);
+        write(
+            "crates/trajectory/src/lib.rs",
+            &format!("{clean_root}pub fn bad() {{ Some(1).unwrap(); }}\n"),
+        );
+        write(
+            "crates/index/src/lib.rs",
+            "//! missing both attributes\npub fn f() {}\n",
+        );
+        write(
+            "crates/index/src/codec.rs",
+            "pub fn narrow(n: u64) -> u32 { n as u32 }\n",
+        );
+        write(
+            "crates/core/src/lib.rs",
+            &format!("{clean_root}pub fn eq(x: f64) -> bool {{ x == 0.5 }}\n"),
+        );
+        write(
+            "crates/datagen/src/lib.rs",
+            &format!("{clean_root}use std::time::Instant;\n"),
+        );
+
+        let violations = run_check(&root);
+        let rendered: Vec<String> = violations.iter().map(Violation::to_string).collect();
+        let has = |rule: &str, path: &str, line: usize| {
+            rendered
+                .iter()
+                .any(|r| r.contains(rule) && r.contains(path) && r.contains(&format!(":{line}:")))
+        };
+        assert!(has("[R1]", "trajectory/src/lib.rs", 4), "{rendered:?}");
+        assert!(has("[R2]", "index/src/codec.rs", 1), "{rendered:?}");
+        assert!(has("[R3]", "index/src/lib.rs", 1), "{rendered:?}");
+        assert!(has("[R4]", "core/src/lib.rs", 4), "{rendered:?}");
+        assert!(has("[R5]", "datagen/src/lib.rs", 4), "{rendered:?}");
+
+        // Repair every file and re-run: the tree must come back clean.
+        write("crates/trajectory/src/lib.rs", clean_root);
+        write("crates/index/src/lib.rs", clean_root);
+        write(
+            "crates/index/src/codec.rs",
+            "pub fn widen(n: u32) -> u64 { u64::from(n) }\n",
+        );
+        write("crates/core/src/lib.rs", clean_root);
+        write("crates/datagen/src/lib.rs", clean_root);
+        assert!(run_check(&root).is_empty());
+
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

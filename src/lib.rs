@@ -5,6 +5,7 @@
 //! [`search`](mst_search), [`baselines`](mst_baselines),
 //! [`datagen`](mst_datagen).
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 pub use mst_baselines as baselines;
 pub use mst_datagen as datagen;
 pub use mst_index as index;

@@ -7,8 +7,10 @@
 //! * MINDIST lower-bounds every realized query–candidate distance;
 //! * TD-TR respects its tolerance and keeps endpoints;
 //! * R-tree / TB-tree structural invariants survive arbitrary insertions.
-
-use proptest::prelude::*;
+//!
+//! The hermetic build carries no `proptest`; each property runs as a seeded
+//! deterministic loop over [`mst_prng`]-generated inputs, with the failing
+//! case index reported for exact replay.
 
 use mst::datagen::td_tr;
 use mst::index::mindist::trajectory_mbb_mindist;
@@ -18,53 +20,74 @@ use mst::search::dissim::{dissim_between, dissim_exact, piece};
 use mst::search::{bfmst_search, scan_kmst, Integration, MstConfig, TrajectoryStore};
 use mst::trajectory::cosample::co_segments;
 use mst::trajectory::{TimeInterval, Trajectory, TrajectoryId};
+use mst_prng::Rng;
 
-/// Strategy: a trajectory with `n` points on the shared time grid
-/// `0, 1, ..., n-1` and coordinates in [-10, 10].
-fn trajectory(n: usize) -> impl Strategy<Value = Trajectory> {
-    prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), n).prop_map(|coords| {
-        Trajectory::new(
-            coords
-                .into_iter()
-                .enumerate()
-                .map(|(i, (x, y))| mst::trajectory::SamplePoint::new(i as f64, x, y))
-                .collect(),
-        )
-        .expect("grid timestamps are strictly increasing")
-    })
+/// A trajectory with `n` points on the shared time grid `0, 1, ..., n-1`
+/// and coordinates in [-10, 10].
+fn trajectory(rng: &mut Rng, n: usize) -> Trajectory {
+    Trajectory::new(
+        (0..n)
+            .map(|i| {
+                mst::trajectory::SamplePoint::new(
+                    i as f64,
+                    rng.f64_range(-10.0, 10.0),
+                    rng.f64_range(-10.0, 10.0),
+                )
+            })
+            .collect(),
+    )
+    .expect("grid timestamps are strictly increasing")
 }
 
-/// Strategy: a small dataset of trajectories over the same grid.
-fn dataset(objects: usize, n: usize) -> impl Strategy<Value = Vec<Trajectory>> {
-    prop::collection::vec(trajectory(n), objects)
+/// A small dataset of trajectories over the same grid.
+fn dataset(rng: &mut Rng, objects: usize, n: usize) -> Vec<Trajectory> {
+    (0..objects).map(|_| trajectory(rng, n)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Runs `cases` independently seeded iterations of `body`, reporting the
+/// case index (hence the exact input stream) on failure.
+fn check(name: &str, cases: u64, mut body: impl FnMut(&mut Rng)) {
+    for case in 0..cases {
+        let mut rng = Rng::seed_from(0x5EED_CA5E ^ case.wrapping_mul(0x9E37_79B9));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(e) = result {
+            panic!("property `{name}` failed at case {case}: {e:?}");
+        }
+    }
+}
 
-    #[test]
-    fn trapezoid_enclosure_contains_exact((a, b) in (trajectory(8), trajectory(12))) {
+#[test]
+fn trapezoid_enclosure_contains_exact() {
+    check("trapezoid_enclosure", 64, |rng| {
+        let a = trajectory(rng, 8);
+        let b = trajectory(rng, 12);
         let period = TimeInterval::new(0.0, 7.0).unwrap();
         let exact = dissim_exact(&a, &b, &period).unwrap();
         let approx = dissim_between(&a, &b, &period, Integration::Trapezoid).unwrap();
-        prop_assert!(exact <= approx.upper() + 1e-9 * (1.0 + exact.abs()));
-        prop_assert!(exact >= approx.lower() - 1e-9 * (1.0 + exact.abs()));
-    }
+        assert!(exact <= approx.upper() + 1e-9 * (1.0 + exact.abs()));
+        assert!(exact >= approx.lower() - 1e-9 * (1.0 + exact.abs()));
+    });
+}
 
-    #[test]
-    fn dissim_is_symmetric_and_nonnegative((a, b) in (trajectory(6), trajectory(9))) {
+#[test]
+fn dissim_is_symmetric_and_nonnegative() {
+    check("dissim_symmetric", 64, |rng| {
+        let a = trajectory(rng, 6);
+        let b = trajectory(rng, 9);
         let period = TimeInterval::new(0.0, 5.0).unwrap();
         let ab = dissim_exact(&a, &b, &period).unwrap();
         let ba = dissim_exact(&b, &a, &period).unwrap();
-        prop_assert!(ab >= -1e-12);
-        prop_assert!((ab - ba).abs() < 1e-9 * (1.0 + ab.abs()));
-    }
+        assert!(ab >= -1e-12);
+        assert!((ab - ba).abs() < 1e-9 * (1.0 + ab.abs()));
+    });
+}
 
-    #[test]
-    fn partial_candidate_bounds_sandwich_exact(
-        (q, t) in (trajectory(7), trajectory(7)),
-        mask in prop::collection::vec(any::<bool>(), 16),
-    ) {
+#[test]
+fn partial_candidate_bounds_sandwich_exact() {
+    check("partial_bounds_sandwich", 64, |rng| {
+        let q = trajectory(rng, 7);
+        let t = trajectory(rng, 7);
+        let mask: Vec<bool> = (0..16).map(|_| rng.bool()).collect();
         let period = TimeInterval::new(0.0, 6.0).unwrap();
         let exact = dissim_exact(&q, &t, &period).unwrap();
         let vmax = q.max_speed() + t.max_speed();
@@ -78,20 +101,23 @@ proptest! {
                 any = true;
             }
         }
-        prop_assume!(any);
+        if !any {
+            return; // the vacuous mask carries no information
+        }
         let opt = cand.opt_dissim(&period, vmax);
         let pes = cand.pes_dissim(&period, vmax);
         let tol = 1e-9 * (1.0 + exact.abs());
-        prop_assert!(opt <= exact + tol, "opt {opt} > exact {exact}");
-        prop_assert!(pes >= exact - tol, "pes {pes} < exact {exact}");
-    }
+        assert!(opt <= exact + tol, "opt {opt} > exact {exact}");
+        assert!(pes >= exact - tol, "pes {pes} < exact {exact}");
+    });
+}
 
-    #[test]
-    fn bfmst_equals_scan_on_random_datasets(
-        data in dataset(8, 6),
-        k in 1usize..6,
-        qi in 0usize..8,
-    ) {
+#[test]
+fn bfmst_equals_scan_on_random_datasets() {
+    check("bfmst_equals_scan", 64, |rng| {
+        let data = dataset(rng, 8, 6);
+        let k = 1 + rng.usize_below(5);
+        let qi = rng.usize_below(8);
         let store = TrajectoryStore::from_trajectories(data);
         let period = TimeInterval::new(0.0, 5.0).unwrap();
         let q = store.get(TrajectoryId(qi as u64)).unwrap().clone();
@@ -111,53 +137,63 @@ proptest! {
         let t = bfmst_search(&mut tbtree, &store, &q, &period, &MstConfig::k(k)).unwrap();
         let got_r: Vec<_> = r.matches.iter().map(|m| m.traj).collect();
         let got_t: Vec<_> = t.matches.iter().map(|m| m.traj).collect();
-        prop_assert_eq!(got_r, expected.clone());
-        prop_assert_eq!(got_t, expected);
-    }
+        assert_eq!(got_r, expected);
+        assert_eq!(got_t, expected);
+    });
+}
 
-    #[test]
-    fn mindist_lower_bounds_realized_distances(
-        (q, t) in (trajectory(6), trajectory(6)),
-    ) {
+#[test]
+fn mindist_lower_bounds_realized_distances() {
+    check("mindist_lower_bounds", 64, |rng| {
         // For any candidate segment's MBB, MINDIST(Q, mbb) must lower-bound
         // the actual distance between the query and that segment over the
         // overlap.
+        let q = trajectory(rng, 6);
+        let t = trajectory(rng, 6);
         let period = TimeInterval::new(0.0, 5.0).unwrap();
         for seg in t.segments() {
             let mbb = seg.mbb();
-            let Some(lower) = trajectory_mbb_mindist(&q, &mbb, &period) else { continue };
+            let Some(lower) = trajectory_mbb_mindist(&q, &mbb, &period) else {
+                continue;
+            };
             // Sample the realized distance densely over the overlap.
             let window = period.intersect(&seg.time()).unwrap();
             for i in 0..=50 {
-                let tt = window.start()
-                    + (window.end() - window.start()) * f64::from(i) / 50.0;
+                let tt = window.start() + (window.end() - window.start()) * f64::from(i) / 50.0;
                 let qp = q.position_at(tt).unwrap();
                 let sp = seg.position_at(tt).unwrap();
                 let d = qp.distance(&sp);
-                prop_assert!(
+                assert!(
                     lower <= d + 1e-9,
                     "mindist {lower} exceeds realized {d} at t={tt}"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn tdtr_respects_tolerance(t in trajectory(30), tol in 0.01f64..5.0) {
+#[test]
+fn tdtr_respects_tolerance() {
+    check("tdtr_tolerance", 64, |rng| {
+        let t = trajectory(rng, 30);
+        let tol = rng.f64_range(0.01, 5.0);
         let c = td_tr(&t, tol);
         // Endpoints survive.
-        prop_assert_eq!(c.points()[0], t.points()[0]);
-        prop_assert_eq!(*c.points().last().unwrap(), *t.points().last().unwrap());
+        assert_eq!(c.points()[0], t.points()[0]);
+        assert_eq!(*c.points().last().unwrap(), *t.points().last().unwrap());
         // Every original sample within tolerance of the compressed line.
         for p in t.points() {
             let pos = c.position_at(p.t).unwrap();
             let d = ((p.x - pos.x).powi(2) + (p.y - pos.y).powi(2)).sqrt();
-            prop_assert!(d <= tol + 1e-9, "deviation {d} > tol {tol}");
+            assert!(d <= tol + 1e-9, "deviation {d} > tol {tol}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn index_invariants_hold_after_random_insertions(data in dataset(6, 12)) {
+#[test]
+fn index_invariants_hold_after_random_insertions() {
+    check("index_invariants", 64, |rng| {
+        let data = dataset(rng, 6, 12);
         let mut rtree = Rtree3D::new();
         let mut tbtree = TbTree::new();
         // Temporal interleave.
@@ -178,15 +214,15 @@ proptest! {
         }
         check_invariants(&mut rtree).unwrap();
         check_invariants(&mut tbtree).unwrap();
-        prop_assert_eq!(rtree.num_entries(), tbtree.num_entries());
-    }
+        assert_eq!(rtree.num_entries(), tbtree.num_entries());
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn strtree_matches_rtree_query_results(data in dataset(6, 10), qi in 0usize..6) {
+#[test]
+fn strtree_matches_rtree_query_results() {
+    check("strtree_matches_rtree", 32, |rng| {
+        let data = dataset(rng, 6, 10);
+        let qi = rng.usize_below(6);
         let store = TrajectoryStore::from_trajectories(data);
         let mut rtree = Rtree3D::new();
         let mut strtree = mst::index::StrTree::new();
@@ -201,11 +237,15 @@ proptest! {
         let b = bfmst_search(&mut strtree, &store, &q, &period, &MstConfig::k(3)).unwrap();
         let ids_a: Vec<_> = a.matches.iter().map(|m| m.traj).collect();
         let ids_b: Vec<_> = b.matches.iter().map(|m| m.traj).collect();
-        prop_assert_eq!(ids_a, ids_b);
-    }
+        assert_eq!(ids_a, ids_b);
+    });
+}
 
-    #[test]
-    fn persistence_roundtrip_preserves_query_answers(data in dataset(5, 8), qi in 0usize..5) {
+#[test]
+fn persistence_roundtrip_preserves_query_answers() {
+    check("persistence_roundtrip", 32, |rng| {
+        let data = dataset(rng, 5, 8);
+        let qi = rng.usize_below(5);
         let store = TrajectoryStore::from_trajectories(data);
         let mut tree = Rtree3D::new();
         for (id, t) in store.iter() {
@@ -221,14 +261,18 @@ proptest! {
         let after = bfmst_search(&mut loaded, &store, &q, &period, &MstConfig::k(2)).unwrap();
         let ids_before: Vec<_> = before.matches.iter().map(|m| m.traj).collect();
         let ids_after: Vec<_> = after.matches.iter().map(|m| m.traj).collect();
-        prop_assert_eq!(ids_before, ids_after);
-    }
+        assert_eq!(ids_before, ids_after);
+    });
+}
 
-    #[test]
-    fn rtree_delete_then_query_is_consistent(
-        data in dataset(5, 10),
-        kill in prop::collection::vec((0u64..5, 0u32..9), 1..12),
-    ) {
+#[test]
+fn rtree_delete_then_query_is_consistent() {
+    check("rtree_delete_consistent", 32, |rng| {
+        let data = dataset(rng, 5, 10);
+        let kills = 1 + rng.usize_below(11);
+        let kill: Vec<(u64, u32)> = (0..kills)
+            .map(|_| (rng.u64_below(5), rng.u64_below(9) as u32))
+            .collect();
         let store = TrajectoryStore::from_trajectories(data);
         let mut tree = Rtree3D::new();
         for (id, t) in store.iter() {
@@ -239,20 +283,21 @@ proptest! {
             let id = TrajectoryId(traj);
             let was_present = !removed.contains(&(id, seq));
             let deleted = tree.delete(id, seq).unwrap();
-            prop_assert_eq!(deleted, was_present);
+            assert_eq!(deleted, was_present);
             removed.insert((id, seq));
         }
         check_invariants(&mut tree).unwrap();
         let expected = 5 * 9 - removed.len() as u64;
-        prop_assert_eq!(tree.num_entries(), expected);
-    }
+        assert_eq!(tree.num_entries(), expected);
+    });
+}
 
-    #[test]
-    fn knn_segments_matches_oracle(
-        data in dataset(4, 8),
-        px in -10.0f64..10.0,
-        py in -10.0f64..10.0,
-    ) {
+#[test]
+fn knn_segments_matches_oracle() {
+    check("knn_matches_oracle", 32, |rng| {
+        let data = dataset(rng, 4, 8);
+        let px = rng.f64_range(-10.0, 10.0);
+        let py = rng.f64_range(-10.0, 10.0);
         let store = TrajectoryStore::from_trajectories(data);
         let mut tree = Rtree3D::new();
         for (id, t) in store.iter() {
@@ -274,9 +319,9 @@ proptest! {
             }
         }
         all.sort_by(f64::total_cmp);
-        prop_assert_eq!(got.len(), 4.min(all.len()));
+        assert_eq!(got.len(), 4.min(all.len()));
         for (g, want) in got.iter().zip(&all) {
-            prop_assert!((g.distance - want).abs() < 1e-9);
+            assert!((g.distance - want).abs() < 1e-9);
         }
-    }
+    });
 }
