@@ -7,6 +7,8 @@
 #   3. a release build of the whole workspace
 #   4. the full test suite
 #   5. the index tests again with `paranoid` audits after every mutation
+#   6. the observability smoke benchmark (regenerates BENCH_kmst.json and
+#      fails if any metrics counter stays zero across the workload)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -24,5 +26,8 @@ cargo test -q --workspace
 
 echo "==> cargo test -p mst-index --features paranoid"
 cargo test -q -p mst-index --features paranoid
+
+echo "==> observability smoke bench (BENCH_kmst.json)"
+cargo run --release -q -p mst-bench --bin kmst_profile -- --smoke
 
 echo "ci.sh: all gates passed"

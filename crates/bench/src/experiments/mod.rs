@@ -6,6 +6,7 @@ mod figure10;
 mod figure8;
 mod figure9;
 mod index_comparison;
+mod kmst_profile;
 mod table2;
 
 pub use ablation::{ablation, AblationConfig};
@@ -14,4 +15,5 @@ pub use figure10::{figure10, Figure10Config};
 pub use figure8::figure8;
 pub use figure9::{figure9, Figure9Config};
 pub use index_comparison::{index_comparison, IndexComparisonConfig};
+pub use kmst_profile::{kmst_profile, KmstProfileConfig, KmstProfileReport};
 pub use table2::{table2, Table2Config};

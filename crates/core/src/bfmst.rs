@@ -26,7 +26,8 @@ use mst_index::{Node, PageId, TrajectoryIndex};
 use mst_trajectory::{Segment, TimeInterval, Trajectory, TrajectoryId};
 
 use crate::bounds::Candidate;
-use crate::dissim::{dissim_exact, piece, Dissim, Integration};
+use crate::dissim::{dissim_between_traced, piece, Dissim, Integration};
+use crate::metrics::{NoopSink, PruningBound, QueryMetrics};
 use crate::topk::UpperKeys;
 use crate::{MstMatch, Result, SearchError, TrajectoryStore};
 
@@ -147,6 +148,22 @@ pub fn bfmst_search<I: TrajectoryIndex>(
     period: &TimeInterval,
     config: &MstConfig,
 ) -> Result<SearchReport> {
+    bfmst_search_traced(index, store, query, period, config, &mut NoopSink)
+}
+
+/// [`bfmst_search`] with observability: every traversal, buffer, bound, and
+/// candidate event is reported to `metrics` (a [`crate::QueryProfile`]
+/// collects them all). [`bfmst_search`] is this function instantiated with
+/// the [`NoopSink`] — the same code with every hook compiled away — so
+/// tracing can never change a result.
+pub fn bfmst_search_traced<I: TrajectoryIndex, M: QueryMetrics>(
+    index: &mut I,
+    store: &TrajectoryStore,
+    query: &Trajectory,
+    period: &TimeInterval,
+    config: &MstConfig,
+    metrics: &mut M,
+) -> Result<SearchReport> {
     let mut report = SearchReport::default();
     if config.k == 0 {
         return Ok(report);
@@ -171,6 +188,7 @@ pub fn bfmst_search<I: TrajectoryIndex>(
             mindist: 0.0,
             page: root,
         }));
+        metrics.heap_push();
     }
 
     let mut valid: HashMap<TrajectoryId, Candidate> = HashMap::new();
@@ -180,6 +198,7 @@ pub fn bfmst_search<I: TrajectoryIndex>(
     let ceiling = config.max_dissim.unwrap_or(f64::INFINITY);
 
     while let Some(Reverse(head)) = heap.pop() {
+        metrics.heap_pop();
         // Heuristic 2: nodes arrive in increasing MINDIST, so once the
         // node-level MINDISSIMINC exceeds the k-th best upper key nothing
         // later can qualify either — stop the whole search.
@@ -188,19 +207,29 @@ pub fn bfmst_search<I: TrajectoryIndex>(
             // Cheap test first (the paper's optimization): only evaluate the
             // per-candidate OPTDISSIMINC values when the blanket bound
             // MINDIST * span already clears the threshold.
-            if tau.is_finite() && head.mindist * span > tau {
-                let min_inc = valid
-                    .values()
-                    .map(|c| c.opt_dissim_inc(period, head.mindist))
-                    .fold(f64::INFINITY, f64::min);
-                if min_inc > tau {
-                    report.terminated_early = true;
-                    break;
+            if tau.is_finite() {
+                metrics.bound_evals(PruningBound::MinDissimInc, 1);
+                if head.mindist * span > tau {
+                    metrics.bound_evals(PruningBound::OptDissimInc, valid.len() as u64);
+                    let min_inc = valid
+                        .values()
+                        .map(|c| c.opt_dissim_inc(period, head.mindist))
+                        .fold(f64::INFINITY, f64::min);
+                    if min_inc > tau {
+                        // The popped head plus everything still queued is
+                        // discarded unvisited; the pending candidates are
+                        // each certified out by their OPTDISSIMINC.
+                        metrics.early_termination();
+                        metrics.pruned_by(PruningBound::MinDissimInc, heap.len() as u64 + 1);
+                        metrics.pruned_by(PruningBound::OptDissimInc, valid.len() as u64);
+                        report.terminated_early = true;
+                        break;
+                    }
                 }
             }
         }
 
-        let node = index.read_node(head.page)?;
+        let node = index.read_node_traced(head.page, metrics)?;
         report.nodes_visited += 1;
         match node {
             Node::Leaf { mut entries, .. } => {
@@ -226,22 +255,33 @@ pub fn bfmst_search<I: TrajectoryIndex>(
                         continue;
                     }
                     report.entries_matched += 1;
-                    let cand = valid
-                        .entry(e.traj)
-                        .or_insert_with(|| Candidate::new(e.traj, merge_eps));
-                    match_entry(&q, &e.segment, &window, config.integration, cand)?;
+                    let cand = match valid.entry(e.traj) {
+                        std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            metrics.candidate_seen();
+                            v.insert(Candidate::new(e.traj, merge_eps))
+                        }
+                    };
+                    match_entry(&q, &e.segment, &window, config.integration, cand, metrics)?;
 
                     if cand.is_complete(period) {
                         let value = cand.value();
                         valid.remove(&e.traj);
                         completed.insert(e.traj, value);
                         report.candidates_completed += 1;
+                        metrics.candidate_refined();
                         upper.update(e.traj, value.upper());
                     } else {
+                        metrics.bound_evals(PruningBound::Ldd, cand.num_gaps(period) as u64);
+                        metrics.bound_evals(PruningBound::PesDissim, 1);
                         let pes = cand.pes_dissim(period, vmax);
-                        upper.update(e.traj, pes);
+                        if upper.update(e.traj, pes) {
+                            metrics.pruned_by(PruningBound::PesDissim, 1);
+                        }
                         if config.use_heuristic1 {
                             let tau = upper.kth().min(ceiling);
+                            metrics.bound_evals(PruningBound::Ldd, cand.num_gaps(period) as u64);
+                            metrics.bound_evals(PruningBound::OptDissim, 1);
                             // The enclosure's safe side: OPTDISSIM already
                             // folds the approximation error in (Section 4.4's
                             // "PESDISSIM - ERR" discipline on the lower side).
@@ -249,6 +289,8 @@ pub fn bfmst_search<I: TrajectoryIndex>(
                                 valid.remove(&e.traj);
                                 rejected.insert(e.traj);
                                 report.candidates_rejected += 1;
+                                metrics.candidate_pruned();
+                                metrics.pruned_by(PruningBound::OptDissim, 1);
                             }
                         }
                     }
@@ -261,6 +303,7 @@ pub fn bfmst_search<I: TrajectoryIndex>(
                             mindist,
                             page: e.child,
                         }));
+                        metrics.heap_push();
                     }
                 }
             }
@@ -268,6 +311,7 @@ pub fn bfmst_search<I: TrajectoryIndex>(
     }
 
     report.candidates_seen = completed.len() + valid.len() + rejected.len();
+    metrics.candidates_pending(valid.len() as u64);
     report.matches = finalize(
         store,
         &q,
@@ -275,18 +319,20 @@ pub fn bfmst_search<I: TrajectoryIndex>(
         config,
         completed,
         &mut report.exact_recomputations,
+        metrics,
     )?;
     Ok(report)
 }
 
 /// Matches one indexed segment against the query over `window`, feeding
 /// every co-temporal piece into the candidate.
-fn match_entry(
+fn match_entry<M: QueryMetrics>(
     q: &Trajectory,
     data_segment: &Segment,
     window: &TimeInterval,
     integration: Integration,
     cand: &mut Candidate,
+    metrics: &mut M,
 ) -> Result<()> {
     let first = q
         .segment_index_at(window.start())
@@ -311,6 +357,7 @@ fn match_entry(
             continue;
         };
         let p = piece(&qs, &ds, integration)?;
+        metrics.piece_eval(integration);
         cand.add_piece(&p);
     }
     Ok(())
@@ -318,13 +365,14 @@ fn match_entry(
 
 /// Sorts the completed candidates, applies the exact post-processing of
 /// Section 4.4 when requested, and truncates to k.
-fn finalize(
+fn finalize<M: QueryMetrics>(
     store: &TrajectoryStore,
     q: &Trajectory,
     period: &TimeInterval,
     config: &MstConfig,
     completed: HashMap<TrajectoryId, Dissim>,
     exact_recomputations: &mut usize,
+    metrics: &mut M,
 ) -> Result<Vec<MstMatch>> {
     let mut all: Vec<(TrajectoryId, Dissim)> = completed.into_iter().collect();
     all.sort_by(|a, b| a.1.approx.total_cmp(&b.1.approx).then(a.0.cmp(&b.0)));
@@ -355,8 +403,9 @@ fn finalize(
             let t = store
                 .get(traj)
                 .ok_or(SearchError::MissingTrajectory(traj))?;
-            let exact = dissim_exact(q, t, period)?;
+            let exact = dissim_between_traced(q, t, period, Integration::Exact, metrics)?.approx;
             *exact_recomputations += 1;
+            metrics.exact_recomputation();
             finalists.push(MstMatch {
                 traj,
                 dissim: exact,

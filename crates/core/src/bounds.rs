@@ -190,6 +190,13 @@ impl Candidate {
         }
     }
 
+    /// Number of uncovered gaps of `period`: how many per-gap LDD envelope
+    /// integrals one OPTDISSIM or PESDISSIM evaluation costs — the
+    /// observability layer's unit of bound-evaluation work.
+    pub fn num_gaps(&self, period: &TimeInterval) -> usize {
+        self.gaps(period).count()
+    }
+
     /// True when the covered intervals tile the whole `period`.
     pub fn is_complete(&self, period: &TimeInterval) -> bool {
         self.covered.len() == 1

@@ -1,0 +1,164 @@
+//! Deprecated pre-builder query entry points.
+//!
+//! One parallel method per query flavour was the database's original
+//! surface. The [`Query`](crate::query::Query) builder replaced them; these
+//! shims keep old callers compiling for one release, each one a thin
+//! delegation to the builder. New code (and everything inside this
+//! workspace — enforced by the xtask R6 check) must use the builder.
+
+#![allow(deprecated)] // the shim tests below exercise the shims
+
+use mst_index::{KnnMatch, LeafEntry, TrajectoryIndexWrite};
+use mst_trajectory::{Mbb, Point, TimeInterval, Trajectory};
+
+use crate::bfmst::MstConfig;
+use crate::nn::NnMatch;
+use crate::query::Query;
+use crate::time_relaxed::{TimeRelaxedConfig, TimeRelaxedMatch};
+use crate::{MovingObjectDatabase, MstMatch, Result};
+
+impl<I: TrajectoryIndexWrite> MovingObjectDatabase<I> {
+    /// k-MST query with the paper's default configuration.
+    #[deprecated(note = "use `Query::kmst(query).k(k).during(period).run(&mut db)`")]
+    pub fn most_similar(
+        &mut self,
+        query: &Trajectory,
+        period: &TimeInterval,
+        k: usize,
+    ) -> Result<Vec<MstMatch>> {
+        Query::kmst(query).k(k).during(period).run(self)
+    }
+
+    /// k-MST query with full configuration control.
+    #[deprecated(note = "use `Query::kmst(query).config(config).during(period).run(&mut db)`")]
+    pub fn most_similar_with(
+        &mut self,
+        query: &Trajectory,
+        period: &TimeInterval,
+        config: &MstConfig,
+    ) -> Result<Vec<MstMatch>> {
+        Query::kmst(query).config(*config).during(period).run(self)
+    }
+
+    /// Range-MST query: up to `limit` trajectories with DISSIM at most
+    /// `theta`.
+    #[deprecated(
+        note = "use `Query::kmst(query).k(limit).within(theta).during(period).run(&mut db)`"
+    )]
+    pub fn within_dissim(
+        &mut self,
+        query: &Trajectory,
+        period: &TimeInterval,
+        theta: f64,
+        limit: usize,
+    ) -> Result<Vec<MstMatch>> {
+        Query::kmst(query)
+            .k(limit)
+            .within(theta)
+            .during(period)
+            .run(self)
+    }
+
+    /// Time-relaxed k-MST query (shift-minimized DISSIM).
+    #[deprecated(note = "use `Query::kmst(query).time_relaxed().run(&mut db)`")]
+    pub fn most_similar_time_relaxed(
+        &mut self,
+        query: &Trajectory,
+        config: &TimeRelaxedConfig,
+    ) -> Result<Vec<TimeRelaxedMatch>> {
+        Query::kmst(query)
+            .time_relaxed()
+            .k(config.k)
+            .grid_steps(config.grid_steps)
+            .refine_iters(config.refine_iters)
+            .run(self)
+    }
+
+    /// Point k-nearest-neighbour query: the k segments that came closest to
+    /// `location` during `window`.
+    #[deprecated(note = "use `Query::knn_segments(location).k(k).during(window).run(&mut db)`")]
+    pub fn nearest_segments(
+        &mut self,
+        location: Point,
+        window: &TimeInterval,
+        k: usize,
+    ) -> Result<Vec<KnnMatch>> {
+        Query::knn_segments(location).k(k).during(window).run(self)
+    }
+
+    /// Moving-query nearest neighbours: the k trajectories whose closest
+    /// approach to `query` during `period` is smallest.
+    #[deprecated(note = "use `Query::knn(query).k(k).during(period).run(&mut db)`")]
+    pub fn nearest_trajectories(
+        &mut self,
+        query: &Trajectory,
+        period: &TimeInterval,
+        k: usize,
+    ) -> Result<Vec<NnMatch>> {
+        Query::knn(query).k(k).during(period).run(self)
+    }
+
+    /// Classic 3D range query: all segments intersecting the window.
+    #[deprecated(note = "use `Query::range(window).run(&mut db)`")]
+    pub fn range(&mut self, window: &Mbb) -> Result<Vec<LeafEntry>> {
+        Query::range(window).run(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mst_trajectory::{SamplePoint, TrajectoryId};
+
+    fn seeded_db() -> MovingObjectDatabase<mst_index::Rtree3D> {
+        let mut db = MovingObjectDatabase::with_rtree();
+        for id in 0..4u64 {
+            for i in 0..20 {
+                let t = i as f64;
+                db.append(TrajectoryId(id), SamplePoint::new(t, t * 0.7, id as f64))
+                    .unwrap();
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn shims_agree_with_the_builder() {
+        let mut db = seeded_db();
+        let q = db.trajectory(TrajectoryId(0)).unwrap();
+        let period = TimeInterval::new(0.0, 19.0).unwrap();
+
+        let old = db.most_similar(&q, &period, 3).unwrap();
+        let new = Query::kmst(&q).k(3).during(&period).run(&mut db).unwrap();
+        assert_eq!(old, new);
+
+        let old = db.within_dissim(&q, &period, 25.0, 4).unwrap();
+        let new = Query::kmst(&q)
+            .k(4)
+            .within(25.0)
+            .during(&period)
+            .run(&mut db)
+            .unwrap();
+        assert_eq!(old, new);
+
+        let old = db.nearest_trajectories(&q, &period, 2).unwrap();
+        let new = Query::knn(&q).k(2).during(&period).run(&mut db).unwrap();
+        assert_eq!(old, new);
+
+        let old = db
+            .nearest_segments(Point::new(3.0, 2.0), &period, 2)
+            .unwrap();
+        let new = Query::knn_segments(Point::new(3.0, 2.0))
+            .k(2)
+            .during(&period)
+            .run(&mut db)
+            .unwrap();
+        assert_eq!(old, new);
+
+        let old = db
+            .most_similar_time_relaxed(&q, &TimeRelaxedConfig::k(2))
+            .unwrap();
+        let new = Query::kmst(&q).k(2).time_relaxed().run(&mut db).unwrap();
+        assert_eq!(old, new);
+    }
+}

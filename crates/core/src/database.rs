@@ -6,24 +6,31 @@
 //! nearest-neighbour queries also serves k-MST search. The
 //! [`MovingObjectDatabase`] makes that concrete: it ingests timestamped
 //! positions (or whole trajectories), maintains the segment index and the
-//! trajectory store in lockstep, and exposes range, point-kNN, k-MST,
-//! range-MST, and time-relaxed MST queries over the same data.
+//! trajectory store in lockstep, and answers every query flavour — range,
+//! point-kNN, trajectory-kNN, k-MST, range-MST, time-relaxed MST — through
+//! the unified [`Query`](crate::query::Query) builder.
+//!
+//! The trajectory snapshot is materialized lazily behind [`RefCell`]s, so
+//! read-only accessors like [`MovingObjectDatabase::trajectory`] take
+//! `&self` even though they may refresh stale snapshots under the hood.
 
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 
-use mst_index::{knn_segments, KnnMatch, LeafEntry, Rtree3D, TbTree, TrajectoryIndexWrite};
+use mst_index::{knn_segments_traced, KnnMatch, LeafEntry, Rtree3D, TbTree, TrajectoryIndexWrite};
 use mst_trajectory::{Mbb, Point, SamplePoint, Segment, TimeInterval, Trajectory, TrajectoryId};
 
-use crate::bfmst::{bfmst_search, MstConfig};
-use crate::nn::{nearest_trajectories, NnMatch};
-use crate::time_relaxed::{time_relaxed_kmst, TimeRelaxedConfig, TimeRelaxedMatch};
+use crate::bfmst::{bfmst_search_traced, MstConfig};
+use crate::metrics::QueryMetrics;
+use crate::nn::{nearest_trajectories_traced, NnMatch};
+use crate::time_relaxed::{time_relaxed_kmst_traced, TimeRelaxedConfig, TimeRelaxedMatch};
 use crate::{MstMatch, Result, SearchError, TrajectoryStore};
 
 /// A moving-object database: trajectory storage plus one general-purpose
 /// segment index answering every query type.
 ///
 /// ```
-/// use mst_search::MovingObjectDatabase;
+/// use mst_search::{MovingObjectDatabase, Query};
 /// use mst_trajectory::{SamplePoint, TimeInterval, TrajectoryId};
 ///
 /// let mut db = MovingObjectDatabase::with_rtree();
@@ -33,9 +40,8 @@ use crate::{MstMatch, Result, SearchError, TrajectoryStore};
 ///     db.append(TrajectoryId(0), SamplePoint::new(t, t, 0.0))?;
 ///     db.append(TrajectoryId(1), SamplePoint::new(t, t, 5.0))?;
 /// }
-/// let period = TimeInterval::new(0.0, 19.0)?;
-/// let query = db.trajectory(TrajectoryId(0)).unwrap().clone();
-/// let top = db.most_similar(&query, &period, 2)?;
+/// let query = db.trajectory(TrajectoryId(0)).unwrap();
+/// let top = Query::kmst(&query).k(2).run(&mut db)?;
 /// assert_eq!(top[0].traj, TrajectoryId(0)); // itself, DISSIM 0
 /// assert_eq!(top[1].traj, TrajectoryId(1)); // the parallel vehicle
 /// # Ok::<(), mst_search::SearchError>(())
@@ -44,10 +50,11 @@ pub struct MovingObjectDatabase<I: TrajectoryIndexWrite> {
     index: I,
     /// Raw sample streams, per object.
     samples: HashMap<TrajectoryId, Vec<SamplePoint>>,
-    /// Materialized trajectory snapshot used by queries.
-    store: TrajectoryStore,
+    /// Materialized trajectory snapshot used by queries; refreshed lazily,
+    /// hence the interior mutability.
+    store: RefCell<TrajectoryStore>,
     /// Objects whose snapshot is stale.
-    dirty: HashSet<TrajectoryId>,
+    dirty: RefCell<HashSet<TrajectoryId>>,
 }
 
 impl MovingObjectDatabase<Rtree3D> {
@@ -71,8 +78,8 @@ impl<I: TrajectoryIndexWrite> MovingObjectDatabase<I> {
         MovingObjectDatabase {
             index,
             samples: HashMap::new(),
-            store: TrajectoryStore::new(),
-            dirty: HashSet::new(),
+            store: RefCell::new(TrajectoryStore::new()),
+            dirty: RefCell::new(HashSet::new()),
         }
     }
 
@@ -103,7 +110,7 @@ impl<I: TrajectoryIndexWrite> MovingObjectDatabase<I> {
             })?;
         }
         stream.push(sample);
-        self.dirty.insert(id);
+        self.dirty.get_mut().insert(id);
         Ok(())
     }
 
@@ -137,102 +144,105 @@ impl<I: TrajectoryIndexWrite> MovingObjectDatabase<I> {
 
     /// Refreshes the trajectory snapshot for every dirty object. Objects
     /// with fewer than two samples are not yet query-visible.
-    fn materialize(&mut self) {
-        for id in self.dirty.drain() {
+    fn materialize(&self) {
+        let mut store = self.store.borrow_mut();
+        for id in self.dirty.borrow_mut().drain() {
             let stream = &self.samples[&id];
             if stream.len() >= 2 {
                 let t = Trajectory::new(stream.clone())
                     // invariant: append() rejects out-of-order and non-finite
                     // samples, so the stream always forms a valid trajectory.
                     .expect("append() maintains the trajectory invariants");
-                self.store.insert(id, t);
+                store.insert(id, t);
             }
         }
     }
 
     /// The current trajectory of an object (`None` until it has two
-    /// samples).
-    pub fn trajectory(&mut self, id: TrajectoryId) -> Option<&Trajectory> {
+    /// samples). Returns an owned snapshot so the database stays borrowable
+    /// for the query that typically follows.
+    pub fn trajectory(&self, id: TrajectoryId) -> Option<Trajectory> {
         self.materialize();
-        self.store.get(id)
+        self.store.borrow().get(id).cloned()
     }
 
-    /// Classic 3D range query: all segments intersecting the window.
-    pub fn range(&mut self, window: &Mbb) -> Result<Vec<LeafEntry>> {
-        Ok(self.index.range_query(window)?)
-    }
-
-    /// Point k-nearest-neighbour query: the k segments that came closest to
-    /// `location` during `window`.
-    pub fn nearest_segments(
-        &mut self,
-        location: Point,
-        window: &TimeInterval,
-        k: usize,
-    ) -> Result<Vec<KnnMatch>> {
-        Ok(knn_segments(&mut self.index, location, window, k)?)
-    }
-
-    /// Moving-query nearest neighbours: the k trajectories whose closest
-    /// approach to `query` during `period` is smallest.
-    pub fn nearest_trajectories(
-        &mut self,
-        query: &Trajectory,
-        period: &TimeInterval,
-        k: usize,
-    ) -> Result<Vec<NnMatch>> {
+    /// Runs a function against the materialized trajectory snapshot without
+    /// cloning it.
+    pub fn with_store<R>(&self, f: impl FnOnce(&TrajectoryStore) -> R) -> R {
         self.materialize();
-        nearest_trajectories(&mut self.index, query, period, k)
+        f(&self.store.borrow())
     }
 
-    /// k-MST query with the paper's default configuration.
-    pub fn most_similar(
-        &mut self,
-        query: &Trajectory,
-        period: &TimeInterval,
-        k: usize,
-    ) -> Result<Vec<MstMatch>> {
-        self.most_similar_with(query, period, &MstConfig::k(k))
-    }
-
-    /// k-MST query with full configuration control.
-    pub fn most_similar_with(
+    /// k-MST / range-MST runner behind [`Query::kmst`](crate::query::Query).
+    pub(crate) fn run_kmst<M: QueryMetrics>(
         &mut self,
         query: &Trajectory,
         period: &TimeInterval,
         config: &MstConfig,
+        metrics: &mut M,
     ) -> Result<Vec<MstMatch>> {
         self.materialize();
-        let report = bfmst_search(&mut self.index, &self.store, query, period, config)?;
+        let store = self.store.get_mut();
+        let report = bfmst_search_traced(&mut self.index, store, query, period, config, metrics)?;
         Ok(report.matches)
     }
 
-    /// Range-MST query: up to `limit` trajectories with DISSIM at most
-    /// `theta`.
-    pub fn within_dissim(
-        &mut self,
-        query: &Trajectory,
-        period: &TimeInterval,
-        theta: f64,
-        limit: usize,
-    ) -> Result<Vec<MstMatch>> {
-        self.most_similar_with(query, period, &MstConfig::within(limit, theta))
-    }
-
-    /// Time-relaxed k-MST query (shift-minimized DISSIM).
-    pub fn most_similar_time_relaxed(
+    /// Time-relaxed runner behind
+    /// [`KmstQuery::time_relaxed`](crate::query::KmstQuery::time_relaxed).
+    pub(crate) fn run_time_relaxed<M: QueryMetrics>(
         &mut self,
         query: &Trajectory,
         config: &TimeRelaxedConfig,
+        metrics: &mut M,
     ) -> Result<Vec<TimeRelaxedMatch>> {
         self.materialize();
-        time_relaxed_kmst(&self.store, query, config)
+        time_relaxed_kmst_traced(self.store.get_mut(), query, config, metrics)
+    }
+
+    /// Trajectory-kNN runner behind [`Query::knn`](crate::query::Query).
+    pub(crate) fn run_knn<M: QueryMetrics>(
+        &mut self,
+        query: &Trajectory,
+        period: &TimeInterval,
+        k: usize,
+        metrics: &mut M,
+    ) -> Result<Vec<NnMatch>> {
+        self.materialize();
+        nearest_trajectories_traced(&mut self.index, query, period, k, metrics)
+    }
+
+    /// Point-kNN runner behind
+    /// [`Query::knn_segments`](crate::query::Query).
+    pub(crate) fn run_knn_segments<M: QueryMetrics>(
+        &mut self,
+        location: Point,
+        window: &TimeInterval,
+        k: usize,
+        metrics: &mut M,
+    ) -> Result<Vec<KnnMatch>> {
+        Ok(knn_segments_traced(
+            &mut self.index,
+            location,
+            window,
+            k,
+            metrics,
+        )?)
+    }
+
+    /// Range runner behind [`Query::range`](crate::query::Query).
+    pub(crate) fn run_range<M: QueryMetrics>(
+        &mut self,
+        window: &Mbb,
+        metrics: &mut M,
+    ) -> Result<Vec<LeafEntry>> {
+        Ok(self.index.range_query_traced(window, metrics)?)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::Query;
 
     fn feed<I: TrajectoryIndexWrite>(db: &mut MovingObjectDatabase<I>, id: u64, y: f64, n: usize) {
         for i in 0..n {
@@ -251,8 +261,8 @@ mod tests {
         assert_eq!(db.num_objects(), 6);
         assert_eq!(db.num_segments(), 6 * 49);
         let period = TimeInterval::new(0.0, 49.0).unwrap();
-        let q = db.trajectory(TrajectoryId(2)).unwrap().clone();
-        let top = db.most_similar(&q, &period, 3).unwrap();
+        let q = db.trajectory(TrajectoryId(2)).unwrap();
+        let top = Query::kmst(&q).k(3).during(&period).run(&mut db).unwrap();
         assert_eq!(top[0].traj, TrajectoryId(2));
         assert!(top[0].dissim.abs() < 1e-9);
         assert_eq!(top.len(), 3);
@@ -265,18 +275,27 @@ mod tests {
             feed(&mut db, id, id as f64 * 2.0, 40);
         }
         // Range.
-        let hits = db.range(&Mbb::new(0.0, -0.5, 0.0, 5.0, 0.5, 40.0)).unwrap();
+        let hits = Query::range(&Mbb::new(0.0, -0.5, 0.0, 5.0, 0.5, 40.0))
+            .run(&mut db)
+            .unwrap();
         assert!(hits.iter().all(|e| e.traj == TrajectoryId(0)));
         assert!(!hits.is_empty());
         // Point kNN.
         let window = TimeInterval::new(0.0, 39.0).unwrap();
-        let nn = db
-            .nearest_segments(Point::new(5.0, 4.1), &window, 2)
+        let nn = Query::knn_segments(Point::new(5.0, 4.1))
+            .k(2)
+            .during(&window)
+            .run(&mut db)
             .unwrap();
         assert_eq!(nn[0].entry.traj, TrajectoryId(2)); // y = 4
                                                        // Range-MST.
-        let q = db.trajectory(TrajectoryId(1)).unwrap().clone();
-        let within = db.within_dissim(&q, &window, 39.0 * 2.0 + 1.0, 10).unwrap();
+        let q = db.trajectory(TrajectoryId(1)).unwrap();
+        let within = Query::kmst(&q)
+            .k(10)
+            .during(&window)
+            .within(39.0 * 2.0 + 1.0)
+            .run(&mut db)
+            .unwrap();
         // Itself (0), plus the neighbours at distance 2 (dissim 78 <= 79).
         let ids: Vec<_> = within.iter().map(|m| m.traj).collect();
         assert!(ids.contains(&TrajectoryId(1)));
@@ -284,9 +303,7 @@ mod tests {
         assert!(ids.contains(&TrajectoryId(2)));
         assert_eq!(within.len(), 3);
         // Time-relaxed.
-        let relaxed = db
-            .most_similar_time_relaxed(&q, &TimeRelaxedConfig::k(1))
-            .unwrap();
+        let relaxed = Query::kmst(&q).k(1).time_relaxed().run(&mut db).unwrap();
         assert_eq!(relaxed[0].traj, TrajectoryId(1));
     }
 
@@ -315,8 +332,8 @@ mod tests {
         assert_eq!(db.num_segments(), 0);
         feed(&mut db, 1, 1.0, 30);
         let period = TimeInterval::new(0.0, 29.0).unwrap();
-        let q = db.trajectory(TrajectoryId(1)).unwrap().clone();
-        let top = db.most_similar(&q, &period, 5).unwrap();
+        let q = db.trajectory(TrajectoryId(1)).unwrap();
+        let top = Query::kmst(&q).k(5).during(&period).run(&mut db).unwrap();
         // Only object 1 qualifies.
         assert_eq!(top.len(), 1);
     }
@@ -331,5 +348,18 @@ mod tests {
         let after = db.trajectory(TrajectoryId(0)).unwrap().num_points();
         assert_eq!(after, before + 1);
         assert_eq!(db.num_segments(), 10);
+    }
+
+    #[test]
+    fn trajectory_takes_a_shared_reference() {
+        // The satellite fix this test pins down: snapshot reads no longer
+        // demand `&mut`, so a query can borrow the database mutably right
+        // after fetching its own query trajectory.
+        let mut db = MovingObjectDatabase::with_rtree();
+        feed(&mut db, 0, 0.0, 12);
+        let shared: &MovingObjectDatabase<_> = &db;
+        let a = shared.trajectory(TrajectoryId(0)).unwrap();
+        let b = shared.trajectory(TrajectoryId(0)).unwrap();
+        assert_eq!(a.num_points(), b.num_points());
     }
 }

@@ -127,9 +127,23 @@ pub fn dissim_between(
     period: &TimeInterval,
     integration: Integration,
 ) -> Result<Dissim> {
+    dissim_between_traced(a, b, period, integration, &mut crate::metrics::NoopSink)
+}
+
+/// [`dissim_between`] with observability: every per-piece integral
+/// evaluation is reported to `metrics`. [`dissim_between`] is this function
+/// instantiated with the no-op sink.
+pub fn dissim_between_traced<M: crate::metrics::QueryMetrics>(
+    a: &Trajectory,
+    b: &Trajectory,
+    period: &TimeInterval,
+    integration: Integration,
+    metrics: &mut M,
+) -> Result<Dissim> {
     let mut total = Dissim::zero();
     for pair in co_segments(a, b, period)? {
         let p = piece(&pair.first, &pair.second, integration)?;
+        metrics.piece_eval(integration);
         total.add(p.value);
     }
     Ok(total)

@@ -26,23 +26,33 @@
 
 pub mod bfmst;
 pub mod bounds;
+mod compat;
 pub mod database;
 pub mod dissim;
+pub mod metrics;
 pub mod nn;
+pub mod query;
 pub mod scan;
 pub mod selectivity;
 mod store;
 pub mod time_relaxed;
 mod topk;
 
-pub use bfmst::{bfmst_search, MstConfig, SearchReport};
+pub use bfmst::{bfmst_search, bfmst_search_traced, MstConfig, SearchReport};
 pub use database::MovingObjectDatabase;
 pub use dissim::{Dissim, Integration};
-pub use nn::{nearest_trajectories, NnMatch};
-pub use scan::scan_kmst;
+pub use metrics::{
+    CandidateCounters, MetricsSink, NoopSink, PruningBound, PruningCounters, QueryMetrics,
+    QueryProfile,
+};
+pub use nn::{nearest_trajectories, nearest_trajectories_traced, NnMatch};
+pub use query::{KmstQuery, KnnQuery, KnnSegmentsQuery, Query, RangeQuery, TimeRelaxedQuery};
+pub use scan::{scan_kmst, scan_kmst_traced};
 pub use selectivity::{estimate_selectivity, SelectivityEstimate, SelectivityHistogram};
 pub use store::TrajectoryStore;
-pub use time_relaxed::{time_relaxed_kmst, TimeRelaxedConfig, TimeRelaxedMatch};
+pub use time_relaxed::{
+    time_relaxed_kmst, time_relaxed_kmst_traced, TimeRelaxedConfig, TimeRelaxedMatch,
+};
 pub use topk::UpperKeys;
 
 use mst_trajectory::TrajectoryId;
@@ -74,6 +84,9 @@ pub enum SearchError {
     },
     /// A candidate referenced by the index is missing from the store.
     MissingTrajectory(TrajectoryId),
+    /// A [`Query`] builder was run with a required parameter missing or an
+    /// inconsistent combination of settings.
+    MisconfiguredQuery(&'static str),
 }
 
 impl std::fmt::Display for SearchError {
@@ -88,6 +101,9 @@ impl std::fmt::Display for SearchError {
             ),
             SearchError::MissingTrajectory(id) => {
                 write!(f, "trajectory {id} indexed but missing from the store")
+            }
+            SearchError::MisconfiguredQuery(what) => {
+                write!(f, "misconfigured query: {what}")
             }
         }
     }

@@ -17,6 +17,7 @@ use mst_index::{Node, PageId, TrajectoryIndex};
 use mst_trajectory::kinematics::DistanceTrinomial;
 use mst_trajectory::{TimeInterval, Trajectory, TrajectoryId};
 
+use crate::metrics::{NoopSink, QueryMetrics};
 use crate::{Result, SearchError};
 
 /// One nearest-neighbour answer.
@@ -58,6 +59,20 @@ pub fn nearest_trajectories<I: TrajectoryIndex>(
     period: &TimeInterval,
     k: usize,
 ) -> Result<Vec<NnMatch>> {
+    nearest_trajectories_traced(index, query, period, k, &mut NoopSink)
+}
+
+/// [`nearest_trajectories`] with observability: heap traffic, node and
+/// buffer accesses, and candidate discoveries are reported to `metrics`.
+/// [`nearest_trajectories`] is this function instantiated with the no-op
+/// sink.
+pub fn nearest_trajectories_traced<I: TrajectoryIndex, M: QueryMetrics>(
+    index: &mut I,
+    query: &Trajectory,
+    period: &TimeInterval,
+    k: usize,
+    metrics: &mut M,
+) -> Result<Vec<NnMatch>> {
     if k == 0 {
         return Ok(Vec::new());
     }
@@ -75,11 +90,13 @@ pub fn nearest_trajectories<I: TrajectoryIndex>(
             mindist: 0.0,
             page: root,
         }));
+        metrics.heap_push();
     }
     // Best approach found so far, per trajectory.
     let mut best: HashMap<TrajectoryId, (f64, f64)> = HashMap::new();
 
     while let Some(Reverse(head)) = heap.pop() {
+        metrics.heap_pop();
         // Termination: the k-th best candidate distance cannot improve once
         // every remaining node is farther away.
         if best.len() >= k {
@@ -89,7 +106,7 @@ pub fn nearest_trajectories<I: TrajectoryIndex>(
                 break;
             }
         }
-        match index.read_node(head.page)? {
+        match index.read_node_traced(head.page, metrics)? {
             Node::Leaf { entries, .. } => {
                 for e in entries {
                     let Some(window) = e.segment.time().intersect(period) else {
@@ -102,7 +119,13 @@ pub fn nearest_trajectories<I: TrajectoryIndex>(
                     } else {
                         segment_closest_approach(&q, &e.segment, &window)?
                     };
-                    let slot = best.entry(e.traj).or_insert((f64::INFINITY, 0.0));
+                    let slot = match best.entry(e.traj) {
+                        std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            metrics.candidate_seen();
+                            v.insert((f64::INFINITY, 0.0))
+                        }
+                    };
                     if approach.0 < slot.0 {
                         *slot = approach;
                     }
@@ -115,11 +138,13 @@ pub fn nearest_trajectories<I: TrajectoryIndex>(
                             mindist,
                             page: e.child,
                         }));
+                        metrics.heap_push();
                     }
                 }
             }
         }
     }
+    metrics.candidates_pending(best.len() as u64);
 
     let mut out: Vec<NnMatch> = best
         .into_iter()

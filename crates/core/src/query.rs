@@ -1,0 +1,476 @@
+//! The unified query builder — one front door to every query flavour.
+//!
+//! The database used to expose one entry point per query type
+//! (`most_similar`, `within_dissim`, `nearest_segments`, ...), each with its
+//! own positional-argument order and no way to observe what the search did.
+//! The [`Query`] builder replaces them all:
+//!
+//! ```
+//! use mst_search::{MovingObjectDatabase, Query};
+//! use mst_trajectory::{SamplePoint, TimeInterval, TrajectoryId};
+//!
+//! let mut db = MovingObjectDatabase::with_rtree();
+//! for i in 0..30 {
+//!     let t = f64::from(i);
+//!     db.append(TrajectoryId(0), SamplePoint::new(t, t, 0.0))?;
+//!     db.append(TrajectoryId(1), SamplePoint::new(t, t, 3.0))?;
+//! }
+//! let q = db.trajectory(TrajectoryId(0)).unwrap();
+//!
+//! // Plain k-MST over the query's own validity period.
+//! let top = Query::kmst(&q).k(2).run(&mut db)?;
+//! assert_eq!(top[0].traj, TrajectoryId(0));
+//!
+//! // The same query, profiled: every heap operation, node access, buffer
+//! // hit/miss, DISSIM piece evaluation and pruning decision is counted.
+//! let (top, profile) = Query::kmst(&q).k(2).profile(&mut db)?;
+//! assert_eq!(top.len(), 2);
+//! assert!(profile.nodes_accessed() > 0);
+//! assert!(profile.is_consistent());
+//! # Ok::<(), mst_search::SearchError>(())
+//! ```
+//!
+//! Every builder offers three terminal methods: `run` (results only, zero
+//! observability overhead — the no-op sink monomorphizes away), `profile`
+//! (results plus a fresh [`QueryProfile`]), and `run_traced` (results, with
+//! events fed into any caller-supplied [`QueryMetrics`] sink — e.g. a
+//! profile shared across a whole workload).
+
+use mst_index::{KnnMatch, LeafEntry, TrajectoryIndexWrite};
+use mst_trajectory::{Mbb, Point, TimeInterval, Trajectory};
+
+use crate::bfmst::MstConfig;
+use crate::dissim::Integration;
+use crate::metrics::{NoopSink, QueryMetrics, QueryProfile};
+use crate::nn::NnMatch;
+use crate::time_relaxed::{TimeRelaxedConfig, TimeRelaxedMatch};
+use crate::{MovingObjectDatabase, MstMatch, Result, SearchError};
+
+/// Entry point of the builder API: one constructor per query flavour.
+///
+/// See the [module documentation](crate::query) for an end-to-end example.
+#[derive(Debug, Clone, Copy)]
+pub struct Query;
+
+impl Query {
+    /// A k-most-similar-trajectories query (the paper's headline query):
+    /// the `k` trajectories with smallest DISSIM from `query` over a period.
+    ///
+    /// The period defaults to the query trajectory's own validity interval;
+    /// narrow it with [`KmstQuery::during`].
+    pub fn kmst(query: &Trajectory) -> KmstQuery<'_> {
+        KmstQuery {
+            query,
+            period: None,
+            config: MstConfig::default(),
+        }
+    }
+
+    /// A trajectory k-nearest-neighbour query: the `k` trajectories whose
+    /// closest approach to `query` during the period is smallest.
+    ///
+    /// The period defaults to the query trajectory's own validity interval;
+    /// narrow it with [`KnnQuery::during`].
+    pub fn knn(query: &Trajectory) -> KnnQuery<'_> {
+        KnnQuery {
+            query,
+            period: None,
+            k: 1,
+        }
+    }
+
+    /// A point k-nearest-neighbour query: the `k` indexed segments that came
+    /// closest to `location` during a time window.
+    ///
+    /// The window is mandatory — a stationary point has no validity interval
+    /// to default to — so [`KnnSegmentsQuery::during`] must be called before
+    /// running.
+    pub fn knn_segments(location: Point) -> KnnSegmentsQuery {
+        KnnSegmentsQuery {
+            location,
+            window: None,
+            k: 1,
+        }
+    }
+
+    /// A classic 3D (x, y, t) range query: every indexed segment
+    /// intersecting `window`.
+    pub fn range(window: &Mbb) -> RangeQuery<'_> {
+        RangeQuery { window }
+    }
+}
+
+/// Builder of a k-MST / range-MST query. Created by [`Query::kmst`].
+#[derive(Debug, Clone, Copy)]
+pub struct KmstQuery<'a> {
+    query: &'a Trajectory,
+    period: Option<TimeInterval>,
+    config: MstConfig,
+}
+
+impl<'a> KmstQuery<'a> {
+    /// Number of results to return (default 1).
+    pub fn k(mut self, k: usize) -> Self {
+        self.config.k = k;
+        self
+    }
+
+    /// Restricts the query period (default: the query trajectory's own
+    /// validity interval). The query trajectory must cover the period.
+    pub fn during(mut self, period: &TimeInterval) -> Self {
+        self.period = Some(*period);
+        self
+    }
+
+    /// Turns the query into a *range-MST* query: only trajectories with
+    /// DISSIM at most `theta` are returned (still at most `k` of them), and
+    /// the ceiling feeds the pruning threshold from the first node on.
+    pub fn within(mut self, theta: f64) -> Self {
+        self.config.max_dissim = Some(theta);
+        self
+    }
+
+    /// Integration scheme for per-piece DISSIM contributions (default: the
+    /// paper's trapezoid rule with tracked error bound).
+    pub fn integration(mut self, integration: Integration) -> Self {
+        self.config.integration = integration;
+        self
+    }
+
+    /// Toggles Section 4.4 error management (error-aware comparisons plus
+    /// exact post-processing; default on, only meaningful with
+    /// [`Integration::Trapezoid`]).
+    pub fn error_management(mut self, on: bool) -> Self {
+        self.config.error_management = on;
+        self
+    }
+
+    /// Toggles the two search heuristics (candidate rejection by OPTDISSIM;
+    /// termination by MINDISSIMINC). Both default on; disabling is for
+    /// ablation studies.
+    pub fn heuristics(mut self, use_heuristic1: bool, use_heuristic2: bool) -> Self {
+        self.config.use_heuristic1 = use_heuristic1;
+        self.config.use_heuristic2 = use_heuristic2;
+        self
+    }
+
+    /// Replaces the whole search configuration at once (escape hatch for
+    /// pre-built [`MstConfig`] values; overrides every earlier setter).
+    pub fn config(mut self, config: MstConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Relaxes the time axis: instead of comparing over a fixed period, the
+    /// query is shifted in time to minimize DISSIM per candidate ("same
+    /// route and pace, different departure"). Carries `k` over; any period
+    /// restriction is dropped — the shift search explores every feasible
+    /// alignment.
+    pub fn time_relaxed(self) -> TimeRelaxedQuery<'a> {
+        TimeRelaxedQuery {
+            query: self.query,
+            config: TimeRelaxedConfig::k(self.config.k),
+        }
+    }
+
+    fn resolved_period(&self) -> TimeInterval {
+        self.period.unwrap_or_else(|| self.query.time())
+    }
+
+    /// Runs the query with observability: search events are fed into
+    /// `metrics`.
+    pub fn run_traced<I: TrajectoryIndexWrite, M: QueryMetrics>(
+        &self,
+        db: &mut MovingObjectDatabase<I>,
+        metrics: &mut M,
+    ) -> Result<Vec<MstMatch>> {
+        db.run_kmst(self.query, &self.resolved_period(), &self.config, metrics)
+    }
+
+    /// Runs the query. Observability hooks compile to nothing.
+    pub fn run<I: TrajectoryIndexWrite>(
+        &self,
+        db: &mut MovingObjectDatabase<I>,
+    ) -> Result<Vec<MstMatch>> {
+        self.run_traced(db, &mut NoopSink)
+    }
+
+    /// Runs the query and returns the results together with a fresh
+    /// [`QueryProfile`] of everything the search did.
+    pub fn profile<I: TrajectoryIndexWrite>(
+        &self,
+        db: &mut MovingObjectDatabase<I>,
+    ) -> Result<(Vec<MstMatch>, QueryProfile)> {
+        let mut profile = QueryProfile::new();
+        let matches = self.run_traced(db, &mut profile)?;
+        Ok((matches, profile))
+    }
+}
+
+/// Builder of a time-relaxed k-MST query. Created by
+/// [`KmstQuery::time_relaxed`].
+#[derive(Debug, Clone, Copy)]
+pub struct TimeRelaxedQuery<'a> {
+    query: &'a Trajectory,
+    config: TimeRelaxedConfig,
+}
+
+impl<'a> TimeRelaxedQuery<'a> {
+    /// Number of results to return (default: inherited from the k-MST
+    /// builder).
+    pub fn k(mut self, k: usize) -> Self {
+        self.config.k = k;
+        self
+    }
+
+    /// Grid points per candidate's feasible shift range (default 64): the
+    /// resolution the optimal shift is located at before refinement.
+    pub fn grid_steps(mut self, steps: usize) -> Self {
+        self.config.grid_steps = steps;
+        self
+    }
+
+    /// Golden-section iterations inside the best grid cell (default 32).
+    pub fn refine_iters(mut self, iters: usize) -> Self {
+        self.config.refine_iters = iters;
+        self
+    }
+
+    /// Runs the query with observability: search events are fed into
+    /// `metrics`.
+    pub fn run_traced<I: TrajectoryIndexWrite, M: QueryMetrics>(
+        &self,
+        db: &mut MovingObjectDatabase<I>,
+        metrics: &mut M,
+    ) -> Result<Vec<TimeRelaxedMatch>> {
+        db.run_time_relaxed(self.query, &self.config, metrics)
+    }
+
+    /// Runs the query. Observability hooks compile to nothing.
+    pub fn run<I: TrajectoryIndexWrite>(
+        &self,
+        db: &mut MovingObjectDatabase<I>,
+    ) -> Result<Vec<TimeRelaxedMatch>> {
+        self.run_traced(db, &mut NoopSink)
+    }
+
+    /// Runs the query and returns the results together with a fresh
+    /// [`QueryProfile`]. The time-relaxed search scans the store rather than
+    /// the index, so only candidate and piece-evaluation counters move.
+    pub fn profile<I: TrajectoryIndexWrite>(
+        &self,
+        db: &mut MovingObjectDatabase<I>,
+    ) -> Result<(Vec<TimeRelaxedMatch>, QueryProfile)> {
+        let mut profile = QueryProfile::new();
+        let matches = self.run_traced(db, &mut profile)?;
+        Ok((matches, profile))
+    }
+}
+
+/// Builder of a trajectory k-nearest-neighbour query. Created by
+/// [`Query::knn`].
+#[derive(Debug, Clone, Copy)]
+pub struct KnnQuery<'a> {
+    query: &'a Trajectory,
+    period: Option<TimeInterval>,
+    k: usize,
+}
+
+impl<'a> KnnQuery<'a> {
+    /// Number of results to return (default 1).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Restricts the query period (default: the query trajectory's own
+    /// validity interval). The query trajectory must cover the period.
+    pub fn during(mut self, period: &TimeInterval) -> Self {
+        self.period = Some(*period);
+        self
+    }
+
+    /// Runs the query with observability: search events are fed into
+    /// `metrics`.
+    pub fn run_traced<I: TrajectoryIndexWrite, M: QueryMetrics>(
+        &self,
+        db: &mut MovingObjectDatabase<I>,
+        metrics: &mut M,
+    ) -> Result<Vec<NnMatch>> {
+        let period = self.period.unwrap_or_else(|| self.query.time());
+        db.run_knn(self.query, &period, self.k, metrics)
+    }
+
+    /// Runs the query. Observability hooks compile to nothing.
+    pub fn run<I: TrajectoryIndexWrite>(
+        &self,
+        db: &mut MovingObjectDatabase<I>,
+    ) -> Result<Vec<NnMatch>> {
+        self.run_traced(db, &mut NoopSink)
+    }
+
+    /// Runs the query and returns the results together with a fresh
+    /// [`QueryProfile`] of everything the search did.
+    pub fn profile<I: TrajectoryIndexWrite>(
+        &self,
+        db: &mut MovingObjectDatabase<I>,
+    ) -> Result<(Vec<NnMatch>, QueryProfile)> {
+        let mut profile = QueryProfile::new();
+        let matches = self.run_traced(db, &mut profile)?;
+        Ok((matches, profile))
+    }
+}
+
+/// Builder of a point k-nearest-neighbour query. Created by
+/// [`Query::knn_segments`].
+#[derive(Debug, Clone, Copy)]
+pub struct KnnSegmentsQuery {
+    location: Point,
+    window: Option<TimeInterval>,
+    k: usize,
+}
+
+impl KnnSegmentsQuery {
+    /// Number of results to return (default 1).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// The time window to search in. Mandatory: running without it is a
+    /// [`SearchError::MisconfiguredQuery`].
+    pub fn during(mut self, window: &TimeInterval) -> Self {
+        self.window = Some(*window);
+        self
+    }
+
+    /// Runs the query with observability: search events are fed into
+    /// `metrics`.
+    pub fn run_traced<I: TrajectoryIndexWrite, M: QueryMetrics>(
+        &self,
+        db: &mut MovingObjectDatabase<I>,
+        metrics: &mut M,
+    ) -> Result<Vec<KnnMatch>> {
+        let window = self.window.ok_or(SearchError::MisconfiguredQuery(
+            "a point-kNN query needs a time window: call .during(window)",
+        ))?;
+        db.run_knn_segments(self.location, &window, self.k, metrics)
+    }
+
+    /// Runs the query. Observability hooks compile to nothing.
+    pub fn run<I: TrajectoryIndexWrite>(
+        &self,
+        db: &mut MovingObjectDatabase<I>,
+    ) -> Result<Vec<KnnMatch>> {
+        self.run_traced(db, &mut NoopSink)
+    }
+
+    /// Runs the query and returns the results together with a fresh
+    /// [`QueryProfile`] of everything the search did.
+    pub fn profile<I: TrajectoryIndexWrite>(
+        &self,
+        db: &mut MovingObjectDatabase<I>,
+    ) -> Result<(Vec<KnnMatch>, QueryProfile)> {
+        let mut profile = QueryProfile::new();
+        let matches = self.run_traced(db, &mut profile)?;
+        Ok((matches, profile))
+    }
+}
+
+/// Builder of a 3D range query. Created by [`Query::range`].
+#[derive(Debug, Clone, Copy)]
+pub struct RangeQuery<'a> {
+    window: &'a Mbb,
+}
+
+impl<'a> RangeQuery<'a> {
+    /// Runs the query with observability: node and buffer accesses are fed
+    /// into `metrics`.
+    pub fn run_traced<I: TrajectoryIndexWrite, M: QueryMetrics>(
+        &self,
+        db: &mut MovingObjectDatabase<I>,
+        metrics: &mut M,
+    ) -> Result<Vec<LeafEntry>> {
+        db.run_range(self.window, metrics)
+    }
+
+    /// Runs the query. Observability hooks compile to nothing.
+    pub fn run<I: TrajectoryIndexWrite>(
+        &self,
+        db: &mut MovingObjectDatabase<I>,
+    ) -> Result<Vec<LeafEntry>> {
+        self.run_traced(db, &mut NoopSink)
+    }
+
+    /// Runs the query and returns the results together with a fresh
+    /// [`QueryProfile`] of the traversal's I/O behaviour.
+    pub fn profile<I: TrajectoryIndexWrite>(
+        &self,
+        db: &mut MovingObjectDatabase<I>,
+    ) -> Result<(Vec<LeafEntry>, QueryProfile)> {
+        let mut profile = QueryProfile::new();
+        let matches = self.run_traced(db, &mut profile)?;
+        Ok((matches, profile))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mst_trajectory::{SamplePoint, TrajectoryId};
+
+    fn db_with_lines(n: u64) -> MovingObjectDatabase<mst_index::Rtree3D> {
+        let mut db = MovingObjectDatabase::with_rtree();
+        for id in 0..n {
+            for i in 0..25 {
+                let t = i as f64;
+                db.append(TrajectoryId(id), SamplePoint::new(t, t, id as f64))
+                    .unwrap();
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn kmst_defaults_to_the_query_trajectorys_period() {
+        let mut db = db_with_lines(4);
+        let q = db.trajectory(TrajectoryId(1)).unwrap();
+        let explicit = Query::kmst(&q).k(3).during(&q.time()).run(&mut db).unwrap();
+        let defaulted = Query::kmst(&q).k(3).run(&mut db).unwrap();
+        assert_eq!(explicit, defaulted);
+        assert_eq!(defaulted[0].traj, TrajectoryId(1));
+    }
+
+    #[test]
+    fn knn_segments_without_a_window_is_a_configuration_error() {
+        let mut db = db_with_lines(2);
+        let err = Query::knn_segments(Point::new(0.0, 0.0))
+            .k(1)
+            .run(&mut db)
+            .unwrap_err();
+        assert!(matches!(err, SearchError::MisconfiguredQuery(_)));
+    }
+
+    #[test]
+    fn builders_are_plain_data() {
+        // Copy + reuse: one configured query can run against many databases.
+        let mut a = db_with_lines(3);
+        let mut b = db_with_lines(3);
+        let q = a.trajectory(TrajectoryId(0)).unwrap();
+        let query = Query::kmst(&q).k(2);
+        let ra = query.run(&mut a).unwrap();
+        let rb = query.run(&mut b).unwrap();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn profile_and_run_agree_on_results() {
+        let mut db = db_with_lines(5);
+        let q = db.trajectory(TrajectoryId(2)).unwrap();
+        let plain = Query::kmst(&q).k(4).run(&mut db).unwrap();
+        let (profiled, profile) = Query::kmst(&q).k(4).profile(&mut db).unwrap();
+        assert_eq!(plain, profiled);
+        assert!(profile.is_consistent());
+        assert!(profile.candidates.seen >= 4);
+    }
+}

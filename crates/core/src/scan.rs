@@ -3,7 +3,8 @@
 
 use mst_trajectory::{TimeInterval, Trajectory};
 
-use crate::dissim::{dissim_between, Integration};
+use crate::dissim::{dissim_between_traced, Integration};
+use crate::metrics::{NoopSink, QueryMetrics};
 use crate::{MstMatch, Result, TrajectoryStore};
 
 /// Computes the k most similar trajectories to `query` over `period` by
@@ -17,9 +18,26 @@ pub fn scan_kmst(
     k: usize,
     integration: Integration,
 ) -> Result<Vec<MstMatch>> {
+    scan_kmst_traced(store, query, period, k, integration, &mut NoopSink)
+}
+
+/// [`scan_kmst`] with observability: every candidate and per-piece integral
+/// evaluation is reported to `metrics`. The scan never prunes, so its
+/// candidate ledger reads "everything seen was refined" — the denominator of
+/// the pruning-power metric.
+pub fn scan_kmst_traced<M: QueryMetrics>(
+    store: &TrajectoryStore,
+    query: &Trajectory,
+    period: &TimeInterval,
+    k: usize,
+    integration: Integration,
+    metrics: &mut M,
+) -> Result<Vec<MstMatch>> {
     let mut all: Vec<MstMatch> = Vec::new();
     for (id, t) in store.covering(period) {
-        let d = dissim_between(query, t, period, integration)?;
+        metrics.candidate_seen();
+        let d = dissim_between_traced(query, t, period, integration, metrics)?;
+        metrics.candidate_refined();
         all.push(MstMatch {
             traj: id,
             dissim: d.approx,

@@ -21,7 +21,8 @@
 
 use mst_trajectory::{Rect, Trajectory, TrajectoryId};
 
-use crate::dissim::{dissim_between, Integration};
+use crate::dissim::{dissim_between_traced, Integration};
+use crate::metrics::{NoopSink, QueryMetrics};
 use crate::{Result, SearchError, TrajectoryStore};
 
 /// Configuration of a time-relaxed k-MST query.
@@ -76,10 +77,15 @@ fn rect_distance(a: &Rect, b: &Rect) -> f64 {
 }
 
 /// DISSIM of the query shifted by `d` against `t`, over the shifted period.
-fn dissim_at_shift(query: &Trajectory, t: &Trajectory, d: f64) -> Result<f64> {
+fn dissim_at_shift<M: QueryMetrics>(
+    query: &Trajectory,
+    t: &Trajectory,
+    d: f64,
+    metrics: &mut M,
+) -> Result<f64> {
     let shifted = query.shift_time(d)?;
     let period = shifted.time();
-    Ok(dissim_between(&shifted, t, &period, Integration::Exact)?.approx)
+    Ok(dissim_between_traced(&shifted, t, &period, Integration::Exact, metrics)?.approx)
 }
 
 /// Runs the time-relaxed k-MST query: for every candidate whose validity
@@ -90,6 +96,19 @@ pub fn time_relaxed_kmst(
     store: &TrajectoryStore,
     query: &Trajectory,
     config: &TimeRelaxedConfig,
+) -> Result<Vec<TimeRelaxedMatch>> {
+    time_relaxed_kmst_traced(store, query, config, &mut NoopSink)
+}
+
+/// [`time_relaxed_kmst`] with observability: candidates entering the shift
+/// search, candidates discarded by the spatial-corridor lower bound, and
+/// every per-piece DISSIM evaluation are reported to `metrics`. Candidates
+/// too short to host the query never enter the ledger.
+pub fn time_relaxed_kmst_traced<M: QueryMetrics>(
+    store: &TrajectoryStore,
+    query: &Trajectory,
+    config: &TimeRelaxedConfig,
+    metrics: &mut M,
 ) -> Result<Vec<TimeRelaxedMatch>> {
     if config.k == 0 {
         return Ok(Vec::new());
@@ -113,11 +132,13 @@ pub fn time_relaxed_kmst(
         if t.duration() + 1e-12 < duration {
             continue; // cannot host the query
         }
+        metrics.candidate_seen();
         // Shift-independent lower bound: the spatial corridors alone keep
         // the objects at least `rect_distance` apart at every instant.
         if results.len() >= config.k {
             let lower = rect_distance(&q_rect, &t.mbb().rect()) * duration;
             if lower > kth {
+                metrics.candidate_pruned();
                 continue;
             }
         }
@@ -134,7 +155,7 @@ pub fn time_relaxed_kmst(
         let mut best_val = f64::INFINITY;
         for i in 0..=steps {
             let d = d_min + span * i as f64 / steps as f64;
-            let v = dissim_at_shift(query, t, d)?;
+            let v = dissim_at_shift(query, t, d, metrics)?;
             if v < best_val {
                 best_val = v;
                 best_i = i;
@@ -150,31 +171,32 @@ pub fn time_relaxed_kmst(
         if hi > lo {
             let mut x1 = hi - phi * (hi - lo);
             let mut x2 = lo + phi * (hi - lo);
-            let mut f1 = dissim_at_shift(query, t, x1)?;
-            let mut f2 = dissim_at_shift(query, t, x2)?;
+            let mut f1 = dissim_at_shift(query, t, x1, metrics)?;
+            let mut f2 = dissim_at_shift(query, t, x2, metrics)?;
             for _ in 0..config.refine_iters {
                 if f1 <= f2 {
                     hi = x2;
                     x2 = x1;
                     f2 = f1;
                     x1 = hi - phi * (hi - lo);
-                    f1 = dissim_at_shift(query, t, x1)?;
+                    f1 = dissim_at_shift(query, t, x1, metrics)?;
                 } else {
                     lo = x1;
                     x1 = x2;
                     f1 = f2;
                     x2 = lo + phi * (hi - lo);
-                    f2 = dissim_at_shift(query, t, x2)?;
+                    f2 = dissim_at_shift(query, t, x2, metrics)?;
                 }
             }
             let candidate = if f1 <= f2 { x1 } else { x2 };
-            let refined = dissim_at_shift(query, t, candidate)?;
+            let refined = dissim_at_shift(query, t, candidate, metrics)?;
             if refined < best_val {
                 best_val = refined;
                 best_shift = candidate;
             }
         }
 
+        metrics.candidate_refined();
         results.push(TimeRelaxedMatch {
             traj: id,
             shift: best_shift,

@@ -11,8 +11,12 @@
 //! Keys only ever improve (PESDISSIM shrinks as pieces arrive; a completed
 //! DISSIM replaces it), so the threshold is monotonically non-increasing and
 //! can be cached: a recomputation is needed only when a key drops below the
-//! cached threshold.
+//! cached threshold. The cache lives in [`std::cell::Cell`]s so reading the
+//! threshold is the `&self` operation it logically is — every other accessor
+//! (`len`, `is_empty`, `key_of`) already takes `&self`, and [`UpperKeys::kth`]
+//! now matches.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 use mst_trajectory::TrajectoryId;
@@ -23,8 +27,10 @@ use mst_trajectory::TrajectoryId;
 pub struct UpperKeys {
     k: usize,
     keys: HashMap<TrajectoryId, f64>,
-    cached_kth: f64,
-    dirty: bool,
+    /// Lazily recomputed threshold; interior mutability keeps the logically
+    /// read-only [`UpperKeys::kth`] a `&self` method.
+    cached_kth: Cell<f64>,
+    dirty: Cell<bool>,
 }
 
 impl UpperKeys {
@@ -33,8 +39,8 @@ impl UpperKeys {
         UpperKeys {
             k: k.max(1),
             keys: HashMap::new(),
-            cached_kth: f64::INFINITY,
-            dirty: false,
+            cached_kth: Cell::new(f64::INFINITY),
+            dirty: Cell::new(false),
         }
     }
 
@@ -50,35 +56,40 @@ impl UpperKeys {
 
     /// Records `key` as candidate `id`'s current upper bound. Ignores
     /// non-finite keys and keys worse than the already-recorded one (keys
-    /// must only improve).
-    pub fn update(&mut self, id: TrajectoryId, key: f64) {
+    /// must only improve). Returns `true` when the key improved — i.e. the
+    /// update may have tightened the pruning threshold.
+    pub fn update(&mut self, id: TrajectoryId, key: f64) -> bool {
         if !key.is_finite() {
-            return;
+            return false;
         }
         let entry = self.keys.entry(id).or_insert(f64::INFINITY);
         if key < *entry {
             *entry = key;
             // The threshold can only change if this key undercuts it.
-            if key < self.cached_kth {
-                self.dirty = true;
+            if key < self.cached_kth.get() {
+                self.dirty.set(true);
             }
+            true
+        } else {
+            false
         }
     }
 
     /// The current pruning threshold: the k-th smallest recorded key, or
     /// `+inf` while fewer than `k` candidates have keys.
-    pub fn kth(&mut self) -> f64 {
-        if self.dirty {
-            self.cached_kth = if self.keys.len() < self.k {
+    pub fn kth(&self) -> f64 {
+        if self.dirty.get() {
+            let kth = if self.keys.len() < self.k {
                 f64::INFINITY
             } else {
                 let mut vals: Vec<f64> = self.keys.values().copied().collect();
                 let (_, kth, _) = vals.select_nth_unstable_by(self.k - 1, f64::total_cmp);
                 *kth
             };
-            self.dirty = false;
+            self.cached_kth.set(kth);
+            self.dirty.set(false);
         }
-        self.cached_kth
+        self.cached_kth.get()
     }
 
     /// The recorded key of a candidate.
@@ -123,8 +134,8 @@ mod tests {
     #[test]
     fn worse_keys_are_ignored() {
         let mut u = UpperKeys::new(1);
-        u.update(id(1), 3.0);
-        u.update(id(1), 8.0); // regression attempt
+        assert!(u.update(id(1), 3.0));
+        assert!(!u.update(id(1), 8.0)); // regression attempt
         assert_eq!(u.kth(), 3.0);
         assert_eq!(u.key_of(id(1)), Some(3.0));
     }
@@ -132,8 +143,8 @@ mod tests {
     #[test]
     fn non_finite_keys_are_ignored() {
         let mut u = UpperKeys::new(1);
-        u.update(id(1), f64::INFINITY);
-        u.update(id(2), f64::NAN);
+        assert!(!u.update(id(1), f64::INFINITY));
+        assert!(!u.update(id(2), f64::NAN));
         assert!(u.is_empty());
         assert_eq!(u.kth(), f64::INFINITY);
     }
@@ -146,5 +157,26 @@ mod tests {
         }
         assert_eq!(u.kth(), 2.0);
         assert_eq!(u.len(), 5);
+    }
+
+    #[test]
+    fn kth_is_a_shared_reference_read() {
+        // The satellite fix this test pins down: reading the threshold no
+        // longer demands `&mut`, so holders of a shared borrow can prune.
+        let mut u = UpperKeys::new(2);
+        u.update(id(1), 4.0);
+        u.update(id(2), 9.0);
+        let shared: &UpperKeys = &u;
+        assert_eq!(shared.kth(), 9.0);
+        assert_eq!(shared.kth(), 9.0); // cached path, still `&self`
+    }
+
+    #[test]
+    fn update_reports_threshold_relevant_improvements() {
+        let mut u = UpperKeys::new(1);
+        assert!(u.update(id(1), 5.0));
+        assert!(u.update(id(1), 2.0));
+        assert!(!u.update(id(1), 2.0)); // equal key: no improvement
+        assert!(u.update(id(2), 1.0));
     }
 }

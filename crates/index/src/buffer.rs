@@ -352,10 +352,24 @@ impl BufferPool {
     /// can decode the returned bytes knowing the frame is accounted for.
     /// Every successful call must be matched by an [`BufferPool::unpin`].
     pub fn read_pinned<'a>(&'a mut self, store: &mut PageStore, id: PageId) -> Result<&'a [u8]> {
+        self.read_pinned_traced(store, id, &mut crate::metrics::NoopSink)
+    }
+
+    /// [`BufferPool::read_pinned`] with per-query observability: the hit or
+    /// miss is reported to `sink` in addition to the pool's own aggregate
+    /// [`BufferStats`] (which span queries and survive until `reset_stats`).
+    pub fn read_pinned_traced<'a, S: crate::metrics::MetricsSink>(
+        &'a mut self,
+        store: &mut PageStore,
+        id: PageId,
+        sink: &mut S,
+    ) -> Result<&'a [u8]> {
         if self.cache.contains(&id) {
             self.stats.hits += 1;
+            sink.buffer_hit();
         } else {
             self.stats.misses += 1;
+            sink.buffer_miss();
             let data = store.read(id)?.to_vec();
             self.install(store, id, Frame { data, dirty: false })?;
         }

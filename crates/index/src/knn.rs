@@ -15,6 +15,7 @@ use std::collections::BinaryHeap;
 
 use mst_trajectory::{Point, Rect, TimeInterval};
 
+use crate::metrics::{MetricsSink, NoopSink};
 use crate::mindist::segment_rect_mindist;
 use crate::{LeafEntry, Node, PageId, Result, TrajectoryIndex};
 
@@ -66,6 +67,20 @@ pub fn knn_segments<I: TrajectoryIndex>(
     window: &TimeInterval,
     k: usize,
 ) -> Result<Vec<KnnMatch>> {
+    knn_segments_traced(index, point, window, k, &mut NoopSink)
+}
+
+/// [`knn_segments`] with observability: heap traffic, node accesses, and
+/// buffer behaviour are reported to `sink`. The traced and untraced paths
+/// are the same code — [`knn_segments`] is this function instantiated with
+/// the [`NoopSink`].
+pub fn knn_segments_traced<I: TrajectoryIndex, S: MetricsSink>(
+    index: &mut I,
+    point: Point,
+    window: &TimeInterval,
+    k: usize,
+    sink: &mut S,
+) -> Result<Vec<KnnMatch>> {
     let mut out = Vec::new();
     if k == 0 {
         return Ok(out);
@@ -81,8 +96,10 @@ pub fn knn_segments<I: TrajectoryIndex>(
         tiebreak,
         item: QueueItem::Node(root),
     }));
+    sink.heap_push();
 
     while let Some(Reverse(head)) = heap.pop() {
+        sink.heap_pop();
         match head.item {
             QueueItem::Entry(entry) => {
                 // Entries surface in true distance order: this one is final.
@@ -94,7 +111,7 @@ pub fn knn_segments<I: TrajectoryIndex>(
                     break;
                 }
             }
-            QueueItem::Node(page) => match index.read_node(page)? {
+            QueueItem::Node(page) => match index.read_node_traced(page, sink)? {
                 Node::Leaf { entries, .. } => {
                     for e in entries {
                         let Some(clipped) = e.segment.clip(window) else {
@@ -106,6 +123,7 @@ pub fn knn_segments<I: TrajectoryIndex>(
                             tiebreak,
                             item: QueueItem::Entry(e),
                         }));
+                        sink.heap_push();
                     }
                 }
                 Node::Internal { entries, .. } => {
@@ -119,6 +137,7 @@ pub fn knn_segments<I: TrajectoryIndex>(
                             tiebreak,
                             item: QueueItem::Node(e.child),
                         }));
+                        sink.heap_push();
                     }
                 }
             },

@@ -29,6 +29,7 @@
 mod buffer;
 mod codec;
 pub mod knn;
+pub mod metrics;
 pub mod mindist;
 mod node;
 mod pagestore;
@@ -40,7 +41,8 @@ mod traits;
 mod validate;
 
 pub use buffer::{BufferPool, BufferStats, LruCache};
-pub use knn::{knn_segments, KnnMatch};
+pub use knn::{knn_segments, knn_segments_traced, KnnMatch};
+pub use metrics::{MetricsSink, NoopSink};
 pub use node::{InternalEntry, LeafEntry, Node, INTERNAL_CAPACITY, LEAF_CAPACITY};
 pub use pagestore::{DiskStats, PageId, PageStore, PAGE_SIZE};
 pub use rtree::Rtree3D;

@@ -524,6 +524,14 @@ impl TrajectoryIndex for Rtree3D {
         self.pager.read_node(page)
     }
 
+    fn read_node_traced<S: crate::metrics::MetricsSink>(
+        &mut self,
+        page: PageId,
+        sink: &mut S,
+    ) -> Result<Node> {
+        self.pager.read_node_traced(page, sink)
+    }
+
     fn num_pages(&self) -> usize {
         self.pager.store.num_pages()
     }

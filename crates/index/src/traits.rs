@@ -3,6 +3,7 @@
 
 use mst_trajectory::{Mbb, TrajectoryId};
 
+use crate::metrics::{MetricsSink, NoopSink};
 use crate::{BufferPool, BufferStats, DiskStats, LeafEntry, Node, PageId, PageStore, Result};
 
 /// The paper's buffer sizing rule: 10% of the index size, capped at 1000
@@ -87,12 +88,23 @@ impl Pager {
     /// for the duration of the decode, so the buffer audits see every node
     /// access and a decode can never race an eviction.
     pub fn read_node(&mut self, page: PageId) -> Result<Node> {
+        self.read_node_traced(page, &mut NoopSink)
+    }
+
+    /// [`Pager::read_node`] with observability: the buffer hit/miss, the
+    /// decoded byte count, and the node access (tagged with the node's tree
+    /// level) are reported to `sink`.
+    pub fn read_node_traced<S: MetricsSink>(&mut self, page: PageId, sink: &mut S) -> Result<Node> {
         self.node_reads += 1;
         let decoded = {
-            let bytes = self.pool.read_pinned(&mut self.store, page)?;
+            let bytes = self.pool.read_pinned_traced(&mut self.store, page, sink)?;
+            sink.bytes_decoded(bytes.len() as u64);
             Node::decode(page, bytes)
         };
         self.pool.unpin(page)?;
+        if let Ok(node) = &decoded {
+            sink.node_access(node.level());
+        }
         decoded
     }
 
@@ -139,6 +151,21 @@ pub trait TrajectoryIndex {
     /// depends on the buffer).
     fn read_node(&mut self, page: PageId) -> Result<Node>;
 
+    /// [`TrajectoryIndex::read_node`] with observability: reports the node
+    /// access (tagged with the node's level) to `sink`. Implementations
+    /// backed by a buffer pool override this to also report the buffer
+    /// hit/miss and the decoded byte count; the default reports the access
+    /// alone. (`Self: Sized` keeps the trait object-safe — trait objects
+    /// fall back to the untraced [`TrajectoryIndex::read_node`].)
+    fn read_node_traced<S: MetricsSink>(&mut self, page: PageId, sink: &mut S) -> Result<Node>
+    where
+        Self: Sized,
+    {
+        let node = self.read_node(page)?;
+        sink.node_access(node.level());
+        Ok(node)
+    }
+
     /// Number of pages the index occupies.
     fn num_pages(&self) -> usize;
 
@@ -182,14 +209,30 @@ pub trait TrajectoryIndex {
     /// All segments whose MBB intersects `window` — the classic 3D range
     /// query the substrate also serves (the paper's premise is that the
     /// *same* index answers both traditional and similarity queries).
-    fn range_query(&mut self, window: &Mbb) -> Result<Vec<LeafEntry>> {
+    fn range_query(&mut self, window: &Mbb) -> Result<Vec<LeafEntry>>
+    where
+        Self: Sized,
+    {
+        self.range_query_traced(window, &mut NoopSink)
+    }
+
+    /// [`TrajectoryIndex::range_query`] with observability: every node
+    /// visited during the traversal is reported to `sink`.
+    fn range_query_traced<S: MetricsSink>(
+        &mut self,
+        window: &Mbb,
+        sink: &mut S,
+    ) -> Result<Vec<LeafEntry>>
+    where
+        Self: Sized,
+    {
         let mut out = Vec::new();
         let Some(root) = self.root() else {
             return Ok(out);
         };
         let mut stack = vec![root];
         while let Some(page) = stack.pop() {
-            match self.read_node(page)? {
+            match self.read_node_traced(page, sink)? {
                 Node::Leaf { entries, .. } => {
                     out.extend(
                         entries

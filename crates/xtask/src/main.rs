@@ -22,6 +22,11 @@
 //!   tripwire, not a proof.
 //! * **R5** — no `std::time` / `Instant` outside `mst-bench`: library code
 //!   must stay deterministic and clock-free so results are reproducible.
+//! * **R6** — no calls to the deprecated pre-builder query methods
+//!   (`most_similar`, `within_dissim`, `nearest_segments`, ...) outside
+//!   their shim module (`crates/core/src/compat.rs`); everything else goes
+//!   through the `Query` builder. Compiler deprecation warnings cover
+//!   downstream users; this rule keeps the workspace itself honest.
 //!
 //! The scanner is line-based. Comments and string/char literal bodies are
 //! stripped before pattern matching, and `#[cfg(test)]` items are skipped
@@ -449,6 +454,42 @@ fn check_no_clocks(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
     }
 }
 
+/// R6: method calls on the deprecated pre-builder query surface. The
+/// leading dot keeps free functions like `search::nearest_trajectories(...)`
+/// (the still-supported low-level entry points) out of scope; only the
+/// deprecated `MovingObjectDatabase` methods are method calls.
+const DEPRECATED_DB_CALLS: [&str; 7] = [
+    ".most_similar(",
+    ".most_similar_with(",
+    ".within_dissim(",
+    ".most_similar_time_relaxed(",
+    ".nearest_segments(",
+    ".nearest_trajectories(",
+    ".range(",
+];
+
+fn check_no_deprecated_query_calls(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if excused_by_invariant(lines, i) {
+            continue;
+        }
+        for pat in DEPRECATED_DB_CALLS {
+            if line.code.contains(pat) {
+                let name = pat.trim_start_matches('.').trim_end_matches('(');
+                out.push(Violation {
+                    file: file.to_path_buf(),
+                    line: line.number,
+                    rule: "R6",
+                    message: format!(
+                        "call to deprecated query method `{name}`; use the \
+                         `Query` builder (see crates/core/src/query.rs)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Iterates the identifier-shaped words of a sanitised line.
 fn tokenize_words(code: &str) -> impl Iterator<Item = &str> {
     code.split(|c: char| !c.is_alphanumeric() && c != '_')
@@ -550,6 +591,24 @@ fn run_check(root: &Path) -> Vec<Violation> {
             }
             if !in_bench {
                 check_no_clocks(&file, &lines, &mut out);
+            }
+        }
+    }
+
+    // R6: the deprecated query methods may only appear in their shim module.
+    // Examples and integration tests are user-facing showcase code, so they
+    // are held to the same standard as the libraries.
+    let compat = root.join("crates/core/src/compat.rs");
+    let mut r6_dirs = lib_dirs;
+    r6_dirs.push(root.join("examples"));
+    r6_dirs.push(root.join("tests"));
+    for dir in &r6_dirs {
+        for file in rs_files(dir) {
+            if file == compat {
+                continue;
+            }
+            if let Ok(src) = fs::read_to_string(&file) {
+                check_no_deprecated_query_calls(&file, &scan(&src), &mut out);
             }
         }
     }
@@ -791,6 +850,29 @@ mod tests {
         assert!(out.is_empty(), "{out:?}");
     }
 
+    #[test]
+    fn r6_flags_deprecated_query_calls() {
+        let mut out = Vec::new();
+        check_no_deprecated_query_calls(
+            Path::new("main.rs"),
+            &lines_of(
+                "let top = db.most_similar(&q, &p, 4)?;\nlet ok = Query::kmst(&q).run(&mut db)?;",
+            ),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "R6");
+        assert_eq!(out[0].line, 1);
+        // Free functions of the same name are the supported low-level API.
+        out.clear();
+        check_no_deprecated_query_calls(
+            Path::new("main.rs"),
+            &lines_of("let nn = nearest_trajectories(&mut idx, &q, &p, 5)?;"),
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
     /// End-to-end: a synthetic mini-repo produces diagnostics with paths,
     /// line numbers, and a nonzero violation count; a clean tree is clean.
     #[test]
@@ -829,6 +911,16 @@ mod tests {
             "crates/datagen/src/lib.rs",
             &format!("{clean_root}use std::time::Instant;\n"),
         );
+        write(
+            "examples/demo.rs",
+            "fn main() { let _ = db.nearest_segments(p, &w, 3); }\n",
+        );
+        // The shim module itself is the one place the deprecated surface may
+        // appear.
+        write(
+            "crates/core/src/compat.rs",
+            "fn shim() { db.most_similar(&q, &p, 1); } // invariant: shim\n",
+        );
 
         let violations = run_check(&root);
         let rendered: Vec<String> = violations.iter().map(Violation::to_string).collect();
@@ -842,6 +934,11 @@ mod tests {
         assert!(has("[R3]", "index/src/lib.rs", 1), "{rendered:?}");
         assert!(has("[R4]", "core/src/lib.rs", 4), "{rendered:?}");
         assert!(has("[R5]", "datagen/src/lib.rs", 4), "{rendered:?}");
+        assert!(has("[R6]", "examples/demo.rs", 1), "{rendered:?}");
+        assert!(
+            !rendered.iter().any(|r| r.contains("compat.rs")),
+            "{rendered:?}"
+        );
 
         // Repair every file and re-run: the tree must come back clean.
         write("crates/trajectory/src/lib.rs", clean_root);
@@ -852,6 +949,10 @@ mod tests {
         );
         write("crates/core/src/lib.rs", clean_root);
         write("crates/datagen/src/lib.rs", clean_root);
+        write(
+            "examples/demo.rs",
+            "fn main() { let _ = Query::knn_segments(p).k(3).during(&w).run(&mut db); }\n",
+        );
         assert!(run_check(&root).is_empty());
 
         fs::remove_dir_all(&root).unwrap();

@@ -7,8 +7,7 @@
 use mst::datagen::TrucksConfig;
 use mst::index::{Rtree3D, TrajectoryIndex};
 use mst::search::{
-    estimate_selectivity, MovingObjectDatabase, SelectivityHistogram, TimeRelaxedConfig,
-    TrajectoryStore,
+    estimate_selectivity, MovingObjectDatabase, Query, SelectivityHistogram, TrajectoryStore,
 };
 use mst::trajectory::{Point, TimeInterval, TrajectoryId};
 
@@ -40,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // "Who passed near the depot between 10 and 20 minutes in?"
     let window = TimeInterval::new(600.0, 1200.0)?;
     let depot = Point::new(5000.0, 5000.0);
-    let nn = db.nearest_segments(depot, &window, 3)?;
+    let nn = Query::knn_segments(depot)
+        .k(3)
+        .during(&window)
+        .run(&mut db)?;
     println!("\nclosest passes to the depot in [600s, 1200s]:");
     for m in &nn {
         println!(
@@ -51,17 +53,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // "Which trucks moved most like truck 7 all day?"
-    let q = db.trajectory(TrajectoryId(7)).unwrap().clone();
-    let top = db.most_similar(&q, &horizon, 4)?;
+    // "Which trucks moved most like truck 7 all day?" — profiled, so the
+    // dispatcher also sees what the search cost.
+    let q = db.trajectory(TrajectoryId(7)).unwrap();
+    let (top, profile) = Query::kmst(&q).k(4).during(&horizon).profile(&mut db)?;
     println!("\ntrucks most similar to truck 7 (DISSIM, whole shift):");
     for m in &top {
         println!("  {}  {:.0}", m.traj, m.dissim);
     }
+    println!(
+        "  ({} nodes read, {} candidates seen, {} pruned, {} piece integrals)",
+        profile.nodes_accessed(),
+        profile.candidates.seen,
+        profile.candidates.pruned,
+        profile.piece_evals()
+    );
 
     // "Same question, but ignore departure times" — the time-relaxed query.
     let clipped = q.clip(&TimeInterval::new(300.0, 1500.0)?)?;
-    let relaxed = db.most_similar_time_relaxed(&clipped, &TimeRelaxedConfig::k(3))?;
+    let relaxed = Query::kmst(&clipped).k(3).time_relaxed().run(&mut db)?;
     println!("\ntime-relaxed matches for truck 7's 300-1500s leg:");
     for m in &relaxed {
         println!(
@@ -76,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = TrajectoryStore::new();
         for i in 0..db.num_objects() {
             let id = TrajectoryId(i as u64);
-            s.insert(id, db.trajectory(id).unwrap().clone());
+            s.insert(id, db.trajectory(id).unwrap());
         }
         s
     };

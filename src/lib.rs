@@ -21,8 +21,9 @@ pub mod prelude {
         TrajectoryIndexWrite,
     };
     pub use mst_search::{
-        bfmst_search, nearest_trajectories, scan_kmst, time_relaxed_kmst, Integration,
-        MovingObjectDatabase, MstConfig, MstMatch, TimeRelaxedConfig, TrajectoryStore,
+        bfmst_search, bfmst_search_traced, nearest_trajectories, scan_kmst, time_relaxed_kmst,
+        Integration, MetricsSink, MovingObjectDatabase, MstConfig, MstMatch, NoopSink,
+        PruningBound, Query, QueryMetrics, QueryProfile, TimeRelaxedConfig, TrajectoryStore,
     };
     pub use mst_trajectory::{
         Mbb, Point, SamplePoint, Segment, TimeInterval, Trajectory, TrajectoryBuilder, TrajectoryId,

@@ -1,0 +1,283 @@
+//! Integration tests for the query observability layer: the candidate
+//! ledger must balance on realistic workloads, profiles must accumulate
+//! monotonically, the profile must agree with the search's own report,
+//! and attaching a sink must never change a single result bit.
+
+use mst::datagen::GstdConfig;
+use mst::index::{LeafEntry, Rtree3D, TbTree, TrajectoryIndex};
+use mst::search::{
+    bfmst_search, bfmst_search_traced, scan_kmst, scan_kmst_traced, time_relaxed_kmst,
+    time_relaxed_kmst_traced, Integration, MstConfig, QueryProfile, TimeRelaxedConfig,
+    TrajectoryStore,
+};
+use mst::trajectory::{TimeInterval, TrajectoryId};
+
+fn gstd_store(objects: usize, samples: usize, seed: u64) -> TrajectoryStore {
+    let data = GstdConfig {
+        num_objects: objects,
+        samples_per_object: samples,
+        ..GstdConfig::paper_dataset(objects, seed)
+    }
+    .generate();
+    TrajectoryStore::from_trajectories(data)
+}
+
+fn build_both(store: &TrajectoryStore) -> (Rtree3D, TbTree) {
+    let mut entries: Vec<LeafEntry> = Vec::new();
+    for (id, t) in store.iter() {
+        for (seq, segment) in t.segments().enumerate() {
+            entries.push(LeafEntry {
+                traj: id,
+                seq: seq as u32,
+                segment,
+            });
+        }
+    }
+    entries.sort_by(|a, b| a.segment.start().t.total_cmp(&b.segment.start().t));
+    let mut rtree = Rtree3D::new();
+    let mut tbtree = TbTree::new();
+    for e in entries {
+        rtree.insert(e).unwrap();
+        tbtree.insert(e).unwrap();
+    }
+    (rtree, tbtree)
+}
+
+fn dissim_bits(matches: &[mst::search::MstMatch]) -> Vec<(TrajectoryId, u64)> {
+    matches
+        .iter()
+        .map(|m| (m.traj, m.dissim.to_bits()))
+        .collect()
+}
+
+/// The candidate ledger balances (`seen == pruned + refined + pending`)
+/// for every query of a seeded workload, on both index substrates, with
+/// both heuristics on and off.
+#[test]
+fn candidate_ledger_balances_on_both_substrates() {
+    for seed in [3u64, 19] {
+        let store = gstd_store(30, 180, seed);
+        let (mut rtree, mut tbtree) = build_both(&store);
+        for qi in 0..6u64 {
+            let period = TimeInterval::new(10.0, 160.0).unwrap();
+            let q = store.get(TrajectoryId(qi)).unwrap().clip(&period).unwrap();
+            for config in [
+                MstConfig::k(3),
+                MstConfig {
+                    use_heuristic1: false,
+                    use_heuristic2: false,
+                    ..MstConfig::k(3)
+                },
+            ] {
+                let mut pr = QueryProfile::new();
+                bfmst_search_traced(&mut rtree, &store, &q, &period, &config, &mut pr).unwrap();
+                assert!(
+                    pr.is_consistent(),
+                    "rtree seed {seed} q {qi}: seen {} != {} pruned + {} refined + {} pending",
+                    pr.candidates.seen,
+                    pr.candidates.pruned,
+                    pr.candidates.refined,
+                    pr.candidates.pending
+                );
+                let mut pt = QueryProfile::new();
+                bfmst_search_traced(&mut tbtree, &store, &q, &period, &config, &mut pt).unwrap();
+                assert!(pt.is_consistent(), "tbtree seed {seed} q {qi}");
+            }
+        }
+    }
+}
+
+/// A reused profile only ever accumulates: running a second query on the
+/// same profile never decreases any counter.
+#[test]
+fn counters_are_monotone_across_queries() {
+    let store = gstd_store(20, 150, 5);
+    let (mut rtree, _) = build_both(&store);
+    let period = TimeInterval::new(0.0, 140.0).unwrap();
+    let mut profile = QueryProfile::new();
+    let mut last = QueryProfile::new();
+    for qi in 0..5u64 {
+        let q = store.get(TrajectoryId(qi)).unwrap().clip(&period).unwrap();
+        bfmst_search_traced(
+            &mut rtree,
+            &store,
+            &q,
+            &period,
+            &MstConfig::k(2),
+            &mut profile,
+        )
+        .unwrap();
+        assert!(profile.heap_pushes >= last.heap_pushes);
+        assert!(profile.heap_pops >= last.heap_pops);
+        assert!(profile.nodes_accessed() >= last.nodes_accessed());
+        assert!(profile.buffer_hits >= last.buffer_hits);
+        assert!(profile.buffer_misses >= last.buffer_misses);
+        assert!(profile.bytes_decoded >= last.bytes_decoded);
+        assert!(profile.piece_evals() >= last.piece_evals());
+        assert!(profile.candidates.seen >= last.candidates.seen);
+        assert!(profile.pruning.ldd_evals >= last.pruning.ldd_evals);
+        assert!(profile.pruning.pes_dissim_evals >= last.pruning.pes_dissim_evals);
+        // Every query does real work, so the headline counters strictly grow.
+        assert!(
+            profile.heap_pops > last.heap_pops,
+            "query {qi} popped nothing"
+        );
+        assert!(profile.candidates.seen > last.candidates.seen);
+        last = profile.clone();
+    }
+}
+
+/// The profile and the search's own `SearchReport` describe the same
+/// traversal: node accesses, completions, rejections, and the early
+/// termination flag must line up.
+#[test]
+fn profile_agrees_with_the_search_report() {
+    fn check<I: TrajectoryIndex>(label: &str, index: &mut I, store: &TrajectoryStore) {
+        let period = TimeInterval::new(20.0, 180.0).unwrap();
+        for qi in 0..5u64 {
+            let q = store.get(TrajectoryId(qi)).unwrap().clip(&period).unwrap();
+            let mut profile = QueryProfile::new();
+            let report =
+                bfmst_search_traced(index, store, &q, &period, &MstConfig::k(3), &mut profile)
+                    .unwrap();
+            assert_eq!(
+                profile.nodes_accessed(),
+                report.nodes_visited,
+                "{label} q {qi}: node accesses"
+            );
+            assert_eq!(
+                profile.candidates.refined, report.candidates_completed as u64,
+                "{label} q {qi}: refinements"
+            );
+            assert_eq!(
+                profile.candidates.pruned, report.candidates_rejected as u64,
+                "{label} q {qi}: rejections"
+            );
+            assert_eq!(
+                profile.early_terminations,
+                u64::from(report.terminated_early),
+                "{label} q {qi}: early termination"
+            );
+            // Every pushed node is either popped or discarded unvisited at
+            // early termination; without termination the heap drains fully.
+            if !report.terminated_early {
+                assert_eq!(profile.heap_pushes, profile.heap_pops, "{label} q {qi}");
+            } else {
+                assert!(profile.heap_pushes >= profile.heap_pops, "{label} q {qi}");
+            }
+        }
+    }
+    let store = gstd_store(25, 200, 9);
+    let (mut rtree, mut tbtree) = build_both(&store);
+    check("rtree", &mut rtree, &store);
+    check("tbtree", &mut tbtree, &store);
+}
+
+/// Attaching a profile must not change any result: the traced and
+/// untraced entry points return bit-identical dissimilarities for k-MST
+/// (both substrates), the scan, and the time-relaxed search.
+#[test]
+fn tracing_never_changes_a_result_bit() {
+    let store = gstd_store(25, 180, 27);
+    let (mut rtree, mut tbtree) = build_both(&store);
+    let period = TimeInterval::new(5.0, 170.0).unwrap();
+    for qi in [0u64, 8, 16, 24] {
+        let q = store.get(TrajectoryId(qi)).unwrap().clip(&period).unwrap();
+
+        let plain = bfmst_search(&mut rtree, &store, &q, &period, &MstConfig::k(4)).unwrap();
+        let mut profile = QueryProfile::new();
+        let traced = bfmst_search_traced(
+            &mut rtree,
+            &store,
+            &q,
+            &period,
+            &MstConfig::k(4),
+            &mut profile,
+        )
+        .unwrap();
+        assert_eq!(dissim_bits(&plain.matches), dissim_bits(&traced.matches));
+
+        let plain_tb = bfmst_search(&mut tbtree, &store, &q, &period, &MstConfig::k(4)).unwrap();
+        let mut ptb = QueryProfile::new();
+        let traced_tb =
+            bfmst_search_traced(&mut tbtree, &store, &q, &period, &MstConfig::k(4), &mut ptb)
+                .unwrap();
+        assert_eq!(
+            dissim_bits(&plain_tb.matches),
+            dissim_bits(&traced_tb.matches)
+        );
+
+        let scan_plain = scan_kmst(&store, &q, &period, 4, Integration::Exact).unwrap();
+        let mut ps = QueryProfile::new();
+        let scan_traced =
+            scan_kmst_traced(&store, &q, &period, 4, Integration::Exact, &mut ps).unwrap();
+        assert_eq!(dissim_bits(&scan_plain), dissim_bits(&scan_traced));
+        // The scan refines every candidate it sees — the pruning-power
+        // denominator.
+        assert_eq!(ps.candidates.seen, ps.candidates.refined);
+        assert!(ps.is_consistent());
+
+        let relax_plain = time_relaxed_kmst(&store, &q, &TimeRelaxedConfig::k(2)).unwrap();
+        let mut prx = QueryProfile::new();
+        let relax_traced =
+            time_relaxed_kmst_traced(&store, &q, &TimeRelaxedConfig::k(2), &mut prx).unwrap();
+        assert_eq!(
+            relax_plain
+                .iter()
+                .map(|m| (m.traj, m.dissim.to_bits(), m.shift.to_bits()))
+                .collect::<Vec<_>>(),
+            relax_traced
+                .iter()
+                .map(|m| (m.traj, m.dissim.to_bits(), m.shift.to_bits()))
+                .collect::<Vec<_>>()
+        );
+        assert!(prx.is_consistent());
+    }
+}
+
+/// The builder facade returns exactly what the underlying search
+/// functions return, and its profiled variant reports live counters.
+#[test]
+fn builder_matches_the_direct_entry_points() {
+    use mst::search::{MovingObjectDatabase, Query};
+    let store = gstd_store(20, 150, 33);
+    let mut db = MovingObjectDatabase::with_tbtree();
+    let mut feed: Vec<(TrajectoryId, mst::trajectory::SamplePoint)> = Vec::new();
+    for (id, t) in store.iter() {
+        for p in t.points() {
+            feed.push((id, *p));
+        }
+    }
+    feed.sort_by(|a, b| a.1.t.total_cmp(&b.1.t).then(a.0.cmp(&b.0)));
+    for (id, p) in feed {
+        db.append(id, p).unwrap();
+    }
+
+    let period = TimeInterval::new(10.0, 140.0).unwrap();
+    let q = db
+        .trajectory(TrajectoryId(3))
+        .unwrap()
+        .clip(&period)
+        .unwrap();
+
+    let via_builder = Query::kmst(&q).k(3).during(&period).run(&mut db).unwrap();
+    let (profiled, profile) = Query::kmst(&q)
+        .k(3)
+        .during(&period)
+        .profile(&mut db)
+        .unwrap();
+    assert_eq!(dissim_bits(&via_builder), dissim_bits(&profiled));
+    assert!(profile.is_consistent());
+    assert!(profile.nodes_accessed() > 0);
+    assert!(profile.candidates.seen > 0);
+    assert!(profile.piece_evals() > 0);
+
+    let direct = db.with_store(|s| {
+        scan_kmst(s, &q, &period, 3, Integration::Trapezoid).map(|m| dissim_bits(&m))
+    });
+    // The index search post-refines with the same integration rule, so the
+    // winner set agrees with the scan (ids, not necessarily bits).
+    let scan_ids: Vec<TrajectoryId> = direct.unwrap().iter().map(|(id, _)| *id).collect();
+    let builder_ids: Vec<TrajectoryId> = via_builder.iter().map(|m| m.traj).collect();
+    assert_eq!(scan_ids, builder_ids);
+}
