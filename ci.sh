@@ -9,6 +9,9 @@
 #   5. the index tests again with `paranoid` audits after every mutation
 #   6. the observability smoke benchmark (regenerates BENCH_kmst.json and
 #      fails if any metrics counter stays zero across the workload)
+#   7. the batch-execution smoke benchmark (2 workers x 2 shards;
+#      regenerates BENCH_throughput.json and fails on executor
+#      nondeterminism, dead cross-shard pruning, or spurious degradation)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -29,5 +32,8 @@ cargo test -q -p mst-index --features paranoid
 
 echo "==> observability smoke bench (BENCH_kmst.json)"
 cargo run --release -q -p mst-bench --bin kmst_profile -- --smoke
+
+echo "==> batch executor smoke bench (BENCH_throughput.json)"
+cargo run --release -q -p mst-bench --bin throughput -- --smoke
 
 echo "ci.sh: all gates passed"

@@ -1,0 +1,55 @@
+//! Emits `BENCH_throughput.json`: batch-execution throughput and latency
+//! percentiles of the sharded `mst-exec` executor across worker and shard
+//! counts, on both substrates.
+//!
+//! Usage: `cargo run -p mst-bench --release --bin throughput --
+//! [--smoke] [--objects 250] [--samples 1000] [--queries 48]
+//! [--length 0.15] [--k 4] [--seed 11] [--out BENCH_throughput.json]`
+//!
+//! `--smoke` selects the small CI configuration (2 threads x 2 shards).
+//! The process exits non-zero when [`ThroughputReport::validate`] detects
+//! executor nondeterminism, dead cross-shard pruning, spurious
+//! degradation, or (on hosts with >= 4 cores) sub-1.5x scaling at 4
+//! workers.
+
+use mst_bench::args::Args;
+use mst_bench::experiments::{throughput, ThroughputConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let base = if args.has("smoke") {
+        ThroughputConfig::smoke()
+    } else {
+        ThroughputConfig::default()
+    };
+    let cfg = ThroughputConfig {
+        objects: args.get("objects", base.objects),
+        samples: args.get("samples", base.samples),
+        queries: args.get("queries", base.queries),
+        length: args.get("length", base.length),
+        k: args.get("k", base.k),
+        seed: args.get("seed", base.seed),
+        threads: base.threads,
+        shards: base.shards,
+    };
+    eprintln!(
+        "[throughput] {} objects x {} samples, {}-query batches, k={}, threads {:?}, shards {:?}...",
+        cfg.objects, cfg.samples, cfg.queries, cfg.k, cfg.threads, cfg.shards
+    );
+    let report = throughput(&cfg);
+    let out = args.get("out", String::from("BENCH_throughput.json"));
+    std::fs::write(&out, report.to_json()).expect("write report");
+    eprintln!("[throughput] wrote {out}");
+    let failures = report.validate();
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("[throughput] FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[throughput] deterministic answers, live cross-shard pruning, no degradation \
+         ({} host cores)",
+        report.host_parallelism
+    );
+}

@@ -8,6 +8,7 @@ mod figure9;
 mod index_comparison;
 mod kmst_profile;
 mod table2;
+mod throughput;
 
 pub use ablation::{ablation, AblationConfig};
 pub use buffer_sweep::{buffer_sweep, BufferSweepConfig};
@@ -17,3 +18,4 @@ pub use figure9::{figure9, Figure9Config};
 pub use index_comparison::{index_comparison, IndexComparisonConfig};
 pub use kmst_profile::{kmst_profile, KmstProfileConfig, KmstProfileReport};
 pub use table2::{table2, Table2Config};
+pub use throughput::{throughput, ThroughputConfig, ThroughputPoint, ThroughputReport};

@@ -28,6 +28,7 @@ use mst_trajectory::{Segment, TimeInterval, Trajectory, TrajectoryId};
 use crate::bounds::Candidate;
 use crate::dissim::{dissim_between_traced, piece, Dissim, Integration};
 use crate::metrics::{NoopSink, PruningBound, QueryMetrics};
+use crate::share::{BoundShare, NoShare};
 use crate::topk::UpperKeys;
 use crate::{MstMatch, Result, SearchError, TrajectoryStore};
 
@@ -109,6 +110,10 @@ pub struct SearchReport {
     pub terminated_early: bool,
     /// Exact integrals recomputed by the post-processing step.
     pub exact_recomputations: usize,
+    /// True when an external stop signal ([`BoundShare::poll_stop`], e.g. a
+    /// per-query deadline) abandoned the traversal: `matches` holds the
+    /// best-so-far answer, which may be incomplete.
+    pub deadline_hit: bool,
 }
 
 /// A queue element: node page keyed by its MINDIST from the query.
@@ -164,6 +169,25 @@ pub fn bfmst_search_traced<I: TrajectoryIndex, M: QueryMetrics>(
     config: &MstConfig,
     metrics: &mut M,
 ) -> Result<SearchReport> {
+    bfmst_search_shared(index, store, query, period, config, &NoShare, metrics)
+}
+
+/// [`bfmst_search_traced`] with cooperative pruning: `share` injects an
+/// external upper bound on the global kth DISSIM into both heuristics,
+/// receives every local threshold improvement, and can stop the traversal
+/// (deadlines). With [`NoShare`] this *is* [`bfmst_search_traced`] — the
+/// hooks compile away. Prunes that only the shared bound justifies are
+/// attributed to [`PruningBound::SharedKth`], keeping cross-shard pruning
+/// observable in the profile.
+pub fn bfmst_search_shared<I: TrajectoryIndex, M: QueryMetrics, B: BoundShare>(
+    index: &mut I,
+    store: &TrajectoryStore,
+    query: &Trajectory,
+    period: &TimeInterval,
+    config: &MstConfig,
+    share: &B,
+    metrics: &mut M,
+) -> Result<SearchReport> {
     let mut report = SearchReport::default();
     if config.k == 0 {
         return Ok(report);
@@ -199,11 +223,26 @@ pub fn bfmst_search_traced<I: TrajectoryIndex, M: QueryMetrics>(
 
     while let Some(Reverse(head)) = heap.pop() {
         metrics.heap_pop();
+        // Cooperative cancellation (per-query deadlines): abandon the
+        // traversal and fall through to best-so-far finalization.
+        if share.poll_stop() {
+            report.deadline_hit = true;
+            break;
+        }
         // Heuristic 2: nodes arrive in increasing MINDIST, so once the
         // node-level MINDISSIMINC exceeds the k-th best upper key nothing
-        // later can qualify either — stop the whole search.
-        if config.use_heuristic2 && (!completed.is_empty() || ceiling.is_finite()) {
-            let tau = upper.kth().min(ceiling);
+        // later can qualify either — stop the whole search. The threshold
+        // folds in the cross-shard hint: another shard's kth upper key
+        // bounds the global kth DISSIM just as well as a local one.
+        let hint = share.kth_hint();
+        if config.use_heuristic2
+            && (!completed.is_empty() || ceiling.is_finite() || hint.is_finite())
+        {
+            let local_tau = upper.kth().min(ceiling);
+            let tau = local_tau.min(hint);
+            if hint < local_tau {
+                metrics.bound_evals(PruningBound::SharedKth, 1);
+            }
             // Cheap test first (the paper's optimization): only evaluate the
             // per-candidate OPTDISSIMINC values when the blanket bound
             // MINDIST * span already clears the threshold.
@@ -220,8 +259,20 @@ pub fn bfmst_search_traced<I: TrajectoryIndex, M: QueryMetrics>(
                         // discarded unvisited; the pending candidates are
                         // each certified out by their OPTDISSIMINC.
                         metrics.early_termination();
-                        metrics.pruned_by(PruningBound::MinDissimInc, heap.len() as u64 + 1);
-                        metrics.pruned_by(PruningBound::OptDissimInc, valid.len() as u64);
+                        let local_fires = local_tau.is_finite()
+                            && head.mindist * span > local_tau
+                            && min_inc > local_tau;
+                        if hint < local_tau && !local_fires {
+                            // Only the shared bound justified stopping:
+                            // all discarded work is another shard's kill.
+                            metrics.pruned_by(
+                                PruningBound::SharedKth,
+                                heap.len() as u64 + 1 + valid.len() as u64,
+                            );
+                        } else {
+                            metrics.pruned_by(PruningBound::MinDissimInc, heap.len() as u64 + 1);
+                            metrics.pruned_by(PruningBound::OptDissimInc, valid.len() as u64);
+                        }
                         report.terminated_early = true;
                         break;
                     }
@@ -270,27 +321,49 @@ pub fn bfmst_search_traced<I: TrajectoryIndex, M: QueryMetrics>(
                         completed.insert(e.traj, value);
                         report.candidates_completed += 1;
                         metrics.candidate_refined();
-                        upper.update(e.traj, value.upper());
+                        if upper.update(e.traj, value.upper()) {
+                            let kth = upper.kth();
+                            if kth.is_finite() {
+                                share.publish_kth(kth);
+                            }
+                        }
                     } else {
                         metrics.bound_evals(PruningBound::Ldd, cand.num_gaps(period) as u64);
                         metrics.bound_evals(PruningBound::PesDissim, 1);
                         let pes = cand.pes_dissim(period, vmax);
                         if upper.update(e.traj, pes) {
                             metrics.pruned_by(PruningBound::PesDissim, 1);
+                            let kth = upper.kth();
+                            if kth.is_finite() {
+                                share.publish_kth(kth);
+                            }
                         }
                         if config.use_heuristic1 {
-                            let tau = upper.kth().min(ceiling);
+                            let local_tau = upper.kth().min(ceiling);
+                            let hint = share.kth_hint();
+                            let tau = local_tau.min(hint);
+                            if hint < local_tau {
+                                metrics.bound_evals(PruningBound::SharedKth, 1);
+                            }
                             metrics.bound_evals(PruningBound::Ldd, cand.num_gaps(period) as u64);
                             metrics.bound_evals(PruningBound::OptDissim, 1);
                             // The enclosure's safe side: OPTDISSIM already
                             // folds the approximation error in (Section 4.4's
                             // "PESDISSIM - ERR" discipline on the lower side).
-                            if cand.opt_dissim(period, vmax) > tau {
+                            let opt = cand.opt_dissim(period, vmax);
+                            if opt > tau {
                                 valid.remove(&e.traj);
                                 rejected.insert(e.traj);
                                 report.candidates_rejected += 1;
                                 metrics.candidate_pruned();
-                                metrics.pruned_by(PruningBound::OptDissim, 1);
+                                if opt > local_tau {
+                                    metrics.pruned_by(PruningBound::OptDissim, 1);
+                                } else {
+                                    // The local threshold alone would have
+                                    // kept this candidate alive: the prune
+                                    // is another shard's discovery at work.
+                                    metrics.pruned_by(PruningBound::SharedKth, 1);
+                                }
                             }
                         }
                     }

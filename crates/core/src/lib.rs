@@ -29,26 +29,35 @@ pub mod bounds;
 mod compat;
 pub mod database;
 pub mod dissim;
+pub mod merge;
 pub mod metrics;
 pub mod nn;
 pub mod query;
 pub mod scan;
 pub mod selectivity;
+pub mod share;
 mod store;
 pub mod time_relaxed;
 mod topk;
 
-pub use bfmst::{bfmst_search, bfmst_search_traced, MstConfig, SearchReport};
+pub use bfmst::{bfmst_search, bfmst_search_shared, bfmst_search_traced, MstConfig, SearchReport};
 pub use database::MovingObjectDatabase;
 pub use dissim::{Dissim, Integration};
+pub use merge::{merge_shard_matches, merge_shard_nn};
 pub use metrics::{
     CandidateCounters, MetricsSink, NoopSink, PruningBound, PruningCounters, QueryMetrics,
     QueryProfile,
 };
-pub use nn::{nearest_trajectories, nearest_trajectories_traced, NnMatch};
-pub use query::{KmstQuery, KnnQuery, KnnSegmentsQuery, Query, RangeQuery, TimeRelaxedQuery};
+pub use nn::{
+    nearest_trajectories, nearest_trajectories_shared, nearest_trajectories_traced, NnMatch,
+    NnOutcome,
+};
+pub use query::{
+    KmstQuery, KmstSpec, KnnQuery, KnnSegmentsQuery, KnnSpec, Query, RangeQuery, TimeRelaxedQuery,
+};
 pub use scan::{scan_kmst, scan_kmst_traced};
 pub use selectivity::{estimate_selectivity, SelectivityEstimate, SelectivityHistogram};
+pub use share::{BoundShare, NoShare};
 pub use store::TrajectoryStore;
 pub use time_relaxed::{
     time_relaxed_kmst, time_relaxed_kmst_traced, TimeRelaxedConfig, TimeRelaxedMatch,

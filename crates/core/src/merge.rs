@@ -1,0 +1,145 @@
+//! Deterministic top-k merge of per-shard answers.
+//!
+//! A sharded executor runs the same query independently on every shard and
+//! gets back each shard's local top-k. The global answer is the k best
+//! across all lists — computed here with the same [`UpperKeys`] threshold
+//! machinery the search itself prunes with, and with the search's exact
+//! tie-break (value by `total_cmp`, then [`TrajectoryId`]), so a merged
+//! result is bit-identical to what a single search over the union would
+//! report.
+//!
+//! The merge is pure data-flow: given identical input lists it produces
+//! identical output regardless of how many threads produced those lists or
+//! in which order they finished. Shards partition trajectories, so a
+//! trajectory can appear in at most one list; the merge still deduplicates
+//! defensively (keeping the smallest value) so a misconfigured overlap
+//! degrades to a correct answer instead of a duplicated one.
+
+use mst_trajectory::TrajectoryId;
+
+use crate::nn::NnMatch;
+use crate::topk::UpperKeys;
+use crate::MstMatch;
+
+/// Merges per-shard k-MST answers into the global top-k, ascending DISSIM
+/// with the search's trajectory-id tie-break.
+pub fn merge_shard_matches(k: usize, shard_lists: &[Vec<MstMatch>]) -> Vec<MstMatch> {
+    merge_by(k, shard_lists, |m| (m.traj, m.dissim))
+}
+
+/// Merges per-shard kNN answers into the global top-k, ascending approach
+/// distance with the search's trajectory-id tie-break.
+pub fn merge_shard_nn(k: usize, shard_lists: &[Vec<NnMatch>]) -> Vec<NnMatch> {
+    merge_by(k, shard_lists, |m| (m.traj, m.distance))
+}
+
+fn merge_by<T: Clone>(
+    k: usize,
+    shard_lists: &[Vec<T>],
+    key: impl Fn(&T) -> (TrajectoryId, f64),
+) -> Vec<T> {
+    if k == 0 {
+        return Vec::new();
+    }
+    // Pass 1: establish the global kth upper bound with the search's own
+    // threshold tracker (every shard value is an exact answer, hence its
+    // own upper bound).
+    let mut upper = UpperKeys::new(k);
+    for list in shard_lists {
+        for m in list {
+            let (traj, value) = key(m);
+            upper.update(traj, value);
+        }
+    }
+    let tau = upper.kth();
+    // Pass 2: keep only candidates at or under the threshold (everything
+    // strictly above it cannot be in the global top-k; ties survive for
+    // the id tie-break to settle), then order exactly like the search.
+    let mut survivors: Vec<T> = shard_lists
+        .iter()
+        .flatten()
+        .filter(|m| key(m).1 <= tau)
+        .cloned()
+        .collect();
+    survivors.sort_by(|a, b| {
+        let (at, av) = key(a);
+        let (bt, bv) = key(b);
+        av.total_cmp(&bv).then(at.cmp(&bt))
+    });
+    survivors.dedup_by(|next, kept| key(next).0 == key(kept).0);
+    survivors.truncate(k);
+    survivors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(traj: u64, dissim: f64) -> MstMatch {
+        MstMatch {
+            traj: TrajectoryId(traj),
+            dissim,
+        }
+    }
+
+    #[test]
+    fn merges_across_shards_in_value_order() {
+        let shards = vec![
+            vec![m(0, 3.0), m(2, 7.0)],
+            vec![m(1, 1.0), m(3, 9.0)],
+            vec![m(4, 5.0)],
+        ];
+        let merged = merge_shard_matches(3, &shards);
+        let ids: Vec<u64> = merged.iter().map(|x| x.traj.0).collect();
+        assert_eq!(ids, vec![1, 0, 4]);
+    }
+
+    #[test]
+    fn ties_break_by_trajectory_id() {
+        let shards = vec![vec![m(7, 2.0)], vec![m(3, 2.0)], vec![m(5, 2.0)]];
+        let merged = merge_shard_matches(2, &shards);
+        let ids: Vec<u64> = merged.iter().map(|x| x.traj.0).collect();
+        assert_eq!(ids, vec![3, 5]);
+    }
+
+    #[test]
+    fn shorter_lists_and_small_k() {
+        let shards = vec![vec![m(0, 1.0)], Vec::new()];
+        assert_eq!(merge_shard_matches(5, &shards).len(), 1);
+        assert!(merge_shard_matches(0, &shards).is_empty());
+    }
+
+    #[test]
+    fn duplicate_trajectories_keep_the_smallest_value() {
+        // Shards should partition trajectories; if they don't, the merge
+        // must not report the same trajectory twice.
+        let shards = vec![vec![m(1, 4.0), m(2, 6.0)], vec![m(1, 2.0)]];
+        let merged = merge_shard_matches(2, &shards);
+        let ids: Vec<u64> = merged.iter().map(|x| x.traj.0).collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert!((merged[0].dissim - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nn_merge_orders_by_distance() {
+        let nn = |traj: u64, d: f64| NnMatch {
+            traj: TrajectoryId(traj),
+            distance: d,
+            time: d * 2.0,
+        };
+        let shards = vec![vec![nn(0, 0.5), nn(1, 3.0)], vec![nn(2, 1.5)]];
+        let merged = merge_shard_nn(2, &shards);
+        let ids: Vec<u64> = merged.iter().map(|x| x.traj.0).collect();
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let a = vec![vec![m(0, 3.0)], vec![m(1, 1.0)], vec![m(2, 2.0)]];
+        let mut b = a.clone();
+        b.reverse();
+        // Same multiset of shard answers, different arrival order: the
+        // per-shard lists are keyed by content, not position.
+        assert_eq!(merge_shard_matches(2, &a), merge_shard_matches(2, &b));
+    }
+}

@@ -33,6 +33,13 @@ pub enum PruningBound {
     OptDissimInc,
     /// MINDISSIMINC, the node-level bound of heuristic 2.
     MinDissimInc,
+    /// The cross-shard shared kth-bound of the concurrent executor: a
+    /// monotonically tightened upper bound on the *global* kth DISSIM,
+    /// published by whichever shard discovers it first. An eval or prune is
+    /// attributed here only when the shared bound was the binding
+    /// constraint — the purely shard-local threshold alone would not have
+    /// fired.
+    SharedKth,
 }
 
 /// Candidate lifecycle accounting. The ledger balances by construction:
@@ -76,6 +83,12 @@ pub struct PruningCounters {
     pub min_dissim_inc_evals: u64,
     /// Queued nodes discarded unvisited when heuristic 2 fired.
     pub min_dissim_inc_prunes: u64,
+    /// Reads of the cross-shard shared kth bound that were strictly tighter
+    /// than the shard-local threshold.
+    pub shared_kth_evals: u64,
+    /// Prunes (candidates or queued nodes) where only the shared bound
+    /// cleared the threshold — work another shard's discovery killed.
+    pub shared_kth_prunes: u64,
 }
 
 /// One query's complete observability record.
@@ -162,6 +175,8 @@ impl QueryProfile {
         self.pruning.opt_dissim_inc_prunes += other.pruning.opt_dissim_inc_prunes;
         self.pruning.min_dissim_inc_evals += other.pruning.min_dissim_inc_evals;
         self.pruning.min_dissim_inc_prunes += other.pruning.min_dissim_inc_prunes;
+        self.pruning.shared_kth_evals += other.pruning.shared_kth_evals;
+        self.pruning.shared_kth_prunes += other.pruning.shared_kth_prunes;
         self.early_terminations += other.early_terminations;
     }
 
@@ -310,6 +325,7 @@ impl QueryMetrics for QueryProfile {
             PruningBound::PesDissim => self.pruning.pes_dissim_evals += n,
             PruningBound::OptDissimInc => self.pruning.opt_dissim_inc_evals += n,
             PruningBound::MinDissimInc => self.pruning.min_dissim_inc_evals += n,
+            PruningBound::SharedKth => self.pruning.shared_kth_evals += n,
         }
     }
 
@@ -320,6 +336,7 @@ impl QueryMetrics for QueryProfile {
             PruningBound::PesDissim => self.pruning.pes_dissim_tightenings += n,
             PruningBound::OptDissimInc => self.pruning.opt_dissim_inc_prunes += n,
             PruningBound::MinDissimInc => self.pruning.min_dissim_inc_prunes += n,
+            PruningBound::SharedKth => self.pruning.shared_kth_prunes += n,
         }
     }
 
@@ -395,6 +412,8 @@ mod tests {
         b.node_access(2);
         b.buffer_hit();
         b.bound_evals(PruningBound::Ldd, 3);
+        b.bound_evals(PruningBound::SharedKth, 2);
+        b.pruned_by(PruningBound::SharedKth, 1);
         b.candidate_seen();
         b.candidate_pruned();
         a.merge(&b);
@@ -402,6 +421,8 @@ mod tests {
         assert_eq!(a.heap_pushes, 1);
         assert_eq!(a.buffer_hits, 1);
         assert_eq!(a.pruning.ldd_evals, 3);
+        assert_eq!(a.pruning.shared_kth_evals, 2);
+        assert_eq!(a.pruning.shared_kth_prunes, 1);
         assert_eq!(a.candidates.seen, 2);
         assert!(a.is_consistent());
     }

@@ -17,7 +17,8 @@ use mst_index::{Node, PageId, TrajectoryIndex};
 use mst_trajectory::kinematics::DistanceTrinomial;
 use mst_trajectory::{TimeInterval, Trajectory, TrajectoryId};
 
-use crate::metrics::{NoopSink, QueryMetrics};
+use crate::metrics::{NoopSink, PruningBound, QueryMetrics};
+use crate::share::{BoundShare, NoShare};
 use crate::{Result, SearchError};
 
 /// One nearest-neighbour answer.
@@ -73,8 +74,38 @@ pub fn nearest_trajectories_traced<I: TrajectoryIndex, M: QueryMetrics>(
     k: usize,
     metrics: &mut M,
 ) -> Result<Vec<NnMatch>> {
+    Ok(nearest_trajectories_shared(index, query, period, k, &NoShare, metrics)?.matches)
+}
+
+/// Outcome of a shared/partitioned nearest-neighbour search.
+#[derive(Debug, Clone, Default)]
+pub struct NnOutcome {
+    /// Up to k nearest trajectories, ascending approach distance.
+    pub matches: Vec<NnMatch>,
+    /// True when [`BoundShare::poll_stop`] abandoned the traversal (e.g. a
+    /// deadline): `matches` is best-so-far and may be incomplete.
+    pub deadline_hit: bool,
+}
+
+/// [`nearest_trajectories_traced`] with cooperative pruning: `share`
+/// injects an external upper bound on the global kth approach distance
+/// into the termination test, receives every local kth improvement, and
+/// can stop the traversal (deadlines). With [`NoShare`] this *is* the
+/// traced search. The closest-approach distance is a min-aggregate, so the
+/// same soundness argument as the DISSIM bound applies: another shard's
+/// kth best distance upper-bounds the global kth, and every node farther
+/// than it is irrelevant on this shard too.
+pub fn nearest_trajectories_shared<I: TrajectoryIndex, M: QueryMetrics, B: BoundShare>(
+    index: &mut I,
+    query: &Trajectory,
+    period: &TimeInterval,
+    k: usize,
+    share: &B,
+    metrics: &mut M,
+) -> Result<NnOutcome> {
+    let mut outcome = NnOutcome::default();
     if k == 0 {
-        return Ok(Vec::new());
+        return Ok(outcome);
     }
     if !query.covers(period) {
         return Err(SearchError::QueryOutsidePeriod {
@@ -97,14 +128,39 @@ pub fn nearest_trajectories_traced<I: TrajectoryIndex, M: QueryMetrics>(
 
     while let Some(Reverse(head)) = heap.pop() {
         metrics.heap_pop();
+        // Cooperative cancellation (per-query deadlines).
+        if share.poll_stop() {
+            outcome.deadline_hit = true;
+            break;
+        }
         // Termination: the k-th best candidate distance cannot improve once
-        // every remaining node is farther away.
-        if best.len() >= k {
+        // every remaining node is farther away. The local kth feeds the
+        // shared bound, and the shared bound (the global kth, possibly
+        // discovered on another shard) terminates this shard even before k
+        // local candidates exist.
+        let local_kth = if best.len() >= k {
             let mut dists: Vec<f64> = best.values().map(|&(d, _)| d).collect();
             let (_, kth, _) = dists.select_nth_unstable_by(k - 1, f64::total_cmp);
-            if head.mindist > *kth {
-                break;
+            let kth = *kth;
+            if kth.is_finite() {
+                share.publish_kth(kth);
             }
+            kth
+        } else {
+            f64::INFINITY
+        };
+        let hint = share.kth_hint();
+        if hint < local_kth {
+            metrics.bound_evals(PruningBound::SharedKth, 1);
+        }
+        let tau = local_kth.min(hint);
+        if head.mindist > tau {
+            if head.mindist <= local_kth {
+                // Only the shared bound justified stopping here: the whole
+                // remaining queue is another shard's kill.
+                metrics.pruned_by(PruningBound::SharedKth, heap.len() as u64 + 1);
+            }
+            break;
         }
         match index.read_node_traced(head.page, metrics)? {
             Node::Leaf { entries, .. } => {
@@ -156,7 +212,8 @@ pub fn nearest_trajectories_traced<I: TrajectoryIndex, M: QueryMetrics>(
         .collect();
     out.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.traj.cmp(&b.traj)));
     out.truncate(k);
-    Ok(out)
+    outcome.matches = out;
+    Ok(outcome)
 }
 
 /// Closest approach between the query and one data segment over `window`:

@@ -177,6 +177,27 @@ impl<'a> KmstQuery<'a> {
         self.period.unwrap_or_else(|| self.query.time())
     }
 
+    /// Freezes the builder into an owned, thread-shippable [`KmstSpec`]:
+    /// the period resolved, the configuration fixed, and the query
+    /// trajectory cloned out of the borrow. Batch executors collect specs
+    /// and run them on worker threads. Fails eagerly if the query
+    /// trajectory does not cover the resolved period — the same check the
+    /// search would make, surfaced before the batch is submitted.
+    pub fn spec(&self) -> Result<KmstSpec> {
+        let period = self.resolved_period();
+        if !self.query.covers(&period) {
+            return Err(SearchError::QueryOutsidePeriod {
+                period: (period.start(), period.end()),
+                valid: (self.query.start_time(), self.query.end_time()),
+            });
+        }
+        Ok(KmstSpec {
+            query: self.query.clone(),
+            period,
+            config: self.config,
+        })
+    }
+
     /// Runs the query with observability: search events are fed into
     /// `metrics`.
     pub fn run_traced<I: TrajectoryIndexWrite, M: QueryMetrics>(
@@ -205,6 +226,35 @@ impl<'a> KmstQuery<'a> {
         let matches = self.run_traced(db, &mut profile)?;
         Ok((matches, profile))
     }
+}
+
+/// An owned, fully resolved k-MST query, detached from the builder's
+/// borrows so it can be shipped to worker threads. Produced by
+/// [`KmstQuery::spec`]; consumed by batch executors, which run it against
+/// each shard with [`crate::bfmst::bfmst_search_shared`] and merge with
+/// [`crate::merge::merge_shard_matches`].
+#[derive(Debug, Clone)]
+pub struct KmstSpec {
+    /// The query trajectory.
+    pub query: Trajectory,
+    /// The resolved query period (the trajectory covers it, validated at
+    /// spec construction).
+    pub period: TimeInterval,
+    /// The full search configuration.
+    pub config: MstConfig,
+}
+
+/// An owned, fully resolved trajectory-kNN query, detached from the
+/// builder's borrows. Produced by [`KnnQuery::spec`].
+#[derive(Debug, Clone)]
+pub struct KnnSpec {
+    /// The query trajectory.
+    pub query: Trajectory,
+    /// The resolved query period (the trajectory covers it, validated at
+    /// spec construction).
+    pub period: TimeInterval,
+    /// Number of nearest trajectories to return.
+    pub k: usize,
 }
 
 /// Builder of a time-relaxed k-MST query. Created by
@@ -288,6 +338,24 @@ impl<'a> KnnQuery<'a> {
     pub fn during(mut self, period: &TimeInterval) -> Self {
         self.period = Some(*period);
         self
+    }
+
+    /// Freezes the builder into an owned, thread-shippable [`KnnSpec`]
+    /// (see [`KmstQuery::spec`] for the batch-execution story). Fails
+    /// eagerly if the query trajectory does not cover the resolved period.
+    pub fn spec(&self) -> Result<KnnSpec> {
+        let period = self.period.unwrap_or_else(|| self.query.time());
+        if !self.query.covers(&period) {
+            return Err(SearchError::QueryOutsidePeriod {
+                period: (period.start(), period.end()),
+                valid: (self.query.start_time(), self.query.end_time()),
+            });
+        }
+        Ok(KnnSpec {
+            query: self.query.clone(),
+            period,
+            k: self.k,
+        })
     }
 
     /// Runs the query with observability: search events are fed into
@@ -461,6 +529,29 @@ mod tests {
         let ra = query.run(&mut a).unwrap();
         let rb = query.run(&mut b).unwrap();
         assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn specs_freeze_the_builder_and_validate_coverage() {
+        let db = db_with_lines(3);
+        let q = db.trajectory(TrajectoryId(0)).unwrap();
+        let spec = Query::kmst(&q).k(2).within(9.0).spec().unwrap();
+        assert_eq!(spec.config.k, 2);
+        assert_eq!(spec.config.max_dissim, Some(9.0));
+        assert_eq!(spec.period, q.time());
+        // A period the query does not cover fails at spec time, before any
+        // batch is submitted.
+        let outside = TimeInterval::new(0.0, 100.0).unwrap();
+        assert!(matches!(
+            Query::kmst(&q).during(&outside).spec(),
+            Err(SearchError::QueryOutsidePeriod { .. })
+        ));
+        assert!(matches!(
+            Query::knn(&q).k(3).during(&outside).spec(),
+            Err(SearchError::QueryOutsidePeriod { .. })
+        ));
+        let nn_spec = Query::knn(&q).k(3).spec().unwrap();
+        assert_eq!(nn_spec.k, 3);
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! The batch executor: a fixed worker pool draining (query, shard) jobs
+//! off the bounded queue, with per-query cross-shard bound sharing and
+//! deadline enforcement.
+//!
+//! # Execution model
+//!
+//! A batch of Q queries over P shards becomes Q x P independent jobs.
+//! Workers pull jobs MPMC-style, so a long query on one shard never stalls
+//! the rest of the batch; all jobs of one query share that query's
+//! [`QueryControl`] — the atomic kth bound, the deadline, and the latency
+//! marks. Results land in per-job slots, so the output order is the
+//! submission order regardless of scheduling.
+//!
+//! # Determinism
+//!
+//! With no deadline, batch answers are bit-identical across worker and
+//! shard counts, and identical to the single-threaded
+//! [`Query::run`](mst_search::Query) answer on an unsharded database: the
+//! shared bound is sound (it only ever prunes candidates strictly above a
+//! certified global-kth upper bound, with strict comparisons protecting
+//! ties), per-shard values come from exact recomputation, and the merge is
+//! a total order (value, then trajectory id). Scheduling changes *work*
+//! (how much each shard prunes), never *answers*; the work shows up in
+//! the merged [`QueryProfile`] instead.
+
+use mst_index::TrajectoryIndex;
+use mst_search::{MstMatch, NnMatch, QueryProfile};
+
+use crate::bound::QueryControl;
+use crate::clock::Stopwatch;
+use crate::queue::JobQueue;
+use crate::shard::ShardedDatabase;
+use crate::{BatchQuery, ExecError};
+
+/// The merged answer of one batch query.
+#[derive(Debug, Clone)]
+pub enum QueryAnswer {
+    /// k-MST / range-MST matches, ascending dissimilarity.
+    Kmst(Vec<MstMatch>),
+    /// Trajectory-kNN matches, ascending closest-approach distance.
+    Knn(Vec<NnMatch>),
+}
+
+impl QueryAnswer {
+    /// The matches as k-MST results, if this was a k-MST query.
+    pub fn as_kmst(&self) -> Option<&[MstMatch]> {
+        match self {
+            QueryAnswer::Kmst(m) => Some(m),
+            QueryAnswer::Knn(_) => None,
+        }
+    }
+
+    /// The matches as kNN results, if this was a kNN query.
+    pub fn as_knn(&self) -> Option<&[NnMatch]> {
+        match self {
+            QueryAnswer::Knn(m) => Some(m),
+            QueryAnswer::Kmst(_) => None,
+        }
+    }
+
+    /// Number of matches, either flavour.
+    pub fn len(&self) -> usize {
+        match self {
+            QueryAnswer::Kmst(m) => m.len(),
+            QueryAnswer::Knn(m) => m.len(),
+        }
+    }
+
+    /// True when no trajectory matched.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Everything the executor knows about one finished query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The globally merged top-k answer.
+    pub answer: QueryAnswer,
+    /// Work counters merged across the query's shard jobs (in shard
+    /// order). The candidate ledger stays balanced under the merge.
+    pub profile: QueryProfile,
+    /// True when the deadline cut at least one shard job short: `answer`
+    /// is best-so-far, not certified complete.
+    pub degraded: bool,
+    /// Wall time from the query's first shard job starting to its last
+    /// finishing, in microseconds. Queue wait before the first start is
+    /// excluded; deadlines, by contrast, run from batch submission.
+    pub latency_us: u64,
+}
+
+impl QueryOutcome {
+    /// Latency in milliseconds, for reporting.
+    pub fn latency_ms(&self) -> f64 {
+        self.latency_us as f64 / 1000.0
+    }
+}
+
+/// The outcome of a whole batch, in submission order.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One entry per submitted query, in submission order.
+    pub outcomes: Vec<Result<QueryOutcome, ExecError>>,
+}
+
+impl BatchOutcome {
+    /// Number of queries whose deadline cut them short.
+    pub fn degraded_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.as_ref().is_ok_and(|q| q.degraded))
+            .count()
+    }
+
+    /// Work counters merged across every successful query.
+    pub fn merged_profile(&self) -> QueryProfile {
+        let mut total = QueryProfile::default();
+        for outcome in self.outcomes.iter().flatten() {
+            total.merge(&outcome.profile);
+        }
+        total
+    }
+}
+
+/// A reusable batch-execution configuration: worker count, queue bound,
+/// and the per-query deadline.
+///
+/// ```no_run
+/// use mst_exec::{BatchExecutor, BatchQuery, ShardedDatabase};
+/// use mst_search::Query;
+/// # fn demo(db: &ShardedDatabase<mst_index::Rtree3D>,
+/// #         q: &mst_trajectory::Trajectory) -> Result<(), mst_exec::ExecError> {
+/// let batch = vec![BatchQuery::kmst(Query::kmst(q).k(5))?];
+/// let outcome = BatchExecutor::new().workers(4).run(db, batch);
+/// for result in &outcome.outcomes {
+///     let query = result.as_ref().expect("query failed");
+///     println!("{} matches in {:.2} ms", query.answer.len(), query.latency_ms());
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchExecutor {
+    workers: usize,
+    queue_capacity: usize,
+    deadline_us: Option<u64>,
+}
+
+impl Default for BatchExecutor {
+    fn default() -> Self {
+        BatchExecutor::new()
+    }
+}
+
+/// What one (query, shard) job hands back through its slot.
+enum JobResult {
+    Kmst(Vec<MstMatch>),
+    Knn(Vec<NnMatch>),
+    Failed(mst_search::SearchError),
+}
+
+/// A job's drop box: its answer plus the work profile it accumulated.
+type ResultSlot = std::sync::Mutex<Option<(JobResult, QueryProfile)>>;
+
+/// One unit of work: query `query` of the batch against shard `shard`.
+#[derive(Clone, Copy)]
+struct Job {
+    query: usize,
+    shard: usize,
+}
+
+impl BatchExecutor {
+    /// An executor with one worker, a queue bound matching the worker
+    /// count, and no deadline.
+    pub fn new() -> Self {
+        BatchExecutor {
+            workers: 1,
+            queue_capacity: 0,
+            deadline_us: None,
+        }
+    }
+
+    /// Sets the number of worker threads (minimum 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the job-queue bound. Defaults to `2 x workers`, enough to keep
+    /// every worker fed while still applying backpressure to submission.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets a per-query deadline in microseconds, measured from batch
+    /// submission. A query that exceeds it stops early and reports
+    /// `degraded: true` with its best-so-far answer.
+    pub fn deadline_us(mut self, deadline: u64) -> Self {
+        self.deadline_us = Some(deadline);
+        self
+    }
+
+    /// Removes the deadline (the default).
+    pub fn no_deadline(mut self) -> Self {
+        self.deadline_us = None;
+        self
+    }
+
+    /// Runs a batch against a sharded database and returns per-query
+    /// outcomes in submission order.
+    ///
+    /// Spawns the configured worker pool for the duration of the batch
+    /// (scoped threads — no `'static` bounds, no leaked threads), feeds
+    /// the Q x P (query, shard) jobs through the bounded queue, and merges
+    /// each query's shard answers once all its jobs finish.
+    pub fn run<I>(&self, db: &ShardedDatabase<I>, queries: Vec<BatchQuery>) -> BatchOutcome
+    where
+        I: TrajectoryIndex + Send,
+    {
+        let num_shards = db.num_shards();
+        let num_queries = queries.len();
+        if num_queries == 0 || num_shards == 0 {
+            return BatchOutcome {
+                outcomes: Vec::new(),
+            };
+        }
+
+        let clock = Stopwatch::start();
+        let controls: Vec<QueryControl> = (0..num_queries)
+            .map(|_| QueryControl::new(clock, self.deadline_us))
+            .collect();
+        // One slot per (query, shard) job; each job is executed exactly
+        // once, so slot mutexes are uncontended.
+        let slots: Vec<ResultSlot> = (0..num_queries * num_shards)
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
+        let capacity = if self.queue_capacity == 0 {
+            self.workers * 2
+        } else {
+            self.queue_capacity
+        };
+        let queue: JobQueue<Job> = JobQueue::new(capacity);
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                let queue = &queue;
+                let queries = &queries;
+                let controls = &controls;
+                let slots = &slots;
+                scope.spawn(move || {
+                    while let Some(job) = queue.pop() {
+                        let control = &controls[job.query];
+                        let shard = &db.shards()[job.shard];
+                        control.mark_start();
+                        let mut profile = QueryProfile::default();
+                        let result = match &queries[job.query] {
+                            BatchQuery::Kmst(spec) => shard
+                                .run_kmst(spec, control, &mut profile)
+                                .map(|report| JobResult::Kmst(report.matches)),
+                            BatchQuery::Knn(spec) => shard
+                                .run_knn(spec, control, &mut profile)
+                                .map(|outcome| JobResult::Knn(outcome.matches)),
+                        };
+                        control.mark_end();
+                        let slot = &slots[job.query * num_shards + job.shard];
+                        if let Ok(mut slot) = slot.lock() {
+                            *slot = Some(match result {
+                                Ok(r) => (r, profile),
+                                Err(e) => (JobResult::Failed(e), profile),
+                            });
+                        }
+                    }
+                });
+            }
+
+            // This thread is the producer: enqueue all jobs, then close so
+            // workers drain and exit before the scope joins them.
+            for query in 0..num_queries {
+                for shard in 0..num_shards {
+                    if queue.push(Job { query, shard }).is_err() {
+                        break;
+                    }
+                }
+            }
+            queue.close();
+        });
+
+        let mut outcomes = Vec::with_capacity(num_queries);
+        for (q, (query, control)) in queries.iter().zip(&controls).enumerate() {
+            outcomes.push(Self::collect_query(q, query, control, &slots, num_shards));
+        }
+        BatchOutcome { outcomes }
+    }
+
+    /// Merges the per-shard slot results of one query, in shard order.
+    fn collect_query(
+        q: usize,
+        query: &BatchQuery,
+        control: &QueryControl,
+        slots: &[ResultSlot],
+        num_shards: usize,
+    ) -> Result<QueryOutcome, ExecError> {
+        let mut profile = QueryProfile::default();
+        let mut kmst_lists: Vec<Vec<MstMatch>> = Vec::new();
+        let mut knn_lists: Vec<Vec<NnMatch>> = Vec::new();
+        for shard in 0..num_shards {
+            let taken = slots[q * num_shards + shard]
+                .lock()
+                .ok()
+                .and_then(|mut s| s.take());
+            let Some((result, shard_profile)) = taken else {
+                return Err(ExecError::Lost { query: q, shard });
+            };
+            profile.merge(&shard_profile);
+            match result {
+                JobResult::Kmst(matches) => kmst_lists.push(matches),
+                JobResult::Knn(matches) => knn_lists.push(matches),
+                JobResult::Failed(e) => return Err(ExecError::Search(e)),
+            }
+        }
+        let answer = match query {
+            BatchQuery::Kmst(spec) => {
+                QueryAnswer::Kmst(mst_search::merge_shard_matches(spec.config.k, &kmst_lists))
+            }
+            BatchQuery::Knn(spec) => {
+                QueryAnswer::Knn(mst_search::merge_shard_nn(spec.k, &knn_lists))
+            }
+        };
+        Ok(QueryOutcome {
+            answer,
+            profile,
+            degraded: control.is_degraded(),
+            latency_us: control.latency_us(),
+        })
+    }
+}

@@ -1,0 +1,56 @@
+//! The executor's clock — the single module of the library crates allowed
+//! to touch `std::time` (xtask rule R5 whitelists exactly this file).
+//!
+//! R5 exists to keep *measurement* out of library code: work counters
+//! belong in [`mst_search::QueryProfile`], wall time in `crates/bench`.
+//! Deadlines are different — they are *scheduling inputs*, not
+//! measurements: "give up after 50 ms" is part of the query contract, and
+//! enforcing it requires reading a monotonic clock while the query runs.
+//! Everything time-shaped in the executor funnels through this module so
+//! the exemption stays one file wide; the rest of the crate deals in plain
+//! microsecond integers.
+
+use std::time::Instant;
+
+/// A monotonic stopwatch started at batch submission. All executor
+/// timestamps (deadlines, per-query latencies) are microsecond offsets
+/// from one of these, so they are totally ordered and immune to wall-clock
+/// adjustments.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    origin: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the stopwatch now.
+    pub fn start() -> Self {
+        Stopwatch {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed since [`Stopwatch::start`]. Saturates at
+    /// `u64::MAX` (≈ 584 000 years), so arithmetic on offsets cannot
+    /// overflow in practice.
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_us();
+        let mut spin = 0u64;
+        for i in 0..10_000u64 {
+            spin = spin.wrapping_add(i);
+        }
+        std::hint::black_box(spin);
+        let b = sw.elapsed_us();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,150 @@
+//! Sharded, multi-threaded batch query execution for the MST
+//! reproduction.
+//!
+//! The paper evaluates one query at a time against one index. A service
+//! built on its algorithms faces a different shape of load: batches of
+//! k-MST / trajectory-kNN queries against a dataset too hot for a single
+//! index and buffer pool. This crate adds that execution layer without
+//! touching the algorithms:
+//!
+//! * [`ShardedDatabase`] partitions trajectories by object across P
+//!   shards, each with its own index (3D R-tree or TB-tree) and private
+//!   LRU buffer pool ([`mst_index::ConcurrentIndex`] makes each shard
+//!   thread-shareable).
+//! * [`BatchExecutor`] runs a fixed `std::thread` worker pool over a
+//!   bounded MPMC [`JobQueue`], decomposing each query into per-shard
+//!   jobs and merging the per-shard top-k lists into the global answer
+//!   ([`mst_search::merge_shard_matches`]); results come back in
+//!   submission order.
+//! * Jobs of one query cooperate across shards through a
+//!   [`SharedBound`]: a lock-free, monotonically tightening upper bound
+//!   on the query's global kth dissimilarity, folded into every shard's
+//!   pruning threshold ([`mst_search::BoundShare`]), so a good match
+//!   found on one shard prunes candidates on all the others.
+//! * Per-query deadlines degrade gracefully: an expired query stops
+//!   early and reports `degraded: true` with its best-so-far answer and
+//!   a consistent work profile.
+//!
+//! Everything is std-only, in keeping with the workspace's
+//! zero-dependency rule.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod batch;
+pub mod bound;
+pub mod clock;
+pub mod queue;
+pub mod shard;
+
+pub use batch::{BatchExecutor, BatchOutcome, QueryAnswer, QueryOutcome};
+pub use bound::{QueryControl, SharedBound};
+pub use clock::Stopwatch;
+pub use queue::JobQueue;
+pub use shard::{Shard, ShardedDatabase};
+
+use mst_search::{KmstQuery, KmstSpec, KnnQuery, KnnSpec, SearchError};
+
+/// A query of a batch: an owned, validated spec produced by the same
+/// [`Query`](mst_search::Query) builder the single-threaded API uses.
+///
+/// ```
+/// use mst_exec::BatchQuery;
+/// use mst_search::Query;
+/// use mst_trajectory::{SamplePoint, Trajectory};
+///
+/// let q = Trajectory::new(vec![
+///     SamplePoint::new(0.0, 0.0, 0.0),
+///     SamplePoint::new(10.0, 5.0, 5.0),
+/// ])
+/// .unwrap();
+/// let batch = vec![
+///     BatchQuery::kmst(Query::kmst(&q).k(3))?,
+///     BatchQuery::knn(Query::knn(&q).k(2))?,
+/// ];
+/// assert_eq!(batch.len(), 2);
+/// # Ok::<(), mst_exec::ExecError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub enum BatchQuery {
+    /// A k-MST / range-MST query.
+    Kmst(KmstSpec),
+    /// A trajectory-kNN query.
+    Knn(KnnSpec),
+}
+
+impl BatchQuery {
+    /// Freezes a k-MST builder into a batch query (validates that the
+    /// query trajectory covers the query period).
+    pub fn kmst(builder: KmstQuery<'_>) -> Result<Self> {
+        Ok(BatchQuery::Kmst(builder.spec()?))
+    }
+
+    /// Freezes a kNN builder into a batch query.
+    pub fn knn(builder: KnnQuery<'_>) -> Result<Self> {
+        Ok(BatchQuery::Knn(builder.spec()?))
+    }
+}
+
+impl From<KmstSpec> for BatchQuery {
+    fn from(spec: KmstSpec) -> Self {
+        BatchQuery::Kmst(spec)
+    }
+}
+
+impl From<KnnSpec> for BatchQuery {
+    fn from(spec: KnnSpec) -> Self {
+        BatchQuery::Knn(spec)
+    }
+}
+
+/// Errors of the execution layer.
+#[derive(Debug)]
+pub enum ExecError {
+    /// A search or index operation failed on some shard.
+    Search(SearchError),
+    /// The executor or database was misconfigured.
+    Config(&'static str),
+    /// A (query, shard) job produced no result — its worker died without
+    /// reporting. Indicates a panic somewhere a panic should be
+    /// impossible; the rest of the batch is unaffected.
+    Lost {
+        /// Batch position of the affected query.
+        query: usize,
+        /// Shard whose job went missing.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Search(e) => write!(f, "shard search failed: {e}"),
+            ExecError::Config(what) => write!(f, "executor misconfigured: {what}"),
+            ExecError::Lost { query, shard } => {
+                write!(
+                    f,
+                    "job for query {query} on shard {shard} reported no result"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Search(e) => Some(e),
+            ExecError::Config(_) | ExecError::Lost { .. } => None,
+        }
+    }
+}
+
+impl From<SearchError> for ExecError {
+    fn from(e: SearchError) -> Self {
+        ExecError::Search(e)
+    }
+}
+
+/// Result alias for the execution crate.
+pub type Result<T> = std::result::Result<T, ExecError>;

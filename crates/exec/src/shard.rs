@@ -1,0 +1,302 @@
+//! Horizontal partitioning of a trajectory database into independently
+//! indexed shards.
+//!
+//! # Shard routing
+//!
+//! Trajectories are assigned by identity hash: object `id` lives on shard
+//! `id % P`. Routing is pure and stateless — any thread can compute it —
+//! and because the DISSIM candidate set of a query is a set of *whole
+//! trajectories*, partitioning by object keeps every candidate's segments
+//! on one shard. A k-MST/kNN query therefore decomposes into P
+//! independent shard searches whose per-shard top-k lists merge losslessly
+//! into the global answer ([`mst_search::merge_shard_matches`]).
+//!
+//! Each shard owns a complete vertical slice: its own index (3D R-tree or
+//! TB-tree) with its own private LRU buffer pool, and its own
+//! [`TrajectoryStore`] snapshot. Shards share nothing mutable, so P shards
+//! scale page caching and index traversal independently; within a shard,
+//! concurrent jobs serialize on node fetches through
+//! [`mst_index::ConcurrentIndex`].
+//!
+//! Per-shard `Vmax`: each shard's index reports the maximum speed of *its*
+//! objects, which is at most the global `Vmax`. MINDIST expansion and
+//! OPTDISSIM use the shard-local value — a tighter, still sound bound
+//! (the paper's Lemma 2 argument needs only "no object in this index moves
+//! faster than `Vmax`", a per-shard fact).
+
+use mst_index::{
+    ConcurrentIndex, LeafEntry, Rtree3D, TbTree, TrajectoryIndex, TrajectoryIndexWrite,
+};
+use mst_search::{
+    bfmst_search_shared, nearest_trajectories_shared, BoundShare, KmstSpec, KnnSpec, NnOutcome,
+    QueryMetrics, SearchReport, TrajectoryStore,
+};
+use mst_trajectory::{Trajectory, TrajectoryId};
+
+use crate::{ExecError, Result};
+
+/// One shard: a private index plus the trajectory snapshot of the objects
+/// routed to it.
+pub struct Shard<I> {
+    index: ConcurrentIndex<I>,
+    store: TrajectoryStore,
+}
+
+impl<I: TrajectoryIndex> Shard<I> {
+    /// The shard's trajectory snapshot.
+    pub fn store(&self) -> &TrajectoryStore {
+        &self.store
+    }
+
+    /// The shard's index, wrapped for concurrent read access.
+    pub fn index(&self) -> &ConcurrentIndex<I> {
+        &self.index
+    }
+
+    /// Runs one k-MST query against this shard, folding `share` into the
+    /// pruning threshold (and publishing local kth improvements back).
+    pub fn run_kmst<B: BoundShare, M: QueryMetrics>(
+        &self,
+        spec: &KmstSpec,
+        share: &B,
+        metrics: &mut M,
+    ) -> mst_search::Result<SearchReport> {
+        let mut reader = self.index.reader();
+        bfmst_search_shared(
+            &mut reader,
+            &self.store,
+            &spec.query,
+            &spec.period,
+            &spec.config,
+            share,
+            metrics,
+        )
+    }
+
+    /// Runs one trajectory-kNN query against this shard.
+    pub fn run_knn<B: BoundShare, M: QueryMetrics>(
+        &self,
+        spec: &KnnSpec,
+        share: &B,
+        metrics: &mut M,
+    ) -> mst_search::Result<NnOutcome> {
+        let mut reader = self.index.reader();
+        nearest_trajectories_shared(
+            &mut reader,
+            &spec.query,
+            &spec.period,
+            spec.k,
+            share,
+            metrics,
+        )
+    }
+}
+
+/// A trajectory database partitioned across P shards, each with its own
+/// index and buffer pool, shareable across threads by reference.
+///
+/// ```
+/// use mst_exec::ShardedDatabase;
+/// use mst_trajectory::{SamplePoint, Trajectory, TrajectoryId};
+///
+/// let trajs: Vec<_> = (0..4u64)
+///     .map(|id| {
+///         let pts = (0..10).map(|i| SamplePoint::new(f64::from(i), id as f64, 0.0));
+///         (TrajectoryId(id), Trajectory::new(pts.collect()).unwrap())
+///     })
+///     .collect();
+/// let db = ShardedDatabase::with_rtree(2, trajs)?;
+/// assert_eq!(db.num_shards(), 2);
+/// assert_eq!(db.num_objects(), 4);
+/// assert_eq!(db.shard_of(TrajectoryId(3)), 1);
+/// # Ok::<(), mst_exec::ExecError>(())
+/// ```
+pub struct ShardedDatabase<I> {
+    shards: Vec<Shard<I>>,
+}
+
+impl ShardedDatabase<Rtree3D> {
+    /// Partitions `trajectories` across `num_shards` 3D R-trees.
+    pub fn with_rtree(
+        num_shards: usize,
+        trajectories: impl IntoIterator<Item = (TrajectoryId, Trajectory)>,
+    ) -> Result<Self> {
+        ShardedDatabase::build(num_shards, Rtree3D::new, trajectories)
+    }
+}
+
+impl ShardedDatabase<TbTree> {
+    /// Partitions `trajectories` across `num_shards` TB-trees.
+    pub fn with_tbtree(
+        num_shards: usize,
+        trajectories: impl IntoIterator<Item = (TrajectoryId, Trajectory)>,
+    ) -> Result<Self> {
+        ShardedDatabase::build(num_shards, TbTree::new, trajectories)
+    }
+}
+
+impl<I: TrajectoryIndexWrite> ShardedDatabase<I> {
+    /// Partitions `trajectories` across `num_shards` indexes created by
+    /// `make_index`. Segments are inserted in global temporal order (by
+    /// segment start time, then object, then sequence), mimicking the
+    /// arrival order of a live position feed — the regime the TB-tree's
+    /// page-chaining is designed for — and making shard construction
+    /// deterministic for any input order.
+    pub fn build(
+        num_shards: usize,
+        make_index: impl Fn() -> I,
+        trajectories: impl IntoIterator<Item = (TrajectoryId, Trajectory)>,
+    ) -> Result<Self> {
+        if num_shards == 0 {
+            return Err(ExecError::Config(
+                "a sharded database needs at least one shard",
+            ));
+        }
+        let mut stores: Vec<TrajectoryStore> =
+            (0..num_shards).map(|_| TrajectoryStore::new()).collect();
+        let mut entries: Vec<Vec<LeafEntry>> = (0..num_shards).map(|_| Vec::new()).collect();
+        for (id, traj) in trajectories {
+            let shard = shard_index(id, num_shards);
+            for (seq, pair) in traj.points().windows(2).enumerate() {
+                let segment = mst_trajectory::Segment::new(pair[0], pair[1])
+                    .map_err(mst_search::SearchError::Trajectory)?;
+                entries[shard].push(LeafEntry {
+                    traj: id,
+                    seq: seq as u32,
+                    segment,
+                });
+            }
+            stores[shard].insert(id, traj);
+        }
+        let mut shards = Vec::with_capacity(num_shards);
+        for (store, mut shard_entries) in stores.into_iter().zip(entries) {
+            shard_entries.sort_by(|a, b| {
+                a.segment
+                    .time()
+                    .start()
+                    .total_cmp(&b.segment.time().start())
+                    .then(a.traj.0.cmp(&b.traj.0))
+                    .then(a.seq.cmp(&b.seq))
+            });
+            let mut index = make_index();
+            for entry in shard_entries {
+                index
+                    .insert_entry(entry)
+                    .map_err(mst_search::SearchError::Index)?;
+            }
+            shards.push(Shard {
+                index: ConcurrentIndex::new(index),
+                store,
+            });
+        }
+        Ok(ShardedDatabase { shards })
+    }
+}
+
+impl<I: TrajectoryIndex> ShardedDatabase<I> {
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of stored trajectories across shards.
+    pub fn num_objects(&self) -> usize {
+        self.shards.iter().map(|s| s.store.len()).sum()
+    }
+
+    /// The shard an object is routed to.
+    pub fn shard_of(&self, id: TrajectoryId) -> usize {
+        shard_index(id, self.shards.len())
+    }
+
+    /// The shards, in routing order.
+    pub fn shards(&self) -> &[Shard<I>] {
+        &self.shards
+    }
+
+    /// A stored trajectory, looked up on its home shard.
+    pub fn trajectory(&self, id: TrajectoryId) -> Option<&Trajectory> {
+        self.shards.get(self.shard_of(id))?.store().get(id)
+    }
+
+    /// Sets every shard's buffer-pool capacity (`None` restores the
+    /// paper's sizing rule). Maintenance only — call between batches.
+    pub fn set_buffer_capacity(&self, capacity: Option<usize>) -> Result<()> {
+        for shard in &self.shards {
+            shard
+                .index
+                .with(|index| index.set_buffer_capacity(capacity))
+                .map_err(mst_search::SearchError::Index)?
+                .map_err(mst_search::SearchError::Index)?;
+        }
+        Ok(())
+    }
+}
+
+/// Pure routing function: object `id` lives on shard `id % P`.
+fn shard_index(id: TrajectoryId, num_shards: usize) -> usize {
+    (id.0 % num_shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mst_trajectory::SamplePoint;
+
+    fn traj(id: u64, y: f64, n: usize) -> (TrajectoryId, Trajectory) {
+        let pts = (0..n)
+            .map(|i| SamplePoint::new(i as f64, i as f64 * 0.5, y))
+            .collect();
+        (TrajectoryId(id), Trajectory::new(pts).expect("valid"))
+    }
+
+    #[test]
+    fn routing_partitions_every_object_exactly_once() {
+        let db =
+            ShardedDatabase::with_rtree(3, (0..10u64).map(|id| traj(id, id as f64, 8))).unwrap();
+        assert_eq!(db.num_shards(), 3);
+        assert_eq!(db.num_objects(), 10);
+        for id in 0..10u64 {
+            let id = TrajectoryId(id);
+            let home = db.shard_of(id);
+            for (s, shard) in db.shards().iter().enumerate() {
+                assert_eq!(shard.store().get(id).is_some(), s == home);
+            }
+            assert!(db.trajectory(id).is_some());
+        }
+    }
+
+    #[test]
+    fn shard_indexes_hold_only_their_objects_segments() {
+        let db =
+            ShardedDatabase::with_rtree(2, (0..6u64).map(|id| traj(id, id as f64, 5))).unwrap();
+        // 6 objects x 4 segments, split 3/3 by parity.
+        for shard in db.shards() {
+            assert_eq!(shard.index().reader().num_entries(), 3 * 4);
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_a_config_error() {
+        let r = ShardedDatabase::with_rtree(0, std::iter::empty());
+        assert!(matches!(r, Err(ExecError::Config(_))));
+    }
+
+    #[test]
+    fn tbtree_shards_build_leaf_chains() {
+        let db =
+            ShardedDatabase::with_tbtree(2, (0..4u64).map(|id| traj(id, id as f64, 6))).unwrap();
+        for shard in db.shards() {
+            assert_eq!(shard.index().chain_tip_count(), 2);
+        }
+    }
+
+    #[test]
+    fn single_shard_holds_everything() {
+        let db =
+            ShardedDatabase::with_rtree(1, (0..5u64).map(|id| traj(id, id as f64, 4))).unwrap();
+        assert_eq!(db.num_shards(), 1);
+        assert_eq!(db.shards()[0].store().len(), 5);
+        assert_eq!(db.shards()[0].index().reader().num_entries(), 5 * 3);
+    }
+}

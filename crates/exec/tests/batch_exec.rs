@@ -1,0 +1,309 @@
+//! End-to-end tests of the sharded batch executor, centred on the PR's
+//! headline guarantee: parallel, sharded execution changes *performance*,
+//! never *answers*.
+
+use mst_exec::{BatchExecutor, BatchQuery, QueryAnswer, ShardedDatabase};
+use mst_index::{TrajectoryIndex, TrajectoryIndexWrite};
+use mst_search::{MovingObjectDatabase, MstMatch, NnMatch, Query};
+use mst_trajectory::{SamplePoint, TimeInterval, Trajectory, TrajectoryId};
+
+/// A deterministic little fleet: even ids cluster near the origin lane,
+/// odd ids fan far out — so a query near the cluster finds tight matches
+/// on one shard (under 2-way sharding) and prunable stragglers on the
+/// other.
+fn fleet(n: u64, points: usize) -> Vec<(TrajectoryId, Trajectory)> {
+    (0..n)
+        .map(|id| {
+            let (dx, dy) = if id % 2 == 0 {
+                (id as f64 * 0.25, 0.5 * id as f64)
+            } else {
+                (id as f64 * 3.0, 40.0 + 7.0 * id as f64)
+            };
+            let pts = (0..points)
+                .map(|i| {
+                    let t = i as f64;
+                    SamplePoint::new(t, t * 0.8 + dx, dy + t * 0.1)
+                })
+                .collect();
+            (
+                TrajectoryId(id),
+                Trajectory::new(pts).expect("valid fleet trajectory"),
+            )
+        })
+        .collect()
+}
+
+fn baseline_db<I: TrajectoryIndexWrite>(
+    make: impl FnOnce() -> MovingObjectDatabase<I>,
+    fleet: &[(TrajectoryId, Trajectory)],
+) -> MovingObjectDatabase<I> {
+    let mut db = make();
+    for (id, traj) in fleet {
+        db.insert_trajectory(*id, traj).expect("baseline insert");
+    }
+    db
+}
+
+/// The batch used throughout: a few k-MST queries (one with a range-MST
+/// ceiling) and a couple of kNN queries, all built with the ordinary
+/// `Query` builder.
+fn batch_for(fleet: &[(TrajectoryId, Trajectory)], period: &TimeInterval) -> Vec<BatchQuery> {
+    let mut batch = Vec::new();
+    for qid in [0u64, 1, 4] {
+        let q = &fleet[qid as usize].1;
+        batch.push(BatchQuery::kmst(Query::kmst(q).k(5).during(period)).expect("kmst spec"));
+    }
+    let q = &fleet[2].1;
+    batch.push(
+        BatchQuery::kmst(Query::kmst(q).k(8).during(period).within(500.0)).expect("range spec"),
+    );
+    for qid in [0u64, 3] {
+        let q = &fleet[qid as usize].1;
+        batch.push(BatchQuery::knn(Query::knn(q).k(4).during(period)).expect("knn spec"));
+    }
+    batch
+}
+
+fn baseline_answers<I: TrajectoryIndexWrite>(
+    db: &mut MovingObjectDatabase<I>,
+    fleet: &[(TrajectoryId, Trajectory)],
+    period: &TimeInterval,
+) -> (Vec<Vec<MstMatch>>, Vec<Vec<NnMatch>>) {
+    let mut kmst = Vec::new();
+    for qid in [0u64, 1, 4] {
+        let q = &fleet[qid as usize].1;
+        kmst.push(
+            Query::kmst(q)
+                .k(5)
+                .during(period)
+                .run(db)
+                .expect("baseline kmst"),
+        );
+    }
+    let q = &fleet[2].1;
+    kmst.push(
+        Query::kmst(q)
+            .k(8)
+            .during(period)
+            .within(500.0)
+            .run(db)
+            .expect("baseline range"),
+    );
+    let mut knn = Vec::new();
+    for qid in [0u64, 3] {
+        let q = &fleet[qid as usize].1;
+        knn.push(
+            Query::knn(q)
+                .k(4)
+                .during(period)
+                .run(db)
+                .expect("baseline knn"),
+        );
+    }
+    (kmst, knn)
+}
+
+fn assert_kmst_identical(got: &[MstMatch], want: &[MstMatch], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: result count");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.traj, w.traj, "{what}: trajectory id");
+        assert_eq!(
+            g.dissim.to_bits(),
+            w.dissim.to_bits(),
+            "{what}: dissim must be bit-identical ({} vs {})",
+            g.dissim,
+            w.dissim
+        );
+    }
+}
+
+fn assert_knn_identical(got: &[NnMatch], want: &[NnMatch], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: result count");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.traj, w.traj, "{what}: trajectory id");
+        assert_eq!(
+            g.distance.to_bits(),
+            w.distance.to_bits(),
+            "{what}: distance must be bit-identical"
+        );
+    }
+}
+
+/// Satellite (a): batch answers are bit-identical for 1/2/8 workers and
+/// 1 vs 4 shards, and match the single-threaded `Query::run` baseline on
+/// the unsharded database — on both index substrates.
+#[test]
+fn batch_execution_is_deterministic_across_workers_and_shards() {
+    let fleet = fleet(24, 30);
+    let period = TimeInterval::new(0.0, 29.0).expect("period");
+
+    let mut rtree_base = baseline_db(MovingObjectDatabase::with_rtree, &fleet);
+    let rtree_want = baseline_answers(&mut rtree_base, &fleet, &period);
+    let mut tbtree_base = baseline_db(MovingObjectDatabase::with_tbtree, &fleet);
+    let tbtree_want = baseline_answers(&mut tbtree_base, &fleet, &period);
+    // The substrates agree with each other too — same exact values.
+    for (r, t) in rtree_want.0.iter().zip(&tbtree_want.0) {
+        assert_kmst_identical(r, t, "rtree vs tbtree baseline");
+    }
+
+    for shards in [1usize, 4] {
+        let rtree_db = ShardedDatabase::with_rtree(shards, fleet.clone()).expect("shard build");
+        let tbtree_db = ShardedDatabase::with_tbtree(shards, fleet.clone()).expect("shard build");
+        let what = format!("shards={shards}");
+        check_against_baseline(
+            &rtree_db,
+            &fleet,
+            &period,
+            &rtree_want,
+            &format!("rtree {what}"),
+        );
+        check_against_baseline(
+            &tbtree_db,
+            &fleet,
+            &period,
+            &tbtree_want,
+            &format!("tbtree {what}"),
+        );
+    }
+}
+
+fn check_against_baseline<I: TrajectoryIndex + Send>(
+    db: &ShardedDatabase<I>,
+    fleet: &[(TrajectoryId, Trajectory)],
+    period: &TimeInterval,
+    want: &(Vec<Vec<MstMatch>>, Vec<Vec<NnMatch>>),
+    what: &str,
+) {
+    for workers in [1usize, 2, 8] {
+        let outcome = BatchExecutor::new()
+            .workers(workers)
+            .run(db, batch_for(fleet, period));
+        assert_eq!(outcome.outcomes.len(), 6, "{what}: batch size");
+        assert_eq!(
+            outcome.degraded_count(),
+            0,
+            "{what}: no deadline, no degradation"
+        );
+        for (i, wanted) in want.0.iter().enumerate() {
+            let got = outcome.outcomes[i].as_ref().expect("kmst query ok");
+            assert!(
+                !got.degraded,
+                "{what}: query {i} degraded without a deadline"
+            );
+            assert!(
+                got.profile.is_consistent(),
+                "{what}: query {i} ledger unbalanced"
+            );
+            let matches = got.answer.as_kmst().expect("kmst answer flavour");
+            assert_kmst_identical(matches, wanted, &format!("{what} kmst[{i}] w={workers}"));
+        }
+        for (j, wanted) in want.1.iter().enumerate() {
+            let got = outcome.outcomes[4 + j].as_ref().expect("knn query ok");
+            let matches = got.answer.as_knn().expect("knn answer flavour");
+            assert_knn_identical(matches, wanted, &format!("{what} knn[{j}] w={workers}"));
+        }
+    }
+}
+
+/// Tentpole observability: with multiple shards, the cross-shard bound
+/// actually prunes — visible in the merged profile's `SharedKth` ledger.
+/// One worker makes the schedule deterministic: the query's home-cluster
+/// shard runs first and publishes a tight bound for the far shard.
+#[test]
+fn cross_shard_bound_sharing_prunes_on_the_second_shard() {
+    let fleet = fleet(24, 30);
+    let period = TimeInterval::new(0.0, 29.0).expect("period");
+    let db = ShardedDatabase::with_rtree(2, fleet.clone()).expect("shard build");
+
+    let q = &fleet[0].1;
+    let batch = vec![BatchQuery::kmst(Query::kmst(q).k(3).during(&period)).expect("spec")];
+    let outcome = BatchExecutor::new().workers(1).run(&db, batch);
+    let query = outcome.outcomes[0].as_ref().expect("query ok");
+    let pruning = &query.profile.pruning;
+    assert!(
+        pruning.shared_kth_evals > 0,
+        "the far shard never observed a tighter shared bound: {pruning:?}"
+    );
+    assert!(
+        pruning.shared_kth_prunes > 0,
+        "the shared bound never pruned anything the local bound would not have: {pruning:?}"
+    );
+    assert!(query.profile.is_consistent());
+}
+
+/// Satellite: a zero deadline degrades every query gracefully — flagged,
+/// best-effort answers, balanced candidate ledger, no errors.
+#[test]
+fn expired_deadline_degrades_gracefully() {
+    let fleet = fleet(24, 30);
+    let period = TimeInterval::new(0.0, 29.0).expect("period");
+    let db = ShardedDatabase::with_rtree(2, fleet.clone()).expect("shard build");
+
+    let outcome = BatchExecutor::new()
+        .workers(2)
+        .deadline_us(0)
+        .run(&db, batch_for(&fleet, &period));
+    assert_eq!(outcome.degraded_count(), outcome.outcomes.len());
+    for result in &outcome.outcomes {
+        let query = result.as_ref().expect("degraded, not failed");
+        assert!(query.degraded);
+        assert!(
+            query.profile.is_consistent(),
+            "degraded ledger must still balance"
+        );
+    }
+}
+
+/// A generous deadline changes nothing: same answers, nothing degraded.
+#[test]
+fn generous_deadline_is_invisible() {
+    let fleet = fleet(12, 20);
+    let period = TimeInterval::new(0.0, 19.0).expect("period");
+    let db = ShardedDatabase::with_rtree(2, fleet.clone()).expect("shard build");
+    let q = &fleet[0].1;
+    let batch = |_: ()| vec![BatchQuery::kmst(Query::kmst(q).k(3).during(&period)).expect("spec")];
+
+    let fast = BatchExecutor::new().workers(2).run(&db, batch(()));
+    let slow = BatchExecutor::new()
+        .workers(2)
+        .deadline_us(60_000_000)
+        .run(&db, batch(()));
+    assert_eq!(slow.degraded_count(), 0);
+    let f = fast.outcomes[0].as_ref().expect("ok");
+    let s = slow.outcomes[0].as_ref().expect("ok");
+    match (&f.answer, &s.answer) {
+        (QueryAnswer::Kmst(a), QueryAnswer::Kmst(b)) => {
+            assert_kmst_identical(a, b, "deadline vs none")
+        }
+        _ => panic!("unexpected answer flavour"),
+    }
+}
+
+/// Self-similarity sanity: every object's own query puts itself first
+/// with DISSIM 0, whatever shard it lives on.
+#[test]
+fn every_object_finds_itself_first() {
+    let fleet = fleet(10, 15);
+    let period = TimeInterval::new(0.0, 14.0).expect("period");
+    let db = ShardedDatabase::with_tbtree(3, fleet.clone()).expect("shard build");
+    let batch: Vec<BatchQuery> = fleet
+        .iter()
+        .map(|(_, t)| BatchQuery::kmst(Query::kmst(t).k(2).during(&period)).expect("spec"))
+        .collect();
+    let outcome = BatchExecutor::new().workers(4).run(&db, batch);
+    for (i, result) in outcome.outcomes.iter().enumerate() {
+        let query = result.as_ref().expect("ok");
+        let matches = query.answer.as_kmst().expect("kmst");
+        assert_eq!(matches[0].traj, TrajectoryId(i as u64), "query {i}");
+        assert!(matches[0].dissim.abs() < 1e-9, "query {i} self-dissim");
+    }
+}
+
+/// An empty batch is a no-op, not an error.
+#[test]
+fn empty_batch_returns_no_outcomes() {
+    let fleet = fleet(4, 10);
+    let db = ShardedDatabase::with_rtree(2, fleet).expect("shard build");
+    let outcome = BatchExecutor::new().workers(2).run(&db, Vec::new());
+    assert!(outcome.outcomes.is_empty());
+}

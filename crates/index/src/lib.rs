@@ -35,6 +35,7 @@ mod node;
 mod pagestore;
 pub mod persist;
 mod rtree;
+pub mod shared;
 mod strtree;
 mod tbtree;
 mod traits;
@@ -42,10 +43,11 @@ mod validate;
 
 pub use buffer::{BufferPool, BufferStats, LruCache};
 pub use knn::{knn_segments, knn_segments_traced, KnnMatch};
-pub use metrics::{MetricsSink, NoopSink};
+pub use metrics::{MetricsSink, NoopSink, SharedSink};
 pub use node::{InternalEntry, LeafEntry, Node, INTERNAL_CAPACITY, LEAF_CAPACITY};
 pub use pagestore::{DiskStats, PageId, PageStore, PAGE_SIZE};
 pub use rtree::Rtree3D;
+pub use shared::{ConcurrentIndex, IndexReader};
 pub use strtree::StrTree;
 pub use tbtree::TbTree;
 pub use traits::{IndexStats, TrajectoryIndex, TrajectoryIndexWrite};
@@ -70,6 +72,11 @@ pub enum IndexError {
     /// The buffer manager detected an accounting violation (pinned-page
     /// eviction, unbalanced unpin, pin of a non-resident page).
     Buffer(String),
+    /// A synchronisation primitive guarding index state was poisoned by a
+    /// panicking thread. Concurrent read paths surface this instead of
+    /// unwrapping the lock (xtask rule R7), so one crashed worker degrades
+    /// into an error the caller can report rather than a process abort.
+    Poisoned(String),
 }
 
 impl std::fmt::Display for IndexError {
@@ -82,6 +89,9 @@ impl std::fmt::Display for IndexError {
             IndexError::BadInsert(msg) => write!(f, "bad insert: {msg}"),
             IndexError::Persist(msg) => write!(f, "persistence failure: {msg}"),
             IndexError::Buffer(msg) => write!(f, "buffer accounting violation: {msg}"),
+            IndexError::Poisoned(what) => {
+                write!(f, "lock poisoned by a panicking thread: {what}")
+            }
         }
     }
 }

@@ -1,0 +1,312 @@
+//! Thread-shareable read access to an index.
+//!
+//! Every index in this crate is a single-owner mutable structure: even a
+//! pure *read* mutates state, because pages move through a private LRU
+//! buffer pool and I/O counters tick. That is the right shape for the
+//! paper's single-query experiments, but a concurrent executor needs many
+//! threads reading the same shard. [`ConcurrentIndex`] closes the gap with
+//! the smallest possible mechanism: the whole index (tree + buffer pool)
+//! lives behind one [`Mutex`], and [`IndexReader`] hands out cheap per-job
+//! handles whose `&mut self` trait methods lock only for the duration of a
+//! single node fetch.
+//!
+//! Two properties matter for the executor built on top:
+//!
+//! * **Per-shard buffer pools.** The lock protects the shard's *own* pager,
+//!   so each shard keeps a private LRU buffer exactly as the paper sizes it
+//!   (10% of the shard's pages, max 1000). Shards never contend with each
+//!   other — only jobs on the *same* shard serialize their node fetches.
+//! * **Poisoning is an error, not a panic.** If a thread panics while
+//!   holding the lock, every subsequent access returns
+//!   [`IndexError::Poisoned`] instead of unwrapping (xtask rule R7). A
+//!   crashed worker therefore fails its own query and leaves the rest of
+//!   the batch reporting clean errors.
+//!
+//! Structural metadata (root page, height, entry count, `Vmax`) is
+//! immutable while queries run, so a reader snapshots it once at
+//! construction and serves those accessors without touching the lock.
+
+use std::sync::{Mutex, MutexGuard};
+
+use mst_trajectory::TrajectoryId;
+
+use crate::metrics::MetricsSink;
+use crate::{IndexError, IndexStats, Node, PageId, Result, TrajectoryIndex};
+
+/// Maps a poisoned lock into the index error space (xtask rule R7: lock
+/// poisoning must surface as [`IndexError::Poisoned`], never a panic).
+fn poisoned<T>(_: std::sync::PoisonError<T>) -> IndexError {
+    IndexError::Poisoned("concurrent index".to_string())
+}
+
+/// An index wrapped for shared read access from many threads.
+///
+/// Wraps any [`TrajectoryIndex`] in a [`Mutex`] and exposes a `&self` API:
+/// [`ConcurrentIndex::reader`] creates a lightweight [`IndexReader`] per
+/// job, and [`ConcurrentIndex::with`] runs a closure under the lock for
+/// maintenance operations (buffer resizing, stat resets).
+pub struct ConcurrentIndex<I> {
+    inner: Mutex<I>,
+    snapshot: Snapshot,
+}
+
+/// Immutable structural facts captured when the index is wrapped.
+#[derive(Debug, Clone, Copy)]
+struct Snapshot {
+    root: Option<PageId>,
+    num_pages: usize,
+    num_entries: u64,
+    height: u8,
+    max_speed: f64,
+    stats: IndexStats,
+    chain_tips: usize,
+}
+
+impl<I: TrajectoryIndex> ConcurrentIndex<I> {
+    /// Wraps a fully built index for shared read access. The index must not
+    /// grow afterwards: the structural snapshot (root, height, `Vmax`) is
+    /// taken here and served lock-free.
+    pub fn new(index: I) -> Self {
+        let snapshot = Snapshot {
+            root: index.root(),
+            num_pages: index.num_pages(),
+            num_entries: index.num_entries(),
+            height: index.height(),
+            max_speed: index.max_speed(),
+            stats: index.stats(),
+            chain_tips: index.leaf_chain_tips().len(),
+        };
+        ConcurrentIndex {
+            inner: Mutex::new(index),
+            snapshot,
+        }
+    }
+
+    /// Runs `f` with exclusive access to the underlying index. Used for
+    /// maintenance between batches (clearing the buffer, resetting I/O
+    /// counters); queries go through [`ConcurrentIndex::reader`] instead.
+    pub fn with<R>(&self, f: impl FnOnce(&mut I) -> R) -> Result<R> {
+        let mut guard = self.lock()?;
+        Ok(f(&mut guard))
+    }
+
+    /// Unwraps the index, returning it to single-owner use.
+    pub fn into_inner(self) -> Result<I> {
+        self.inner.into_inner().map_err(poisoned)
+    }
+
+    /// A cheap per-job read handle. Creating one never blocks; the lock is
+    /// taken per node fetch inside the handle's [`TrajectoryIndex`] methods.
+    pub fn reader(&self) -> IndexReader<'_, I> {
+        IndexReader { shared: self }
+    }
+
+    /// Number of trajectories with a leaf chain (non-zero only for the
+    /// TB-tree). Exposed so shard builders can sanity-check substrates.
+    pub fn chain_tip_count(&self) -> usize {
+        self.snapshot.chain_tips
+    }
+
+    fn lock(&self) -> Result<MutexGuard<'_, I>> {
+        self.inner.lock().map_err(poisoned)
+    }
+}
+
+/// A per-job view of a [`ConcurrentIndex`] implementing [`TrajectoryIndex`].
+///
+/// The handle is `Copy`-cheap to create and intended to live for one query
+/// job. Metadata accessors answer from the construction-time snapshot;
+/// [`TrajectoryIndex::read_node`] and friends lock the shard for the single
+/// fetch and release it before the search continues, so concurrent jobs on
+/// the same shard interleave at node granularity.
+pub struct IndexReader<'a, I> {
+    shared: &'a ConcurrentIndex<I>,
+}
+
+impl<I: TrajectoryIndex> TrajectoryIndex for IndexReader<'_, I> {
+    fn root(&self) -> Option<PageId> {
+        self.shared.snapshot.root
+    }
+
+    fn read_node(&mut self, page: PageId) -> Result<Node> {
+        let mut guard = self.shared.lock()?;
+        guard.read_node(page)
+    }
+
+    fn read_node_traced<S: MetricsSink>(&mut self, page: PageId, sink: &mut S) -> Result<Node> {
+        let mut guard = self.shared.lock()?;
+        guard.read_node_traced(page, sink)
+    }
+
+    fn num_pages(&self) -> usize {
+        self.shared.snapshot.num_pages
+    }
+
+    fn num_entries(&self) -> u64 {
+        self.shared.snapshot.num_entries
+    }
+
+    fn height(&self) -> u8 {
+        self.shared.snapshot.height
+    }
+
+    fn max_speed(&self) -> f64 {
+        self.shared.snapshot.max_speed
+    }
+
+    /// Structural statistics from the construction-time snapshot. I/O
+    /// counters reflect the state when the index was wrapped; live counters
+    /// during concurrent execution flow through the per-query
+    /// [`MetricsSink`] instead, which is the only meaningful attribution
+    /// once many jobs interleave on one pager.
+    fn stats(&self) -> IndexStats {
+        self.shared.snapshot.stats
+    }
+
+    fn reset_stats(&mut self) {
+        // Counter resets race concurrent jobs by definition; a reader
+        // deliberately leaves the shared counters alone. Use
+        // `ConcurrentIndex::with` between batches instead.
+    }
+
+    fn clear_buffer(&mut self) -> Result<()> {
+        let mut guard = self.shared.lock()?;
+        guard.clear_buffer()
+    }
+
+    fn set_buffer_capacity(&mut self, capacity: Option<usize>) -> Result<()> {
+        let mut guard = self.shared.lock()?;
+        guard.set_buffer_capacity(capacity)
+    }
+
+    fn leaf_chain_tips(&self) -> Vec<(TrajectoryId, PageId)> {
+        match self.shared.lock() {
+            Ok(guard) => guard.leaf_chain_tips(),
+            // The poisoned case cannot report an error through this
+            // signature; an empty list is the documented "no chains" value
+            // and merely skips chain validation.
+            Err(_) => Vec::new(),
+        }
+    }
+
+    fn audit_buffer(&self) -> std::result::Result<(), String> {
+        match self.shared.lock() {
+            Ok(guard) => guard.audit_buffer(),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::LeafEntry;
+    use crate::{Rtree3D, TrajectoryIndexWrite};
+    use mst_trajectory::{SamplePoint, Segment, TrajectoryId};
+
+    fn entry(traj: u64, seq: u32, t0: f64) -> LeafEntry {
+        LeafEntry {
+            traj: TrajectoryId(traj),
+            seq,
+            segment: Segment::new(
+                SamplePoint::new(t0, traj as f64, seq as f64),
+                SamplePoint::new(t0 + 1.0, traj as f64 + 0.5, seq as f64 + 0.5),
+            )
+            .expect("valid segment"),
+        }
+    }
+
+    fn small_tree() -> Rtree3D {
+        let mut tree = Rtree3D::new();
+        for traj in 0..4u64 {
+            for seq in 0..8u32 {
+                tree.insert_entry(entry(traj, seq, f64::from(seq)))
+                    .expect("insert");
+            }
+        }
+        tree
+    }
+
+    #[test]
+    fn reader_metadata_matches_wrapped_index() {
+        let tree = small_tree();
+        let (root, pages, entries, height, vmax) = (
+            tree.root(),
+            tree.num_pages(),
+            tree.num_entries(),
+            tree.height(),
+            tree.max_speed(),
+        );
+        let shared = ConcurrentIndex::new(tree);
+        let reader = shared.reader();
+        assert_eq!(reader.root(), root);
+        assert_eq!(reader.num_pages(), pages);
+        assert_eq!(reader.num_entries(), entries);
+        assert_eq!(reader.height(), height);
+        assert_eq!(reader.max_speed(), vmax);
+    }
+
+    #[test]
+    fn reader_reads_the_same_nodes_as_the_owner() {
+        let mut tree = small_tree();
+        let root = tree.root().expect("non-empty");
+        let direct = tree.read_node(root).expect("direct read");
+        let shared = ConcurrentIndex::new(tree);
+        let mut reader = shared.reader();
+        let via_reader = reader.read_node(root).expect("shared read");
+        assert_eq!(direct.level(), via_reader.level());
+        assert_eq!(direct.mbb(), via_reader.mbb());
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_nodes() {
+        let tree = small_tree();
+        let shared = ConcurrentIndex::new(tree);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut reader = shared.reader();
+                    let root = reader.root().expect("non-empty");
+                    for _ in 0..16 {
+                        let node = reader.read_node(root).expect("read under contention");
+                        assert!(node.level() < 8);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn poisoned_lock_surfaces_as_index_error() {
+        let shared = ConcurrentIndex::new(small_tree());
+        let panicker = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shared.lock().expect("first lock");
+            panic!("poison the shard");
+        }));
+        assert!(panicker.is_err());
+        let mut reader = shared.reader();
+        let root = reader.root().expect("non-empty");
+        match reader.read_node(root) {
+            Err(IndexError::Poisoned(_)) => {}
+            other => panic!("expected Poisoned, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_gives_exclusive_maintenance_access() {
+        let shared = ConcurrentIndex::new(small_tree());
+        let pages = shared.with(|tree| tree.num_pages()).expect("lock");
+        assert!(pages > 0);
+        shared
+            .with(|tree| tree.clear_buffer())
+            .expect("lock")
+            .expect("clear");
+    }
+
+    #[test]
+    fn into_inner_returns_the_index() {
+        let shared = ConcurrentIndex::new(small_tree());
+        let tree = shared.into_inner().expect("not poisoned");
+        assert!(tree.num_entries() > 0);
+    }
+}

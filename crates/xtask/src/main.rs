@@ -6,8 +6,9 @@
 //!
 //! * **R1** — no `unwrap()` / `expect(` / `panic!` / `todo!` /
 //!   `unimplemented!` / `unreachable!` in non-`#[cfg(test)]` library code of
-//!   `mst-trajectory`, `mst-index`, and `mst-search`. A line may opt out by
-//!   carrying an `// invariant: <why this cannot fire>` justification.
+//!   `mst-trajectory`, `mst-index`, `mst-search`, and `mst-exec`. A line may
+//!   opt out by carrying an `// invariant: <why this cannot fire>`
+//!   justification.
 //! * **R2** — no `as` numeric casts in the binary-format modules
 //!   (`index/src/codec.rs`, `index/src/persist.rs`,
 //!   `index/src/pagestore.rs`); width changes there must go through
@@ -20,13 +21,20 @@
 //!   (`trajectory/src/float.rs`). Detection is a literal-adjacency
 //!   heuristic (an exact type-aware check needs full inference); it is a
 //!   tripwire, not a proof.
-//! * **R5** — no `std::time` / `Instant` outside `mst-bench`: library code
-//!   must stay deterministic and clock-free so results are reproducible.
+//! * **R5** — no `std::time` / `Instant` outside `mst-bench` and the
+//!   executor's clock module (`exec/src/clock.rs`, which funnels deadline
+//!   timing through one audited file): library code must stay deterministic
+//!   and clock-free so results are reproducible.
 //! * **R6** — no calls to the deprecated pre-builder query methods
 //!   (`most_similar`, `within_dissim`, `nearest_segments`, ...) outside
 //!   their shim module (`crates/core/src/compat.rs`); everything else goes
 //!   through the `Query` builder. Compiler deprecation warnings cover
 //!   downstream users; this rule keeps the workspace itself honest.
+//! * **R7** — no `.lock().unwrap()` / `.read().unwrap()` /
+//!   `.write().unwrap()` outside test code, anywhere in the workspace: a
+//!   panicking thread must surface lock poisoning as
+//!   `IndexError::Poisoned` (or another error), never cascade into more
+//!   panics.
 //!
 //! The scanner is line-based. Comments and string/char literal bodies are
 //! stripped before pattern matching, and `#[cfg(test)]` items are skipped
@@ -490,6 +498,34 @@ fn check_no_deprecated_query_calls(file: &Path, lines: &[Line], out: &mut Vec<Vi
     }
 }
 
+/// R7: unwrapping a lock guard. Poisoning (a panic on another thread while
+/// it held the guard) must become an error — `IndexError::Poisoned` in the
+/// index layer — not a second panic that takes the whole pool down.
+const LOCK_UNWRAP_PATTERNS: [&str; 3] =
+    [".lock().unwrap()", ".read().unwrap()", ".write().unwrap()"];
+
+fn check_no_lock_unwrap(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test || excused_by_invariant(lines, i) {
+            continue;
+        }
+        for pat in LOCK_UNWRAP_PATTERNS {
+            if line.code.contains(pat) {
+                out.push(Violation {
+                    file: file.to_path_buf(),
+                    line: line.number,
+                    rule: "R7",
+                    message: format!(
+                        "`{pat}` panics on a poisoned lock; map the \
+                         `PoisonError` to an error (e.g. \
+                         `IndexError::Poisoned`) instead"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Iterates the identifier-shaped words of a sanitised line.
 fn tokenize_words(code: &str) -> impl Iterator<Item = &str> {
     code.split(|c: char| !c.is_alphanumeric() && c != '_')
@@ -522,11 +558,12 @@ fn rs_files(dir: &Path) -> Vec<PathBuf> {
 fn run_check(root: &Path) -> Vec<Violation> {
     let mut out = Vec::new();
 
-    // R1: panic-free library code in the three core crates.
+    // R1: panic-free library code in the algorithm and execution crates.
     for dir in [
         "crates/trajectory/src",
         "crates/index/src",
         "crates/core/src",
+        "crates/exec/src",
     ] {
         for file in rs_files(&root.join(dir)) {
             if let Ok(src) = fs::read_to_string(&file) {
@@ -564,10 +601,12 @@ fn run_check(root: &Path) -> Vec<Violation> {
         }
     }
 
-    // R4/R5: all library source. The tolerance module is the R4 allowlist;
-    // mst-bench is the R5 allowlist; xtask scans everything but itself (its
-    // sources quote the forbidden patterns in diagnostics and tests).
+    // R4/R5/R7: all library source. The tolerance module is the R4
+    // allowlist; mst-bench plus the executor's clock module are the R5
+    // allowlist; xtask scans everything but itself (its sources quote the
+    // forbidden patterns in diagnostics and tests).
     let float_allowlist = root.join("crates/trajectory/src/float.rs");
+    let clock_allowlist = root.join("crates/exec/src/clock.rs");
     let mut lib_dirs = vec![root.join("src")];
     if let Ok(entries) = fs::read_dir(root.join("crates")) {
         let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
@@ -589,9 +628,10 @@ fn run_check(root: &Path) -> Vec<Violation> {
             if file != float_allowlist {
                 check_no_float_equality(&file, &lines, &mut out);
             }
-            if !in_bench {
+            if !in_bench && file != clock_allowlist {
                 check_no_clocks(&file, &lines, &mut out);
             }
+            check_no_lock_unwrap(&file, &lines, &mut out);
         }
     }
 
@@ -610,6 +650,14 @@ fn run_check(root: &Path) -> Vec<Violation> {
             if let Ok(src) = fs::read_to_string(&file) {
                 check_no_deprecated_query_calls(&file, &scan(&src), &mut out);
             }
+        }
+    }
+
+    // R7 also covers the examples — showcase code must model the poisoning
+    // discipline. Integration tests are test code and may unwrap.
+    for file in rs_files(&root.join("examples")) {
+        if let Ok(src) = fs::read_to_string(&file) {
+            check_no_lock_unwrap(&file, &scan(&src), &mut out);
         }
     }
 
@@ -873,6 +921,47 @@ mod tests {
         assert!(out.is_empty(), "{out:?}");
     }
 
+    #[test]
+    fn r7_flags_lock_unwraps_but_not_handled_locks() {
+        let mut out = Vec::new();
+        check_no_lock_unwrap(
+            Path::new("lib.rs"),
+            &lines_of(
+                "let g = mutex.lock().unwrap();\n\
+                 let r = rw.read().unwrap();\n\
+                 let w = rw.write().unwrap();",
+            ),
+            &mut out,
+        );
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|v| v.rule == "R7"));
+        out.clear();
+        check_no_lock_unwrap(
+            Path::new("lib.rs"),
+            &lines_of(
+                "let g = mutex.lock().map_err(poisoned)?;\n\
+                 let v = opt.unwrap_or_default();\n\
+                 #[cfg(test)]\nmod t { fn f() { m.lock().unwrap(); } }",
+            ),
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn r7_respects_invariant_justifications() {
+        let mut out = Vec::new();
+        check_no_lock_unwrap(
+            Path::new("lib.rs"),
+            &lines_of(
+                "// invariant: single-threaded setup, no poisoner can exist\n\
+                 let g = mutex.lock().unwrap();",
+            ),
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
     /// End-to-end: a synthetic mini-repo produces diagnostics with paths,
     /// line numbers, and a nonzero violation count; a clean tree is clean.
     #[test]
@@ -912,6 +1001,19 @@ mod tests {
             &format!("{clean_root}use std::time::Instant;\n"),
         );
         write(
+            "crates/bench/src/lib.rs",
+            &format!("{clean_root}pub fn grab() {{ M.lock().unwrap(); }}\n"),
+        );
+        // The executor's clock module is exempt from R5 by design.
+        write(
+            "crates/exec/src/lib.rs",
+            &format!("{clean_root}pub mod clock;\n"),
+        );
+        write(
+            "crates/exec/src/clock.rs",
+            "//! clock\nuse std::time::Instant;\npub fn now() -> Instant { Instant::now() }\n",
+        );
+        write(
             "examples/demo.rs",
             "fn main() { let _ = db.nearest_segments(p, &w, 3); }\n",
         );
@@ -935,8 +1037,15 @@ mod tests {
         assert!(has("[R4]", "core/src/lib.rs", 4), "{rendered:?}");
         assert!(has("[R5]", "datagen/src/lib.rs", 4), "{rendered:?}");
         assert!(has("[R6]", "examples/demo.rs", 1), "{rendered:?}");
+        assert!(has("[R7]", "bench/src/lib.rs", 4), "{rendered:?}");
         assert!(
             !rendered.iter().any(|r| r.contains("compat.rs")),
+            "{rendered:?}"
+        );
+        // The clock module may use std::time (R5 allowlist) but is still
+        // subject to every other rule.
+        assert!(
+            !rendered.iter().any(|r| r.contains("exec/src/clock.rs")),
             "{rendered:?}"
         );
 
@@ -949,6 +1058,10 @@ mod tests {
         );
         write("crates/core/src/lib.rs", clean_root);
         write("crates/datagen/src/lib.rs", clean_root);
+        write(
+            "crates/bench/src/lib.rs",
+            &format!("{clean_root}pub fn grab() {{ M.lock().map_err(drop); }}\n"),
+        );
         write(
             "examples/demo.rs",
             "fn main() { let _ = Query::knn_segments(p).k(3).during(&w).run(&mut db); }\n",

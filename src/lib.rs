@@ -2,12 +2,13 @@
 //!
 //! See the member crates for the substance:
 //! [`trajectory`](mst_trajectory), [`index`](mst_index),
-//! [`search`](mst_search), [`baselines`](mst_baselines),
-//! [`datagen`](mst_datagen).
+//! [`search`](mst_search), [`exec`](mst_exec),
+//! [`baselines`](mst_baselines), [`datagen`](mst_datagen).
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 pub use mst_baselines as baselines;
 pub use mst_datagen as datagen;
+pub use mst_exec as exec;
 pub use mst_index as index;
 pub use mst_search as search;
 pub use mst_trajectory as trajectory;
@@ -16,6 +17,7 @@ pub use mst_trajectory as trajectory;
 /// `use mst::prelude::*;`
 pub mod prelude {
     pub use mst_datagen::{td_tr, td_tr_fraction, GstdConfig, TrucksConfig};
+    pub use mst_exec::{BatchExecutor, BatchQuery, QueryAnswer, ShardedDatabase};
     pub use mst_index::{
         check_invariants, knn_segments, Rtree3D, StrTree, TbTree, TrajectoryIndex,
         TrajectoryIndexWrite,
