@@ -12,6 +12,9 @@
 #   7. the batch-execution smoke benchmark (2 workers x 2 shards;
 #      regenerates BENCH_throughput.json and fails on executor
 #      nondeterminism, dead cross-shard pruning, or spurious degradation)
+#   8. the chaos smoke test in release mode (seeded fault injection:
+#      quiet schedule must be bit-identical, noisy schedule must stay
+#      honest — no panics, balanced ledgers, named shard failures)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -35,5 +38,8 @@ cargo run --release -q -p mst-bench --bin kmst_profile -- --smoke
 
 echo "==> batch executor smoke bench (BENCH_throughput.json)"
 cargo run --release -q -p mst-bench --bin throughput -- --smoke
+
+echo "==> chaos smoke (seeded fault injection)"
+cargo test -q --release --test chaos chaos_smoke
 
 echo "ci.sh: all gates passed"

@@ -122,6 +122,13 @@ pub struct QueryProfile {
     pub pruning: PruningCounters,
     /// Heuristic-2 terminations recorded (one per query it cut short).
     pub early_terminations: u64,
+    /// Physical page reads retried after a retryable fault (transient I/O
+    /// error or checksum mismatch).
+    pub io_retries: u64,
+    /// Page fetches that failed checksum verification.
+    pub checksum_failures: u64,
+    /// Pages quarantined after exhausting their retry budget.
+    pub pages_quarantined: u64,
 }
 
 impl QueryProfile {
@@ -178,6 +185,9 @@ impl QueryProfile {
         self.pruning.shared_kth_evals += other.pruning.shared_kth_evals;
         self.pruning.shared_kth_prunes += other.pruning.shared_kth_prunes;
         self.early_terminations += other.early_terminations;
+        self.io_retries += other.io_retries;
+        self.checksum_failures += other.checksum_failures;
+        self.pages_quarantined += other.pages_quarantined;
     }
 
     /// True when the candidate ledger balances:
@@ -217,6 +227,18 @@ impl MetricsSink for QueryProfile {
 
     fn heap_pop(&mut self) {
         self.heap_pops += 1;
+    }
+
+    fn io_retry(&mut self) {
+        self.io_retries += 1;
+    }
+
+    fn io_checksum_failure(&mut self) {
+        self.checksum_failures += 1;
+    }
+
+    fn io_quarantine(&mut self) {
+        self.pages_quarantined += 1;
     }
 }
 
@@ -416,6 +438,10 @@ mod tests {
         b.pruned_by(PruningBound::SharedKth, 1);
         b.candidate_seen();
         b.candidate_pruned();
+        b.io_retry();
+        b.io_retry();
+        b.io_checksum_failure();
+        b.io_quarantine();
         a.merge(&b);
         assert_eq!(a.node_accesses, vec![1, 0, 1]);
         assert_eq!(a.heap_pushes, 1);
@@ -424,6 +450,9 @@ mod tests {
         assert_eq!(a.pruning.shared_kth_evals, 2);
         assert_eq!(a.pruning.shared_kth_prunes, 1);
         assert_eq!(a.candidates.seen, 2);
+        assert_eq!(a.io_retries, 2);
+        assert_eq!(a.checksum_failures, 1);
+        assert_eq!(a.pages_quarantined, 1);
         assert!(a.is_consistent());
     }
 

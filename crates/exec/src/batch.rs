@@ -1,6 +1,6 @@
 //! The batch executor: a fixed worker pool draining (query, shard) jobs
-//! off the bounded queue, with per-query cross-shard bound sharing and
-//! deadline enforcement.
+//! off the bounded queue, with per-query cross-shard bound sharing,
+//! deadline enforcement, and shard-level graceful degradation.
 //!
 //! # Execution model
 //!
@@ -72,17 +72,43 @@ impl QueryAnswer {
     }
 }
 
+/// One shard whose job died with an error instead of producing a top-k
+/// list. The query's merged answer is still returned (degraded) — this
+/// record says which slice of the database it is missing and why.
+#[derive(Debug)]
+pub struct ShardFailure {
+    /// The shard whose search failed.
+    pub shard: usize,
+    /// The error that killed it (typically an I/O or checksum fault
+    /// surfaced through [`mst_index::IndexError`]).
+    pub error: mst_search::SearchError,
+}
+
+impl std::fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard {}: {}", self.shard, self.error)
+    }
+}
+
 /// Everything the executor knows about one finished query.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct QueryOutcome {
-    /// The globally merged top-k answer.
+    /// The globally merged top-k answer. When `degraded` is set this is
+    /// best-so-far, not certified complete.
     pub answer: QueryAnswer,
     /// Work counters merged across the query's shard jobs (in shard
-    /// order). The candidate ledger stays balanced under the merge.
+    /// order), including the jobs that failed — the candidate ledger
+    /// stays balanced under the merge even for aborted searches.
     pub profile: QueryProfile,
-    /// True when the deadline cut at least one shard job short: `answer`
-    /// is best-so-far, not certified complete.
+    /// True when the answer is not certified complete, for either cause:
+    /// the deadline expired (`deadline_expired`) or at least one shard
+    /// job failed (`failures` is non-empty).
     pub degraded: bool,
+    /// True when the deadline cut at least one shard job short.
+    pub deadline_expired: bool,
+    /// Shards whose jobs died with a search/index error, in shard order.
+    /// Their partial contribution is absent from `answer`.
+    pub failures: Vec<ShardFailure>,
     /// Wall time from the query's first shard job starting to its last
     /// finishing, in microseconds. Queue wait before the first start is
     /// excluded; deadlines, by contrast, run from batch submission.
@@ -104,12 +130,22 @@ pub struct BatchOutcome {
 }
 
 impl BatchOutcome {
-    /// Number of queries whose deadline cut them short.
+    /// Number of queries whose answer is not certified complete (deadline
+    /// expiry or shard failure).
     pub fn degraded_count(&self) -> usize {
         self.outcomes
             .iter()
             .filter(|o| o.as_ref().is_ok_and(|q| q.degraded))
             .count()
+    }
+
+    /// Number of shard jobs that failed across the whole batch.
+    pub fn failed_shard_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .flatten()
+            .map(|q| q.failures.len())
+            .sum()
     }
 
     /// Work counters merged across every successful query.
@@ -294,6 +330,14 @@ impl BatchExecutor {
     }
 
     /// Merges the per-shard slot results of one query, in shard order.
+    ///
+    /// A shard job that *failed* (I/O fault, checksum mismatch, poisoned
+    /// lock) does not fail the query: its error is recorded in
+    /// [`QueryOutcome::failures`], its work profile still merges (keeping
+    /// the candidate ledger balanced), and the surviving shards' lists
+    /// merge into a `degraded` answer — the same honest-best-effort
+    /// contract the deadline path already provides. Only a *lost* slot
+    /// (worker died without reporting) is an [`ExecError`].
     fn collect_query(
         q: usize,
         query: &BatchQuery,
@@ -304,6 +348,7 @@ impl BatchExecutor {
         let mut profile = QueryProfile::default();
         let mut kmst_lists: Vec<Vec<MstMatch>> = Vec::new();
         let mut knn_lists: Vec<Vec<NnMatch>> = Vec::new();
+        let mut failures: Vec<ShardFailure> = Vec::new();
         for shard in 0..num_shards {
             let taken = slots[q * num_shards + shard]
                 .lock()
@@ -316,7 +361,7 @@ impl BatchExecutor {
             match result {
                 JobResult::Kmst(matches) => kmst_lists.push(matches),
                 JobResult::Knn(matches) => knn_lists.push(matches),
-                JobResult::Failed(e) => return Err(ExecError::Search(e)),
+                JobResult::Failed(error) => failures.push(ShardFailure { shard, error }),
             }
         }
         let answer = match query {
@@ -327,10 +372,13 @@ impl BatchExecutor {
                 QueryAnswer::Knn(mst_search::merge_shard_nn(spec.k, &knn_lists))
             }
         };
+        let deadline_expired = control.is_degraded();
         Ok(QueryOutcome {
             answer,
             profile,
-            degraded: control.is_degraded(),
+            degraded: deadline_expired || !failures.is_empty(),
+            deadline_expired,
+            failures,
             latency_us: control.latency_us(),
         })
     }

@@ -24,6 +24,11 @@
 //! * Per-query deadlines degrade gracefully: an expired query stops
 //!   early and reports `degraded: true` with its best-so-far answer and
 //!   a consistent work profile.
+//! * Shard failures degrade the same way: a shard whose search dies with
+//!   an index error (I/O fault, checksum mismatch, quarantined page) is
+//!   reported in the query's [`ShardFailure`] list, its work profile
+//!   still merges, and the surviving shards' top-k lists come back
+//!   flagged `degraded` instead of failing the whole query.
 //!
 //! Everything is std-only, in keeping with the workspace's
 //! zero-dependency rule.
@@ -37,7 +42,7 @@ pub mod clock;
 pub mod queue;
 pub mod shard;
 
-pub use batch::{BatchExecutor, BatchOutcome, QueryAnswer, QueryOutcome};
+pub use batch::{BatchExecutor, BatchOutcome, QueryAnswer, QueryOutcome, ShardFailure};
 pub use bound::{QueryControl, SharedBound};
 pub use clock::Stopwatch;
 pub use queue::JobQueue;

@@ -231,6 +231,38 @@ impl<I: TrajectoryIndex> ShardedDatabase<I> {
         }
         Ok(())
     }
+
+    /// Arms (or with `None`, disarms) deterministic fault injection on one
+    /// shard's page store. Maintenance only — call between batches; the
+    /// fault schedule then replays deterministically over that shard's
+    /// physical page I/O. Out-of-range `shard` is a config error.
+    pub fn set_fault_injection(
+        &self,
+        shard: usize,
+        config: Option<mst_index::FaultConfig>,
+    ) -> Result<()> {
+        let shard = self
+            .shards
+            .get(shard)
+            .ok_or(ExecError::Config("fault injection shard out of range"))?;
+        shard
+            .index
+            .with(|index| index.set_fault_injection(config))
+            .map_err(mst_search::SearchError::Index)?
+            .map_err(mst_search::SearchError::Index)?;
+        Ok(())
+    }
+
+    /// The fault-injection counters of one shard's page store, if that
+    /// shard has an injector armed (and its lock is healthy).
+    pub fn fault_stats(&self, shard: usize) -> Option<mst_index::FaultStats> {
+        self.shards
+            .get(shard)?
+            .index
+            .with(|index| index.fault_stats())
+            .ok()
+            .flatten()
+    }
 }
 
 /// Pure routing function: object `id` lives on shard `id % P`.

@@ -1,0 +1,520 @@
+//! Deterministic fault injection at the page-I/O boundary.
+//!
+//! The search algorithms assume every page read succeeds; production
+//! trajectory stores do not get that luxury. This module makes failure a
+//! first-class, *testable* input:
+//!
+//! * [`PageIo`] — the narrow read/write seam every page consumer (the
+//!   buffer pool) goes through;
+//! * [`FaultInjector`] — an [`mst_prng`]-seeded schedule of transient read
+//!   errors, bit-flip corruption, torn writes, and simulated latency
+//!   spikes;
+//! * [`FaultableStore`] — a [`PageStore`] wrapped with an optional
+//!   injector. With injection disabled (the default) it forwards
+//!   everything verbatim, so the fault layer costs nothing on the happy
+//!   path beyond an `Option` check per physical I/O (which is already the
+//!   slow path — a buffer miss).
+//!
+//! # Determinism
+//!
+//! All fault decisions are drawn from a [`mst_prng::Rng`] seeded by
+//! [`FaultConfig::seed`], in physical-I/O call order. Two runs that issue
+//! the same sequence of page reads and writes therefore see the *same*
+//! faults on the same calls — which makes every chaos-test failure
+//! replayable from its seed. (Physical I/O order is deterministic for
+//! single-threaded use; concurrent workers interleave buffer misses
+//! nondeterministically, so cross-run comparisons there must be
+//! statistical, not bitwise.)
+//!
+//! # Fault taxonomy
+//!
+//! | knob                         | effect                               | maskable by |
+//! |------------------------------|--------------------------------------|-------------|
+//! | [`FaultConfig::read_transient`] | read fails with [`IndexError::TransientIo`] | retry |
+//! | [`FaultConfig::read_corrupt`]   | read returns bit-flipped bytes (the stored page is intact) | checksum + retry |
+//! | [`FaultConfig::torn_write`]     | write persists only a prefix; the tail stays stale/zero | nothing — caught later by checksum, page quarantined |
+//! | [`FaultConfig::stall`]          | read is delayed by [`FaultConfig::stall_us`] *simulated* µs | — (accounting only) |
+//!
+//! Latency spikes are *accounted*, never slept: library crates are
+//! wall-clock-free (xtask rule R5), so a stall adds to
+//! [`FaultStats::stall_us`] and the caller's deadline logic can fold the
+//! simulated delay in if it wants to.
+
+use mst_prng::Rng;
+
+use crate::{DiskStats, IndexError, PageId, PageStore, Result, PAGE_SIZE};
+
+/// The page read/write seam between the buffer pool and the storage below
+/// it. [`PageStore`] implements it directly (no faults);
+/// [`FaultableStore`] implements it with an optional injector in the path.
+pub trait PageIo {
+    /// Reads a whole page. The returned slice is `PAGE_SIZE` bytes.
+    fn read_page(&mut self, id: PageId) -> Result<&[u8]>;
+
+    /// Writes a whole page (`data.len() == PAGE_SIZE`).
+    fn write_page(&mut self, id: PageId, data: &[u8]) -> Result<()>;
+}
+
+impl PageIo for PageStore {
+    fn read_page(&mut self, id: PageId) -> Result<&[u8]> {
+        self.read(id)
+    }
+
+    fn write_page(&mut self, id: PageId, data: &[u8]) -> Result<()> {
+        self.write(id, data)
+    }
+}
+
+/// Probabilities and magnitudes of the injected faults. All rates are in
+/// `[0, 1]` per physical I/O; the zero config (any seed, all rates 0)
+/// injects nothing and must be behaviourally invisible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the fault schedule. Same seed + same I/O order = same
+    /// faults.
+    pub seed: u64,
+    /// Probability a read fails with [`IndexError::TransientIo`]. The
+    /// stored page is unharmed; a retry re-draws.
+    pub read_transient: f64,
+    /// Probability a read returns bytes with one bit flipped ("corruption
+    /// on the wire"). The stored page is unharmed, so a checksum-triggered
+    /// retry can mask it.
+    pub read_corrupt: f64,
+    /// Probability a write is torn: only a prefix of the page reaches the
+    /// store, the tail is zeroed. Silent at write time — detected by the
+    /// checksum on the next read of the page.
+    pub torn_write: f64,
+    /// Probability a read incurs a simulated latency spike.
+    pub stall: f64,
+    /// Magnitude of one latency spike, in simulated microseconds.
+    pub stall_us: u64,
+}
+
+impl FaultConfig {
+    /// A schedule that injects nothing (useful as a builder base and for
+    /// asserting the fault layer is invisible when quiet).
+    pub fn quiet(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            read_transient: 0.0,
+            read_corrupt: 0.0,
+            torn_write: 0.0,
+            stall: 0.0,
+            stall_us: 0,
+        }
+    }
+
+    /// Re-seeds the schedule (e.g. to give each shard of a sweep its own
+    /// deterministic fault stream).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the transient-read failure rate.
+    pub fn with_read_transient(mut self, p: f64) -> Self {
+        self.read_transient = p;
+        self
+    }
+
+    /// Sets the corrupted-read rate.
+    pub fn with_read_corrupt(mut self, p: f64) -> Self {
+        self.read_corrupt = p;
+        self
+    }
+
+    /// Sets the torn-write rate.
+    pub fn with_torn_write(mut self, p: f64) -> Self {
+        self.torn_write = p;
+        self
+    }
+
+    /// Sets the stall rate and per-stall magnitude.
+    pub fn with_stall(mut self, p: f64, stall_us: u64) -> Self {
+        self.stall = p;
+        self.stall_us = stall_us;
+        self
+    }
+}
+
+/// Counters of what the injector actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Physical reads that passed through the injector.
+    pub reads: u64,
+    /// Physical writes that passed through the injector.
+    pub writes: u64,
+    /// Reads failed with [`IndexError::TransientIo`].
+    pub transient_errors: u64,
+    /// Reads served with flipped bits.
+    pub corrupted_reads: u64,
+    /// Writes torn (prefix persisted, tail zeroed).
+    pub torn_writes: u64,
+    /// Reads hit by a latency spike.
+    pub stalls: u64,
+    /// Total simulated stall time, in microseconds.
+    pub stall_us: u64,
+}
+
+/// What the injector decided for one read.
+enum ReadFault {
+    None,
+    Transient,
+    /// Flip bit `mask` of byte `offset` in the returned copy.
+    Corrupt {
+        offset: usize,
+        mask: u8,
+    },
+}
+
+/// A deterministic schedule of page-I/O faults.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: Rng,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Creates an injector following `config`'s schedule from its seed.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultInjector {
+            config,
+            rng: Rng::seed_from(config.seed),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The configuration the injector was built from.
+    pub fn config(&self) -> FaultConfig {
+        self.config
+    }
+
+    /// Counters of the faults injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Draws the fault decision for one read. Draw order is fixed (stall,
+    /// transient, corrupt) so schedules are stable across refactors of the
+    /// consuming code.
+    fn on_read(&mut self) -> ReadFault {
+        self.stats.reads += 1;
+        if self.config.stall > 0.0 && self.rng.chance(self.config.stall) {
+            self.stats.stalls += 1;
+            self.stats.stall_us += self.config.stall_us;
+        }
+        if self.config.read_transient > 0.0 && self.rng.chance(self.config.read_transient) {
+            self.stats.transient_errors += 1;
+            return ReadFault::Transient;
+        }
+        if self.config.read_corrupt > 0.0 && self.rng.chance(self.config.read_corrupt) {
+            self.stats.corrupted_reads += 1;
+            let offset = self.rng.usize_below(PAGE_SIZE);
+            let mask = 1u8 << self.rng.u64_below(8);
+            return ReadFault::Corrupt { offset, mask };
+        }
+        ReadFault::None
+    }
+
+    /// Draws the fault decision for one write: `Some(keep)` tears the
+    /// write after `keep` bytes.
+    fn on_write(&mut self) -> Option<usize> {
+        self.stats.writes += 1;
+        if self.config.torn_write > 0.0 && self.rng.chance(self.config.torn_write) {
+            self.stats.torn_writes += 1;
+            // Tear somewhere past the header so the page is plausible, not
+            // obviously empty — the nastier case for detection.
+            let keep = 24 + self.rng.usize_below(PAGE_SIZE - 24);
+            return Some(keep);
+        }
+        None
+    }
+}
+
+/// A [`PageStore`] with an optional, deterministic [`FaultInjector`] in
+/// the physical I/O path.
+///
+/// The wrapper exposes the store's full API by forwarding (allocation,
+/// freeing, statistics, persistence support), so code holding a
+/// `FaultableStore` reads exactly like code holding a `PageStore`; only
+/// [`PageIo`] traffic is subject to injection.
+#[derive(Debug)]
+pub struct FaultableStore {
+    inner: PageStore,
+    injector: Option<FaultInjector>,
+    /// Private copy buffer for corrupted reads: the flipped bits live
+    /// here, never in the store, so a retry sees the intact page.
+    scratch: Box<[u8]>,
+}
+
+impl FaultableStore {
+    /// An empty store with injection disabled.
+    pub fn new() -> Self {
+        FaultableStore::from_store(PageStore::new())
+    }
+
+    /// Wraps an existing store (persistence load path), injection
+    /// disabled.
+    pub fn from_store(inner: PageStore) -> Self {
+        FaultableStore {
+            inner,
+            injector: None,
+            scratch: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+        }
+    }
+
+    /// Enables fault injection with `Some(config)` (replacing any previous
+    /// schedule and its statistics), or disables it with `None`.
+    pub fn set_injection(&mut self, config: Option<FaultConfig>) {
+        self.injector = config.map(FaultInjector::new);
+    }
+
+    /// Counters of the injected faults, when injection is enabled.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.injector.as_ref().map(FaultInjector::stats)
+    }
+
+    /// Read-only access to the wrapped store.
+    pub fn inner(&self) -> &PageStore {
+        &self.inner
+    }
+
+    // ---- PageStore forwarding (same names, same shapes) ----
+
+    /// See [`PageStore::allocate`].
+    pub fn allocate(&mut self) -> PageId {
+        self.inner.allocate()
+    }
+
+    /// See [`PageStore::free`].
+    pub fn free(&mut self, id: PageId) -> Result<()> {
+        self.inner.free(id)
+    }
+
+    /// See [`PageStore::num_pages`].
+    pub fn num_pages(&self) -> usize {
+        self.inner.num_pages()
+    }
+
+    /// See [`PageStore::size_bytes`].
+    pub fn size_bytes(&self) -> usize {
+        self.inner.size_bytes()
+    }
+
+    /// See [`PageStore::stats`].
+    pub fn stats(&self) -> DiskStats {
+        self.inner.stats()
+    }
+
+    /// See [`PageStore::reset_stats`].
+    pub fn reset_stats(&mut self) {
+        self.inner.reset_stats()
+    }
+
+    /// See [`PageStore::corrupt`].
+    pub fn corrupt(&mut self, id: PageId, offset: usize, mask: u8) -> Result<()> {
+        self.inner.corrupt(id, offset, mask)
+    }
+
+    /// See `PageStore::set_stats` (paranoid audit support).
+    #[cfg(feature = "paranoid")]
+    pub(crate) fn set_stats(&mut self, stats: DiskStats) {
+        self.inner.set_stats(stats);
+    }
+
+    /// Raw page bytes in allocation order (persistence support).
+    pub(crate) fn raw_pages(&self) -> impl Iterator<Item = &[u8]> {
+        self.inner.raw_pages()
+    }
+
+    /// The current free list (persistence support).
+    pub(crate) fn free_list(&self) -> &[PageId] {
+        self.inner.free_list()
+    }
+}
+
+impl Default for FaultableStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PageIo for FaultableStore {
+    fn read_page(&mut self, id: PageId) -> Result<&[u8]> {
+        let fault = match self.injector.as_mut() {
+            Some(injector) => injector.on_read(),
+            None => ReadFault::None,
+        };
+        match fault {
+            ReadFault::Transient => {
+                // The store still counts the attempt: a failed read is a
+                // disk arm movement all the same.
+                let _checked = self.inner.read(id)?;
+                Err(IndexError::TransientIo(id))
+            }
+            ReadFault::Corrupt { offset, mask } => {
+                let data = self.inner.read(id)?;
+                self.scratch.copy_from_slice(data);
+                self.scratch[offset] ^= mask;
+                Ok(&self.scratch)
+            }
+            ReadFault::None => self.inner.read(id),
+        }
+    }
+
+    fn write_page(&mut self, id: PageId, data: &[u8]) -> Result<()> {
+        let torn_at = match self.injector.as_mut() {
+            Some(injector) => injector.on_write(),
+            None => None,
+        };
+        match torn_at {
+            Some(keep) => {
+                let keep = keep.min(data.len());
+                self.scratch[..keep].copy_from_slice(&data[..keep]);
+                self.scratch[keep..].fill(0);
+                // Deliberately silent: a torn write *looks* successful.
+                // The checksum catches it on the next read.
+                let scratch = std::mem::take(&mut self.scratch);
+                let outcome = self.inner.write(id, &scratch);
+                self.scratch = scratch;
+                outcome
+            }
+            None => self.inner.write(id, data),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checksum;
+
+    fn page_with(byte: u8) -> Vec<u8> {
+        let mut page = vec![byte; PAGE_SIZE];
+        checksum::embed(&mut page);
+        page
+    }
+
+    #[test]
+    fn quiet_injector_is_invisible() {
+        let mut faulty = FaultableStore::new();
+        let mut plain = PageStore::new();
+        let fid = faulty.allocate();
+        let pid = plain.allocate();
+        faulty.set_injection(Some(FaultConfig::quiet(7)));
+        let page = page_with(5);
+        faulty.write_page(fid, &page).unwrap();
+        plain.write_page(pid, &page).unwrap();
+        assert_eq!(
+            faulty.read_page(fid).unwrap(),
+            plain.read_page(pid).unwrap()
+        );
+        let stats = faulty.fault_stats().unwrap();
+        assert_eq!((stats.reads, stats.writes), (1, 1));
+        assert_eq!(
+            stats.transient_errors + stats.corrupted_reads + stats.torn_writes,
+            0
+        );
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let config = FaultConfig::quiet(42)
+            .with_read_transient(0.3)
+            .with_read_corrupt(0.2)
+            .with_stall(0.1, 50);
+        let run = || {
+            let mut store = FaultableStore::new();
+            let id = store.allocate();
+            store.write_page(id, &page_with(9)).unwrap();
+            store.set_injection(Some(config));
+            let outcomes: Vec<bool> = (0..200).map(|_| store.read_page(id).is_ok()).collect();
+            (outcomes, store.fault_stats().unwrap())
+        };
+        let (a, sa) = run();
+        let (b, sb) = run();
+        assert_eq!(a, b, "fault schedule must be a pure function of the seed");
+        assert_eq!(sa, sb);
+        assert!(sa.transient_errors > 0, "rate 0.3 over 200 reads must fire");
+    }
+
+    #[test]
+    fn corrupted_reads_leave_the_store_intact() {
+        let mut store = FaultableStore::new();
+        let id = store.allocate();
+        let page = page_with(3);
+        store.write_page(id, &page).unwrap();
+        store.set_injection(Some(FaultConfig::quiet(1).with_read_corrupt(1.0)));
+        let bytes = store.read_page(id).unwrap().to_vec();
+        assert_ne!(bytes, page, "a certain-corruption read must differ");
+        assert!(
+            checksum::verify(&bytes).is_err(),
+            "one flipped bit is caught"
+        );
+        // Disable injection: the stored page was never harmed.
+        store.set_injection(None);
+        assert_eq!(store.read_page(id).unwrap(), &page[..]);
+    }
+
+    #[test]
+    fn torn_writes_persist_a_prefix_and_fail_verification() {
+        let mut store = FaultableStore::new();
+        let id = store.allocate();
+        store.set_injection(Some(FaultConfig::quiet(11).with_torn_write(1.0)));
+        let mut page = vec![0u8; PAGE_SIZE];
+        for (i, b) in page.iter_mut().enumerate() {
+            *b = (i % 13) as u8 + 1;
+        }
+        checksum::embed(&mut page);
+        store.write_page(id, &page).unwrap();
+        store.set_injection(None);
+        let stored = store.read_page(id).unwrap();
+        assert_ne!(stored, &page[..], "the tail must have been lost");
+        assert!(
+            checksum::verify(stored).is_err(),
+            "torn page fails its checksum"
+        );
+    }
+
+    #[test]
+    fn stalls_accumulate_simulated_time_without_failing() {
+        let mut store = FaultableStore::new();
+        let id = store.allocate();
+        store.write_page(id, &page_with(2)).unwrap();
+        store.set_injection(Some(FaultConfig::quiet(3).with_stall(1.0, 250)));
+        for _ in 0..4 {
+            store.read_page(id).unwrap();
+        }
+        let stats = store.fault_stats().unwrap();
+        assert_eq!(stats.stalls, 4);
+        assert_eq!(stats.stall_us, 1000);
+    }
+
+    #[test]
+    fn transient_faults_resolve_on_retry() {
+        let mut store = FaultableStore::new();
+        let id = store.allocate();
+        store.write_page(id, &page_with(8)).unwrap();
+        // p = 0.5: some read in the first dozen draws both fails and then
+        // succeeds on retry, for any seed.
+        store.set_injection(Some(FaultConfig::quiet(5).with_read_transient(0.5)));
+        let mut saw_failure = false;
+        let mut saw_recovery = false;
+        for _ in 0..50 {
+            match store.read_page(id) {
+                Ok(_) => {
+                    if saw_failure {
+                        saw_recovery = true;
+                    }
+                }
+                Err(IndexError::TransientIo(p)) => {
+                    assert_eq!(p, id);
+                    saw_failure = true;
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(saw_failure && saw_recovery);
+    }
+}

@@ -27,7 +27,9 @@
 #![deny(missing_docs)]
 
 mod buffer;
+pub mod checksum;
 mod codec;
+pub mod fault;
 pub mod knn;
 pub mod metrics;
 pub mod mindist;
@@ -42,6 +44,7 @@ mod traits;
 mod validate;
 
 pub use buffer::{BufferPool, BufferStats, LruCache};
+pub use fault::{FaultConfig, FaultInjector, FaultStats, FaultableStore, PageIo};
 pub use knn::{knn_segments, knn_segments_traced, KnnMatch};
 pub use metrics::{MetricsSink, NoopSink, SharedSink};
 pub use node::{InternalEntry, LeafEntry, Node, INTERNAL_CAPACITY, LEAF_CAPACITY};
@@ -53,11 +56,58 @@ pub use tbtree::TbTree;
 pub use traits::{IndexStats, TrajectoryIndex, TrajectoryIndexWrite};
 pub use validate::{check_invariants, InvariantReport};
 
+/// Why an allocated page cannot be served (see
+/// [`IndexError::PageUnavailable`]). Distinct from
+/// [`IndexError::UnknownPage`], which means the id was *never* allocated —
+/// an unknown page is a caller bug (a dangling pointer in the tree), while
+/// an unavailable page is a lifecycle state the storage layer itself
+/// manages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unavailability {
+    /// The page was freed and sits on the free list awaiting reuse.
+    Freed,
+    /// The page was quarantined by the buffer manager after repeated
+    /// unrecoverable faults (checksum mismatches or exhausted retries). A
+    /// successful write of fresh content lifts the quarantine.
+    Quarantined,
+}
+
+impl std::fmt::Display for Unavailability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Unavailability::Freed => write!(f, "freed"),
+            Unavailability::Quarantined => write!(f, "quarantined"),
+        }
+    }
+}
+
 /// Errors produced by the index layer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum IndexError {
     /// A page id did not refer to an allocated page.
     UnknownPage(PageId),
+    /// An allocated page exists but is not currently readable (freed, or
+    /// quarantined after repeated faults).
+    PageUnavailable {
+        /// The offending page.
+        page: PageId,
+        /// Why the page cannot be served.
+        reason: Unavailability,
+    },
+    /// A page read failed transiently (injected or environmental). Retrying
+    /// the same read may succeed; the buffer manager does so with bounded
+    /// backoff before giving up.
+    TransientIo(PageId),
+    /// A page's stored checksum disagreed with its contents: bit rot, a
+    /// torn write, or corruption in transit.
+    ChecksumMismatch {
+        /// The offending page.
+        page: PageId,
+        /// The checksum stored in the page header.
+        expected: u32,
+        /// The checksum recomputed from the page contents.
+        found: u32,
+    },
     /// A page's bytes did not decode into a valid node.
     CorruptNode {
         /// The offending page.
@@ -83,6 +133,19 @@ impl std::fmt::Display for IndexError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IndexError::UnknownPage(p) => write!(f, "unknown page {p:?}"),
+            IndexError::PageUnavailable { page, reason } => {
+                write!(f, "page {page:?} is unavailable: {reason}")
+            }
+            IndexError::TransientIo(p) => write!(f, "transient I/O failure reading page {p:?}"),
+            IndexError::ChecksumMismatch {
+                page,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checksum mismatch on page {page:?}: header says {expected:#010x}, \
+                 contents hash to {found:#010x}"
+            ),
             IndexError::CorruptNode { page, reason } => {
                 write!(f, "corrupt node in page {page:?}: {reason}")
             }

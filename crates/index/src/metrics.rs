@@ -43,6 +43,16 @@ pub trait MetricsSink {
 
     /// An element left a best-first priority queue.
     fn heap_pop(&mut self) {}
+
+    /// A physical page read failed with a retryable fault and the buffer
+    /// manager is about to retry it.
+    fn io_retry(&mut self) {}
+
+    /// A fetched page failed checksum verification.
+    fn io_checksum_failure(&mut self) {}
+
+    /// A page exhausted its retry budget and was quarantined.
+    fn io_quarantine(&mut self) {}
 }
 
 /// The sink that records nothing. Generic query code instantiated with
@@ -71,6 +81,9 @@ pub struct SharedSink {
     bytes_decoded: std::sync::atomic::AtomicU64,
     heap_pushes: std::sync::atomic::AtomicU64,
     heap_pops: std::sync::atomic::AtomicU64,
+    io_retries: std::sync::atomic::AtomicU64,
+    checksum_failures: std::sync::atomic::AtomicU64,
+    pages_quarantined: std::sync::atomic::AtomicU64,
 }
 
 /// A plain-struct snapshot of a [`SharedSink`]'s counters.
@@ -88,6 +101,12 @@ pub struct SharedSinkSnapshot {
     pub heap_pushes: u64,
     /// Best-first heap pops.
     pub heap_pops: u64,
+    /// Physical reads retried after a retryable fault.
+    pub io_retries: u64,
+    /// Pages that failed checksum verification on fetch.
+    pub checksum_failures: u64,
+    /// Pages quarantined after exhausting their retry budget.
+    pub pages_quarantined: u64,
 }
 
 impl SharedSinkSnapshot {
@@ -127,6 +146,9 @@ impl SharedSink {
             bytes_decoded: self.bytes_decoded.load(Relaxed),
             heap_pushes: self.heap_pushes.load(Relaxed),
             heap_pops: self.heap_pops.load(Relaxed),
+            io_retries: self.io_retries.load(Relaxed),
+            checksum_failures: self.checksum_failures.load(Relaxed),
+            pages_quarantined: self.pages_quarantined.load(Relaxed),
         }
     }
 }
@@ -155,6 +177,18 @@ impl MetricsSink for SharedSink {
         self.heap_pops
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
+    fn io_retry(&mut self) {
+        self.io_retries
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+    fn io_checksum_failure(&mut self) {
+        self.checksum_failures
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+    fn io_quarantine(&mut self) {
+        self.pages_quarantined
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
 }
 
 impl MetricsSink for &SharedSink {
@@ -181,6 +215,18 @@ impl MetricsSink for &SharedSink {
         self.heap_pops
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
+    fn io_retry(&mut self) {
+        self.io_retries
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+    fn io_checksum_failure(&mut self) {
+        self.checksum_failures
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+    fn io_quarantine(&mut self) {
+        self.pages_quarantined
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
 }
 
 impl<S: MetricsSink + ?Sized> MetricsSink for &mut S {
@@ -202,6 +248,15 @@ impl<S: MetricsSink + ?Sized> MetricsSink for &mut S {
     fn heap_pop(&mut self) {
         (**self).heap_pop();
     }
+    fn io_retry(&mut self) {
+        (**self).io_retry();
+    }
+    fn io_checksum_failure(&mut self) {
+        (**self).io_checksum_failure();
+    }
+    fn io_quarantine(&mut self) {
+        (**self).io_quarantine();
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +271,9 @@ mod tests {
         bytes: u64,
         pushes: u64,
         pops: u64,
+        retries: u64,
+        checksum_failures: u64,
+        quarantines: u64,
     }
 
     impl MetricsSink for Tally {
@@ -237,6 +295,15 @@ mod tests {
         fn heap_pop(&mut self) {
             self.pops += 1;
         }
+        fn io_retry(&mut self) {
+            self.retries += 1;
+        }
+        fn io_checksum_failure(&mut self) {
+            self.checksum_failures += 1;
+        }
+        fn io_quarantine(&mut self) {
+            self.quarantines += 1;
+        }
     }
 
     fn drive<S: MetricsSink>(sink: &mut S) {
@@ -248,6 +315,10 @@ mod tests {
         sink.heap_push();
         sink.heap_push();
         sink.heap_pop();
+        sink.io_retry();
+        sink.io_retry();
+        sink.io_checksum_failure();
+        sink.io_quarantine();
     }
 
     #[test]
@@ -257,6 +328,7 @@ mod tests {
         assert_eq!(t.nodes, vec![0, 2]);
         assert_eq!((t.hits, t.misses, t.bytes), (1, 1, 4096));
         assert_eq!((t.pushes, t.pops), (2, 1));
+        assert_eq!((t.retries, t.checksum_failures, t.quarantines), (2, 1, 1));
     }
 
     #[test]
@@ -284,6 +356,9 @@ mod tests {
         assert_eq!((snap.buffer_hits, snap.buffer_misses), (2, 2));
         assert_eq!(snap.bytes_decoded, 8192);
         assert_eq!((snap.heap_pushes, snap.heap_pops), (4, 2));
+        assert_eq!(snap.io_retries, 4);
+        assert_eq!(snap.checksum_failures, 2);
+        assert_eq!(snap.pages_quarantined, 2);
     }
 
     #[test]

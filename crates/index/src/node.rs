@@ -208,6 +208,9 @@ impl Node {
             HEADER_SIZE + self.len() * entry_size,
             "encoded size disagrees with the layout constants"
         );
+        // The reserved header word doubles as the page checksum slot; the
+        // buffer pool seals it at write-back (decode ignores the slot, so
+        // encode/decode round-trips are unaffected either way).
         buf
     }
 

@@ -5,7 +5,9 @@
 //! reports — *how much of the index a query touches* — while making runs
 //! deterministic and portable (see DESIGN.md, substitution 3).
 
-use crate::{IndexError, Result};
+use std::collections::HashSet;
+
+use crate::{IndexError, Result, Unavailability};
 
 /// Size of one disk page in bytes (the paper's setting).
 pub const PAGE_SIZE: usize = 4096;
@@ -45,6 +47,11 @@ pub struct PageStore {
     pages: Vec<Box<[u8]>>,
     /// Pages returned by [`PageStore::free`], reused by the next allocation.
     free_list: Vec<PageId>,
+    /// Set view of `free_list` for O(1) lifecycle checks: reading, writing
+    /// or re-freeing a freed page is a typed error
+    /// ([`IndexError::PageUnavailable`]), not an `UnknownPage` — "freed" and
+    /// "never allocated" are different caller bugs.
+    freed: HashSet<PageId>,
     stats: DiskStats,
 }
 
@@ -54,6 +61,7 @@ impl PageStore {
         PageStore {
             pages: Vec::new(),
             free_list: Vec::new(),
+            freed: HashSet::new(),
             stats: DiskStats::default(),
         }
     }
@@ -62,6 +70,7 @@ impl PageStore {
     /// returns its id.
     pub fn allocate(&mut self) -> PageId {
         if let Some(id) = self.free_list.pop() {
+            self.freed.remove(&id);
             self.pages[id.index()].fill(0);
             return id;
         }
@@ -75,15 +84,36 @@ impl PageStore {
         id
     }
 
-    /// Returns a page to the free list for reuse. Freeing an unknown or
-    /// already-free page is a logic error in the caller; the store checks
-    /// the former.
+    /// Returns a page to the free list for reuse. Freeing a never-allocated
+    /// page is [`IndexError::UnknownPage`]; a double free is
+    /// [`IndexError::PageUnavailable`] — both typed, neither a panic.
     pub fn free(&mut self, id: PageId) -> Result<()> {
         if id.index() >= self.pages.len() {
             return Err(IndexError::UnknownPage(id));
         }
-        debug_assert!(!self.free_list.contains(&id), "double free of {id:?}");
+        if !self.freed.insert(id) {
+            return Err(IndexError::PageUnavailable {
+                page: id,
+                reason: Unavailability::Freed,
+            });
+        }
         self.free_list.push(id);
+        Ok(())
+    }
+
+    /// Classifies `id` before serving it: never allocated is
+    /// [`IndexError::UnknownPage`], freed is
+    /// [`IndexError::PageUnavailable`].
+    fn check_live(&self, id: PageId) -> Result<()> {
+        if id.index() >= self.pages.len() {
+            return Err(IndexError::UnknownPage(id));
+        }
+        if self.freed.contains(&id) {
+            return Err(IndexError::PageUnavailable {
+                page: id,
+                reason: Unavailability::Freed,
+            });
+        }
         Ok(())
     }
 
@@ -100,21 +130,26 @@ impl PageStore {
     /// Reads a page, counting one physical read.
     pub fn read(&mut self, id: PageId) -> Result<&[u8]> {
         self.stats.reads += 1;
-        self.pages
-            .get(id.index())
-            .map(|p| &p[..])
-            .ok_or(IndexError::UnknownPage(id))
+        self.check_live(id)?;
+        Ok(&self.pages[id.index()][..])
     }
 
     /// Writes a full page, counting one physical write.
     pub fn write(&mut self, id: PageId, data: &[u8]) -> Result<()> {
         assert_eq!(data.len(), PAGE_SIZE, "pages are written whole");
-        let page = self
-            .pages
-            .get_mut(id.index())
-            .ok_or(IndexError::UnknownPage(id))?;
-        page.copy_from_slice(data);
+        self.check_live(id)?;
+        self.pages[id.index()].copy_from_slice(data);
         self.stats.writes += 1;
+        Ok(())
+    }
+
+    /// Flips bit(s) of one stored byte in place — `XOR`s `mask` into the
+    /// byte at `offset` — bypassing the I/O counters. Chaos/robustness test
+    /// support: simulates bit rot landing on the "disk" between I/Os.
+    pub fn corrupt(&mut self, id: PageId, offset: usize, mask: u8) -> Result<()> {
+        assert!(offset < PAGE_SIZE, "corruption offset beyond the page");
+        self.check_live(id)?;
+        self.pages[id.index()][offset] ^= mask;
         Ok(())
     }
 
@@ -130,9 +165,11 @@ impl PageStore {
 
     /// Rebuilds a store from persisted raw pages and free list.
     pub(crate) fn from_raw(pages: Vec<Box<[u8]>>, free_list: Vec<PageId>) -> Self {
+        let freed = free_list.iter().copied().collect();
         PageStore {
             pages,
             free_list,
+            freed,
             stats: DiskStats::default(),
         }
     }
@@ -214,5 +251,43 @@ mod tests {
             Err(IndexError::UnknownPage(PageId(7)))
         ));
         assert!(s.write(PageId(7), &[0u8; PAGE_SIZE]).is_err());
+    }
+
+    #[test]
+    fn freed_pages_are_unavailable_not_unknown() {
+        let mut s = PageStore::new();
+        let a = s.allocate();
+        s.free(a).unwrap();
+        let unavailable = |r: Result<()>| {
+            matches!(
+                r,
+                Err(IndexError::PageUnavailable {
+                    reason: Unavailability::Freed,
+                    ..
+                })
+            )
+        };
+        assert!(unavailable(s.read(a).map(|_| ())));
+        assert!(unavailable(s.write(a, &[0u8; PAGE_SIZE])));
+        assert!(unavailable(s.corrupt(a, 0, 1)));
+        // Double free is the same lifecycle error, typed, not a panic.
+        assert!(unavailable(s.free(a)));
+        // Reallocation revives the page.
+        let b = s.allocate();
+        assert_eq!(b, a);
+        assert!(s.read(b).is_ok());
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_the_requested_bit() {
+        let mut s = PageStore::new();
+        let a = s.allocate();
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[100] = 0b1010_0000;
+        s.write(a, &data).unwrap();
+        let writes_before = s.stats().writes;
+        s.corrupt(a, 100, 0b0000_0001).unwrap();
+        assert_eq!(s.stats().writes, writes_before, "corruption is not I/O");
+        assert_eq!(s.read(a).unwrap()[100], 0b1010_0001);
     }
 }

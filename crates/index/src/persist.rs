@@ -317,6 +317,110 @@ mod roundtrip_tests {
         assert!(Rtree3D::load(&bytes[..]).is_ok());
     }
 
+    /// Truncating a saved image at any depth — inside the header, inside
+    /// the free list, mid-page, or one byte short — is a clean
+    /// [`IndexError::Persist`](crate::IndexError::Persist), never a panic
+    /// or a silently short tree.
+    #[test]
+    fn truncated_images_are_rejected_at_every_depth() {
+        let mut tree = Rtree3D::new();
+        for s in 0..120u32 {
+            for id in 0..5u64 {
+                tree.insert(entry(id, s, f64::from(s))).unwrap();
+            }
+        }
+        let mut bytes = Vec::new();
+        tree.save(&mut bytes).unwrap();
+        assert!(Rtree3D::load(&bytes[..]).is_ok(), "untruncated sanity");
+
+        let cuts = [
+            4,               // inside the magic
+            10,              // inside the fixed header
+            40,              // around the free list / tips counts
+            bytes.len() / 2, // mid page data
+            bytes.len() - 1, // one byte short
+        ];
+        for cut in cuts {
+            let err = Rtree3D::load(&bytes[..cut])
+                .err()
+                .unwrap_or_else(|| panic!("truncation at {cut} must fail"));
+            assert!(
+                matches!(err, crate::IndexError::Persist(_)),
+                "truncation at {cut}: expected Persist, got {err:?}"
+            );
+        }
+    }
+
+    /// A single flipped bit in the page-data region survives loading (the
+    /// image is structurally sound) but is caught by the page checksum on
+    /// the first fetch of the rotten page — and the page is quarantined
+    /// afterwards, so the second fetch fast-fails without re-reading.
+    #[test]
+    fn bit_flipped_page_is_caught_on_first_fetch_and_quarantined() {
+        let mut tree = Rtree3D::new();
+        for s in 0..120u32 {
+            for id in 0..5u64 {
+                tree.insert(entry(id, s, f64::from(s))).unwrap();
+            }
+        }
+        let root = tree.root().expect("non-empty tree");
+        let mut bytes = Vec::new();
+        tree.save(&mut bytes).unwrap();
+
+        // The page data is the image's tail: pages × PAGE_SIZE raw bytes.
+        let data_start = bytes.len() - tree.num_pages() * crate::PAGE_SIZE;
+        let rot = data_start + root.index() * crate::PAGE_SIZE + 100;
+        bytes[rot] ^= 0x10;
+
+        let mut loaded = Rtree3D::load(&bytes[..]).expect("structurally sound image loads");
+        let err = loaded.read_node(root).expect_err("rot must surface");
+        match err {
+            crate::IndexError::ChecksumMismatch {
+                page,
+                expected,
+                found,
+            } => {
+                assert_eq!(page, root);
+                assert_ne!(expected, found);
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+        // Retries exhausted on a persistently-rotten page ⇒ quarantined.
+        match loaded.read_node(root).expect_err("still unavailable") {
+            crate::IndexError::PageUnavailable { page, reason } => {
+                assert_eq!(page, root);
+                assert_eq!(reason, crate::Unavailability::Quarantined);
+            }
+            other => panic!("expected PageUnavailable, got {other:?}"),
+        }
+    }
+
+    /// Same rot, but on a page the search never touches: queries against
+    /// the healthy part of the tree keep answering.
+    #[test]
+    fn rot_outside_the_search_path_leaves_other_reads_working() {
+        let mut tree = Rtree3D::new();
+        for s in 0..120u32 {
+            for id in 0..5u64 {
+                tree.insert(entry(id, s, f64::from(s))).unwrap();
+            }
+        }
+        let root = tree.root().expect("non-empty tree");
+        // Pick a victim that is not the root.
+        let victim = (0..tree.num_pages() as u32)
+            .map(crate::PageId)
+            .find(|p| *p != root)
+            .expect("more than one page");
+        let mut bytes = Vec::new();
+        tree.save(&mut bytes).unwrap();
+        let data_start = bytes.len() - tree.num_pages() * crate::PAGE_SIZE;
+        bytes[data_start + victim.index() * crate::PAGE_SIZE + 9] ^= 0x01;
+
+        let mut loaded = Rtree3D::load(&bytes[..]).expect("loads");
+        // The root still reads cleanly.
+        loaded.read_node(root).expect("healthy page reads fine");
+    }
+
     #[test]
     fn file_roundtrip() {
         let dir = std::env::temp_dir().join("mst_persist_test");

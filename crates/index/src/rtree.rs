@@ -572,6 +572,15 @@ impl TrajectoryIndex for Rtree3D {
         self.pager.set_fixed_capacity(capacity)
     }
 
+    fn set_fault_injection(&mut self, config: Option<crate::fault::FaultConfig>) -> Result<()> {
+        self.pager.set_fault_injection(config);
+        Ok(())
+    }
+
+    fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        self.pager.store.fault_stats()
+    }
+
     fn audit_buffer(&self) -> std::result::Result<(), String> {
         self.pager.audit()
     }

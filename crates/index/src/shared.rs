@@ -179,6 +179,20 @@ impl<I: TrajectoryIndex> TrajectoryIndex for IndexReader<'_, I> {
         guard.set_buffer_capacity(capacity)
     }
 
+    fn set_fault_injection(&mut self, config: Option<crate::fault::FaultConfig>) -> Result<()> {
+        let mut guard = self.shared.lock()?;
+        guard.set_fault_injection(config)
+    }
+
+    fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        match self.shared.lock() {
+            Ok(guard) => guard.fault_stats(),
+            // This signature cannot carry a poisoning error; `None` is the
+            // documented "no injection data" value.
+            Err(_) => None,
+        }
+    }
+
     fn leaf_chain_tips(&self) -> Vec<(TrajectoryId, PageId)> {
         match self.shared.lock() {
             Ok(guard) => guard.leaf_chain_tips(),

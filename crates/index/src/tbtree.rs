@@ -515,6 +515,15 @@ impl TrajectoryIndex for TbTree {
         self.pager.set_fixed_capacity(capacity)
     }
 
+    fn set_fault_injection(&mut self, config: Option<crate::fault::FaultConfig>) -> Result<()> {
+        self.pager.set_fault_injection(config);
+        Ok(())
+    }
+
+    fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        self.pager.store.fault_stats()
+    }
+
     fn leaf_chain_tips(&self) -> Vec<(TrajectoryId, PageId)> {
         let mut tips: Vec<(TrajectoryId, PageId)> =
             self.tips.iter().map(|(&t, &p)| (t, p)).collect();

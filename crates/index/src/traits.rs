@@ -3,8 +3,11 @@
 
 use mst_trajectory::{Mbb, TrajectoryId};
 
+use crate::fault::{FaultConfig, FaultStats, FaultableStore};
 use crate::metrics::{MetricsSink, NoopSink};
-use crate::{BufferPool, BufferStats, DiskStats, LeafEntry, Node, PageId, PageStore, Result};
+use crate::{
+    BufferPool, BufferStats, DiskStats, IndexError, LeafEntry, Node, PageId, PageStore, Result,
+};
 
 /// The paper's buffer sizing rule: 10% of the index size, capped at 1000
 /// pages (and floored at a handful so tiny indexes still run buffered).
@@ -31,9 +34,12 @@ pub struct IndexStats {
     pub buffer: BufferStats,
 }
 
-/// Pages + buffer, shared by both tree implementations.
+/// Pages + buffer, shared by both tree implementations. The store is
+/// wrapped in a [`FaultableStore`] so every physical I/O can be subjected
+/// to deterministic fault injection; with injection disabled (the
+/// default) the wrapper is a transparent pass-through.
 pub(crate) struct Pager {
-    pub store: PageStore,
+    pub store: FaultableStore,
     pub pool: BufferPool,
     pub node_reads: u64,
     /// When set, pins the buffer to a fixed page count instead of the
@@ -44,7 +50,7 @@ pub(crate) struct Pager {
 impl Pager {
     pub fn new() -> Self {
         Pager {
-            store: PageStore::new(),
+            store: FaultableStore::new(),
             pool: BufferPool::new(paper_buffer_capacity(0)),
             node_reads: 0,
             fixed_capacity: None,
@@ -55,11 +61,17 @@ impl Pager {
     pub fn from_store(store: PageStore) -> Self {
         let cap = paper_buffer_capacity(store.num_pages());
         Pager {
-            store,
+            store: FaultableStore::from_store(store),
             pool: BufferPool::new(cap),
             node_reads: 0,
             fixed_capacity: None,
         }
+    }
+
+    /// Enables (`Some`) or disables (`None`) deterministic fault injection
+    /// on the pager's physical I/O.
+    pub fn set_fault_injection(&mut self, config: Option<FaultConfig>) {
+        self.store.set_injection(config);
     }
 
     /// Pins (or, with `None`, un-pins) the buffer capacity.
@@ -191,6 +203,26 @@ pub trait TrajectoryIndex {
     /// Pins the buffer pool to a fixed page capacity, or restores the
     /// paper's auto-sizing rule with `None` (used by buffer ablations).
     fn set_buffer_capacity(&mut self, capacity: Option<usize>) -> Result<()>;
+
+    /// Enables (`Some(config)`) or disables (`None`) deterministic fault
+    /// injection on the index's physical page I/O (chaos testing).
+    /// Enabling replaces any previous schedule and resets its statistics.
+    /// The default is for index views without their own storage: disabling
+    /// is a no-op, enabling is an error rather than a silent lie.
+    fn set_fault_injection(&mut self, config: Option<FaultConfig>) -> Result<()> {
+        match config {
+            None => Ok(()),
+            Some(_) => Err(IndexError::Buffer(
+                "this index view has no fault-injectable page store".to_string(),
+            )),
+        }
+    }
+
+    /// Counters of the injected faults, when fault injection is enabled.
+    /// `None` when injection is off or unsupported.
+    fn fault_stats(&self) -> Option<FaultStats> {
+        None
+    }
 
     /// For trajectory-preserving indexes (the TB-tree): each trajectory's
     /// tip leaf, the head of its backward leaf chain. Indexes without leaf

@@ -35,6 +35,13 @@
 //!   panicking thread must surface lock poisoning as
 //!   `IndexError::Poisoned` (or another error), never cascade into more
 //!   panics.
+//! * **R8** — no silently discarded fallible calls in the algorithm-crate
+//!   library code: `let _ = some_call(...)` and statement-ending `.ok();`
+//!   throw away a `Result` (the fault-injection layer makes every page
+//!   I/O fallible — a swallowed error there hides real corruption).
+//!   Detection is shape-based (a call-looking right-hand side; plain
+//!   `let _ = ident;` parameter-silencers are fine); genuine fire-and-forget
+//!   sites opt out with `// invariant:`.
 //!
 //! The scanner is line-based. Comments and string/char literal bodies are
 //! stripped before pattern matching, and `#[cfg(test)]` items are skipped
@@ -526,6 +533,52 @@ fn check_no_lock_unwrap(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
     }
 }
 
+/// R8: a discarded fallible call. `let _ = call(...)` and a
+/// statement-ending `.ok();` both swallow a `Result` without looking at
+/// it — with the fault-injection layer in place, that is how torn pages
+/// and checksum mismatches vanish. The right-hand side must be
+/// call-shaped (starts with an identifier and applies arguments) so the
+/// idiomatic unused-parameter silencers (`let _ = n;`,
+/// `let _ = (bound, n);`, `let _ = &reason;`) stay legal.
+fn check_no_result_discards(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test || excused_by_invariant(lines, i) {
+            continue;
+        }
+        let code = line.code.trim();
+        for marker in ["let _ = ", "let _ ="] {
+            let Some(pos) = code.find(marker) else {
+                continue;
+            };
+            let rhs = code[pos + marker.len()..].trim_start();
+            if rhs.starts_with(|c: char| c.is_alphanumeric() || c == '_') && rhs.contains('(') {
+                out.push(Violation {
+                    file: file.to_path_buf(),
+                    line: line.number,
+                    rule: "R8",
+                    message: "`let _ =` discards a call result; handle the \
+                              `Result` (or justify with `// invariant:`)"
+                        .to_string(),
+                });
+            }
+            break;
+        }
+        // A trailing `.ok();` is only a discard when nothing receives the
+        // value: assignments and `return` statements keep it.
+        if code.ends_with(".ok();") && !code.contains('=') && !code.starts_with("return") {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: line.number,
+                rule: "R8",
+                message: "statement-ending `.ok();` swallows an error; \
+                          handle the `Result` (or justify with \
+                          `// invariant:`)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 /// Iterates the identifier-shaped words of a sanitised line.
 fn tokenize_words(code: &str) -> impl Iterator<Item = &str> {
     code.split(|c: char| !c.is_alphanumeric() && c != '_')
@@ -558,7 +611,8 @@ fn rs_files(dir: &Path) -> Vec<PathBuf> {
 fn run_check(root: &Path) -> Vec<Violation> {
     let mut out = Vec::new();
 
-    // R1: panic-free library code in the algorithm and execution crates.
+    // R1 + R8: panic-free, discard-free library code in the algorithm and
+    // execution crates.
     for dir in [
         "crates/trajectory/src",
         "crates/index/src",
@@ -567,13 +621,15 @@ fn run_check(root: &Path) -> Vec<Violation> {
     ] {
         for file in rs_files(&root.join(dir)) {
             if let Ok(src) = fs::read_to_string(&file) {
-                check_no_panics(&file, &scan(&src), &mut out);
+                let lines = scan(&src);
+                check_no_panics(&file, &lines, &mut out);
+                check_no_result_discards(&file, &lines, &mut out);
             }
         }
     }
 
     // R2: cast-free binary-format modules.
-    for name in ["codec.rs", "persist.rs", "pagestore.rs"] {
+    for name in ["codec.rs", "persist.rs", "pagestore.rs", "checksum.rs"] {
         let file = root.join("crates/index/src").join(name);
         if let Ok(src) = fs::read_to_string(&file) {
             check_no_lossy_casts(&file, &scan(&src), &mut out);
@@ -956,6 +1012,52 @@ mod tests {
             &lines_of(
                 "// invariant: single-threaded setup, no poisoner can exist\n\
                  let g = mutex.lock().unwrap();",
+            ),
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn r8_flags_discarded_calls_but_not_parameter_silencers() {
+        let mut out = Vec::new();
+        check_no_result_discards(
+            Path::new("lib.rs"),
+            &lines_of(
+                "let _ = store.write(id, &page);\n\
+                 let _ = flush_all(pool);\n\
+                 pool.flush(store).ok();",
+            ),
+            &mut out,
+        );
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(out.iter().all(|v| v.rule == "R8"));
+        // The idiomatic silencers for unused default-impl parameters, and
+        // value-position `.ok()`, are all legal.
+        out.clear();
+        check_no_result_discards(
+            Path::new("lib.rs"),
+            &lines_of(
+                "let _ = n;\n\
+                 let _ = (bound, n);\n\
+                 let _ = &reason;\n\
+                 let v = result.ok();\n\
+                 let first = lock.ok().map(|g| g.value);",
+            ),
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn r8_respects_tests_and_invariant_justifications() {
+        let mut out = Vec::new();
+        check_no_result_discards(
+            Path::new("lib.rs"),
+            &lines_of(
+                "// invariant: best-effort cleanup, failure changes nothing\n\
+                 let _ = remove_file(&path);\n\
+                 #[cfg(test)]\nmod t { fn f() { fs::remove_file(p).ok(); } }",
             ),
             &mut out,
         );
