@@ -15,6 +15,12 @@
 #   8. the chaos smoke test in release mode (seeded fault injection:
 #      quiet schedule must be bit-identical, noisy schedule must stay
 #      honest — no panics, balanced ledgers, named shard failures)
+#   9. the server smoke test in release mode (real TCP loopback: a k-MST
+#      answer, a malformed frame answered with a typed error, honest
+#      stats counters, and a graceful drain on an ephemeral port)
+#  10. the serving smoke benchmark (concurrent loopback clients;
+#      regenerates BENCH_serve.json and fails on cross-client
+#      nondeterminism, counter drift, or dead admission control)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -41,5 +47,11 @@ cargo run --release -q -p mst-bench --bin throughput -- --smoke
 
 echo "==> chaos smoke (seeded fault injection)"
 cargo test -q --release --test chaos chaos_smoke
+
+echo "==> server smoke (TCP loopback, malformed frame, stats, drain)"
+cargo test -q --release -p mst-serve --test loopback server_smoke
+
+echo "==> serving smoke bench (BENCH_serve.json)"
+cargo run --release -q -p mst-bench --bin serve -- --smoke
 
 echo "ci.sh: all gates passed"

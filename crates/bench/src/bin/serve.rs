@@ -1,0 +1,66 @@
+//! Emits `BENCH_serve.json`: end-to-end loopback throughput of the
+//! `mst-serve` TCP layer under concurrent clients, plus a deliberate
+//! saturation probe of its admission control.
+//!
+//! Usage: `cargo run -p mst-bench --release --bin serve --
+//! [--smoke] [--objects 200] [--samples 600] [--clients 8]
+//! [--requests 24] [--k 4] [--seed 11] [--out BENCH_serve.json]`
+//!
+//! `--smoke` selects the small CI configuration. The process exits
+//! non-zero when [`ServeReport::validate`] detects serving
+//! nondeterminism, counter/client disagreement, silent query loss, or an
+//! overload probe that never saw typed backpressure.
+//!
+//! [`ServeReport::validate`]: mst_bench::experiments::ServeReport::validate
+
+use mst_bench::args::Args;
+use mst_bench::experiments::{serve_bench, ServeConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let base = if args.has("smoke") {
+        ServeConfig::smoke()
+    } else {
+        ServeConfig::default()
+    };
+    let cfg = ServeConfig {
+        objects: args.get("objects", base.objects),
+        samples: args.get("samples", base.samples),
+        shards: args.get("shards", base.shards),
+        workers: args.get("workers", base.workers),
+        queue: args.get("queue", base.queue),
+        clients: args.get("clients", base.clients),
+        requests_per_client: args.get("requests", base.requests_per_client),
+        probe_requests: args.get("probe-requests", base.probe_requests),
+        k: args.get("k", base.k),
+        length: args.get("length", base.length),
+        seed: args.get("seed", base.seed),
+    };
+    eprintln!(
+        "[serve] {} objects x {} samples behind {} shards, {} workers, queue {}, \
+         {} clients x {} requests...",
+        cfg.objects,
+        cfg.samples,
+        cfg.shards,
+        cfg.workers,
+        cfg.queue,
+        cfg.clients,
+        cfg.requests_per_client,
+    );
+    let report = serve_bench(&cfg);
+    let out = args.get("out", String::from("BENCH_serve.json"));
+    std::fs::write(&out, report.to_json()).expect("write report");
+    eprintln!("[serve] wrote {out}");
+    let failures = report.validate();
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("[serve] FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[serve] deterministic answers across clients, honest counters, live typed \
+         backpressure ({} host cores)",
+        report.host_parallelism
+    );
+}

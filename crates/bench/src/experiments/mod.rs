@@ -7,6 +7,7 @@ mod figure8;
 mod figure9;
 mod index_comparison;
 mod kmst_profile;
+mod serve;
 mod table2;
 mod throughput;
 
@@ -17,5 +18,6 @@ pub use figure8::figure8;
 pub use figure9::{figure9, Figure9Config};
 pub use index_comparison::{index_comparison, IndexComparisonConfig};
 pub use kmst_profile::{kmst_profile, KmstProfileConfig, KmstProfileReport};
+pub use serve::{serve_bench, OverloadPhase, ServeConfig, ServeReport, SteadyPhase};
 pub use table2::{table2, Table2Config};
 pub use throughput::{throughput, ThroughputConfig, ThroughputPoint, ThroughputReport};

@@ -1,0 +1,563 @@
+//! Loopback serving throughput: start an in-process `mst-serve` instance,
+//! hammer it from concurrent client threads over real TCP, and measure
+//! end-to-end queries/second and latency percentiles — then deliberately
+//! saturate a one-slot admission queue to prove backpressure is typed,
+//! counted, and non-blocking.
+//!
+//! Emits `BENCH_serve.json`. [`ServeReport::validate`] is the CI tripwire
+//! with four teeth:
+//!
+//! * **cross-client determinism** — every client issues the same query
+//!   stream and must read byte-identical answers;
+//! * **accounting** — the server's own counters must agree with what the
+//!   clients observed (completions, zero degradation, zero malformed
+//!   frames) and the merged work profile must show real index work;
+//! * **typed backpressure** — the overload probe must surface
+//!   `Overloaded` responses, and exactly as many as the server says it
+//!   rejected;
+//! * **no hangs** — every probe request must come back as either an
+//!   answer or a rejection; admitted + rejected must equal issued.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use mst_exec::ShardedDatabase;
+use mst_search::{MstMatch, QueryOptions};
+use mst_serve::{Response, ServeClient, Server, ServerConfig, StatsReport};
+use mst_trajectory::{TimeInterval, Trajectory};
+
+use crate::datasets::DatasetSpec;
+use crate::metrics::time_ms;
+use crate::workload::sample_queries;
+
+/// Configuration of the serving benchmark.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Moving objects in the synthetic dataset.
+    pub objects: usize,
+    /// Samples per object.
+    pub samples: usize,
+    /// Database shards behind the server.
+    pub shards: usize,
+    /// Executor worker threads of the steady-phase server.
+    pub workers: usize,
+    /// Admission-queue bound of the steady-phase server.
+    pub queue: usize,
+    /// Concurrent client connections in the steady phase.
+    pub clients: usize,
+    /// Requests each steady-phase client issues.
+    pub requests_per_client: usize,
+    /// Requests each overload-probe client fires at the one-slot server.
+    pub probe_requests: usize,
+    /// Results per query.
+    pub k: usize,
+    /// Query length fraction.
+    pub length: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            objects: 200,
+            samples: 600,
+            shards: 4,
+            workers: 4,
+            queue: 16,
+            clients: 8,
+            requests_per_client: 24,
+            probe_requests: 40,
+            k: 4,
+            length: 0.15,
+            seed: 11,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The CI configuration: small fleet, 4 clients — enough to prove
+    /// liveness of every moving part in a release build within seconds.
+    pub fn smoke() -> Self {
+        ServeConfig {
+            objects: 48,
+            samples: 180,
+            shards: 2,
+            workers: 2,
+            queue: 8,
+            clients: 4,
+            requests_per_client: 8,
+            probe_requests: 25,
+            k: 3,
+            length: 0.2,
+            seed: 11,
+        }
+    }
+}
+
+/// The steady-phase measurement.
+#[derive(Debug, Clone)]
+pub struct SteadyPhase {
+    /// Requests issued across all clients (excluding overload retries).
+    pub requests: usize,
+    /// Whole-phase wall time, milliseconds (connect to last response).
+    pub wall_ms: f64,
+    /// End-to-end queries per second over the phase.
+    pub qps: f64,
+    /// Median end-to-end latency, milliseconds (client-observed).
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end latency, milliseconds.
+    pub p99_ms: f64,
+    /// `Overloaded` responses absorbed by client retry.
+    pub overloaded_retries: u64,
+    /// The server's own account of the phase, read over the wire.
+    pub stats: StatsReport,
+    /// Per-client answer fingerprints, for cross-client determinism.
+    fingerprints: Vec<Vec<u64>>,
+}
+
+/// The overload-probe measurement: a one-worker, one-slot server under
+/// deliberate saturation, with no client retry.
+#[derive(Debug, Clone)]
+pub struct OverloadPhase {
+    /// Requests fired across all probe clients.
+    pub requests: usize,
+    /// Requests answered with a k-MST result.
+    pub completed: u64,
+    /// Requests answered with a typed `Overloaded` rejection.
+    pub overloaded: u64,
+    /// The server's own rejection counter, read over the wire.
+    pub server_rejections: u64,
+}
+
+/// The whole benchmark: steady throughput plus the overload probe.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// The configuration that produced the report.
+    pub config: ServeConfig,
+    /// Available hardware parallelism at run time (1 when unknown).
+    pub host_parallelism: usize,
+    /// The steady phase.
+    pub steady: SteadyPhase,
+    /// The overload probe.
+    pub overload: OverloadPhase,
+}
+
+/// FNV-1a over an answer's ids and dissimilarity bits, matching the
+/// executor benchmark's fingerprint so "equal answers" means the same
+/// thing in both reports.
+fn fingerprint(matches: &[MstMatch]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for m in matches {
+        eat(m.traj.0);
+        eat(m.dissim.to_bits());
+    }
+    h
+}
+
+fn percentile(sorted_ms: &[f64], pct: usize) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    sorted_ms[(sorted_ms.len() - 1) * pct / 100]
+}
+
+/// One steady-phase client: the full query stream, in order, retrying
+/// (and counting) `Overloaded` rejections so every query completes.
+fn steady_client(
+    addr: SocketAddr,
+    queries: &[(Trajectory, TimeInterval)],
+    k: usize,
+) -> (Vec<f64>, Vec<u64>, u64) {
+    let mut client = match ServeClient::connect(addr) {
+        Ok(client) => client,
+        Err(e) => panic!("steady client failed to connect: {e}"),
+    };
+    let mut latencies = Vec::with_capacity(queries.len());
+    let mut fingerprints = Vec::with_capacity(queries.len());
+    let mut overloaded = 0u64;
+    for (query, period) in queries {
+        let options = QueryOptions::new().k(k).during(period);
+        loop {
+            let (ms, response) = time_ms(|| client.kmst(query, options));
+            match response {
+                Ok(Response::Overloaded { .. }) => overloaded += 1,
+                Ok(Response::Kmst { degraded, matches }) => {
+                    assert!(!degraded, "no deadline is configured, nothing may degrade");
+                    latencies.push(ms);
+                    fingerprints.push(fingerprint(&matches));
+                    break;
+                }
+                Ok(other) => panic!("unexpected response to a k-MST request: {other:?}"),
+                Err(e) => panic!("steady client transport failure: {e}"),
+            }
+        }
+    }
+    (latencies, fingerprints, overloaded)
+}
+
+/// One overload-probe client: fire-and-record, no retry.
+fn probe_client(
+    addr: SocketAddr,
+    query: &Trajectory,
+    period: &TimeInterval,
+    shots: usize,
+) -> (u64, u64) {
+    let mut client = match ServeClient::connect(addr) {
+        Ok(client) => client,
+        Err(e) => panic!("probe client failed to connect: {e}"),
+    };
+    let options = QueryOptions::new().k(8).during(period);
+    let (mut completed, mut overloaded) = (0u64, 0u64);
+    for _ in 0..shots {
+        match client.kmst(query, options) {
+            Ok(Response::Kmst { .. }) => completed += 1,
+            Ok(Response::Overloaded { .. }) => overloaded += 1,
+            Ok(other) => panic!("unexpected response to a probe request: {other:?}"),
+            Err(e) => panic!("probe client transport failure: {e}"),
+        }
+    }
+    (completed, overloaded)
+}
+
+/// Runs both phases against in-process servers on ephemeral loopback
+/// ports.
+pub fn serve_bench(cfg: &ServeConfig) -> ServeReport {
+    let store = DatasetSpec::Synthetic {
+        objects: cfg.objects,
+        samples: cfg.samples,
+        seed: cfg.seed,
+    }
+    .build_store();
+    let specs = sample_queries(&store, cfg.requests_per_client, cfg.length, cfg.seed ^ 0xB5);
+    let queries: Vec<(Trajectory, TimeInterval)> =
+        specs.into_iter().map(|s| (s.query, s.period)).collect();
+    let fleet: Vec<_> = store.iter().map(|(id, t)| (id, t.clone())).collect();
+    let db = Arc::new(ShardedDatabase::with_rtree(cfg.shards, fleet).expect("shard build"));
+
+    // Steady phase: a well-provisioned server, N clients, same stream each.
+    let server = Server::start(
+        ServerConfig::new()
+            .workers(cfg.workers)
+            .queue_capacity(cfg.queue),
+        Arc::clone(&db),
+    )
+    .expect("steady server start");
+    let addr = server.local_addr();
+    let (wall_ms, outcomes) = time_ms(|| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|_| {
+                let queries = queries.clone();
+                let k = cfg.k;
+                std::thread::spawn(move || steady_client(addr, &queries, k))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("steady client panicked"))
+            .collect::<Vec<_>>()
+    });
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut fingerprints = Vec::new();
+    let mut overloaded_retries = 0u64;
+    for (lat, fps, over) in outcomes {
+        latencies.extend(lat);
+        fingerprints.push(fps);
+        overloaded_retries += over;
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let stats = match ServeClient::connect(addr) {
+        Ok(mut client) => {
+            let stats = client.stats().expect("stats request");
+            assert!(client.shutdown().expect("shutdown request"));
+            stats
+        }
+        Err(e) => panic!("stats client failed to connect: {e}"),
+    };
+    server.join();
+    let requests = cfg.clients * cfg.requests_per_client;
+    let steady = SteadyPhase {
+        requests,
+        wall_ms,
+        qps: if wall_ms > 0.0 {
+            requests as f64 / (wall_ms / 1000.0)
+        } else {
+            f64::INFINITY
+        },
+        p50_ms: percentile(&latencies, 50),
+        p99_ms: percentile(&latencies, 99),
+        overloaded_retries,
+        stats,
+        fingerprints,
+    };
+    eprintln!(
+        "[serve] steady: {} clients x {} requests: {:.1} ms, {:.0} qps, p50 {:.2} ms, p99 {:.2} ms, {} overload retries",
+        cfg.clients, cfg.requests_per_client, steady.wall_ms, steady.qps, steady.p50_ms,
+        steady.p99_ms, steady.overloaded_retries,
+    );
+
+    // Overload probe: one worker, a one-slot queue, no retry — saturation
+    // must surface as typed rejections, never as hangs.
+    let probe_server = Server::start(
+        ServerConfig::new().workers(1).queue_capacity(1),
+        Arc::clone(&db),
+    )
+    .expect("probe server start");
+    let probe_addr = probe_server.local_addr();
+    let probe_query = queries[0].clone();
+    let probe_outcomes: Vec<(u64, u64)> = {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|_| {
+                let (query, period) = probe_query.clone();
+                let shots = cfg.probe_requests;
+                std::thread::spawn(move || probe_client(probe_addr, &query, &period, shots))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("probe client panicked"))
+            .collect()
+    };
+    let server_rejections = match ServeClient::connect(probe_addr) {
+        Ok(mut client) => {
+            let stats = client.stats().expect("probe stats request");
+            assert!(client.shutdown().expect("probe shutdown request"));
+            stats.counters.overload_rejections
+        }
+        Err(e) => panic!("probe stats client failed to connect: {e}"),
+    };
+    probe_server.join();
+    let overload = OverloadPhase {
+        requests: cfg.clients * cfg.probe_requests,
+        completed: probe_outcomes.iter().map(|o| o.0).sum(),
+        overloaded: probe_outcomes.iter().map(|o| o.1).sum(),
+        server_rejections,
+    };
+    eprintln!(
+        "[serve] overload probe: {} fired, {} answered, {} rejected (server counted {})",
+        overload.requests, overload.completed, overload.overloaded, overload.server_rejections,
+    );
+
+    ServeReport {
+        config: cfg.clone(),
+        host_parallelism: std::thread::available_parallelism().map_or(1, usize::from),
+        steady,
+        overload,
+    }
+}
+
+impl ServeReport {
+    /// Renders the report as a JSON document (`BENCH_serve.json`).
+    pub fn to_json(&self) -> String {
+        let c = &self.config;
+        let s = &self.steady;
+        let o = &self.overload;
+        let sc = &s.stats.counters;
+        let sp = &s.stats.profile;
+        let mut out = String::new();
+        out.push_str("{\n  \"experiment\": \"serve\",\n");
+        out.push_str(&format!(
+            "  \"config\": {{\"objects\":{},\"samples\":{},\"shards\":{},\"workers\":{},\
+             \"queue\":{},\"clients\":{},\"requests_per_client\":{},\"probe_requests\":{},\
+             \"k\":{},\"length\":{},\"seed\":{}}},\n",
+            c.objects,
+            c.samples,
+            c.shards,
+            c.workers,
+            c.queue,
+            c.clients,
+            c.requests_per_client,
+            c.probe_requests,
+            c.k,
+            c.length,
+            c.seed,
+        ));
+        out.push_str(&format!(
+            "  \"host_parallelism\": {},\n",
+            self.host_parallelism
+        ));
+        out.push_str(&format!(
+            "  \"steady\": {{\"requests\":{},\"wall_ms\":{:.3},\"qps\":{:.1},\
+             \"p50_ms\":{:.3},\"p99_ms\":{:.3},\"overloaded_retries\":{},\
+             \"counters\":{{\"connections_accepted\":{},\"queries_admitted\":{},\
+             \"queries_completed\":{},\"queries_degraded\":{},\"overload_rejections\":{},\
+             \"malformed_frames\":{},\"invalid_queries\":{}}},\
+             \"profile\":{{\"nodes_accessed\":{},\"piece_evals\":{}}}}},\n",
+            s.requests,
+            s.wall_ms,
+            s.qps,
+            s.p50_ms,
+            s.p99_ms,
+            s.overloaded_retries,
+            sc.connections_accepted,
+            sc.queries_admitted,
+            sc.queries_completed,
+            sc.queries_degraded,
+            sc.overload_rejections,
+            sc.malformed_frames,
+            sc.invalid_queries,
+            sp.nodes_accessed,
+            sp.piece_evals,
+        ));
+        out.push_str(&format!(
+            "  \"overload\": {{\"requests\":{},\"completed\":{},\"overloaded\":{},\
+             \"server_rejections\":{}}}\n",
+            o.requests, o.completed, o.overloaded, o.server_rejections,
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// The CI tripwire (see the module docs). Returns the list of failures
+    /// (empty = healthy).
+    pub fn validate(&self) -> Vec<String> {
+        let mut failures = Vec::new();
+        let s = &self.steady;
+        let c = &s.stats.counters;
+
+        // Cross-client determinism: every client read identical answers.
+        if let Some(reference) = s.fingerprints.first() {
+            for (i, fps) in s.fingerprints.iter().enumerate().skip(1) {
+                if fps != reference {
+                    failures.push(format!(
+                        "client {i}: answers differ from client 0 on the same \
+                         query stream — serving nondeterminism"
+                    ));
+                }
+            }
+        } else {
+            failures.push("steady phase measured no clients".to_string());
+        }
+
+        // Accounting: the server's view must match the clients' view.
+        let expected = s.requests as u64 + s.overloaded_retries;
+        if c.queries_admitted < s.requests as u64 {
+            failures.push(format!(
+                "server admitted {} queries but clients completed {} — \
+                 admission undercount",
+                c.queries_admitted, s.requests
+            ));
+        }
+        if c.queries_completed + c.overload_rejections < expected {
+            failures.push(format!(
+                "server accounted {} completions + {} rejections for {expected} \
+                 client requests — lost queries",
+                c.queries_completed, c.overload_rejections
+            ));
+        }
+        if c.queries_degraded != 0 {
+            failures.push(format!(
+                "{} queries degraded with no deadline configured",
+                c.queries_degraded
+            ));
+        }
+        if c.malformed_frames != 0 || c.invalid_queries != 0 {
+            failures.push(format!(
+                "well-formed workload produced {} malformed frames and {} \
+                 invalid queries",
+                c.malformed_frames, c.invalid_queries
+            ));
+        }
+        if s.stats.profile.nodes_accessed == 0 {
+            failures.push(
+                "the merged work profile shows zero index nodes accessed — \
+                 profiling is disconnected"
+                    .to_string(),
+            );
+        }
+
+        // Typed backpressure under saturation, with exact accounting and
+        // no hangs.
+        let o = &self.overload;
+        if o.overloaded == 0 {
+            failures.push(
+                "the one-slot overload probe never saw an Overloaded response — \
+                 admission control is not engaging"
+                    .to_string(),
+            );
+        }
+        if o.overloaded != o.server_rejections {
+            failures.push(format!(
+                "clients saw {} Overloaded responses but the server counted {} \
+                 rejections",
+                o.overloaded, o.server_rejections
+            ));
+        }
+        if o.completed + o.overloaded != o.requests as u64 {
+            failures.push(format!(
+                "probe fired {} requests but only {} + {} came back — a request \
+                 hung or vanished",
+                o.requests, o.completed, o.overloaded
+            ));
+        }
+        failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ServeConfig {
+        ServeConfig {
+            objects: 24,
+            samples: 120,
+            shards: 2,
+            workers: 2,
+            queue: 4,
+            clients: 3,
+            requests_per_client: 4,
+            probe_requests: 15,
+            k: 2,
+            length: 0.25,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn smoke_report_is_healthy_and_serializes() {
+        let report = serve_bench(&tiny());
+        let failures = report.validate();
+        assert!(failures.is_empty(), "{failures:#?}");
+        let json = report.to_json();
+        assert!(json.contains("\"experiment\": \"serve\""));
+        assert!(json.contains("\"overload_rejections\""));
+        assert!(json.contains("\"server_rejections\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn validate_catches_nondeterminism_and_silent_drops() {
+        let mut report = serve_bench(&tiny());
+        report.steady.fingerprints[1][0] ^= 1;
+        let failures = report.validate();
+        assert!(
+            failures.iter().any(|f| f.contains("nondeterminism")),
+            "{failures:#?}"
+        );
+
+        let mut report = serve_bench(&tiny());
+        report.overload.overloaded = 0;
+        report.overload.server_rejections = 0;
+        let failures = report.validate();
+        assert!(
+            failures.iter().any(|f| f.contains("not engaging")),
+            "{failures:#?}"
+        );
+
+        let mut report = serve_bench(&tiny());
+        report.overload.completed = 0;
+        let failures = report.validate();
+        assert!(
+            failures.iter().any(|f| f.contains("hung or vanished")),
+            "{failures:#?}"
+        );
+    }
+}

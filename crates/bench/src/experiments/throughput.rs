@@ -137,6 +137,19 @@ fn fingerprint(answer: &QueryAnswer) -> u64 {
                 eat(m.distance.to_bits());
             }
         }
+        QueryAnswer::Segments(matches) => {
+            for m in matches {
+                eat(m.entry.traj.0);
+                eat(u64::from(m.entry.seq));
+                eat(m.distance.to_bits());
+            }
+        }
+        QueryAnswer::Range(entries) => {
+            for e in entries {
+                eat(e.traj.0);
+                eat(u64::from(e.seq));
+            }
+        }
     }
     h
 }

@@ -26,12 +26,12 @@
 
 pub mod bfmst;
 pub mod bounds;
-mod compat;
 pub mod database;
 pub mod dissim;
 pub mod merge;
 pub mod metrics;
 pub mod nn;
+pub mod options;
 pub mod query;
 pub mod scan;
 pub mod selectivity;
@@ -43,7 +43,7 @@ mod topk;
 pub use bfmst::{bfmst_search, bfmst_search_shared, bfmst_search_traced, MstConfig, SearchReport};
 pub use database::MovingObjectDatabase;
 pub use dissim::{Dissim, Integration};
-pub use merge::{merge_shard_matches, merge_shard_nn};
+pub use merge::{merge_shard_matches, merge_shard_nn, merge_shard_range, merge_shard_segments};
 pub use metrics::{
     CandidateCounters, MetricsSink, NoopSink, PruningBound, PruningCounters, QueryMetrics,
     QueryProfile,
@@ -52,8 +52,10 @@ pub use nn::{
     nearest_trajectories, nearest_trajectories_shared, nearest_trajectories_traced, NnMatch,
     NnOutcome,
 };
+pub use options::QueryOptions;
 pub use query::{
-    KmstQuery, KmstSpec, KnnQuery, KnnSegmentsQuery, KnnSpec, Query, RangeQuery, TimeRelaxedQuery,
+    KmstQuery, KmstSpec, KnnQuery, KnnSegmentsQuery, KnnSpec, Query, RangeQuery, RangeSpec,
+    SegmentsSpec, TimeRelaxedQuery,
 };
 pub use scan::{scan_kmst, scan_kmst_traced};
 pub use selectivity::{estimate_selectivity, SelectivityEstimate, SelectivityHistogram};

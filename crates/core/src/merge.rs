@@ -15,6 +15,7 @@
 //! defensively (keeping the smallest value) so a misconfigured overlap
 //! degrades to a correct answer instead of a duplicated one.
 
+use mst_index::{KnnMatch, LeafEntry};
 use mst_trajectory::TrajectoryId;
 
 use crate::nn::NnMatch;
@@ -31,6 +32,34 @@ pub fn merge_shard_matches(k: usize, shard_lists: &[Vec<MstMatch>]) -> Vec<MstMa
 /// distance with the search's trajectory-id tie-break.
 pub fn merge_shard_nn(k: usize, shard_lists: &[Vec<NnMatch>]) -> Vec<NnMatch> {
     merge_by(k, shard_lists, |m| (m.traj, m.distance))
+}
+
+/// Merges per-shard point-kNN answers into the global k nearest segments,
+/// ascending distance with a (trajectory, sequence) tie-break. Unlike the
+/// trajectory merges there is no per-object dedup: distinct segments of
+/// one trajectory are distinct answers, and shards partition segments so
+/// no segment can appear twice.
+pub fn merge_shard_segments(k: usize, shard_lists: &[Vec<KnnMatch>]) -> Vec<KnnMatch> {
+    let mut all: Vec<KnnMatch> = shard_lists.iter().flatten().copied().collect();
+    all.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then(a.entry.traj.cmp(&b.entry.traj))
+            .then(a.entry.seq.cmp(&b.entry.seq))
+    });
+    all.truncate(k);
+    all
+}
+
+/// Merges per-shard range-query answers into one canonically ordered
+/// list: by trajectory, then segment sequence. A single-index range query
+/// emits leaf entries in traversal order, which depends on the tree
+/// shape; the canonical order makes sharded and unsharded answers
+/// comparable as sets.
+pub fn merge_shard_range(shard_lists: &[Vec<LeafEntry>]) -> Vec<LeafEntry> {
+    let mut all: Vec<LeafEntry> = shard_lists.iter().flatten().copied().collect();
+    all.sort_by(|a, b| a.traj.cmp(&b.traj).then(a.seq.cmp(&b.seq)));
+    all
 }
 
 fn merge_by<T: Clone>(
@@ -131,6 +160,54 @@ mod tests {
         let merged = merge_shard_nn(2, &shards);
         let ids: Vec<u64> = merged.iter().map(|x| x.traj.0).collect();
         assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn segments_merge_orders_by_distance_then_identity() {
+        use mst_index::LeafEntry;
+        use mst_trajectory::{SamplePoint, Segment};
+        let seg = |traj: u64, seq: u32, d: f64| KnnMatch {
+            entry: LeafEntry {
+                traj: TrajectoryId(traj),
+                seq,
+                segment: Segment::new(
+                    SamplePoint::new(0.0, 0.0, 0.0),
+                    SamplePoint::new(1.0, 1.0, 1.0),
+                )
+                .unwrap(),
+            },
+            distance: d,
+        };
+        let shards = vec![
+            vec![seg(0, 1, 2.0), seg(0, 2, 2.0)],
+            vec![seg(1, 0, 1.0), seg(0, 0, 2.0)],
+        ];
+        let merged = merge_shard_segments(3, &shards);
+        let keys: Vec<(u64, u32)> = merged
+            .iter()
+            .map(|m| (m.entry.traj.0, m.entry.seq))
+            .collect();
+        assert_eq!(keys, vec![(1, 0), (0, 0), (0, 1)]);
+        assert!(merge_shard_segments(0, &shards).is_empty());
+    }
+
+    #[test]
+    fn range_merge_is_canonically_ordered() {
+        use mst_index::LeafEntry;
+        use mst_trajectory::{SamplePoint, Segment};
+        let entry = |traj: u64, seq: u32| LeafEntry {
+            traj: TrajectoryId(traj),
+            seq,
+            segment: Segment::new(
+                SamplePoint::new(0.0, 0.0, 0.0),
+                SamplePoint::new(1.0, 1.0, 1.0),
+            )
+            .unwrap(),
+        };
+        let shards = vec![vec![entry(3, 1), entry(3, 0)], vec![entry(1, 2)]];
+        let merged = merge_shard_range(&shards);
+        let keys: Vec<(u64, u32)> = merged.iter().map(|e| (e.traj.0, e.seq)).collect();
+        assert_eq!(keys, vec![(1, 2), (3, 0), (3, 1)]);
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Shared query options — the knobs every query flavour has in common.
+//!
+//! [`QueryOptions`] is the single carrier for the parameters that used to
+//! be threaded as three parallel ad-hoc argument sets: the builder setters
+//! on [`Query`](crate::Query), the batch executor's submission path, and
+//! the serving layer's wire codec all speak this one struct. A frozen spec
+//! ([`KmstSpec`](crate::KmstSpec), [`KnnSpec`](crate::KnnSpec), ...)
+//! embeds its options, so an executor or a server can read the deadline
+//! and sharing policy without knowing which query flavour it is running.
+
+use core::time::Duration;
+
+use mst_trajectory::TimeInterval;
+
+/// Options shared by every query flavour: result count, time window,
+/// per-query deadline, and cross-shard bound sharing.
+///
+/// ```
+/// use core::time::Duration;
+/// use mst_search::QueryOptions;
+///
+/// let opts = QueryOptions::new().k(5).deadline(Duration::from_millis(20));
+/// assert_eq!(opts.k, 5);
+/// assert_eq!(opts.deadline_us, Some(20_000));
+/// assert!(opts.share_bound);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryOptions {
+    /// Number of results to return (default 1). Range queries ignore it —
+    /// a range query returns everything in the window.
+    pub k: usize,
+    /// The time window the query is evaluated over. `None` means "default
+    /// to the query trajectory's own validity interval" for trajectory
+    /// queries; point-kNN queries require an explicit window.
+    pub period: Option<TimeInterval>,
+    /// Soft per-query deadline in microseconds, measured from submission.
+    /// When it expires the executor stops the search gracefully and marks
+    /// the outcome degraded instead of aborting. `None` (the default)
+    /// means no deadline; a batch executor may substitute its own default.
+    pub deadline_us: Option<u64>,
+    /// Whether a sharded execution may fold other shards' kth-best values
+    /// into this query's pruning threshold (default `true`). Turning it
+    /// off isolates the query — useful for ablations and for callers that
+    /// want per-shard answers unaffected by sibling progress.
+    pub share_bound: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            k: 1,
+            period: None,
+            deadline_us: None,
+            share_bound: true,
+        }
+    }
+}
+
+impl QueryOptions {
+    /// The default options: `k = 1`, no window, no deadline, sharing on.
+    pub fn new() -> Self {
+        QueryOptions::default()
+    }
+
+    /// Sets the number of results to return.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the time window the query is evaluated over.
+    pub fn during(mut self, period: &TimeInterval) -> Self {
+        self.period = Some(*period);
+        self
+    }
+
+    /// Sets a soft deadline measured from submission. Durations beyond
+    /// `u64::MAX` microseconds (≈ 584 thousand years) saturate.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline_us = Some(u64::try_from(deadline.as_micros()).unwrap_or(u64::MAX));
+        self
+    }
+
+    /// Sets a soft deadline in raw microseconds (the wire-codec form).
+    pub fn deadline_us(mut self, micros: u64) -> Self {
+        self.deadline_us = Some(micros);
+        self
+    }
+
+    /// Removes any deadline.
+    pub fn no_deadline(mut self) -> Self {
+        self.deadline_us = None;
+        self
+    }
+
+    /// Enables or disables cross-shard bound sharing.
+    pub fn share_bound(mut self, share: bool) -> Self {
+        self.share_bound = share;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_single_query_defaults() {
+        let o = QueryOptions::new();
+        assert_eq!(o.k, 1);
+        assert_eq!(o.period, None);
+        assert_eq!(o.deadline_us, None);
+        assert!(o.share_bound);
+    }
+
+    #[test]
+    fn deadline_converts_to_microseconds_and_saturates() {
+        let o = QueryOptions::new().deadline(Duration::from_millis(3));
+        assert_eq!(o.deadline_us, Some(3_000));
+        let o = QueryOptions::new().deadline(Duration::MAX);
+        assert_eq!(o.deadline_us, Some(u64::MAX));
+        assert_eq!(o.no_deadline().deadline_us, None);
+    }
+
+    #[test]
+    fn setters_compose() {
+        let w = TimeInterval::new(1.0, 4.0).unwrap();
+        let o = QueryOptions::new()
+            .k(7)
+            .during(&w)
+            .deadline_us(500)
+            .share_bound(false);
+        assert_eq!(o.k, 7);
+        assert_eq!(o.period, Some(w));
+        assert_eq!(o.deadline_us, Some(500));
+        assert!(!o.share_bound);
+    }
+}

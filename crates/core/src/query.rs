@@ -35,6 +35,16 @@
 //! (results plus a fresh [`QueryProfile`]), and `run_traced` (results, with
 //! events fed into any caller-supplied [`QueryMetrics`] sink — e.g. a
 //! profile shared across a whole workload).
+//!
+//! The shared knobs — `k`, the time window, the deadline, bound sharing —
+//! live in one [`QueryOptions`] struct that every builder embeds, the batch
+//! executor reads, and the serving layer's wire codec carries verbatim.
+//! Deadlines ([`KmstQuery::deadline`] and friends) are honoured by
+//! deadline-aware executors (`mst-exec`, `mst-serve`), which degrade the
+//! query gracefully when the budget runs out; the single-threaded `run`
+//! terminals execute to completion.
+
+use core::time::Duration;
 
 use mst_index::{KnnMatch, LeafEntry, TrajectoryIndexWrite};
 use mst_trajectory::{Mbb, Point, TimeInterval, Trajectory};
@@ -43,6 +53,7 @@ use crate::bfmst::MstConfig;
 use crate::dissim::Integration;
 use crate::metrics::{NoopSink, QueryMetrics, QueryProfile};
 use crate::nn::NnMatch;
+use crate::options::QueryOptions;
 use crate::time_relaxed::{TimeRelaxedConfig, TimeRelaxedMatch};
 use crate::{MovingObjectDatabase, MstMatch, Result, SearchError};
 
@@ -61,7 +72,7 @@ impl Query {
     pub fn kmst(query: &Trajectory) -> KmstQuery<'_> {
         KmstQuery {
             query,
-            period: None,
+            options: QueryOptions::new(),
             config: MstConfig::default(),
         }
     }
@@ -74,8 +85,7 @@ impl Query {
     pub fn knn(query: &Trajectory) -> KnnQuery<'_> {
         KnnQuery {
             query,
-            period: None,
-            k: 1,
+            options: QueryOptions::new(),
         }
     }
 
@@ -88,15 +98,17 @@ impl Query {
     pub fn knn_segments(location: Point) -> KnnSegmentsQuery {
         KnnSegmentsQuery {
             location,
-            window: None,
-            k: 1,
+            options: QueryOptions::new(),
         }
     }
 
     /// A classic 3D (x, y, t) range query: every indexed segment
     /// intersecting `window`.
     pub fn range(window: &Mbb) -> RangeQuery<'_> {
-        RangeQuery { window }
+        RangeQuery {
+            window,
+            options: QueryOptions::new(),
+        }
     }
 }
 
@@ -104,13 +116,14 @@ impl Query {
 #[derive(Debug, Clone, Copy)]
 pub struct KmstQuery<'a> {
     query: &'a Trajectory,
-    period: Option<TimeInterval>,
+    options: QueryOptions,
     config: MstConfig,
 }
 
 impl<'a> KmstQuery<'a> {
     /// Number of results to return (default 1).
     pub fn k(mut self, k: usize) -> Self {
+        self.options.k = k;
         self.config.k = k;
         self
     }
@@ -118,7 +131,32 @@ impl<'a> KmstQuery<'a> {
     /// Restricts the query period (default: the query trajectory's own
     /// validity interval). The query trajectory must cover the period.
     pub fn during(mut self, period: &TimeInterval) -> Self {
-        self.period = Some(*period);
+        self.options.period = Some(*period);
+        self
+    }
+
+    /// Sets a soft deadline, honoured by deadline-aware executors: when it
+    /// expires mid-search the query is stopped gracefully and the outcome
+    /// marked degraded (see `mst-exec`). The single-threaded `run`
+    /// terminals ignore it and execute to completion.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.options = self.options.deadline(deadline);
+        self
+    }
+
+    /// Enables or disables cross-shard bound sharing in sharded executions
+    /// (default on; single-database runs are unaffected).
+    pub fn share_bound(mut self, share: bool) -> Self {
+        self.options.share_bound = share;
+        self
+    }
+
+    /// Replaces the shared options wholesale (escape hatch for options that
+    /// arrived pre-assembled, e.g. decoded from the wire). `options.k`
+    /// overrides any earlier [`KmstQuery::k`].
+    pub fn options(mut self, options: QueryOptions) -> Self {
+        self.options = options;
+        self.config.k = options.k;
         self
     }
 
@@ -155,9 +193,11 @@ impl<'a> KmstQuery<'a> {
     }
 
     /// Replaces the whole search configuration at once (escape hatch for
-    /// pre-built [`MstConfig`] values; overrides every earlier setter).
+    /// pre-built [`MstConfig`] values; overrides every earlier setter,
+    /// including `k`).
     pub fn config(mut self, config: MstConfig) -> Self {
         self.config = config;
+        self.options.k = config.k;
         self
     }
 
@@ -174,7 +214,7 @@ impl<'a> KmstQuery<'a> {
     }
 
     fn resolved_period(&self) -> TimeInterval {
-        self.period.unwrap_or_else(|| self.query.time())
+        self.options.period.unwrap_or_else(|| self.query.time())
     }
 
     /// Freezes the builder into an owned, thread-shippable [`KmstSpec`]:
@@ -191,9 +231,11 @@ impl<'a> KmstQuery<'a> {
                 valid: (self.query.start_time(), self.query.end_time()),
             });
         }
+        let mut options = self.options;
+        options.period = Some(period);
         Ok(KmstSpec {
             query: self.query.clone(),
-            period,
+            options,
             config: self.config,
         })
     }
@@ -237,11 +279,19 @@ impl<'a> KmstQuery<'a> {
 pub struct KmstSpec {
     /// The query trajectory.
     pub query: Trajectory,
-    /// The resolved query period (the trajectory covers it, validated at
-    /// spec construction).
-    pub period: TimeInterval,
+    /// The shared options, with the period resolved (`options.period` is
+    /// always `Some`, and the trajectory covers it — validated at spec
+    /// construction). `options.k` mirrors `config.k`.
+    pub options: QueryOptions,
     /// The full search configuration.
     pub config: MstConfig,
+}
+
+impl KmstSpec {
+    /// The resolved query period.
+    pub fn period(&self) -> TimeInterval {
+        self.options.period.unwrap_or_else(|| self.query.time())
+    }
 }
 
 /// An owned, fully resolved trajectory-kNN query, detached from the
@@ -250,11 +300,46 @@ pub struct KmstSpec {
 pub struct KnnSpec {
     /// The query trajectory.
     pub query: Trajectory,
-    /// The resolved query period (the trajectory covers it, validated at
-    /// spec construction).
-    pub period: TimeInterval,
+    /// The shared options, with the period resolved (`options.period` is
+    /// always `Some`, and the trajectory covers it — validated at spec
+    /// construction).
+    pub options: QueryOptions,
+}
+
+impl KnnSpec {
+    /// The resolved query period.
+    pub fn period(&self) -> TimeInterval {
+        self.options.period.unwrap_or_else(|| self.query.time())
+    }
+
     /// Number of nearest trajectories to return.
-    pub k: usize,
+    pub fn k(&self) -> usize {
+        self.options.k
+    }
+}
+
+/// An owned, fully resolved point-kNN query. Produced by
+/// [`KnnSegmentsQuery::spec`].
+#[derive(Debug, Clone)]
+pub struct SegmentsSpec {
+    /// The query location.
+    pub location: Point,
+    /// The mandatory time window (validated present at spec construction;
+    /// mirrors `options.period`).
+    pub window: TimeInterval,
+    /// The shared options.
+    pub options: QueryOptions,
+}
+
+/// An owned, fully resolved 3D range query. Produced by
+/// [`RangeQuery::spec`].
+#[derive(Debug, Clone)]
+pub struct RangeSpec {
+    /// The spatio-temporal window.
+    pub window: Mbb,
+    /// The shared options (`k` and `period` are unused — the window is the
+    /// query — but the deadline still applies).
+    pub options: QueryOptions,
 }
 
 /// Builder of a time-relaxed k-MST query. Created by
@@ -322,21 +407,40 @@ impl<'a> TimeRelaxedQuery<'a> {
 #[derive(Debug, Clone, Copy)]
 pub struct KnnQuery<'a> {
     query: &'a Trajectory,
-    period: Option<TimeInterval>,
-    k: usize,
+    options: QueryOptions,
 }
 
 impl<'a> KnnQuery<'a> {
     /// Number of results to return (default 1).
     pub fn k(mut self, k: usize) -> Self {
-        self.k = k;
+        self.options.k = k;
         self
     }
 
     /// Restricts the query period (default: the query trajectory's own
     /// validity interval). The query trajectory must cover the period.
     pub fn during(mut self, period: &TimeInterval) -> Self {
-        self.period = Some(*period);
+        self.options.period = Some(*period);
+        self
+    }
+
+    /// Sets a soft deadline, honoured by deadline-aware executors (see
+    /// [`KmstQuery::deadline`]).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.options = self.options.deadline(deadline);
+        self
+    }
+
+    /// Enables or disables cross-shard bound sharing (default on).
+    pub fn share_bound(mut self, share: bool) -> Self {
+        self.options.share_bound = share;
+        self
+    }
+
+    /// Replaces the shared options wholesale (e.g. options decoded from
+    /// the wire).
+    pub fn options(mut self, options: QueryOptions) -> Self {
+        self.options = options;
         self
     }
 
@@ -344,17 +448,18 @@ impl<'a> KnnQuery<'a> {
     /// (see [`KmstQuery::spec`] for the batch-execution story). Fails
     /// eagerly if the query trajectory does not cover the resolved period.
     pub fn spec(&self) -> Result<KnnSpec> {
-        let period = self.period.unwrap_or_else(|| self.query.time());
+        let period = self.options.period.unwrap_or_else(|| self.query.time());
         if !self.query.covers(&period) {
             return Err(SearchError::QueryOutsidePeriod {
                 period: (period.start(), period.end()),
                 valid: (self.query.start_time(), self.query.end_time()),
             });
         }
+        let mut options = self.options;
+        options.period = Some(period);
         Ok(KnnSpec {
             query: self.query.clone(),
-            period,
-            k: self.k,
+            options,
         })
     }
 
@@ -365,8 +470,8 @@ impl<'a> KnnQuery<'a> {
         db: &mut MovingObjectDatabase<I>,
         metrics: &mut M,
     ) -> Result<Vec<NnMatch>> {
-        let period = self.period.unwrap_or_else(|| self.query.time());
-        db.run_knn(self.query, &period, self.k, metrics)
+        let period = self.options.period.unwrap_or_else(|| self.query.time());
+        db.run_knn(self.query, &period, self.options.k, metrics)
     }
 
     /// Runs the query. Observability hooks compile to nothing.
@@ -394,22 +499,52 @@ impl<'a> KnnQuery<'a> {
 #[derive(Debug, Clone, Copy)]
 pub struct KnnSegmentsQuery {
     location: Point,
-    window: Option<TimeInterval>,
-    k: usize,
+    options: QueryOptions,
 }
 
 impl KnnSegmentsQuery {
     /// Number of results to return (default 1).
     pub fn k(mut self, k: usize) -> Self {
-        self.k = k;
+        self.options.k = k;
         self
     }
 
     /// The time window to search in. Mandatory: running without it is a
     /// [`SearchError::MisconfiguredQuery`].
     pub fn during(mut self, window: &TimeInterval) -> Self {
-        self.window = Some(*window);
+        self.options.period = Some(*window);
         self
+    }
+
+    /// Sets a soft deadline, honoured by deadline-aware executors (see
+    /// [`KmstQuery::deadline`]).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.options = self.options.deadline(deadline);
+        self
+    }
+
+    /// Replaces the shared options wholesale (e.g. options decoded from
+    /// the wire).
+    pub fn options(mut self, options: QueryOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    fn window(&self) -> Result<TimeInterval> {
+        self.options.period.ok_or(SearchError::MisconfiguredQuery(
+            "a point-kNN query needs a time window: call .during(window)",
+        ))
+    }
+
+    /// Freezes the builder into an owned, thread-shippable
+    /// [`SegmentsSpec`]. Fails eagerly if no time window was given.
+    pub fn spec(&self) -> Result<SegmentsSpec> {
+        let window = self.window()?;
+        Ok(SegmentsSpec {
+            location: self.location,
+            window,
+            options: self.options,
+        })
     }
 
     /// Runs the query with observability: search events are fed into
@@ -419,10 +554,8 @@ impl KnnSegmentsQuery {
         db: &mut MovingObjectDatabase<I>,
         metrics: &mut M,
     ) -> Result<Vec<KnnMatch>> {
-        let window = self.window.ok_or(SearchError::MisconfiguredQuery(
-            "a point-kNN query needs a time window: call .during(window)",
-        ))?;
-        db.run_knn_segments(self.location, &window, self.k, metrics)
+        let window = self.window()?;
+        db.run_knn_segments(self.location, &window, self.options.k, metrics)
     }
 
     /// Runs the query. Observability hooks compile to nothing.
@@ -449,9 +582,33 @@ impl KnnSegmentsQuery {
 #[derive(Debug, Clone, Copy)]
 pub struct RangeQuery<'a> {
     window: &'a Mbb,
+    options: QueryOptions,
 }
 
 impl<'a> RangeQuery<'a> {
+    /// Sets a soft deadline, honoured by deadline-aware executors (see
+    /// [`KmstQuery::deadline`]). A range query has no pruning threshold to
+    /// degrade through, so an expired deadline skips remaining shards.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.options = self.options.deadline(deadline);
+        self
+    }
+
+    /// Replaces the shared options wholesale (e.g. options decoded from
+    /// the wire). Only the deadline is meaningful for a range query.
+    pub fn options(mut self, options: QueryOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Freezes the builder into an owned, thread-shippable [`RangeSpec`].
+    pub fn spec(&self) -> RangeSpec {
+        RangeSpec {
+            window: *self.window,
+            options: self.options,
+        }
+    }
+
     /// Runs the query with observability: node and buffer accesses are fed
     /// into `metrics`.
     pub fn run_traced<I: TrajectoryIndexWrite, M: QueryMetrics>(
@@ -517,6 +674,10 @@ mod tests {
             .run(&mut db)
             .unwrap_err();
         assert!(matches!(err, SearchError::MisconfiguredQuery(_)));
+        assert!(matches!(
+            Query::knn_segments(Point::new(0.0, 0.0)).spec(),
+            Err(SearchError::MisconfiguredQuery(_))
+        ));
     }
 
     #[test]
@@ -537,8 +698,10 @@ mod tests {
         let q = db.trajectory(TrajectoryId(0)).unwrap();
         let spec = Query::kmst(&q).k(2).within(9.0).spec().unwrap();
         assert_eq!(spec.config.k, 2);
+        assert_eq!(spec.options.k, 2);
         assert_eq!(spec.config.max_dissim, Some(9.0));
-        assert_eq!(spec.period, q.time());
+        assert_eq!(spec.period(), q.time());
+        assert_eq!(spec.options.period, Some(q.time()));
         // A period the query does not cover fails at spec time, before any
         // batch is submitted.
         let outside = TimeInterval::new(0.0, 100.0).unwrap();
@@ -551,7 +714,50 @@ mod tests {
             Err(SearchError::QueryOutsidePeriod { .. })
         ));
         let nn_spec = Query::knn(&q).k(3).spec().unwrap();
-        assert_eq!(nn_spec.k, 3);
+        assert_eq!(nn_spec.k(), 3);
+        assert_eq!(nn_spec.period(), q.time());
+    }
+
+    #[test]
+    fn deadlines_ride_in_the_shared_options() {
+        let db = db_with_lines(2);
+        let q = db.trajectory(TrajectoryId(0)).unwrap();
+        let spec = Query::kmst(&q)
+            .k(2)
+            .deadline(Duration::from_millis(5))
+            .spec()
+            .unwrap();
+        assert_eq!(spec.options.deadline_us, Some(5_000));
+        let spec = Query::knn(&q)
+            .deadline(Duration::from_micros(9))
+            .spec()
+            .unwrap();
+        assert_eq!(spec.options.deadline_us, Some(9));
+        let w = q.time();
+        let spec = Query::knn_segments(Point::new(1.0, 2.0))
+            .during(&w)
+            .k(4)
+            .deadline(Duration::from_millis(1))
+            .spec()
+            .unwrap();
+        assert_eq!(spec.window, w);
+        assert_eq!(spec.options.k, 4);
+        assert_eq!(spec.options.deadline_us, Some(1_000));
+        let mbb = Mbb::new(0.0, 0.0, 0.0, 1.0, 1.0, 1.0);
+        let spec = Query::range(&mbb).deadline(Duration::from_millis(2)).spec();
+        assert_eq!(spec.options.deadline_us, Some(2_000));
+        assert_eq!(spec.window, mbb);
+    }
+
+    #[test]
+    fn options_escape_hatch_overrides_earlier_setters() {
+        let db = db_with_lines(2);
+        let q = db.trajectory(TrajectoryId(0)).unwrap();
+        let opts = QueryOptions::new().k(5).share_bound(false);
+        let spec = Query::kmst(&q).k(1).options(opts).spec().unwrap();
+        assert_eq!(spec.config.k, 5);
+        assert_eq!(spec.options.k, 5);
+        assert!(!spec.options.share_bound);
     }
 
     #[test]

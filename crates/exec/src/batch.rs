@@ -23,13 +23,13 @@
 //! (how much each shard prunes), never *answers*; the work shows up in
 //! the merged [`QueryProfile`] instead.
 
-use mst_index::TrajectoryIndex;
-use mst_search::{MstMatch, NnMatch, QueryProfile};
+use mst_index::{KnnMatch, LeafEntry, TrajectoryIndex};
+use mst_search::{BoundShare, MstMatch, NnMatch, QueryProfile};
 
 use crate::bound::QueryControl;
 use crate::clock::Stopwatch;
 use crate::queue::JobQueue;
-use crate::shard::ShardedDatabase;
+use crate::shard::{Shard, ShardedDatabase};
 use crate::{BatchQuery, ExecError};
 
 /// The merged answer of one batch query.
@@ -39,6 +39,10 @@ pub enum QueryAnswer {
     Kmst(Vec<MstMatch>),
     /// Trajectory-kNN matches, ascending closest-approach distance.
     Knn(Vec<NnMatch>),
+    /// Point-kNN matches (nearest segments), ascending distance.
+    Segments(Vec<KnnMatch>),
+    /// Range-query hits, in canonical (trajectory, sequence) order.
+    Range(Vec<LeafEntry>),
 }
 
 impl QueryAnswer {
@@ -46,7 +50,7 @@ impl QueryAnswer {
     pub fn as_kmst(&self) -> Option<&[MstMatch]> {
         match self {
             QueryAnswer::Kmst(m) => Some(m),
-            QueryAnswer::Knn(_) => None,
+            _ => None,
         }
     }
 
@@ -54,19 +58,37 @@ impl QueryAnswer {
     pub fn as_knn(&self) -> Option<&[NnMatch]> {
         match self {
             QueryAnswer::Knn(m) => Some(m),
-            QueryAnswer::Kmst(_) => None,
+            _ => None,
         }
     }
 
-    /// Number of matches, either flavour.
+    /// The matches as point-kNN results, if this was a segments query.
+    pub fn as_segments(&self) -> Option<&[KnnMatch]> {
+        match self {
+            QueryAnswer::Segments(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The hits as range results, if this was a range query.
+    pub fn as_range(&self) -> Option<&[LeafEntry]> {
+        match self {
+            QueryAnswer::Range(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Number of matches, any flavour.
     pub fn len(&self) -> usize {
         match self {
             QueryAnswer::Kmst(m) => m.len(),
             QueryAnswer::Knn(m) => m.len(),
+            QueryAnswer::Segments(m) => m.len(),
+            QueryAnswer::Range(m) => m.len(),
         }
     }
 
-    /// True when no trajectory matched.
+    /// True when nothing matched.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -189,10 +211,108 @@ impl Default for BatchExecutor {
 }
 
 /// What one (query, shard) job hands back through its slot.
-enum JobResult {
+pub(crate) enum JobResult {
     Kmst(Vec<MstMatch>),
     Knn(Vec<NnMatch>),
+    Segments(Vec<KnnMatch>),
+    Range(Vec<LeafEntry>),
     Failed(mst_search::SearchError),
+}
+
+/// Runs one query against one shard — the unit of work both executors
+/// share ([`BatchExecutor`] distributes these across workers; the
+/// persistent [`crate::ExecHandle`] pool runs a query's shards in
+/// sequence on one worker). k-MST and kNN poll the deadline inside the
+/// search; segments and range queries have no internal poll points, so an
+/// already-expired deadline skips the shard with an empty (degraded)
+/// contribution.
+pub(crate) fn run_shard_job<I: TrajectoryIndex>(
+    shard: &Shard<I>,
+    query: &BatchQuery,
+    control: &QueryControl,
+    profile: &mut QueryProfile,
+) -> JobResult {
+    let result = match query {
+        BatchQuery::Kmst(spec) => shard
+            .run_kmst(spec, control, profile)
+            .map(|report| JobResult::Kmst(report.matches)),
+        BatchQuery::Knn(spec) => shard
+            .run_knn(spec, control, profile)
+            .map(|outcome| JobResult::Knn(outcome.matches)),
+        BatchQuery::Segments(spec) => {
+            if control.poll_stop() {
+                Ok(JobResult::Segments(Vec::new()))
+            } else {
+                shard
+                    .run_knn_segments(spec, profile)
+                    .map(JobResult::Segments)
+            }
+        }
+        BatchQuery::Range(spec) => {
+            if control.poll_stop() {
+                Ok(JobResult::Range(Vec::new()))
+            } else {
+                shard.run_range(spec, profile).map(JobResult::Range)
+            }
+        }
+    };
+    result.unwrap_or_else(JobResult::Failed)
+}
+
+/// Accumulates per-shard result lists (whichever flavour the query is)
+/// and merges them into the global answer. Shared by both executors so a
+/// batch run and a submitted query merge identically.
+pub(crate) struct ShardLists {
+    kmst: Vec<Vec<MstMatch>>,
+    knn: Vec<Vec<NnMatch>>,
+    segments: Vec<Vec<KnnMatch>>,
+    range: Vec<Vec<LeafEntry>>,
+}
+
+impl ShardLists {
+    pub(crate) fn new() -> Self {
+        ShardLists {
+            kmst: Vec::new(),
+            knn: Vec::new(),
+            segments: Vec::new(),
+            range: Vec::new(),
+        }
+    }
+
+    /// Files one shard's job result; failures are recorded with their
+    /// shard instead of contributing a list.
+    pub(crate) fn push(
+        &mut self,
+        shard: usize,
+        result: JobResult,
+        failures: &mut Vec<ShardFailure>,
+    ) {
+        match result {
+            JobResult::Kmst(m) => self.kmst.push(m),
+            JobResult::Knn(m) => self.knn.push(m),
+            JobResult::Segments(m) => self.segments.push(m),
+            JobResult::Range(m) => self.range.push(m),
+            JobResult::Failed(error) => failures.push(ShardFailure { shard, error }),
+        }
+    }
+
+    /// Merges the accumulated lists into the query's global answer, with
+    /// the deterministic order each flavour's merge defines.
+    pub(crate) fn merge(&self, query: &BatchQuery) -> QueryAnswer {
+        match query {
+            BatchQuery::Kmst(spec) => {
+                QueryAnswer::Kmst(mst_search::merge_shard_matches(spec.config.k, &self.kmst))
+            }
+            BatchQuery::Knn(spec) => {
+                QueryAnswer::Knn(mst_search::merge_shard_nn(spec.k(), &self.knn))
+            }
+            BatchQuery::Segments(spec) => QueryAnswer::Segments(mst_search::merge_shard_segments(
+                spec.options.k,
+                &self.segments,
+            )),
+            BatchQuery::Range(_) => QueryAnswer::Range(mst_search::merge_shard_range(&self.range)),
+        }
+    }
 }
 
 /// A job's drop box: its answer plus the work profile it accumulated.
@@ -243,6 +363,27 @@ impl BatchExecutor {
         self
     }
 
+    /// Turns this configuration into a persistent, admission-controlled
+    /// submission handle over `db` (see [`crate::ExecHandle`]): the same
+    /// worker count, queue bound, and default deadline, but with workers
+    /// that outlive any one query and a non-blocking
+    /// [`try_submit`](crate::ExecHandle::try_submit) that rejects with
+    /// typed backpressure instead of queueing without bound.
+    pub fn submit_handle<I>(
+        &self,
+        db: std::sync::Arc<ShardedDatabase<I>>,
+    ) -> crate::Result<crate::ExecHandle<I>>
+    where
+        I: TrajectoryIndex + Send + 'static,
+    {
+        let capacity = if self.queue_capacity == 0 {
+            self.workers * 2
+        } else {
+            self.queue_capacity
+        };
+        crate::ExecHandle::start(db, self.workers, capacity, self.deadline_us)
+    }
+
     /// Runs a batch against a sharded database and returns per-query
     /// outcomes in submission order.
     ///
@@ -263,8 +404,19 @@ impl BatchExecutor {
         }
 
         let clock = Stopwatch::start();
-        let controls: Vec<QueryControl> = (0..num_queries)
-            .map(|_| QueryControl::new(clock, self.deadline_us))
+        // Per-query options override the executor defaults: an explicit
+        // deadline on the query wins, and the query's sharing policy is
+        // always its own.
+        let controls: Vec<QueryControl> = queries
+            .iter()
+            .map(|query| {
+                let opts = query.options();
+                QueryControl::with_sharing(
+                    clock,
+                    opts.deadline_us.or(self.deadline_us),
+                    opts.share_bound,
+                )
+            })
             .collect();
         // One slot per (query, shard) job; each job is executed exactly
         // once, so slot mutexes are uncontended.
@@ -290,21 +442,12 @@ impl BatchExecutor {
                         let shard = &db.shards()[job.shard];
                         control.mark_start();
                         let mut profile = QueryProfile::default();
-                        let result = match &queries[job.query] {
-                            BatchQuery::Kmst(spec) => shard
-                                .run_kmst(spec, control, &mut profile)
-                                .map(|report| JobResult::Kmst(report.matches)),
-                            BatchQuery::Knn(spec) => shard
-                                .run_knn(spec, control, &mut profile)
-                                .map(|outcome| JobResult::Knn(outcome.matches)),
-                        };
+                        let result =
+                            run_shard_job(shard, &queries[job.query], control, &mut profile);
                         control.mark_end();
                         let slot = &slots[job.query * num_shards + job.shard];
                         if let Ok(mut slot) = slot.lock() {
-                            *slot = Some(match result {
-                                Ok(r) => (r, profile),
-                                Err(e) => (JobResult::Failed(e), profile),
-                            });
+                            *slot = Some((result, profile));
                         }
                     }
                 });
@@ -346,8 +489,7 @@ impl BatchExecutor {
         num_shards: usize,
     ) -> Result<QueryOutcome, ExecError> {
         let mut profile = QueryProfile::default();
-        let mut kmst_lists: Vec<Vec<MstMatch>> = Vec::new();
-        let mut knn_lists: Vec<Vec<NnMatch>> = Vec::new();
+        let mut lists = ShardLists::new();
         let mut failures: Vec<ShardFailure> = Vec::new();
         for shard in 0..num_shards {
             let taken = slots[q * num_shards + shard]
@@ -358,20 +500,9 @@ impl BatchExecutor {
                 return Err(ExecError::Lost { query: q, shard });
             };
             profile.merge(&shard_profile);
-            match result {
-                JobResult::Kmst(matches) => kmst_lists.push(matches),
-                JobResult::Knn(matches) => knn_lists.push(matches),
-                JobResult::Failed(error) => failures.push(ShardFailure { shard, error }),
-            }
+            lists.push(shard, result, &mut failures);
         }
-        let answer = match query {
-            BatchQuery::Kmst(spec) => {
-                QueryAnswer::Kmst(mst_search::merge_shard_matches(spec.config.k, &kmst_lists))
-            }
-            BatchQuery::Knn(spec) => {
-                QueryAnswer::Knn(mst_search::merge_shard_nn(spec.k, &knn_lists))
-            }
-        };
+        let answer = lists.merge(query);
         let deadline_expired = control.is_degraded();
         Ok(QueryOutcome {
             answer,

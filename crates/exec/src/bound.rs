@@ -85,6 +85,11 @@ pub struct QueryControl {
     /// Absolute deadline as a microsecond offset on `clock`; `u64::MAX`
     /// means no deadline.
     deadline_us: u64,
+    /// Whether the cross-shard bound participates in pruning. When off,
+    /// hints read `+inf` and publishes are dropped — each shard prunes on
+    /// its local threshold alone ([`QueryOptions::share_bound`]
+    /// (mst_search::QueryOptions)).
+    share: bool,
     degraded: AtomicBool,
     /// First shard-job start (microseconds on `clock`); `u64::MAX` until a
     /// job starts.
@@ -99,10 +104,19 @@ impl QueryControl {
     /// (`clock`'s origin) — queue wait counts against it, matching an
     /// SLA-from-submission service model.
     pub fn new(clock: Stopwatch, deadline_us: Option<u64>) -> Self {
+        QueryControl::with_sharing(clock, deadline_us, true)
+    }
+
+    /// [`QueryControl::new`] with the bound-sharing switch exposed:
+    /// `share: false` isolates this query's shards from each other (hints
+    /// read `+inf`, publishes are dropped), while deadlines and latency
+    /// marks work as usual.
+    pub fn with_sharing(clock: Stopwatch, deadline_us: Option<u64>, share: bool) -> Self {
         QueryControl {
             bound: SharedBound::new(),
             clock,
             deadline_us: deadline_us.unwrap_or(u64::MAX),
+            share,
             degraded: AtomicBool::new(false),
             started_us: AtomicU64::new(u64::MAX),
             finished_us: AtomicU64::new(0),
@@ -146,11 +160,17 @@ impl QueryControl {
 
 impl BoundShare for QueryControl {
     fn kth_hint(&self) -> f64 {
-        self.bound.get()
+        if self.share {
+            self.bound.get()
+        } else {
+            f64::INFINITY
+        }
     }
 
     fn publish_kth(&self, kth: f64) {
-        self.bound.tighten(kth);
+        if self.share {
+            self.bound.tighten(kth);
+        }
     }
 
     fn poll_stop(&self) -> bool {
@@ -213,6 +233,16 @@ mod tests {
         assert_eq!(ctl.kth_hint(), f64::INFINITY);
         ctl.publish_kth(3.0);
         assert_eq!(ctl.kth_hint(), 3.0);
+    }
+
+    #[test]
+    fn sharing_off_isolates_the_bound() {
+        let ctl = QueryControl::with_sharing(Stopwatch::start(), None, false);
+        ctl.publish_kth(3.0);
+        assert_eq!(ctl.kth_hint(), f64::INFINITY);
+        // The underlying bound really dropped the publish — a later flip
+        // to sharing could not leak a stale value (the bound never saw it).
+        assert_eq!(ctl.bound().get(), f64::INFINITY);
     }
 
     #[test]

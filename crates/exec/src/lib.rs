@@ -41,14 +41,19 @@ pub mod bound;
 pub mod clock;
 pub mod queue;
 pub mod shard;
+pub mod submit;
 
 pub use batch::{BatchExecutor, BatchOutcome, QueryAnswer, QueryOutcome, ShardFailure};
 pub use bound::{QueryControl, SharedBound};
 pub use clock::Stopwatch;
-pub use queue::JobQueue;
+pub use queue::{JobQueue, TryPushError};
 pub use shard::{Shard, ShardedDatabase};
+pub use submit::{ExecHandle, SubmitError, Ticket};
 
-use mst_search::{KmstQuery, KmstSpec, KnnQuery, KnnSpec, SearchError};
+use mst_search::{
+    KmstQuery, KmstSpec, KnnQuery, KnnSegmentsQuery, KnnSpec, QueryOptions, RangeQuery, RangeSpec,
+    SearchError, SegmentsSpec,
+};
 
 /// A query of a batch: an owned, validated spec produced by the same
 /// [`Query`](mst_search::Query) builder the single-threaded API uses.
@@ -76,6 +81,10 @@ pub enum BatchQuery {
     Kmst(KmstSpec),
     /// A trajectory-kNN query.
     Knn(KnnSpec),
+    /// A point-kNN (nearest segments) query.
+    Segments(SegmentsSpec),
+    /// A 3D range query.
+    Range(RangeSpec),
 }
 
 impl BatchQuery {
@@ -89,6 +98,29 @@ impl BatchQuery {
     pub fn knn(builder: KnnQuery<'_>) -> Result<Self> {
         Ok(BatchQuery::Knn(builder.spec()?))
     }
+
+    /// Freezes a point-kNN builder into a batch query (validates that a
+    /// time window was given).
+    pub fn knn_segments(builder: KnnSegmentsQuery) -> Result<Self> {
+        Ok(BatchQuery::Segments(builder.spec()?))
+    }
+
+    /// Freezes a range builder into a batch query.
+    pub fn range(builder: RangeQuery<'_>) -> Self {
+        BatchQuery::Range(builder.spec())
+    }
+
+    /// The shared options every flavour carries: `k`, window, deadline,
+    /// bound sharing. Executors read the deadline and sharing policy here
+    /// without matching on the flavour.
+    pub fn options(&self) -> &QueryOptions {
+        match self {
+            BatchQuery::Kmst(spec) => &spec.options,
+            BatchQuery::Knn(spec) => &spec.options,
+            BatchQuery::Segments(spec) => &spec.options,
+            BatchQuery::Range(spec) => &spec.options,
+        }
+    }
 }
 
 impl From<KmstSpec> for BatchQuery {
@@ -100,6 +132,18 @@ impl From<KmstSpec> for BatchQuery {
 impl From<KnnSpec> for BatchQuery {
     fn from(spec: KnnSpec) -> Self {
         BatchQuery::Knn(spec)
+    }
+}
+
+impl From<SegmentsSpec> for BatchQuery {
+    fn from(spec: SegmentsSpec) -> Self {
+        BatchQuery::Segments(spec)
+    }
+}
+
+impl From<RangeSpec> for BatchQuery {
+    fn from(spec: RangeSpec) -> Self {
+        BatchQuery::Range(spec)
     }
 }
 
@@ -119,6 +163,10 @@ pub enum ExecError {
         /// Shard whose job went missing.
         shard: usize,
     },
+    /// A submitted query's worker vanished before delivering the outcome
+    /// (the [`Ticket`]'s channel disconnected). The persistent-pool
+    /// counterpart of [`ExecError::Lost`].
+    Disconnected,
 }
 
 impl std::fmt::Display for ExecError {
@@ -132,6 +180,12 @@ impl std::fmt::Display for ExecError {
                     "job for query {query} on shard {shard} reported no result"
                 )
             }
+            ExecError::Disconnected => {
+                write!(
+                    f,
+                    "the query's worker vanished before delivering an outcome"
+                )
+            }
         }
     }
 }
@@ -140,7 +194,7 @@ impl std::error::Error for ExecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExecError::Search(e) => Some(e),
-            ExecError::Config(_) | ExecError::Lost { .. } => None,
+            ExecError::Config(_) | ExecError::Lost { .. } | ExecError::Disconnected => None,
         }
     }
 }

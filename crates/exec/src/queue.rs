@@ -18,6 +18,17 @@ struct Inner<T> {
     closed: bool,
 }
 
+/// Why a non-blocking [`JobQueue::try_push`] refused a job, carrying the
+/// job back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity. Admission control turns this into an
+    /// explicit overload rejection instead of unbounded waiting.
+    Full(T),
+    /// The queue is closed (or its lock poisoned): shutdown in progress.
+    Closed(T),
+}
+
 /// A bounded blocking MPMC queue. All methods take `&self`; share it by
 /// reference across scoped threads.
 pub struct JobQueue<T> {
@@ -63,6 +74,30 @@ impl<T> JobQueue<T> {
         drop(guard);
         self.not_empty.notify_one();
         Ok(())
+    }
+
+    /// Enqueues a job without blocking. A full queue is an explicit
+    /// [`TryPushError::Full`] — the admission-control primitive: callers
+    /// reject the work loudly instead of queueing unboundedly or waiting.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let Ok(mut guard) = self.inner.lock() else {
+            return Err(TryPushError::Closed(item));
+        };
+        if guard.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if guard.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        guard.items.push_back(item);
+        drop(guard);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// The queue's capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Dequeues a job, blocking while the queue is empty and open. Returns
@@ -200,5 +235,22 @@ mod tests {
         q.close();
         assert_eq!(q.pop(), None);
         assert_eq!(q.push(9), Err(9));
+    }
+
+    #[test]
+    fn try_push_rejects_full_and_closed_without_blocking() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Err(TryPushError::Full(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(4), Ok(()));
+        q.close();
+        assert_eq!(q.try_push(5), Err(TryPushError::Closed(5)));
+        // Pending jobs still drain after close.
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), None);
     }
 }

@@ -25,11 +25,12 @@
 //! faster than `Vmax`", a per-shard fact).
 
 use mst_index::{
-    ConcurrentIndex, LeafEntry, Rtree3D, TbTree, TrajectoryIndex, TrajectoryIndexWrite,
+    knn_segments_traced, ConcurrentIndex, KnnMatch, LeafEntry, Rtree3D, TbTree, TrajectoryIndex,
+    TrajectoryIndexWrite,
 };
 use mst_search::{
     bfmst_search_shared, nearest_trajectories_shared, BoundShare, KmstSpec, KnnSpec, NnOutcome,
-    QueryMetrics, SearchReport, TrajectoryStore,
+    QueryMetrics, RangeSpec, SearchReport, SegmentsSpec, TrajectoryStore,
 };
 use mst_trajectory::{Trajectory, TrajectoryId};
 
@@ -62,11 +63,12 @@ impl<I: TrajectoryIndex> Shard<I> {
         metrics: &mut M,
     ) -> mst_search::Result<SearchReport> {
         let mut reader = self.index.reader();
+        let period = spec.period();
         bfmst_search_shared(
             &mut reader,
             &self.store,
             &spec.query,
-            &spec.period,
+            &period,
             &spec.config,
             share,
             metrics,
@@ -81,14 +83,36 @@ impl<I: TrajectoryIndex> Shard<I> {
         metrics: &mut M,
     ) -> mst_search::Result<NnOutcome> {
         let mut reader = self.index.reader();
-        nearest_trajectories_shared(
+        let period = spec.period();
+        nearest_trajectories_shared(&mut reader, &spec.query, &period, spec.k(), share, metrics)
+    }
+
+    /// Runs one point-kNN (nearest segments) query against this shard.
+    /// Point-kNN has no cross-shard pruning threshold to share, so there
+    /// is no `BoundShare` parameter; the merge keeps the global k best.
+    pub fn run_knn_segments<M: QueryMetrics>(
+        &self,
+        spec: &SegmentsSpec,
+        metrics: &mut M,
+    ) -> mst_search::Result<Vec<KnnMatch>> {
+        let mut reader = self.index.reader();
+        Ok(knn_segments_traced(
             &mut reader,
-            &spec.query,
-            &spec.period,
-            spec.k,
-            share,
+            spec.location,
+            &spec.window,
+            spec.options.k,
             metrics,
-        )
+        )?)
+    }
+
+    /// Runs one 3D range query against this shard.
+    pub fn run_range<M: QueryMetrics>(
+        &self,
+        spec: &RangeSpec,
+        metrics: &mut M,
+    ) -> mst_search::Result<Vec<LeafEntry>> {
+        let mut reader = self.index.reader();
+        Ok(reader.range_query_traced(&spec.window, metrics)?)
     }
 }
 

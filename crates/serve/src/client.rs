@@ -1,0 +1,102 @@
+//! A minimal blocking client for the wire protocol: one connection, one
+//! request in flight at a time. Exists so tests, benches, and examples
+//! don't each hand-roll framing — and as the reference for implementing
+//! the protocol in other languages.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use mst_search::QueryOptions;
+use mst_trajectory::{Mbb, Point, Trajectory};
+
+use crate::protocol::{read_frame, write_frame, Request, Response, StatsReport, WireError};
+
+/// A blocking connection to an `mst-serve` instance.
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        Ok(ServeClient {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Sends one request and blocks for its response. A server that
+    /// closes the stream instead of answering surfaces as
+    /// [`WireError::Truncated`].
+    pub fn request(&mut self, request: &Request) -> Result<Response, WireError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => Response::decode(&payload),
+            None => Err(WireError::Truncated),
+        }
+    }
+
+    /// Runs a k-MST query for the given query trajectory.
+    pub fn kmst(
+        &mut self,
+        query: &Trajectory,
+        options: QueryOptions,
+    ) -> Result<Response, WireError> {
+        self.request(&Request::Kmst {
+            points: query.points().to_vec(),
+            options,
+        })
+    }
+
+    /// Runs a trajectory-kNN query.
+    pub fn knn(
+        &mut self,
+        query: &Trajectory,
+        options: QueryOptions,
+    ) -> Result<Response, WireError> {
+        self.request(&Request::Knn {
+            points: query.points().to_vec(),
+            options,
+        })
+    }
+
+    /// Runs a point-kNN (nearest segments) query. The time window must
+    /// ride in `options.period`.
+    pub fn knn_segments(
+        &mut self,
+        location: Point,
+        options: QueryOptions,
+    ) -> Result<Response, WireError> {
+        self.request(&Request::KnnSegments { location, options })
+    }
+
+    /// Runs a 3D range query.
+    pub fn range(&mut self, window: &Mbb, options: QueryOptions) -> Result<Response, WireError> {
+        self.request(&Request::Range {
+            window: *window,
+            options,
+        })
+    }
+
+    /// Fetches server counters and the merged work profile.
+    pub fn stats(&mut self) -> Result<StatsReport, WireError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            _ => Err(WireError::BadPayload("expected a stats response")),
+        }
+    }
+
+    /// Asks the server to shut down gracefully. `Ok(true)` means the
+    /// server acknowledged.
+    pub fn shutdown(&mut self) -> Result<bool, WireError> {
+        Ok(matches!(
+            self.request(&Request::Shutdown)?,
+            Response::ShutdownAck
+        ))
+    }
+
+    /// Raw-sends a payload without framing sanity — for adversarial
+    /// tests. Hidden from docs; not part of the client contract.
+    #[doc(hidden)]
+    pub fn raw_stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}

@@ -1,0 +1,59 @@
+//! `mst-serve`: a std-only TCP query server for the MST reproduction.
+//!
+//! Exposes the full [`mst_search::Query`] surface — k-MST, trajectory
+//! kNN, point kNN, and 3D range, each with k, time window, deadline, and
+//! bound-sharing options — over a small length-prefixed binary protocol
+//! ([`protocol`]), executing on the [`mst_exec`] sharded pool through its
+//! admission-controlled [`mst_exec::ExecHandle`].
+//!
+//! Design commitments, in order:
+//!
+//! 1. **Bounded everything.** Connections and queries both pass explicit
+//!    admission control; saturation answers with a typed
+//!    [`Response::Overloaded`](protocol::Response::Overloaded) frame,
+//!    never an unbounded queue or a silent hang.
+//! 2. **Total decoding.** Any byte sequence decodes to a request or a
+//!    typed [`WireError`](protocol::WireError) — no panics, no partial
+//!    reads trusted, hostile length prefixes rejected before allocation.
+//! 3. **Bit-identical answers.** A query over the wire runs through the
+//!    same builders, executor, and merges as the embedded API, so its
+//!    answer is exactly `Query::run`'s.
+//! 4. **Graceful drain.** Shutdown — by API call or `Shutdown` frame —
+//!    finishes every in-flight query and delivers its response before
+//!    the server stops.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use mst_exec::ShardedDatabase;
+//! use mst_search::QueryOptions;
+//! use mst_serve::{Server, ServerConfig, ServeClient};
+//!
+//! # let fleet = vec![(
+//! #     mst_trajectory::TrajectoryId(0),
+//! #     mst_trajectory::Trajectory::new(vec![
+//! #         mst_trajectory::SamplePoint::new(0.0, 0.0, 0.0),
+//! #         mst_trajectory::SamplePoint::new(1.0, 1.0, 1.0),
+//! #     ])?,
+//! # )];
+//! # let query = fleet[0].1.clone();
+//! let db = Arc::new(ShardedDatabase::with_rtree(2, fleet)?);
+//! let server = Server::start(ServerConfig::new().workers(2), db)?;
+//! let mut client = ServeClient::connect(server.local_addr())?;
+//! let answer = client.kmst(&query, QueryOptions::new().k(5))?;
+//! client.shutdown()?;
+//! server.join();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::ServeClient;
+pub use protocol::{
+    ErrorCode, ProfileSummary, Request, Response, ServerCounters, StatsReport, WireError, MAX_FRAME,
+};
+pub use server::{ServeError, Server, ServerConfig, ServerHandle};

@@ -1,0 +1,117 @@
+//! The `mst-serve` binary: builds a GSTD demo dataset, binds, and serves
+//! until a `Shutdown` frame arrives.
+//!
+//! ```text
+//! mst-serve [--port N] [--workers N] [--queue N] [--objects N] \
+//!           [--shards N] [--deadline-ms N]
+//! ```
+//!
+//! All flags optional; `--port 0` (the default) picks an ephemeral port
+//! and prints it, which is what the bench harness and CI smoke use.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::sync::Arc;
+
+use mst_datagen::GstdConfig;
+use mst_exec::ShardedDatabase;
+use mst_serve::{Server, ServerConfig};
+use mst_trajectory::TrajectoryId;
+
+struct Args {
+    port: u16,
+    workers: usize,
+    queue: usize,
+    objects: usize,
+    shards: usize,
+    deadline_ms: Option<u64>,
+}
+
+impl Args {
+    fn from_env() -> Result<Args, String> {
+        let mut args = Args {
+            port: 0,
+            workers: 2,
+            queue: 0,
+            objects: 200,
+            shards: 4,
+            deadline_ms: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |flag: &str| -> Result<String, String> {
+                it.next().ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--port" => args.port = parse(&value("--port")?)?,
+                "--workers" => args.workers = parse(&value("--workers")?)?,
+                "--queue" => args.queue = parse(&value("--queue")?)?,
+                "--objects" => args.objects = parse(&value("--objects")?)?,
+                "--shards" => args.shards = parse(&value("--shards")?)?,
+                "--deadline-ms" => args.deadline_ms = Some(parse(&value("--deadline-ms")?)?),
+                "--help" | "-h" => {
+                    return Err("usage: mst-serve [--port N] [--workers N] [--queue N] \
+                         [--objects N] [--shards N] [--deadline-ms N]"
+                        .into())
+                }
+                other => return Err(format!("unknown flag: {other}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+fn parse<T: std::str::FromStr>(raw: &str) -> Result<T, String> {
+    raw.parse().map_err(|_| format!("invalid value: {raw}"))
+}
+
+fn main() {
+    let code = run();
+    std::process::exit(code);
+}
+
+fn run() -> i32 {
+    let args = match Args::from_env() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return 2;
+        }
+    };
+    eprintln!(
+        "building GSTD demo dataset: {} objects across {} shards",
+        args.objects, args.shards
+    );
+    let fleet = GstdConfig::paper_dataset(args.objects, 42)
+        .generate()
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (TrajectoryId(i as u64), t));
+    let db = match ShardedDatabase::with_rtree(args.shards, fleet) {
+        Ok(db) => Arc::new(db),
+        Err(e) => {
+            eprintln!("failed to build the database: {e}");
+            return 1;
+        }
+    };
+    let mut config = ServerConfig::new()
+        .port(args.port)
+        .workers(args.workers)
+        .queue_capacity(args.queue);
+    if let Some(ms) = args.deadline_ms {
+        config = config.default_deadline_us(ms.saturating_mul(1000));
+    }
+    let server = match Server::start(config, db) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            return 1;
+        }
+    };
+    // The bench harness and CI smoke parse this line for the port.
+    println!("listening on {}", server.local_addr());
+    server.join();
+    eprintln!("drained and stopped");
+    0
+}

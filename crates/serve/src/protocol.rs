@@ -1,0 +1,1032 @@
+//! The wire protocol: a small length-prefixed binary framing over TCP.
+//!
+//! # Framing
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! [payload_len: u32 le] [opcode: u8] [body: payload_len - 1 bytes]
+//! ```
+//!
+//! `payload_len` counts the opcode byte plus the body and is capped at
+//! [`MAX_FRAME`]; a larger prefix is rejected *before* any allocation, so
+//! a hostile 4 GiB length cannot balloon server memory. All integers are
+//! little-endian; all coordinates are IEEE 754 doubles by bit pattern.
+//!
+//! # Opcodes
+//!
+//! | opcode | direction | message |
+//! |--------|-----------|---------|
+//! | `0x01` | request   | k-MST query (trajectory + options) |
+//! | `0x02` | request   | trajectory-kNN query (trajectory + options) |
+//! | `0x03` | request   | point-kNN / nearest-segments query (point + options) |
+//! | `0x04` | request   | 3D range query (box + options) |
+//! | `0x05` | request   | server stats |
+//! | `0x06` | request   | graceful shutdown |
+//! | `0x81` | response  | k-MST matches |
+//! | `0x82` | response  | kNN matches |
+//! | `0x83` | response  | segment matches |
+//! | `0x84` | response  | range hits |
+//! | `0x85` | response  | stats report |
+//! | `0x86` | response  | shutdown acknowledged |
+//! | `0xE0` | response  | overloaded (admission rejected — backpressure) |
+//! | `0xE1` | response  | typed error |
+//!
+//! # Decoding discipline
+//!
+//! Decoding is *structural only* and total: every read is bounds-checked
+//! ([`Cursor`]), unknown opcodes and trailing bytes are typed errors, and
+//! nothing panics on any byte sequence (the workspace's R1 gate covers
+//! this crate). Semantic validation — monotonic timestamps, coverage of
+//! the query period — happens server-side through the same
+//! [`mst_search::Query`] builders the embedded API uses, so a structurally
+//! valid but semantically bad query gets [`ErrorCode::InvalidQuery`]
+//! while a malformed frame gets [`ErrorCode::Malformed`] and closes the
+//! connection.
+
+use mst_index::{KnnMatch, LeafEntry};
+use mst_search::{MstMatch, NnMatch, QueryOptions};
+use mst_trajectory::{Mbb, Point, SamplePoint, Segment, TimeInterval, TrajectoryId};
+
+/// Hard cap on a frame's payload (opcode + body): 4 MiB.
+pub const MAX_FRAME: u32 = 4 << 20;
+
+/// Why a frame failed to decode (or a stream failed mid-frame). Every
+/// variant is a protocol violation or transport fault, never a panic.
+#[derive(Debug)]
+pub enum WireError {
+    /// The stream ended inside a frame, or a body was shorter than its
+    /// fields claim.
+    Truncated,
+    /// A length prefix exceeded [`MAX_FRAME`].
+    Oversized(u32),
+    /// An opcode byte that names no message.
+    BadOpcode(u8),
+    /// A structurally invalid body (bad flag byte, impossible count,
+    /// invalid interval or segment).
+    BadPayload(&'static str),
+    /// Bytes left over after a complete message was decoded.
+    TrailingBytes,
+    /// The transport failed.
+    Io(std::io::Error),
+}
+
+impl PartialEq for WireError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (WireError::Truncated, WireError::Truncated) => true,
+            (WireError::Oversized(a), WireError::Oversized(b)) => a == b,
+            (WireError::BadOpcode(a), WireError::BadOpcode(b)) => a == b,
+            (WireError::BadPayload(a), WireError::BadPayload(b)) => a == b,
+            (WireError::TrailingBytes, WireError::TrailingBytes) => true,
+            (WireError::Io(a), WireError::Io(b)) => a.kind() == b.kind(),
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::Oversized(len) => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME}-byte cap")
+            }
+            WireError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::BadPayload(what) => write!(f, "malformed payload: {what}"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+/// A bounds-checked read cursor over a frame payload. Every accessor
+/// returns [`WireError::Truncated`] instead of slicing out of range.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn try_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn try_u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(b);
+        Ok(u32::from_le_bytes(raw))
+    }
+
+    fn try_u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn try_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.try_u64()?))
+    }
+
+    /// Asserts the message consumed its whole frame.
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_count(out: &mut Vec<u8>, len: usize) -> u32 {
+    let count = u32::try_from(len).unwrap_or(u32::MAX);
+    put_u32(out, count);
+    count
+}
+
+/// Reads one `u32` element count and pre-checks it against the bytes
+/// actually present (`elem_size` each), so a hostile count cannot drive a
+/// huge allocation before the body runs out.
+fn try_count(cur: &mut Cursor<'_>, elem_size: usize) -> Result<usize, WireError> {
+    let count = usize::try_from(cur.try_u32()?).map_err(|_| WireError::BadPayload("count"))?;
+    match count.checked_mul(elem_size) {
+        Some(total) if total <= cur.remaining() => Ok(count),
+        _ => Err(WireError::Truncated),
+    }
+}
+
+fn put_options(out: &mut Vec<u8>, opts: &QueryOptions) {
+    let k = u32::try_from(opts.k).unwrap_or(u32::MAX);
+    put_u32(out, k);
+    match opts.period {
+        Some(period) => {
+            out.push(1);
+            put_f64(out, period.start());
+            put_f64(out, period.end());
+        }
+        None => out.push(0),
+    }
+    match opts.deadline_us {
+        Some(us) => {
+            out.push(1);
+            put_u64(out, us);
+        }
+        None => out.push(0),
+    }
+    out.push(u8::from(opts.share_bound));
+}
+
+fn try_options(cur: &mut Cursor<'_>) -> Result<QueryOptions, WireError> {
+    let mut opts = QueryOptions::new();
+    opts.k = usize::try_from(cur.try_u32()?).map_err(|_| WireError::BadPayload("k"))?;
+    opts.period = match cur.try_u8()? {
+        0 => None,
+        1 => {
+            let start = cur.try_f64()?;
+            let end = cur.try_f64()?;
+            Some(
+                TimeInterval::new(start, end)
+                    .map_err(|_| WireError::BadPayload("invalid time interval"))?,
+            )
+        }
+        _ => return Err(WireError::BadPayload("period flag")),
+    };
+    opts.deadline_us = match cur.try_u8()? {
+        0 => None,
+        1 => Some(cur.try_u64()?),
+        _ => return Err(WireError::BadPayload("deadline flag")),
+    };
+    opts.share_bound = match cur.try_u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(WireError::BadPayload("share flag")),
+    };
+    Ok(opts)
+}
+
+fn put_points(out: &mut Vec<u8>, points: &[SamplePoint]) {
+    let count = put_count(out, points.len());
+    for p in points
+        .iter()
+        .take(usize::try_from(count).unwrap_or(usize::MAX))
+    {
+        put_f64(out, p.t);
+        put_f64(out, p.x);
+        put_f64(out, p.y);
+    }
+}
+
+fn try_points(cur: &mut Cursor<'_>) -> Result<Vec<SamplePoint>, WireError> {
+    let count = try_count(cur, 24)?;
+    let mut points = Vec::with_capacity(count);
+    for _ in 0..count {
+        let t = cur.try_f64()?;
+        let x = cur.try_f64()?;
+        let y = cur.try_f64()?;
+        points.push(SamplePoint::new(t, x, y));
+    }
+    Ok(points)
+}
+
+fn put_sample(out: &mut Vec<u8>, p: SamplePoint) {
+    put_f64(out, p.t);
+    put_f64(out, p.x);
+    put_f64(out, p.y);
+}
+
+fn try_sample(cur: &mut Cursor<'_>) -> Result<SamplePoint, WireError> {
+    let t = cur.try_f64()?;
+    let x = cur.try_f64()?;
+    let y = cur.try_f64()?;
+    Ok(SamplePoint::new(t, x, y))
+}
+
+fn put_leaf_entry(out: &mut Vec<u8>, e: &LeafEntry) {
+    put_u64(out, e.traj.0);
+    put_u32(out, e.seq);
+    put_sample(out, e.segment.start());
+    put_sample(out, e.segment.end());
+}
+
+/// 8 (traj) + 4 (seq) + 2 x 24 (samples).
+const LEAF_ENTRY_SIZE: usize = 60;
+
+fn try_leaf_entry(cur: &mut Cursor<'_>) -> Result<LeafEntry, WireError> {
+    let traj = TrajectoryId(cur.try_u64()?);
+    let seq = cur.try_u32()?;
+    let start = try_sample(cur)?;
+    let end = try_sample(cur)?;
+    let segment = Segment::new(start, end).map_err(|_| WireError::BadPayload("invalid segment"))?;
+    Ok(LeafEntry { traj, seq, segment })
+}
+
+/// A decoded client request. Trajectories arrive as raw sample lists —
+/// [`mst_trajectory::Trajectory::new`] applies the semantic rules
+/// server-side so its errors surface as [`ErrorCode::InvalidQuery`], not
+/// as protocol violations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A k-MST query: find the `options.k` most similar trajectories.
+    Kmst {
+        /// The query trajectory's samples.
+        points: Vec<SamplePoint>,
+        /// Shared query options (k, period, deadline, bound sharing).
+        options: QueryOptions,
+    },
+    /// A trajectory-kNN query by closest approach.
+    Knn {
+        /// The query trajectory's samples.
+        points: Vec<SamplePoint>,
+        /// Shared query options.
+        options: QueryOptions,
+    },
+    /// A point-kNN (nearest segments) query. The time window rides in
+    /// `options.period` and is required — the server rejects its absence
+    /// as an invalid query, mirroring the builder.
+    KnnSegments {
+        /// The 2D query location.
+        location: Point,
+        /// Shared query options.
+        options: QueryOptions,
+    },
+    /// A 3D range query.
+    Range {
+        /// The spatio-temporal window.
+        window: Mbb,
+        /// Shared query options.
+        options: QueryOptions,
+    },
+    /// Server counters and the merged work profile.
+    Stats,
+    /// Graceful shutdown: drain in-flight queries, then stop.
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes the request into a frame payload (opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Kmst { points, options } => {
+                out.push(0x01);
+                put_options(&mut out, options);
+                put_points(&mut out, points);
+            }
+            Request::Knn { points, options } => {
+                out.push(0x02);
+                put_options(&mut out, options);
+                put_points(&mut out, points);
+            }
+            Request::KnnSegments { location, options } => {
+                out.push(0x03);
+                put_options(&mut out, options);
+                put_f64(&mut out, location.x);
+                put_f64(&mut out, location.y);
+            }
+            Request::Range { window, options } => {
+                out.push(0x04);
+                put_options(&mut out, options);
+                put_f64(&mut out, window.x_min);
+                put_f64(&mut out, window.y_min);
+                put_f64(&mut out, window.t_min);
+                put_f64(&mut out, window.x_max);
+                put_f64(&mut out, window.y_max);
+                put_f64(&mut out, window.t_max);
+            }
+            Request::Stats => out.push(0x05),
+            Request::Shutdown => out.push(0x06),
+        }
+        out
+    }
+
+    /// Decodes a frame payload into a request. Total: every malformed
+    /// input maps to a typed [`WireError`].
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut cur = Cursor::new(payload);
+        let opcode = cur.try_u8()?;
+        let request = match opcode {
+            0x01 => {
+                let options = try_options(&mut cur)?;
+                let points = try_points(&mut cur)?;
+                Request::Kmst { points, options }
+            }
+            0x02 => {
+                let options = try_options(&mut cur)?;
+                let points = try_points(&mut cur)?;
+                Request::Knn { points, options }
+            }
+            0x03 => {
+                let options = try_options(&mut cur)?;
+                let x = cur.try_f64()?;
+                let y = cur.try_f64()?;
+                Request::KnnSegments {
+                    location: Point::new(x, y),
+                    options,
+                }
+            }
+            0x04 => {
+                let options = try_options(&mut cur)?;
+                let x_min = cur.try_f64()?;
+                let y_min = cur.try_f64()?;
+                let t_min = cur.try_f64()?;
+                let x_max = cur.try_f64()?;
+                let y_max = cur.try_f64()?;
+                let t_max = cur.try_f64()?;
+                Request::Range {
+                    window: Mbb::new(x_min, y_min, t_min, x_max, y_max, t_max),
+                    options,
+                }
+            }
+            0x05 => Request::Stats,
+            0x06 => Request::Shutdown,
+            other => return Err(WireError::BadOpcode(other)),
+        };
+        cur.finish()?;
+        Ok(request)
+    }
+}
+
+/// Typed failure codes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame violated the protocol; the server closes the connection.
+    Malformed,
+    /// The query was structurally fine but semantically invalid (e.g. a
+    /// one-point trajectory, a period the query doesn't cover). The
+    /// connection stays open.
+    InvalidQuery,
+    /// The server is draining and admits nothing new.
+    ShuttingDown,
+    /// The server failed internally while executing the query.
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::Malformed => 1,
+            ErrorCode::InvalidQuery => 2,
+            ErrorCode::ShuttingDown => 3,
+            ErrorCode::Internal => 4,
+        }
+    }
+
+    fn try_from_u8(v: u8) -> Result<Self, WireError> {
+        match v {
+            1 => Ok(ErrorCode::Malformed),
+            2 => Ok(ErrorCode::InvalidQuery),
+            3 => Ok(ErrorCode::ShuttingDown),
+            4 => Ok(ErrorCode::Internal),
+            _ => Err(WireError::BadPayload("error code")),
+        }
+    }
+}
+
+/// Monotonic server counters, as reported by [`Response::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerCounters {
+    /// Connections accepted.
+    pub connections_accepted: u64,
+    /// Connections refused at the connection cap.
+    pub connections_rejected: u64,
+    /// Frames decoded into well-formed requests.
+    pub requests_decoded: u64,
+    /// Queries admitted into the execution queue.
+    pub queries_admitted: u64,
+    /// Queries that completed and answered.
+    pub queries_completed: u64,
+    /// Completed queries that reported degradation (deadline or shard).
+    pub queries_degraded: u64,
+    /// Queries rejected with [`Response::Overloaded`].
+    pub overload_rejections: u64,
+    /// Frames rejected as malformed (connection then closed).
+    pub malformed_frames: u64,
+    /// Structurally valid requests rejected as semantically invalid.
+    pub invalid_queries: u64,
+}
+
+/// A fixed-size summary of the server's merged [`mst_search::QueryProfile`]:
+/// the headline work counters, stable across profile growth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProfileSummary {
+    /// Elements pushed onto best-first priority queues.
+    pub heap_pushes: u64,
+    /// Elements popped off best-first priority queues.
+    pub heap_pops: u64,
+    /// Index node accesses, all levels.
+    pub nodes_accessed: u64,
+    /// Buffer-pool hits.
+    pub buffer_hits: u64,
+    /// Buffer-pool misses.
+    pub buffer_misses: u64,
+    /// DISSIM piece integrals evaluated (exact + trapezoid).
+    pub piece_evals: u64,
+    /// Heuristic-2 early terminations.
+    pub early_terminations: u64,
+}
+
+/// The full stats report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReport {
+    /// Server-level counters.
+    pub counters: ServerCounters,
+    /// Merged work profile of every completed query.
+    pub profile: ProfileSummary,
+}
+
+/// A decoded server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// k-MST matches, ascending dissimilarity.
+    Kmst {
+        /// Whether the answer is best-so-far rather than certified.
+        degraded: bool,
+        /// The matches.
+        matches: Vec<MstMatch>,
+    },
+    /// Trajectory-kNN matches, ascending closest approach.
+    Knn {
+        /// Whether the answer is degraded.
+        degraded: bool,
+        /// The matches.
+        matches: Vec<NnMatch>,
+    },
+    /// Point-kNN segment matches, ascending distance.
+    Segments {
+        /// Whether the answer is degraded.
+        degraded: bool,
+        /// The matches.
+        matches: Vec<KnnMatch>,
+    },
+    /// Range hits in canonical (trajectory, sequence) order.
+    Range {
+        /// Whether the answer is degraded.
+        degraded: bool,
+        /// The hits.
+        entries: Vec<LeafEntry>,
+    },
+    /// Server counters and merged profile.
+    Stats(StatsReport),
+    /// The server accepted the shutdown request and is draining.
+    ShutdownAck,
+    /// Admission control rejected the query: the execution queue is full.
+    /// Backpressure, not failure — retry later.
+    Overloaded {
+        /// Jobs queued at rejection time.
+        queued: u32,
+        /// The queue's capacity.
+        capacity: u32,
+    },
+    /// A typed error.
+    Error {
+        /// What class of failure.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+fn put_degraded_header(out: &mut Vec<u8>, opcode: u8, degraded: bool) {
+    out.push(opcode);
+    out.push(u8::from(degraded));
+}
+
+fn try_degraded(cur: &mut Cursor<'_>) -> Result<bool, WireError> {
+    match cur.try_u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(WireError::BadPayload("degraded flag")),
+    }
+}
+
+impl Response {
+    /// Encodes the response into a frame payload (opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Kmst { degraded, matches } => {
+                put_degraded_header(&mut out, 0x81, *degraded);
+                put_count(&mut out, matches.len());
+                for m in matches {
+                    put_u64(&mut out, m.traj.0);
+                    put_f64(&mut out, m.dissim);
+                }
+            }
+            Response::Knn { degraded, matches } => {
+                put_degraded_header(&mut out, 0x82, *degraded);
+                put_count(&mut out, matches.len());
+                for m in matches {
+                    put_u64(&mut out, m.traj.0);
+                    put_f64(&mut out, m.distance);
+                    put_f64(&mut out, m.time);
+                }
+            }
+            Response::Segments { degraded, matches } => {
+                put_degraded_header(&mut out, 0x83, *degraded);
+                put_count(&mut out, matches.len());
+                for m in matches {
+                    put_leaf_entry(&mut out, &m.entry);
+                    put_f64(&mut out, m.distance);
+                }
+            }
+            Response::Range { degraded, entries } => {
+                put_degraded_header(&mut out, 0x84, *degraded);
+                put_count(&mut out, entries.len());
+                for e in entries {
+                    put_leaf_entry(&mut out, e);
+                }
+            }
+            Response::Stats(report) => {
+                out.push(0x85);
+                let c = &report.counters;
+                for v in [
+                    c.connections_accepted,
+                    c.connections_rejected,
+                    c.requests_decoded,
+                    c.queries_admitted,
+                    c.queries_completed,
+                    c.queries_degraded,
+                    c.overload_rejections,
+                    c.malformed_frames,
+                    c.invalid_queries,
+                ] {
+                    put_u64(&mut out, v);
+                }
+                let p = &report.profile;
+                for v in [
+                    p.heap_pushes,
+                    p.heap_pops,
+                    p.nodes_accessed,
+                    p.buffer_hits,
+                    p.buffer_misses,
+                    p.piece_evals,
+                    p.early_terminations,
+                ] {
+                    put_u64(&mut out, v);
+                }
+            }
+            Response::ShutdownAck => out.push(0x86),
+            Response::Overloaded { queued, capacity } => {
+                out.push(0xE0);
+                put_u32(&mut out, *queued);
+                put_u32(&mut out, *capacity);
+            }
+            Response::Error { code, message } => {
+                out.push(0xE1);
+                out.push(code.to_u8());
+                let bytes = message.as_bytes();
+                let len = u16::try_from(bytes.len()).unwrap_or(u16::MAX);
+                out.extend_from_slice(&len.to_le_bytes());
+                out.extend_from_slice(&bytes[..usize::from(len)]);
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame payload into a response.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut cur = Cursor::new(payload);
+        let opcode = cur.try_u8()?;
+        let response = match opcode {
+            0x81 => {
+                let degraded = try_degraded(&mut cur)?;
+                let count = try_count(&mut cur, 16)?;
+                let mut matches = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let traj = TrajectoryId(cur.try_u64()?);
+                    let dissim = cur.try_f64()?;
+                    matches.push(MstMatch { traj, dissim });
+                }
+                Response::Kmst { degraded, matches }
+            }
+            0x82 => {
+                let degraded = try_degraded(&mut cur)?;
+                let count = try_count(&mut cur, 24)?;
+                let mut matches = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let traj = TrajectoryId(cur.try_u64()?);
+                    let distance = cur.try_f64()?;
+                    let time = cur.try_f64()?;
+                    matches.push(NnMatch {
+                        traj,
+                        distance,
+                        time,
+                    });
+                }
+                Response::Knn { degraded, matches }
+            }
+            0x83 => {
+                let degraded = try_degraded(&mut cur)?;
+                let count = try_count(&mut cur, LEAF_ENTRY_SIZE + 8)?;
+                let mut matches = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let entry = try_leaf_entry(&mut cur)?;
+                    let distance = cur.try_f64()?;
+                    matches.push(KnnMatch { entry, distance });
+                }
+                Response::Segments { degraded, matches }
+            }
+            0x84 => {
+                let degraded = try_degraded(&mut cur)?;
+                let count = try_count(&mut cur, LEAF_ENTRY_SIZE)?;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    entries.push(try_leaf_entry(&mut cur)?);
+                }
+                Response::Range { degraded, entries }
+            }
+            0x85 => {
+                let mut counters = [0u64; 16];
+                for slot in &mut counters {
+                    *slot = cur.try_u64()?;
+                }
+                Response::Stats(StatsReport {
+                    counters: ServerCounters {
+                        connections_accepted: counters[0],
+                        connections_rejected: counters[1],
+                        requests_decoded: counters[2],
+                        queries_admitted: counters[3],
+                        queries_completed: counters[4],
+                        queries_degraded: counters[5],
+                        overload_rejections: counters[6],
+                        malformed_frames: counters[7],
+                        invalid_queries: counters[8],
+                    },
+                    profile: ProfileSummary {
+                        heap_pushes: counters[9],
+                        heap_pops: counters[10],
+                        nodes_accessed: counters[11],
+                        buffer_hits: counters[12],
+                        buffer_misses: counters[13],
+                        piece_evals: counters[14],
+                        early_terminations: counters[15],
+                    },
+                })
+            }
+            0x86 => Response::ShutdownAck,
+            0xE0 => {
+                let queued = cur.try_u32()?;
+                let capacity = cur.try_u32()?;
+                Response::Overloaded { queued, capacity }
+            }
+            0xE1 => {
+                let code = ErrorCode::try_from_u8(cur.try_u8()?)?;
+                let len = {
+                    let b = cur.take(2)?;
+                    usize::from(u16::from_le_bytes([b[0], b[1]]))
+                };
+                let bytes = cur.take(len)?;
+                let message = String::from_utf8(bytes.to_vec())
+                    .map_err(|_| WireError::BadPayload("error message utf-8"))?;
+                Response::Error { code, message }
+            }
+            other => return Err(WireError::BadOpcode(other)),
+        };
+        cur.finish()?;
+        Ok(response)
+    }
+}
+
+/// Writes one frame: the `u32` length prefix, then the payload.
+pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> Result<(), WireError> {
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversized(u32::MAX))?;
+    if len == 0 || len > MAX_FRAME {
+        return Err(WireError::Oversized(len));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame's payload. `Ok(None)` is a clean end-of-stream (the
+/// peer closed between frames); EOF *inside* a frame is
+/// [`WireError::Truncated`]. The length prefix is validated against
+/// [`MAX_FRAME`] before any allocation.
+pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(WireError::Truncated)
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::from(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len == 0 || len > MAX_FRAME {
+        return Err(WireError::Oversized(len));
+    }
+    let len_usize = usize::try_from(len).map_err(|_| WireError::Oversized(len))?;
+    let mut payload = vec![0u8; len_usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> QueryOptions {
+        QueryOptions::new()
+            .k(7)
+            .deadline_us(1_500)
+            .share_bound(false)
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        let window = TimeInterval::new(2.0, 9.0).expect("valid");
+        let requests = vec![
+            Request::Kmst {
+                points: vec![
+                    SamplePoint::new(0.0, 1.0, 2.0),
+                    SamplePoint::new(1.0, 3.0, 4.0),
+                ],
+                options: opts().during(&window),
+            },
+            Request::Knn {
+                points: vec![SamplePoint::new(0.5, -1.0, 2.5)],
+                options: QueryOptions::new(),
+            },
+            Request::KnnSegments {
+                location: Point::new(3.25, -8.5),
+                options: opts().during(&window),
+            },
+            Request::Range {
+                window: Mbb::new(0.0, 1.0, 2.0, 3.0, 4.0, 5.0),
+                options: opts(),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let payload = request.encode();
+            assert_eq!(Request::decode(&payload).expect("round trip"), request);
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        let segment = Segment::new(
+            SamplePoint::new(0.0, 0.0, 0.0),
+            SamplePoint::new(1.0, 2.0, 3.0),
+        )
+        .expect("valid");
+        let entry = LeafEntry {
+            traj: TrajectoryId(42),
+            seq: 7,
+            segment,
+        };
+        let responses = vec![
+            Response::Kmst {
+                degraded: false,
+                matches: vec![MstMatch {
+                    traj: TrajectoryId(3),
+                    dissim: 1.25,
+                }],
+            },
+            Response::Knn {
+                degraded: true,
+                matches: vec![NnMatch {
+                    traj: TrajectoryId(9),
+                    distance: 0.5,
+                    time: 4.0,
+                }],
+            },
+            Response::Segments {
+                degraded: false,
+                matches: vec![KnnMatch {
+                    entry,
+                    distance: 2.5,
+                }],
+            },
+            Response::Range {
+                degraded: false,
+                entries: vec![entry],
+            },
+            Response::Stats(StatsReport {
+                counters: ServerCounters {
+                    connections_accepted: 1,
+                    queries_admitted: 2,
+                    overload_rejections: 3,
+                    ..ServerCounters::default()
+                },
+                profile: ProfileSummary {
+                    heap_pushes: 10,
+                    nodes_accessed: 20,
+                    ..ProfileSummary::default()
+                },
+            }),
+            Response::ShutdownAck,
+            Response::Overloaded {
+                queued: 4,
+                capacity: 4,
+            },
+            Response::Error {
+                code: ErrorCode::InvalidQuery,
+                message: "a one-point trajectory has no segments".into(),
+            },
+        ];
+        for response in responses {
+            let payload = response.encode();
+            assert_eq!(Response::decode(&payload).expect("round trip"), response);
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_typed_not_a_panic() {
+        let request = Request::Kmst {
+            points: vec![
+                SamplePoint::new(0.0, 1.0, 2.0),
+                SamplePoint::new(1.0, 3.0, 4.0),
+            ],
+            options: opts(),
+        };
+        let payload = request.encode();
+        for cut in 0..payload.len() {
+            match Request::decode(&payload[..cut]) {
+                Err(WireError::Truncated) => {}
+                Err(other) => panic!("cut at {cut}: unexpected error {other}"),
+                Ok(_) => panic!("cut at {cut}: decoded from a truncated payload"),
+            }
+        }
+        let response = Response::Segments {
+            degraded: false,
+            matches: vec![],
+        };
+        let payload = response.encode();
+        for cut in 0..payload.len() {
+            assert!(Response::decode(&payload[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_counts_cannot_drive_allocation() {
+        // A Kmst body claiming u32::MAX points with a 4-byte body: the
+        // count pre-check fails before any Vec::with_capacity.
+        let mut payload = vec![0x01];
+        put_options(&mut payload, &QueryOptions::new());
+        put_u32(&mut payload, u32::MAX);
+        assert_eq!(Request::decode(&payload), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn garbage_opcodes_and_flags_are_rejected() {
+        assert_eq!(Request::decode(&[0x7f]), Err(WireError::BadOpcode(0x7f)));
+        assert_eq!(Response::decode(&[0x13]), Err(WireError::BadOpcode(0x13)));
+        // Bad period flag.
+        let mut payload = vec![0x01];
+        put_u32(&mut payload, 1);
+        payload.push(9);
+        assert_eq!(
+            Request::decode(&payload),
+            Err(WireError::BadPayload("period flag"))
+        );
+        // Trailing bytes after a complete message.
+        let mut payload = Request::Stats.encode();
+        payload.push(0);
+        assert_eq!(Request::decode(&payload), Err(WireError::TrailingBytes));
+        // Inverted interval: structurally malformed.
+        let mut payload = vec![0x03];
+        let mut bad = Vec::new();
+        put_u32(&mut bad, 1);
+        bad.push(1);
+        put_f64(&mut bad, 9.0);
+        put_f64(&mut bad, 2.0);
+        bad.push(0);
+        bad.push(1);
+        payload.extend_from_slice(&bad);
+        put_f64(&mut payload, 0.0);
+        put_f64(&mut payload, 0.0);
+        assert_eq!(
+            Request::decode(&payload),
+            Err(WireError::BadPayload("invalid time interval"))
+        );
+    }
+
+    #[test]
+    fn frames_enforce_the_size_cap_and_detect_mid_frame_eof() {
+        let mut out = Vec::new();
+        write_frame(&mut out, &Request::Stats.encode()).expect("write");
+        let mut r = &out[..];
+        let payload = read_frame(&mut r).expect("read").expect("one frame");
+        assert_eq!(Request::decode(&payload), Ok(Request::Stats));
+        assert_eq!(read_frame(&mut r).expect("clean eof"), None);
+
+        // Oversized prefix: rejected before allocation.
+        let huge = (MAX_FRAME + 1).to_le_bytes();
+        assert_eq!(
+            read_frame(&mut &huge[..]),
+            Err(WireError::Oversized(MAX_FRAME + 1))
+        );
+        // Zero-length frame: no opcode, invalid.
+        assert_eq!(
+            read_frame(&mut &0u32.to_le_bytes()[..]),
+            Err(WireError::Oversized(0))
+        );
+        // Mid-frame EOF: prefix promises 100 bytes, stream has 3.
+        let mut partial = 100u32.to_le_bytes().to_vec();
+        partial.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(read_frame(&mut &partial[..]), Err(WireError::Truncated));
+        // EOF inside the prefix itself.
+        assert_eq!(read_frame(&mut &[0x01u8][..]), Err(WireError::Truncated));
+    }
+}

@@ -1,0 +1,588 @@
+//! The TCP server: accept loop, per-connection workers, admission
+//! control, and the graceful-shutdown drain.
+//!
+//! # Admission control
+//!
+//! Two bounded resources, two typed rejections:
+//!
+//! * **Connections** — at [`ServerConfig::max_connections`] the accept
+//!   loop answers a newcomer with one `Overloaded` frame and closes it;
+//!   nothing queues.
+//! * **Queries** — each request goes through
+//!   [`ExecHandle::try_submit`], whose bounded queue either admits the
+//!   query or rejects it *without blocking*; the rejection travels back
+//!   as an `Overloaded` frame carrying queue occupancy. The client
+//!   decides whether to retry. The server never queues unboundedly and a
+//!   saturated executor can never hang a connection.
+//!
+//! # Shutdown sequence
+//!
+//! 1. the shutdown flag flips (new requests answer `ShuttingDown`);
+//! 2. a self-connection unblocks the accept loop, which stops accepting;
+//! 3. every registered connection's *read* half is shut down — idle
+//!    connections unblock immediately, busy ones finish their current
+//!    request first;
+//! 4. connection threads are joined — in-flight queries run to
+//!    completion and their responses are written (the execution queue is
+//!    still open here, so no admitted query is lost);
+//! 5. the execution pool drains and joins;
+//! 6. the accept thread exits and [`ServerHandle::join`] returns.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mst_exec::{BatchExecutor, BatchQuery, ExecHandle, QueryAnswer, ShardedDatabase, SubmitError};
+use mst_index::TrajectoryIndex;
+use mst_search::{Query, QueryProfile};
+use mst_trajectory::Trajectory;
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, ProfileSummary, Request, Response, ServerCounters,
+    StatsReport, WireError,
+};
+
+/// Errors of the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The execution layer failed to start or was misconfigured.
+    Exec(mst_exec::ExecError),
+    /// A socket operation failed while starting or stopping the server.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Exec(e) => write!(f, "execution layer: {e}"),
+            ServeError::Io(e) => write!(f, "socket: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Exec(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<mst_exec::ExecError> for ServeError {
+    fn from(e: mst_exec::ExecError) -> Self {
+        ServeError::Exec(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Executor worker threads (minimum 1).
+    pub workers: usize,
+    /// Bound of the query admission queue; 0 means `2 x workers`.
+    pub queue_capacity: usize,
+    /// Maximum simultaneously served connections.
+    pub max_connections: usize,
+    /// Default per-query deadline in microseconds, applied when a request
+    /// carries none.
+    pub default_deadline_us: Option<u64>,
+    /// Port to bind on 127.0.0.1; 0 picks an ephemeral port.
+    pub port: u16,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 0,
+            max_connections: 64,
+            default_deadline_us: None,
+            port: 0,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The default configuration: 2 workers, queue bound `2 x workers`,
+    /// 64 connections, no deadline, ephemeral port.
+    pub fn new() -> Self {
+        ServerConfig::default()
+    }
+
+    /// Sets the executor worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the admission-queue bound (0 restores the `2 x workers`
+    /// default).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the connection cap.
+    pub fn max_connections(mut self, cap: usize) -> Self {
+        self.max_connections = cap.max(1);
+        self
+    }
+
+    /// Sets the default per-query deadline in microseconds.
+    pub fn default_deadline_us(mut self, deadline: u64) -> Self {
+        self.default_deadline_us = Some(deadline);
+        self
+    }
+
+    /// Sets the port (0 = ephemeral).
+    pub fn port(mut self, port: u16) -> Self {
+        self.port = port;
+        self
+    }
+}
+
+/// Monotonic counters, updated lock-free from every thread.
+#[derive(Debug, Default)]
+struct ServerStats {
+    connections_accepted: AtomicU64,
+    connections_rejected: AtomicU64,
+    requests_decoded: AtomicU64,
+    queries_admitted: AtomicU64,
+    queries_completed: AtomicU64,
+    queries_degraded: AtomicU64,
+    overload_rejections: AtomicU64,
+    malformed_frames: AtomicU64,
+    invalid_queries: AtomicU64,
+}
+
+impl ServerStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ServerCounters {
+        ServerCounters {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+            requests_decoded: self.requests_decoded.load(Ordering::Relaxed),
+            queries_admitted: self.queries_admitted.load(Ordering::Relaxed),
+            queries_completed: self.queries_completed.load(Ordering::Relaxed),
+            queries_degraded: self.queries_degraded.load(Ordering::Relaxed),
+            overload_rejections: self.overload_rejections.load(Ordering::Relaxed),
+            malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
+            invalid_queries: self.invalid_queries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared by the accept loop and every connection thread.
+struct Shared<I> {
+    exec: ExecHandle<I>,
+    stats: ServerStats,
+    /// Work profile merged from every completed query.
+    profile: Mutex<QueryProfile>,
+    shutting_down: AtomicBool,
+    /// Read halves of live connections, for the shutdown drain.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+    /// The bound address, for the shutdown self-connection poke.
+    addr: SocketAddr,
+}
+
+impl<I> Shared<I> {
+    fn stats_report(&self) -> StatsReport {
+        let profile = match self.profile.lock() {
+            Ok(p) => profile_summary(&p),
+            Err(_) => ProfileSummary::default(),
+        };
+        StatsReport {
+            counters: self.stats.snapshot(),
+            profile,
+        }
+    }
+}
+
+fn profile_summary(p: &QueryProfile) -> ProfileSummary {
+    ProfileSummary {
+        heap_pushes: p.heap_pushes,
+        heap_pops: p.heap_pops,
+        nodes_accessed: p.nodes_accessed(),
+        buffer_hits: p.buffer_hits,
+        buffer_misses: p.buffer_misses,
+        piece_evals: p.piece_evals(),
+        early_terminations: p.early_terminations,
+    }
+}
+
+/// Entry point: [`Server::start`] binds, spawns, and hands back a
+/// [`ServerHandle`].
+pub struct Server;
+
+impl Server {
+    /// Binds `127.0.0.1:port`, spawns the execution pool and the accept
+    /// loop, and returns the running server's handle. The bound address
+    /// (with the resolved ephemeral port) is
+    /// [`ServerHandle::local_addr`].
+    pub fn start<I>(
+        config: ServerConfig,
+        db: Arc<ShardedDatabase<I>>,
+    ) -> Result<ServerHandle<I>, ServeError>
+    where
+        I: TrajectoryIndex + Send + 'static,
+    {
+        let mut executor = BatchExecutor::new()
+            .workers(config.workers)
+            .queue_capacity(config.queue_capacity);
+        if let Some(us) = config.default_deadline_us {
+            executor = executor.deadline_us(us);
+        }
+        let exec = executor.submit_handle(db)?;
+        let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, config.port))?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            exec,
+            stats: ServerStats::default(),
+            profile: Mutex::new(QueryProfile::default()),
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+            addr: local_addr,
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mst-serve-accept".into())
+                .spawn(move || accept_loop(&shared, &listener, config.max_connections))?
+        };
+        Ok(ServerHandle {
+            local_addr,
+            shared,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down
+/// gracefully (in-flight queries drain).
+pub struct ServerHandle<I> {
+    local_addr: SocketAddr,
+    shared: Arc<Shared<I>>,
+    accept: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl<I> ServerHandle<I>
+where
+    I: TrajectoryIndex + Send + 'static,
+{
+    /// The bound address (ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// True once shutdown has been requested (by this handle or by a
+    /// `Shutdown` frame).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::Relaxed)
+    }
+
+    /// Requests graceful shutdown and blocks until the drain completes:
+    /// every in-flight query answers, every connection closes, every
+    /// thread joins. Idempotent.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared);
+        self.join();
+    }
+
+    /// Blocks until the server stops (a `Shutdown` frame, or
+    /// [`ServerHandle::shutdown`] from another thread).
+    pub fn join(&self) {
+        let handle = match self.accept.lock() {
+            Ok(mut slot) => slot.take(),
+            Err(_) => None,
+        };
+        if let Some(handle) = handle {
+            // invariant: an accept-loop panic has already stopped the
+            // server; surfacing the payload here adds nothing
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<I> Drop for ServerHandle<I> {
+    fn drop(&mut self) {
+        initiate_shutdown(&self.shared);
+        let handle = match self.accept.lock() {
+            Ok(mut slot) => slot.take(),
+            Err(_) => None,
+        };
+        if let Some(handle) = handle {
+            // invariant: same policy as join() — the server is already
+            // stopped when an accept-loop panic would surface here
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Flips the flag and pokes the accept loop awake with a throwaway
+/// self-connection; the accept thread runs the actual drain.
+fn initiate_shutdown<I>(shared: &Shared<I>) {
+    if shared.shutting_down.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // The accept loop blocks in accept(); a self-connection is the
+    // std-only way to unblock it promptly. If it fails (listener already
+    // gone), accept() has already returned.
+    if let Ok(stream) = TcpStream::connect(shared.addr) {
+        drop(stream);
+    }
+}
+
+fn accept_loop<I>(shared: &Arc<Shared<I>>, listener: &TcpListener, max_connections: usize)
+where
+    I: TrajectoryIndex + Send + 'static,
+{
+    let mut conn_threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => continue,
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            drop(stream);
+            break;
+        }
+        conn_threads.retain(|t| !t.is_finished());
+        let live = match shared.conns.lock() {
+            Ok(map) => map.len(),
+            Err(_) => max_connections,
+        };
+        if live >= max_connections {
+            ServerStats::bump(&shared.stats.connections_rejected);
+            reject_connection(stream, max_connections);
+            continue;
+        }
+        ServerStats::bump(&shared.stats.connections_accepted);
+        let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(read_half) = stream.try_clone() {
+            if let Ok(mut map) = shared.conns.lock() {
+                map.insert(id, read_half);
+            }
+        }
+        let conn_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("mst-serve-conn-{id}"))
+            .spawn(move || {
+                serve_connection(&conn_shared, stream);
+                if let Ok(mut map) = conn_shared.conns.lock() {
+                    map.remove(&id);
+                }
+            });
+        match spawned {
+            Ok(handle) => conn_threads.push(handle),
+            Err(_) => {
+                // Could not spawn: undo the registration; the stream
+                // drops and the client sees a closed connection.
+                ServerStats::bump(&shared.stats.connections_rejected);
+                if let Ok(mut map) = shared.conns.lock() {
+                    map.remove(&id);
+                }
+            }
+        }
+    }
+
+    // Drain: unblock every connection's read, let busy ones finish their
+    // in-flight request, then join.
+    if let Ok(map) = shared.conns.lock() {
+        for stream in map.values() {
+            // invariant: a connection that already closed cannot be shut
+            // down again; the drain only needs best-effort unblocking
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    }
+    for handle in conn_threads {
+        // invariant: a panicked connection thread has already dropped its
+        // socket; the drain must keep joining the rest
+        let _ = handle.join();
+    }
+    shared.exec.shutdown();
+}
+
+/// Answers an over-cap connection with one `Overloaded` frame and closes
+/// it.
+fn reject_connection(mut stream: TcpStream, max_connections: usize) {
+    let frame = Response::Overloaded {
+        queued: 0,
+        capacity: u32::try_from(max_connections).unwrap_or(u32::MAX),
+    }
+    .encode();
+    // invariant: the rejected client may already be gone; the rejection
+    // frame is best-effort by design
+    let _ = write_frame(&mut stream, &frame);
+}
+
+/// One connection's request loop: frames in, responses out, until the
+/// peer leaves, a frame is malformed, or shutdown drains us.
+fn serve_connection<I>(shared: &Shared<I>, mut stream: TcpStream)
+where
+    I: TrajectoryIndex + Send + 'static,
+{
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            // Clean close between frames, or the shutdown drain cut the
+            // read half.
+            Ok(None) => return,
+            Err(WireError::Io(_)) => return,
+            Err(wire) => {
+                ServerStats::bump(&shared.stats.malformed_frames);
+                send_error(&mut stream, ErrorCode::Malformed, &wire.to_string());
+                return;
+            }
+        };
+        let request = match Request::decode(&payload) {
+            Ok(request) => request,
+            Err(wire) => {
+                ServerStats::bump(&shared.stats.malformed_frames);
+                send_error(&mut stream, ErrorCode::Malformed, &wire.to_string());
+                return;
+            }
+        };
+        ServerStats::bump(&shared.stats.requests_decoded);
+        match request {
+            Request::Stats => {
+                if !send(&mut stream, &Response::Stats(shared.stats_report())) {
+                    return;
+                }
+            }
+            Request::Shutdown => {
+                // Acknowledge first: the drain below shuts our read half,
+                // and the client deserves a positive confirmation.
+                send(&mut stream, &Response::ShutdownAck);
+                initiate_shutdown(shared);
+                return;
+            }
+            other => {
+                if !handle_query(shared, &mut stream, other) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Builds, admits, executes, and answers one query request. Returns
+/// `false` when the connection should close (socket failure).
+fn handle_query<I>(shared: &Shared<I>, stream: &mut TcpStream, request: Request) -> bool
+where
+    I: TrajectoryIndex + Send + 'static,
+{
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return send_error(stream, ErrorCode::ShuttingDown, "server is draining");
+    }
+    let batch_query = match build_query(request) {
+        Ok(q) => q,
+        Err(message) => {
+            ServerStats::bump(&shared.stats.invalid_queries);
+            return send_error(stream, ErrorCode::InvalidQuery, &message);
+        }
+    };
+    let ticket = match shared.exec.try_submit(batch_query) {
+        Ok(ticket) => ticket,
+        Err(SubmitError::Overloaded { queued, capacity }) => {
+            ServerStats::bump(&shared.stats.overload_rejections);
+            let response = Response::Overloaded {
+                queued: u32::try_from(queued).unwrap_or(u32::MAX),
+                capacity: u32::try_from(capacity).unwrap_or(u32::MAX),
+            };
+            return send(stream, &response);
+        }
+        Err(SubmitError::ShuttingDown) => {
+            return send_error(stream, ErrorCode::ShuttingDown, "server is draining");
+        }
+    };
+    ServerStats::bump(&shared.stats.queries_admitted);
+    let outcome = match ticket.wait() {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            return send_error(stream, ErrorCode::Internal, &e.to_string());
+        }
+    };
+    ServerStats::bump(&shared.stats.queries_completed);
+    if outcome.degraded {
+        ServerStats::bump(&shared.stats.queries_degraded);
+    }
+    if let Ok(mut profile) = shared.profile.lock() {
+        profile.merge(&outcome.profile);
+    }
+    let degraded = outcome.degraded;
+    let response = match outcome.answer {
+        QueryAnswer::Kmst(matches) => Response::Kmst { degraded, matches },
+        QueryAnswer::Knn(matches) => Response::Knn { degraded, matches },
+        QueryAnswer::Segments(matches) => Response::Segments { degraded, matches },
+        QueryAnswer::Range(entries) => Response::Range { degraded, entries },
+    };
+    send(stream, &response)
+}
+
+/// Turns a decoded query request into a validated [`BatchQuery`] through
+/// the same builders the embedded API uses. The error string travels back
+/// as [`ErrorCode::InvalidQuery`].
+fn build_query(request: Request) -> Result<BatchQuery, String> {
+    match request {
+        Request::Kmst { points, options } => {
+            let query = Trajectory::new(points).map_err(|e| e.to_string())?;
+            BatchQuery::kmst(Query::kmst(&query).options(options)).map_err(|e| e.to_string())
+        }
+        Request::Knn { points, options } => {
+            let query = Trajectory::new(points).map_err(|e| e.to_string())?;
+            BatchQuery::knn(Query::knn(&query).options(options)).map_err(|e| e.to_string())
+        }
+        Request::KnnSegments { location, options } => {
+            BatchQuery::knn_segments(Query::knn_segments(location).options(options))
+                .map_err(|e| e.to_string())
+        }
+        Request::Range { window, options } => {
+            Ok(BatchQuery::range(Query::range(&window).options(options)))
+        }
+        Request::Stats | Request::Shutdown => Err("not a query".into()),
+    }
+}
+
+/// Best-effort response write. `false` means the socket failed and the
+/// connection should close. An answer too large for one frame downgrades
+/// to a typed `Internal` error rather than silently dropping the peer.
+fn send(stream: &mut TcpStream, response: &Response) -> bool {
+    match write_frame(stream, &response.encode()) {
+        Ok(()) => true,
+        Err(WireError::Oversized(_)) => send_error(
+            stream,
+            ErrorCode::Internal,
+            "answer exceeds the frame cap; narrow the query",
+        ),
+        Err(_) => false,
+    }
+}
+
+fn send_error(stream: &mut TcpStream, code: ErrorCode, message: &str) -> bool {
+    let response = Response::Error {
+        code,
+        message: message.into(),
+    };
+    let ok = send(stream, &response);
+    if code == ErrorCode::Malformed {
+        // Protocol violations close the connection; flush what we can.
+        // invariant: the peer may already be gone — the close itself is
+        // the contract, the flush is best-effort
+        let _ = stream.flush();
+    }
+    ok
+}

@@ -1,0 +1,349 @@
+//! Loopback integration: a real server on an ephemeral port, real TCP
+//! clients, answers compared bit-for-bit against the embedded
+//! single-threaded `Query::run` path.
+
+use std::io::Write;
+use std::sync::Arc;
+
+use mst_datagen::{GstdConfig, SpeedDistribution};
+use mst_exec::ShardedDatabase;
+use mst_search::{MovingObjectDatabase, Query, QueryOptions};
+use mst_serve::{ErrorCode, Request, Response, ServeClient, Server, ServerConfig, ServerHandle};
+use mst_trajectory::{Mbb, Point, Trajectory, TrajectoryId};
+
+fn fleet(objects: usize, seed: u64) -> Vec<(TrajectoryId, Trajectory)> {
+    // A scaled-down GSTD workload: enough structure to exercise every
+    // query flavour, small enough that the whole suite stays fast.
+    let config = GstdConfig {
+        num_objects: objects,
+        samples_per_object: 120,
+        time_step: 1.0,
+        speed: SpeedDistribution::lognormal_with_median(5.0e-3, 0.6),
+        seed,
+    };
+    config
+        .generate()
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (TrajectoryId(u64::try_from(i).expect("small fleet")), t))
+        .collect()
+}
+
+fn start_server(
+    fleet: &[(TrajectoryId, Trajectory)],
+    shards: usize,
+    config: ServerConfig,
+) -> ServerHandle<mst_index::Rtree3D> {
+    let db = ShardedDatabase::with_rtree(shards, fleet.iter().cloned()).expect("build shards");
+    Server::start(config, Arc::new(db)).expect("start server")
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_answers() {
+    let fleet = fleet(48, 11);
+    let server = start_server(&fleet, 3, ServerConfig::new().workers(3).queue_capacity(16));
+    let addr = server.local_addr();
+
+    // Embedded baseline: single-threaded Query::run over one unsharded
+    // database.
+    let mut baseline = MovingObjectDatabase::with_rtree();
+    for (id, t) in &fleet {
+        baseline.insert_trajectory(*id, t).expect("insert");
+    }
+    // The same window the client threads derive (from fleet[7]). The
+    // range box is time-bounded so the answer fits one frame comfortably.
+    let window = fleet[7].1.time();
+    let range_box = Mbb::new(0.0, 0.0, window.start(), 1.0, 1.0, window.start() + 30.0);
+
+    let expected_kmst: Vec<Vec<mst_search::MstMatch>> = (0..8)
+        .map(|i| {
+            let q = &fleet[i * 5].1;
+            Query::kmst(q)
+                .k(4)
+                .run(&mut baseline)
+                .expect("baseline kmst")
+        })
+        .collect();
+    let expected_knn = Query::knn(&fleet[7].1)
+        .k(3)
+        .run(&mut baseline)
+        .expect("baseline knn");
+    let expected_segments = Query::knn_segments(Point::new(0.5, 0.5))
+        .k(6)
+        .during(&window)
+        .run(&mut baseline)
+        .expect("baseline segments");
+    let expected_range = {
+        // The server merges shard lists into canonical (traj, seq) order;
+        // the unsharded baseline reports traversal order. Same set,
+        // canonical order for comparison.
+        let mut entries = Query::range(&range_box)
+            .run(&mut baseline)
+            .expect("baseline range");
+        entries.sort_by(|a, b| a.traj.cmp(&b.traj).then(a.seq.cmp(&b.seq)));
+        entries
+    };
+
+    // 8 concurrent connections, each running its own k-MST plus the
+    // shared kNN / segments / range flavours.
+    let threads: Vec<_> = (0..8)
+        .map(|i| {
+            let q = fleet[i * 5].1.clone();
+            let expected = expected_kmst[i].clone();
+            let expected_knn = expected_knn.clone();
+            let expected_segments = expected_segments.clone();
+            let expected_range = expected_range.clone();
+            let knn_query = fleet[7].1.clone();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                match client.kmst(&q, QueryOptions::new().k(4)).expect("kmst") {
+                    Response::Kmst { degraded, matches } => {
+                        assert!(!degraded);
+                        assert_eq!(matches, expected);
+                    }
+                    other => panic!("expected Kmst, got {other:?}"),
+                }
+                match client
+                    .knn(&knn_query, QueryOptions::new().k(3))
+                    .expect("knn")
+                {
+                    Response::Knn { degraded, matches } => {
+                        assert!(!degraded);
+                        // Same contract as the exec determinism suite:
+                        // (traj, bitwise distance); the closest-approach
+                        // *instant* is tie-broken by traversal order.
+                        assert_eq!(matches.len(), expected_knn.len());
+                        for (g, w) in matches.iter().zip(&expected_knn) {
+                            assert_eq!(g.traj, w.traj);
+                            assert_eq!(g.distance.to_bits(), w.distance.to_bits());
+                        }
+                    }
+                    other => panic!("expected Knn, got {other:?}"),
+                }
+                let window = knn_query.time();
+                match client
+                    .knn_segments(
+                        Point::new(0.5, 0.5),
+                        QueryOptions::new().k(6).during(&window),
+                    )
+                    .expect("segments")
+                {
+                    Response::Segments { degraded, matches } => {
+                        assert!(!degraded);
+                        assert_eq!(matches, expected_segments);
+                    }
+                    other => panic!("expected Segments, got {other:?}"),
+                }
+                let range_box = Mbb::new(0.0, 0.0, window.start(), 1.0, 1.0, window.start() + 30.0);
+                match client
+                    .range(&range_box, QueryOptions::new())
+                    .expect("range")
+                {
+                    Response::Range { degraded, entries } => {
+                        assert!(!degraded);
+                        assert_eq!(entries, expected_range);
+                    }
+                    other => panic!("expected Range, got {other:?}"),
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.counters.queries_completed, 32);
+    assert_eq!(stats.counters.queries_degraded, 0);
+    assert_eq!(stats.counters.malformed_frames, 0);
+    assert!(stats.profile.nodes_accessed > 0, "profile merged");
+    server.shutdown();
+}
+
+#[test]
+fn overload_answers_typed_backpressure_never_hangs() {
+    let fleet = fleet(60, 3);
+    let server = start_server(&fleet, 1, ServerConfig::new().workers(1).queue_capacity(1));
+    let addr = server.local_addr();
+    let threads: Vec<_> = (0..8)
+        .map(|i| {
+            let q = fleet[(i * 7) % fleet.len()].1.clone();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                let mut overloaded = 0u32;
+                for _ in 0..25 {
+                    match client.kmst(&q, QueryOptions::new().k(8)).expect("kmst") {
+                        Response::Kmst { matches, .. } => assert!(!matches.is_empty()),
+                        Response::Overloaded { capacity, .. } => {
+                            assert_eq!(capacity, 1);
+                            overloaded += 1;
+                        }
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+                overloaded
+            })
+        })
+        .collect();
+    let total_overloaded: u32 = threads.into_iter().map(|t| t.join().expect("client")).sum();
+    // A 1-worker, depth-1 queue cannot absorb 8 bursting clients: the
+    // typed rejection must have fired, and every request got *some*
+    // well-formed answer (the joins above would hang otherwise).
+    assert!(total_overloaded > 0, "admission control never engaged");
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        u64::from(total_overloaded),
+        stats.counters.overload_rejections
+    );
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_inflight_queries() {
+    let fleet = fleet(80, 9);
+    let server = start_server(&fleet, 2, ServerConfig::new().workers(1).queue_capacity(4));
+    let addr = server.local_addr();
+
+    // Client A: a heavy query.
+    let q = fleet[0].1.clone();
+    let worker = std::thread::spawn(move || {
+        let mut client = ServeClient::connect(addr).expect("connect");
+        client
+            .kmst(&q, QueryOptions::new().k(10))
+            .expect("answered despite shutdown")
+    });
+
+    // Client B: wait until A's query is admitted, then ask for shutdown.
+    let mut client = ServeClient::connect(addr).expect("connect");
+    loop {
+        let stats = client.stats().expect("stats");
+        if stats.counters.queries_admitted >= 1 {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    assert!(client.shutdown().expect("ack"));
+    server.join();
+
+    // A's in-flight query completed and its response was delivered.
+    match worker.join().expect("client A") {
+        Response::Kmst { matches, .. } => assert!(!matches.is_empty()),
+        other => panic!("expected Kmst, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_frames_answer_typed_errors_and_server_survives() {
+    let fleet = fleet(20, 5);
+    let server = start_server(&fleet, 2, ServerConfig::new());
+    let addr = server.local_addr();
+
+    // Garbage opcode: typed Malformed error, connection closed.
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let response = client.request(&Request::Stats); // warm-up: valid
+    assert!(matches!(response, Ok(Response::Stats(_))));
+    client
+        .raw_stream()
+        .write_all(&[2u8, 0, 0, 0, 0x7f, 0])
+        .expect("write garbage");
+    let mut raw = client.raw_stream();
+    match mst_serve::protocol::read_frame(&mut raw).expect("error frame") {
+        Some(payload) => match Response::decode(&payload).expect("decode") {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+            other => panic!("expected Error, got {other:?}"),
+        },
+        None => panic!("server closed without the typed error"),
+    }
+
+    // Oversized length prefix: the server rejects before allocating and
+    // closes; a fresh connection still works.
+    let mut hostile = ServeClient::connect(addr).expect("connect");
+    hostile
+        .raw_stream()
+        .write_all(&(mst_serve::MAX_FRAME + 1).to_le_bytes())
+        .expect("write hostile prefix");
+    let mut raw = hostile.raw_stream();
+    match mst_serve::protocol::read_frame(&mut raw) {
+        Ok(Some(payload)) => match Response::decode(&payload).expect("decode") {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+            other => panic!("expected Error, got {other:?}"),
+        },
+        Ok(None) | Err(_) => {} // already closed is acceptable
+    }
+
+    // Mid-frame disconnect: promise 100 bytes, send 3, hang up.
+    {
+        let mut quitter = ServeClient::connect(addr).expect("connect");
+        quitter
+            .raw_stream()
+            .write_all(&[100u8, 0, 0, 0, 1, 2, 3])
+            .expect("write partial");
+    } // dropped: TCP FIN mid-frame
+
+    // Semantically invalid query (one-point trajectory): typed
+    // InvalidQuery, connection stays open.
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let response = client
+        .request(&Request::Kmst {
+            points: vec![mst_trajectory::SamplePoint::new(0.0, 0.0, 0.0)],
+            options: QueryOptions::new(),
+        })
+        .expect("typed response");
+    match response {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::InvalidQuery),
+        other => panic!("expected InvalidQuery, got {other:?}"),
+    }
+    // Same connection still serves.
+    assert!(client.stats().is_ok());
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.counters.malformed_frames >= 2);
+    assert_eq!(stats.counters.invalid_queries, 1);
+    server.shutdown();
+}
+
+/// The CI smoke: one binary-size test covering the whole happy path plus
+/// the failure modes ci.sh asserts on (kmst, malformed frame, stats,
+/// graceful shutdown).
+#[test]
+fn server_smoke() {
+    let fleet = fleet(24, 1);
+    let server = start_server(&fleet, 2, ServerConfig::new().workers(2));
+    let addr = server.local_addr();
+    let mut client = ServeClient::connect(addr).expect("connect");
+
+    match client
+        .kmst(&fleet[3].1, QueryOptions::new().k(3))
+        .expect("kmst")
+    {
+        Response::Kmst { degraded, matches } => {
+            assert!(!degraded);
+            assert_eq!(matches.len(), 3);
+            assert_eq!(matches[0].traj, fleet[3].0, "self-match first");
+        }
+        other => panic!("expected Kmst, got {other:?}"),
+    }
+
+    // Malformed frame on a side connection; main connection unaffected.
+    let mut hostile = ServeClient::connect(addr).expect("connect");
+    hostile
+        .raw_stream()
+        .write_all(&[1u8, 0, 0, 0, 0xAA])
+        .expect("write garbage");
+    drop(hostile);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.counters.queries_completed, 1);
+    assert!(client.shutdown().expect("ack"));
+    server.join();
+
+    // A post-shutdown connection is refused.
+    assert!(
+        ServeClient::connect(addr).is_err() || {
+            let mut late = ServeClient::connect(addr).expect("connect");
+            late.stats().is_err()
+        }
+    );
+}

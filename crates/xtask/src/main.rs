@@ -6,9 +6,9 @@
 //!
 //! * **R1** — no `unwrap()` / `expect(` / `panic!` / `todo!` /
 //!   `unimplemented!` / `unreachable!` in non-`#[cfg(test)]` library code of
-//!   `mst-trajectory`, `mst-index`, `mst-search`, and `mst-exec`. A line may
-//!   opt out by carrying an `// invariant: <why this cannot fire>`
-//!   justification.
+//!   `mst-trajectory`, `mst-index`, `mst-search`, `mst-exec`, and
+//!   `mst-serve`. A line may opt out by carrying an
+//!   `// invariant: <why this cannot fire>` justification.
 //! * **R2** — no `as` numeric casts in the binary-format modules
 //!   (`index/src/codec.rs`, `index/src/persist.rs`,
 //!   `index/src/pagestore.rs`); width changes there must go through
@@ -26,10 +26,10 @@
 //!   timing through one audited file): library code must stay deterministic
 //!   and clock-free so results are reproducible.
 //! * **R6** — no calls to the deprecated pre-builder query methods
-//!   (`most_similar`, `within_dissim`, `nearest_segments`, ...) outside
-//!   their shim module (`crates/core/src/compat.rs`); everything else goes
-//!   through the `Query` builder. Compiler deprecation warnings cover
-//!   downstream users; this rule keeps the workspace itself honest.
+//!   (`most_similar`, `within_dissim`, `nearest_segments`, ...) anywhere
+//!   in the workspace: the compat shim is gone and everything goes
+//!   through the `Query` builder. The rule keeps the removed surface from
+//!   creeping back in.
 //! * **R7** — no `.lock().unwrap()` / `.read().unwrap()` /
 //!   `.write().unwrap()` outside test code, anywhere in the workspace: a
 //!   panicking thread must surface lock poisoning as
@@ -42,6 +42,12 @@
 //!   Detection is shape-based (a call-looking right-hand side; plain
 //!   `let _ = ident;` parameter-silencers are fine); genuine fire-and-forget
 //!   sites opt out with `// invariant:`.
+//! * **R9** — no `unwrap()` / `expect(` on socket I/O outside test code,
+//!   in any library crate or example: peers disconnect and binds fail in
+//!   routine operation, so a panic on a socket result is a
+//!   denial-of-service bug. Detection pairs a socket-bearing token
+//!   (`TcpListener`, `.accept()`, `.connect(`, ...) with an unwrap on the
+//!   same line.
 //!
 //! The scanner is line-based. Comments and string/char literal bodies are
 //! stripped before pattern matching, and `#[cfg(test)]` items are skipped
@@ -579,6 +585,48 @@ fn check_no_result_discards(file: &Path, lines: &[Line], out: &mut Vec<Violation
     }
 }
 
+/// R9: socket-bearing tokens. A line that both touches one of these and
+/// unwraps is almost certainly unwrapping the socket call's result. The
+/// method patterns carry a leading dot so ordinary identifiers (a local
+/// named `accept`, `ExecHandle::shutdown()`) stay out of scope.
+const SOCKET_TOKENS: [&str; 12] = [
+    "TcpListener",
+    "TcpStream",
+    "UdpSocket",
+    ".accept()",
+    ".connect(",
+    ".local_addr()",
+    ".peer_addr()",
+    ".set_read_timeout(",
+    ".set_write_timeout(",
+    ".set_nodelay(",
+    ".set_nonblocking(",
+    ".take_error()",
+];
+
+fn check_no_socket_unwraps(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test || excused_by_invariant(lines, i) {
+            continue;
+        }
+        let code = &line.code;
+        if !code.contains(".unwrap()") && !code.contains(".expect(") {
+            continue;
+        }
+        if SOCKET_TOKENS.iter().any(|t| code.contains(t)) {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: line.number,
+                rule: "R9",
+                message: "socket I/O result unwrapped; peers disconnect and \
+                          binds fail in normal operation, so handle the \
+                          error (or justify with `// invariant:`)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 /// Iterates the identifier-shaped words of a sanitised line.
 fn tokenize_words(code: &str) -> impl Iterator<Item = &str> {
     code.split(|c: char| !c.is_alphanumeric() && c != '_')
@@ -611,13 +659,14 @@ fn rs_files(dir: &Path) -> Vec<PathBuf> {
 fn run_check(root: &Path) -> Vec<Violation> {
     let mut out = Vec::new();
 
-    // R1 + R8: panic-free, discard-free library code in the algorithm and
-    // execution crates.
+    // R1 + R8: panic-free, discard-free library code in the algorithm,
+    // execution, and serving crates.
     for dir in [
         "crates/trajectory/src",
         "crates/index/src",
         "crates/core/src",
         "crates/exec/src",
+        "crates/serve/src",
     ] {
         for file in rs_files(&root.join(dir)) {
             if let Ok(src) = fs::read_to_string(&file) {
@@ -691,20 +740,32 @@ fn run_check(root: &Path) -> Vec<Violation> {
         }
     }
 
-    // R6: the deprecated query methods may only appear in their shim module.
-    // Examples and integration tests are user-facing showcase code, so they
-    // are held to the same standard as the libraries.
-    let compat = root.join("crates/core/src/compat.rs");
-    let mut r6_dirs = lib_dirs;
+    // R6: the deprecated pre-builder query methods are gone from the
+    // workspace entirely (the compat shim was removed once the builder
+    // migration completed); nothing may reintroduce them. Examples and
+    // integration tests are user-facing showcase code, so they are held
+    // to the same standard as the libraries.
+    let mut r6_dirs = lib_dirs.clone();
     r6_dirs.push(root.join("examples"));
     r6_dirs.push(root.join("tests"));
     for dir in &r6_dirs {
         for file in rs_files(dir) {
-            if file == compat {
-                continue;
-            }
             if let Ok(src) = fs::read_to_string(&file) {
                 check_no_deprecated_query_calls(&file, &scan(&src), &mut out);
+            }
+        }
+    }
+
+    // R9: socket I/O results are never unwrapped outside test code —
+    // connections fail routinely in normal operation, so a panic there is
+    // a denial-of-service bug, not a programming-error trap. Covers all
+    // library source plus the examples.
+    let mut r9_dirs = lib_dirs;
+    r9_dirs.push(root.join("examples"));
+    for dir in &r9_dirs {
+        for file in rs_files(dir) {
+            if let Ok(src) = fs::read_to_string(&file) {
+                check_no_socket_unwraps(&file, &scan(&src), &mut out);
             }
         }
     }
@@ -1064,6 +1125,51 @@ mod tests {
         assert!(out.is_empty(), "{out:?}");
     }
 
+    #[test]
+    fn r9_flags_socket_unwraps_but_not_handled_results() {
+        let mut out = Vec::new();
+        check_no_socket_unwraps(
+            Path::new("server.rs"),
+            &lines_of(
+                "let listener = TcpListener::bind(addr).unwrap();\n\
+                 let peer = stream.peer_addr().expect(\"peer\");\n\
+                 stream.set_nodelay(true).unwrap();",
+            ),
+            &mut out,
+        );
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(out.iter().all(|v| v.rule == "R9"));
+        // Handled socket results, unwraps with no socket on the line, and
+        // non-socket method calls all stay legal.
+        out.clear();
+        check_no_socket_unwraps(
+            Path::new("server.rs"),
+            &lines_of(
+                "let listener = TcpListener::bind(addr)?;\n\
+                 if let Ok(peer) = stream.peer_addr() { log(peer); }\n\
+                 let k = options.k.unwrap();\n\
+                 handle.shutdown();",
+            ),
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn r9_respects_tests_and_invariant_justifications() {
+        let mut out = Vec::new();
+        check_no_socket_unwraps(
+            Path::new("server.rs"),
+            &lines_of(
+                "// invariant: bound to port 0 above, bind cannot collide\n\
+                 let l = TcpListener::bind(addr).unwrap();\n\
+                 #[cfg(test)]\nmod t { fn f() { TcpStream::connect(a).unwrap(); } }",
+            ),
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
     /// End-to-end: a synthetic mini-repo produces diagnostics with paths,
     /// line numbers, and a nonzero violation count; a clean tree is clean.
     #[test]
@@ -1119,11 +1225,20 @@ mod tests {
             "examples/demo.rs",
             "fn main() { let _ = db.nearest_segments(p, &w, 3); }\n",
         );
-        // The shim module itself is the one place the deprecated surface may
-        // appear.
+        // The serving crate is in R1 scope like the algorithm crates.
+        write(
+            "crates/serve/src/lib.rs",
+            &format!("{clean_root}pub fn bad() {{ Some(1).unwrap(); }}\n"),
+        );
+        write(
+            "examples/sock.rs",
+            "fn main() { let l = TcpListener::bind(\"127.0.0.1:0\").unwrap(); drop(l); }\n",
+        );
+        // The compat shim no longer gets a carve-out: a resurrected
+        // deprecated call is flagged even there.
         write(
             "crates/core/src/compat.rs",
-            "fn shim() { db.most_similar(&q, &p, 1); } // invariant: shim\n",
+            "fn shim() { db.most_similar(&q, &p, 1); }\n",
         );
 
         let violations = run_check(&root);
@@ -1139,11 +1254,10 @@ mod tests {
         assert!(has("[R4]", "core/src/lib.rs", 4), "{rendered:?}");
         assert!(has("[R5]", "datagen/src/lib.rs", 4), "{rendered:?}");
         assert!(has("[R6]", "examples/demo.rs", 1), "{rendered:?}");
+        assert!(has("[R6]", "core/src/compat.rs", 1), "{rendered:?}");
         assert!(has("[R7]", "bench/src/lib.rs", 4), "{rendered:?}");
-        assert!(
-            !rendered.iter().any(|r| r.contains("compat.rs")),
-            "{rendered:?}"
-        );
+        assert!(has("[R1]", "serve/src/lib.rs", 4), "{rendered:?}");
+        assert!(has("[R9]", "examples/sock.rs", 1), "{rendered:?}");
         // The clock module may use std::time (R5 allowlist) but is still
         // subject to every other rule.
         assert!(
@@ -1168,6 +1282,12 @@ mod tests {
             "examples/demo.rs",
             "fn main() { let _ = Query::knn_segments(p).k(3).during(&w).run(&mut db); }\n",
         );
+        write("crates/serve/src/lib.rs", clean_root);
+        write(
+            "examples/sock.rs",
+            "fn main() { if let Ok(l) = TcpListener::bind(\"127.0.0.1:0\") { drop(l); } }\n",
+        );
+        write("crates/core/src/compat.rs", "fn shim() {}\n");
         assert!(run_check(&root).is_empty());
 
         fs::remove_dir_all(&root).unwrap();

@@ -54,6 +54,8 @@ fn main() {
         let flavour = match &q.answer {
             QueryAnswer::Kmst(_) => "k-MST",
             QueryAnswer::Knn(_) => "kNN  ",
+            QueryAnswer::Segments(_) => "p-kNN",
+            QueryAnswer::Range(_) => "range",
         };
         println!(
             "  [{i}] {flavour} {} matches in {:.2} ms (degraded: {})",
