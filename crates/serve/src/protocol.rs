@@ -422,6 +422,12 @@ impl Request {
                 let x_max = cur.try_f64()?;
                 let y_max = cur.try_f64()?;
                 let t_max = cur.try_f64()?;
+                let finite = [x_min, y_min, t_min, x_max, y_max, t_max]
+                    .iter()
+                    .all(|v| v.is_finite());
+                if !finite || x_min > x_max || y_min > y_max || t_min > t_max {
+                    return Err(WireError::BadPayload("invalid range window"));
+                }
                 Request::Range {
                     window: Mbb::new(x_min, y_min, t_min, x_max, y_max, t_max),
                     options,
@@ -665,9 +671,14 @@ impl Response {
                 out.push(0xE1);
                 out.push(code.to_u8());
                 let bytes = message.as_bytes();
-                let len = u16::try_from(bytes.len()).unwrap_or(u16::MAX);
-                out.extend_from_slice(&len.to_le_bytes());
-                out.extend_from_slice(&bytes[..usize::from(len)]);
+                let mut len = bytes.len().min(usize::from(u16::MAX));
+                // Truncation must not split a multi-byte character, or the
+                // peer's utf-8 decode of the message fails.
+                while len > 0 && !message.is_char_boundary(len) {
+                    len -= 1;
+                }
+                out.extend_from_slice(&(len as u16).to_le_bytes());
+                out.extend_from_slice(&bytes[..len]);
             }
         }
         out
@@ -1000,6 +1011,51 @@ mod tests {
             Request::decode(&payload),
             Err(WireError::BadPayload("invalid time interval"))
         );
+    }
+
+    #[test]
+    fn hostile_range_windows_are_rejected_not_asserted() {
+        // Inverted or non-finite corners must map to a typed error and
+        // never reach Mbb::new, which debug_asserts min <= max.
+        let corners = [
+            [9.0, 0.0, 0.0, 1.0, 5.0, 5.0],
+            [0.0, 9.0, 0.0, 5.0, 1.0, 5.0],
+            [0.0, 0.0, 9.0, 5.0, 5.0, 1.0],
+            [f64::NAN, 0.0, 0.0, 5.0, 5.0, 5.0],
+            [0.0, 0.0, 0.0, f64::INFINITY, 5.0, 5.0],
+        ];
+        for c in corners {
+            let mut payload = vec![0x04];
+            put_options(&mut payload, &QueryOptions::new());
+            for v in c {
+                put_f64(&mut payload, v);
+            }
+            assert_eq!(
+                Request::decode(&payload),
+                Err(WireError::BadPayload("invalid range window"))
+            );
+        }
+    }
+
+    #[test]
+    fn oversize_error_messages_truncate_on_a_char_boundary() {
+        // 'é' is two bytes, and the 65_535-byte cap is odd: naive
+        // truncation would split the last character and make the frame
+        // undecodable by the peer.
+        let message = "é".repeat(40_000);
+        let encoded = Response::Error {
+            code: ErrorCode::Internal,
+            message,
+        }
+        .encode();
+        match Response::decode(&encoded).expect("truncated frame stays decodable") {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::Internal);
+                assert_eq!(message.len(), 65_534);
+                assert!(message.chars().all(|ch| ch == 'é'));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
     }
 
     #[test]

@@ -33,6 +33,14 @@ use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+// Configures a socket write timeout below — an I/O scheduling input like
+// the executor's deadlines, not a measurement.
+use std::time::Duration; // invariant: no clock is read; determinism holds
+
+/// Upper bound on any single blocked response write. A peer that stops
+/// reading (full TCP send buffer) fails the write instead of pinning its
+/// connection thread — and the shutdown drain's join — forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
 use mst_exec::{BatchExecutor, BatchQuery, ExecHandle, QueryAnswer, ShardedDatabase, SubmitError};
 use mst_index::TrajectoryIndex;
@@ -370,12 +378,23 @@ where
             reject_connection(stream, max_connections);
             continue;
         }
+        // invariant: best-effort — if the option cannot be set the
+        // connection still works; only the blocked-write bound is lost
+        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+        // An untracked connection would evade the cap and be unreachable
+        // by the shutdown drain, so a failed clone is a refusal.
+        let read_half = match stream.try_clone() {
+            Ok(half) => half,
+            Err(_) => {
+                ServerStats::bump(&shared.stats.connections_rejected);
+                drop(stream);
+                continue;
+            }
+        };
         ServerStats::bump(&shared.stats.connections_accepted);
         let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
-        if let Ok(read_half) = stream.try_clone() {
-            if let Ok(mut map) = shared.conns.lock() {
-                map.insert(id, read_half);
-            }
+        if let Ok(mut map) = shared.conns.lock() {
+            map.insert(id, read_half);
         }
         let conn_shared = Arc::clone(shared);
         let spawned = std::thread::Builder::new()
@@ -404,7 +423,10 @@ where
     if let Ok(map) = shared.conns.lock() {
         for stream in map.values() {
             // invariant: a connection that already closed cannot be shut
-            // down again; the drain only needs best-effort unblocking
+            // down again; the drain only needs best-effort unblocking.
+            // Read half only: in-flight responses must still be written.
+            // WRITE_TIMEOUT bounds a write to a peer that never reads, so
+            // the join below cannot hang on it.
             let _ = stream.shutdown(Shutdown::Read);
         }
     }
