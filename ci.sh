@@ -3,55 +3,78 @@
 #
 # Runs everything a reviewer needs before merging, with no network access:
 #   1. formatting drift
-#   2. the zero-dependency static-analysis pass (crates/xtask)
-#   3. a release build of the whole workspace
-#   4. the full test suite
-#   5. the index tests again with `paranoid` audits after every mutation
-#   6. the observability smoke benchmark (regenerates BENCH_kmst.json and
+#   2. the static-analysis framework's own test suite (lexer, rule
+#      fixtures, seeded fixture trees — `cargo test -p xtask`)
+#   3. the zero-dependency static-analysis pass (crates/xtask); the
+#      machine-readable report is archived to results/xtask_report.json
+#   4. a release build of the whole workspace
+#   5. the full test suite
+#   6. the index tests again with `paranoid` audits after every mutation
+#   7. the observability smoke benchmark (regenerates BENCH_kmst.json and
 #      fails if any metrics counter stays zero across the workload)
-#   7. the batch-execution smoke benchmark (2 workers x 2 shards;
+#   8. the batch-execution smoke benchmark (2 workers x 2 shards;
 #      regenerates BENCH_throughput.json and fails on executor
 #      nondeterminism, dead cross-shard pruning, or spurious degradation)
-#   8. the chaos smoke test in release mode (seeded fault injection:
+#   9. the chaos smoke test in release mode (seeded fault injection:
 #      quiet schedule must be bit-identical, noisy schedule must stay
 #      honest — no panics, balanced ledgers, named shard failures)
-#   9. the server smoke test in release mode (real TCP loopback: a k-MST
+#  10. the server smoke test in release mode (real TCP loopback: a k-MST
 #      answer, a malformed frame answered with a typed error, honest
 #      stats counters, and a graceful drain on an ephemeral port)
-#  10. the serving smoke benchmark (concurrent loopback clients;
+#  11. the serving smoke benchmark (concurrent loopback clients;
 #      regenerates BENCH_serve.json and fails on cross-client
 #      nondeterminism, counter drift, or dead admission control)
+#
+# Each gate prints its wall time so slow gates are easy to spot.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+# gate <label> <cmd...>: run one gate, timing it. A failing gate aborts
+# the script (set -e) after the failure propagates out of the function.
+gate() {
+    local label="$1"
+    shift
+    echo "==> $label"
+    local t0=$SECONDS
+    "$@"
+    echo "    [$label: $((SECONDS - t0))s]"
+}
 
-echo "==> static analysis (xtask)"
-cargo run --release -q -p xtask -- check
+gate "cargo fmt --check" cargo fmt --check
 
-echo "==> cargo build --release --workspace"
-cargo build --release --workspace
+gate "static analysis self-tests (cargo test -p xtask)" \
+    cargo test -q -p xtask
 
-echo "==> cargo test --workspace"
-cargo test -q --workspace
+# The check gate doubles as the report archiver: --json writes the
+# deterministic violation report to stdout (empty array when clean)
+# while human-readable diagnostics still go to stderr on failure.
+xtask_check() {
+    mkdir -p results
+    cargo run --release -q -p xtask -- check --json >results/xtask_report.json
+}
+gate "static analysis (xtask check, report -> results/xtask_report.json)" \
+    xtask_check
 
-echo "==> cargo test -p mst-index --features paranoid"
-cargo test -q -p mst-index --features paranoid
+gate "cargo build --release --workspace" cargo build --release --workspace
 
-echo "==> observability smoke bench (BENCH_kmst.json)"
-cargo run --release -q -p mst-bench --bin kmst_profile -- --smoke
+gate "cargo test --workspace" cargo test -q --workspace
 
-echo "==> batch executor smoke bench (BENCH_throughput.json)"
-cargo run --release -q -p mst-bench --bin throughput -- --smoke
+gate "cargo test -p mst-index --features paranoid" \
+    cargo test -q -p mst-index --features paranoid
 
-echo "==> chaos smoke (seeded fault injection)"
-cargo test -q --release --test chaos chaos_smoke
+gate "observability smoke bench (BENCH_kmst.json)" \
+    cargo run --release -q -p mst-bench --bin kmst_profile -- --smoke
 
-echo "==> server smoke (TCP loopback, malformed frame, stats, drain)"
-cargo test -q --release -p mst-serve --test loopback server_smoke
+gate "batch executor smoke bench (BENCH_throughput.json)" \
+    cargo run --release -q -p mst-bench --bin throughput -- --smoke
 
-echo "==> serving smoke bench (BENCH_serve.json)"
-cargo run --release -q -p mst-bench --bin serve -- --smoke
+gate "chaos smoke (seeded fault injection)" \
+    cargo test -q --release --test chaos chaos_smoke
+
+gate "server smoke (TCP loopback, malformed frame, stats, drain)" \
+    cargo test -q --release -p mst-serve --test loopback server_smoke
+
+gate "serving smoke bench (BENCH_serve.json)" \
+    cargo run --release -q -p mst-bench --bin serve -- --smoke
 
 echo "ci.sh: all gates passed"

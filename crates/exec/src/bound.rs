@@ -56,6 +56,8 @@ impl SharedBound {
 
     /// The current bound.
     pub fn get(&self) -> f64 {
+        // ordering: the bound is a monotone lattice — any stale read is a
+        // valid (merely looser) bound, so no synchronization is needed.
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 
@@ -67,6 +69,8 @@ impl SharedBound {
             return;
         }
         // Non-negative doubles order identically to their bit patterns.
+        // ordering: fetch_min only ever lowers the value; readers that
+        // miss this update see a looser bound, which is still sound.
         self.bits.fetch_min(value.to_bits(), Ordering::Relaxed);
     }
 }
@@ -131,17 +135,23 @@ impl QueryControl {
     /// True when any shard job of this query hit the deadline: the query's
     /// results are best-so-far, not certified complete.
     pub fn is_degraded(&self) -> bool {
+        // ordering: read after the worker threads are joined; the join
+        // supplies the happens-before edge, not the atomic.
         self.degraded.load(Ordering::Relaxed)
     }
 
     /// Records that a shard job of this query is starting now.
     pub fn mark_start(&self) {
+        // ordering: commutative min over a monotonic clock; the report
+        // reads only after the jobs are collected (join happens-before).
         self.started_us
             .fetch_min(self.clock.elapsed_us(), Ordering::Relaxed);
     }
 
     /// Records that a shard job of this query finished now.
     pub fn mark_end(&self) {
+        // ordering: commutative max over a monotonic clock; the report
+        // reads only after the jobs are collected (join happens-before).
         self.finished_us
             .fetch_max(self.clock.elapsed_us(), Ordering::Relaxed);
     }
@@ -149,8 +159,10 @@ impl QueryControl {
     /// Wall time from the query's first shard-job start to its last
     /// shard-job end, in microseconds (0 if no job ran).
     pub fn latency_us(&self) -> u64 {
+        // ordering: read after the query's jobs are collected; the
+        // result-slot handoff supplies the happens-before edge.
         let start = self.started_us.load(Ordering::Relaxed);
-        let end = self.finished_us.load(Ordering::Relaxed);
+        let end = self.finished_us.load(Ordering::Relaxed); // ordering: as above
         if start == u64::MAX {
             return 0;
         }
@@ -179,6 +191,8 @@ impl BoundShare for QueryControl {
         }
         // `>=` so a zero budget is expired from the first poll.
         if self.clock.elapsed_us() >= self.deadline_us {
+            // ordering: a sticky one-way flag; readers observe it after
+            // the job join, which supplies the happens-before edge.
             self.degraded.store(true, Ordering::Relaxed);
             true
         } else {

@@ -174,20 +174,29 @@ struct ServerStats {
 
 impl ServerStats {
     fn bump(counter: &AtomicU64) {
+        // ordering: monotonic stats counter; it orders nothing and a
+        // reader tolerates a slightly stale total.
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn read(counter: &AtomicU64) -> u64 {
+        // ordering: stats snapshots are advisory; counters imply no
+        // ordering with the data they describe, and cross-counter skew
+        // within one snapshot is acceptable by contract.
+        counter.load(Ordering::Relaxed)
     }
 
     fn snapshot(&self) -> ServerCounters {
         ServerCounters {
-            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
-            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
-            requests_decoded: self.requests_decoded.load(Ordering::Relaxed),
-            queries_admitted: self.queries_admitted.load(Ordering::Relaxed),
-            queries_completed: self.queries_completed.load(Ordering::Relaxed),
-            queries_degraded: self.queries_degraded.load(Ordering::Relaxed),
-            overload_rejections: self.overload_rejections.load(Ordering::Relaxed),
-            malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
-            invalid_queries: self.invalid_queries.load(Ordering::Relaxed),
+            connections_accepted: Self::read(&self.connections_accepted),
+            connections_rejected: Self::read(&self.connections_rejected),
+            requests_decoded: Self::read(&self.requests_decoded),
+            queries_admitted: Self::read(&self.queries_admitted),
+            queries_completed: Self::read(&self.queries_completed),
+            queries_degraded: Self::read(&self.queries_degraded),
+            overload_rejections: Self::read(&self.overload_rejections),
+            malformed_frames: Self::read(&self.malformed_frames),
+            invalid_queries: Self::read(&self.invalid_queries),
         }
     }
 }
@@ -299,6 +308,8 @@ where
     /// True once shutdown has been requested (by this handle or by a
     /// `Shutdown` frame).
     pub fn is_shutting_down(&self) -> bool {
+        // ordering: advisory poll of a sticky one-way flag; the drain
+        // itself synchronizes through the accept-thread join, not here.
         self.shared.shutting_down.load(Ordering::Relaxed)
     }
 
@@ -392,6 +403,8 @@ where
             }
         };
         ServerStats::bump(&shared.stats.connections_accepted);
+        // ordering: a unique-id ticket; fetch_add is atomic under any
+        // ordering and the id carries no cross-thread data dependency.
         let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
         if let Ok(mut map) = shared.conns.lock() {
             map.insert(id, read_half);

@@ -1,0 +1,16 @@
+//! R10 seeded-bad: the queue/slots pair nested in opposite orders — the
+//! classic AB/BA deadlock the audit exists to catch.
+
+fn submit(s: &Shards) -> Result<(), E> {
+    let q = s.queue.lock().map_err(|_| E::Poisoned)?;
+    let slots = s.slots.lock().map_err(|_| E::Poisoned)?;
+    move_job(q, slots);
+    Ok(())
+}
+
+fn drain(s: &Shards) -> Result<(), E> {
+    let slots = s.slots.lock().map_err(|_| E::Poisoned)?;
+    let q = s.queue.lock().map_err(|_| E::Poisoned)?;
+    move_job(q, slots);
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! R10 known-good: one consistent nesting order everywhere, an explicit
+//! `drop` releasing a guard before the next acquisition, and a
+//! construct-scoped `if let` guard.
+
+fn submit(s: &Shards) -> Result<(), E> {
+    let q = s.queue.lock().map_err(|_| E::Poisoned)?;
+    let slots = s.slots.lock().map_err(|_| E::Poisoned)?;
+    move_job(q, slots);
+    Ok(())
+}
+
+fn requeue(s: &Shards) -> Result<(), E> {
+    let q = s.queue.lock().map_err(|_| E::Poisoned)?;
+    q.push_back(0);
+    drop(q);
+    let slots = s.slots.lock().map_err(|_| E::Poisoned)?;
+    clear(slots);
+    Ok(())
+}
+
+fn stats(s: &Shards) -> Result<usize, E> {
+    if let Ok(g) = s.slots.lock() {
+        return Ok(g.len());
+    }
+    Ok(0)
+}

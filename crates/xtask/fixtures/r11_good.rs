@@ -1,0 +1,29 @@
+//! R11 known-good: justified `Relaxed` in every accepted placement,
+//! stronger orderings, and lookalike non-atomic calls.
+
+impl Stats {
+    fn bump(&self) {
+        // ordering: monotonic counter; readers tolerate stale values.
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn publish(&self, v: u64) {
+        self.bits.store(v, Ordering::Release);
+    }
+
+    fn snapshot(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed) // ordering: stats-only read
+    }
+
+    fn mark(&self, now: u64) {
+        // ordering: the spawner joins this thread before reading; the
+        // join supplies the happens-before edge.
+        self.started_us
+            .fetch_min(now, Ordering::Relaxed);
+    }
+
+    fn not_atomic(&self, items: &mut Vec<u32>, page: &Page, store: &Store) -> Result<u64, E> {
+        items.swap(0, 1);
+        page.load(store)
+    }
+}

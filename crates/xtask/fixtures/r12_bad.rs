@@ -1,0 +1,7 @@
+//! R12 seeded-bad: detached threads — the handle dies on the spot.
+
+fn fire_and_forget() {
+    std::thread::spawn(move || pump());
+    let _ = thread::spawn(worker);
+    drop(thread::spawn(logger));
+}

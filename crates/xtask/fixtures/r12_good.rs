@@ -1,0 +1,29 @@
+//! R12 known-good: joined, pushed, returned, scoped, and justified
+//! spawn handles.
+
+fn joined() {
+    let h = thread::spawn(worker);
+    h.join().ok();
+}
+
+fn pooled(workers: &mut Vec<JoinHandle<()>>, n: String) -> Result<(), E> {
+    workers.push(thread::Builder::new().name(n).spawn(worker)?);
+    Ok(())
+}
+
+fn handed() -> JoinHandle<()> {
+    thread::spawn(worker)
+}
+
+fn scoped(xs: &[u32]) {
+    std::thread::scope(|s| {
+        for x in xs {
+            s.spawn(move || work(x));
+        }
+    });
+}
+
+fn justified() {
+    // invariant: fire-and-forget log pump; exits with the process.
+    std::thread::spawn(log_pump);
+}

@@ -1,0 +1,15 @@
+//! R1 seeded-bad: panicking constructs in library code.
+
+fn first(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn second(r: Result<u32, E>) -> u32 {
+    r.expect("always ok")
+}
+
+fn third(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}

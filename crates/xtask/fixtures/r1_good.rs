@@ -1,0 +1,29 @@
+//! R1 known-good: errors are propagated, unwraps are justified or in tests.
+
+fn first(x: Option<u32>) -> Result<u32, E> {
+    x.ok_or(E::Missing)
+}
+
+fn second(v: Option<u32>) -> u32 {
+    // Near-misses: the non-panicking unwrap family is legal.
+    v.unwrap_or(0) + v.unwrap_or_else(|| 1) + v.unwrap_or_default()
+}
+
+fn third(n: usize) -> u32 {
+    // invariant: the store caps page ids well below u32::MAX, so this
+    // conversion is lossless.
+    u32::try_from(n).expect("capped")
+}
+
+fn fourth() {
+    let s = "contains .unwrap() and panic! in a string";
+    let r = r#"raw with x.unwrap() inside"#;
+    log(s, r);
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_tests_anything_goes(x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+}

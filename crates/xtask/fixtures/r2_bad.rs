@@ -1,0 +1,9 @@
+//! R2 seeded-bad: numeric `as` casts in a binary-format module.
+
+fn narrow(n: u64) -> u32 {
+    n as u32
+}
+
+fn widen_lossy(x: f64) -> usize {
+    x as usize
+}

@@ -1,0 +1,26 @@
+//! R2 known-good: width changes go through From/TryFrom; non-numeric
+//! casts and lookalike identifiers are out of scope.
+
+fn widen(n: u32) -> u64 {
+    u64::from(n)
+}
+
+fn narrow(n: u64) -> Result<u32, E> {
+    u32::try_from(n).map_err(|_| E::Overflow)
+}
+
+fn erase(r: &dyn std::fmt::Debug) -> &dyn std::fmt::Debug {
+    r as &dyn std::fmt::Debug
+}
+
+fn justified(n: u64) -> u32 {
+    // invariant: callers mask to 24 bits before this point.
+    n as u32
+}
+
+#[cfg(test)]
+mod tests {
+    fn fine_here(n: u64) -> u32 {
+        n as u32
+    }
+}

@@ -1,0 +1,4 @@
+//! R3 seeded-bad: a crate root missing both safety attributes.
+#![warn(missing_docs)]
+
+pub fn f() {}

@@ -1,0 +1,5 @@
+//! R3 known-good: both attributes declared.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub fn f() {}

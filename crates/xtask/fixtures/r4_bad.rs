@@ -1,0 +1,13 @@
+//! R4 seeded-bad: exact equality against float literals.
+
+fn zero(x: f64) -> bool {
+    x == 0.0
+}
+
+fn not_half(y: f64) -> bool {
+    1.5 != y
+}
+
+fn epsilon(z: f64) -> bool {
+    z == 1e-9
+}

@@ -1,0 +1,34 @@
+//! R4 known-good: integer comparisons, ranges, ordered comparisons, and
+//! tolerance-based float comparison.
+
+fn int_eq(x: u32) -> bool {
+    x == 0
+}
+
+fn ordered(x: f64) -> bool {
+    x <= 0.5 && x >= -0.5
+}
+
+fn ranges(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..=10 {
+        acc += xs[i % xs.len()];
+    }
+    let window = 0.0..1.0;
+    if window.contains(&acc) {
+        acc
+    } else {
+        0.0
+    }
+}
+
+fn tolerant(a: f64, b: f64) -> bool {
+    approx_eq(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    fn exact_is_fine_in_tests(x: f64) -> bool {
+        x == 0.25
+    }
+}

@@ -1,0 +1,8 @@
+//! R5 seeded-bad: wall-clock access in library code.
+
+use std::time::Instant;
+
+fn measure() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_micros()
+}

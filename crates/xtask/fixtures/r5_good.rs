@@ -1,0 +1,13 @@
+//! R5 known-good: deterministic library code; lookalike identifiers do
+//! not trip the word-level check.
+
+fn deterministic(steps: u64) -> u64 {
+    let instantaneous = steps * 2;
+    instantaneous
+}
+
+struct NotAnInstantiation;
+
+fn tick(clock: &dyn Clock) -> u64 {
+    clock.elapsed_us()
+}

@@ -1,0 +1,7 @@
+//! R6 seeded-bad: calls to the removed pre-builder query surface.
+
+fn old_school(db: &mut Db, q: &Traj, p: &Params) -> Vec<Hit> {
+    let top = db.most_similar(q, p, 4);
+    let near = db.nearest_segments(q, p, 8);
+    merge(top, near)
+}

@@ -1,0 +1,17 @@
+//! R6 known-good: the `Query` builder and the still-supported low-level
+//! free functions.
+
+fn builder(db: &mut Db, q: &Traj) -> Result<Vec<Hit>, E> {
+    Query::kmst(q).k(4).run(db)
+}
+
+fn low_level(idx: &mut Index, q: &Traj, p: &Params) -> Result<Vec<Hit>, E> {
+    nearest_trajectories(idx, q, p, 5)
+}
+
+fn lookalikes(xs: &[u32]) -> std::ops::Range<u32> {
+    // `.range(` is deprecated as a method; a free `range(` or a field
+    // named range is not.
+    let range = span(xs);
+    range
+}

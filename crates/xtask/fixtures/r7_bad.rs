@@ -1,0 +1,9 @@
+//! R7 seeded-bad: unwrapping lock guards.
+
+fn grab(m: &Mutex<u32>, rw: &RwLock<u32>) -> u32 {
+    let g = m.lock().unwrap();
+    let r = rw.read().unwrap();
+    let mut w = rw.write().unwrap();
+    *w += *g + *r;
+    *w
+}

@@ -1,0 +1,23 @@
+//! R7 known-good: poisoning surfaces as an error, never a second panic.
+
+fn grab(m: &Mutex<u32>) -> Result<u32, E> {
+    let g = m.lock().map_err(|_| E::Poisoned)?;
+    Ok(*g)
+}
+
+fn option_unwraps_are_not_lock_unwraps(o: Option<u32>) -> u32 {
+    o.unwrap_or_default()
+}
+
+fn justified(m: &Mutex<u32>) -> u32 {
+    // invariant: single-threaded setup path, no poisoner can exist yet.
+    let g = m.lock().unwrap();
+    *g
+}
+
+#[cfg(test)]
+mod tests {
+    fn fine_here(m: &Mutex<u32>) -> u32 {
+        *m.lock().unwrap()
+    }
+}

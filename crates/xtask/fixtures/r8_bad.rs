@@ -1,0 +1,7 @@
+//! R8 seeded-bad: fallible calls whose results vanish.
+
+fn flush(pool: &mut Pool, store: &mut Store, id: PageId, page: &Page) {
+    let _ = store.write(id, page);
+    let _ = flush_all(pool);
+    pool.flush(store).ok();
+}

@@ -1,0 +1,30 @@
+//! R8 known-good: parameter silencers, value-position `.ok()`, handled
+//! results, and a justified fire-and-forget.
+
+fn silencers(bound: f64, n: usize, reason: &str) {
+    let _ = n;
+    let _ = (bound, n);
+    let _ = &reason;
+}
+
+fn value_position(lock: Result<Guard, E>) -> Option<u32> {
+    let v = lock.ok();
+    v.map(|g| g.value)
+}
+
+fn handled(store: &mut Store, id: PageId, page: &Page) -> Result<(), E> {
+    store.write(id, page)?;
+    Ok(())
+}
+
+fn justified(path: &Path) {
+    // invariant: best-effort cleanup; failure changes nothing observable.
+    let _ = remove_file(path);
+}
+
+#[cfg(test)]
+mod tests {
+    fn fine_here(p: &Path) {
+        std::fs::remove_file(p).ok();
+    }
+}

@@ -1,0 +1,12 @@
+//! R9 seeded-bad: socket I/O results unwrapped, including the option
+//! setters the heuristic was extended to cover.
+
+fn serve(addr: &str) {
+    let listener = TcpListener::bind(addr).unwrap();
+    let stream = TcpStream::connect(addr).unwrap();
+    let peer = stream.peer_addr().expect("peer");
+    stream.set_read_timeout(Some(d)).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let copy = stream.try_clone().expect("clone");
+    run(listener, peer, copy);
+}

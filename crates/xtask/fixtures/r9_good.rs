@@ -1,0 +1,31 @@
+//! R9 known-good: handled socket results, non-socket unwraps, and a
+//! justified bind.
+
+fn serve(addr: &str) -> Result<(), E> {
+    let listener = TcpListener::bind(addr)?;
+    if let Ok(peer) = listener.local_addr() {
+        log(peer);
+    }
+    Ok(())
+}
+
+fn non_socket(options: &Options) -> usize {
+    // invariant: `k` is defaulted by the builder; never None here.
+    let k = options.k.unwrap();
+    k
+}
+
+fn tuned(stream: &TcpStream) -> Result<(), E> {
+    stream.set_read_timeout(Some(d))?;
+    stream.set_write_timeout(None)?;
+    stream.set_nodelay(true)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    fn fine_here(addr: &str) {
+        let l = TcpListener::bind(addr).unwrap();
+        l.set_ttl(64).unwrap();
+    }
+}

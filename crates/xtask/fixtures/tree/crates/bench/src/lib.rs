@@ -1,0 +1,13 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Seeded: R7 — a lock unwrap. The `std::time` use is allowlisted here
+//! (bench crates may measure wall time) and must NOT trip R5.
+
+use std::time::Instant;
+
+fn measure(m: &Mutex<u32>) -> u32 {
+    let start = Instant::now();
+    let v = *m.lock().unwrap();
+    elapsed(start);
+    v
+}

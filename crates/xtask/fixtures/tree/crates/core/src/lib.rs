@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Seeded: R4 — exact float equality.
+
+fn is_zero(x: f64) -> bool {
+    x == 0.0
+}

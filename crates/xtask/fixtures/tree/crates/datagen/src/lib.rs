@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Seeded: R5 — wall-clock access in library code.
+
+use std::time::Instant;

@@ -1,0 +1,9 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Seeded: R12 — a detached thread.
+
+mod queue;
+
+fn start() {
+    std::thread::spawn(move || pump());
+}

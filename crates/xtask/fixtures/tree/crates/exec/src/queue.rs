@@ -1,0 +1,16 @@
+//! Seeded: R10 — queue/slots locked in opposite orders across two
+//! functions in the concurrency scope.
+
+fn push(s: &Shards) -> Result<(), E> {
+    let q = s.queue.lock().map_err(|_| E::Poisoned)?;
+    let slots = s.slots.lock().map_err(|_| E::Poisoned)?;
+    move_job(q, slots);
+    Ok(())
+}
+
+fn pop(s: &Shards) -> Result<(), E> {
+    let slots = s.slots.lock().map_err(|_| E::Poisoned)?;
+    let q = s.queue.lock().map_err(|_| E::Poisoned)?;
+    move_job(q, slots);
+    Ok(())
+}

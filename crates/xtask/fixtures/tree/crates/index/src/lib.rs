@@ -1,0 +1,4 @@
+//! Seeded: R3 — both crate-root attributes missing.
+
+mod codec;
+mod shared;

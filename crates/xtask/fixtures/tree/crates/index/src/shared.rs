@@ -1,0 +1,7 @@
+//! Seeded: R11 — `Relaxed` without an `// ordering:` justification.
+
+impl Stats {
+    fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,6 @@
+//! Seeded: R9 — a socket unwrap (also R1; serve is in its scope).
+
+fn serve(addr: &str) {
+    let listener = TcpListener::bind(addr).unwrap();
+    run(listener);
+}

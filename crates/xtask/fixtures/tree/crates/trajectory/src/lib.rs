@@ -1,0 +1,9 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Seeded: R1 (an unwrap) and R8 (a discarded `Result`).
+
+fn sample(xs: &[u32]) -> u32 {
+    let head = xs.first().unwrap();
+    let _ = persist(xs);
+    *head
+}

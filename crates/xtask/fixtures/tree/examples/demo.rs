@@ -1,0 +1,6 @@
+//! Seeded: R6 — a deprecated query method call in showcase code.
+
+fn main() {
+    let hits = db.most_similar(q, p, 3);
+    show(hits);
+}

@@ -1,0 +1,3 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Seeded integration tree: the workspace facade itself is clean.

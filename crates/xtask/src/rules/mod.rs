@@ -1,0 +1,60 @@
+//! The rule modules and the traits that bind them to the driver.
+//!
+//! Every rule is an independent unit struct implementing [`Rule`] (one file
+//! at a time) or [`WorkspaceRule`] (the whole scanned set at once, for
+//! cross-file analyses like the lock-order audit). The scope wiring — which
+//! directories each rule runs over — lives in `main.rs`; the rules
+//! themselves are scope-agnostic and fully exercised by the fixture corpus
+//! under `fixtures/`.
+
+pub mod atomics;
+pub mod hygiene;
+pub mod lock_order;
+pub mod panics;
+pub mod threads;
+
+use crate::lexer::SourceFile;
+use crate::report::Violation;
+
+/// A per-file analysis: sees one lexed file, appends diagnostics.
+pub trait Rule {
+    /// The stable rule identifier (`R1` … `R12`).
+    fn id(&self) -> &'static str;
+    /// Scans `file` and appends any violations to `out`.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>);
+}
+
+/// A whole-workspace analysis: sees every file in its scope at once.
+pub trait WorkspaceRule {
+    /// The stable rule identifier.
+    fn id(&self) -> &'static str;
+    /// Scans the file set and appends any violations to `out`.
+    fn check(&self, files: &[SourceFile], out: &mut Vec<Violation>);
+}
+
+#[cfg(test)]
+pub mod tests {
+    //! Shared helpers for the fixture-corpus self-tests.
+    use super::*;
+    use std::path::Path;
+
+    /// Lexes an inline or `include_str!`-ed fixture under a synthetic name.
+    pub fn lex_fixture(src: &str) -> SourceFile {
+        SourceFile::lex(Path::new("fixture.rs"), src)
+    }
+
+    /// Runs a per-file rule over one fixture and returns its diagnostics.
+    pub fn run_rule(rule: &dyn Rule, src: &str) -> Vec<Violation> {
+        let file = lex_fixture(src);
+        let mut out = Vec::new();
+        rule.check(&file, &mut out);
+        out
+    }
+
+    /// The 1-based lines a rule flags in `src`, in report order.
+    pub fn flagged_lines(rule: &dyn Rule, src: &str) -> Vec<usize> {
+        let mut out = run_rule(rule, src);
+        crate::report::sort(&mut out);
+        out.into_iter().map(|v| v.line).collect()
+    }
+}

@@ -1,0 +1,209 @@
+//! R12: the thread-lifecycle rule — no detached threads.
+//!
+//! Every OS thread this workspace starts must have a join path: a bound
+//! `JoinHandle` that shutdown later joins, a handle pushed into a drain
+//! list, or a scoped spawn (`std::thread::scope`) that joins structurally.
+//! A detached thread (`thread::spawn(…);` with the handle discarded) can
+//! outlive the executor, touch freed shard state on teardown, and turn a
+//! clean shutdown into a flaky one.
+//!
+//! Detection: a `spawn(` call whose statement mentions `thread` or
+//! `Builder` is a spawn site. It is flagged when the handle is discarded —
+//! statement-position (`…spawn(f);`), `let _ = …spawn(f);`, or
+//! `drop(…spawn(f))`. Handles that are bound, assigned, pushed, returned,
+//! or produced in expression position (collected into a `Vec`, mapped into
+//! a drain) all pass. Scoped spawns (`s.spawn(…)`) never mention `thread`
+//! in their statement and stay out of scope by construction.
+
+use crate::lexer::{SourceFile, Tag, Token, TokenKind};
+use crate::report::Violation;
+use crate::rules::Rule;
+
+/// R12: every `thread::spawn` has a join path.
+pub struct ThreadLifecycle;
+
+impl Rule for ThreadLifecycle {
+    fn id(&self) -> &'static str {
+        "R12"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if !toks[i].is_ident("spawn") || !toks.get(i + 1).is_some_and(|t| t.is_punct("(")) {
+                continue;
+            }
+            let line = toks[i].line;
+            if file.in_test(line) || file.justified(line, Tag::Invariant) {
+                continue;
+            }
+            // The statement window: back to the nearest `;`, `{`, or `}`.
+            let mut b = i;
+            while b > 0 {
+                if let TokenKind::Punct(p) = &toks[b - 1].kind {
+                    if p == ";" || p == "{" || p == "}" {
+                        break;
+                    }
+                }
+                b -= 1;
+            }
+            let window = &toks[b..i];
+            let is_thread_spawn = window
+                .iter()
+                .any(|t| t.is_ident("thread") || t.is_ident("Builder"));
+            if !is_thread_spawn {
+                continue;
+            }
+            if let Some(reason) = discard_reason(toks, window, i) {
+                out.push(Violation {
+                    file: file.path.clone(),
+                    line,
+                    rule: self.id(),
+                    message: format!(
+                        "detached thread: {reason}; keep the `JoinHandle` \
+                         and join it on shutdown (or register it with a \
+                         drain list)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Decides whether the spawn at `toks[spawn]` discards its `JoinHandle`.
+/// `window` is the statement prefix before the spawn token.
+fn discard_reason(toks: &[Token], window: &[Token], spawn: usize) -> Option<&'static str> {
+    // `let _ = thread::spawn(…);` — explicitly thrown away.
+    for w in window.windows(3) {
+        if w[0].is_ident("let") && w[1].is_ident("_") && w[2].is_punct("=") {
+            return Some("the `JoinHandle` is discarded via `let _ =`");
+        }
+    }
+    // `drop(thread::spawn(…))` — dropped on the spot.
+    if window.iter().any(|t| t.is_ident("drop")) {
+        return Some("the `JoinHandle` is dropped immediately");
+    }
+    // Any other binding, assignment, or return keeps the handle.
+    if window
+        .iter()
+        .any(|t| t.is_ident("let") || t.is_ident("return") || t.is_punct("=") || t.is_punct("+="))
+    {
+        return None;
+    }
+    // Expression position (the spawn is an argument or receiver inside an
+    // open paren/bracket): the surrounding expression owns the handle.
+    let mut depth = 0i32;
+    for t in window {
+        if let TokenKind::Punct(p) = &t.kind {
+            match p.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    if depth > 0 {
+        return None;
+    }
+    // Statement-position: skip the call's argument list and any trailing
+    // adapter chain; a terminating `;` means nobody kept the handle.
+    let mut j = spawn + 2; // past `spawn` `(`
+    let mut pdepth = 1i32;
+    while j < toks.len() && pdepth > 0 {
+        if let TokenKind::Punct(p) = &toks[j].kind {
+            match p.as_str() {
+                "(" | "[" => pdepth += 1,
+                ")" | "]" => pdepth -= 1,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokenKind::Punct(p) if p == "?" => j += 1,
+            TokenKind::Punct(p) if p == "." => {
+                // A chained method (`.expect(…)`, `.ok()`) — skip it and
+                // its arguments; the chain still ends in a discard unless
+                // something receives the value.
+                j += 2;
+                if toks.get(j).is_some_and(|t| t.is_punct("(")) {
+                    let mut d = 1i32;
+                    j += 1;
+                    while j < toks.len() && d > 0 {
+                        if let TokenKind::Punct(p) = &toks[j].kind {
+                            match p.as_str() {
+                                "(" => d += 1,
+                                ")" => d -= 1,
+                                _ => {}
+                            }
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            TokenKind::Punct(p) if p == ";" => {
+                return Some(
+                    "the `JoinHandle` from `thread::spawn` is discarded at statement position",
+                );
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::tests::run_rule;
+
+    #[test]
+    fn r12_fixture_corpus() {
+        let bad = run_rule(&ThreadLifecycle, include_str!("../../fixtures/r12_bad.rs"));
+        assert_eq!(bad.len(), 3, "{bad:?}");
+        assert!(bad.iter().all(|v| v.rule == "R12"));
+        let good = run_rule(&ThreadLifecycle, include_str!("../../fixtures/r12_good.rs"));
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn statement_position_spawn_is_detached() {
+        for src in [
+            "fn f() { std::thread::spawn(move || work()); }",
+            "fn f() { thread::Builder::new().name(n).spawn(move || work())?; }",
+            "fn f() { let _ = thread::spawn(worker); }",
+            "fn f() { drop(thread::spawn(worker)); }",
+        ] {
+            assert_eq!(run_rule(&ThreadLifecycle, src).len(), 1, "{src}");
+        }
+    }
+
+    #[test]
+    fn bound_pushed_and_returned_handles_pass() {
+        for src in [
+            "fn f() { let h = thread::spawn(worker); h.join().ok(); }",
+            "fn f() { self.handle = Some(thread::spawn(worker)); }",
+            "fn f() { workers.push(thread::Builder::new().name(n).spawn(w)?); }",
+            "fn f() -> J { return thread::spawn(worker); }",
+            "fn f() -> J { thread::spawn(worker) }",
+            "fn f() { let hs: Vec<_> = cfgs.iter().map(|c| thread::spawn(c.run)).collect(); }",
+        ] {
+            assert!(run_rule(&ThreadLifecycle, src).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn scoped_spawns_are_out_of_scope() {
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| work()); }); }";
+        assert!(run_rule(&ThreadLifecycle, src).is_empty());
+    }
+
+    #[test]
+    fn test_code_and_invariants_are_exempt() {
+        let src = "#[cfg(test)]\nmod t { fn f() { thread::spawn(w); } }";
+        assert!(run_rule(&ThreadLifecycle, src).is_empty());
+        let excused = "// invariant: fire-and-forget logger, exits with the process\nfn f() { std::thread::spawn(log_pump); }";
+        assert!(run_rule(&ThreadLifecycle, excused).is_empty());
+    }
+}
