@@ -21,9 +21,10 @@
 #  10. the server smoke test in release mode (real TCP loopback: a k-MST
 #      answer, a malformed frame answered with a typed error, honest
 #      stats counters, and a graceful drain on an ephemeral port)
-#  11. the serving smoke benchmark (concurrent loopback clients;
-#      regenerates BENCH_serve.json and fails on cross-client
-#      nondeterminism, counter drift, or dead admission control)
+#  11. the serving smoke benchmark (concurrent pipelined loopback
+#      clients; regenerates BENCH_serve.json and fails on pass-to-pass
+#      nondeterminism, counter drift, dead admission control, a cold
+#      answer cache, or steady throughput below 520 qps)
 #
 # Each gate prints its wall time so slow gates are easy to spot.
 set -euo pipefail
@@ -74,7 +75,7 @@ gate "chaos smoke (seeded fault injection)" \
 gate "server smoke (TCP loopback, malformed frame, stats, drain)" \
     cargo test -q --release -p mst-serve --test loopback server_smoke
 
-gate "serving smoke bench (BENCH_serve.json)" \
-    cargo run --release -q -p mst-bench --bin serve -- --smoke
+gate "serving smoke bench (BENCH_serve.json, >= 520 qps steady)" \
+    cargo run --release -q -p mst-bench --bin serve -- --smoke --min-qps 520
 
 echo "ci.sh: all gates passed"

@@ -1,15 +1,18 @@
 //! Emits `BENCH_serve.json`: end-to-end loopback throughput of the
-//! `mst-serve` TCP layer under concurrent clients, plus a deliberate
-//! saturation probe of its admission control.
+//! `mst-serve` TCP layer under concurrent pipelined clients, plus a
+//! deliberate saturation probe of its admission control and a repeat
+//! probe of its answer cache.
 //!
 //! Usage: `cargo run -p mst-bench --release --bin serve --
 //! [--smoke] [--objects 200] [--samples 600] [--clients 8]
-//! [--requests 24] [--k 4] [--seed 11] [--out BENCH_serve.json]`
+//! [--requests 24] [--depth 8] [--cache-repeats 40] [--k 4] [--seed 11]
+//! [--min-qps 0] [--out BENCH_serve.json]`
 //!
 //! `--smoke` selects the small CI configuration. The process exits
 //! non-zero when [`ServeReport::validate`] detects serving
-//! nondeterminism, counter/client disagreement, silent query loss, or an
-//! overload probe that never saw typed backpressure.
+//! nondeterminism, counter/client disagreement, silent query loss, an
+//! overload probe that never saw typed backpressure, or a cold answer
+//! cache — or when `--min-qps` is set and the steady phase fell short.
 //!
 //! [`ServeReport::validate`]: mst_bench::experiments::ServeReport::validate
 
@@ -31,14 +34,17 @@ fn main() {
         queue: args.get("queue", base.queue),
         clients: args.get("clients", base.clients),
         requests_per_client: args.get("requests", base.requests_per_client),
+        depth: args.get("depth", base.depth),
         probe_requests: args.get("probe-requests", base.probe_requests),
+        cache_repeats: args.get("cache-repeats", base.cache_repeats),
         k: args.get("k", base.k),
         length: args.get("length", base.length),
         seed: args.get("seed", base.seed),
     };
+    let min_qps: f64 = args.get("min-qps", 0.0);
     eprintln!(
         "[serve] {} objects x {} samples behind {} shards, {} workers, queue {}, \
-         {} clients x {} requests...",
+         {} clients x {} requests at depth {}...",
         cfg.objects,
         cfg.samples,
         cfg.shards,
@@ -46,12 +52,19 @@ fn main() {
         cfg.queue,
         cfg.clients,
         cfg.requests_per_client,
+        cfg.depth,
     );
     let report = serve_bench(&cfg);
     let out = args.get("out", String::from("BENCH_serve.json"));
     std::fs::write(&out, report.to_json()).expect("write report");
     eprintln!("[serve] wrote {out}");
-    let failures = report.validate();
+    let mut failures = report.validate();
+    if min_qps > 0.0 && report.steady.qps < min_qps {
+        failures.push(format!(
+            "steady throughput {:.0} qps fell below the --min-qps gate of {min_qps:.0}",
+            report.steady.qps
+        ));
+    }
     if !failures.is_empty() {
         for f in &failures {
             eprintln!("[serve] FAIL: {f}");
@@ -59,8 +72,8 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!(
-        "[serve] deterministic answers across clients, honest counters, live typed \
-         backpressure ({} host cores)",
+        "[serve] deterministic pipelined answers, honest counters, live typed \
+         backpressure, warm answer cache ({} host cores)",
         report.host_parallelism
     );
 }

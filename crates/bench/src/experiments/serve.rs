@@ -1,29 +1,43 @@
-//! Loopback serving throughput: start an in-process `mst-serve` instance,
-//! hammer it from concurrent client threads over real TCP, and measure
-//! end-to-end queries/second and latency percentiles — then deliberately
-//! saturate a one-slot admission queue to prove backpressure is typed,
-//! counted, and non-blocking.
+//! Loopback serving throughput over wire protocol v2: start an
+//! in-process `mst-serve` instance, hammer it from concurrent *pipelined*
+//! client connections over real TCP, and measure end-to-end
+//! queries/second and latency percentiles — then deliberately saturate a
+//! one-slot admission queue to prove backpressure is typed, counted, and
+//! non-blocking, and finally probe the answer cache with a repeated
+//! query.
 //!
 //! Emits `BENCH_serve.json`. [`ServeReport::validate`] is the CI tripwire
-//! with four teeth:
+//! with five teeth:
 //!
-//! * **cross-client determinism** — every client issues the same query
-//!   stream and must read byte-identical answers;
+//! * **pass determinism** — the steady phase runs its distinct per-client
+//!   query streams twice against one server; each client must read
+//!   byte-identical answers in both passes;
 //! * **accounting** — the server's own counters must agree with what the
-//!   clients observed (completions, zero degradation, zero malformed
-//!   frames) and the merged work profile must show real index work;
+//!   clients observed (completions, retries vs rejections, zero
+//!   degradation, zero malformed frames) and the merged work profile must
+//!   show real index work;
 //! * **typed backpressure** — the overload probe must surface
 //!   `Overloaded` responses, and exactly as many as the server says it
 //!   rejected;
 //! * **no hangs** — every probe request must come back as either an
-//!   answer or a rejection; admitted + rejected must equal issued.
+//!   answer or a rejection; admitted + rejected must equal issued;
+//! * **cache discipline** — the cache probe's repeats must all hit, and
+//!   its counters must say so.
+//!
+//! Steady-phase latency excludes overload retries: a retried request's
+//! rejected attempts are recorded under `retry` (count + percentiles),
+//! and only the attempt that completed contributes to the steady
+//! p50/p99. Mixing the two would let fast typed rejections flatter the
+//! service latency.
 
+use std::collections::{HashMap, VecDeque};
 use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::Instant;
 
 use mst_exec::ShardedDatabase;
 use mst_search::{MstMatch, QueryOptions};
-use mst_serve::{Response, ServeClient, Server, ServerConfig, StatsReport};
+use mst_serve::{Request, RequestId, Response, ServeClient, Server, ServerConfig, StatsReport};
 use mst_trajectory::{TimeInterval, Trajectory};
 
 use crate::datasets::DatasetSpec;
@@ -41,14 +55,20 @@ pub struct ServeConfig {
     pub shards: usize,
     /// Executor worker threads of the steady-phase server.
     pub workers: usize,
-    /// Admission-queue bound of the steady-phase server.
+    /// Admission-queue bound of the steady-phase server. The steady
+    /// server is provisioned at `max(queue, clients x depth)` so the
+    /// pipelined burst measures throughput, not retry churn.
     pub queue: usize,
     /// Concurrent client connections in the steady phase.
     pub clients: usize,
-    /// Requests each steady-phase client issues.
+    /// Requests each steady-phase client issues per pass.
     pub requests_per_client: usize,
+    /// Pipeline depth each steady-phase client negotiates.
+    pub depth: u16,
     /// Requests each overload-probe client fires at the one-slot server.
     pub probe_requests: usize,
+    /// Times the cache probe repeats its one query.
+    pub cache_repeats: usize,
     /// Results per query.
     pub k: usize,
     /// Query length fraction.
@@ -67,7 +87,9 @@ impl Default for ServeConfig {
             queue: 16,
             clients: 8,
             requests_per_client: 24,
+            depth: 8,
             probe_requests: 40,
+            cache_repeats: 40,
             k: 4,
             length: 0.15,
             seed: 11,
@@ -87,7 +109,9 @@ impl ServeConfig {
             queue: 8,
             clients: 4,
             requests_per_client: 8,
+            depth: 4,
             probe_requests: 25,
+            cache_repeats: 15,
             k: 3,
             length: 0.2,
             seed: 11,
@@ -95,29 +119,43 @@ impl ServeConfig {
     }
 }
 
+/// Latency of overload retries, kept apart from the steady percentiles.
+#[derive(Debug, Clone, Default)]
+pub struct RetryStats {
+    /// `Overloaded` responses absorbed by client retry (both passes).
+    pub count: u64,
+    /// Median send-to-rejection latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile send-to-rejection latency, milliseconds.
+    pub p99_ms: f64,
+}
+
 /// The steady-phase measurement.
 #[derive(Debug, Clone)]
 pub struct SteadyPhase {
-    /// Requests issued across all clients (excluding overload retries).
+    /// Requests issued across all clients in one pass (completions only;
+    /// retries are under [`SteadyPhase::retry`]).
     pub requests: usize,
-    /// Whole-phase wall time, milliseconds (connect to last response).
+    /// Second-pass wall time, milliseconds (connect to last response).
     pub wall_ms: f64,
-    /// End-to-end queries per second over the phase.
+    /// End-to-end queries per second over the second (warm) pass.
     pub qps: f64,
-    /// Median end-to-end latency, milliseconds (client-observed).
+    /// Median end-to-end completion latency, milliseconds (second pass).
     pub p50_ms: f64,
-    /// 99th-percentile end-to-end latency, milliseconds.
+    /// 99th-percentile completion latency, milliseconds (second pass).
     pub p99_ms: f64,
-    /// `Overloaded` responses absorbed by client retry.
-    pub overloaded_retries: u64,
-    /// The server's own account of the phase, read over the wire.
+    /// Overload-retry accounting, separate from the percentiles above.
+    pub retry: RetryStats,
+    /// The server's own account of both passes, read over the wire.
     pub stats: StatsReport,
-    /// Per-client answer fingerprints, for cross-client determinism.
-    fingerprints: Vec<Vec<u64>>,
+    /// Per-pass, per-client answer fingerprints: both passes of one
+    /// client must match bit for bit.
+    fingerprints: [Vec<Vec<u64>>; 2],
 }
 
 /// The overload-probe measurement: a one-worker, one-slot server under
-/// deliberate saturation, with no client retry.
+/// deliberate saturation — every client running a *distinct* query so
+/// the coalescer cannot dedup the burst away — with no client retry.
 #[derive(Debug, Clone)]
 pub struct OverloadPhase {
     /// Requests fired across all probe clients.
@@ -130,7 +168,24 @@ pub struct OverloadPhase {
     pub server_rejections: u64,
 }
 
-/// The whole benchmark: steady throughput plus the overload probe.
+/// The cache-probe measurement: one client repeating one query against a
+/// cache-enabled server.
+#[derive(Debug, Clone)]
+pub struct CachePhase {
+    /// Times the query was issued.
+    pub requests: usize,
+    /// Server-counted answer-cache hits (must be `requests - 1`).
+    pub hits: u64,
+    /// Server-counted answer-cache misses (must be 1: the first).
+    pub misses: u64,
+    /// First (uncached) request latency, milliseconds.
+    pub first_ms: f64,
+    /// Median repeat (cached) latency, milliseconds.
+    pub hit_p50_ms: f64,
+}
+
+/// The whole benchmark: steady throughput, the overload probe, and the
+/// cache probe.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
     /// The configuration that produced the report.
@@ -141,6 +196,8 @@ pub struct ServeReport {
     pub steady: SteadyPhase,
     /// The overload probe.
     pub overload: OverloadPhase,
+    /// The cache probe.
+    pub cache: CachePhase,
 }
 
 /// FNV-1a over an answer's ids and dissimilarity bits, matching the
@@ -168,38 +225,98 @@ fn percentile(sorted_ms: &[f64], pct: usize) -> f64 {
     sorted_ms[(sorted_ms.len() - 1) * pct / 100]
 }
 
-/// One steady-phase client: the full query stream, in order, retrying
-/// (and counting) `Overloaded` rejections so every query completes.
+/// One pipelined steady-phase client: keeps up to `depth` requests in
+/// flight, claims responses as they land (any order), retries overload
+/// rejections, and keeps retry latency apart from completion latency.
+struct ClientRun {
+    latencies: Vec<f64>,
+    fingerprints: Vec<u64>,
+    retry_ms: Vec<f64>,
+}
+
 fn steady_client(
     addr: SocketAddr,
     queries: &[(Trajectory, TimeInterval)],
     k: usize,
-) -> (Vec<f64>, Vec<u64>, u64) {
-    let mut client = match ServeClient::connect(addr) {
+    depth: u16,
+) -> ClientRun {
+    let mut client = match ServeClient::connect_with_depth(addr, depth) {
         Ok(client) => client,
         Err(e) => panic!("steady client failed to connect: {e}"),
     };
-    let mut latencies = Vec::with_capacity(queries.len());
-    let mut fingerprints = Vec::with_capacity(queries.len());
-    let mut overloaded = 0u64;
-    for (query, period) in queries {
-        let options = QueryOptions::new().k(k).during(period);
-        loop {
-            let (ms, response) = time_ms(|| client.kmst(query, options));
-            match response {
-                Ok(Response::Overloaded { .. }) => overloaded += 1,
-                Ok(Response::Kmst { degraded, matches }) => {
-                    assert!(!degraded, "no deadline is configured, nothing may degrade");
-                    latencies.push(ms);
-                    fingerprints.push(fingerprint(&matches));
-                    break;
+    let window = usize::from(client.depth());
+    let n = queries.len();
+    let mut latencies = vec![0.0f64; n];
+    let mut fingerprints = vec![0u64; n];
+    let mut retry_ms = Vec::new();
+    let mut inflight: HashMap<RequestId, (usize, Instant)> = HashMap::new();
+    let mut todo: VecDeque<usize> = (0..n).collect();
+    let mut done = 0usize;
+    while done < n {
+        while inflight.len() < window {
+            let Some(qi) = todo.pop_front() else { break };
+            let (query, period) = &queries[qi];
+            let request = Request::Kmst {
+                points: query.points().to_vec(),
+                options: QueryOptions::new().k(k).during(period),
+            };
+            let sent = Instant::now();
+            match client.send(&request) {
+                Ok(id) => {
+                    inflight.insert(id, (qi, sent));
                 }
-                Ok(other) => panic!("unexpected response to a k-MST request: {other:?}"),
-                Err(e) => panic!("steady client transport failure: {e}"),
+                Err(e) => panic!("steady client send failure: {e}"),
             }
         }
+        let (id, response) = match client.recv_any() {
+            Ok(pair) => pair,
+            Err(e) => panic!("steady client transport failure: {e}"),
+        };
+        let Some((qi, sent)) = inflight.remove(&id) else {
+            panic!("server answered an id this client never sent");
+        };
+        let ms = sent.elapsed().as_secs_f64() * 1000.0;
+        match response {
+            Response::Overloaded { .. } => {
+                retry_ms.push(ms);
+                todo.push_back(qi);
+            }
+            Response::Kmst { degraded, matches } => {
+                assert!(!degraded, "no deadline is configured, nothing may degrade");
+                latencies[qi] = ms;
+                fingerprints[qi] = fingerprint(&matches);
+                done += 1;
+            }
+            other => panic!("unexpected response to a k-MST request: {other:?}"),
+        }
     }
-    (latencies, fingerprints, overloaded)
+    ClientRun {
+        latencies,
+        fingerprints,
+        retry_ms,
+    }
+}
+
+/// One steady pass: every client runs its own stream concurrently.
+fn steady_pass(
+    addr: SocketAddr,
+    streams: &[Vec<(Trajectory, TimeInterval)>],
+    k: usize,
+    depth: u16,
+) -> (f64, Vec<ClientRun>) {
+    time_ms(|| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                let stream = stream.clone();
+                std::thread::spawn(move || steady_client(addr, &stream, k, depth))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("steady client panicked"))
+            .collect::<Vec<_>>()
+    })
 }
 
 /// One overload-probe client: fire-and-record, no retry.
@@ -226,8 +343,8 @@ fn probe_client(
     (completed, overloaded)
 }
 
-/// Runs both phases against in-process servers on ephemeral loopback
-/// ports.
+/// Runs all three phases against in-process servers on ephemeral
+/// loopback ports.
 pub fn serve_bench(cfg: &ServeConfig) -> ServeReport {
     let store = DatasetSpec::Synthetic {
         objects: cfg.objects,
@@ -235,43 +352,51 @@ pub fn serve_bench(cfg: &ServeConfig) -> ServeReport {
         seed: cfg.seed,
     }
     .build_store();
-    let specs = sample_queries(&store, cfg.requests_per_client, cfg.length, cfg.seed ^ 0xB5);
-    let queries: Vec<(Trajectory, TimeInterval)> =
-        specs.into_iter().map(|s| (s.query, s.period)).collect();
+    // Distinct per-client streams: with the coalescer deduping identical
+    // concurrent queries, a shared stream would measure dedup, not
+    // serving. Each client derives its stream from its own seed.
+    let streams: Vec<Vec<(Trajectory, TimeInterval)>> = (0..cfg.clients)
+        .map(|client| {
+            let seed = cfg.seed ^ 0xB5 ^ (client as u64).wrapping_mul(0x9E37_79B9);
+            sample_queries(&store, cfg.requests_per_client, cfg.length, seed)
+                .into_iter()
+                .map(|s| (s.query, s.period))
+                .collect()
+        })
+        .collect();
     let fleet: Vec<_> = store.iter().map(|(id, t)| (id, t.clone())).collect();
     let db = Arc::new(ShardedDatabase::with_rtree(cfg.shards, fleet).expect("shard build"));
 
-    // Steady phase: a well-provisioned server, N clients, same stream each.
+    // Steady phase: a provisioned server, N pipelined clients, each
+    // running its own stream — twice, to prove pass determinism.
+    let steady_queue = cfg.queue.max(cfg.clients * usize::from(cfg.depth.max(1)));
     let server = Server::start(
         ServerConfig::new()
             .workers(cfg.workers)
-            .queue_capacity(cfg.queue),
+            .queue_capacity(steady_queue)
+            .max_depth(cfg.depth.max(1)),
         Arc::clone(&db),
     )
     .expect("steady server start");
     let addr = server.local_addr();
-    let (wall_ms, outcomes) = time_ms(|| {
-        let handles: Vec<_> = (0..cfg.clients)
-            .map(|_| {
-                let queries = queries.clone();
-                let k = cfg.k;
-                std::thread::spawn(move || steady_client(addr, &queries, k))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("steady client panicked"))
-            .collect::<Vec<_>>()
-    });
+    let (_, pass1) = steady_pass(addr, &streams, cfg.k, cfg.depth);
+    let (wall_ms, pass2) = steady_pass(addr, &streams, cfg.k, cfg.depth);
+
     let mut latencies: Vec<f64> = Vec::new();
-    let mut fingerprints = Vec::new();
-    let mut overloaded_retries = 0u64;
-    for (lat, fps, over) in outcomes {
-        latencies.extend(lat);
-        fingerprints.push(fps);
-        overloaded_retries += over;
+    let mut retry_ms: Vec<f64> = Vec::new();
+    for run in &pass2 {
+        latencies.extend_from_slice(&run.latencies);
+    }
+    for run in pass1.iter().chain(&pass2) {
+        retry_ms.extend_from_slice(&run.retry_ms);
     }
     latencies.sort_by(|a, b| a.total_cmp(b));
+    retry_ms.sort_by(|a, b| a.total_cmp(b));
+    let fingerprints = [
+        pass1.iter().map(|r| r.fingerprints.clone()).collect(),
+        pass2.iter().map(|r| r.fingerprints.clone()).collect(),
+    ];
+
     let stats = match ServeClient::connect(addr) {
         Ok(mut client) => {
             let stats = client.stats().expect("stats request");
@@ -292,29 +417,45 @@ pub fn serve_bench(cfg: &ServeConfig) -> ServeReport {
         },
         p50_ms: percentile(&latencies, 50),
         p99_ms: percentile(&latencies, 99),
-        overloaded_retries,
+        retry: RetryStats {
+            count: retry_ms.len() as u64,
+            p50_ms: percentile(&retry_ms, 50),
+            p99_ms: percentile(&retry_ms, 99),
+        },
         stats,
         fingerprints,
     };
     eprintln!(
-        "[serve] steady: {} clients x {} requests: {:.1} ms, {:.0} qps, p50 {:.2} ms, p99 {:.2} ms, {} overload retries",
-        cfg.clients, cfg.requests_per_client, steady.wall_ms, steady.qps, steady.p50_ms,
-        steady.p99_ms, steady.overloaded_retries,
+        "[serve] steady: {} clients x {} requests at depth {}: {:.1} ms, {:.0} qps, \
+         p50 {:.2} ms, p99 {:.2} ms, {} overload retries",
+        cfg.clients,
+        cfg.requests_per_client,
+        cfg.depth,
+        steady.wall_ms,
+        steady.qps,
+        steady.p50_ms,
+        steady.p99_ms,
+        steady.retry.count,
     );
 
     // Overload probe: one worker, a one-slot queue, no retry — saturation
-    // must surface as typed rejections, never as hangs.
+    // must surface as typed rejections, never as hangs. Distinct queries
+    // per client keep the coalescer's dedup out of the measurement.
     let probe_server = Server::start(
         ServerConfig::new().workers(1).queue_capacity(1),
         Arc::clone(&db),
     )
     .expect("probe server start");
     let probe_addr = probe_server.local_addr();
-    let probe_query = queries[0].clone();
+    let probe_queries: Vec<(Trajectory, TimeInterval)> =
+        sample_queries(&store, cfg.clients, cfg.length, cfg.seed ^ 0x0DD)
+            .into_iter()
+            .map(|s| (s.query, s.period))
+            .collect();
     let probe_outcomes: Vec<(u64, u64)> = {
         let handles: Vec<_> = (0..cfg.clients)
-            .map(|_| {
-                let (query, period) = probe_query.clone();
+            .map(|i| {
+                let (query, period) = probe_queries[i % probe_queries.len()].clone();
                 let shots = cfg.probe_requests;
                 std::thread::spawn(move || probe_client(probe_addr, &query, &period, shots))
             })
@@ -344,11 +485,72 @@ pub fn serve_bench(cfg: &ServeConfig) -> ServeReport {
         overload.requests, overload.completed, overload.overloaded, overload.server_rejections,
     );
 
+    // Cache probe: one client repeating one query against a
+    // cache-enabled server; every repeat must hit.
+    let cache_server = Server::start(
+        ServerConfig::new().workers(1).cache_capacity(32),
+        Arc::clone(&db),
+    )
+    .expect("cache server start");
+    let cache_addr = cache_server.local_addr();
+    let repeats = cfg.cache_repeats.max(2);
+    let (query, period) = streams[0][0].clone();
+    let options = QueryOptions::new().k(cfg.k).during(&period);
+    let mut client = match ServeClient::connect(cache_addr) {
+        Ok(client) => client,
+        Err(e) => panic!("cache client failed to connect: {e}"),
+    };
+    let mut first_ms = 0.0;
+    let mut hit_ms: Vec<f64> = Vec::with_capacity(repeats - 1);
+    let mut reference: Option<u64> = None;
+    for i in 0..repeats {
+        let (ms, response) = time_ms(|| client.kmst(&query, options));
+        match response {
+            Ok(Response::Kmst { degraded, matches }) => {
+                assert!(!degraded, "cache probe queries carry no deadline");
+                let fp = fingerprint(&matches);
+                match reference {
+                    None => reference = Some(fp),
+                    Some(expected) => assert_eq!(
+                        fp, expected,
+                        "a cached answer diverged from the executed one"
+                    ),
+                }
+                if i == 0 {
+                    first_ms = ms;
+                } else {
+                    hit_ms.push(ms);
+                }
+            }
+            Ok(other) => panic!("unexpected response to a cache probe: {other:?}"),
+            Err(e) => panic!("cache probe transport failure: {e}"),
+        }
+    }
+    let (hits, misses) = {
+        let stats = client.stats().expect("cache stats request");
+        assert!(client.shutdown().expect("cache shutdown request"));
+        (stats.counters.cache_hits, stats.counters.cache_misses)
+    };
+    cache_server.join();
+    hit_ms.sort_by(|a, b| a.total_cmp(b));
+    let cache = CachePhase {
+        requests: repeats,
+        hits,
+        misses,
+        first_ms,
+        hit_p50_ms: percentile(&hit_ms, 50),
+    };
+    eprintln!(
+        "[serve] cache probe: {} repeats, {} hits / {} misses, first {:.2} ms, hit p50 {:.3} ms",
+        cache.requests, cache.hits, cache.misses, cache.first_ms, cache.hit_p50_ms,
+    );
+
     ServeReport {
         config: cfg.clone(),
         host_parallelism: std::thread::available_parallelism().map_or(1, usize::from),
         steady,
         overload,
+        cache,
     }
 }
 
@@ -358,14 +560,15 @@ impl ServeReport {
         let c = &self.config;
         let s = &self.steady;
         let o = &self.overload;
+        let k = &self.cache;
         let sc = &s.stats.counters;
         let sp = &s.stats.profile;
         let mut out = String::new();
-        out.push_str("{\n  \"experiment\": \"serve\",\n");
+        out.push_str("{\n  \"experiment\": \"serve\",\n  \"protocol_version\": 2,\n");
         out.push_str(&format!(
             "  \"config\": {{\"objects\":{},\"samples\":{},\"shards\":{},\"workers\":{},\
-             \"queue\":{},\"clients\":{},\"requests_per_client\":{},\"probe_requests\":{},\
-             \"k\":{},\"length\":{},\"seed\":{}}},\n",
+             \"queue\":{},\"clients\":{},\"requests_per_client\":{},\"depth\":{},\
+             \"probe_requests\":{},\"cache_repeats\":{},\"k\":{},\"length\":{},\"seed\":{}}},\n",
             c.objects,
             c.samples,
             c.shards,
@@ -373,7 +576,9 @@ impl ServeReport {
             c.queue,
             c.clients,
             c.requests_per_client,
+            c.depth,
             c.probe_requests,
+            c.cache_repeats,
             c.k,
             c.length,
             c.seed,
@@ -384,17 +589,21 @@ impl ServeReport {
         ));
         out.push_str(&format!(
             "  \"steady\": {{\"requests\":{},\"wall_ms\":{:.3},\"qps\":{:.1},\
-             \"p50_ms\":{:.3},\"p99_ms\":{:.3},\"overloaded_retries\":{},\
+             \"p50_ms\":{:.3},\"p99_ms\":{:.3},\
+             \"retry\":{{\"count\":{},\"p50_ms\":{:.3},\"p99_ms\":{:.3}}},\
              \"counters\":{{\"connections_accepted\":{},\"queries_admitted\":{},\
              \"queries_completed\":{},\"queries_degraded\":{},\"overload_rejections\":{},\
-             \"malformed_frames\":{},\"invalid_queries\":{}}},\
+             \"malformed_frames\":{},\"invalid_queries\":{},\"cache_hits\":{},\
+             \"cache_misses\":{}}},\
              \"profile\":{{\"nodes_accessed\":{},\"piece_evals\":{}}}}},\n",
             s.requests,
             s.wall_ms,
             s.qps,
             s.p50_ms,
             s.p99_ms,
-            s.overloaded_retries,
+            s.retry.count,
+            s.retry.p50_ms,
+            s.retry.p99_ms,
             sc.connections_accepted,
             sc.queries_admitted,
             sc.queries_completed,
@@ -402,13 +611,20 @@ impl ServeReport {
             sc.overload_rejections,
             sc.malformed_frames,
             sc.invalid_queries,
+            sc.cache_hits,
+            sc.cache_misses,
             sp.nodes_accessed,
             sp.piece_evals,
         ));
         out.push_str(&format!(
             "  \"overload\": {{\"requests\":{},\"completed\":{},\"overloaded\":{},\
-             \"server_rejections\":{}}}\n",
+             \"server_rejections\":{}}},\n",
             o.requests, o.completed, o.overloaded, o.server_rejections,
+        ));
+        out.push_str(&format!(
+            "  \"cache\": {{\"requests\":{},\"hits\":{},\"misses\":{},\"first_ms\":{:.3},\
+             \"hit_p50_ms\":{:.3}}}\n",
+            k.requests, k.hits, k.misses, k.first_ms, k.hit_p50_ms,
         ));
         out.push_str("}\n");
         out
@@ -421,34 +637,44 @@ impl ServeReport {
         let s = &self.steady;
         let c = &s.stats.counters;
 
-        // Cross-client determinism: every client read identical answers.
-        if let Some(reference) = s.fingerprints.first() {
-            for (i, fps) in s.fingerprints.iter().enumerate().skip(1) {
-                if fps != reference {
-                    failures.push(format!(
-                        "client {i}: answers differ from client 0 on the same \
-                         query stream — serving nondeterminism"
-                    ));
-                }
-            }
-        } else {
+        // Pass determinism: each client read identical answers in both
+        // steady passes.
+        let [pass1, pass2] = &s.fingerprints;
+        if pass1.is_empty() || pass2.is_empty() {
             failures.push("steady phase measured no clients".to_string());
+        }
+        for (i, (a, b)) in pass1.iter().zip(pass2).enumerate() {
+            if a != b {
+                failures.push(format!(
+                    "client {i}: answers differ between steady passes on the same \
+                     query stream — serving nondeterminism"
+                ));
+            }
         }
 
         // Accounting: the server's view must match the clients' view.
-        let expected = s.requests as u64 + s.overloaded_retries;
-        if c.queries_admitted < s.requests as u64 {
+        // Both passes completed every request; dedup may legitimately
+        // shrink admissions below completions, never past zero.
+        let expected = 2 * s.requests as u64;
+        if c.queries_completed != expected {
             failures.push(format!(
-                "server admitted {} queries but clients completed {} — \
-                 admission undercount",
-                c.queries_admitted, s.requests
+                "server completed {} query requests for {expected} client \
+                 completions — lost or phantom queries",
+                c.queries_completed
             ));
         }
-        if c.queries_completed + c.overload_rejections < expected {
+        if c.queries_admitted == 0 || c.queries_admitted > expected {
             failures.push(format!(
-                "server accounted {} completions + {} rejections for {expected} \
-                 client requests — lost queries",
-                c.queries_completed, c.overload_rejections
+                "server admitted {} executions for {expected} completions — \
+                 admission accounting is broken",
+                c.queries_admitted
+            ));
+        }
+        if c.overload_rejections != s.retry.count {
+            failures.push(format!(
+                "clients retried {} overload rejections but the server counted {} — \
+                 rejection accounting drift",
+                s.retry.count, c.overload_rejections
             ));
         }
         if c.queries_degraded != 0 {
@@ -496,6 +722,19 @@ impl ServeReport {
                 o.requests, o.completed, o.overloaded
             ));
         }
+
+        // Cache discipline: the first request executes, every repeat hits.
+        let k = &self.cache;
+        if k.hits != (k.requests as u64).saturating_sub(1) || k.misses != 1 {
+            failures.push(format!(
+                "cache probe expected {} hits / 1 miss for {} repeats, server \
+                 counted {} / {} — the answer cache is not serving repeats",
+                k.requests - 1,
+                k.requests,
+                k.hits,
+                k.misses
+            ));
+        }
         failures
     }
 }
@@ -513,7 +752,9 @@ mod tests {
             queue: 4,
             clients: 3,
             requests_per_client: 4,
+            depth: 4,
             probe_requests: 15,
+            cache_repeats: 6,
             k: 2,
             length: 0.25,
             seed: 11,
@@ -527,8 +768,12 @@ mod tests {
         assert!(failures.is_empty(), "{failures:#?}");
         let json = report.to_json();
         assert!(json.contains("\"experiment\": \"serve\""));
+        assert!(json.contains("\"protocol_version\": 2"));
+        assert!(json.contains("\"depth\":4"));
+        assert!(json.contains("\"retry\""));
         assert!(json.contains("\"overload_rejections\""));
         assert!(json.contains("\"server_rejections\""));
+        assert!(json.contains("\"cache\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
@@ -536,7 +781,7 @@ mod tests {
     #[test]
     fn validate_catches_nondeterminism_and_silent_drops() {
         let mut report = serve_bench(&tiny());
-        report.steady.fingerprints[1][0] ^= 1;
+        report.steady.fingerprints[1][0][0] ^= 1;
         let failures = report.validate();
         assert!(
             failures.iter().any(|f| f.contains("nondeterminism")),
@@ -557,6 +802,14 @@ mod tests {
         let failures = report.validate();
         assert!(
             failures.iter().any(|f| f.contains("hung or vanished")),
+            "{failures:#?}"
+        );
+
+        let mut report = serve_bench(&tiny());
+        report.cache.hits = 0;
+        let failures = report.validate();
+        assert!(
+            failures.iter().any(|f| f.contains("answer cache")),
             "{failures:#?}"
         );
     }

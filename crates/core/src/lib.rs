@@ -52,7 +52,7 @@ pub use nn::{
     nearest_trajectories, nearest_trajectories_shared, nearest_trajectories_traced, NnMatch,
     NnOutcome,
 };
-pub use options::QueryOptions;
+pub use options::{canonical_f64_bits, OptionsKey, QueryOptions};
 pub use query::{
     KmstQuery, KmstSpec, KnnQuery, KnnSegmentsQuery, KnnSpec, Query, RangeQuery, RangeSpec,
     SegmentsSpec, TimeRelaxedQuery,

@@ -122,6 +122,12 @@ pub struct QueryProfile {
     pub pruning: PruningCounters,
     /// Heuristic-2 terminations recorded (one per query it cut short).
     pub early_terminations: u64,
+    /// Queries answered from a serving layer's answer cache instead of
+    /// executing (the cache merges a one-hit profile per hit; index and
+    /// search counters stay untouched because no search ran).
+    pub answer_cache_hits: u64,
+    /// Cache-eligible queries that missed the answer cache and executed.
+    pub answer_cache_misses: u64,
     /// Physical page reads retried after a retryable fault (transient I/O
     /// error or checksum mismatch).
     pub io_retries: u64,
@@ -185,6 +191,8 @@ impl QueryProfile {
         self.pruning.shared_kth_evals += other.pruning.shared_kth_evals;
         self.pruning.shared_kth_prunes += other.pruning.shared_kth_prunes;
         self.early_terminations += other.early_terminations;
+        self.answer_cache_hits += other.answer_cache_hits;
+        self.answer_cache_misses += other.answer_cache_misses;
         self.io_retries += other.io_retries;
         self.checksum_failures += other.checksum_failures;
         self.pages_quarantined += other.pages_quarantined;
@@ -442,6 +450,8 @@ mod tests {
         b.io_retry();
         b.io_checksum_failure();
         b.io_quarantine();
+        b.answer_cache_hits += 3;
+        b.answer_cache_misses += 4;
         a.merge(&b);
         assert_eq!(a.node_accesses, vec![1, 0, 1]);
         assert_eq!(a.heap_pushes, 1);
@@ -451,6 +461,8 @@ mod tests {
         assert_eq!(a.pruning.shared_kth_prunes, 1);
         assert_eq!(a.candidates.seen, 2);
         assert_eq!(a.io_retries, 2);
+        assert_eq!(a.answer_cache_hits, 3);
+        assert_eq!(a.answer_cache_misses, 4);
         assert_eq!(a.checksum_failures, 1);
         assert_eq!(a.pages_quarantined, 1);
         assert!(a.is_consistent());

@@ -46,9 +46,11 @@ pub mod submit;
 pub use batch::{BatchExecutor, BatchOutcome, QueryAnswer, QueryOutcome, ShardFailure};
 pub use bound::{QueryControl, SharedBound};
 pub use clock::Stopwatch;
-pub use queue::{JobQueue, TryPushError};
+pub use queue::{BatchPush, JobQueue, TryPushError};
 pub use shard::{Shard, ShardedDatabase};
-pub use submit::{ExecHandle, SubmitError, Ticket};
+pub use submit::{
+    BatchAdmission, ExecHandle, OutcomeSink, RejectedSubmit, RoutedQuery, SubmitError, Ticket,
+};
 
 use mst_search::{
     KmstQuery, KmstSpec, KnnQuery, KnnSegmentsQuery, KnnSpec, QueryOptions, RangeQuery, RangeSpec,

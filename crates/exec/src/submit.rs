@@ -79,14 +79,89 @@ impl Ticket {
     pub fn wait(self) -> Result<QueryOutcome, ExecError> {
         self.rx.recv().map_err(|_| ExecError::Disconnected)
     }
+
+    /// Polls for the outcome without blocking: `Ok(None)` while the query
+    /// is still running, `Ok(Some(..))` exactly once when it completes.
+    /// After the outcome has been taken, further polls report
+    /// [`ExecError::Disconnected`] — a ticket is a single-shot claim.
+    pub fn try_wait(&self) -> Result<Option<QueryOutcome>, ExecError> {
+        match self.rx.try_recv() {
+            Ok(outcome) => Ok(Some(outcome)),
+            Err(std::sync::mpsc::TryRecvError::Empty) => Ok(None),
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => Err(ExecError::Disconnected),
+        }
+    }
+}
+
+/// Receives the outcomes of a routed batch submission
+/// ([`ExecHandle::try_submit_batch`]) as they complete. Implementations
+/// must be cheap and non-blocking — the call runs on a pool worker, and a
+/// sink that stalls stalls the pool.
+pub trait OutcomeSink: Send + Sync + 'static {
+    /// Called exactly once per admitted query, from the worker that ran
+    /// it, with the caller's token for that query.
+    fn complete(&self, token: u64, outcome: QueryOutcome);
+}
+
+/// Delivering outcomes through a caller-supplied channel lets every
+/// completion of a serving tick land in **one** receiver instead of N
+/// ticket channels, so a coalescer can block on a single wait point.
+impl OutcomeSink for Sender<(u64, QueryOutcome)> {
+    fn complete(&self, token: u64, outcome: QueryOutcome) {
+        // invariant: a receiver that hung up means the batch's owner
+        // abandoned its queries; dropping the outcome is the correct
+        // response (mirrors the ticket path)
+        let _ = self.send((token, outcome));
+    }
+}
+
+/// How an admitted query's outcome travels back to its owner.
+enum Deliver {
+    /// The single-query path: a private ticket channel.
+    Channel(Sender<QueryOutcome>),
+    /// The routed batch path: a shared sink plus the caller's token.
+    Sink {
+        token: u64,
+        sink: Arc<dyn OutcomeSink>,
+    },
+}
+
+/// One query of a routed batch submission: a caller-chosen token (echoed
+/// into [`OutcomeSink::complete`]) plus the query itself.
+pub struct RoutedQuery {
+    /// Opaque correlation token, chosen by the caller.
+    pub token: u64,
+    /// The query to run.
+    pub query: BatchQuery,
+}
+
+/// One refused query of a routed batch submission, handed back whole so
+/// the caller can retry it later without having kept a copy.
+pub struct RejectedSubmit {
+    /// The caller's correlation token for the refused query.
+    pub token: u64,
+    /// The query itself, returned unrun.
+    pub query: BatchQuery,
+    /// Why the queue refused it.
+    pub reason: SubmitError,
+}
+
+/// The admission report of [`ExecHandle::try_submit_batch`]: how many
+/// queries the queue took, and the per-query fate of the ones it refused.
+pub struct BatchAdmission {
+    /// Queries admitted (their outcomes will reach the sink).
+    pub admitted: usize,
+    /// Queries the queue refused — token, query, and typed reason — in
+    /// the batch's original order.
+    pub rejected: Vec<RejectedSubmit>,
 }
 
 /// One admitted query: the spec, its control (deadline clock already
-/// running), and the channel its outcome goes back on.
+/// running), and the path its outcome goes back on.
 struct SubmitJob {
     query: BatchQuery,
     control: QueryControl,
-    tx: Sender<QueryOutcome>,
+    deliver: Deliver,
 }
 
 /// A long-lived, admission-controlled execution pool over a shared
@@ -177,15 +252,80 @@ where
         }
     }
 
+    /// Admits a whole batch of queries under **one** queue-lock
+    /// acquisition, routing every outcome to `sink` tagged with its
+    /// query's token. Admission is prefix-shaped and in order: when the
+    /// queue has room for only M of N queries, the first M are admitted
+    /// and the rest come back in [`BatchAdmission::rejected`] with typed
+    /// reasons. Deadline clocks start at admission, exactly as in
+    /// [`ExecHandle::try_submit`].
+    pub fn try_submit_batch(
+        &self,
+        batch: Vec<RoutedQuery>,
+        sink: &Arc<dyn OutcomeSink>,
+    ) -> BatchAdmission {
+        let jobs: Vec<SubmitJob> = batch
+            .into_iter()
+            .map(|routed| {
+                self.make_control_job(
+                    routed.query,
+                    Deliver::Sink {
+                        token: routed.token,
+                        sink: Arc::clone(sink),
+                    },
+                )
+            })
+            .collect();
+        let push = self.queue.try_push_batch(jobs);
+        let reason = if push.closed {
+            SubmitError::ShuttingDown
+        } else {
+            SubmitError::Overloaded {
+                queued: self.queue.len(),
+                capacity: self.queue.capacity(),
+            }
+        };
+        let rejected = push
+            .rejected
+            .into_iter()
+            .map(|job| {
+                let token = match job.deliver {
+                    Deliver::Sink { token, .. } => token,
+                    // A rejected batch job always carries a sink; a
+                    // channel here would be a construction bug, reported
+                    // as an impossible token rather than a panic.
+                    Deliver::Channel(_) => u64::MAX,
+                };
+                RejectedSubmit {
+                    token,
+                    query: job.query,
+                    reason,
+                }
+            })
+            .collect();
+        BatchAdmission {
+            admitted: push.admitted,
+            rejected,
+        }
+    }
+
     fn make_job(&self, query: BatchQuery) -> (SubmitJob, Receiver<QueryOutcome>) {
+        let (tx, rx) = channel();
+        (self.make_control_job(query, Deliver::Channel(tx)), rx)
+    }
+
+    fn make_control_job(&self, query: BatchQuery, deliver: Deliver) -> SubmitJob {
         let opts = query.options();
         let control = QueryControl::with_sharing(
             Stopwatch::start(),
             opts.deadline_us.or(self.default_deadline_us),
             opts.share_bound,
         );
-        let (tx, rx) = channel();
-        (SubmitJob { query, control, tx }, rx)
+        SubmitJob {
+            query,
+            control,
+            deliver,
+        }
     }
 
     /// Graceful shutdown: stops admitting, drains every already-admitted
@@ -245,9 +385,14 @@ fn run_submitted<I: TrajectoryIndex>(db: &ShardedDatabase<I>, job: SubmitJob) {
         failures,
         latency_us: job.control.latency_us(),
     };
-    // invariant: a receiver that hung up means the client abandoned the
-    // query; dropping the outcome is the correct response
-    let _ = job.tx.send(outcome);
+    match job.deliver {
+        // invariant: a receiver that hung up means the client abandoned
+        // the query; dropping the outcome is the correct response
+        Deliver::Channel(tx) => {
+            let _ = tx.send(outcome); // invariant: as above
+        }
+        Deliver::Sink { token, sink } => sink.complete(token, outcome),
+    }
 }
 
 #[cfg(test)]
@@ -371,6 +516,110 @@ mod tests {
             Err(SubmitError::ShuttingDown) => {}
             other => panic!("expected ShuttingDown, got {:?}", other.map(|_| "ticket")),
         }
+    }
+
+    #[test]
+    fn try_wait_polls_then_claims_exactly_once() {
+        let db = Arc::new(ShardedDatabase::with_rtree(1, lines(6, 12)).unwrap());
+        let q = db.trajectory(TrajectoryId(2)).unwrap().clone();
+        let handle = BatchExecutor::new()
+            .workers(1)
+            .queue_capacity(2)
+            .submit_handle(Arc::clone(&db))
+            .unwrap();
+        let ticket = handle
+            .try_submit(BatchQuery::kmst(Query::kmst(&q).k(2)).unwrap())
+            .unwrap();
+        let outcome = loop {
+            match ticket.try_wait().unwrap() {
+                Some(outcome) => break outcome,
+                None => std::thread::yield_now(),
+            }
+        };
+        assert!(!outcome.answer.is_empty());
+        // The claim is single-shot: the channel is now consumed+closed.
+        assert!(ticket.try_wait().is_err());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn routed_batch_fans_outcomes_into_one_sink() {
+        let db = Arc::new(ShardedDatabase::with_rtree(2, lines(8, 16)).unwrap());
+        let q = db.trajectory(TrajectoryId(1)).unwrap().clone();
+        let handle = BatchExecutor::new()
+            .workers(2)
+            .queue_capacity(8)
+            .submit_handle(Arc::clone(&db))
+            .unwrap();
+        let (tx, rx) = channel::<(u64, QueryOutcome)>();
+        let sink: Arc<dyn OutcomeSink> = Arc::new(tx);
+        let batch: Vec<RoutedQuery> = (0..4u64)
+            .map(|token| RoutedQuery {
+                token: token * 10,
+                query: BatchQuery::kmst(Query::kmst(&q).k(2)).unwrap(),
+            })
+            .collect();
+        let admission = handle.try_submit_batch(batch, &sink);
+        assert_eq!(admission.admitted, 4);
+        assert!(admission.rejected.is_empty());
+        let mut tokens: Vec<u64> = (0..4)
+            .map(|_| {
+                let (token, outcome) = rx.recv().unwrap();
+                assert!(!outcome.answer.is_empty());
+                assert!(!outcome.degraded);
+                token
+            })
+            .collect();
+        tokens.sort_unstable();
+        assert_eq!(tokens, vec![0, 10, 20, 30]);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn batch_overflow_rejects_the_tail_in_order_with_typed_reasons() {
+        let db = Arc::new(ShardedDatabase::with_rtree(1, lines(10, 20)).unwrap());
+        let q = db.trajectory(TrajectoryId(0)).unwrap().clone();
+        let handle = BatchExecutor::new()
+            .workers(1)
+            .queue_capacity(2)
+            .submit_handle(Arc::clone(&db))
+            .unwrap();
+        let (tx, rx) = channel::<(u64, QueryOutcome)>();
+        let sink: Arc<dyn OutcomeSink> = Arc::new(tx);
+        let batch: Vec<RoutedQuery> = (0..5u64)
+            .map(|token| RoutedQuery {
+                token,
+                query: BatchQuery::kmst(Query::kmst(&q).k(3)).unwrap(),
+            })
+            .collect();
+        // The push holds the queue lock for the whole batch, so exactly
+        // `capacity` jobs fit and the tail comes back in order.
+        let admission = handle.try_submit_batch(batch, &sink);
+        assert_eq!(admission.admitted, 2);
+        let tokens: Vec<u64> = admission.rejected.iter().map(|r| r.token).collect();
+        assert_eq!(tokens, vec![2, 3, 4]);
+        for r in &admission.rejected {
+            assert!(matches!(
+                r.reason,
+                SubmitError::Overloaded { capacity: 2, .. }
+            ));
+        }
+        // Both admitted queries resolve through the sink.
+        let mut done: Vec<u64> = (0..2).map(|_| rx.recv().unwrap().0).collect();
+        done.sort_unstable();
+        assert_eq!(done, vec![0, 1]);
+        handle.shutdown();
+        // After shutdown the whole batch is refused as ShuttingDown.
+        let admission = handle.try_submit_batch(
+            vec![RoutedQuery {
+                token: 9,
+                query: BatchQuery::kmst(Query::kmst(&q).k(1)).unwrap(),
+            }],
+            &sink,
+        );
+        assert_eq!(admission.admitted, 0);
+        assert_eq!(admission.rejected[0].token, 9);
+        assert_eq!(admission.rejected[0].reason, SubmitError::ShuttingDown);
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! The bounded answer cache: canonicalised query → encoded response
+//! payload.
+//!
+//! # Key discipline
+//!
+//! A cache key is the query kind, the canonical form of its
+//! [`QueryOptions`] ([`mst_search::OptionsKey`] — deadline **excluded**,
+//! `NaN`/`-0.0` folded), and the canonical bit patterns of its geometry.
+//! Two textually different requests that are bit-for-bit the same query
+//! share an entry; a request differing only in deadline shares it too,
+//! because a certified (non-degraded) answer is valid under any
+//! deadline. Degraded answers are **never** cached.
+//!
+//! # Invalidation
+//!
+//! [`AnswerCache::invalidate`] clears the map and bumps a generation
+//! counter. Insertions carry the generation observed when their query
+//! was admitted; an insert whose generation is stale (an invalidation
+//! happened while the query executed) is dropped, so an answer computed
+//! against pre-transition state can never resurface after the
+//! transition. The server invalidates on the shutdown transition; any
+//! future ingest path must do the same.
+//!
+//! Eviction is FIFO: the oldest entry leaves when a new key arrives at
+//! capacity. Hit/miss accounting lives in the server's counters, not
+//! here — the cache itself is a dumb bounded map.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use mst_search::canonical_f64_bits;
+
+use crate::protocol::Request;
+
+/// The state under the cache's lock.
+struct CacheInner {
+    map: HashMap<Vec<u8>, Arc<Vec<u8>>>,
+    /// Insertion order, for FIFO eviction.
+    order: VecDeque<Vec<u8>>,
+    /// Bumped by every invalidation; stale inserts are dropped.
+    generation: u64,
+}
+
+/// A bounded FIFO cache of encoded response payloads, keyed on
+/// canonicalised queries. Capacity 0 disables it entirely.
+pub(crate) struct AnswerCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl AnswerCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        AnswerCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                generation: 0,
+            }),
+            capacity,
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The current generation, to be captured at query admission and
+    /// passed back to [`AnswerCache::insert_if`].
+    pub(crate) fn generation(&self) -> u64 {
+        match self.inner.lock() {
+            Ok(inner) => inner.generation,
+            // A poisoned cache behaves as permanently invalidated.
+            Err(_) => u64::MAX,
+        }
+    }
+
+    pub(crate) fn lookup(&self, key: &[u8]) -> Option<Arc<Vec<u8>>> {
+        if !self.enabled() {
+            return None;
+        }
+        let Ok(inner) = self.inner.lock() else {
+            return None;
+        };
+        inner.map.get(key).cloned()
+    }
+
+    /// Inserts unless the cache is disabled, the generation is stale, or
+    /// the key is already present (first answer wins; all answers for
+    /// one key are bit-identical by construction). Returns whether the
+    /// entry went in.
+    pub(crate) fn insert_if(&self, key: Vec<u8>, payload: Arc<Vec<u8>>, generation: u64) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        let Ok(mut inner) = self.inner.lock() else {
+            return false;
+        };
+        if inner.generation != generation || inner.map.contains_key(&key) {
+            return false;
+        }
+        while inner.map.len() >= self.capacity {
+            match inner.order.pop_front() {
+                Some(oldest) => {
+                    inner.map.remove(&oldest);
+                }
+                // Order/map desync cannot happen by construction, but a
+                // defensive break beats an infinite loop.
+                None => break,
+            }
+        }
+        inner.order.push_back(key.clone());
+        inner.map.insert(key, payload);
+        true
+    }
+
+    /// Clears every entry and bumps the generation so in-flight inserts
+    /// against the old state are dropped.
+    pub(crate) fn invalidate(&self) {
+        if let Ok(mut inner) = self.inner.lock() {
+            inner.map.clear();
+            inner.order.clear();
+            inner.generation = inner.generation.wrapping_add(1);
+        }
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.inner.lock().map(|i| i.map.len()).unwrap_or(0)
+    }
+}
+
+fn put_canonical(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&canonical_f64_bits(v).to_le_bytes());
+}
+
+/// The canonical cache key of a request: kind byte, canonical options
+/// ([`mst_search::OptionsKey`], deadline excluded), canonical geometry
+/// bits. `None` for control requests, which are never cached. Injective
+/// over semantically distinct queries: the kind byte separates flavours
+/// and every variable-length section is count-prefixed.
+pub(crate) fn cache_key(request: &Request) -> Option<Vec<u8>> {
+    let mut key = Vec::new();
+    match request {
+        Request::Kmst { points, options } => {
+            key.push(1);
+            options.canonical_key().encode_into(&mut key);
+            put_point_list(&mut key, points);
+        }
+        Request::Knn { points, options } => {
+            key.push(2);
+            options.canonical_key().encode_into(&mut key);
+            put_point_list(&mut key, points);
+        }
+        Request::KnnSegments { location, options } => {
+            key.push(3);
+            options.canonical_key().encode_into(&mut key);
+            put_canonical(&mut key, location.x);
+            put_canonical(&mut key, location.y);
+        }
+        Request::Range { window, options } => {
+            key.push(4);
+            options.canonical_key().encode_into(&mut key);
+            for v in [
+                window.x_min,
+                window.y_min,
+                window.t_min,
+                window.x_max,
+                window.y_max,
+                window.t_max,
+            ] {
+                put_canonical(&mut key, v);
+            }
+        }
+        Request::Stats | Request::Shutdown | Request::Hello { .. } => return None,
+    }
+    Some(key)
+}
+
+fn put_point_list(out: &mut Vec<u8>, points: &[mst_trajectory::SamplePoint]) {
+    let count = u32::try_from(points.len()).unwrap_or(u32::MAX);
+    out.extend_from_slice(&count.to_le_bytes());
+    for p in points {
+        put_canonical(out, p.t);
+        put_canonical(out, p.x);
+        put_canonical(out, p.y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mst_search::QueryOptions;
+    use mst_trajectory::{Point, SamplePoint};
+
+    fn payload(byte: u8) -> Arc<Vec<u8>> {
+        Arc::new(vec![byte; 4])
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let cache = AnswerCache::new(2);
+        let generation = cache.generation();
+        assert!(cache.insert_if(vec![1], payload(1), generation));
+        assert!(cache.insert_if(vec![2], payload(2), generation));
+        assert!(cache.insert_if(vec![3], payload(3), generation));
+        assert_eq!(cache.len(), 2);
+        // The oldest key left; the two newest remain.
+        assert!(cache.lookup(&[1]).is_none());
+        assert_eq!(cache.lookup(&[2]).map(|p| p[0]), Some(2));
+        assert_eq!(cache.lookup(&[3]).map(|p| p[0]), Some(3));
+        // First answer wins for a duplicate key.
+        assert!(!cache.insert_if(vec![2], payload(9), generation));
+        assert_eq!(cache.lookup(&[2]).map(|p| p[0]), Some(2));
+    }
+
+    #[test]
+    fn stale_generation_inserts_are_dropped() {
+        let cache = AnswerCache::new(4);
+        let before = cache.generation();
+        assert!(cache.insert_if(vec![1], payload(1), before));
+        cache.invalidate();
+        assert!(cache.lookup(&[1]).is_none());
+        // An answer computed before the invalidation must not resurface.
+        assert!(!cache.insert_if(vec![2], payload(2), before));
+        assert!(cache.lookup(&[2]).is_none());
+        // A fresh generation inserts fine.
+        assert!(cache.insert_if(vec![2], payload(2), cache.generation()));
+        assert_eq!(cache.lookup(&[2]).map(|p| p[0]), Some(2));
+    }
+
+    #[test]
+    fn capacity_zero_disables_everything() {
+        let cache = AnswerCache::new(0);
+        assert!(!cache.enabled());
+        let generation = cache.generation();
+        assert!(!cache.insert_if(vec![1], payload(1), generation));
+        assert!(cache.lookup(&[1]).is_none());
+    }
+
+    #[test]
+    fn keys_separate_flavours_and_ignore_deadlines() {
+        let points = vec![
+            SamplePoint::new(0.0, 1.0, 2.0),
+            SamplePoint::new(1.0, 3.0, 4.0),
+        ];
+        let kmst = cache_key(&Request::Kmst {
+            points: points.clone(),
+            options: QueryOptions::new().k(3),
+        })
+        .expect("query key");
+        let knn = cache_key(&Request::Knn {
+            points: points.clone(),
+            options: QueryOptions::new().k(3),
+        })
+        .expect("query key");
+        assert_ne!(kmst, knn, "kind byte separates flavours");
+        let with_deadline = cache_key(&Request::Kmst {
+            points: points.clone(),
+            options: QueryOptions::new().k(3).deadline_us(500),
+        })
+        .expect("query key");
+        assert_eq!(kmst, with_deadline, "deadline must not split entries");
+        let other_k = cache_key(&Request::Kmst {
+            points,
+            options: QueryOptions::new().k(4),
+        })
+        .expect("query key");
+        assert_ne!(kmst, other_k);
+        assert!(cache_key(&Request::Stats).is_none());
+        assert!(cache_key(&Request::Shutdown).is_none());
+    }
+
+    #[test]
+    fn negative_zero_geometry_folds_to_one_key() {
+        let a = cache_key(&Request::KnnSegments {
+            location: Point::new(-0.0, 5.0),
+            options: QueryOptions::new().k(2),
+        })
+        .expect("query key");
+        let b = cache_key(&Request::KnnSegments {
+            location: Point::new(0.0, 5.0),
+            options: QueryOptions::new().k(2),
+        })
+        .expect("query key");
+        assert_eq!(a, b, "-0.0 and 0.0 describe the same location");
+    }
+}

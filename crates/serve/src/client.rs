@@ -1,37 +1,244 @@
-//! A minimal blocking client for the wire protocol: one connection, one
-//! request in flight at a time. Exists so tests, benches, and examples
-//! don't each hand-roll framing — and as the reference for implementing
-//! the protocol in other languages.
+//! The wire-protocol v2 client: one connection, up to the negotiated
+//! pipeline depth in flight, responses claimable in any order.
+//!
+//! [`ServeClient::connect`] runs the version handshake (hello at request
+//! id 0, [`HelloAck`](crate::protocol::Response::HelloAck) back). After
+//! that the API splits:
+//!
+//! * **Ticket style** — [`ServeClient::send`] writes a request and
+//!   returns its [`RequestId`] without waiting;
+//!   [`ServeClient::poll`] checks for that response without blocking,
+//!   [`ServeClient::wait`] blocks for it, and
+//!   [`ServeClient::recv_any`] blocks for whichever response lands next.
+//!   This is how a caller keeps `depth` queries in flight and lets a fast
+//!   `Stats` answer overtake a slow `Kmst` pipelined before it.
+//! * **Blocking convenience** — [`ServeClient::kmst`] and friends are
+//!   `send` + `wait`, one request at a time, exactly the old v1 surface.
+//!
+//! Exists so tests, benches, and examples don't each hand-roll framing —
+//! and as the reference for implementing the protocol in other languages.
 
+use std::collections::{HashMap, HashSet};
+use std::io::Read;
 use std::net::{TcpStream, ToSocketAddrs};
 
 use mst_search::QueryOptions;
 use mst_trajectory::{Mbb, Point, Trajectory};
 
-use crate::protocol::{read_frame, write_frame, Request, Response, StatsReport, WireError};
+use crate::protocol::{
+    split_frame_v2, write_frame_v2, Request, Response, SplitFrame, StatsReport, WireError, VERSION,
+};
 
-/// A blocking connection to an `mst-serve` instance.
+/// The pipeline depth a client asks for by default (the server may grant
+/// less).
+const DEFAULT_DEPTH: u16 = 32;
+
+/// The claim on one in-flight request, echoed back in its response
+/// frame. Compact, copyable, and hashable — hold as many as the depth
+/// allows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestId(u64);
+
+/// A pipelined v2 connection to an `mst-serve` instance.
 pub struct ServeClient {
     stream: TcpStream,
+    read_buf: Vec<u8>,
+    /// Responses that arrived before their id was claimed.
+    ready: HashMap<u64, Response>,
+    /// Ids sent and not yet answered.
+    pending: HashSet<u64>,
+    next_id: u64,
+    /// Granted pipeline depth.
+    depth: u16,
 }
 
 impl ServeClient {
-    /// Connects to a running server.
+    /// Connects and completes the v2 handshake with the default depth
+    /// request.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
-        Ok(ServeClient {
-            stream: TcpStream::connect(addr)?,
-        })
+        Self::connect_with_depth(addr, DEFAULT_DEPTH)
     }
 
-    /// Sends one request and blocks for its response. A server that
-    /// closes the stream instead of answering surfaces as
-    /// [`WireError::Truncated`].
-    pub fn request(&mut self, request: &Request) -> Result<Response, WireError> {
-        write_frame(&mut self.stream, &request.encode())?;
-        match read_frame(&mut self.stream)? {
-            Some(payload) => Response::decode(&payload),
-            None => Err(WireError::Truncated),
+    /// Connects, asking for a specific pipeline depth. The server clamps
+    /// the grant to its own cap; [`ServeClient::depth`] reports it.
+    pub fn connect_with_depth(addr: impl ToSocketAddrs, depth: u16) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        let mut client = ServeClient {
+            stream,
+            read_buf: Vec::new(),
+            ready: HashMap::new(),
+            pending: HashSet::new(),
+            next_id: 1,
+            depth: 1,
+        };
+        let hello = Request::Hello {
+            min_version: VERSION,
+            max_version: VERSION,
+            depth: depth.max(1),
+        };
+        write_frame_v2(&mut client.stream, 0, &hello.encode())?;
+        let (id, response) = client.read_one()?;
+        if id != 0 {
+            return Err(WireError::BadPayload("hello ack carried a nonzero id"));
         }
+        match response {
+            Response::HelloAck { version, depth } => {
+                if version != VERSION {
+                    return Err(WireError::BadPayload("server acked an unknown version"));
+                }
+                client.depth = depth.max(1);
+                Ok(client)
+            }
+            Response::Overloaded { .. } => {
+                Err(WireError::BadPayload("server is at its connection cap"))
+            }
+            Response::Error { .. } => Err(WireError::BadPayload(
+                "server rejected the handshake (version mismatch?)",
+            )),
+            _ => Err(WireError::BadPayload("expected a hello ack")),
+        }
+    }
+
+    /// The pipeline depth the server granted.
+    pub fn depth(&self) -> u16 {
+        self.depth
+    }
+
+    /// Requests in flight right now.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Writes one request and returns its id without waiting for the
+    /// answer. Errors when the pipeline is already at the granted depth —
+    /// claim a response first ([`ServeClient::wait`],
+    /// [`ServeClient::recv_any`]), then retry.
+    pub fn send(&mut self, request: &Request) -> Result<RequestId, WireError> {
+        if self.pending.len() >= usize::from(self.depth) {
+            return Err(WireError::BadPayload(
+                "pipeline depth exhausted; claim a response before sending more",
+            ));
+        }
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        write_frame_v2(&mut self.stream, id, &request.encode())?;
+        self.pending.insert(id);
+        Ok(RequestId(id))
+    }
+
+    /// Checks for `id`'s response without blocking: `Ok(Some(..))`
+    /// exactly once when it has arrived, `Ok(None)` while it hasn't.
+    pub fn poll(&mut self, id: RequestId) -> Result<Option<Response>, WireError> {
+        if let Some(response) = self.ready.remove(&id.0) {
+            return Ok(Some(response));
+        }
+        if !self.pending.contains(&id.0) {
+            return Err(WireError::BadPayload("unknown or already-claimed id"));
+        }
+        self.absorb_available()?;
+        Ok(self.ready.remove(&id.0))
+    }
+
+    /// Blocks until `id`'s response arrives. Other responses landing
+    /// first are parked for their own claims.
+    pub fn wait(&mut self, id: RequestId) -> Result<Response, WireError> {
+        loop {
+            if let Some(response) = self.ready.remove(&id.0) {
+                return Ok(response);
+            }
+            if !self.pending.contains(&id.0) {
+                return Err(WireError::BadPayload("unknown or already-claimed id"));
+            }
+            let (got, response) = self.read_one()?;
+            self.settle(got, response)?;
+        }
+    }
+
+    /// Blocks until *any* response arrives and returns it with its id —
+    /// the multiplexing primitive for callers juggling many requests.
+    pub fn recv_any(&mut self) -> Result<(RequestId, Response), WireError> {
+        loop {
+            if let Some(&id) = self.ready.keys().next() {
+                let Some(response) = self.ready.remove(&id) else {
+                    continue;
+                };
+                return Ok((RequestId(id), response));
+            }
+            if self.pending.is_empty() {
+                return Err(WireError::BadPayload("no requests in flight"));
+            }
+            let (got, response) = self.read_one()?;
+            self.settle(got, response)?;
+        }
+    }
+
+    /// Sends one request and blocks for its response — the v1-style
+    /// convenience path. A server that closes the stream instead of
+    /// answering surfaces as [`WireError::Truncated`].
+    pub fn request(&mut self, request: &Request) -> Result<Response, WireError> {
+        let id = self.send(request)?;
+        self.wait(id)
+    }
+
+    /// Files an arrived response: into `ready` if it answers a pending
+    /// id, error if the id is unknown (a server bug or a hostile peer).
+    fn settle(&mut self, id: u64, response: Response) -> Result<(), WireError> {
+        if !self.pending.remove(&id) {
+            return Err(WireError::BadPayload("response to an unknown request id"));
+        }
+        self.ready.insert(id, response);
+        Ok(())
+    }
+
+    /// Blocking-reads exactly one frame.
+    fn read_one(&mut self) -> Result<(u64, Response), WireError> {
+        let mut chunk = [0u8; 16 << 10];
+        loop {
+            if let Some(parsed) = self.try_parse()? {
+                return Ok(parsed);
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(WireError::Truncated);
+            }
+            self.read_buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Absorbs whatever is already readable without blocking, settling
+    /// every complete frame.
+    fn absorb_available(&mut self) -> Result<(), WireError> {
+        self.stream.set_nonblocking(true)?;
+        let mut chunk = [0u8; 16 << 10];
+        let result = loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => break Err(WireError::Truncated),
+                Ok(n) => self.read_buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => break Err(WireError::Io(e)),
+            }
+        };
+        self.stream.set_nonblocking(false)?;
+        result?;
+        while let Some((id, response)) = self.try_parse()? {
+            self.settle(id, response)?;
+        }
+        Ok(())
+    }
+
+    /// Carves one frame off the read buffer, if a complete one is there.
+    fn try_parse(&mut self) -> Result<Option<(u64, Response)>, WireError> {
+        let (consumed, id, decoded) = match split_frame_v2(&self.read_buf)? {
+            None => return Ok(None),
+            Some(SplitFrame {
+                consumed,
+                request_id,
+                payload,
+            }) => (consumed, request_id, Response::decode(payload)),
+        };
+        self.read_buf.drain(..consumed);
+        Ok(Some((id, decoded?)))
     }
 
     /// Runs a k-MST query for the given query trajectory.

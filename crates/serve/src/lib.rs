@@ -2,25 +2,29 @@
 //!
 //! Exposes the full [`mst_search::Query`] surface — k-MST, trajectory
 //! kNN, point kNN, and 3D range, each with k, time window, deadline, and
-//! bound-sharing options — over a small length-prefixed binary protocol
-//! ([`protocol`]), executing on the [`mst_exec`] sharded pool through its
-//! admission-controlled [`mst_exec::ExecHandle`].
+//! bound-sharing options — over wire protocol v2 ([`protocol`]): a
+//! versioned hello handshake, request-id-tagged frames, and pipelined
+//! out-of-order responses, executing on the [`mst_exec`] sharded pool
+//! through its admission-controlled [`mst_exec::ExecHandle`].
 //!
 //! Design commitments, in order:
 //!
-//! 1. **Bounded everything.** Connections and queries both pass explicit
-//!    admission control; saturation answers with a typed
-//!    [`Response::Overloaded`](protocol::Response::Overloaded) frame,
-//!    never an unbounded queue or a silent hang.
+//! 1. **Bounded everything.** Connections, per-connection pipeline depth,
+//!    and queries all pass explicit admission control; saturation answers
+//!    with a typed [`Response::Overloaded`](protocol::Response::Overloaded)
+//!    frame, never an unbounded queue or a silent hang.
 //! 2. **Total decoding.** Any byte sequence decodes to a request or a
 //!    typed [`WireError`](protocol::WireError) — no panics, no partial
 //!    reads trusted, hostile length prefixes rejected before allocation.
+//!    A legacy v1 client gets a typed `UnsupportedVersion` error in its
+//!    own framing, never silence.
 //! 3. **Bit-identical answers.** A query over the wire runs through the
 //!    same builders, executor, and merges as the embedded API, so its
-//!    answer is exactly `Query::run`'s.
+//!    answer is exactly `Query::run`'s — pipelined, multiplexed, deduped,
+//!    or cached.
 //! 4. **Graceful drain.** Shutdown — by API call or `Shutdown` frame —
-//!    finishes every in-flight query and delivers its response before
-//!    the server stops.
+//!    finishes every admitted query and delivers its response before the
+//!    server stops; the answer cache is invalidated at the transition.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -48,12 +52,15 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod cache;
 pub mod client;
+mod mux;
 pub mod protocol;
 pub mod server;
 
-pub use client::ServeClient;
+pub use client::{RequestId, ServeClient};
 pub use protocol::{
-    ErrorCode, ProfileSummary, Request, Response, ServerCounters, StatsReport, WireError, MAX_FRAME,
+    ErrorCode, ProfileSummary, Request, Response, ServerCounters, StatsReport, WireError,
+    MAX_FRAME, VERSION,
 };
 pub use server::{ServeError, Server, ServerConfig, ServerHandle};

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! mst-serve [--port N] [--workers N] [--queue N] [--objects N] \
-//!           [--shards N] [--deadline-ms N]
+//!           [--shards N] [--deadline-ms N] [--io-threads N] \
+//!           [--depth N] [--cache N]
 //! ```
 //!
 //! All flags optional; `--port 0` (the default) picks an ephemeral port
@@ -26,6 +27,9 @@ struct Args {
     objects: usize,
     shards: usize,
     deadline_ms: Option<u64>,
+    io_threads: usize,
+    depth: u16,
+    cache: usize,
 }
 
 impl Args {
@@ -37,6 +41,9 @@ impl Args {
             objects: 200,
             shards: 4,
             deadline_ms: None,
+            io_threads: 1,
+            depth: 32,
+            cache: 0,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -50,9 +57,13 @@ impl Args {
                 "--objects" => args.objects = parse(&value("--objects")?)?,
                 "--shards" => args.shards = parse(&value("--shards")?)?,
                 "--deadline-ms" => args.deadline_ms = Some(parse(&value("--deadline-ms")?)?),
+                "--io-threads" => args.io_threads = parse(&value("--io-threads")?)?,
+                "--depth" => args.depth = parse(&value("--depth")?)?,
+                "--cache" => args.cache = parse(&value("--cache")?)?,
                 "--help" | "-h" => {
                     return Err("usage: mst-serve [--port N] [--workers N] [--queue N] \
-                         [--objects N] [--shards N] [--deadline-ms N]"
+                         [--objects N] [--shards N] [--deadline-ms N] [--io-threads N] \
+                         [--depth N] [--cache N]"
                         .into())
                 }
                 other => return Err(format!("unknown flag: {other}")),
@@ -98,7 +109,10 @@ fn run() -> i32 {
     let mut config = ServerConfig::new()
         .port(args.port)
         .workers(args.workers)
-        .queue_capacity(args.queue);
+        .queue_capacity(args.queue)
+        .io_threads(args.io_threads)
+        .max_depth(args.depth)
+        .cache_capacity(args.cache);
     if let Some(ms) = args.deadline_ms {
         config = config.default_deadline_us(ms.saturating_mul(1000));
     }

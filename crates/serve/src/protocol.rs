@@ -2,16 +2,31 @@
 //!
 //! # Framing
 //!
-//! Every message — request or response — travels as one frame:
+//! Protocol **v1** (legacy, one request in flight per connection) frames
+//! every message as:
 //!
 //! ```text
 //! [payload_len: u32 le] [opcode: u8] [body: payload_len - 1 bytes]
 //! ```
 //!
-//! `payload_len` counts the opcode byte plus the body and is capped at
-//! [`MAX_FRAME`]; a larger prefix is rejected *before* any allocation, so
-//! a hostile 4 GiB length cannot balloon server memory. All integers are
-//! little-endian; all coordinates are IEEE 754 doubles by bit pattern.
+//! Protocol **v2** (current) adds a request id so a connection can keep
+//! many requests in flight and receive answers out of order:
+//!
+//! ```text
+//! [frame_len: u32 le] [request_id: u64 le] [opcode: u8] [body]
+//! ```
+//!
+//! `frame_len` counts the request id, the opcode byte and the body. A v2
+//! session opens with a [`Request::Hello`] carrying [`MAGIC`] at request
+//! id 0; the server answers [`Response::HelloAck`] with the negotiated
+//! pipeline depth. Every later response echoes the request id of the
+//! request it answers — responses to different ids may arrive in any
+//! order, responses to one id never split.
+//!
+//! Both framings cap the payload at [`MAX_FRAME`]; a larger prefix is
+//! rejected *before* any allocation, so a hostile 4 GiB length cannot
+//! balloon server memory. All integers are little-endian; all
+//! coordinates are IEEE 754 doubles by bit pattern.
 //!
 //! # Opcodes
 //!
@@ -23,12 +38,14 @@
 //! | `0x04` | request   | 3D range query (box + options) |
 //! | `0x05` | request   | server stats |
 //! | `0x06` | request   | graceful shutdown |
+//! | `0x0F` | request   | hello (version negotiation, v2 only) |
 //! | `0x81` | response  | k-MST matches |
 //! | `0x82` | response  | kNN matches |
 //! | `0x83` | response  | segment matches |
 //! | `0x84` | response  | range hits |
 //! | `0x85` | response  | stats report |
 //! | `0x86` | response  | shutdown acknowledged |
+//! | `0x8F` | response  | hello acknowledged (v2 only) |
 //! | `0xE0` | response  | overloaded (admission rejected — backpressure) |
 //! | `0xE1` | response  | typed error |
 //!
@@ -50,6 +67,17 @@ use mst_trajectory::{Mbb, Point, SamplePoint, Segment, TimeInterval, TrajectoryI
 
 /// Hard cap on a frame's payload (opcode + body): 4 MiB.
 pub const MAX_FRAME: u32 = 4 << 20;
+
+/// The magic the [`Request::Hello`] body opens with: the ASCII bytes
+/// `MST2` read as a little-endian `u32`. Distinguishes a v2 handshake
+/// from v1 traffic and from random bytes hitting the port.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"MST2");
+
+/// The protocol version this build speaks.
+pub const VERSION: u16 = 2;
+
+/// Bytes a v2 frame spends on its request id, on top of the payload.
+const V2_OVERHEAD: u32 = 8;
 
 /// Why a frame failed to decode (or a stream failed mid-frame). Every
 /// variant is a protocol violation or transport fault, never a panic.
@@ -148,6 +176,11 @@ impl<'a> Cursor<'a> {
         Ok(self.take(1)?[0])
     }
 
+    fn try_u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
     fn try_u32(&mut self) -> Result<u32, WireError> {
         let b = self.take(4)?;
         let mut raw = [0u8; 4];
@@ -174,6 +207,10 @@ impl<'a> Cursor<'a> {
             Err(WireError::TrailingBytes)
         }
     }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -350,6 +387,18 @@ pub enum Request {
     Stats,
     /// Graceful shutdown: drain in-flight queries, then stop.
     Shutdown,
+    /// Version negotiation, the first frame of every v2 session (sent at
+    /// request id 0). The body opens with [`MAGIC`], then the version
+    /// range the client speaks and the pipeline depth it would like.
+    Hello {
+        /// Lowest protocol version the client accepts.
+        min_version: u16,
+        /// Highest protocol version the client accepts.
+        max_version: u16,
+        /// Requested pipeline depth (in-flight requests per connection);
+        /// the server grants `min(requested, its cap)` in the ack.
+        depth: u16,
+    },
 }
 
 impl Request {
@@ -385,6 +434,17 @@ impl Request {
             }
             Request::Stats => out.push(0x05),
             Request::Shutdown => out.push(0x06),
+            Request::Hello {
+                min_version,
+                max_version,
+                depth,
+            } => {
+                out.push(0x0F);
+                put_u32(&mut out, MAGIC);
+                put_u16(&mut out, *min_version);
+                put_u16(&mut out, *max_version);
+                put_u16(&mut out, *depth);
+            }
         }
         out
     }
@@ -435,6 +495,22 @@ impl Request {
             }
             0x05 => Request::Stats,
             0x06 => Request::Shutdown,
+            0x0F => {
+                if cur.try_u32()? != MAGIC {
+                    return Err(WireError::BadPayload("hello magic"));
+                }
+                let min_version = cur.try_u16()?;
+                let max_version = cur.try_u16()?;
+                let depth = cur.try_u16()?;
+                if min_version > max_version {
+                    return Err(WireError::BadPayload("hello version range"));
+                }
+                Request::Hello {
+                    min_version,
+                    max_version,
+                    depth,
+                }
+            }
             other => return Err(WireError::BadOpcode(other)),
         };
         cur.finish()?;
@@ -455,24 +531,44 @@ pub enum ErrorCode {
     ShuttingDown,
     /// The server failed internally while executing the query.
     Internal,
+    /// The peer spoke a protocol version this server does not. Carries
+    /// the server's supported range so the client can report precisely
+    /// what to upgrade (or downgrade) to. Sent v1-framed to v1 clients —
+    /// a legacy `ServeClient` decodes it as a typed error, never a hang.
+    UnsupportedVersion {
+        /// Lowest version the server speaks.
+        min: u16,
+        /// Highest version the server speaks.
+        max: u16,
+    },
 }
 
 impl ErrorCode {
-    fn to_u8(self) -> u8 {
+    fn encode_into(self, out: &mut Vec<u8>) {
         match self {
-            ErrorCode::Malformed => 1,
-            ErrorCode::InvalidQuery => 2,
-            ErrorCode::ShuttingDown => 3,
-            ErrorCode::Internal => 4,
+            ErrorCode::Malformed => out.push(1),
+            ErrorCode::InvalidQuery => out.push(2),
+            ErrorCode::ShuttingDown => out.push(3),
+            ErrorCode::Internal => out.push(4),
+            ErrorCode::UnsupportedVersion { min, max } => {
+                out.push(5);
+                put_u16(out, min);
+                put_u16(out, max);
+            }
         }
     }
 
-    fn try_from_u8(v: u8) -> Result<Self, WireError> {
-        match v {
+    fn try_decode(cur: &mut Cursor<'_>) -> Result<Self, WireError> {
+        match cur.try_u8()? {
             1 => Ok(ErrorCode::Malformed),
             2 => Ok(ErrorCode::InvalidQuery),
             3 => Ok(ErrorCode::ShuttingDown),
             4 => Ok(ErrorCode::Internal),
+            5 => {
+                let min = cur.try_u16()?;
+                let max = cur.try_u16()?;
+                Ok(ErrorCode::UnsupportedVersion { min, max })
+            }
             _ => Err(WireError::BadPayload("error code")),
         }
     }
@@ -499,6 +595,10 @@ pub struct ServerCounters {
     pub malformed_frames: u64,
     /// Structurally valid requests rejected as semantically invalid.
     pub invalid_queries: u64,
+    /// Queries answered straight from the answer cache (no execution).
+    pub cache_hits: u64,
+    /// Query executions that missed the answer cache.
+    pub cache_misses: u64,
 }
 
 /// A fixed-size summary of the server's merged [`mst_search::QueryProfile`]:
@@ -565,6 +665,14 @@ pub enum Response {
     Stats(StatsReport),
     /// The server accepted the shutdown request and is draining.
     ShutdownAck,
+    /// The server accepted the v2 handshake.
+    HelloAck {
+        /// The negotiated protocol version.
+        version: u16,
+        /// The granted pipeline depth: at most this many requests may be
+        /// in flight on the connection at once.
+        depth: u16,
+    },
     /// Admission control rejected the query: the execution queue is full.
     /// Backpressure, not failure — retry later.
     Overloaded {
@@ -645,6 +753,8 @@ impl Response {
                     c.overload_rejections,
                     c.malformed_frames,
                     c.invalid_queries,
+                    c.cache_hits,
+                    c.cache_misses,
                 ] {
                     put_u64(&mut out, v);
                 }
@@ -662,6 +772,11 @@ impl Response {
                 }
             }
             Response::ShutdownAck => out.push(0x86),
+            Response::HelloAck { version, depth } => {
+                out.push(0x8F);
+                put_u16(&mut out, *version);
+                put_u16(&mut out, *depth);
+            }
             Response::Overloaded { queued, capacity } => {
                 out.push(0xE0);
                 put_u32(&mut out, *queued);
@@ -669,7 +784,7 @@ impl Response {
             }
             Response::Error { code, message } => {
                 out.push(0xE1);
-                out.push(code.to_u8());
+                code.encode_into(&mut out);
                 let bytes = message.as_bytes();
                 let mut len = bytes.len().min(usize::from(u16::MAX));
                 // Truncation must not split a multi-byte character, or the
@@ -737,7 +852,7 @@ impl Response {
                 Response::Range { degraded, entries }
             }
             0x85 => {
-                let mut counters = [0u64; 16];
+                let mut counters = [0u64; 18];
                 for slot in &mut counters {
                     *slot = cur.try_u64()?;
                 }
@@ -752,26 +867,33 @@ impl Response {
                         overload_rejections: counters[6],
                         malformed_frames: counters[7],
                         invalid_queries: counters[8],
+                        cache_hits: counters[9],
+                        cache_misses: counters[10],
                     },
                     profile: ProfileSummary {
-                        heap_pushes: counters[9],
-                        heap_pops: counters[10],
-                        nodes_accessed: counters[11],
-                        buffer_hits: counters[12],
-                        buffer_misses: counters[13],
-                        piece_evals: counters[14],
-                        early_terminations: counters[15],
+                        heap_pushes: counters[11],
+                        heap_pops: counters[12],
+                        nodes_accessed: counters[13],
+                        buffer_hits: counters[14],
+                        buffer_misses: counters[15],
+                        piece_evals: counters[16],
+                        early_terminations: counters[17],
                     },
                 })
             }
             0x86 => Response::ShutdownAck,
+            0x8F => {
+                let version = cur.try_u16()?;
+                let depth = cur.try_u16()?;
+                Response::HelloAck { version, depth }
+            }
             0xE0 => {
                 let queued = cur.try_u32()?;
                 let capacity = cur.try_u32()?;
                 Response::Overloaded { queued, capacity }
             }
             0xE1 => {
-                let code = ErrorCode::try_from_u8(cur.try_u8()?)?;
+                let code = ErrorCode::try_decode(&mut cur)?;
                 let len = {
                     let b = cur.take(2)?;
                     usize::from(u16::from_le_bytes([b[0], b[1]]))
@@ -788,14 +910,54 @@ impl Response {
     }
 }
 
-/// Writes one frame: the `u32` length prefix, then the payload.
+/// Writes one v1 frame: the `u32` length prefix, then the payload.
+///
+/// Prefix and payload go down in **one** `write_all` — two writes per
+/// frame interact catastrophically with Nagle's algorithm plus delayed
+/// ACKs (a ~40 ms stall per response on loopback, worse on real links).
 pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> Result<(), WireError> {
     let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversized(u32::MAX))?;
     if len == 0 || len > MAX_FRAME {
         return Err(WireError::Oversized(len));
     }
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(payload)?;
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Appends one v2 frame — `[frame_len][request_id][payload]` — to `out`.
+/// Building into a caller-owned buffer lets the mux batch several
+/// responses into a single syscall; [`write_frame_v2`] is the one-frame
+/// convenience over it.
+pub fn encode_frame_v2(
+    out: &mut Vec<u8>,
+    request_id: u64,
+    payload: &[u8],
+) -> Result<(), WireError> {
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversized(u32::MAX))?;
+    if len == 0 || len > MAX_FRAME {
+        return Err(WireError::Oversized(len));
+    }
+    out.reserve(12 + payload.len());
+    out.extend_from_slice(&(len + V2_OVERHEAD).to_le_bytes());
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+/// Writes one v2 frame in a single `write_all` (see [`write_frame`] for
+/// why one syscall matters).
+pub fn write_frame_v2(
+    w: &mut impl std::io::Write,
+    request_id: u64,
+    payload: &[u8],
+) -> Result<(), WireError> {
+    let mut frame = Vec::with_capacity(12 + payload.len());
+    encode_frame_v2(&mut frame, request_id, payload)?;
+    w.write_all(&frame)?;
     w.flush()?;
     Ok(())
 }
@@ -829,6 +991,116 @@ pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<Vec<u8>>, WireErr
     let mut payload = vec![0u8; len_usize];
     r.read_exact(&mut payload)?;
     Ok(Some(payload))
+}
+
+/// Reads one v2 frame: `Ok(None)` on clean end-of-stream, otherwise the
+/// request id and the payload (opcode + body). Validation mirrors
+/// [`read_frame`]: the length prefix is checked before any allocation,
+/// EOF inside a frame is [`WireError::Truncated`], and a frame too short
+/// to hold its request id and opcode is truncated by construction.
+pub fn read_frame_v2(r: &mut impl std::io::Read) -> Result<Option<(u64, Vec<u8>)>, WireError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(WireError::Truncated)
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::from(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len == 0 || len > MAX_FRAME + V2_OVERHEAD {
+        return Err(WireError::Oversized(len));
+    }
+    if len <= V2_OVERHEAD {
+        return Err(WireError::Truncated);
+    }
+    let len_usize = usize::try_from(len).map_err(|_| WireError::Oversized(len))?;
+    let mut body = vec![0u8; len_usize];
+    r.read_exact(&mut body)?;
+    let mut id_raw = [0u8; 8];
+    id_raw.copy_from_slice(&body[..8]);
+    let request_id = u64::from_le_bytes(id_raw);
+    body.drain(..8);
+    Ok(Some((request_id, body)))
+}
+
+/// One v2 frame carved out of a growing read buffer by
+/// [`split_frame_v2`]. `consumed` bytes at the front of the buffer held
+/// the frame; `payload` borrows the opcode + body within them.
+#[derive(Debug, PartialEq)]
+pub struct SplitFrame<'a> {
+    /// Bytes the frame occupied (length prefix included) — drain this
+    /// many from the front of the buffer before the next call.
+    pub consumed: usize,
+    /// The frame's request id.
+    pub request_id: u64,
+    /// The frame payload (opcode + body), borrowed from the buffer.
+    pub payload: &'a [u8],
+}
+
+/// Carves the first complete v2 frame off `buf`, the incremental
+/// counterpart of [`read_frame_v2`] for non-blocking reads: the mux
+/// appends whatever `read` returned and calls this until it reports
+/// `Ok(None)` (frame still incomplete — keep the bytes, read more).
+/// A hostile length prefix fails here, before the buffer grows to match.
+pub fn split_frame_v2(buf: &[u8]) -> Result<Option<SplitFrame<'_>>, WireError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if len == 0 || len > MAX_FRAME + V2_OVERHEAD {
+        return Err(WireError::Oversized(len));
+    }
+    if len <= V2_OVERHEAD {
+        return Err(WireError::Truncated);
+    }
+    let len_usize = usize::try_from(len).map_err(|_| WireError::Oversized(len))?;
+    let total = 4 + len_usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let mut id_raw = [0u8; 8];
+    id_raw.copy_from_slice(&buf[4..12]);
+    Ok(Some(SplitFrame {
+        consumed: total,
+        request_id: u64::from_le_bytes(id_raw),
+        payload: &buf[12..total],
+    }))
+}
+
+/// What the first frame on a fresh connection turned out to be. Both
+/// protocol versions open with the same `[len: u32]` prefix, so the
+/// server reads one frame blind and classifies its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FirstFrame {
+    /// A v2 handshake: `[request_id][0x0F][MAGIC]...`.
+    V2Hello,
+    /// A legacy v1 request (its first byte is a v1 request opcode). The
+    /// server answers a v1-framed [`ErrorCode::UnsupportedVersion`] so
+    /// old clients fail loudly instead of hanging.
+    V1Request,
+    /// Neither — random bytes, a response opcode, garbage.
+    Unknown,
+}
+
+/// Classifies the payload of the first frame read off a new connection
+/// (the bytes after the length prefix).
+pub fn classify_first_payload(payload: &[u8]) -> FirstFrame {
+    if payload.len() >= 13 && payload[8] == 0x0F && payload[9..13] == MAGIC.to_le_bytes() {
+        return FirstFrame::V2Hello;
+    }
+    match payload.first() {
+        Some(0x01..=0x06) => FirstFrame::V1Request,
+        _ => FirstFrame::Unknown,
+    }
 }
 
 #[cfg(test)]
@@ -867,6 +1139,11 @@ mod tests {
             },
             Request::Stats,
             Request::Shutdown,
+            Request::Hello {
+                min_version: 2,
+                max_version: 2,
+                depth: 32,
+            },
         ];
         for request in requests {
             let payload = request.encode();
@@ -918,6 +1195,8 @@ mod tests {
                     connections_accepted: 1,
                     queries_admitted: 2,
                     overload_rejections: 3,
+                    cache_hits: 5,
+                    cache_misses: 6,
                     ..ServerCounters::default()
                 },
                 profile: ProfileSummary {
@@ -927,6 +1206,10 @@ mod tests {
                 },
             }),
             Response::ShutdownAck,
+            Response::HelloAck {
+                version: 2,
+                depth: 16,
+            },
             Response::Overloaded {
                 queued: 4,
                 capacity: 4,
@@ -934,6 +1217,10 @@ mod tests {
             Response::Error {
                 code: ErrorCode::InvalidQuery,
                 message: "a one-point trajectory has no segments".into(),
+            },
+            Response::Error {
+                code: ErrorCode::UnsupportedVersion { min: 2, max: 2 },
+                message: "this server speaks protocol v2 only".into(),
             },
         ];
         for response in responses {
@@ -1084,5 +1371,125 @@ mod tests {
         assert_eq!(read_frame(&mut &partial[..]), Err(WireError::Truncated));
         // EOF inside the prefix itself.
         assert_eq!(read_frame(&mut &[0x01u8][..]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn hello_rejects_wrong_magic_and_inverted_ranges() {
+        let mut payload = vec![0x0F];
+        put_u32(&mut payload, 0xDEAD_BEEF);
+        put_u16(&mut payload, 2);
+        put_u16(&mut payload, 2);
+        put_u16(&mut payload, 8);
+        assert_eq!(
+            Request::decode(&payload),
+            Err(WireError::BadPayload("hello magic"))
+        );
+        let mut payload = vec![0x0F];
+        put_u32(&mut payload, MAGIC);
+        put_u16(&mut payload, 3);
+        put_u16(&mut payload, 2);
+        put_u16(&mut payload, 8);
+        assert_eq!(
+            Request::decode(&payload),
+            Err(WireError::BadPayload("hello version range"))
+        );
+    }
+
+    #[test]
+    fn v2_frames_round_trip_and_preserve_request_ids() {
+        let mut out = Vec::new();
+        for id in [0u64, 1, u64::MAX] {
+            write_frame_v2(&mut out, id, &Request::Stats.encode()).expect("write");
+        }
+        let mut r = &out[..];
+        for id in [0u64, 1, u64::MAX] {
+            let (got_id, payload) = read_frame_v2(&mut r).expect("read").expect("frame");
+            assert_eq!(got_id, id);
+            assert_eq!(Request::decode(&payload), Ok(Request::Stats));
+        }
+        assert_eq!(read_frame_v2(&mut r).expect("clean eof"), None);
+
+        // Oversized prefix: rejected before allocation.
+        let huge = (MAX_FRAME + 9).to_le_bytes();
+        assert_eq!(
+            read_frame_v2(&mut &huge[..]),
+            Err(WireError::Oversized(MAX_FRAME + 9))
+        );
+        // A frame too short to hold request id + opcode is truncated.
+        let runt = 8u32.to_le_bytes();
+        assert_eq!(read_frame_v2(&mut &runt[..]), Err(WireError::Truncated));
+        // EOF inside the body.
+        let mut partial = 20u32.to_le_bytes().to_vec();
+        partial.extend_from_slice(&[0; 10]);
+        assert_eq!(read_frame_v2(&mut &partial[..]), Err(WireError::Truncated));
+        // An empty payload cannot be framed.
+        assert_eq!(
+            write_frame_v2(&mut Vec::new(), 1, &[]),
+            Err(WireError::Oversized(0))
+        );
+    }
+
+    #[test]
+    fn split_frame_carves_incrementally_and_rejects_hostile_prefixes() {
+        let mut wire = Vec::new();
+        write_frame_v2(&mut wire, 7, &Request::Stats.encode()).expect("write");
+        write_frame_v2(&mut wire, 9, &Request::Shutdown.encode()).expect("write");
+
+        // Incomplete at every prefix of the first frame: keep reading.
+        let first_total = 4 + 8 + Request::Stats.encode().len();
+        for cut in 0..first_total {
+            assert_eq!(split_frame_v2(&wire[..cut]).expect("incomplete"), None);
+        }
+        // The first frame completes while the second is still partial.
+        let frame = split_frame_v2(&wire[..first_total + 3])
+            .expect("split")
+            .expect("complete frame");
+        assert_eq!(frame.consumed, first_total);
+        assert_eq!(frame.request_id, 7);
+        assert_eq!(Request::decode(frame.payload), Ok(Request::Stats));
+        // Draining the first frame exposes the second.
+        let frame = split_frame_v2(&wire[first_total..])
+            .expect("split")
+            .expect("second frame");
+        assert_eq!(frame.request_id, 9);
+        assert_eq!(Request::decode(frame.payload), Ok(Request::Shutdown));
+
+        // A hostile prefix fails as soon as the 4 length bytes arrive,
+        // before the buffer grows to match it.
+        let huge = (MAX_FRAME + 9).to_le_bytes();
+        assert_eq!(
+            split_frame_v2(&huge),
+            Err(WireError::Oversized(MAX_FRAME + 9))
+        );
+        assert_eq!(
+            split_frame_v2(&5u32.to_le_bytes()),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn first_frames_classify_v2_hello_v1_request_and_garbage() {
+        // A v2 hello as it appears after the length prefix.
+        let hello = Request::Hello {
+            min_version: 2,
+            max_version: 2,
+            depth: 4,
+        };
+        let mut framed = Vec::new();
+        write_frame_v2(&mut framed, 0, &hello.encode()).expect("write");
+        assert_eq!(classify_first_payload(&framed[4..]), FirstFrame::V2Hello);
+        // Every v1 request opcode classifies as a legacy client.
+        for request in [Request::Stats, Request::Shutdown] {
+            assert_eq!(
+                classify_first_payload(&request.encode()),
+                FirstFrame::V1Request
+            );
+        }
+        // Garbage, response opcodes, and empty payloads are unknown.
+        assert_eq!(classify_first_payload(&[0x7f, 0, 0]), FirstFrame::Unknown);
+        assert_eq!(classify_first_payload(&[0x81]), FirstFrame::Unknown);
+        assert_eq!(classify_first_payload(&[]), FirstFrame::Unknown);
+        // A truncated would-be hello (magic cut short) is unknown, not v2.
+        assert_eq!(classify_first_payload(&framed[4..12]), FirstFrame::Unknown);
     }
 }

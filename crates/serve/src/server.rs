@@ -1,56 +1,53 @@
-//! The TCP server: accept loop, per-connection workers, admission
-//! control, and the graceful-shutdown drain.
+//! Server lifecycle: configuration, shared state, startup, and the
+//! graceful-shutdown drain. The I/O machinery itself — acceptor handoff,
+//! non-blocking connection state machines, the cross-connection
+//! coalescer — lives in [`crate::mux`].
 //!
 //! # Admission control
 //!
-//! Two bounded resources, two typed rejections:
+//! Three bounded resources, three typed rejections:
 //!
 //! * **Connections** — at [`ServerConfig::max_connections`] the accept
-//!   loop answers a newcomer with one `Overloaded` frame and closes it;
-//!   nothing queues.
-//! * **Queries** — each request goes through
-//!   [`ExecHandle::try_submit`], whose bounded queue either admits the
-//!   query or rejects it *without blocking*; the rejection travels back
-//!   as an `Overloaded` frame carrying queue occupancy. The client
-//!   decides whether to retry. The server never queues unboundedly and a
-//!   saturated executor can never hang a connection.
+//!   loop answers a newcomer with one `Overloaded` frame (v2-framed at
+//!   request id 0) and closes it; nothing queues.
+//! * **Pipeline depth** — each connection may keep at most its granted
+//!   depth in flight; the server simply stops reading a connection at
+//!   its cap, so TCP backpressure holds the client without any
+//!   per-request rejection.
+//! * **Queries** — the coalescer's backlog and the executor's bounded
+//!   queue; when the backlog overflows, the newest query answers
+//!   `Overloaded` with queue occupancy. The server never queues
+//!   unboundedly and a saturated executor can never hang a connection.
 //!
 //! # Shutdown sequence
 //!
-//! 1. the shutdown flag flips (new requests answer `ShuttingDown`);
-//! 2. a self-connection unblocks the accept loop, which stops accepting;
-//! 3. every registered connection's *read* half is shut down — idle
-//!    connections unblock immediately, busy ones finish their current
-//!    request first;
-//! 4. connection threads are joined — in-flight queries run to
-//!    completion and their responses are written (the execution queue is
-//!    still open here, so no admitted query is lost);
-//! 5. the execution pool drains and joins;
-//! 6. the accept thread exits and [`ServerHandle::join`] returns.
+//! 1. the shutdown flag flips and the answer cache is invalidated (new
+//!    queries read straight through; nothing stale can be served across
+//!    the transition);
+//! 2. a self-connection unblocks the accept loop, which stops accepting
+//!    and drops the listener (later connects are refused by the OS);
+//! 3. I/O workers stop reading; every query already forwarded to the
+//!    coalescer still executes and answers — admitted work is never
+//!    dropped;
+//! 4. the coalescer drains its backlog through the executor, fans out
+//!    the last responses, and signals the workers;
+//! 5. workers flush pending response bytes (bounded retries), close
+//!    their connections, and exit;
+//! 6. the accept thread joins coalescer + workers, shuts the execution
+//!    pool down, and exits; [`ServerHandle::join`] returns.
 
-use std::collections::HashMap;
-use std::io::Write;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-// Configures a socket write timeout below — an I/O scheduling input like
-// the executor's deadlines, not a measurement.
-use std::time::Duration; // invariant: no clock is read; determinism holds
 
-/// Upper bound on any single blocked response write. A peer that stops
-/// reading (full TCP send buffer) fails the write instead of pinning its
-/// connection thread — and the shutdown drain's join — forever.
-const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
-
-use mst_exec::{BatchExecutor, BatchQuery, ExecHandle, QueryAnswer, ShardedDatabase, SubmitError};
+use mst_exec::{BatchExecutor, BatchQuery, ExecHandle, ShardedDatabase};
 use mst_index::TrajectoryIndex;
 use mst_search::{Query, QueryProfile};
 use mst_trajectory::Trajectory;
 
-use crate::protocol::{
-    read_frame, write_frame, ErrorCode, ProfileSummary, Request, Response, ServerCounters,
-    StatsReport, WireError,
-};
+use crate::cache::AnswerCache;
+use crate::mux::{self, MuxConfig, WorkerMsg};
+use crate::protocol::{ProfileSummary, Request, ServerCounters, StatsReport};
 
 /// Errors of the serving layer.
 #[derive(Debug)]
@@ -96,7 +93,9 @@ impl From<std::io::Error> for ServeError {
 pub struct ServerConfig {
     /// Executor worker threads (minimum 1).
     pub workers: usize,
-    /// Bound of the query admission queue; 0 means `2 x workers`.
+    /// Bound of the query admission queue; 0 means `2 x workers`. The
+    /// coalescer's backlog uses the same bound, so total buffering is at
+    /// most twice this value.
     pub queue_capacity: usize,
     /// Maximum simultaneously served connections.
     pub max_connections: usize,
@@ -105,6 +104,14 @@ pub struct ServerConfig {
     pub default_deadline_us: Option<u64>,
     /// Port to bind on 127.0.0.1; 0 picks an ephemeral port.
     pub port: u16,
+    /// Socket I/O worker threads (minimum 1). One suffices for loopback
+    /// serving; the knob exists for multi-core hosts with many
+    /// connections.
+    pub io_threads: usize,
+    /// Cap on the pipeline depth a connection may negotiate (minimum 1).
+    pub max_depth: u16,
+    /// Answer-cache capacity in entries; 0 disables the cache.
+    pub cache_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -115,13 +122,17 @@ impl Default for ServerConfig {
             max_connections: 64,
             default_deadline_us: None,
             port: 0,
+            io_threads: 1,
+            max_depth: 32,
+            cache_capacity: 0,
         }
     }
 }
 
 impl ServerConfig {
     /// The default configuration: 2 workers, queue bound `2 x workers`,
-    /// 64 connections, no deadline, ephemeral port.
+    /// 64 connections, no deadline, 1 I/O thread, depth cap 32, cache
+    /// disabled, ephemeral port.
     pub fn new() -> Self {
         ServerConfig::default()
     }
@@ -156,27 +167,61 @@ impl ServerConfig {
         self.port = port;
         self
     }
+
+    /// Sets the socket I/O worker count.
+    pub fn io_threads(mut self, threads: usize) -> Self {
+        self.io_threads = threads.max(1);
+        self
+    }
+
+    /// Sets the cap on negotiable pipeline depth.
+    pub fn max_depth(mut self, depth: u16) -> Self {
+        self.max_depth = depth.max(1);
+        self
+    }
+
+    /// Sets the answer-cache capacity (0 disables caching).
+    pub fn cache_capacity(mut self, entries: usize) -> Self {
+        self.cache_capacity = entries;
+        self
+    }
+
+    /// The admission-queue bound with the `0 = 2 x workers` default
+    /// resolved.
+    pub(crate) fn resolved_queue_capacity(&self) -> usize {
+        if self.queue_capacity == 0 {
+            self.workers.max(1) * 2
+        } else {
+            self.queue_capacity
+        }
+    }
 }
 
 /// Monotonic counters, updated lock-free from every thread.
 #[derive(Debug, Default)]
-struct ServerStats {
-    connections_accepted: AtomicU64,
-    connections_rejected: AtomicU64,
-    requests_decoded: AtomicU64,
-    queries_admitted: AtomicU64,
-    queries_completed: AtomicU64,
-    queries_degraded: AtomicU64,
-    overload_rejections: AtomicU64,
-    malformed_frames: AtomicU64,
-    invalid_queries: AtomicU64,
+pub(crate) struct ServerStats {
+    pub(crate) connections_accepted: AtomicU64,
+    pub(crate) connections_rejected: AtomicU64,
+    pub(crate) requests_decoded: AtomicU64,
+    pub(crate) queries_admitted: AtomicU64,
+    pub(crate) queries_completed: AtomicU64,
+    pub(crate) queries_degraded: AtomicU64,
+    pub(crate) overload_rejections: AtomicU64,
+    pub(crate) malformed_frames: AtomicU64,
+    pub(crate) invalid_queries: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
 }
 
 impl ServerStats {
-    fn bump(counter: &AtomicU64) {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        Self::bump_by(counter, 1);
+    }
+
+    pub(crate) fn bump_by(counter: &AtomicU64, n: u64) {
         // ordering: monotonic stats counter; it orders nothing and a
         // reader tolerates a slightly stale total.
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.fetch_add(n, Ordering::Relaxed);
     }
 
     fn read(counter: &AtomicU64) -> u64 {
@@ -197,26 +242,29 @@ impl ServerStats {
             overload_rejections: Self::read(&self.overload_rejections),
             malformed_frames: Self::read(&self.malformed_frames),
             invalid_queries: Self::read(&self.invalid_queries),
+            cache_hits: Self::read(&self.cache_hits),
+            cache_misses: Self::read(&self.cache_misses),
         }
     }
 }
 
-/// State shared by the accept loop and every connection thread.
-struct Shared<I> {
-    exec: ExecHandle<I>,
-    stats: ServerStats,
+/// State shared by the accept loop, the I/O workers, and the coalescer.
+pub(crate) struct Shared<I> {
+    pub(crate) exec: ExecHandle<I>,
+    pub(crate) stats: ServerStats,
     /// Work profile merged from every completed query.
-    profile: Mutex<QueryProfile>,
-    shutting_down: AtomicBool,
-    /// Read halves of live connections, for the shutdown drain.
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    next_conn_id: AtomicU64,
+    pub(crate) profile: Mutex<QueryProfile>,
+    pub(crate) shutting_down: AtomicBool,
+    /// Live connection count, for the accept-time cap.
+    pub(crate) live_conns: AtomicUsize,
+    /// The bounded answer cache (capacity 0 = disabled).
+    pub(crate) cache: AnswerCache,
     /// The bound address, for the shutdown self-connection poke.
-    addr: SocketAddr,
+    pub(crate) addr: SocketAddr,
 }
 
 impl<I> Shared<I> {
-    fn stats_report(&self) -> StatsReport {
+    pub(crate) fn stats_report(&self) -> StatsReport {
         let profile = match self.profile.lock() {
             Ok(p) => profile_summary(&p),
             Err(_) => ProfileSummary::default(),
@@ -245,10 +293,10 @@ fn profile_summary(p: &QueryProfile) -> ProfileSummary {
 pub struct Server;
 
 impl Server {
-    /// Binds `127.0.0.1:port`, spawns the execution pool and the accept
-    /// loop, and returns the running server's handle. The bound address
-    /// (with the resolved ephemeral port) is
-    /// [`ServerHandle::local_addr`].
+    /// Binds `127.0.0.1:port`, spawns the execution pool, the I/O
+    /// workers, the coalescer and the accept loop, and returns the
+    /// running server's handle. The bound address (with the resolved
+    /// ephemeral port) is [`ServerHandle::local_addr`].
     pub fn start<I>(
         config: ServerConfig,
         db: Arc<ShardedDatabase<I>>,
@@ -256,9 +304,10 @@ impl Server {
     where
         I: TrajectoryIndex + Send + 'static,
     {
+        let queue_capacity = config.resolved_queue_capacity();
         let mut executor = BatchExecutor::new()
             .workers(config.workers)
-            .queue_capacity(config.queue_capacity);
+            .queue_capacity(queue_capacity);
         if let Some(us) = config.default_deadline_us {
             executor = executor.deadline_us(us);
         }
@@ -270,15 +319,61 @@ impl Server {
             stats: ServerStats::default(),
             profile: Mutex::new(QueryProfile::default()),
             shutting_down: AtomicBool::new(false),
-            conns: Mutex::new(HashMap::new()),
-            next_conn_id: AtomicU64::new(0),
+            live_conns: AtomicUsize::new(0),
+            cache: AnswerCache::new(config.cache_capacity),
             addr: local_addr,
         });
+
+        // Spawn the I/O workers and the coalescer up front so spawn
+        // failures surface here as a typed startup error, not as a
+        // half-started server.
+        let io_threads = config.io_threads.max(1);
+        let (event_tx, event_rx) = std::sync::mpsc::channel();
+        let mut worker_txs: Vec<std::sync::mpsc::Sender<WorkerMsg>> = Vec::new();
+        let mut worker_handles = Vec::new();
+        for w in 0..io_threads {
+            let (tx, rx) = std::sync::mpsc::channel();
+            worker_txs.push(tx);
+            let worker_shared = Arc::clone(&shared);
+            let events = event_tx.clone();
+            let max_depth = config.max_depth.max(1);
+            let handle = std::thread::Builder::new()
+                .name(format!("mst-serve-io-{w}"))
+                .spawn(move || mux::io_worker_loop(w, &worker_shared, &rx, &events, max_depth))?;
+            worker_handles.push(handle);
+        }
+        let coalescer = {
+            let coalescer_shared = Arc::clone(&shared);
+            let sink_tx = event_tx.clone();
+            let txs = worker_txs.clone();
+            std::thread::Builder::new()
+                .name("mst-serve-coalesce".into())
+                .spawn(move || {
+                    mux::coalescer_loop(&coalescer_shared, &event_rx, sink_tx, &txs, queue_capacity)
+                })?
+        };
+        drop(event_tx);
+
         let accept = {
             let shared = Arc::clone(&shared);
+            let cfg = MuxConfig {
+                max_connections: config.max_connections,
+            };
             std::thread::Builder::new()
                 .name("mst-serve-accept".into())
-                .spawn(move || accept_loop(&shared, &listener, config.max_connections))?
+                .spawn(move || {
+                    mux::accept_loop(&shared, &listener, &worker_txs, &cfg);
+                    // The drain: the coalescer exits once every forwarded
+                    // query has answered, then the workers flush and exit.
+                    // invariant: a panicked helper thread has already torn
+                    // its state down; the drain must keep joining the rest
+                    let _ = coalescer.join();
+                    for handle in worker_handles {
+                        // invariant: same policy — joining must not cascade
+                        let _ = handle.join();
+                    }
+                    shared.exec.shutdown();
+                })?
         };
         Ok(ServerHandle {
             local_addr,
@@ -351,12 +446,15 @@ impl<I> Drop for ServerHandle<I> {
     }
 }
 
-/// Flips the flag and pokes the accept loop awake with a throwaway
-/// self-connection; the accept thread runs the actual drain.
-fn initiate_shutdown<I>(shared: &Shared<I>) {
+/// Flips the flag, invalidates the answer cache, and pokes the accept
+/// loop awake with a throwaway self-connection; the accept thread runs
+/// the actual drain.
+pub(crate) fn initiate_shutdown<I>(shared: &Shared<I>) {
     if shared.shutting_down.swap(true, Ordering::SeqCst) {
         return;
     }
+    // Nothing cached before the transition may be served after it.
+    shared.cache.invalidate();
     // The accept loop blocks in accept(); a self-connection is the
     // std-only way to unblock it promptly. If it fails (listener already
     // gone), accept() has already returned.
@@ -365,213 +463,10 @@ fn initiate_shutdown<I>(shared: &Shared<I>) {
     }
 }
 
-fn accept_loop<I>(shared: &Arc<Shared<I>>, listener: &TcpListener, max_connections: usize)
-where
-    I: TrajectoryIndex + Send + 'static,
-{
-    let mut conn_threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    while !shared.shutting_down.load(Ordering::SeqCst) {
-        let (stream, _) = match listener.accept() {
-            Ok(conn) => conn,
-            Err(_) => continue,
-        };
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            drop(stream);
-            break;
-        }
-        conn_threads.retain(|t| !t.is_finished());
-        let live = match shared.conns.lock() {
-            Ok(map) => map.len(),
-            Err(_) => max_connections,
-        };
-        if live >= max_connections {
-            ServerStats::bump(&shared.stats.connections_rejected);
-            reject_connection(stream, max_connections);
-            continue;
-        }
-        // invariant: best-effort — if the option cannot be set the
-        // connection still works; only the blocked-write bound is lost
-        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-        // An untracked connection would evade the cap and be unreachable
-        // by the shutdown drain, so a failed clone is a refusal.
-        let read_half = match stream.try_clone() {
-            Ok(half) => half,
-            Err(_) => {
-                ServerStats::bump(&shared.stats.connections_rejected);
-                drop(stream);
-                continue;
-            }
-        };
-        ServerStats::bump(&shared.stats.connections_accepted);
-        // ordering: a unique-id ticket; fetch_add is atomic under any
-        // ordering and the id carries no cross-thread data dependency.
-        let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
-        if let Ok(mut map) = shared.conns.lock() {
-            map.insert(id, read_half);
-        }
-        let conn_shared = Arc::clone(shared);
-        let spawned = std::thread::Builder::new()
-            .name(format!("mst-serve-conn-{id}"))
-            .spawn(move || {
-                serve_connection(&conn_shared, stream);
-                if let Ok(mut map) = conn_shared.conns.lock() {
-                    map.remove(&id);
-                }
-            });
-        match spawned {
-            Ok(handle) => conn_threads.push(handle),
-            Err(_) => {
-                // Could not spawn: undo the registration; the stream
-                // drops and the client sees a closed connection.
-                ServerStats::bump(&shared.stats.connections_rejected);
-                if let Ok(mut map) = shared.conns.lock() {
-                    map.remove(&id);
-                }
-            }
-        }
-    }
-
-    // Drain: unblock every connection's read, let busy ones finish their
-    // in-flight request, then join.
-    if let Ok(map) = shared.conns.lock() {
-        for stream in map.values() {
-            // invariant: a connection that already closed cannot be shut
-            // down again; the drain only needs best-effort unblocking.
-            // Read half only: in-flight responses must still be written.
-            // WRITE_TIMEOUT bounds a write to a peer that never reads, so
-            // the join below cannot hang on it.
-            let _ = stream.shutdown(Shutdown::Read);
-        }
-    }
-    for handle in conn_threads {
-        // invariant: a panicked connection thread has already dropped its
-        // socket; the drain must keep joining the rest
-        let _ = handle.join();
-    }
-    shared.exec.shutdown();
-}
-
-/// Answers an over-cap connection with one `Overloaded` frame and closes
-/// it.
-fn reject_connection(mut stream: TcpStream, max_connections: usize) {
-    let frame = Response::Overloaded {
-        queued: 0,
-        capacity: u32::try_from(max_connections).unwrap_or(u32::MAX),
-    }
-    .encode();
-    // invariant: the rejected client may already be gone; the rejection
-    // frame is best-effort by design
-    let _ = write_frame(&mut stream, &frame);
-}
-
-/// One connection's request loop: frames in, responses out, until the
-/// peer leaves, a frame is malformed, or shutdown drains us.
-fn serve_connection<I>(shared: &Shared<I>, mut stream: TcpStream)
-where
-    I: TrajectoryIndex + Send + 'static,
-{
-    loop {
-        let payload = match read_frame(&mut stream) {
-            Ok(Some(payload)) => payload,
-            // Clean close between frames, or the shutdown drain cut the
-            // read half.
-            Ok(None) => return,
-            Err(WireError::Io(_)) => return,
-            Err(wire) => {
-                ServerStats::bump(&shared.stats.malformed_frames);
-                send_error(&mut stream, ErrorCode::Malformed, &wire.to_string());
-                return;
-            }
-        };
-        let request = match Request::decode(&payload) {
-            Ok(request) => request,
-            Err(wire) => {
-                ServerStats::bump(&shared.stats.malformed_frames);
-                send_error(&mut stream, ErrorCode::Malformed, &wire.to_string());
-                return;
-            }
-        };
-        ServerStats::bump(&shared.stats.requests_decoded);
-        match request {
-            Request::Stats => {
-                if !send(&mut stream, &Response::Stats(shared.stats_report())) {
-                    return;
-                }
-            }
-            Request::Shutdown => {
-                // Acknowledge first: the drain below shuts our read half,
-                // and the client deserves a positive confirmation.
-                send(&mut stream, &Response::ShutdownAck);
-                initiate_shutdown(shared);
-                return;
-            }
-            other => {
-                if !handle_query(shared, &mut stream, other) {
-                    return;
-                }
-            }
-        }
-    }
-}
-
-/// Builds, admits, executes, and answers one query request. Returns
-/// `false` when the connection should close (socket failure).
-fn handle_query<I>(shared: &Shared<I>, stream: &mut TcpStream, request: Request) -> bool
-where
-    I: TrajectoryIndex + Send + 'static,
-{
-    if shared.shutting_down.load(Ordering::SeqCst) {
-        return send_error(stream, ErrorCode::ShuttingDown, "server is draining");
-    }
-    let batch_query = match build_query(request) {
-        Ok(q) => q,
-        Err(message) => {
-            ServerStats::bump(&shared.stats.invalid_queries);
-            return send_error(stream, ErrorCode::InvalidQuery, &message);
-        }
-    };
-    let ticket = match shared.exec.try_submit(batch_query) {
-        Ok(ticket) => ticket,
-        Err(SubmitError::Overloaded { queued, capacity }) => {
-            ServerStats::bump(&shared.stats.overload_rejections);
-            let response = Response::Overloaded {
-                queued: u32::try_from(queued).unwrap_or(u32::MAX),
-                capacity: u32::try_from(capacity).unwrap_or(u32::MAX),
-            };
-            return send(stream, &response);
-        }
-        Err(SubmitError::ShuttingDown) => {
-            return send_error(stream, ErrorCode::ShuttingDown, "server is draining");
-        }
-    };
-    ServerStats::bump(&shared.stats.queries_admitted);
-    let outcome = match ticket.wait() {
-        Ok(outcome) => outcome,
-        Err(e) => {
-            return send_error(stream, ErrorCode::Internal, &e.to_string());
-        }
-    };
-    ServerStats::bump(&shared.stats.queries_completed);
-    if outcome.degraded {
-        ServerStats::bump(&shared.stats.queries_degraded);
-    }
-    if let Ok(mut profile) = shared.profile.lock() {
-        profile.merge(&outcome.profile);
-    }
-    let degraded = outcome.degraded;
-    let response = match outcome.answer {
-        QueryAnswer::Kmst(matches) => Response::Kmst { degraded, matches },
-        QueryAnswer::Knn(matches) => Response::Knn { degraded, matches },
-        QueryAnswer::Segments(matches) => Response::Segments { degraded, matches },
-        QueryAnswer::Range(entries) => Response::Range { degraded, entries },
-    };
-    send(stream, &response)
-}
-
 /// Turns a decoded query request into a validated [`BatchQuery`] through
 /// the same builders the embedded API uses. The error string travels back
-/// as [`ErrorCode::InvalidQuery`].
-fn build_query(request: Request) -> Result<BatchQuery, String> {
+/// as [`crate::protocol::ErrorCode::InvalidQuery`].
+pub(crate) fn build_query(request: Request) -> Result<BatchQuery, String> {
     match request {
         Request::Kmst { points, options } => {
             let query = Trajectory::new(points).map_err(|e| e.to_string())?;
@@ -588,36 +483,6 @@ fn build_query(request: Request) -> Result<BatchQuery, String> {
         Request::Range { window, options } => {
             Ok(BatchQuery::range(Query::range(&window).options(options)))
         }
-        Request::Stats | Request::Shutdown => Err("not a query".into()),
+        Request::Stats | Request::Shutdown | Request::Hello { .. } => Err("not a query".into()),
     }
-}
-
-/// Best-effort response write. `false` means the socket failed and the
-/// connection should close. An answer too large for one frame downgrades
-/// to a typed `Internal` error rather than silently dropping the peer.
-fn send(stream: &mut TcpStream, response: &Response) -> bool {
-    match write_frame(stream, &response.encode()) {
-        Ok(()) => true,
-        Err(WireError::Oversized(_)) => send_error(
-            stream,
-            ErrorCode::Internal,
-            "answer exceeds the frame cap; narrow the query",
-        ),
-        Err(_) => false,
-    }
-}
-
-fn send_error(stream: &mut TcpStream, code: ErrorCode, message: &str) -> bool {
-    let response = Response::Error {
-        code,
-        message: message.into(),
-    };
-    let ok = send(stream, &response);
-    if code == ErrorCode::Malformed {
-        // Protocol violations close the connection; flush what we can.
-        // invariant: the peer may already be gone — the close itself is
-        // the contract, the flush is best-effort
-        let _ = stream.flush();
-    }
-    ok
 }

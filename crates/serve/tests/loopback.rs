@@ -1,6 +1,7 @@
 //! Loopback integration: a real server on an ephemeral port, real TCP
-//! clients, answers compared bit-for-bit against the embedded
-//! single-threaded `Query::run` path.
+//! clients speaking wire protocol v2 — pipelined, multiplexed, answers
+//! compared bit-for-bit against the embedded single-threaded
+//! `Query::run` path.
 
 use std::io::Write;
 use std::sync::Arc;
@@ -8,7 +9,9 @@ use std::sync::Arc;
 use mst_datagen::{GstdConfig, SpeedDistribution};
 use mst_exec::ShardedDatabase;
 use mst_search::{MovingObjectDatabase, Query, QueryOptions};
-use mst_serve::{ErrorCode, Request, Response, ServeClient, Server, ServerConfig, ServerHandle};
+use mst_serve::{
+    ErrorCode, Request, Response, ServeClient, Server, ServerConfig, ServerHandle, VERSION,
+};
 use mst_trajectory::{Mbb, Point, Trajectory, TrajectoryId};
 
 fn fleet(objects: usize, seed: u64) -> Vec<(TrajectoryId, Trajectory)> {
@@ -39,7 +42,7 @@ fn start_server(
 }
 
 #[test]
-fn concurrent_clients_get_bit_identical_answers() {
+fn multiplexed_clients_get_bit_identical_answers() {
     let fleet = fleet(48, 11);
     let server = start_server(&fleet, 3, ServerConfig::new().workers(3).queue_capacity(16));
     let addr = server.local_addr();
@@ -84,8 +87,11 @@ fn concurrent_clients_get_bit_identical_answers() {
         entries
     };
 
-    // 8 concurrent connections, each running its own k-MST plus the
-    // shared kNN / segments / range flavours.
+    // 8 concurrent connections, each pipelining all four flavours at
+    // once — the coalescer sees them interleaved across connections and
+    // dedups the shared ones — then claiming the responses in reverse
+    // send order (the multiplexing contract: ids route answers, not
+    // arrival order).
     let threads: Vec<_> = (0..8)
         .map(|i| {
             let q = fleet[i * 5].1.clone();
@@ -96,17 +102,50 @@ fn concurrent_clients_get_bit_identical_answers() {
             let knn_query = fleet[7].1.clone();
             std::thread::spawn(move || {
                 let mut client = ServeClient::connect(addr).expect("connect");
-                match client.kmst(&q, QueryOptions::new().k(4)).expect("kmst") {
-                    Response::Kmst { degraded, matches } => {
+                assert!(client.depth() >= 4, "default depth grant fits the burst");
+                let window = knn_query.time();
+                let range_box = Mbb::new(0.0, 0.0, window.start(), 1.0, 1.0, window.start() + 30.0);
+                let id_kmst = client
+                    .send(&Request::Kmst {
+                        points: q.points().to_vec(),
+                        options: QueryOptions::new().k(4),
+                    })
+                    .expect("send kmst");
+                let id_knn = client
+                    .send(&Request::Knn {
+                        points: knn_query.points().to_vec(),
+                        options: QueryOptions::new().k(3),
+                    })
+                    .expect("send knn");
+                let id_segments = client
+                    .send(&Request::KnnSegments {
+                        location: Point::new(0.5, 0.5),
+                        options: QueryOptions::new().k(6).during(&window),
+                    })
+                    .expect("send segments");
+                let id_range = client
+                    .send(&Request::Range {
+                        window: range_box,
+                        options: QueryOptions::new(),
+                    })
+                    .expect("send range");
+                assert_eq!(client.in_flight(), 4);
+
+                match client.wait(id_range).expect("range") {
+                    Response::Range { degraded, entries } => {
                         assert!(!degraded);
-                        assert_eq!(matches, expected);
+                        assert_eq!(entries, expected_range);
                     }
-                    other => panic!("expected Kmst, got {other:?}"),
+                    other => panic!("expected Range, got {other:?}"),
                 }
-                match client
-                    .knn(&knn_query, QueryOptions::new().k(3))
-                    .expect("knn")
-                {
+                match client.wait(id_segments).expect("segments") {
+                    Response::Segments { degraded, matches } => {
+                        assert!(!degraded);
+                        assert_eq!(matches, expected_segments);
+                    }
+                    other => panic!("expected Segments, got {other:?}"),
+                }
+                match client.wait(id_knn).expect("knn") {
                     Response::Knn { degraded, matches } => {
                         assert!(!degraded);
                         // Same contract as the exec determinism suite:
@@ -120,31 +159,14 @@ fn concurrent_clients_get_bit_identical_answers() {
                     }
                     other => panic!("expected Knn, got {other:?}"),
                 }
-                let window = knn_query.time();
-                match client
-                    .knn_segments(
-                        Point::new(0.5, 0.5),
-                        QueryOptions::new().k(6).during(&window),
-                    )
-                    .expect("segments")
-                {
-                    Response::Segments { degraded, matches } => {
+                match client.wait(id_kmst).expect("kmst") {
+                    Response::Kmst { degraded, matches } => {
                         assert!(!degraded);
-                        assert_eq!(matches, expected_segments);
+                        assert_eq!(matches, expected);
                     }
-                    other => panic!("expected Segments, got {other:?}"),
+                    other => panic!("expected Kmst, got {other:?}"),
                 }
-                let range_box = Mbb::new(0.0, 0.0, window.start(), 1.0, 1.0, window.start() + 30.0);
-                match client
-                    .range(&range_box, QueryOptions::new())
-                    .expect("range")
-                {
-                    Response::Range { degraded, entries } => {
-                        assert!(!degraded);
-                        assert_eq!(entries, expected_range);
-                    }
-                    other => panic!("expected Range, got {other:?}"),
-                }
+                assert_eq!(client.in_flight(), 0);
             })
         })
         .collect();
@@ -154,10 +176,69 @@ fn concurrent_clients_get_bit_identical_answers() {
 
     let mut client = ServeClient::connect(addr).expect("connect");
     let stats = client.stats().expect("stats");
+    // Every client query request answered, whether it ran or attached to
+    // a deduped in-flight execution.
     assert_eq!(stats.counters.queries_completed, 32);
     assert_eq!(stats.counters.queries_degraded, 0);
     assert_eq!(stats.counters.malformed_frames, 0);
+    // The shared knn/segments/range queries overlap across the 8
+    // connections, so the coalescer must have executed fewer than 32.
+    assert!(stats.counters.queries_admitted <= 32);
+    assert!(stats.counters.queries_admitted >= 8, "8 distinct kmst");
     assert!(stats.profile.nodes_accessed > 0, "profile merged");
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_responses_arrive_out_of_order() {
+    let fleet = fleet(100, 17);
+    let server = start_server(&fleet, 2, ServerConfig::new().workers(1).queue_capacity(8));
+    let addr = server.local_addr();
+
+    let mut client = ServeClient::connect(addr).expect("connect");
+    // Five distinct slow queries saturate the single exec worker, then a
+    // cheap Stats probe rides the same connection. The stats answer is
+    // produced directly on the I/O thread while the queries queue and
+    // execute, so it must come back before the last k-MST — the
+    // head-of-line blocking v1 could never avoid.
+    let slow_ids: Vec<_> = (0..5)
+        .map(|i| {
+            client
+                .send(&Request::Kmst {
+                    points: fleet[i * 9].1.points().to_vec(),
+                    options: QueryOptions::new().k(12),
+                })
+                .expect("send kmst")
+        })
+        .collect();
+    let fast = client.send(&Request::Stats).expect("send stats");
+    assert_eq!(client.in_flight(), 6);
+
+    // Claim responses strictly in arrival order.
+    let arrival: Vec<_> = (0..6)
+        .map(|_| {
+            let (id, response) = client.recv_any().expect("response");
+            if id == fast {
+                assert!(matches!(response, Response::Stats(_)));
+            } else {
+                match response {
+                    Response::Kmst { degraded, matches } => {
+                        assert!(!degraded);
+                        assert_eq!(matches.len(), 12);
+                    }
+                    other => panic!("expected Kmst, got {other:?}"),
+                }
+            }
+            id
+        })
+        .collect();
+    let pos = |id| arrival.iter().position(|&a| a == id).expect("answered");
+    // The last-submitted kmst completes last of the five (single worker,
+    // FIFO admission); the stats probe must have overtaken it.
+    assert!(
+        pos(fast) < pos(slow_ids[4]),
+        "stats probe was head-of-line blocked: arrival {arrival:?}"
+    );
     server.shutdown();
 }
 
@@ -166,6 +247,8 @@ fn overload_answers_typed_backpressure_never_hangs() {
     let fleet = fleet(60, 3);
     let server = start_server(&fleet, 1, ServerConfig::new().workers(1).queue_capacity(1));
     let addr = server.local_addr();
+    // Every thread runs its own distinct query so the coalescer cannot
+    // dedup the burst away — admission control must genuinely engage.
     let threads: Vec<_> = (0..8)
         .map(|i| {
             let q = fleet[(i * 7) % fleet.len()].1.clone();
@@ -235,26 +318,145 @@ fn shutdown_drains_inflight_queries() {
 }
 
 #[test]
+fn answer_cache_serves_repeats_bit_identically() {
+    let fleet = fleet(40, 21);
+    let server = start_server(&fleet, 2, ServerConfig::new().workers(2).cache_capacity(16));
+    let addr = server.local_addr();
+    let mut client = ServeClient::connect(addr).expect("connect");
+
+    let first = match client
+        .kmst(&fleet[5].1, QueryOptions::new().k(4))
+        .expect("kmst")
+    {
+        Response::Kmst { degraded, matches } => {
+            assert!(!degraded);
+            matches
+        }
+        other => panic!("expected Kmst, got {other:?}"),
+    };
+    // The repeat answers from the cache: bit-identical matches, a hit on
+    // the counters, and no second execution.
+    let second = match client
+        .kmst(&fleet[5].1, QueryOptions::new().k(4))
+        .expect("kmst repeat")
+    {
+        Response::Kmst { degraded, matches } => {
+            assert!(!degraded);
+            matches
+        }
+        other => panic!("expected Kmst, got {other:?}"),
+    };
+    assert_eq!(first.len(), second.len());
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.traj, b.traj);
+        assert_eq!(a.dissim.to_bits(), b.dissim.to_bits());
+    }
+    // A deadline-only difference hits the same entry (certified answers
+    // are deadline-independent); a different k misses.
+    match client
+        .kmst(&fleet[5].1, QueryOptions::new().k(4).deadline_us(5_000_000))
+        .expect("kmst deadline variant")
+    {
+        Response::Kmst { degraded, .. } => assert!(!degraded),
+        other => panic!("expected Kmst, got {other:?}"),
+    }
+    match client
+        .kmst(&fleet[5].1, QueryOptions::new().k(5))
+        .expect("kmst different k")
+    {
+        Response::Kmst { .. } => {}
+        other => panic!("expected Kmst, got {other:?}"),
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.counters.cache_hits, 2, "repeat + deadline variant");
+    assert_eq!(stats.counters.cache_misses, 2, "first + different k");
+    assert_eq!(stats.counters.queries_admitted, 2, "two real executions");
+    assert_eq!(stats.counters.queries_completed, 4);
+    server.shutdown();
+}
+
+#[test]
+fn v1_clients_get_a_typed_version_error_in_their_own_framing() {
+    let fleet = fleet(20, 7);
+    let server = start_server(&fleet, 2, ServerConfig::new());
+    let addr = server.local_addr();
+
+    // A legacy v1 client: no hello, just a v1-framed Stats request. The
+    // server must answer in v1 framing with a typed UnsupportedVersion —
+    // never hang, never close silently.
+    let mut legacy = std::net::TcpStream::connect(addr).expect("connect");
+    mst_serve::protocol::write_frame(&mut legacy, &Request::Stats.encode()).expect("v1 frame");
+    let payload = mst_serve::protocol::read_frame(&mut legacy)
+        .expect("read error frame")
+        .expect("a typed answer, not silence");
+    match Response::decode(&payload).expect("decode v1 frame") {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::UnsupportedVersion { min: 2, max: 2 });
+            assert!(message.contains("v2"), "tells the client what to speak");
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // After the rejection the stream closes cleanly.
+    assert!(matches!(
+        mst_serve::protocol::read_frame(&mut legacy),
+        Ok(None)
+    ));
+
+    // A v2 hello offering only versions the server does not speak gets a
+    // v2-framed UnsupportedVersion at request id 0.
+    let mut stale = std::net::TcpStream::connect(addr).expect("connect");
+    let hello = Request::Hello {
+        min_version: 1,
+        max_version: 1,
+        depth: 4,
+    };
+    mst_serve::protocol::write_frame_v2(&mut stale, 0, &hello.encode()).expect("v2 hello");
+    let (id, payload) = mst_serve::protocol::read_frame_v2(&mut stale)
+        .expect("read error frame")
+        .expect("a typed answer, not silence");
+    assert_eq!(id, 0);
+    match Response::decode(&payload).expect("decode v2 frame") {
+        Response::Error { code, .. } => {
+            assert_eq!(
+                code,
+                ErrorCode::UnsupportedVersion {
+                    min: VERSION,
+                    max: VERSION
+                }
+            );
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    // The v1 rejection is not a malformed frame — it's a well-formed
+    // request in a protocol the server no longer speaks.
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.counters.malformed_frames, 0);
+    server.shutdown();
+}
+
+#[test]
 fn malformed_frames_answer_typed_errors_and_server_survives() {
     let fleet = fleet(20, 5);
     let server = start_server(&fleet, 2, ServerConfig::new());
     let addr = server.local_addr();
 
-    // Garbage opcode: typed Malformed error, connection closed.
+    // Garbage opcode inside a well-formed v2 frame: typed Malformed
+    // error echoing the request id, connection closed.
     let mut client = ServeClient::connect(addr).expect("connect");
     let response = client.request(&Request::Stats); // warm-up: valid
     assert!(matches!(response, Ok(Response::Stats(_))));
-    client
-        .raw_stream()
-        .write_all(&[2u8, 0, 0, 0, 0x7f, 0])
-        .expect("write garbage");
-    let mut raw = client.raw_stream();
-    match mst_serve::protocol::read_frame(&mut raw).expect("error frame") {
-        Some(payload) => match Response::decode(&payload).expect("decode") {
-            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
-            other => panic!("expected Error, got {other:?}"),
-        },
-        None => panic!("server closed without the typed error"),
+    mst_serve::protocol::write_frame_v2(client.raw_stream(), 77, &[0x7f])
+        .expect("write garbage opcode");
+    let (id, payload) = mst_serve::protocol::read_frame_v2(client.raw_stream())
+        .expect("error frame")
+        .expect("a typed answer, not silence");
+    assert_eq!(id, 77);
+    match Response::decode(&payload).expect("decode") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected Error, got {other:?}"),
     }
 
     // Oversized length prefix: the server rejects before allocating and
@@ -262,18 +464,17 @@ fn malformed_frames_answer_typed_errors_and_server_survives() {
     let mut hostile = ServeClient::connect(addr).expect("connect");
     hostile
         .raw_stream()
-        .write_all(&(mst_serve::MAX_FRAME + 1).to_le_bytes())
+        .write_all(&(mst_serve::MAX_FRAME + 9).to_le_bytes())
         .expect("write hostile prefix");
-    let mut raw = hostile.raw_stream();
-    match mst_serve::protocol::read_frame(&mut raw) {
-        Ok(Some(payload)) => match Response::decode(&payload).expect("decode") {
+    match mst_serve::protocol::read_frame_v2(hostile.raw_stream()) {
+        Ok(Some((_, payload))) => match Response::decode(&payload).expect("decode") {
             Response::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
             other => panic!("expected Error, got {other:?}"),
         },
         Ok(None) | Err(_) => {} // already closed is acceptable
     }
 
-    // Mid-frame disconnect: promise 100 bytes, send 3, hang up.
+    // Mid-frame disconnect: promise 100 bytes, send a few, hang up.
     {
         let mut quitter = ServeClient::connect(addr).expect("connect");
         quitter
@@ -281,6 +482,23 @@ fn malformed_frames_answer_typed_errors_and_server_survives() {
             .write_all(&[100u8, 0, 0, 0, 1, 2, 3])
             .expect("write partial");
     } // dropped: TCP FIN mid-frame
+
+    // A second hello after the handshake is a protocol violation.
+    let mut rehello = ServeClient::connect(addr).expect("connect");
+    let hello = Request::Hello {
+        min_version: VERSION,
+        max_version: VERSION,
+        depth: 1,
+    };
+    mst_serve::protocol::write_frame_v2(rehello.raw_stream(), 9, &hello.encode())
+        .expect("write second hello");
+    let (_, payload) = mst_serve::protocol::read_frame_v2(rehello.raw_stream())
+        .expect("error frame")
+        .expect("a typed answer");
+    match Response::decode(&payload).expect("decode") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected Error, got {other:?}"),
+    }
 
     // Semantically invalid query (one-point trajectory): typed
     // InvalidQuery, connection stays open.
@@ -299,7 +517,7 @@ fn malformed_frames_answer_typed_errors_and_server_survives() {
     assert!(client.stats().is_ok());
 
     let stats = client.stats().expect("stats");
-    assert!(stats.counters.malformed_frames >= 2);
+    assert!(stats.counters.malformed_frames >= 3);
     assert_eq!(stats.counters.invalid_queries, 1);
     server.shutdown();
 }

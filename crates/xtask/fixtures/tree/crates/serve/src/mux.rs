@@ -1,0 +1,8 @@
+//! Seeded: R11 + R12 — the readiness-loop module is inside the
+//! concurrency-audit scope: an unjustified `Relaxed` and a detached IO
+//! worker must both be reported from `serve/src/mux.rs`.
+
+fn accept(shared: &Shared) {
+    shared.live_conns.fetch_add(1, Ordering::Relaxed);
+    std::thread::spawn(move || io_worker_loop(shared));
+}

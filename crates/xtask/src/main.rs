@@ -383,7 +383,12 @@ mod tests {
         assert!(hit("R10", "exec/src/queue.rs", 6), "{vs:#?}");
         assert!(hit("R11", "index/src/shared.rs", 5), "{vs:#?}");
         assert!(hit("R12", "exec/src/lib.rs", 8), "{vs:#?}");
-        assert_eq!(vs.len(), 14, "{vs:#?}");
+        // The wire-protocol-v2 readiness loop is pinned inside the
+        // concurrency scope: narrowing `concurrency_scope` or the R12
+        // library set past `serve/src/mux.rs` fails here.
+        assert!(hit("R11", "serve/src/mux.rs", 6), "{vs:#?}");
+        assert!(hit("R12", "serve/src/mux.rs", 7), "{vs:#?}");
+        assert_eq!(vs.len(), 16, "{vs:#?}");
         // The report comes back in canonical order.
         let mut sorted = vs.clone();
         report::sort(&mut sorted);
@@ -414,12 +419,18 @@ mod tests {
     #[test]
     fn atomics_inventory_lists_the_seeded_site() {
         let inventory = run_atomics(&tree());
-        assert_eq!(inventory.len(), 1, "{inventory:?}");
+        assert_eq!(inventory.len(), 2, "{inventory:?}");
         let (file, found) = &inventory[0];
         assert!(file.ends_with("index/src/shared.rs"));
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].op, "fetch_add");
         assert_eq!(found[0].orderings, ["Relaxed"]);
+        // The mux readiness loop shows up in the inventory too — the
+        // concurrency scope covers every `serve/src` file.
+        let (file, found) = &inventory[1];
+        assert!(file.ends_with("serve/src/mux.rs"));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].op, "fetch_add");
         let js = atomics_json(&inventory);
         assert!(js.contains("\"op\": \"fetch_add\""), "{js}");
         assert!(js.contains("\"orderings\": [\"Relaxed\"]"), "{js}");
