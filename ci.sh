@@ -25,6 +25,10 @@
 #      clients; regenerates BENCH_serve.json and fails on pass-to-pass
 #      nondeterminism, counter drift, dead admission control, a cold
 #      answer cache, or steady throughput below 520 qps)
+#  12. the durability smoke benchmark (real files + fsync; regenerates
+#      BENCH_wal.json and fails on a group-commit breakdown, an inexact
+#      replay, lost or mangled objects after recovery, or a checkpoint
+#      that fails to truncate the replay work)
 #
 # Each gate prints its wall time so slow gates are easy to spot.
 set -euo pipefail
@@ -77,5 +81,8 @@ gate "server smoke (TCP loopback, malformed frame, stats, drain)" \
 
 gate "serving smoke bench (BENCH_serve.json, >= 520 qps steady)" \
     cargo run --release -q -p mst-bench --bin serve -- --smoke --min-qps 520
+
+gate "durability smoke bench (BENCH_wal.json, fsynced group commit + recovery)" \
+    cargo run --release -q -p mst-bench --bin wal -- --smoke
 
 echo "ci.sh: all gates passed"

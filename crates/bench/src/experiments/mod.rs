@@ -10,6 +10,7 @@ mod kmst_profile;
 mod serve;
 mod table2;
 mod throughput;
+mod wal;
 
 pub use ablation::{ablation, AblationConfig};
 pub use buffer_sweep::{buffer_sweep, BufferSweepConfig};
@@ -21,3 +22,4 @@ pub use kmst_profile::{kmst_profile, KmstProfileConfig, KmstProfileReport};
 pub use serve::{serve_bench, OverloadPhase, ServeConfig, ServeReport, SteadyPhase};
 pub use table2::{table2, Table2Config};
 pub use throughput::{throughput, ThroughputConfig, ThroughputPoint, ThroughputReport};
+pub use wal::{wal_bench, IngestPhase, RecoveryPhase, WalBenchConfig, WalReport};

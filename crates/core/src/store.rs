@@ -43,6 +43,20 @@ impl TrajectoryStore {
         self.by_id.get(&id).map(|&i| &self.trajectories[i].1)
     }
 
+    /// Removes a trajectory, returning it when it was present. The last
+    /// slot is swapped into the vacated one, so removal is O(1) and the
+    /// iteration order of the *remaining* trajectories changes — callers
+    /// that need determinism sort on id, as the search result mergers
+    /// already do.
+    pub fn remove(&mut self, id: TrajectoryId) -> Option<Trajectory> {
+        let slot = self.by_id.remove(&id)?;
+        let (_, removed) = self.trajectories.swap_remove(slot);
+        if let Some((moved_id, _)) = self.trajectories.get(slot) {
+            self.by_id.insert(*moved_id, slot);
+        }
+        Some(removed)
+    }
+
     /// Number of stored trajectories.
     pub fn len(&self) -> usize {
         self.trajectories.len()
@@ -92,6 +106,28 @@ mod tests {
         s.insert(TrajectoryId(5), traj(2.0, 3.0));
         assert_eq!(s.len(), 1);
         assert_eq!(s.get(TrajectoryId(5)).unwrap().start_time(), 2.0);
+    }
+
+    #[test]
+    fn remove_swaps_and_keeps_lookups_consistent() {
+        let mut s = TrajectoryStore::new();
+        s.insert(TrajectoryId(0), traj(0.0, 1.0));
+        s.insert(TrajectoryId(1), traj(1.0, 2.0));
+        s.insert(TrajectoryId(2), traj(2.0, 3.0));
+        assert!(s.remove(TrajectoryId(7)).is_none());
+        let gone = s.remove(TrajectoryId(0)).expect("was present");
+        assert_eq!(gone.start_time(), 0.0);
+        assert_eq!(s.len(), 2);
+        assert!(s.get(TrajectoryId(0)).is_none());
+        // The swapped-in trajectory is still addressable.
+        assert_eq!(s.get(TrajectoryId(2)).unwrap().start_time(), 2.0);
+        assert_eq!(s.get(TrajectoryId(1)).unwrap().start_time(), 1.0);
+        // Removing down to empty and re-inserting works.
+        s.remove(TrajectoryId(1)).unwrap();
+        s.remove(TrajectoryId(2)).unwrap();
+        assert!(s.is_empty());
+        s.insert(TrajectoryId(2), traj(5.0, 6.0));
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

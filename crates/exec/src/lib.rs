@@ -47,7 +47,7 @@ pub use batch::{BatchExecutor, BatchOutcome, QueryAnswer, QueryOutcome, ShardFai
 pub use bound::{QueryControl, SharedBound};
 pub use clock::Stopwatch;
 pub use queue::{BatchPush, JobQueue, TryPushError};
-pub use shard::{Shard, ShardedDatabase};
+pub use shard::{IngestOp, IngestOutcome, Shard, ShardedDatabase};
 pub use submit::{
     BatchAdmission, ExecHandle, OutcomeSink, RejectedSubmit, RoutedQuery, SubmitError, Ticket,
 };

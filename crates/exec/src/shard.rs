@@ -23,10 +23,29 @@
 //! OPTDISSIM use the shard-local value — a tighter, still sound bound
 //! (the paper's Lemma 2 argument needs only "no object in this index moves
 //! faster than `Vmax`", a per-shard fact).
+//!
+//! # Online ingest
+//!
+//! Shards accept live mutations ([`ShardedDatabase::apply_op`]) without a
+//! global write lock. Each shard's trajectory store sits behind its own
+//! `RwLock`: query jobs hold the *read* half for their whole run, a
+//! writer takes the *write* half of **one** shard, applies the
+//! operation's segments to that shard's index, and publishes a new index
+//! snapshot generation ([`mst_index::ConcurrentIndex::apply`]) before
+//! releasing. Visibility is therefore whole-shard atomic: a query job
+//! either started before the commit (and computed its answer on the
+//! pre-ingest generation — root, `Vmax` and candidate set all from the
+//! old snapshot) or starts after it and sees the complete operation.
+//! Queries on the *other* shards are never blocked. Lock order is
+//! store → index everywhere (readers: store read lock, then per-fetch
+//! index locks; writers: store write lock, then the index lock inside
+//! `apply`).
+
+use std::sync::{PoisonError, RwLock, RwLockReadGuard};
 
 use mst_index::{
-    knn_segments_traced, ConcurrentIndex, KnnMatch, LeafEntry, Rtree3D, TbTree, TrajectoryIndex,
-    TrajectoryIndexWrite,
+    knn_segments_traced, ConcurrentIndex, IndexError, KnnMatch, LeafEntry, Rtree3D, TbTree,
+    TrajectoryIndex, TrajectoryIndexWrite,
 };
 use mst_search::{
     bfmst_search_shared, nearest_trajectories_shared, BoundShare, KmstSpec, KnnSpec, NnOutcome,
@@ -36,17 +55,26 @@ use mst_trajectory::{Trajectory, TrajectoryId};
 
 use crate::{ExecError, Result};
 
-/// One shard: a private index plus the trajectory snapshot of the objects
-/// routed to it.
+/// One shard: a private index plus the trajectory store of the objects
+/// routed to it. The store's `RwLock` doubles as the shard's ingest
+/// visibility gate — see the module docs.
 pub struct Shard<I> {
     index: ConcurrentIndex<I>,
-    store: TrajectoryStore,
+    store: RwLock<TrajectoryStore>,
 }
 
 impl<I: TrajectoryIndex> Shard<I> {
-    /// The shard's trajectory snapshot.
-    pub fn store(&self) -> &TrajectoryStore {
-        &self.store
+    /// Read access to the shard's trajectory store. The returned guard
+    /// blocks ingest on this shard while held — query paths hold it for
+    /// the whole job, giving whole-shard-atomic ingest visibility.
+    ///
+    /// A poisoned lock is recovered rather than propagated: the store's
+    /// mutations are slot-local (no multi-step invariants a mid-panic
+    /// writer can tear), and the paired *index* mutex poisons too, so a
+    /// genuinely torn shard still fails queries with a typed
+    /// `Poisoned` error from the node-fetch path.
+    pub fn store(&self) -> RwLockReadGuard<'_, TrajectoryStore> {
+        self.store.read().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The shard's index, wrapped for concurrent read access.
@@ -62,11 +90,14 @@ impl<I: TrajectoryIndex> Shard<I> {
         share: &B,
         metrics: &mut M,
     ) -> mst_search::Result<SearchReport> {
+        // Lock order: store read lock first, index (inside the reader's
+        // node fetches) second — same order as the ingest writer.
+        let store = self.store();
         let mut reader = self.index.reader();
         let period = spec.period();
         bfmst_search_shared(
             &mut reader,
-            &self.store,
+            &store,
             &spec.query,
             &period,
             &spec.config,
@@ -82,6 +113,7 @@ impl<I: TrajectoryIndex> Shard<I> {
         share: &B,
         metrics: &mut M,
     ) -> mst_search::Result<NnOutcome> {
+        let _store = self.store();
         let mut reader = self.index.reader();
         let period = spec.period();
         nearest_trajectories_shared(&mut reader, &spec.query, &period, spec.k(), share, metrics)
@@ -95,6 +127,7 @@ impl<I: TrajectoryIndex> Shard<I> {
         spec: &SegmentsSpec,
         metrics: &mut M,
     ) -> mst_search::Result<Vec<KnnMatch>> {
+        let _store = self.store();
         let mut reader = self.index.reader();
         Ok(knn_segments_traced(
             &mut reader,
@@ -111,6 +144,7 @@ impl<I: TrajectoryIndex> Shard<I> {
         spec: &RangeSpec,
         metrics: &mut M,
     ) -> mst_search::Result<Vec<LeafEntry>> {
+        let _store = self.store();
         let mut reader = self.index.reader();
         Ok(reader.range_query_traced(&spec.window, metrics)?)
     }
@@ -210,22 +244,177 @@ impl<I: TrajectoryIndexWrite> ShardedDatabase<I> {
             }
             shards.push(Shard {
                 index: ConcurrentIndex::new(index),
-                store,
+                store: RwLock::new(store),
             });
         }
         Ok(ShardedDatabase { shards })
     }
+
+    /// Applies one online ingest operation to its home shard, under that
+    /// shard's write lock (other shards keep answering untouched). On
+    /// success returns the shard's new index snapshot generation — the
+    /// signal a serving layer uses to invalidate answer caches.
+    ///
+    /// Failure mid-apply can leave the shard's index holding part of the
+    /// operation while the store does not (the index mutex is poisoned
+    /// only on panic, not on error). Durable deployments recover such
+    /// states by log replay; in-memory callers should treat the shard as
+    /// degraded.
+    pub fn apply_op(&self, op: &IngestOp) -> Result<IngestOutcome> {
+        match op {
+            IngestOp::Insert { id, trajectory } => self.ingest_insert(*id, trajectory),
+            IngestOp::Delete { id } => self.ingest_delete(*id),
+        }
+    }
+
+    /// Inserts a *new* trajectory: every segment goes into the home
+    /// shard's index, then the store. Inserting an id that already exists
+    /// is a config error (delete it first) — silent replacement would
+    /// leave the old segments in substrates that cannot delete.
+    fn ingest_insert(&self, id: TrajectoryId, trajectory: &Trajectory) -> Result<IngestOutcome> {
+        if trajectory.num_segments() == 0 {
+            return Err(ExecError::Config("ingest of a segment-less trajectory"));
+        }
+        let shard = &self.shards[shard_index(id, self.shards.len())];
+        let mut store = write_store(shard)?;
+        if store.get(id).is_some() {
+            return Err(ExecError::Config(
+                "ingest insert of an id that already exists; delete it first",
+            ));
+        }
+        let ((), generation) = shard
+            .index
+            .apply(|index| {
+                for (seq, segment) in trajectory.segments().enumerate() {
+                    index.insert_entry(LeafEntry {
+                        traj: id,
+                        seq: seq as u32,
+                        segment,
+                    })?;
+                }
+                Ok(())
+            })
+            .map_err(mst_search::SearchError::Index)?;
+        store.insert(id, trajectory.clone());
+        Ok(IngestOutcome {
+            applied: true,
+            generation,
+        })
+    }
+
+    /// Deletes a trajectory and all its segment entries from its home
+    /// shard. Unknown ids report `applied: false` without touching
+    /// anything; substrates without point deletes (TB-tree, STR-tree)
+    /// surface the index's typed error.
+    fn ingest_delete(&self, id: TrajectoryId) -> Result<IngestOutcome> {
+        let shard = &self.shards[shard_index(id, self.shards.len())];
+        let mut store = write_store(shard)?;
+        let Some(existing) = store.get(id) else {
+            return Ok(IngestOutcome {
+                applied: false,
+                generation: shard.index.generation(),
+            });
+        };
+        let num_segments = existing.num_segments();
+        let ((), generation) = shard
+            .index
+            .apply(|index| {
+                for seq in 0..num_segments {
+                    index.delete_entry(id, seq as u32)?;
+                }
+                Ok(())
+            })
+            .map_err(mst_search::SearchError::Index)?;
+        store.remove(id);
+        Ok(IngestOutcome {
+            applied: true,
+            generation,
+        })
+    }
+}
+
+/// One online mutation, routed to the owning shard by
+/// [`ShardedDatabase::apply_op`]. This is also the logical unit the
+/// write-ahead log records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestOp {
+    /// Insert a new trajectory under `id`.
+    Insert {
+        /// The object's identity (must not already exist).
+        id: TrajectoryId,
+        /// The full trajectory; each segment becomes one index entry.
+        trajectory: Trajectory,
+    },
+    /// Delete the trajectory stored under `id` (all its segments).
+    Delete {
+        /// The object to remove.
+        id: TrajectoryId,
+    },
+}
+
+impl IngestOp {
+    /// The object the operation addresses (= its shard routing key).
+    pub fn id(&self) -> TrajectoryId {
+        match self {
+            IngestOp::Insert { id, .. } | IngestOp::Delete { id } => *id,
+        }
+    }
+}
+
+/// What an applied ingest operation did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// False only for a delete of an unknown id (a no-op).
+    pub applied: bool,
+    /// The home shard's index snapshot generation after the operation.
+    pub generation: u64,
+}
+
+/// The write half of a shard's store lock, with poisoning mapped into the
+/// exec error space (xtask R7: never unwrap a lock).
+fn write_store<I>(shard: &Shard<I>) -> Result<std::sync::RwLockWriteGuard<'_, TrajectoryStore>> {
+    shard.store.write().map_err(|_| {
+        ExecError::Search(mst_search::SearchError::Index(IndexError::Poisoned(
+            "shard store".to_string(),
+        )))
+    })
 }
 
 impl<I: TrajectoryIndex> ShardedDatabase<I> {
+    /// Reassembles a database from per-shard `(index, store)` parts in
+    /// routing order — the durable store's recovery path, where each
+    /// shard's index is loaded from a persisted image rather than
+    /// rebuilt. The caller is responsible for the parts actually being
+    /// consistent (store contents routed by `id % P`, index entries
+    /// matching the stores); [`mst_index::check_invariants`] plus the
+    /// recovery suite's answer comparisons are the safety net.
+    pub fn from_shard_parts(parts: Vec<(I, TrajectoryStore)>) -> Result<Self> {
+        if parts.is_empty() {
+            return Err(ExecError::Config(
+                "a sharded database needs at least one shard",
+            ));
+        }
+        Ok(ShardedDatabase {
+            shards: parts
+                .into_iter()
+                .map(|(index, store)| Shard {
+                    index: ConcurrentIndex::new(index),
+                    store: RwLock::new(store),
+                })
+                .collect(),
+        })
+    }
+
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
     }
 
-    /// Total number of stored trajectories across shards.
+    /// Total number of stored trajectories across shards. With live
+    /// ingest running this is a momentary figure (each shard is read at
+    /// its own instant).
     pub fn num_objects(&self) -> usize {
-        self.shards.iter().map(|s| s.store.len()).sum()
+        self.shards.iter().map(|s| s.store().len()).sum()
     }
 
     /// The shard an object is routed to.
@@ -238,9 +427,10 @@ impl<I: TrajectoryIndex> ShardedDatabase<I> {
         &self.shards
     }
 
-    /// A stored trajectory, looked up on its home shard.
-    pub fn trajectory(&self, id: TrajectoryId) -> Option<&Trajectory> {
-        self.shards.get(self.shard_of(id))?.store().get(id)
+    /// A stored trajectory, cloned out of its home shard (the shard's
+    /// read lock is held only for the copy, never across caller code).
+    pub fn trajectory(&self, id: TrajectoryId) -> Option<Trajectory> {
+        self.shards.get(self.shard_of(id))?.store().get(id).cloned()
     }
 
     /// Sets every shard's buffer-pool capacity (`None` restores the
@@ -345,6 +535,87 @@ mod tests {
         for shard in db.shards() {
             assert_eq!(shard.index().chain_tip_count(), 2);
         }
+    }
+
+    #[test]
+    fn ingest_insert_lands_on_the_home_shard_and_bumps_its_generation() {
+        let db =
+            ShardedDatabase::with_rtree(2, (0..4u64).map(|id| traj(id, id as f64, 5))).unwrap();
+        let before: Vec<u64> = db.shards().iter().map(|s| s.index().generation()).collect();
+        let (id, t) = traj(10, 99.0, 6);
+        let outcome = db
+            .apply_op(&IngestOp::Insert { id, trajectory: t })
+            .unwrap();
+        assert!(outcome.applied);
+        assert_eq!(db.num_objects(), 5);
+        let home = db.shard_of(id);
+        for (s, shard) in db.shards().iter().enumerate() {
+            if s == home {
+                assert_eq!(shard.index().generation(), before[s] + 1);
+                assert_eq!(shard.index().reader().num_entries(), 2 * 4 + 5);
+            } else {
+                assert_eq!(
+                    shard.index().generation(),
+                    before[s],
+                    "other shards untouched"
+                );
+            }
+        }
+        assert!(db.trajectory(id).is_some());
+        // Double insert is refused, not silently replaced.
+        let (_, again) = traj(10, 1.0, 3);
+        let err = db
+            .apply_op(&IngestOp::Insert {
+                id,
+                trajectory: again,
+            })
+            .expect_err("duplicate id");
+        assert!(matches!(err, ExecError::Config(_)));
+    }
+
+    #[test]
+    fn ingest_delete_removes_store_and_index_entries() {
+        let db =
+            ShardedDatabase::with_rtree(2, (0..4u64).map(|id| traj(id, id as f64, 5))).unwrap();
+        let id = TrajectoryId(2);
+        let home = db.shard_of(id);
+        let outcome = db.apply_op(&IngestOp::Delete { id }).unwrap();
+        assert!(outcome.applied);
+        assert!(db.trajectory(id).is_none());
+        assert_eq!(db.num_objects(), 3);
+        assert_eq!(db.shards()[home].index().reader().num_entries(), 4);
+        // Deleting an unknown id is a no-op, not an error.
+        let outcome = db.apply_op(&IngestOp::Delete { id }).unwrap();
+        assert!(!outcome.applied);
+    }
+
+    #[test]
+    fn ingest_delete_on_a_tbtree_is_a_typed_refusal() {
+        let db =
+            ShardedDatabase::with_tbtree(1, (0..2u64).map(|id| traj(id, id as f64, 4))).unwrap();
+        let err = db
+            .apply_op(&IngestOp::Delete {
+                id: TrajectoryId(0),
+            })
+            .expect_err("tbtree has no point deletes");
+        assert!(matches!(err, ExecError::Search(_)));
+        // The refusal left the store untouched.
+        assert_eq!(db.num_objects(), 2);
+    }
+
+    #[test]
+    fn queries_started_before_an_ingest_commit_answer_on_the_old_generation() {
+        let db =
+            ShardedDatabase::with_rtree(1, (0..3u64).map(|id| traj(id, id as f64, 5))).unwrap();
+        let shard = &db.shards()[0];
+        // Pin a reader (as a query job does) before the ingest commits.
+        let reader = shard.index().reader();
+        let entries_before = reader.num_entries();
+        let (id, t) = traj(7, 50.0, 5);
+        db.apply_op(&IngestOp::Insert { id, trajectory: t })
+            .unwrap();
+        assert_eq!(reader.num_entries(), entries_before, "pinned generation");
+        assert_eq!(shard.index().reader().num_entries(), entries_before + 4);
     }
 
     #[test]

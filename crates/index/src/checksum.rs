@@ -98,6 +98,35 @@ pub fn compute(page: &[u8]) -> u32 {
     u32::from_le_bytes([b[0] ^ b[4], b[1] ^ b[5], b[2] ^ b[6], b[3] ^ b[7]])
 }
 
+/// The word-folded FNV of an arbitrary byte string, with **no** checksum
+/// slot carved out: every byte participates. This is the same four-lane
+/// fold [`compute`] uses for pages, exported for callers that frame their
+/// own records (the write-ahead log frames each entry with it) so the
+/// whole workspace shares one checksum idiom.
+pub fn fold_bytes(bytes: &[u8]) -> u32 {
+    let mut lanes = LANE_SEEDS;
+    let mut chunks = bytes.chunks_exact(32);
+    for chunk in &mut chunks {
+        lanes[0] = step(lanes[0], word(&chunk[0..8]));
+        lanes[1] = step(lanes[1], word(&chunk[8..16]));
+        lanes[2] = step(lanes[2], word(&chunk[16..24]));
+        lanes[3] = step(lanes[3], word(&chunk[24..32]));
+    }
+    for (i, tail) in chunks.remainder().chunks(8).enumerate() {
+        lanes[i % 4] = step(lanes[i % 4], word(tail));
+    }
+    let mut h = lanes[0];
+    h = step(h, lanes[1].rotate_left(17));
+    h = step(h, lanes[2].rotate_left(31));
+    h = step(h, lanes[3].rotate_left(47));
+    h = step(h, u64::try_from(bytes.len()).unwrap_or(u64::MAX));
+    h ^= h >> 33;
+    h = h.wrapping_mul(FNV_PRIME64);
+    h ^= h >> 29;
+    let b = h.to_le_bytes();
+    u32::from_le_bytes([b[0] ^ b[4], b[1] ^ b[5], b[2] ^ b[6], b[3] ^ b[7]])
+}
+
 /// The checksum currently stored in `page`'s slot (0 when the page is too
 /// short to hold one).
 pub fn stored(page: &[u8]) -> u32 {
@@ -222,6 +251,29 @@ mod tests {
             *b = 0;
         }
         assert!(verify(&torn).is_err());
+    }
+
+    #[test]
+    fn fold_bytes_sees_every_byte_and_the_length() {
+        let mut buf = vec![0u8; 100];
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = (i % 13) as u8;
+        }
+        let base = fold_bytes(&buf);
+        for offset in 0..buf.len() {
+            let mut torn = buf.clone();
+            torn[offset] ^= 0x01;
+            assert_ne!(fold_bytes(&torn), base, "flip at byte {offset} aliased");
+        }
+        // Unlike `compute`, the slot bytes [4..8) are live payload here.
+        let mut slot = buf.clone();
+        slot[5] ^= 0xFF;
+        assert_ne!(fold_bytes(&slot), base);
+        // Length folds in: a zero-extended buffer hashes differently.
+        let mut longer = buf.clone();
+        longer.push(0);
+        assert_ne!(fold_bytes(&longer), base);
+        assert_eq!(fold_bytes(&[]), fold_bytes(&[]));
     }
 
     #[test]

@@ -217,6 +217,20 @@ impl FaultInjector {
         ReadFault::None
     }
 
+    /// Draws a torn length in `[0, len]` from the seeded schedule: how
+    /// many bytes of an unsynced tail survive a simulated crash. Exposed
+    /// for the write-ahead log's crash harness, which reuses this
+    /// injector's deterministic stream at byte granularity instead of
+    /// page granularity.
+    pub fn draw_torn_len(&mut self, len: usize) -> usize {
+        self.stats.torn_writes += 1;
+        if len == 0 {
+            0
+        } else {
+            self.rng.usize_below(len + 1)
+        }
+    }
+
     /// Draws the fault decision for one write: `Some(keep)` tears the
     /// write after `keep` bytes.
     fn on_write(&mut self) -> Option<usize> {

@@ -3,8 +3,9 @@
 //! Both trees serialize into the same framed binary image:
 //!
 //! ```text
-//! magic   "MSTIDX01"                       8 bytes
-//! kind    u8 (0 = 3D R-tree, 1 = TB-tree)
+//! magic   "MSTIDX02"                       8 bytes
+//! kind    u8 (0 = 3D R-tree, 1 = TB-tree, 2 = STR-tree)
+//! lsn     u64  (log sequence number the image is consistent through)
 //! root    u32 (PageId::NONE for empty)
 //! height  u8
 //! entries u64
@@ -20,6 +21,11 @@
 //! is a faithful snapshot. Loading rebuilds the store and a cold buffer —
 //! the image is validated structurally on first use by the usual node
 //! decoding (plus [`crate::check_invariants`] for the paranoid).
+//!
+//! The `lsn` field couples an image to a write-ahead log: it names the
+//! last log record the image already contains, so recovery is
+//! `load(image) + replay(lsn..)`. Images saved outside a durability
+//! wrapper carry LSN 0 ("contains nothing from any log").
 
 use std::io::{Read, Write};
 
@@ -27,7 +33,7 @@ use mst_trajectory::TrajectoryId;
 
 use crate::{IndexError, PageId, Result, PAGE_SIZE};
 
-const MAGIC: &[u8; 8] = b"MSTIDX01";
+const MAGIC: &[u8; 8] = b"MSTIDX02";
 
 /// Which tree kind a persisted image holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +50,9 @@ pub enum ImageKind {
 /// by both save paths).
 pub(crate) struct Image {
     pub kind: ImageKind,
+    /// Log sequence number this image is consistent through (0 when the
+    /// image was saved outside a write-ahead-log wrapper).
+    pub lsn: u64,
     pub root: Option<PageId>,
     pub height: u8,
     pub entries: u64,
@@ -67,6 +76,7 @@ impl Image {
             ImageKind::TbTree => 1,
             ImageKind::StrTree => 2,
         });
+        header.extend_from_slice(&self.lsn.to_le_bytes());
         header.extend_from_slice(&self.root.unwrap_or(PageId::NONE).0.to_le_bytes());
         header.push(self.height);
         header.extend_from_slice(&self.entries.to_le_bytes());
@@ -107,6 +117,7 @@ impl Image {
                 return Err(IndexError::Persist(format!("unknown tree kind {other}")));
             }
         };
+        let lsn = read_u64(&mut r)?;
         let root_raw = read_u32(&mut r)?;
         let height = read_u8(&mut r)?;
         let entries = read_u64(&mut r)?;
@@ -151,6 +162,7 @@ impl Image {
         }
         Ok(Image {
             kind,
+            lsn,
             root,
             height,
             entries,
@@ -215,6 +227,10 @@ mod tests {
             .expect("must fail");
         assert!(matches!(err, IndexError::Persist(_)));
         // Correct magic, truncated body.
+        let err = Image::read_from(&b"MSTIDX02"[..]).err().expect("must fail");
+        assert!(matches!(err, IndexError::Persist(_)));
+        // A previous-generation magic is a clean rejection, not a
+        // misparse: the LSN field changed the layout.
         let err = Image::read_from(&b"MSTIDX01"[..]).err().expect("must fail");
         assert!(matches!(err, IndexError::Persist(_)));
         // Unknown kind byte.
@@ -228,7 +244,7 @@ mod tests {
 
 #[cfg(test)]
 mod roundtrip_tests {
-    use crate::{check_invariants, LeafEntry, Rtree3D, TbTree, TrajectoryIndex};
+    use crate::{check_invariants, LeafEntry, Rtree3D, StrTree, TbTree, TrajectoryIndex};
     use mst_trajectory::{Mbb, SamplePoint, Segment, TrajectoryId};
 
     fn entry(id: u64, seq: u32, t: f64) -> LeafEntry {
@@ -305,6 +321,96 @@ mod roundtrip_tests {
             201
         );
         check_invariants(&mut loaded).unwrap();
+    }
+
+    #[test]
+    fn strtree_roundtrips_through_bytes() {
+        let mut tree = StrTree::new();
+        for s in 0..150u32 {
+            for id in 0..5u64 {
+                tree.insert(entry(id, s, f64::from(s))).unwrap();
+            }
+        }
+        let mut bytes = Vec::new();
+        tree.save(&mut bytes).unwrap();
+        let mut loaded = StrTree::load(&bytes[..]).unwrap();
+
+        assert_eq!(loaded.num_entries(), tree.num_entries());
+        assert_eq!(loaded.height(), tree.height());
+        assert_eq!(loaded.max_speed(), tree.max_speed());
+        assert_eq!(loaded.num_pages(), tree.num_pages());
+        check_invariants(&mut loaded).unwrap();
+        // Every entry is still reachable, bit-identically.
+        let all = |t: &mut StrTree| {
+            let mut v = t
+                .range_query(&Mbb::new(-1e12, -1e12, -1e12, 1e12, 1e12, 1e12))
+                .unwrap();
+            v.sort_by_key(|e| (e.traj, e.seq));
+            v
+        };
+        assert_eq!(all(&mut loaded), all(&mut tree));
+        // The loaded tree keeps accepting inserts.
+        loaded.insert(entry(9, 0, 500.0)).unwrap();
+        check_invariants(&mut loaded).unwrap();
+    }
+
+    /// Truncating a saved STR-tree image at any depth is a clean
+    /// [`IndexError::Persist`](crate::IndexError::Persist) — the variant
+    /// existed but only R-tree/TB-tree images had truncation coverage.
+    #[test]
+    fn truncated_strtree_images_are_rejected_at_every_depth() {
+        let mut tree = StrTree::new();
+        for s in 0..150u32 {
+            for id in 0..5u64 {
+                tree.insert(entry(id, s, f64::from(s))).unwrap();
+            }
+        }
+        let mut bytes = Vec::new();
+        tree.save(&mut bytes).unwrap();
+        assert!(StrTree::load(&bytes[..]).is_ok(), "untruncated sanity");
+
+        let cuts = [
+            4,               // inside the magic
+            12,              // inside the LSN field
+            48,              // around the free list / tips counts
+            bytes.len() / 2, // mid page data
+            bytes.len() - 1, // one byte short
+        ];
+        for cut in cuts {
+            let err = StrTree::load(&bytes[..cut])
+                .err()
+                .unwrap_or_else(|| panic!("truncation at {cut} must fail"));
+            assert!(
+                matches!(err, crate::IndexError::Persist(_)),
+                "truncation at {cut}: expected Persist, got {err:?}"
+            );
+        }
+    }
+
+    /// The LSN stamp survives the round trip on every substrate, and the
+    /// plain `save`/`load` pair behaves as LSN 0.
+    #[test]
+    fn lsn_stamp_roundtrips() {
+        let mut rtree = Rtree3D::new();
+        rtree.insert(entry(0, 0, 0.0)).unwrap();
+        let mut bytes = Vec::new();
+        rtree.save_lsn(&mut bytes, 0xDEAD_BEEF_CAFE).unwrap();
+        let (_, lsn) = Rtree3D::load_lsn(&bytes[..]).unwrap();
+        assert_eq!(lsn, 0xDEAD_BEEF_CAFE);
+
+        let mut tb = TbTree::new();
+        tb.insert(entry(0, 0, 0.0)).unwrap();
+        bytes.clear();
+        tb.save_lsn(&mut bytes, 7).unwrap();
+        let (_, lsn) = TbTree::load_lsn(&bytes[..]).unwrap();
+        assert_eq!(lsn, 7);
+
+        let mut st = StrTree::new();
+        st.insert(entry(0, 0, 0.0)).unwrap();
+        bytes.clear();
+        st.save(&mut bytes).unwrap();
+        let (_, lsn) = StrTree::load_lsn(&bytes[..]).unwrap();
+        assert_eq!(lsn, 0, "plain save stamps LSN 0");
     }
 
     #[test]

@@ -270,11 +270,20 @@ impl Rtree3D {
     }
 
     /// Serializes the whole index into `writer` (dirty pages are flushed
-    /// first, so the image is a faithful snapshot).
+    /// first, so the image is a faithful snapshot). The image carries LSN 0
+    /// — use [`Rtree3D::save_lsn`] when the tree lives under a write-ahead
+    /// log.
     pub fn save<W: std::io::Write>(&mut self, writer: W) -> Result<()> {
+        self.save_lsn(writer, 0)
+    }
+
+    /// Serializes the whole index into `writer`, stamping the image with
+    /// the log sequence number it is consistent through.
+    pub fn save_lsn<W: std::io::Write>(&mut self, writer: W, lsn: u64) -> Result<()> {
         self.flush()?;
         let image = Image {
             kind: ImageKind::Rtree3D,
+            lsn,
             root: self.root,
             height: self.height,
             entries: self.num_entries,
@@ -295,20 +304,30 @@ impl Rtree3D {
 
     /// Reconstructs an index from a persisted image.
     pub fn load<R: std::io::Read>(reader: R) -> Result<Self> {
+        Ok(Self::load_lsn(reader)?.0)
+    }
+
+    /// Reconstructs an index from a persisted image, also returning the log
+    /// sequence number the image is consistent through.
+    pub fn load_lsn<R: std::io::Read>(reader: R) -> Result<(Self, u64)> {
         let image = Image::read_from(reader)?;
         if image.kind != ImageKind::Rtree3D {
             return Err(IndexError::Persist(
                 "image holds a TB-tree, not a 3D R-tree".into(),
             ));
         }
+        let lsn = image.lsn;
         let store = PageStore::from_raw(image.pages, image.free_list);
-        Ok(Rtree3D {
-            pager: Pager::from_store(store),
-            root: image.root,
-            height: image.height,
-            num_entries: image.entries,
-            max_speed: image.max_speed,
-        })
+        Ok((
+            Rtree3D {
+                pager: Pager::from_store(store),
+                root: image.root,
+                height: image.height,
+                num_entries: image.entries,
+                max_speed: image.max_speed,
+            },
+            lsn,
+        ))
     }
 
     /// Loads an index from a file.
@@ -512,6 +531,10 @@ impl Rtree3D {
 impl crate::TrajectoryIndexWrite for Rtree3D {
     fn insert_entry(&mut self, entry: LeafEntry) -> Result<()> {
         self.insert(entry)
+    }
+
+    fn delete_entry(&mut self, traj: TrajectoryId, seq: u32) -> Result<bool> {
+        self.delete(traj, seq)
     }
 }
 

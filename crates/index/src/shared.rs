@@ -23,10 +23,19 @@
 //!   the batch reporting clean errors.
 //!
 //! Structural metadata (root page, height, entry count, `Vmax`) is
-//! immutable while queries run, so a reader snapshots it once at
-//! construction and serves those accessors without touching the lock.
+//! immutable while a *generation* of the index is live, so a reader pins
+//! a generation-stamped snapshot at construction and serves those
+//! accessors without touching the lock. Online ingest replaces the
+//! snapshot ([`ConcurrentIndex::apply`] / [`ConcurrentIndex::refresh`]):
+//! readers created before the swap keep answering on the pre-ingest
+//! generation's metadata (root, `Vmax`, counts) until they finish, new
+//! readers see the new generation — generation-based visibility instead
+//! of a global write lock. The only shared mutable state is the
+//! `Arc<Snapshot>` slot, swapped wholesale under its own short lock, so
+//! an old generation is reclaimed exactly when its last reader drops its
+//! `Arc`.
 
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
 use mst_trajectory::TrajectoryId;
 
@@ -47,12 +56,19 @@ fn poisoned<T>(_: std::sync::PoisonError<T>) -> IndexError {
 /// maintenance operations (buffer resizing, stat resets).
 pub struct ConcurrentIndex<I> {
     inner: Mutex<I>,
-    snapshot: Snapshot,
+    /// The published structural snapshot. Replaced wholesale (never
+    /// mutated in place) by [`ConcurrentIndex::apply`]/
+    /// [`ConcurrentIndex::refresh`]; readers pin the `Arc` they found at
+    /// creation. Lock order (xtask R10): `inner` is always taken before
+    /// this slot — `publish` swaps while holding `inner`, readers take
+    /// only the slot.
+    snapshot: RwLock<Arc<Snapshot>>,
 }
 
-/// Immutable structural facts captured when the index is wrapped.
+/// Immutable structural facts captured at one generation of the index.
 #[derive(Debug, Clone, Copy)]
 struct Snapshot {
+    generation: u64,
     root: Option<PageId>,
     num_pages: usize,
     num_entries: u64,
@@ -62,12 +78,10 @@ struct Snapshot {
     chain_tips: usize,
 }
 
-impl<I: TrajectoryIndex> ConcurrentIndex<I> {
-    /// Wraps a fully built index for shared read access. The index must not
-    /// grow afterwards: the structural snapshot (root, height, `Vmax`) is
-    /// taken here and served lock-free.
-    pub fn new(index: I) -> Self {
-        let snapshot = Snapshot {
+impl Snapshot {
+    fn capture<I: TrajectoryIndex>(index: &I, generation: u64) -> Self {
+        Snapshot {
+            generation,
             root: index.root(),
             num_pages: index.num_pages(),
             num_entries: index.num_entries(),
@@ -75,19 +89,83 @@ impl<I: TrajectoryIndex> ConcurrentIndex<I> {
             max_speed: index.max_speed(),
             stats: index.stats(),
             chain_tips: index.leaf_chain_tips().len(),
-        };
+        }
+    }
+}
+
+impl<I: TrajectoryIndex> ConcurrentIndex<I> {
+    /// Wraps a fully built index for shared read access. The structural
+    /// snapshot (root, height, `Vmax`) is taken here as generation 0;
+    /// mutations must go through [`ConcurrentIndex::apply`] (or call
+    /// [`ConcurrentIndex::refresh`] after [`ConcurrentIndex::with`]) so
+    /// the published snapshot tracks the structure.
+    pub fn new(index: I) -> Self {
+        let snapshot = Arc::new(Snapshot::capture(&index, 0));
         ConcurrentIndex {
             inner: Mutex::new(index),
-            snapshot,
+            snapshot: RwLock::new(snapshot),
         }
     }
 
     /// Runs `f` with exclusive access to the underlying index. Used for
     /// maintenance between batches (clearing the buffer, resetting I/O
-    /// counters); queries go through [`ConcurrentIndex::reader`] instead.
+    /// counters); queries go through [`ConcurrentIndex::reader`] instead
+    /// and structural mutations through [`ConcurrentIndex::apply`].
     pub fn with<R>(&self, f: impl FnOnce(&mut I) -> R) -> Result<R> {
         let mut guard = self.lock()?;
         Ok(f(&mut guard))
+    }
+
+    /// Runs a *mutating* closure under the index lock and publishes a new
+    /// snapshot generation before releasing it: readers created after
+    /// `apply` returns see the new structure, readers created before keep
+    /// their pinned pre-ingest generation. Returns the closure's value and
+    /// the new generation. When `f` fails nothing is published — but the
+    /// index may have partially changed; the durable-store layer recovers
+    /// such states from its log, in-memory callers should treat the shard
+    /// as degraded.
+    pub fn apply<R>(&self, f: impl FnOnce(&mut I) -> Result<R>) -> Result<(R, u64)> {
+        let mut guard = self.lock()?;
+        let out = f(&mut guard)?;
+        let generation = self.publish(&guard)?;
+        Ok((out, generation))
+    }
+
+    /// Re-captures the structural snapshot from the current index state
+    /// and publishes it as a new generation. Needed after mutating through
+    /// [`ConcurrentIndex::with`]; [`ConcurrentIndex::apply`] does it
+    /// automatically.
+    pub fn refresh(&self) -> Result<u64> {
+        let guard = self.lock()?;
+        self.publish(&guard)
+    }
+
+    /// Captures and swaps in a new snapshot. Callers hold the `inner`
+    /// guard, which serializes generation numbering (R10 lock order:
+    /// `inner` → `snapshot`).
+    fn publish(&self, index: &I) -> Result<u64> {
+        let generation = self.snapshot_arc().generation + 1;
+        let next = Arc::new(Snapshot::capture(index, generation));
+        let mut slot = self
+            .snapshot
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        *slot = next;
+        Ok(generation)
+    }
+
+    /// The currently published snapshot. A poisoned slot still holds a
+    /// wholesale-replaced, internally consistent `Arc` (writers never
+    /// mutate through it), so poison recovery here is sound rather than a
+    /// silent lie.
+    fn snapshot_arc(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// The generation of the currently published snapshot (0 at wrap
+    /// time, +1 per [`ConcurrentIndex::apply`]/[`ConcurrentIndex::refresh`]).
+    pub fn generation(&self) -> u64 {
+        self.snapshot_arc().generation
     }
 
     /// Unwraps the index, returning it to single-owner use.
@@ -95,16 +173,21 @@ impl<I: TrajectoryIndex> ConcurrentIndex<I> {
         self.inner.into_inner().map_err(poisoned)
     }
 
-    /// A cheap per-job read handle. Creating one never blocks; the lock is
-    /// taken per node fetch inside the handle's [`TrajectoryIndex`] methods.
+    /// A cheap per-job read handle pinned to the generation published at
+    /// this moment. Creating one never blocks on the index lock; node
+    /// fetches lock per call inside the handle's [`TrajectoryIndex`]
+    /// methods.
     pub fn reader(&self) -> IndexReader<'_, I> {
-        IndexReader { shared: self }
+        IndexReader {
+            shared: self,
+            snapshot: self.snapshot_arc(),
+        }
     }
 
     /// Number of trajectories with a leaf chain (non-zero only for the
     /// TB-tree). Exposed so shard builders can sanity-check substrates.
     pub fn chain_tip_count(&self) -> usize {
-        self.snapshot.chain_tips
+        self.snapshot_arc().chain_tips
     }
 
     fn lock(&self) -> Result<MutexGuard<'_, I>> {
@@ -114,18 +197,28 @@ impl<I: TrajectoryIndex> ConcurrentIndex<I> {
 
 /// A per-job view of a [`ConcurrentIndex`] implementing [`TrajectoryIndex`].
 ///
-/// The handle is `Copy`-cheap to create and intended to live for one query
-/// job. Metadata accessors answer from the construction-time snapshot;
-/// [`TrajectoryIndex::read_node`] and friends lock the shard for the single
-/// fetch and release it before the search continues, so concurrent jobs on
-/// the same shard interleave at node granularity.
+/// The handle is cheap to create and intended to live for one query job.
+/// Metadata accessors answer from the generation snapshot pinned at
+/// creation — an ingest committing mid-job does not shift this reader's
+/// root or `Vmax` under it. [`TrajectoryIndex::read_node`] and friends
+/// lock the shard for the single fetch and release it before the search
+/// continues, so concurrent jobs on the same shard interleave at node
+/// granularity.
 pub struct IndexReader<'a, I> {
     shared: &'a ConcurrentIndex<I>,
+    snapshot: Arc<Snapshot>,
+}
+
+impl<I> IndexReader<'_, I> {
+    /// The generation this reader is pinned to.
+    pub fn generation(&self) -> u64 {
+        self.snapshot.generation
+    }
 }
 
 impl<I: TrajectoryIndex> TrajectoryIndex for IndexReader<'_, I> {
     fn root(&self) -> Option<PageId> {
-        self.shared.snapshot.root
+        self.snapshot.root
     }
 
     fn read_node(&mut self, page: PageId) -> Result<Node> {
@@ -139,19 +232,19 @@ impl<I: TrajectoryIndex> TrajectoryIndex for IndexReader<'_, I> {
     }
 
     fn num_pages(&self) -> usize {
-        self.shared.snapshot.num_pages
+        self.snapshot.num_pages
     }
 
     fn num_entries(&self) -> u64 {
-        self.shared.snapshot.num_entries
+        self.snapshot.num_entries
     }
 
     fn height(&self) -> u8 {
-        self.shared.snapshot.height
+        self.snapshot.height
     }
 
     fn max_speed(&self) -> f64 {
-        self.shared.snapshot.max_speed
+        self.snapshot.max_speed
     }
 
     /// Structural statistics from the construction-time snapshot. I/O
@@ -160,7 +253,7 @@ impl<I: TrajectoryIndex> TrajectoryIndex for IndexReader<'_, I> {
     /// [`MetricsSink`] instead, which is the only meaningful attribution
     /// once many jobs interleave on one pager.
     fn stats(&self) -> IndexStats {
-        self.shared.snapshot.stats
+        self.snapshot.stats
     }
 
     fn reset_stats(&mut self) {
@@ -315,6 +408,53 @@ mod tests {
             .with(|tree| tree.clear_buffer())
             .expect("lock")
             .expect("clear");
+    }
+
+    #[test]
+    fn apply_publishes_a_new_generation_while_old_readers_stay_pinned() {
+        let shared = ConcurrentIndex::new(small_tree());
+        assert_eq!(shared.generation(), 0);
+        let old_reader = shared.reader();
+        let entries_before = old_reader.num_entries();
+
+        let ((), generation) = shared
+            .apply(|tree| tree.insert_entry(entry(9, 0, 100.0)))
+            .expect("apply");
+        assert_eq!(generation, 1);
+        assert_eq!(shared.generation(), 1);
+
+        // The pre-ingest reader still answers with its pinned metadata...
+        assert_eq!(old_reader.generation(), 0);
+        assert_eq!(old_reader.num_entries(), entries_before);
+        // ...while a fresh reader sees the committed generation.
+        let new_reader = shared.reader();
+        assert_eq!(new_reader.generation(), 1);
+        assert_eq!(new_reader.num_entries(), entries_before + 1);
+    }
+
+    #[test]
+    fn failed_apply_publishes_nothing() {
+        let shared = ConcurrentIndex::new(small_tree());
+        let err = shared
+            .apply(|_| -> Result<()> { Err(IndexError::Poisoned("synthetic".into())) })
+            .expect_err("closure error propagates");
+        assert!(matches!(err, IndexError::Poisoned(_)));
+        assert_eq!(shared.generation(), 0, "no generation published");
+    }
+
+    #[test]
+    fn refresh_republishes_after_with() {
+        let shared = ConcurrentIndex::new(small_tree());
+        shared
+            .with(|tree| tree.insert_entry(entry(9, 1, 101.0)))
+            .expect("lock")
+            .expect("insert");
+        // `with` alone leaves the snapshot stale by design...
+        assert_eq!(shared.generation(), 0);
+        // ...until refresh publishes the new structure.
+        let generation = shared.refresh().expect("refresh");
+        assert_eq!(generation, 1);
+        assert_eq!(shared.reader().num_entries(), 4 * 8 + 1);
     }
 
     #[test]

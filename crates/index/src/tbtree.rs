@@ -371,8 +371,15 @@ impl TbTree {
     }
 
     /// Serializes the whole index (including the per-trajectory tip map and
-    /// parent pointers) into `writer`.
+    /// parent pointers) into `writer`. The image carries LSN 0 — use
+    /// [`TbTree::save_lsn`] when the tree lives under a write-ahead log.
     pub fn save<W: std::io::Write>(&mut self, writer: W) -> Result<()> {
+        self.save_lsn(writer, 0)
+    }
+
+    /// Serializes the whole index, stamping the image with the log
+    /// sequence number it is consistent through.
+    pub fn save_lsn<W: std::io::Write>(&mut self, writer: W, lsn: u64) -> Result<()> {
         self.flush()?;
         let mut tips: Vec<(TrajectoryId, PageId)> =
             self.tips.iter().map(|(t, p)| (*t, *p)).collect();
@@ -382,6 +389,7 @@ impl TbTree {
         parents.sort();
         let image = Image {
             kind: ImageKind::TbTree,
+            lsn,
             root: self.root,
             height: self.height,
             entries: self.num_entries,
@@ -402,22 +410,32 @@ impl TbTree {
 
     /// Reconstructs an index from a persisted image.
     pub fn load<R: std::io::Read>(reader: R) -> Result<Self> {
+        Ok(Self::load_lsn(reader)?.0)
+    }
+
+    /// Reconstructs an index from a persisted image, also returning the log
+    /// sequence number the image is consistent through.
+    pub fn load_lsn<R: std::io::Read>(reader: R) -> Result<(Self, u64)> {
         let image = Image::read_from(reader)?;
         if image.kind != ImageKind::TbTree {
             return Err(IndexError::Persist(
                 "image holds a 3D R-tree, not a TB-tree".into(),
             ));
         }
+        let lsn = image.lsn;
         let store = PageStore::from_raw(image.pages, image.free_list);
-        Ok(TbTree {
-            pager: Pager::from_store(store),
-            root: image.root,
-            height: image.height,
-            tips: image.tips.into_iter().collect(),
-            parents: image.parents.into_iter().collect(),
-            num_entries: image.entries,
-            max_speed: image.max_speed,
-        })
+        Ok((
+            TbTree {
+                pager: Pager::from_store(store),
+                root: image.root,
+                height: image.height,
+                tips: image.tips.into_iter().collect(),
+                parents: image.parents.into_iter().collect(),
+                num_entries: image.entries,
+                max_speed: image.max_speed,
+            },
+            lsn,
+        ))
     }
 
     /// Loads an index from a file.

@@ -171,7 +171,11 @@ pub(crate) fn cache_key(request: &Request) -> Option<Vec<u8>> {
                 put_canonical(&mut key, v);
             }
         }
-        Request::Stats | Request::Shutdown | Request::Hello { .. } => return None,
+        Request::Stats
+        | Request::Shutdown
+        | Request::Hello { .. }
+        | Request::Insert { .. }
+        | Request::Delete { .. } => return None,
     }
     Some(key)
 }

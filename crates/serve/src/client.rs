@@ -283,6 +283,37 @@ impl ServeClient {
         })
     }
 
+    /// Inserts a trajectory under `id` on a durable server. The answer
+    /// is [`Response::Ingested`] once the write is logged, fsynced, and
+    /// applied — or a typed error ([`ErrorCode::ReadOnly`] on a server
+    /// without a durable store, [`ErrorCode::InvalidQuery`] for a
+    /// duplicate id).
+    ///
+    /// [`Response::Ingested`]: crate::protocol::Response::Ingested
+    /// [`ErrorCode::ReadOnly`]: crate::protocol::ErrorCode::ReadOnly
+    /// [`ErrorCode::InvalidQuery`]: crate::protocol::ErrorCode::InvalidQuery
+    pub fn insert_trajectory(
+        &mut self,
+        id: mst_trajectory::TrajectoryId,
+        trajectory: &Trajectory,
+    ) -> Result<Response, WireError> {
+        self.request(&Request::Insert {
+            id,
+            points: trajectory.points().to_vec(),
+        })
+    }
+
+    /// Deletes the trajectory stored under `id` on a durable server.
+    /// Deleting an absent id answers `Ingested { applied: false }`, not
+    /// an error; a substrate without delete support answers
+    /// [`ErrorCode::InvalidQuery`](crate::protocol::ErrorCode::InvalidQuery).
+    pub fn delete_trajectory(
+        &mut self,
+        id: mst_trajectory::TrajectoryId,
+    ) -> Result<Response, WireError> {
+        self.request(&Request::Delete { id })
+    }
+
     /// Fetches server counters and the merged work profile.
     pub fn stats(&mut self) -> Result<StatsReport, WireError> {
         match self.request(&Request::Stats)? {

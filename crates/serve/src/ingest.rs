@@ -1,0 +1,69 @@
+//! The seam between the serving layer and the durable store.
+//!
+//! The coalescer flushes each tick's ingest frames as **one** write
+//! batch through an [`IngestBackend`]; the backend logs the batch,
+//! issues a single group-commit fsync, applies it to the shared shards,
+//! and reports per-operation outcomes. [`mst_wal::DurableDatabase`] is
+//! the real backend ([`DurableDatabase::apply_independent`] is exactly
+//! this contract); the trait erases its `LogStore` type parameter so the
+//! mux stays generic over the index substrate only.
+//!
+//! Visibility is generation-based, inherited from the exec layer:
+//! applying an operation publishes a new index-snapshot generation per
+//! shard, queries already executing finish on the generation they
+//! pinned, and queries admitted after the ingest ack see the new state.
+//! No global write lock exists anywhere on this path.
+
+use mst_exec::IngestOp;
+use mst_wal::{DurableDatabase, DurableSubstrate, LogStore};
+
+/// Per-operation outcome of a flushed write batch.
+pub(crate) type IngestResult = Result<(u64, bool), String>;
+
+/// WAL-side counters a durable backend exposes for the stats report.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct WalCounters {
+    /// Records appended to the log.
+    pub(crate) appends: u64,
+    /// Group-commit fsyncs issued.
+    pub(crate) fsyncs: u64,
+    /// Records replayed by the recovery that opened this database.
+    pub(crate) replayed_records: u64,
+}
+
+/// A durable write lane the coalescer can flush ingest batches through.
+pub(crate) trait IngestBackend: Send {
+    /// Applies one write batch: validates each operation independently,
+    /// logs the valid ones, makes them durable with one fsync, applies
+    /// them to the shared in-memory shards, and returns one result per
+    /// operation — `Ok((lsn, applied))` or a refusal message. The outer
+    /// error is a store-level failure (nothing of the batch was acked).
+    fn apply_batch(&mut self, ops: &[IngestOp]) -> Result<Vec<IngestResult>, String>;
+
+    /// Current WAL counters, read after each flush for the stats report.
+    fn wal_counters(&self) -> WalCounters;
+}
+
+impl<I, S> IngestBackend for DurableDatabase<I, S>
+where
+    I: DurableSubstrate + Send,
+    S: LogStore + Send,
+    S::Log: Send,
+{
+    fn apply_batch(&mut self, ops: &[IngestOp]) -> Result<Vec<IngestResult>, String> {
+        let results = self.apply_independent(ops).map_err(|e| e.to_string())?;
+        Ok(results
+            .into_iter()
+            .map(|r| r.map_err(|e| e.to_string()))
+            .collect())
+    }
+
+    fn wal_counters(&self) -> WalCounters {
+        let stats = self.stats();
+        WalCounters {
+            appends: stats.wal_appends,
+            fsyncs: stats.wal_fsyncs,
+            replayed_records: stats.replayed_records,
+        }
+    }
+}

@@ -54,6 +54,7 @@
 
 mod cache;
 pub mod client;
+mod ingest;
 mod mux;
 pub mod protocol;
 pub mod server;

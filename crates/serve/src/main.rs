@@ -4,11 +4,18 @@
 //! ```text
 //! mst-serve [--port N] [--workers N] [--queue N] [--objects N] \
 //!           [--shards N] [--deadline-ms N] [--io-threads N] \
-//!           [--depth N] [--cache N]
+//!           [--depth N] [--cache N] [--store DIR]
 //! ```
 //!
 //! All flags optional; `--port 0` (the default) picks an ephemeral port
 //! and prints it, which is what the bench harness and CI smoke use.
+//!
+//! With `--store DIR` the server runs durably: an existing store in
+//! `DIR` is recovered (snapshot + WAL replay; `--objects`/`--shards`
+//! are ignored) and an empty `DIR` is seeded with the demo fleet, each
+//! insert logged through the WAL. Either way `Insert`/`Delete` frames
+//! are accepted and group-committed; without the flag the server is
+//! read-only and answers them with a typed `ReadOnly` error.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -16,9 +23,11 @@
 use std::sync::Arc;
 
 use mst_datagen::GstdConfig;
-use mst_exec::ShardedDatabase;
-use mst_serve::{Server, ServerConfig};
+use mst_exec::{IngestOp, ShardedDatabase};
+use mst_index::Rtree3D;
+use mst_serve::{Server, ServerConfig, ServerHandle};
 use mst_trajectory::TrajectoryId;
+use mst_wal::{DurableDatabase, FileStore, LogStore, WalConfig};
 
 struct Args {
     port: u16,
@@ -30,6 +39,7 @@ struct Args {
     io_threads: usize,
     depth: u16,
     cache: usize,
+    store: Option<String>,
 }
 
 impl Args {
@@ -44,6 +54,7 @@ impl Args {
             io_threads: 1,
             depth: 32,
             cache: 0,
+            store: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -60,10 +71,11 @@ impl Args {
                 "--io-threads" => args.io_threads = parse(&value("--io-threads")?)?,
                 "--depth" => args.depth = parse(&value("--depth")?)?,
                 "--cache" => args.cache = parse(&value("--cache")?)?,
+                "--store" => args.store = Some(value("--store")?),
                 "--help" | "-h" => {
                     return Err("usage: mst-serve [--port N] [--workers N] [--queue N] \
                          [--objects N] [--shards N] [--deadline-ms N] [--io-threads N] \
-                         [--depth N] [--cache N]"
+                         [--depth N] [--cache N] [--store DIR]"
                         .into())
                 }
                 other => return Err(format!("unknown flag: {other}")),
@@ -90,22 +102,6 @@ fn run() -> i32 {
             return 2;
         }
     };
-    eprintln!(
-        "building GSTD demo dataset: {} objects across {} shards",
-        args.objects, args.shards
-    );
-    let fleet = GstdConfig::paper_dataset(args.objects, 42)
-        .generate()
-        .into_iter()
-        .enumerate()
-        .map(|(i, t)| (TrajectoryId(i as u64), t));
-    let db = match ShardedDatabase::with_rtree(args.shards, fleet) {
-        Ok(db) => Arc::new(db),
-        Err(e) => {
-            eprintln!("failed to build the database: {e}");
-            return 1;
-        }
-    };
     let mut config = ServerConfig::new()
         .port(args.port)
         .workers(args.workers)
@@ -116,10 +112,14 @@ fn run() -> i32 {
     if let Some(ms) = args.deadline_ms {
         config = config.default_deadline_us(ms.saturating_mul(1000));
     }
-    let server = match Server::start(config, db) {
+    let started = match &args.store {
+        Some(dir) => start_durable(config, &args, dir),
+        None => start_read_only(config, &args),
+    };
+    let server = match started {
         Ok(server) => server,
-        Err(e) => {
-            eprintln!("failed to start: {e}");
+        Err(message) => {
+            eprintln!("{message}");
             return 1;
         }
     };
@@ -128,4 +128,73 @@ fn run() -> i32 {
     server.join();
     eprintln!("drained and stopped");
     0
+}
+
+/// The demo fleet: the paper's GSTD dataset, ids dense from zero.
+fn demo_fleet(objects: usize) -> Vec<(TrajectoryId, mst_trajectory::Trajectory)> {
+    GstdConfig::paper_dataset(objects, 42)
+        .generate()
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (TrajectoryId(i as u64), t))
+        .collect()
+}
+
+/// The classic in-memory path: build the demo fleet, serve it read-only.
+fn start_read_only(config: ServerConfig, args: &Args) -> Result<ServerHandle<Rtree3D>, String> {
+    eprintln!(
+        "building GSTD demo dataset: {} objects across {} shards",
+        args.objects, args.shards
+    );
+    let db = ShardedDatabase::with_rtree(args.shards, demo_fleet(args.objects))
+        .map_err(|e| format!("failed to build the database: {e}"))?;
+    Server::start(config, Arc::new(db)).map_err(|e| format!("failed to start: {e}"))
+}
+
+/// The durable path: recover an existing store in `dir`, or seed an
+/// empty one with the demo fleet through the WAL, then serve with
+/// online ingest enabled.
+fn start_durable(
+    config: ServerConfig,
+    args: &Args,
+    dir: &str,
+) -> Result<ServerHandle<Rtree3D>, String> {
+    let store = FileStore::open(dir).map_err(|e| format!("failed to open store {dir}: {e}"))?;
+    let has_db = store
+        .read_snapshot()
+        .map_err(|e| format!("failed to probe store {dir}: {e}"))?
+        .is_some();
+    let durable: DurableDatabase<Rtree3D, FileStore> = if has_db {
+        eprintln!("recovering durable store at {dir} (--objects/--shards ignored)");
+        let recovered = DurableDatabase::open(store, WalConfig::default())
+            .map_err(|e| format!("recovery failed: {e}"))?;
+        eprintln!(
+            "recovered {} objects at LSN {} ({} records replayed)",
+            recovered.database().num_objects(),
+            recovered.applied_lsn(),
+            recovered.stats().replayed_records,
+        );
+        recovered
+    } else {
+        eprintln!(
+            "seeding durable store at {dir}: {} objects across {} shards",
+            args.objects, args.shards
+        );
+        let mut fresh = DurableDatabase::create(store, WalConfig::default(), args.shards)
+            .map_err(|e| format!("failed to create the store: {e}"))?;
+        let ops: Vec<IngestOp> = demo_fleet(args.objects)
+            .into_iter()
+            .map(|(id, trajectory)| IngestOp::Insert { id, trajectory })
+            .collect();
+        fresh
+            .apply(&ops)
+            .map_err(|e| format!("failed to seed the store: {e}"))?;
+        // Fold the seed burst into the snapshot so the next recovery
+        // replays only post-seed writes.
+        fresh
+            .checkpoint()
+            .map_err(|e| format!("failed to checkpoint the seed: {e}"))?;
+        fresh
+    };
+    Server::start_durable(config, durable).map_err(|e| format!("failed to start: {e}"))
 }

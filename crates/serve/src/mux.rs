@@ -51,11 +51,15 @@ use std::sync::Arc;
 // measurements; no clock is ever read in this module.
 use std::time::Duration; // invariant: no clock is read; determinism holds
 
-use mst_exec::{BatchQuery, OutcomeSink, QueryAnswer, QueryOutcome, RoutedQuery, SubmitError};
+use mst_exec::{
+    BatchQuery, IngestOp, OutcomeSink, QueryAnswer, QueryOutcome, RoutedQuery, SubmitError,
+};
 use mst_index::TrajectoryIndex;
 use mst_search::QueryProfile;
+use mst_trajectory::Trajectory;
 
 use crate::cache::cache_key;
+use crate::ingest::IngestBackend;
 use crate::protocol::split_frame_v2;
 use crate::protocol::{
     classify_first_payload, encode_frame_v2, ErrorCode, FirstFrame, Request, Response, SplitFrame,
@@ -116,6 +120,17 @@ pub(crate) enum Event {
         /// Canonical cache key (kind + options + geometry).
         key: Vec<u8>,
         query: BatchQuery,
+    },
+    /// A validated ingest operation forwarded by an I/O worker. The
+    /// coalescer accumulates these into one write batch per tick and
+    /// flushes it through the durable backend **before** submitting the
+    /// tick's query backlog, so an acked write is visible to every query
+    /// admitted after its ack.
+    Ingest {
+        worker: usize,
+        conn: u64,
+        request_id: u64,
+        op: IngestOp,
     },
     /// An execution finished (token, outcome) — delivered by the
     /// executor workers through [`EventSink`].
@@ -585,6 +600,47 @@ fn parse_frames<I>(
                 initiate_shutdown(shared);
                 return;
             }
+            Request::Insert { id, points } => {
+                if !ingest_admitted(conn, request_id, shared) {
+                    continue;
+                }
+                match Trajectory::new(points) {
+                    Err(e) => {
+                        ServerStats::bump(&shared.stats.invalid_queries);
+                        let err = Response::Error {
+                            code: ErrorCode::InvalidQuery,
+                            message: e.to_string(),
+                        }
+                        .encode();
+                        conn.queue_v2(request_id, &err);
+                    }
+                    Ok(trajectory) => {
+                        conn.inflight += 1;
+                        // invariant: see the query send below — a dead
+                        // coalescer means a forced drain is tearing the
+                        // connection down anyway
+                        let _ = events.send(Event::Ingest {
+                            worker,
+                            conn: conn_id,
+                            request_id,
+                            op: IngestOp::Insert { id, trajectory },
+                        });
+                    }
+                }
+            }
+            Request::Delete { id } => {
+                if !ingest_admitted(conn, request_id, shared) {
+                    continue;
+                }
+                conn.inflight += 1;
+                // invariant: as above — undeliverable only under a drain
+                let _ = events.send(Event::Ingest {
+                    worker,
+                    conn: conn_id,
+                    request_id,
+                    op: IngestOp::Delete { id },
+                });
+            }
             query_request => {
                 if shared.shutting_down.load(Ordering::SeqCst) {
                     let err = Response::Error {
@@ -633,6 +689,32 @@ fn parse_frames<I>(
             }
         }
     }
+}
+
+/// Gate on an ingest frame: a read-only server (no durable backend)
+/// answers `ReadOnly`, a draining server answers `ShuttingDown` — both
+/// directly on the I/O thread. Returns whether the operation may be
+/// forwarded to the coalescer's write lane.
+fn ingest_admitted<I>(conn: &mut Conn, request_id: u64, shared: &Shared<I>) -> bool {
+    if !shared.ingest_enabled {
+        let err = Response::Error {
+            code: ErrorCode::ReadOnly,
+            message: "this server has no durable store; start it with one to ingest".into(),
+        }
+        .encode();
+        conn.queue_v2(request_id, &err);
+        return false;
+    }
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        let err = Response::Error {
+            code: ErrorCode::ShuttingDown,
+            message: "server is draining".into(),
+        }
+        .encode();
+        conn.queue_v2(request_id, &err);
+        return false;
+    }
+    true
 }
 
 /// Runs the version handshake on the first complete frame. Returns false
@@ -767,6 +849,7 @@ pub(crate) fn coalescer_loop<I>(
     sink_tx: Sender<Event>,
     workers: &[Sender<WorkerMsg>],
     queue_capacity: usize,
+    mut ingest: Option<Box<dyn IngestBackend>>,
 ) where
     I: TrajectoryIndex + Send + 'static,
 {
@@ -774,6 +857,8 @@ pub(crate) fn coalescer_loop<I>(
     let mut pending: HashMap<u64, PendingExec> = HashMap::new();
     let mut dedup: HashMap<(Vec<u8>, Option<u64>), u64> = HashMap::new();
     let mut backlog: VecDeque<u64> = VecDeque::new();
+    // Ingest frames accumulated this tick: (worker, conn, request_id, op).
+    let mut write_batch: Vec<(usize, u64, u64, IngestOp)> = Vec::new();
     let mut next_token = 0u64;
     // Queries received and not yet answered (any path).
     let mut outstanding = 0usize;
@@ -792,6 +877,7 @@ pub(crate) fn coalescer_loop<I>(
                     &mut pending,
                     &mut dedup,
                     &mut backlog,
+                    &mut write_batch,
                     &mut next_token,
                     &mut outstanding,
                     &mut drained_workers,
@@ -805,6 +891,7 @@ pub(crate) fn coalescer_loop<I>(
                         &mut pending,
                         &mut dedup,
                         &mut backlog,
+                        &mut write_batch,
                         &mut next_token,
                         &mut outstanding,
                         &mut drained_workers,
@@ -819,6 +906,16 @@ pub(crate) fn coalescer_loop<I>(
             }
             Err(RecvTimeoutError::Disconnected) => break,
         }
+
+        // Durable writes first — one group commit for everything this
+        // tick — so a query admitted below sees every acked ingest.
+        flush_write_batch(
+            shared,
+            workers,
+            &mut ingest,
+            &mut write_batch,
+            &mut outstanding,
+        );
 
         // One batched submission per tick: the whole backlog in one
         // queue-lock round-trip; the executor admits a prefix.
@@ -888,6 +985,95 @@ fn encode_capped(response: &Response) -> Arc<Vec<u8>> {
     Arc::new(bytes)
 }
 
+/// Flushes the tick's accumulated ingest operations through the durable
+/// backend as **one** write batch (one WAL group commit), answers every
+/// writer with its per-operation outcome, and invalidates the answer
+/// cache if any operation changed state. Runs before `submit_backlog`
+/// each tick, so queries admitted afterwards see the new state; the
+/// generation guard in [`crate::cache::AnswerCache::insert_if`] drops
+/// any in-flight answer computed against the pre-ingest state.
+fn flush_write_batch<I>(
+    shared: &Shared<I>,
+    workers: &[Sender<WorkerMsg>],
+    ingest: &mut Option<Box<dyn IngestBackend>>,
+    write_batch: &mut Vec<(usize, u64, u64, IngestOp)>,
+    outstanding: &mut usize,
+) where
+    I: TrajectoryIndex + Send + 'static,
+{
+    if write_batch.is_empty() {
+        return;
+    }
+    let batch = std::mem::take(write_batch);
+    *outstanding = outstanding.saturating_sub(batch.len());
+    let Some(backend) = ingest.as_mut() else {
+        // Unreachable: the I/O workers gate ingest frames on
+        // `Shared::ingest_enabled`, which is true only with a backend.
+        let payload = encode_capped(&Response::Error {
+            code: ErrorCode::ReadOnly,
+            message: "this server has no durable store".into(),
+        });
+        for (worker, conn, request_id, _) in batch {
+            respond(workers, worker, conn, request_id, Arc::clone(&payload));
+        }
+        return;
+    };
+    let ops: Vec<IngestOp> = batch.iter().map(|(_, _, _, op)| op.clone()).collect();
+    let outcome = backend.apply_batch(&ops);
+    // Counters, gauges, and the cache settle BEFORE any ack goes out: a
+    // client that pipelines a stats probe (answered on the I/O thread)
+    // right behind its acked write must see the write reflected.
+    // WAL counters are gauges owned by the backend; mirror, don't add.
+    let wal = backend.wal_counters();
+    // ordering: monotonic stats gauges; stale reads only undercount a probe
+    shared
+        .stats
+        .wal_appends
+        .store(wal.appends, Ordering::Relaxed);
+    // ordering: monotonic stats gauges; stale reads only undercount a probe
+    shared.stats.wal_fsyncs.store(wal.fsyncs, Ordering::Relaxed);
+    shared
+        .stats
+        .replayed_records
+        // ordering: monotonic stats gauges; stale reads only undercount a probe
+        .store(wal.replayed_records, Ordering::Relaxed);
+    match outcome {
+        Ok(results) => {
+            let applied_count = results
+                .iter()
+                .filter(|r| matches!(r, Ok((_, true))))
+                .count() as u64;
+            if applied_count > 0 {
+                ServerStats::bump_by(&shared.stats.ingest_applied, applied_count);
+                // An answer computed against the old state must never be
+                // served after an ingest ack.
+                shared.cache.invalidate();
+            }
+            for ((worker, conn, request_id, _), result) in batch.into_iter().zip(results) {
+                let response = match result {
+                    Ok((lsn, applied)) => Response::Ingested { lsn, applied },
+                    Err(message) => Response::Error {
+                        code: ErrorCode::InvalidQuery,
+                        message,
+                    },
+                };
+                respond(workers, worker, conn, request_id, encode_capped(&response));
+            }
+        }
+        Err(message) => {
+            // Store-level failure: nothing was acked; every writer in the
+            // batch hears the same internal error.
+            let payload = encode_capped(&Response::Error {
+                code: ErrorCode::Internal,
+                message,
+            });
+            for (worker, conn, request_id, _) in batch {
+                respond(workers, worker, conn, request_id, Arc::clone(&payload));
+            }
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn handle_event<I>(
     event: Event,
@@ -896,6 +1082,7 @@ fn handle_event<I>(
     pending: &mut HashMap<u64, PendingExec>,
     dedup: &mut HashMap<(Vec<u8>, Option<u64>), u64>,
     backlog: &mut VecDeque<u64>,
+    write_batch: &mut Vec<(usize, u64, u64, IngestOp)>,
     next_token: &mut u64,
     outstanding: &mut usize,
     drained_workers: &mut usize,
@@ -969,6 +1156,15 @@ fn handle_event<I>(
             );
             dedup.insert(dk, token);
             backlog.push_back(token);
+        }
+        Event::Ingest {
+            worker,
+            conn,
+            request_id,
+            op,
+        } => {
+            *outstanding += 1;
+            write_batch.push((worker, conn, request_id, op));
         }
         Event::Done(token, mut outcome) => {
             let Some(entry) = pending.remove(&token) else {

@@ -38,6 +38,8 @@
 //! | `0x04` | request   | 3D range query (box + options) |
 //! | `0x05` | request   | server stats |
 //! | `0x06` | request   | graceful shutdown |
+//! | `0x07` | request   | insert a trajectory (online ingest, v2 only) |
+//! | `0x08` | request   | delete a trajectory (online ingest, v2 only) |
 //! | `0x0F` | request   | hello (version negotiation, v2 only) |
 //! | `0x81` | response  | k-MST matches |
 //! | `0x82` | response  | kNN matches |
@@ -45,6 +47,7 @@
 //! | `0x84` | response  | range hits |
 //! | `0x85` | response  | stats report |
 //! | `0x86` | response  | shutdown acknowledged |
+//! | `0x87` | response  | ingest acknowledged (durable LSN) |
 //! | `0x8F` | response  | hello acknowledged (v2 only) |
 //! | `0xE0` | response  | overloaded (admission rejected — backpressure) |
 //! | `0xE1` | response  | typed error |
@@ -387,6 +390,26 @@ pub enum Request {
     Stats,
     /// Graceful shutdown: drain in-flight queries, then stop.
     Shutdown,
+    /// Online ingest: insert a new trajectory. Answered with
+    /// [`Response::Ingested`] once the record is durable (group-commit
+    /// fsync returned) *and* applied to the in-memory shards. Semantic
+    /// failures (existing id, degenerate trajectory) answer
+    /// [`ErrorCode::InvalidQuery`]; a server without a durable store
+    /// answers [`ErrorCode::ReadOnly`].
+    Insert {
+        /// The new object's identity (must not already exist).
+        id: TrajectoryId,
+        /// The trajectory's samples; the server applies
+        /// [`mst_trajectory::Trajectory::new`]'s semantic rules.
+        points: Vec<SamplePoint>,
+    },
+    /// Online ingest: delete the trajectory stored under an id. A delete
+    /// of an absent id acks with `applied: false` — idempotent, not an
+    /// error.
+    Delete {
+        /// The object to remove.
+        id: TrajectoryId,
+    },
     /// Version negotiation, the first frame of every v2 session (sent at
     /// request id 0). The body opens with [`MAGIC`], then the version
     /// range the client speaks and the pipeline depth it would like.
@@ -434,6 +457,15 @@ impl Request {
             }
             Request::Stats => out.push(0x05),
             Request::Shutdown => out.push(0x06),
+            Request::Insert { id, points } => {
+                out.push(0x07);
+                put_u64(&mut out, id.0);
+                put_points(&mut out, points);
+            }
+            Request::Delete { id } => {
+                out.push(0x08);
+                put_u64(&mut out, id.0);
+            }
             Request::Hello {
                 min_version,
                 max_version,
@@ -495,6 +527,14 @@ impl Request {
             }
             0x05 => Request::Stats,
             0x06 => Request::Shutdown,
+            0x07 => {
+                let id = TrajectoryId(cur.try_u64()?);
+                let points = try_points(&mut cur)?;
+                Request::Insert { id, points }
+            }
+            0x08 => Request::Delete {
+                id: TrajectoryId(cur.try_u64()?),
+            },
             0x0F => {
                 if cur.try_u32()? != MAGIC {
                     return Err(WireError::BadPayload("hello magic"));
@@ -541,6 +581,9 @@ pub enum ErrorCode {
         /// Highest version the server speaks.
         max: u16,
     },
+    /// The server has no durable store behind it; ingest requests are
+    /// refused. Queries keep working on the same connection.
+    ReadOnly,
 }
 
 impl ErrorCode {
@@ -555,6 +598,7 @@ impl ErrorCode {
                 put_u16(out, min);
                 put_u16(out, max);
             }
+            ErrorCode::ReadOnly => out.push(6),
         }
     }
 
@@ -569,6 +613,7 @@ impl ErrorCode {
                 let max = cur.try_u16()?;
                 Ok(ErrorCode::UnsupportedVersion { min, max })
             }
+            6 => Ok(ErrorCode::ReadOnly),
             _ => Err(WireError::BadPayload("error code")),
         }
     }
@@ -599,6 +644,15 @@ pub struct ServerCounters {
     pub cache_hits: u64,
     /// Query executions that missed the answer cache.
     pub cache_misses: u64,
+    /// Ingest operations durably applied (acked with an LSN).
+    pub ingest_applied: u64,
+    /// Records appended to the write-ahead log (durable servers only).
+    pub wal_appends: u64,
+    /// Group-commit fsyncs issued by the write-ahead log.
+    pub wal_fsyncs: u64,
+    /// Log records replayed by the recovery that built this server's
+    /// database (0 for a fresh or read-only server).
+    pub replayed_records: u64,
 }
 
 /// A fixed-size summary of the server's merged [`mst_search::QueryProfile`]:
@@ -665,6 +719,16 @@ pub enum Response {
     Stats(StatsReport),
     /// The server accepted the shutdown request and is draining.
     ShutdownAck,
+    /// An ingest operation is durable and visible: its log record's
+    /// group-commit fsync returned before this frame was sent.
+    Ingested {
+        /// The operation's log sequence number (for a no-op delete of an
+        /// absent id: the LSN the state is nonetheless consistent
+        /// through).
+        lsn: u64,
+        /// Whether state changed (`false` only for the no-op delete).
+        applied: bool,
+    },
     /// The server accepted the v2 handshake.
     HelloAck {
         /// The negotiated protocol version.
@@ -755,6 +819,10 @@ impl Response {
                     c.invalid_queries,
                     c.cache_hits,
                     c.cache_misses,
+                    c.ingest_applied,
+                    c.wal_appends,
+                    c.wal_fsyncs,
+                    c.replayed_records,
                 ] {
                     put_u64(&mut out, v);
                 }
@@ -772,6 +840,11 @@ impl Response {
                 }
             }
             Response::ShutdownAck => out.push(0x86),
+            Response::Ingested { lsn, applied } => {
+                out.push(0x87);
+                put_u64(&mut out, *lsn);
+                out.push(u8::from(*applied));
+            }
             Response::HelloAck { version, depth } => {
                 out.push(0x8F);
                 put_u16(&mut out, *version);
@@ -852,7 +925,7 @@ impl Response {
                 Response::Range { degraded, entries }
             }
             0x85 => {
-                let mut counters = [0u64; 18];
+                let mut counters = [0u64; 22];
                 for slot in &mut counters {
                     *slot = cur.try_u64()?;
                 }
@@ -869,19 +942,32 @@ impl Response {
                         invalid_queries: counters[8],
                         cache_hits: counters[9],
                         cache_misses: counters[10],
+                        ingest_applied: counters[11],
+                        wal_appends: counters[12],
+                        wal_fsyncs: counters[13],
+                        replayed_records: counters[14],
                     },
                     profile: ProfileSummary {
-                        heap_pushes: counters[11],
-                        heap_pops: counters[12],
-                        nodes_accessed: counters[13],
-                        buffer_hits: counters[14],
-                        buffer_misses: counters[15],
-                        piece_evals: counters[16],
-                        early_terminations: counters[17],
+                        heap_pushes: counters[15],
+                        heap_pops: counters[16],
+                        nodes_accessed: counters[17],
+                        buffer_hits: counters[18],
+                        buffer_misses: counters[19],
+                        piece_evals: counters[20],
+                        early_terminations: counters[21],
                     },
                 })
             }
             0x86 => Response::ShutdownAck,
+            0x87 => {
+                let lsn = cur.try_u64()?;
+                let applied = match cur.try_u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::BadPayload("applied flag")),
+                };
+                Response::Ingested { lsn, applied }
+            }
             0x8F => {
                 let version = cur.try_u16()?;
                 let depth = cur.try_u16()?;
@@ -1139,6 +1225,16 @@ mod tests {
             },
             Request::Stats,
             Request::Shutdown,
+            Request::Insert {
+                id: TrajectoryId(99),
+                points: vec![
+                    SamplePoint::new(0.0, 1.0, 2.0),
+                    SamplePoint::new(1.0, 3.0, 4.0),
+                ],
+            },
+            Request::Delete {
+                id: TrajectoryId(12),
+            },
             Request::Hello {
                 min_version: 2,
                 max_version: 2,
@@ -1206,6 +1302,14 @@ mod tests {
                 },
             }),
             Response::ShutdownAck,
+            Response::Ingested {
+                lsn: 77,
+                applied: true,
+            },
+            Response::Ingested {
+                lsn: 0,
+                applied: false,
+            },
             Response::HelloAck {
                 version: 2,
                 depth: 16,
@@ -1221,6 +1325,10 @@ mod tests {
             Response::Error {
                 code: ErrorCode::UnsupportedVersion { min: 2, max: 2 },
                 message: "this server speaks protocol v2 only".into(),
+            },
+            Response::Error {
+                code: ErrorCode::ReadOnly,
+                message: "no durable store; ingest disabled".into(),
             },
         ];
         for response in responses {

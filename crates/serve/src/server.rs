@@ -46,6 +46,7 @@ use mst_search::{Query, QueryProfile};
 use mst_trajectory::Trajectory;
 
 use crate::cache::AnswerCache;
+use crate::ingest::IngestBackend;
 use crate::mux::{self, MuxConfig, WorkerMsg};
 use crate::protocol::{ProfileSummary, Request, ServerCounters, StatsReport};
 
@@ -211,6 +212,12 @@ pub(crate) struct ServerStats {
     pub(crate) invalid_queries: AtomicU64,
     pub(crate) cache_hits: AtomicU64,
     pub(crate) cache_misses: AtomicU64,
+    pub(crate) ingest_applied: AtomicU64,
+    /// WAL gauges mirrored from the durable backend after each flush
+    /// (`store`d, not added — the backend owns the true counts).
+    pub(crate) wal_appends: AtomicU64,
+    pub(crate) wal_fsyncs: AtomicU64,
+    pub(crate) replayed_records: AtomicU64,
 }
 
 impl ServerStats {
@@ -244,6 +251,10 @@ impl ServerStats {
             invalid_queries: Self::read(&self.invalid_queries),
             cache_hits: Self::read(&self.cache_hits),
             cache_misses: Self::read(&self.cache_misses),
+            ingest_applied: Self::read(&self.ingest_applied),
+            wal_appends: Self::read(&self.wal_appends),
+            wal_fsyncs: Self::read(&self.wal_fsyncs),
+            replayed_records: Self::read(&self.replayed_records),
         }
     }
 }
@@ -259,6 +270,10 @@ pub(crate) struct Shared<I> {
     pub(crate) live_conns: AtomicUsize,
     /// The bounded answer cache (capacity 0 = disabled).
     pub(crate) cache: AnswerCache,
+    /// Whether a durable ingest backend is wired in; read-only servers
+    /// answer ingest frames with a typed `ReadOnly` error on the I/O
+    /// thread, before anything reaches the coalescer.
+    pub(crate) ingest_enabled: bool,
     /// The bound address, for the shutdown self-connection poke.
     pub(crate) addr: SocketAddr,
 }
@@ -297,12 +312,55 @@ impl Server {
     /// workers, the coalescer and the accept loop, and returns the
     /// running server's handle. The bound address (with the resolved
     /// ephemeral port) is [`ServerHandle::local_addr`].
+    ///
+    /// The server is **read-only**: ingest frames answer a typed
+    /// [`crate::protocol::ErrorCode::ReadOnly`]. Use
+    /// [`Server::start_durable`] to serve writes.
     pub fn start<I>(
         config: ServerConfig,
         db: Arc<ShardedDatabase<I>>,
     ) -> Result<ServerHandle<I>, ServeError>
     where
         I: TrajectoryIndex + Send + 'static,
+    {
+        start_inner(config, db, None)
+    }
+
+    /// Like [`Server::start`], but over a [`mst_wal::DurableDatabase`]:
+    /// the server shares the durable store's in-memory shards for
+    /// queries and routes `Insert`/`Delete` frames through its
+    /// write-ahead log. Each coalescer tick's ingest frames flush as one
+    /// write batch sharing a single group-commit fsync; an operation is
+    /// acked ([`crate::protocol::Response::Ingested`]) only after that
+    /// fsync returned and the in-memory shards were updated, so an acked
+    /// ingest survives any crash. The answer cache is invalidated on
+    /// every state-changing flush.
+    ///
+    /// The durable database moves into the server and is dropped (its
+    /// file handles synced) when the server shuts down; recover it with
+    /// [`mst_wal::DurableDatabase::open`].
+    pub fn start_durable<I, S>(
+        config: ServerConfig,
+        durable: mst_wal::DurableDatabase<I, S>,
+    ) -> Result<ServerHandle<I>, ServeError>
+    where
+        I: mst_wal::DurableSubstrate + Send + 'static,
+        S: mst_wal::LogStore + Send + 'static,
+        S::Log: Send,
+    {
+        let db = Arc::clone(durable.database());
+        start_inner(config, db, Some(Box::new(durable)))
+    }
+}
+
+fn start_inner<I>(
+    config: ServerConfig,
+    db: Arc<ShardedDatabase<I>>,
+    ingest: Option<Box<dyn IngestBackend>>,
+) -> Result<ServerHandle<I>, ServeError>
+where
+    I: TrajectoryIndex + Send + 'static,
+{
     {
         let queue_capacity = config.resolved_queue_capacity();
         let mut executor = BatchExecutor::new()
@@ -321,8 +379,26 @@ impl Server {
             shutting_down: AtomicBool::new(false),
             live_conns: AtomicUsize::new(0),
             cache: AnswerCache::new(config.cache_capacity),
+            ingest_enabled: ingest.is_some(),
             addr: local_addr,
         });
+        if let Some(backend) = &ingest {
+            // Seed the WAL gauges so a stats probe right after startup
+            // already reports what recovery replayed.
+            let wal = backend.wal_counters();
+            // ordering: startup seeding before any worker thread exists
+            shared
+                .stats
+                .wal_appends
+                .store(wal.appends, Ordering::Relaxed);
+            // ordering: startup seeding before any worker thread exists
+            shared.stats.wal_fsyncs.store(wal.fsyncs, Ordering::Relaxed);
+            shared
+                .stats
+                .replayed_records
+                // ordering: startup seeding before any worker thread exists
+                .store(wal.replayed_records, Ordering::Relaxed);
+        }
 
         // Spawn the I/O workers and the coalescer up front so spawn
         // failures surface here as a typed startup error, not as a
@@ -349,7 +425,14 @@ impl Server {
             std::thread::Builder::new()
                 .name("mst-serve-coalesce".into())
                 .spawn(move || {
-                    mux::coalescer_loop(&coalescer_shared, &event_rx, sink_tx, &txs, queue_capacity)
+                    mux::coalescer_loop(
+                        &coalescer_shared,
+                        &event_rx,
+                        sink_tx,
+                        &txs,
+                        queue_capacity,
+                        ingest,
+                    )
                 })?
         };
         drop(event_tx);
@@ -483,6 +566,10 @@ pub(crate) fn build_query(request: Request) -> Result<BatchQuery, String> {
         Request::Range { window, options } => {
             Ok(BatchQuery::range(Query::range(&window).options(options)))
         }
-        Request::Stats | Request::Shutdown | Request::Hello { .. } => Err("not a query".into()),
+        Request::Stats
+        | Request::Shutdown
+        | Request::Hello { .. }
+        | Request::Insert { .. }
+        | Request::Delete { .. } => Err("not a query".into()),
     }
 }

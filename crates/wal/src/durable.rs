@@ -1,0 +1,523 @@
+//! The coupling: a sharded database that survives the process.
+//!
+//! [`DurableDatabase`] wraps an [`mst_exec::ShardedDatabase`] (shared by
+//! `Arc`, so the executor and serving layers read the very same shards)
+//! with write-ahead logging in front of every mutation:
+//!
+//! 1. **validate** — refuse anything replay could not re-apply (duplicate
+//!    ids, empty trajectories, deletes on a substrate without
+//!    [`DurableSubstrate::SUPPORTS_DELETE`]) *before* logging;
+//! 2. **log** — append one record per operation, then one group-commit
+//!    fsync for the whole batch;
+//! 3. **apply** — only after the fsync returns, mutate the in-memory
+//!    shards ([`ShardedDatabase::apply_op`], generation-published).
+//!
+//! A crash between 2 and 3 loses nothing: the in-memory state dies with
+//! the process, and recovery rebuilds it as `snapshot + replay(lsn..)`.
+//! Replay application is guarded — insert if absent, delete if present —
+//! so replaying a log twice equals replaying it once, and a crash
+//! *during* recovery re-runs harmlessly. [`DurableDatabase::open`] also
+//! repairs a torn final segment (rewriting its valid prefix through the
+//! atomic-rename path) and always resumes writing in a fresh segment, so
+//! damage never accretes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mst_exec::{ExecError, IngestOp, IngestOutcome, ShardedDatabase};
+use mst_index::PAGE_SIZE;
+use mst_search::TrajectoryStore;
+
+use crate::record::WalRecord;
+use crate::replay::{replay, TailState};
+use crate::snapshot::{decode_snapshot, encode_snapshot, DurableSubstrate};
+use crate::writer::{WalConfig, WalWriter};
+use crate::{LogStore, Result, WalError};
+
+/// Counters of the durable layer (monotonic over the handle's life,
+/// except `applied_lsn`, which is a position).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DurableStats {
+    /// LSN of the last operation applied in memory.
+    pub applied_lsn: u64,
+    /// Records appended to the log.
+    pub wal_appends: u64,
+    /// Group-commit fsyncs issued.
+    pub wal_fsyncs: u64,
+    /// Log segment rotations.
+    pub wal_rotations: u64,
+    /// Framed bytes appended.
+    pub wal_bytes: u64,
+    /// Records re-applied by the last recovery (0 for a clean open).
+    pub replayed_records: u64,
+    /// Snapshots written by [`DurableDatabase::checkpoint`].
+    pub checkpoints: u64,
+}
+
+/// A crash-recoverable trajectory database: WAL-before-apply ingest over
+/// shared sharded state, LSN-stamped snapshots, replay on open.
+pub struct DurableDatabase<I: DurableSubstrate, S: LogStore> {
+    db: Arc<ShardedDatabase<I>>,
+    writer: WalWriter<S>,
+    applied_lsn: u64,
+    replayed_records: u64,
+    checkpoints: u64,
+}
+
+impl<I: DurableSubstrate, S: LogStore> DurableDatabase<I, S> {
+    /// Bootstraps a brand-new empty database of `num_shards` shards in
+    /// `store`: writes the genesis snapshot (LSN 0) and opens the first
+    /// log segment. Refuses a store that already holds a database.
+    pub fn create(store: S, config: WalConfig, num_shards: usize) -> Result<Self> {
+        if store.read_snapshot()?.is_some() || !store.list_logs()?.is_empty() {
+            return Err(WalError::Config(
+                "store already holds a database; open it instead",
+            ));
+        }
+        let parts = (0..num_shards)
+            .map(|_| (I::fresh(), TrajectoryStore::new()))
+            .collect();
+        let db = Arc::new(ShardedDatabase::from_shard_parts(parts)?);
+        store.write_snapshot(&encode_snapshot(&db, 0)?)?;
+        let writer = WalWriter::create(store, config, 1)?;
+        Ok(DurableDatabase {
+            db,
+            writer,
+            applied_lsn: 0,
+            replayed_records: 0,
+            checkpoints: 0,
+        })
+    }
+
+    /// Recovers the database a crash (or clean shutdown) left in
+    /// `store`: decode the snapshot, replay the log's gapless suffix
+    /// with guarded application, repair any torn final segment, and
+    /// resume writing in a fresh segment at the next LSN.
+    pub fn open(store: S, config: WalConfig) -> Result<Self> {
+        let snapshot = store.read_snapshot()?.ok_or(WalError::Config(
+            "store holds no database; create one first",
+        ))?;
+        let (db, snapshot_lsn) = decode_snapshot::<I>(&snapshot)?;
+        let db = Arc::new(db);
+        let report = replay(&store, snapshot_lsn + 1)?;
+        let replayed_records = report.records.len() as u64;
+        for (lsn, record) in &report.records {
+            if let Some(op) = record.to_op()? {
+                apply_replayed(&db, &op)
+                    .map_err(|e| WalError::Corrupt(format!("replay of lsn {lsn} failed: {e}")))?;
+            }
+            // Physical page-image records carry their LSN in the chain
+            // but need no logical application: the snapshot plus the
+            // logical records already rebuild every page.
+        }
+        if report.tail != TailState::Clean {
+            if let Some(segment) = report.tail_segment {
+                let bytes = store.read_log(segment)?;
+                let valid = bytes
+                    .get(..report.tail_valid_bytes as usize)
+                    .unwrap_or(&bytes);
+                store.rewrite_log(segment, valid)?;
+            }
+        }
+        let writer = WalWriter::create(store, config, report.next_lsn)?;
+        Ok(DurableDatabase {
+            db,
+            writer,
+            applied_lsn: report.next_lsn - 1,
+            replayed_records,
+            checkpoints: 0,
+        })
+    }
+
+    /// Applies a batch of ingest operations durably: all records are
+    /// validated, logged, made durable with **one** fsync (group
+    /// commit), and only then applied to the shared in-memory shards.
+    /// When `apply` returns, the batch survives any crash; when it
+    /// errors during validation or logging, none of it was applied.
+    pub fn apply(&mut self, ops: &[IngestOp]) -> Result<Vec<IngestOutcome>> {
+        // Validation must simulate the batch's own effects (an insert
+        // after a delete of the same id is fine; two inserts are not),
+        // so presence is tracked as db-state overlaid with the batch.
+        let mut presence: HashMap<u64, bool> = HashMap::new();
+        let mut loggable = Vec::with_capacity(ops.len());
+        for op in ops {
+            let id = op.id();
+            let exists = *presence
+                .entry(id.0)
+                .or_insert_with(|| self.db.trajectory(id).is_some());
+            match op {
+                IngestOp::Insert { trajectory, .. } => {
+                    if trajectory.num_segments() == 0 {
+                        return Err(WalError::Exec(ExecError::Config(
+                            "ingest of a segment-less trajectory",
+                        )));
+                    }
+                    if exists {
+                        return Err(WalError::Exec(ExecError::Config(
+                            "ingest insert of an id that already exists; delete it first",
+                        )));
+                    }
+                    presence.insert(id.0, true);
+                    loggable.push(op);
+                }
+                IngestOp::Delete { .. } => {
+                    if !I::SUPPORTS_DELETE {
+                        return Err(WalError::Config(
+                            "this index substrate does not support deletes",
+                        ));
+                    }
+                    if exists {
+                        presence.insert(id.0, false);
+                        loggable.push(op);
+                    }
+                    // A delete of an absent id is a no-op: not logged,
+                    // reported as applied: false by the apply loop below.
+                }
+            }
+        }
+        for op in &loggable {
+            self.writer.append(&WalRecord::from_op(op))?;
+        }
+        self.writer.commit()?;
+        // The records are durable; now make them visible. A failure here
+        // leaves the log ahead of memory — exactly what recovery replays.
+        let mut outcomes = Vec::with_capacity(ops.len());
+        for op in ops {
+            outcomes.push(self.db.apply_op(op)?);
+        }
+        self.applied_lsn = self.writer.next_lsn() - 1;
+        Ok(outcomes)
+    }
+
+    /// Applies a batch of *independent* ingest operations — the serving
+    /// lane. Where [`DurableDatabase::apply`] treats the batch as one
+    /// transaction (any validation failure refuses everything),
+    /// `apply_independent` treats each operation as its own request:
+    /// invalid operations are refused individually with a typed error
+    /// while the rest proceed, sharing **one** group-commit fsync. This
+    /// is what a server flushing a burst of ingest frames from many
+    /// unrelated clients needs — one bad frame must not fail its
+    /// neighbours, and the burst must not pay per-op fsyncs.
+    ///
+    /// Each successful entry reports `(lsn, applied)`: the operation's
+    /// own LSN (a no-op delete of an absent id reports the current
+    /// applied LSN) and whether state changed. The outer error is an
+    /// I/O or index failure — nothing was acked if it fires during
+    /// logging; a failure during application leaves the log ahead of
+    /// memory, which recovery replays.
+    pub fn apply_independent(
+        &mut self,
+        ops: &[IngestOp],
+    ) -> Result<Vec<std::result::Result<(u64, bool), ExecError>>> {
+        enum Plan {
+            Log,
+            Noop,
+            Refuse(&'static str),
+        }
+        // Validation overlays the burst's own effects on db state, same
+        // as `apply`: an insert after an in-burst delete of the id is
+        // legal; two in-burst inserts of one id are not.
+        let mut presence: HashMap<u64, bool> = HashMap::new();
+        let mut plans = Vec::with_capacity(ops.len());
+        for op in ops {
+            let id = op.id();
+            let exists = *presence
+                .entry(id.0)
+                .or_insert_with(|| self.db.trajectory(id).is_some());
+            let plan = match op {
+                IngestOp::Insert { trajectory, .. } => {
+                    if trajectory.num_segments() == 0 {
+                        Plan::Refuse("ingest of a segment-less trajectory")
+                    } else if exists {
+                        Plan::Refuse("ingest insert of an id that already exists; delete it first")
+                    } else {
+                        presence.insert(id.0, true);
+                        Plan::Log
+                    }
+                }
+                IngestOp::Delete { .. } => {
+                    if !I::SUPPORTS_DELETE {
+                        Plan::Refuse("this index substrate does not support deletes")
+                    } else if exists {
+                        presence.insert(id.0, false);
+                        Plan::Log
+                    } else {
+                        Plan::Noop
+                    }
+                }
+            };
+            plans.push(plan);
+        }
+        let mut staged: Vec<Option<u64>> = Vec::with_capacity(ops.len());
+        for (op, plan) in ops.iter().zip(&plans) {
+            staged.push(match plan {
+                Plan::Log => Some(self.writer.append(&WalRecord::from_op(op))?),
+                Plan::Noop | Plan::Refuse(_) => None,
+            });
+        }
+        self.writer.commit()?;
+        let mut results = Vec::with_capacity(ops.len());
+        for ((op, plan), lsn) in ops.iter().zip(plans).zip(staged) {
+            match plan {
+                Plan::Refuse(msg) => results.push(Err(ExecError::Config(msg))),
+                Plan::Noop => results.push(Ok((self.applied_lsn, false))),
+                Plan::Log => {
+                    let outcome = self.db.apply_op(op)?;
+                    self.applied_lsn = lsn.unwrap_or(self.applied_lsn);
+                    results.push(Ok((self.applied_lsn, outcome.applied)));
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    /// Logs one physical page-image redo record (substrate-internal
+    /// maintenance that bypasses the logical lane). Durable when the
+    /// call returns — page images are rare enough to commit alone.
+    pub fn log_page_image(&mut self, shard: u32, page: u32, bytes: &[u8]) -> Result<u64> {
+        if bytes.len() != PAGE_SIZE {
+            return Err(WalError::Config("a page image must be PAGE_SIZE bytes"));
+        }
+        let lsn = self.writer.append(&WalRecord::PageImage {
+            shard,
+            page,
+            bytes: bytes.into(),
+        })?;
+        self.writer.commit()?;
+        self.applied_lsn = lsn;
+        Ok(lsn)
+    }
+
+    /// Writes a snapshot consistent through everything applied so far
+    /// and drops every log segment the snapshot makes redundant (all but
+    /// the one being written to). Recovery time is then proportional to
+    /// the log written *since* the checkpoint.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.writer.commit()?;
+        let bytes = encode_snapshot(&self.db, self.applied_lsn)?;
+        self.writer.store().write_snapshot(&bytes)?;
+        let segments = self.writer.store().list_logs()?;
+        if let Some((&_last, older)) = segments.split_last() {
+            for &segment in older {
+                self.writer.store().remove_log(segment)?;
+            }
+        }
+        self.checkpoints += 1;
+        Ok(())
+    }
+
+    /// The shared in-memory database — hand clones of this `Arc` to the
+    /// executor ([`mst_exec::ExecHandle`]) and serving layers; they see
+    /// every applied ingest at generation granularity.
+    pub fn database(&self) -> &Arc<ShardedDatabase<I>> {
+        &self.db
+    }
+
+    /// LSN of the last operation applied in memory.
+    pub fn applied_lsn(&self) -> u64 {
+        self.applied_lsn
+    }
+
+    /// The durable layer's counters.
+    pub fn stats(&self) -> DurableStats {
+        let wal = self.writer.stats();
+        DurableStats {
+            applied_lsn: self.applied_lsn,
+            wal_appends: wal.appends,
+            wal_fsyncs: wal.fsyncs,
+            wal_rotations: wal.rotations,
+            wal_bytes: wal.bytes_appended,
+            replayed_records: self.replayed_records,
+            checkpoints: self.checkpoints,
+        }
+    }
+}
+
+/// Guarded (idempotent) application for replay: insert if absent,
+/// delete if present. Whole-op granularity matches how recovery works —
+/// the snapshot never holds half an operation, so a record is either
+/// fully reflected already (skip) or not at all (apply). Public so the
+/// recovery suite can prove replay-twice idempotence directly.
+pub fn apply_replayed<I: DurableSubstrate>(
+    db: &ShardedDatabase<I>,
+    op: &IngestOp,
+) -> std::result::Result<(), ExecError> {
+    let exists = db.trajectory(op.id()).is_some();
+    match op {
+        IngestOp::Insert { .. } if exists => Ok(()),
+        IngestOp::Delete { .. } if !exists => Ok(()),
+        _ => db.apply_op(op).map(|_| ()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::SimStore;
+    use mst_index::Rtree3D;
+    use mst_trajectory::{SamplePoint, Trajectory, TrajectoryId};
+
+    fn traj(id: u64, n: usize) -> Trajectory {
+        let pts = (0..n)
+            .map(|i| SamplePoint::new(i as f64, i as f64 * 0.5, id as f64))
+            .collect();
+        Trajectory::new(pts).expect("valid")
+    }
+
+    fn insert(id: u64) -> IngestOp {
+        IngestOp::Insert {
+            id: TrajectoryId(id),
+            trajectory: traj(id, 5),
+        }
+    }
+
+    fn delete(id: u64) -> IngestOp {
+        IngestOp::Delete {
+            id: TrajectoryId(id),
+        }
+    }
+
+    #[test]
+    fn create_apply_reopen_recovers_everything_acked() {
+        let store = SimStore::new();
+        let mut db =
+            DurableDatabase::<Rtree3D, _>::create(store.clone(), WalConfig::default(), 2).unwrap();
+        let outcomes = db
+            .apply(&[insert(1), insert(2), insert(3), delete(2)])
+            .unwrap();
+        assert!(outcomes.iter().take(3).all(|o| o.applied));
+        assert_eq!(db.stats().wal_fsyncs, 1, "one group, one fsync");
+        assert_eq!(db.applied_lsn(), 4);
+        drop(db);
+
+        let back = DurableDatabase::<Rtree3D, _>::open(store, WalConfig::default()).unwrap();
+        assert_eq!(back.applied_lsn(), 4);
+        assert_eq!(back.stats().replayed_records, 4);
+        let shared = back.database();
+        assert_eq!(shared.num_objects(), 2);
+        assert!(shared.trajectory(TrajectoryId(1)).is_some());
+        assert!(shared.trajectory(TrajectoryId(2)).is_none());
+        assert!(shared.trajectory(TrajectoryId(3)).is_some());
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_log_and_speeds_recovery() {
+        let store = SimStore::new();
+        let mut db =
+            DurableDatabase::<Rtree3D, _>::create(store.clone(), WalConfig::default(), 1).unwrap();
+        db.apply(&[insert(1), insert(2)]).unwrap();
+        db.checkpoint().unwrap();
+        db.apply(&[insert(3)]).unwrap();
+        drop(db);
+
+        let back = DurableDatabase::<Rtree3D, _>::open(store, WalConfig::default()).unwrap();
+        assert_eq!(
+            back.stats().replayed_records,
+            1,
+            "only the post-checkpoint suffix replays"
+        );
+        assert_eq!(back.database().num_objects(), 3);
+        assert_eq!(back.applied_lsn(), 3);
+    }
+
+    #[test]
+    fn validation_failures_log_and_apply_nothing() {
+        let store = SimStore::new();
+        let mut db =
+            DurableDatabase::<Rtree3D, _>::create(store.clone(), WalConfig::default(), 1).unwrap();
+        db.apply(&[insert(1)]).unwrap();
+        let appends_before = db.stats().wal_appends;
+        // Second op of the batch is invalid: the whole batch is refused.
+        let err = db.apply(&[insert(2), insert(1)]).expect_err("duplicate");
+        assert!(matches!(err, WalError::Exec(ExecError::Config(_))));
+        assert_eq!(db.stats().wal_appends, appends_before, "nothing logged");
+        assert_eq!(db.database().num_objects(), 1, "nothing applied");
+        // Delete-then-insert of the same id in one batch is legal.
+        let outcomes = db.apply(&[delete(1), insert(1)]).unwrap();
+        assert!(outcomes.iter().all(|o| o.applied));
+    }
+
+    #[test]
+    fn independent_batches_refuse_per_op_and_share_one_fsync() {
+        let store = SimStore::new();
+        let mut db =
+            DurableDatabase::<Rtree3D, _>::create(store.clone(), WalConfig::default(), 2).unwrap();
+        db.apply(&[insert(1)]).unwrap();
+        let fsyncs_before = db.stats().wal_fsyncs;
+        // A burst mixing valid ops, a duplicate insert, and a no-op
+        // delete: the bad op is refused alone, the rest land, and the
+        // whole burst costs exactly one fsync.
+        let results = db
+            .apply_independent(&[insert(2), insert(1), delete(9), delete(1), insert(3)])
+            .unwrap();
+        assert!(matches!(results[0], Ok((2, true))));
+        assert!(results[1].is_err(), "duplicate insert refused alone");
+        assert!(
+            matches!(results[2], Ok((_, false))),
+            "absent delete is a no-op"
+        );
+        assert!(matches!(results[3], Ok((3, true))));
+        assert!(matches!(results[4], Ok((4, true))));
+        assert_eq!(db.stats().wal_fsyncs, fsyncs_before + 1, "one group commit");
+        assert_eq!(db.applied_lsn(), 4);
+        drop(db);
+
+        // Everything acked by the burst survives recovery.
+        let back = DurableDatabase::<Rtree3D, _>::open(store, WalConfig::default()).unwrap();
+        assert_eq!(back.database().num_objects(), 2, "ids 2 and 3 (1 deleted)");
+        assert!(back.database().trajectory(TrajectoryId(1)).is_none());
+        assert_eq!(back.applied_lsn(), 4);
+    }
+
+    #[test]
+    fn deletes_on_a_tbtree_are_refused_before_logging() {
+        use mst_index::TbTree;
+        let store = SimStore::new();
+        let mut db =
+            DurableDatabase::<TbTree, _>::create(store.clone(), WalConfig::default(), 1).unwrap();
+        db.apply(&[insert(1)]).unwrap();
+        let err = db.apply(&[delete(1)]).expect_err("no deletes on tbtree");
+        assert!(matches!(err, WalError::Config(_)));
+        assert_eq!(db.stats().wal_appends, 1, "the delete never hit the log");
+    }
+
+    #[test]
+    fn absent_id_deletes_are_unlogged_no_ops() {
+        let store = SimStore::new();
+        let mut db =
+            DurableDatabase::<Rtree3D, _>::create(store.clone(), WalConfig::default(), 1).unwrap();
+        let outcomes = db.apply(&[delete(9)]).unwrap();
+        assert!(!outcomes[0].applied);
+        assert_eq!(db.stats().wal_appends, 0);
+        assert_eq!(db.applied_lsn(), 0);
+    }
+
+    #[test]
+    fn page_image_records_replay_as_chain_links_only() {
+        let store = SimStore::new();
+        let mut db =
+            DurableDatabase::<Rtree3D, _>::create(store.clone(), WalConfig::default(), 1).unwrap();
+        db.apply(&[insert(1)]).unwrap();
+        db.log_page_image(0, 3, &vec![0x5A; PAGE_SIZE]).unwrap();
+        db.apply(&[insert(2)]).unwrap();
+        drop(db);
+        let back = DurableDatabase::<Rtree3D, _>::open(store, WalConfig::default()).unwrap();
+        assert_eq!(back.stats().replayed_records, 3);
+        assert_eq!(back.database().num_objects(), 2);
+    }
+
+    #[test]
+    fn create_refuses_an_occupied_store_and_open_an_empty_one() {
+        let store = SimStore::new();
+        assert!(matches!(
+            DurableDatabase::<Rtree3D, _>::open(store.clone(), WalConfig::default()),
+            Err(WalError::Config(_))
+        ));
+        let _db =
+            DurableDatabase::<Rtree3D, _>::create(store.clone(), WalConfig::default(), 1).unwrap();
+        assert!(matches!(
+            DurableDatabase::<Rtree3D, _>::create(store, WalConfig::default(), 1),
+            Err(WalError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,292 @@
+//! Whole-database snapshot images, LSN-stamped.
+//!
+//! A snapshot captures every shard — trajectory store *and* index image
+//! (the `persist.rs` `MSTIDX02` format, which itself carries the LSN) —
+//! sealed with a [`fold_bytes`] trailer over the whole byte stream:
+//!
+//! ```text
+//! snapshot := "MSTWALSS" lsn:u64 shard_count:u32 shard{shard_count} sum:u32
+//! shard    := object_count:u32 object{object_count} image_len:u64 image
+//! object   := id:u64 point_count:u32 (t:f64 x:f64 y:f64){point_count}
+//! ```
+//!
+//! Shards appear in routing order, objects in store order, so the same
+//! database state encodes to the same bytes — which is what lets the
+//! recovery suite assert replay-twice idempotence on image bits.
+//!
+//! [`DurableSubstrate`] is the seam that lets the codec stay generic
+//! over the three index substrates: their `save_lsn`/`load_lsn` are
+//! inherent methods (each validates its own image kind), so the trait
+//! re-routes them, adds [`DurableSubstrate::fresh`] for bootstrapping an
+//! empty database, and declares whether the substrate can honor delete
+//! records ([`DurableSubstrate::SUPPORTS_DELETE`] — checked *before*
+//! logging, so the log never holds an op replay cannot apply).
+
+use std::io::{Read, Write};
+
+use mst_exec::ShardedDatabase;
+use mst_index::checksum::fold_bytes;
+use mst_index::{Rtree3D, StrTree, TbTree, TrajectoryIndexWrite};
+use mst_search::TrajectoryStore;
+use mst_trajectory::{SamplePoint, Trajectory, TrajectoryId};
+
+use crate::record::Cursor;
+use crate::{Result, WalError};
+
+const MAGIC: &[u8; 8] = b"MSTWALSS";
+
+/// An index substrate the durable store can checkpoint and recover.
+pub trait DurableSubstrate: TrajectoryIndexWrite + Sized {
+    /// Substrate name, for error messages and bench labels.
+    const NAME: &'static str;
+
+    /// Whether [`TrajectoryIndexWrite::delete_entry`] works. Checked
+    /// before a delete is logged: a substrate that cannot delete must
+    /// never be asked to replay one.
+    const SUPPORTS_DELETE: bool;
+
+    /// An empty index (bootstrapping a brand-new database).
+    fn fresh() -> Self;
+
+    /// Serializes the index, stamped as consistent through `lsn`.
+    fn save_image<W: Write>(&mut self, writer: W, lsn: u64) -> mst_index::Result<()>;
+
+    /// Reconstructs an index from an image, returning its LSN stamp.
+    fn load_image<R: Read>(reader: R) -> mst_index::Result<(Self, u64)>;
+}
+
+impl DurableSubstrate for Rtree3D {
+    const NAME: &'static str = "rtree";
+    const SUPPORTS_DELETE: bool = true;
+
+    fn fresh() -> Self {
+        Rtree3D::new()
+    }
+
+    fn save_image<W: Write>(&mut self, writer: W, lsn: u64) -> mst_index::Result<()> {
+        self.save_lsn(writer, lsn)
+    }
+
+    fn load_image<R: Read>(reader: R) -> mst_index::Result<(Self, u64)> {
+        Rtree3D::load_lsn(reader)
+    }
+}
+
+impl DurableSubstrate for TbTree {
+    const NAME: &'static str = "tbtree";
+    const SUPPORTS_DELETE: bool = false;
+
+    fn fresh() -> Self {
+        TbTree::new()
+    }
+
+    fn save_image<W: Write>(&mut self, writer: W, lsn: u64) -> mst_index::Result<()> {
+        self.save_lsn(writer, lsn)
+    }
+
+    fn load_image<R: Read>(reader: R) -> mst_index::Result<(Self, u64)> {
+        TbTree::load_lsn(reader)
+    }
+}
+
+impl DurableSubstrate for StrTree {
+    const NAME: &'static str = "strtree";
+    const SUPPORTS_DELETE: bool = false;
+
+    fn fresh() -> Self {
+        StrTree::new()
+    }
+
+    fn save_image<W: Write>(&mut self, writer: W, lsn: u64) -> mst_index::Result<()> {
+        self.save_lsn(writer, lsn)
+    }
+
+    fn load_image<R: Read>(reader: R) -> mst_index::Result<(Self, u64)> {
+        StrTree::load_lsn(reader)
+    }
+}
+
+/// Encodes the whole database as a snapshot consistent through `lsn`.
+/// Takes each shard's store read lock and index lock in turn (shard by
+/// shard, store before index — the global lock order), so it can run
+/// while other shards answer queries.
+pub fn encode_snapshot<I: DurableSubstrate>(db: &ShardedDatabase<I>, lsn: u64) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&lsn.to_le_bytes());
+    out.extend_from_slice(&(db.num_shards() as u32).to_le_bytes());
+    for shard in db.shards() {
+        let store = shard.store();
+        out.extend_from_slice(&(store.len() as u32).to_le_bytes());
+        for (id, traj) in store.iter() {
+            out.extend_from_slice(&id.0.to_le_bytes());
+            out.extend_from_slice(&(traj.points().len() as u32).to_le_bytes());
+            for p in traj.points() {
+                out.extend_from_slice(&p.t.to_le_bytes());
+                out.extend_from_slice(&p.x.to_le_bytes());
+                out.extend_from_slice(&p.y.to_le_bytes());
+            }
+        }
+        let mut image = Vec::new();
+        shard
+            .index()
+            .with(|index| index.save_image(&mut image, lsn))??;
+        out.extend_from_slice(&(image.len() as u64).to_le_bytes());
+        out.extend_from_slice(&image);
+        drop(store);
+    }
+    out.extend_from_slice(&fold_bytes(&out).to_le_bytes());
+    Ok(out)
+}
+
+/// Decodes a snapshot back into a database plus the LSN it is
+/// consistent through. The trailer checksum is verified before any
+/// parsing, and each shard image's own LSN stamp must agree with the
+/// header's.
+pub fn decode_snapshot<I: DurableSubstrate>(bytes: &[u8]) -> Result<(ShardedDatabase<I>, u64)> {
+    let corrupt = |msg: &str| WalError::Corrupt(format!("snapshot: {msg}"));
+    let body_len = bytes
+        .len()
+        .checked_sub(4)
+        .ok_or_else(|| corrupt("shorter than its checksum trailer"))?;
+    let (body, trailer) = (
+        bytes.get(..body_len).ok_or_else(|| corrupt("truncated"))?,
+        bytes.get(body_len..).ok_or_else(|| corrupt("truncated"))?,
+    );
+    let stored = u32::from_le_bytes([
+        trailer.first().copied().unwrap_or(0),
+        trailer.get(1).copied().unwrap_or(0),
+        trailer.get(2).copied().unwrap_or(0),
+        trailer.get(3).copied().unwrap_or(0),
+    ]);
+    if fold_bytes(body) != stored {
+        return Err(corrupt("checksum trailer mismatch"));
+    }
+    let mut cur = Cursor { buf: body };
+    if cur.take(MAGIC.len()) != Some(&MAGIC[..]) {
+        return Err(corrupt("bad magic"));
+    }
+    let lsn = cur.u64().ok_or_else(|| corrupt("missing lsn"))?;
+    let shard_count = cur.u32().ok_or_else(|| corrupt("missing shard count"))? as usize;
+    let mut parts = Vec::with_capacity(shard_count);
+    for shard_no in 0..shard_count {
+        let object_count = cur.u32().ok_or_else(|| corrupt("missing object count"))? as usize;
+        let mut store = TrajectoryStore::new();
+        for _ in 0..object_count {
+            let id = TrajectoryId(cur.u64().ok_or_else(|| corrupt("missing object id"))?);
+            let point_count = cur.u32().ok_or_else(|| corrupt("missing point count"))? as usize;
+            if cur.remaining() < point_count.saturating_mul(24) {
+                return Err(corrupt("object points truncated"));
+            }
+            let mut points = Vec::with_capacity(point_count);
+            for _ in 0..point_count {
+                let t = cur.f64().ok_or_else(|| corrupt("missing point"))?;
+                let x = cur.f64().ok_or_else(|| corrupt("missing point"))?;
+                let y = cur.f64().ok_or_else(|| corrupt("missing point"))?;
+                points.push(SamplePoint::new(t, x, y));
+            }
+            let traj = Trajectory::new(points)
+                .map_err(|e| corrupt(&format!("object {} invalid: {e}", id.0)))?;
+            store.insert(id, traj);
+        }
+        let image_len = cur.u64().ok_or_else(|| corrupt("missing image length"))? as usize;
+        let image = cur
+            .take(image_len)
+            .ok_or_else(|| corrupt("image truncated"))?;
+        let (index, image_lsn) = I::load_image(image)?;
+        if image_lsn != lsn {
+            return Err(corrupt(&format!(
+                "shard {shard_no} image is at lsn {image_lsn}, header says {lsn}"
+            )));
+        }
+        parts.push((index, store));
+    }
+    if cur.remaining() != 0 {
+        return Err(corrupt("trailing bytes after final shard"));
+    }
+    let db = ShardedDatabase::from_shard_parts(parts)?;
+    Ok((db, lsn))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mst_index::TrajectoryIndex;
+    use mst_trajectory::SamplePoint;
+
+    fn traj(id: u64, n: usize) -> (TrajectoryId, Trajectory) {
+        let pts = (0..n)
+            .map(|i| SamplePoint::new(i as f64, i as f64 * 0.25, id as f64))
+            .collect();
+        (TrajectoryId(id), Trajectory::new(pts).expect("valid"))
+    }
+
+    #[test]
+    fn a_sharded_rtree_database_roundtrips_with_its_lsn() {
+        let db = ShardedDatabase::with_rtree(3, (0..10u64).map(|id| traj(id, 6))).unwrap();
+        let bytes = encode_snapshot(&db, 42).unwrap();
+        let (back, lsn) = decode_snapshot::<Rtree3D>(&bytes).unwrap();
+        assert_eq!(lsn, 42);
+        assert_eq!(back.num_shards(), 3);
+        assert_eq!(back.num_objects(), 10);
+        for id in 0..10u64 {
+            let id = TrajectoryId(id);
+            assert_eq!(back.trajectory(id), db.trajectory(id));
+        }
+        for (a, b) in db.shards().iter().zip(back.shards()) {
+            assert_eq!(
+                a.index().reader().num_entries(),
+                b.index().reader().num_entries()
+            );
+        }
+    }
+
+    #[test]
+    fn the_same_state_encodes_to_the_same_bytes() {
+        let db = ShardedDatabase::with_tbtree(2, (0..6u64).map(|id| traj(id, 5))).unwrap();
+        let a = encode_snapshot(&db, 7).unwrap();
+        let (back, _) = decode_snapshot::<TbTree>(&a).unwrap();
+        let b = encode_snapshot(&back, 7).unwrap();
+        assert_eq!(a, b, "decode∘encode is byte-stable");
+    }
+
+    #[test]
+    fn any_flipped_bit_is_rejected() {
+        let db = ShardedDatabase::with_rtree(1, (0..3u64).map(|id| traj(id, 4))).unwrap();
+        let bytes = encode_snapshot(&db, 1).unwrap();
+        // Probe a spread of offsets (every byte would be slow: images are
+        // page-sized). Include the magic, lsn, both length fields, the
+        // trailer, and arbitrary interior bytes.
+        let probes = [
+            0,
+            9,
+            17,
+            21,
+            bytes.len() / 2,
+            bytes.len() - 5,
+            bytes.len() - 1,
+        ];
+        for &offset in &probes {
+            let mut bent = bytes.clone();
+            bent[offset] ^= 0x10;
+            assert!(
+                decode_snapshot::<Rtree3D>(&bent).is_err(),
+                "flip at {offset} must be rejected"
+            );
+        }
+        for cut in [0, 4, 11, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_snapshot::<Rtree3D>(&bytes[..cut]).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn substrate_capabilities_are_declared() {
+        assert!(Rtree3D::SUPPORTS_DELETE);
+        assert!(!TbTree::SUPPORTS_DELETE);
+        assert!(!StrTree::SUPPORTS_DELETE);
+        assert_eq!(Rtree3D::fresh().num_entries(), 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Crash-recovery suite: kill the writer at every schedule point,
+//! recover, and prove the database indistinguishable from one that
+//! never failed.
+//!
+//! The harness runs a fixed ingest workload (batched inserts, deletes on
+//! the substrate that supports them, mid-workload checkpoints) against a
+//! [`SimStore`], whose every durability operation — append, fsync,
+//! segment create/remove, snapshot write — is a schedule point. A dry
+//! run counts the schedule; then, for **every** kill point `k`, a fresh
+//! run is killed at operation `k`, rebooted, and recovered. For each
+//! recovery the suite asserts:
+//!
+//! * every *acked* operation survived (group commit is the ack line);
+//! * the recovered operation set is a gapless prefix of the workload
+//!   (acked ops, plus possibly a durable-but-unacked suffix);
+//! * [`mst_index::check_invariants`] passes on every shard;
+//! * the whole database — store contents and raw index pages — is
+//!   **bit-identical** to a reference database built by applying that
+//!   same prefix without any failure, compared via snapshot images;
+//! * k-MST and kNN answers match the reference bit-for-bit.
+//!
+//! The sweep runs over both index substrates (R-tree with deletes,
+//! TB-tree insert-only) and shard counts {1, 3}, with segments small
+//! enough that rotation points fall inside the sweep.
+
+use mst_exec::{BatchExecutor, BatchQuery, IngestOp, QueryAnswer, ShardedDatabase};
+use mst_index::{check_invariants, Rtree3D, TbTree};
+use mst_search::Query;
+use mst_trajectory::{SamplePoint, Trajectory, TrajectoryId};
+use mst_wal::{
+    encode_snapshot, DurableDatabase, DurableSubstrate, SimCrashPlan, SimStore, WalConfig, WalError,
+};
+
+/// One step of the workload.
+enum Step {
+    Batch(Vec<IngestOp>),
+    Checkpoint,
+}
+
+fn traj(id: u64, n: usize) -> Trajectory {
+    let pts = (0..n)
+        .map(|i| {
+            SamplePoint::new(
+                i as f64,
+                (i as f64 * 0.7 + id as f64 * 1.3) % 10.0,
+                (id as f64 * 2.1 + i as f64 * 0.4) % 10.0,
+            )
+        })
+        .collect();
+    Trajectory::new(pts).expect("valid workload trajectory")
+}
+
+fn ins(id: u64) -> IngestOp {
+    IngestOp::Insert {
+        id: TrajectoryId(id),
+        trajectory: traj(id, 5 + (id % 4) as usize),
+    }
+}
+
+fn del(id: u64) -> IngestOp {
+    IngestOp::Delete {
+        id: TrajectoryId(id),
+    }
+}
+
+/// The workload; every delete targets an id inserted earlier, so every
+/// operation is loggable and the flat op list is the replay ground
+/// truth.
+fn workload(with_deletes: bool) -> Vec<Step> {
+    if with_deletes {
+        vec![
+            Step::Batch(vec![ins(1), ins(2), ins(3)]),
+            Step::Batch(vec![ins(4), ins(5)]),
+            Step::Checkpoint,
+            Step::Batch(vec![ins(6), del(2)]),
+            Step::Batch(vec![ins(7), ins(8)]),
+            Step::Batch(vec![del(5), ins(9)]),
+            Step::Checkpoint,
+            Step::Batch(vec![ins(10), ins(11)]),
+        ]
+    } else {
+        vec![
+            Step::Batch(vec![ins(1), ins(2), ins(3)]),
+            Step::Batch(vec![ins(4), ins(5)]),
+            Step::Checkpoint,
+            Step::Batch(vec![ins(6)]),
+            Step::Batch(vec![ins(7), ins(8)]),
+            Step::Batch(vec![ins(9)]),
+            Step::Checkpoint,
+            Step::Batch(vec![ins(10), ins(11)]),
+        ]
+    }
+}
+
+fn flat_ops(steps: &[Step]) -> Vec<IngestOp> {
+    steps
+        .iter()
+        .filter_map(|s| match s {
+            Step::Batch(ops) => Some(ops.clone()),
+            Step::Checkpoint => None,
+        })
+        .flatten()
+        .collect()
+}
+
+fn config() -> WalConfig {
+    // Small segments so the sweep crosses rotation boundaries.
+    WalConfig { rotate_bytes: 512 }
+}
+
+/// Runs the workload until completion or the scheduled crash. Returns
+/// the number of *acked* operations (batches whose group commit
+/// returned) — panics on any error that is not the scheduled crash.
+fn drive<I: DurableSubstrate>(
+    db: &mut DurableDatabase<I, SimStore>,
+    steps: &[Step],
+) -> (usize, bool) {
+    let mut acked = 0;
+    for step in steps {
+        let crashed = match step {
+            Step::Batch(ops) => match db.apply(ops) {
+                Ok(outcomes) => {
+                    assert!(outcomes.iter().all(|o| o.applied));
+                    acked += ops.len();
+                    false
+                }
+                Err(WalError::Crashed) => true,
+                Err(e) => panic!("unexpected apply error: {e}"),
+            },
+            Step::Checkpoint => match db.checkpoint() {
+                Ok(()) => false,
+                Err(WalError::Crashed) => true,
+                Err(e) => panic!("unexpected checkpoint error: {e}"),
+            },
+        };
+        if crashed {
+            return (acked, true);
+        }
+    }
+    (acked, false)
+}
+
+/// A reference database built by applying `ops` one at a time with no
+/// failures anywhere.
+fn reference<I: DurableSubstrate>(ops: &[IngestOp], shards: usize) -> DurableDatabase<I, SimStore> {
+    let mut db = DurableDatabase::<I, _>::create(SimStore::new(), config(), shards)
+        .expect("reference create");
+    for op in ops {
+        db.apply(std::slice::from_ref(op)).expect("reference apply");
+    }
+    db
+}
+
+/// Bit patterns of the k-MST and kNN answers for a fixed query — the
+/// cross-run comparison key.
+fn answer_bits<I: DurableSubstrate + Send>(db: &ShardedDatabase<I>) -> Vec<(u64, u64, u64)> {
+    let q = Trajectory::new(vec![
+        SamplePoint::new(0.0, 1.0, 1.0),
+        SamplePoint::new(4.0, 5.0, 4.0),
+        SamplePoint::new(8.0, 8.0, 8.0),
+    ])
+    .expect("query trajectory");
+    let queries = vec![
+        BatchQuery::kmst(Query::kmst(&q).k(5)).expect("kmst spec"),
+        BatchQuery::knn(Query::knn(&q).k(4)).expect("knn spec"),
+    ];
+    let outcome = BatchExecutor::new().workers(1).run(db, queries);
+    let mut bits = Vec::new();
+    for result in outcome.outcomes {
+        let result = result.expect("query runs");
+        assert!(!result.degraded, "answers must be certified complete");
+        match result.answer {
+            QueryAnswer::Kmst(matches) => {
+                bits.extend(matches.iter().map(|m| (m.traj.0, m.dissim.to_bits(), 0)));
+            }
+            QueryAnswer::Knn(matches) => {
+                bits.extend(
+                    matches
+                        .iter()
+                        .map(|m| (m.traj.0, m.distance.to_bits(), m.time.to_bits())),
+                );
+            }
+            other => panic!("unexpected answer flavour: {other:?}"),
+        }
+    }
+    bits
+}
+
+/// The full sweep for one substrate / shard-count pair.
+fn sweep<I: DurableSubstrate + Send>(shards: usize, with_deletes: bool) {
+    let steps = workload(with_deletes);
+    let ops = flat_ops(&steps);
+
+    // Dry run: learn the schedule length and the unfailed final state.
+    let dry_store = SimStore::new();
+    let mut dry = DurableDatabase::<I, _>::create(dry_store.clone(), config(), shards)
+        .expect("dry-run create");
+    let create_ops = dry_store.op_count();
+    let (dry_acked, dry_crashed) = drive(&mut dry, &steps);
+    assert!(!dry_crashed);
+    assert_eq!(dry_acked, ops.len());
+    let total_ops = dry_store.op_count();
+    assert!(
+        dry.stats().wal_rotations > 0,
+        "the sweep must cross rotation points"
+    );
+    let full_reference = reference::<I>(&ops, shards);
+    assert_eq!(
+        encode_snapshot(dry.database(), 0).expect("dry image"),
+        encode_snapshot(full_reference.database(), 0).expect("reference image"),
+        "sanity: batch sizing must not change the state"
+    );
+    drop(dry);
+
+    // One extra point past the end = the never-crashing control run.
+    for kill in create_ops..=total_ops {
+        let store = SimStore::new();
+        let mut db = DurableDatabase::<I, _>::create(store.clone(), config(), shards)
+            .expect("create under sweep");
+        store.arm(SimCrashPlan {
+            kill_at_op: kill,
+            seed: 0xC0FFEE ^ kill,
+        });
+        let (acked, crashed) = drive(&mut db, &steps);
+        assert_eq!(crashed, kill < total_ops, "kill point {kill}");
+        drop(db);
+        store.reopen();
+
+        let recovered = DurableDatabase::<I, _>::open(store.clone(), config())
+            .unwrap_or_else(|e| panic!("recovery after kill at {kill} failed: {e}"));
+
+        // The recovered op set is a gapless prefix: everything acked,
+        // possibly plus durable-but-unacked records from the torn group.
+        let prefix = recovered.applied_lsn() as usize;
+        assert!(
+            prefix >= acked,
+            "kill {kill}: acked {acked} ops but only {prefix} recovered"
+        );
+        assert!(
+            prefix <= ops.len(),
+            "kill {kill}: recovered beyond the workload"
+        );
+
+        for shard in recovered.database().shards() {
+            shard
+                .index()
+                .with(|index| {
+                    check_invariants(index)
+                        .unwrap_or_else(|e| panic!("kill {kill}: invariants broken: {e}"));
+                })
+                .expect("index lock healthy");
+        }
+
+        // Bit-identical to the unfailed run over the same prefix: raw
+        // index pages, stores, and answers.
+        let reference = reference::<I>(&ops[..prefix], shards);
+        assert_eq!(
+            encode_snapshot(recovered.database(), 0).expect("recovered image"),
+            encode_snapshot(reference.database(), 0).expect("reference image"),
+            "kill {kill}: recovered state diverges from the unfailed run"
+        );
+        assert_eq!(
+            answer_bits(recovered.database()),
+            answer_bits(reference.database()),
+            "kill {kill}: answers diverge from the unfailed run"
+        );
+    }
+}
+
+#[test]
+fn rtree_single_shard_survives_every_kill_point() {
+    sweep::<Rtree3D>(1, true);
+}
+
+#[test]
+fn rtree_three_shards_survive_every_kill_point() {
+    sweep::<Rtree3D>(3, true);
+}
+
+#[test]
+fn tbtree_single_shard_survives_every_kill_point() {
+    sweep::<TbTree>(1, false);
+}
+
+#[test]
+fn tbtree_three_shards_survive_every_kill_point() {
+    sweep::<TbTree>(3, false);
+}

@@ -1,0 +1,29 @@
+//! R13 corpus: writable handles that can drop with bytes in the page cache.
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// Creates and writes a segment, then lets the handle drop unsynced.
+pub fn write_segment(path: &Path, payload: &[u8]) -> std::io::Result<()> {
+    let mut f = File::create(path)?;
+    f.write_all(payload)?;
+    Ok(())
+}
+
+/// An append-mode builder chain with no barrier anywhere in the function.
+pub fn open_for_append(path: &Path) -> std::io::Result<File> {
+    OpenOptions::new().append(true).create(true).open(path)
+}
+
+/// The sync lives in a *different* function: the creating function still
+/// returns with the handle's bytes unflushed, so the site is flagged.
+pub fn write_then_defer(path: &Path, payload: &[u8]) -> std::io::Result<File> {
+    let mut f = File::create(path)?;
+    f.write_all(payload)?;
+    Ok(f)
+}
+
+/// Not the barrier for the sites above — a separate function.
+pub fn barrier_elsewhere(f: &File) -> std::io::Result<()> {
+    f.sync_all()
+}

@@ -2,7 +2,7 @@
 //!
 //! The framework lives in three modules: [`lexer`] turns each source file
 //! into spanned tokens plus a sanitised line view, [`rules`] holds the
-//! twelve independent rule modules (R1–R12, including the whole-workspace
+//! thirteen independent rule modules (R1–R13, including the whole-workspace
 //! lock-order audit), and [`report`] renders deterministic human and JSON
 //! diagnostics. The full rule catalogue, the justification grammar
 //! (`// invariant:` / `// ordering:`), and the lock-graph model are
@@ -34,6 +34,7 @@ use std::process::ExitCode;
 use lexer::SourceFile;
 use report::Violation;
 use rules::atomics::{sites, AtomicOrdering, AtomicSite};
+use rules::durability::UnsyncedHandles;
 use rules::hygiene::{
     CrateRootAttrs, NoClocks, NoDeprecatedQueryCalls, NoFloatEquality, NoLossyCasts,
 };
@@ -100,18 +101,28 @@ fn run_check(root: &Path) -> Vec<Violation> {
     let mut out = Vec::new();
 
     // R1 + R8: panic-free, discard-free library code in the algorithm,
-    // execution, and serving crates.
+    // execution, serving, and durability crates.
     let panic_scope: Vec<PathBuf> = [
         "crates/trajectory/src",
         "crates/index/src",
         "crates/core/src",
         "crates/exec/src",
         "crates/serve/src",
+        "crates/wal/src",
     ]
     .iter()
     .flat_map(|dir| rs_files(&root.join(dir)))
     .collect();
     apply(&[&NoPanics, &NoResultDiscards], &panic_scope, &mut out);
+
+    // R13: the WAL crate's crash-safety argument is fsync discipline —
+    // every writable file handle must reach a durability barrier in the
+    // function that created it.
+    apply(
+        &[&UnsyncedHandles],
+        &rs_files(&root.join("crates/wal/src")),
+        &mut out,
+    );
 
     // R2: cast-free binary-format modules.
     let codec_scope: Vec<PathBuf> = ["codec.rs", "persist.rs", "pagestore.rs", "checksum.rs"]
@@ -388,7 +399,10 @@ mod tests {
         // library set past `serve/src/mux.rs` fails here.
         assert!(hit("R11", "serve/src/mux.rs", 6), "{vs:#?}");
         assert!(hit("R12", "serve/src/mux.rs", 7), "{vs:#?}");
-        assert_eq!(vs.len(), 16, "{vs:#?}");
+        // The durability rule covers the WAL crate: dropping
+        // `crates/wal/src` from the R13 scope fails here.
+        assert!(hit("R13", "wal/src/io.rs", 6), "{vs:#?}");
+        assert_eq!(vs.len(), 17, "{vs:#?}");
         // The report comes back in canonical order.
         let mut sorted = vs.clone();
         report::sort(&mut sorted);
@@ -414,6 +428,7 @@ mod tests {
         assert!(one.contains("\"rule\": \"R10\""), "{one}");
         assert!(one.contains("\"rule\": \"R11\""), "{one}");
         assert!(one.contains("\"rule\": \"R12\""), "{one}");
+        assert!(one.contains("\"rule\": \"R13\""), "{one}");
     }
 
     #[test]

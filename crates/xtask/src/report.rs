@@ -15,7 +15,7 @@ pub struct Violation {
     pub file: PathBuf,
     /// 1-based line number.
     pub line: usize,
-    /// Rule identifier (`R1` … `R12`).
+    /// Rule identifier (`R1` … `R13`).
     pub rule: &'static str,
     /// Human-readable explanation with the suggested fix.
     pub message: String,

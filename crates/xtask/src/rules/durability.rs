@@ -1,0 +1,230 @@
+//! R13: the durability rule — no writable file handle drops unsynced.
+//!
+//! The WAL crate's crash-safety argument is a chain of explicit fsyncs:
+//! every byte that a commit acknowledges must be on disk before the
+//! handle that wrote it can drop. A `File::create` or `OpenOptions`
+//! handle that is written and then dropped without `sync_all`/`sync_data`
+//! (or a directory `sync_dir` for rename barriers) leaves the bytes in
+//! the page cache, where a crash silently discards them — the recovery
+//! suite cannot catch that on a filesystem that never crashes under test.
+//!
+//! Detection: a writable-handle creation site is `File::create(…)` or an
+//! `OpenOptions::new(…)` builder chain. The site is flagged unless the
+//! *innermost enclosing function body* also contains a durability
+//! barrier — an identifier `sync_all`, `sync_data`, or `sync_dir` (the
+//! latter covers helpers that fsync the parent directory after a
+//! rename). Read-only `File::open` handles are out of scope: dropping a
+//! reader loses nothing. Test code is exempt, and a deliberate
+//! non-durable handle (a scratch file whose loss is harmless) can be
+//! justified with `// invariant: <why>` on the creation line.
+//!
+//! The function-scope containment is deliberately coarse: it does not
+//! prove the sync dominates the drop, only that the author thought about
+//! durability in the same function that created the handle. That is the
+//! same trade the other token-level rules make, and it keeps the rule
+//! free of false positives on the real tree.
+
+use crate::lexer::{SourceFile, Tag, Token, TokenKind};
+use crate::report::Violation;
+use crate::rules::Rule;
+
+/// R13: every writable file handle reaches an fsync before it drops.
+pub struct UnsyncedHandles;
+
+impl Rule for UnsyncedHandles {
+    fn id(&self) -> &'static str {
+        "R13"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        let toks = &file.tokens;
+        let bodies = fn_bodies(toks);
+        for i in 0..toks.len() {
+            let Some(what) = creation_site(toks, i) else {
+                continue;
+            };
+            let line = toks[i].line;
+            if file.in_test(line) || file.justified(line, Tag::Invariant) {
+                continue;
+            }
+            let scope = scope_of(&bodies, toks.len(), i);
+            if toks[scope]
+                .iter()
+                .any(|t| BARRIERS.iter().any(|b| t.is_ident(b)))
+            {
+                continue;
+            }
+            out.push(Violation {
+                file: file.path.clone(),
+                line,
+                rule: self.id(),
+                message: format!(
+                    "unsynced file handle: `{what}` opens a writable file but \
+                     this function never calls `sync_all`/`sync_data`/`sync_dir`, \
+                     so the handle can drop with its bytes still in the page \
+                     cache; fsync before the handle drops (or justify a \
+                     scratch file with `// invariant:`)"
+                ),
+            });
+        }
+    }
+}
+
+/// The identifiers that count as a durability barrier.
+const BARRIERS: [&str; 3] = ["sync_all", "sync_data", "sync_dir"];
+
+/// Classifies `toks[i]` as the start of a writable-handle creation site:
+/// `File::create(` or `OpenOptions::new(`. The `::new(` requirement is
+/// what keeps `use std::fs::OpenOptions;` imports out of scope.
+fn creation_site(toks: &[Token], i: usize) -> Option<&'static str> {
+    let seq = |a: &str, b: &str| {
+        toks[i].is_ident(a)
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident(b))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct("("))
+    };
+    if seq("File", "create") {
+        Some("File::create")
+    } else if seq("OpenOptions", "new") {
+        Some("OpenOptions::new")
+    } else {
+        None
+    }
+}
+
+/// The `(open, close)` token ranges of every `fn` body, in source order.
+/// The body open is the first top-level `{` after the `fn` keyword (a `;`
+/// first means a bodiless trait method). Nested items yield nested
+/// ranges; callers pick the innermost one containing a site.
+fn fn_bodies(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        // Find the body `{`, skipping the parameter list (and any parens
+        // or brackets in the return type / where clause).
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        let open = loop {
+            let Some(t) = toks.get(j) else { break None };
+            match &t.kind {
+                TokenKind::Punct(p) if p == "(" || p == "[" => depth += 1,
+                TokenKind::Punct(p) if p == ")" || p == "]" => depth -= 1,
+                TokenKind::Punct(p) if p == "{" && depth == 0 => break Some(j),
+                TokenKind::Punct(p) if p == ";" && depth == 0 => break None,
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = open else { continue };
+        // Match the body's braces to find its close.
+        let mut bdepth = 1i32;
+        let mut k = open + 1;
+        while k < toks.len() && bdepth > 0 {
+            if let TokenKind::Punct(p) = &toks[k].kind {
+                match p.as_str() {
+                    "{" => bdepth += 1,
+                    "}" => bdepth -= 1,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        out.push((open, k));
+    }
+    out
+}
+
+/// The tokens of the innermost `fn` body containing index `i`, or the
+/// whole file when the site sits outside any function (a const
+/// initialiser, say) — the barrier may then be anywhere.
+fn scope_of(bodies: &[(usize, usize)], len: usize, i: usize) -> std::ops::Range<usize> {
+    bodies
+        .iter()
+        .filter(|(open, close)| *open < i && i < *close)
+        .min_by_key(|(open, close)| close - open)
+        .map(|&(open, close)| open..close)
+        .unwrap_or(0..len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::tests::{flagged_lines, run_rule};
+
+    #[test]
+    fn r13_fixture_corpus() {
+        let bad = run_rule(&UnsyncedHandles, include_str!("../../fixtures/r13_bad.rs"));
+        assert_eq!(bad.len(), 3, "{bad:?}");
+        assert!(bad.iter().all(|v| v.rule == "R13"));
+        let good = run_rule(&UnsyncedHandles, include_str!("../../fixtures/r13_good.rs"));
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn unsynced_creation_sites_are_flagged() {
+        for src in [
+            "fn f(p: &Path) -> io::Result<()> { let mut f = File::create(p)?; \
+             f.write_all(b\"x\")?; Ok(()) }",
+            "fn f(p: &Path) -> io::Result<File> { \
+             OpenOptions::new().append(true).create(true).open(p) }",
+        ] {
+            assert_eq!(run_rule(&UnsyncedHandles, src).len(), 1, "{src}");
+        }
+    }
+
+    #[test]
+    fn a_barrier_in_the_same_function_passes() {
+        for src in [
+            "fn f(p: &Path) -> io::Result<()> { let mut f = File::create(p)?; \
+             f.write_all(b\"x\")?; f.sync_all() }",
+            "fn f(p: &Path) -> io::Result<()> { let f = \
+             OpenOptions::new().write(true).open(p)?; f.sync_data() }",
+            "fn f(&self, p: &Path) -> io::Result<()> { \
+             let f = File::create(p)?; drop(f); self.sync_dir() }",
+        ] {
+            assert!(run_rule(&UnsyncedHandles, src).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn the_barrier_must_be_in_the_innermost_function() {
+        // The sync lives in a sibling function: the creating function
+        // still drops the handle unsynced, and is still flagged.
+        let src = "fn create(p: &Path) -> io::Result<()> {\n\
+                   let mut f = File::create(p)?;\n\
+                   f.write_all(b\"x\")\n\
+                   }\n\
+                   fn elsewhere(f: &File) -> io::Result<()> { f.sync_all() }\n";
+        assert_eq!(flagged_lines(&UnsyncedHandles, src), vec![2]);
+        // A nested helper that creates without syncing is flagged even
+        // though the *outer* function syncs something else.
+        let nested = "fn outer(p: &Path) -> io::Result<()> {\n\
+                      fn inner(p: &Path) -> io::Result<File> { File::create(p) }\n\
+                      let f = inner(p)?;\n\
+                      f.sync_all()\n\
+                      }\n";
+        assert_eq!(flagged_lines(&UnsyncedHandles, nested), vec![2]);
+    }
+
+    #[test]
+    fn read_only_handles_and_imports_are_out_of_scope() {
+        for src in [
+            "fn f(p: &Path) -> io::Result<File> { File::open(p) }",
+            "use std::fs::{self, File, OpenOptions};",
+            "use std::fs::OpenOptions;",
+        ] {
+            assert!(run_rule(&UnsyncedHandles, src).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn test_code_and_invariants_are_exempt() {
+        let src = "#[cfg(test)]\nmod t { fn f(p: &Path) { let _f = File::create(p); } }";
+        assert!(run_rule(&UnsyncedHandles, src).is_empty());
+        let excused = "// invariant: scratch probe file, deleted on the next line\n\
+                       fn f(p: &Path) -> io::Result<()> { File::create(p).map(|_| ()) }";
+        assert!(run_rule(&UnsyncedHandles, excused).is_empty());
+    }
+}

@@ -8,6 +8,7 @@
 //! under `fixtures/`.
 
 pub mod atomics;
+pub mod durability;
 pub mod hygiene;
 pub mod lock_order;
 pub mod panics;
@@ -18,7 +19,7 @@ use crate::report::Violation;
 
 /// A per-file analysis: sees one lexed file, appends diagnostics.
 pub trait Rule {
-    /// The stable rule identifier (`R1` … `R12`).
+    /// The stable rule identifier (`R1` … `R13`).
     fn id(&self) -> &'static str;
     /// Scans `file` and appends any violations to `out`.
     fn check(&self, file: &SourceFile, out: &mut Vec<Violation>);
