@@ -29,6 +29,12 @@
 #      BENCH_wal.json and fails on a group-commit breakdown, an inexact
 #      replay, lost or mangled objects after recovery, or a checkpoint
 #      that fails to truncate the replay work)
+#  13. the replication smoke benchmark (a live primary/replica pair over
+#      loopback TCP; regenerates BENCH_repl.json and fails on a p99
+#      replication lag over the gate, a catch-up that does not converge
+#      bit-identically, a missed failover, or a write accepted with no
+#      primary), followed by an offline --verify-store sweep of a
+#      freshly written durable store
 #
 # Each gate prints its wall time so slow gates are easy to spot.
 set -euo pipefail
@@ -84,5 +90,31 @@ gate "serving smoke bench (BENCH_serve.json, >= 520 qps steady)" \
 
 gate "durability smoke bench (BENCH_wal.json, fsynced group commit + recovery)" \
     cargo run --release -q -p mst-bench --bin wal -- --smoke
+
+gate "replication smoke bench (BENCH_repl.json, max-lag + failover gates)" \
+    cargo run --release -q -p mst-bench --bin repl -- --smoke
+
+# Seed a durable store (the server checkpoints the seed before it prints
+# its port), stop the process, and sweep the store offline: the
+# --verify-store path must report it clean and exit 0.
+verify_store_smoke() {
+    local dir store pid
+    dir=$(mktemp -d)
+    store="$dir/store"
+    cargo run --release -q -p mst-serve -- \
+        --store "$store" --objects 24 --shards 2 --port 0 \
+        >"$dir/out.log" 2>"$dir/err.log" &
+    pid=$!
+    for _ in $(seq 1 150); do
+        grep -q "listening on" "$dir/out.log" 2>/dev/null && break
+        sleep 0.2
+    done
+    kill "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    cargo run --release -q -p mst-serve -- --verify-store "$store"
+    rm -rf "$dir"
+}
+gate "offline store verification (mst-serve --verify-store)" \
+    verify_store_smoke
 
 echo "ci.sh: all gates passed"

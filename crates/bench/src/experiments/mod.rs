@@ -7,6 +7,7 @@ mod figure8;
 mod figure9;
 mod index_comparison;
 mod kmst_profile;
+mod repl;
 mod serve;
 mod table2;
 mod throughput;
@@ -19,6 +20,10 @@ pub use figure8::figure8;
 pub use figure9::{figure9, Figure9Config};
 pub use index_comparison::{index_comparison, IndexComparisonConfig};
 pub use kmst_profile::{kmst_profile, KmstProfileConfig, KmstProfileReport};
+pub use repl::{
+    repl_bench, CatchUpPhase, FailoverPhase, LagPhase, ReplBenchConfig, ReplReport,
+    MAX_FAILOVER_MS, MAX_LAG_P99_MS,
+};
 pub use serve::{serve_bench, OverloadPhase, ServeConfig, ServeReport, SteadyPhase};
 pub use table2::{table2, Table2Config};
 pub use throughput::{throughput, ThroughputConfig, ThroughputPoint, ThroughputReport};

@@ -43,6 +43,13 @@ pub struct QueryOptions {
     /// off isolates the query — useful for ablations and for callers that
     /// want per-shard answers unaffected by sibling progress.
     pub share_bound: bool,
+    /// Read-your-writes token: the query must be answered from state that
+    /// reflects every write at or below this LSN. A serving layer admits
+    /// the query only once its visibility watermark has caught up (and
+    /// refuses with a typed error when it lags — a replica behind the
+    /// client's last acked write, say). `None` (the default) means any
+    /// current state is acceptable.
+    pub min_lsn: Option<u64>,
 }
 
 impl Default for QueryOptions {
@@ -52,6 +59,7 @@ impl Default for QueryOptions {
             period: None,
             deadline_us: None,
             share_bound: true,
+            min_lsn: None,
         }
     }
 }
@@ -99,6 +107,14 @@ impl QueryOptions {
         self
     }
 
+    /// Requires the answer to reflect every write at or below `lsn` —
+    /// the read-your-writes token (thread the LSN an `Ingested` ack
+    /// carried into the next read).
+    pub fn min_lsn(mut self, lsn: u64) -> Self {
+        self.min_lsn = Some(lsn);
+        self
+    }
+
     /// The canonical identity of these options for caching and
     /// cross-connection deduplication: two option sets with the same key
     /// describe the same *answer*, so an answer computed for one may be
@@ -109,6 +125,12 @@ impl QueryOptions {
     /// * the **deadline is excluded** — it shapes how long a query may
     ///   run, not what its certified answer is, so deadline changes must
     ///   not split cache entries;
+    /// * the **read-your-writes token (`min_lsn`) is excluded** — it
+    ///   gates *admission* (the server refuses or delays the query until
+    ///   its watermark catches up), not the answer: once admitted, the
+    ///   query is answered from the same current state regardless of the
+    ///   token, and caches are invalidated on every applied write, so a
+    ///   cached answer an admitted query may see is always current;
     /// * period endpoints are compared by canonical bit pattern
     ///   ([`canonical_f64_bits`]): `-0.0` folds into `+0.0` and every NaN
     ///   payload folds into one canonical NaN, so semantically equal
@@ -228,6 +250,17 @@ mod tests {
         assert_eq!(key, with_deadline.canonical_key());
         assert_eq!(key, with_other_deadline.canonical_key());
         assert_eq!(hash_of(&key), hash_of(&with_deadline.canonical_key()));
+    }
+
+    #[test]
+    fn min_lsn_changes_do_not_split_cache_entries() {
+        // The read-your-writes token gates admission, not the answer —
+        // see the canonical_key docs for why exclusion is sound.
+        let base = QueryOptions::new().k(3);
+        let key = base.canonical_key();
+        assert_eq!(key, base.min_lsn(42).canonical_key());
+        assert_eq!(key, base.min_lsn(7).canonical_key());
+        assert_eq!(hash_of(&key), hash_of(&base.min_lsn(42).canonical_key()));
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod clock;
 pub mod queue;
 pub mod shard;
 pub mod submit;
+pub mod watermark;
 
 pub use batch::{BatchExecutor, BatchOutcome, QueryAnswer, QueryOutcome, ShardFailure};
 pub use bound::{QueryControl, SharedBound};
@@ -51,6 +52,7 @@ pub use shard::{IngestOp, IngestOutcome, Shard, ShardedDatabase};
 pub use submit::{
     BatchAdmission, ExecHandle, OutcomeSink, RejectedSubmit, RoutedQuery, SubmitError, Ticket,
 };
+pub use watermark::Watermark;
 
 use mst_search::{
     KmstQuery, KmstSpec, KnnQuery, KnnSegmentsQuery, KnnSpec, QueryOptions, RangeQuery, RangeSpec,

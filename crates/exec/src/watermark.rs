@@ -1,0 +1,95 @@
+//! A monotone LSN watermark: the read-your-writes gate.
+//!
+//! A server publishes "every write at or below LSN `n` is visible to
+//! queries" by advancing a [`Watermark`]; a client that just received
+//! `Ingested { lsn }` threads that LSN into its next read, and the
+//! serving layer admits the read only once the watermark has caught up.
+//! On a primary the watermark advances when a flushed write batch
+//! becomes visible; on a replica it advances as replicated batches
+//! apply — the same gate gives read-your-writes on both.
+//!
+//! The watermark is strictly monotone: [`Watermark::advance`] is a
+//! `fetch_max`, so a late or racing publish can never move it
+//! backwards, and a reader that once observed `n` will never observe
+//! less.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically advancing LSN, shareable across threads.
+#[derive(Debug, Default)]
+pub struct Watermark {
+    lsn: AtomicU64,
+}
+
+impl Watermark {
+    /// A watermark at LSN 0 (nothing visible yet).
+    pub fn new() -> Self {
+        Watermark::default()
+    }
+
+    /// A watermark already at `lsn` (a server starting over recovered
+    /// state publishes the recovered LSN before accepting connections).
+    pub fn at(lsn: u64) -> Self {
+        Watermark {
+            lsn: AtomicU64::new(lsn),
+        }
+    }
+
+    /// Advances the watermark to at least `lsn`. Monotone: a value below
+    /// the current watermark leaves it untouched. Returns the watermark
+    /// after the call.
+    pub fn advance(&self, lsn: u64) -> u64 {
+        // Release pairs with the Acquire in `current`: a reader that
+        // observes the advanced watermark also observes every store
+        // mutation the publisher made before advancing it.
+        self.lsn.fetch_max(lsn, Ordering::Release).max(lsn)
+    }
+
+    /// The current watermark.
+    pub fn current(&self) -> u64 {
+        // Acquire pairs with the Release in `advance` (see there).
+        self.lsn.load(Ordering::Acquire)
+    }
+
+    /// Whether reads requiring `min_lsn` may be admitted.
+    pub fn reached(&self, min_lsn: u64) -> bool {
+        self.current() >= min_lsn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn advance_is_monotone() {
+        let w = Watermark::new();
+        assert_eq!(w.current(), 0);
+        assert_eq!(w.advance(5), 5);
+        assert_eq!(w.advance(3), 5, "stale publish cannot regress");
+        assert_eq!(w.current(), 5);
+        assert!(w.reached(5));
+        assert!(!w.reached(6));
+        assert_eq!(Watermark::at(9).current(), 9);
+    }
+
+    #[test]
+    fn racing_publishers_settle_at_the_maximum() {
+        let w = Arc::new(Watermark::new());
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let w = Arc::clone(&w);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        w.advance(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("publisher");
+        }
+        assert_eq!(w.current(), 3999);
+    }
+}

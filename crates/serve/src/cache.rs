@@ -175,7 +175,9 @@ pub(crate) fn cache_key(request: &Request) -> Option<Vec<u8>> {
         | Request::Shutdown
         | Request::Hello { .. }
         | Request::Insert { .. }
-        | Request::Delete { .. } => return None,
+        | Request::Delete { .. }
+        | Request::Subscribe { .. }
+        | Request::ReplicaAck { .. } => return None,
     }
     Some(key)
 }
@@ -270,8 +272,22 @@ mod tests {
         })
         .expect("query key");
         assert_ne!(kmst, other_k);
+        let with_min_lsn = cache_key(&Request::Kmst {
+            points: vec![
+                SamplePoint::new(0.0, 1.0, 2.0),
+                SamplePoint::new(1.0, 3.0, 4.0),
+            ],
+            options: QueryOptions::new().k(3).min_lsn(120),
+        })
+        .expect("query key");
+        assert_eq!(
+            kmst, with_min_lsn,
+            "the read-your-writes token gates admission, not the answer"
+        );
         assert!(cache_key(&Request::Stats).is_none());
         assert!(cache_key(&Request::Shutdown).is_none());
+        assert!(cache_key(&Request::Subscribe { from_lsn: 1 }).is_none());
+        assert!(cache_key(&Request::ReplicaAck { lsn: 0 }).is_none());
     }
 
     #[test]

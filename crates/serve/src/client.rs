@@ -21,6 +21,8 @@
 use std::collections::{HashMap, HashSet};
 use std::io::Read;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration; // invariant: no clock is read; backoff sleeps are counter-jittered
 
 use mst_search::QueryOptions;
 use mst_trajectory::{Mbb, Point, Trajectory};
@@ -32,6 +34,94 @@ use crate::protocol::{
 /// The pipeline depth a client asks for by default (the server may grant
 /// less).
 const DEFAULT_DEPTH: u16 = 32;
+
+/// Process-wide sequence mixed into every backoff jitter stream, so two
+/// policies built from the same seed in the same process still jitter
+/// differently. Deterministic: a counter, never a clock.
+static RETRY_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Bounded, jittered exponential backoff for connection attempts — used
+/// by [`ServeClient::connect`], the replication applier's reconnect
+/// loop, and [`crate::pool::ClientPool`] failover.
+///
+/// Attempt `i` (zero-based) sleeps `base_us << i` capped at `max_us`,
+/// scaled by a uniform jitter in `[0.5, 1.0)` so a fleet of clients
+/// retrying against one recovering server doesn't stampede in lockstep.
+/// The jitter stream is seeded from `seed` and a process-wide counter —
+/// never a clock — so retry schedules are reproducible under a fixed
+/// seed.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total connection attempts before giving up (minimum 1).
+    pub attempts: u32,
+    /// Sleep before the second attempt, in microseconds.
+    pub base_us: u64,
+    /// Cap on any single sleep, in microseconds.
+    pub max_us: u64,
+    /// Jitter seed; same seed + same process history = same schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 5 attempts, 10 ms base, 500 ms cap: rides out a restart without
+    /// making a dead endpoint take more than ~1.5 s to diagnose.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base_us: 10_000,
+            max_us: 500_000,
+            seed: 0x6d73_745f_7265_7472, // "mst_retr"
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A single attempt, no sleeping — for tests and callers that manage
+    /// retries themselves.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            base_us: 0,
+            max_us: 0,
+            seed: 0,
+        }
+    }
+
+    /// A fresh jitter stream for one retry sequence.
+    pub(crate) fn jitter(&self) -> mst_prng::Rng {
+        // ordering: the counter only needs uniqueness, not ordering
+        // against any other memory; each fetch_add returns a distinct
+        // value under any interleaving.
+        let sequence = RETRY_SEQ.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.seed ^ sequence.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        mst_prng::Rng::seed_from(mst_prng::splitmix64(&mut state))
+    }
+
+    /// The jittered sleep before attempt `attempt + 1` (zero-based).
+    pub(crate) fn delay_us(&self, attempt: u32, jitter: &mut mst_prng::Rng) -> u64 {
+        let exp = self
+            .base_us
+            .saturating_shl(attempt.min(32))
+            .min(self.max_us);
+        let scale = 0.5 + jitter.f64() * 0.5;
+        (exp as f64 * scale) as u64
+    }
+}
+
+/// `u64::checked_shl` with saturation — `base << attempt` without the
+/// overflow wrap.
+trait SaturatingShl {
+    fn saturating_shl(self, rhs: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, rhs: u32) -> u64 {
+        if self == 0 {
+            return 0;
+        }
+        self.checked_shl(rhs).unwrap_or(u64::MAX)
+    }
+}
 
 /// The claim on one in-flight request, echoed back in its response
 /// frame. Compact, copyable, and hashable — hold as many as the depth
@@ -54,9 +144,46 @@ pub struct ServeClient {
 
 impl ServeClient {
     /// Connects and completes the v2 handshake with the default depth
-    /// request.
+    /// request, retrying refused connections under the default
+    /// [`RetryPolicy`] — a server mid-restart is reached, not errored.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
-        Self::connect_with_depth(addr, DEFAULT_DEPTH)
+        Self::connect_with_retry(addr, DEFAULT_DEPTH, &RetryPolicy::default())
+    }
+
+    /// Connects under an explicit retry policy: up to `policy.attempts`
+    /// connection attempts separated by jittered exponential backoff.
+    /// Only the TCP connect is retried — a completed handshake that the
+    /// server rejects (version mismatch, connection cap) fails
+    /// immediately, because retrying it cannot change the answer.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs,
+        depth: u16,
+        policy: &RetryPolicy,
+    ) -> Result<Self, WireError> {
+        // Resolve once; retry over the resolved addresses so a DNS
+        // hiccup mid-sequence can't change the target set.
+        let addrs: Vec<std::net::SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(WireError::BadPayload("address resolved to nothing"));
+        }
+        let mut jitter = policy.jitter();
+        let mut last: Option<WireError> = None;
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                let delay = policy.delay_us(attempt - 1, &mut jitter);
+                if delay > 0 {
+                    std::thread::sleep(Duration::from_micros(delay));
+                }
+            }
+            match Self::connect_with_depth(&addrs[..], depth) {
+                Ok(client) => return Ok(client),
+                // Handshake-level rejections are deterministic; retrying
+                // them only delays the caller's real answer.
+                Err(WireError::BadPayload(m)) => return Err(WireError::BadPayload(m)),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or(WireError::Truncated))
     }
 
     /// Connects, asking for a specific pipeline depth. The server clamps

@@ -32,6 +32,9 @@ pub(crate) struct WalCounters {
 }
 
 /// A durable write lane the coalescer can flush ingest batches through.
+/// The replication accessors expose the committed log so the coalescer
+/// can also serve `Subscribe`/`ReplicaAck` streams without knowing the
+/// store's types.
 pub(crate) trait IngestBackend: Send {
     /// Applies one write batch: validates each operation independently,
     /// logs the valid ones, makes them durable with one fsync, applies
@@ -42,6 +45,23 @@ pub(crate) trait IngestBackend: Send {
 
     /// Current WAL counters, read after each flush for the stats report.
     fn wal_counters(&self) -> WalCounters;
+
+    /// Highest LSN whose group-commit fsync has returned — the cap on
+    /// what replication may ship (un-fsynced appends never leave the
+    /// primary).
+    fn committed_lsn(&self) -> u64;
+
+    /// First LSN still present in the log; checkpoints raise it. A
+    /// subscriber below the floor needs a snapshot, not records.
+    fn replication_floor(&self) -> Result<u64, String>;
+
+    /// A full store snapshot encoded at [`Self::committed_lsn`], for
+    /// replica bootstrap.
+    fn encode_snapshot(&self) -> Result<Vec<u8>, String>;
+
+    /// Committed WAL frames from `from_lsn` onward, verbatim, capped by
+    /// `max_bytes` (at least one frame ships if any is available).
+    fn read_records(&self, from_lsn: u64, max_bytes: usize) -> Result<Vec<Vec<u8>>, String>;
 }
 
 impl<I, S> IngestBackend for DurableDatabase<I, S>
@@ -65,5 +85,22 @@ where
             fsyncs: stats.wal_fsyncs,
             replayed_records: stats.replayed_records,
         }
+    }
+
+    fn committed_lsn(&self) -> u64 {
+        self.applied_lsn()
+    }
+
+    fn replication_floor(&self) -> Result<u64, String> {
+        DurableDatabase::replication_floor(self).map_err(|e| e.to_string())
+    }
+
+    fn encode_snapshot(&self) -> Result<Vec<u8>, String> {
+        self.encode_current_snapshot().map_err(|e| e.to_string())
+    }
+
+    fn read_records(&self, from_lsn: u64, max_bytes: usize) -> Result<Vec<Vec<u8>>, String> {
+        self.read_committed_frames(from_lsn, max_bytes)
+            .map_err(|e| e.to_string())
     }
 }

@@ -25,6 +25,14 @@
 //! 4. **Graceful drain.** Shutdown — by API call or `Shutdown` frame —
 //!    finishes every admitted query and delivers its response before the
 //!    server stops; the answer cache is invalidated at the transition.
+//! 5. **Replication as a client of the same protocol.** A replica
+//!    ([`Server::start_replica`]) follows its primary over ordinary v2
+//!    frames (`Subscribe` / `Replicate` / `ReplicaAck`), re-verifies and
+//!    applies shipped WAL records through the same durable path as local
+//!    ingest, and serves reads throughout; clients fail reads over
+//!    across a [`ClientPool`] and pin writes to the primary, with
+//!    read-your-writes via
+//!    [`QueryOptions::min_lsn`](mst_search::QueryOptions::min_lsn).
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -56,10 +64,13 @@ mod cache;
 pub mod client;
 mod ingest;
 mod mux;
+pub mod pool;
 pub mod protocol;
+mod repl;
 pub mod server;
 
-pub use client::{RequestId, ServeClient};
+pub use client::{RequestId, RetryPolicy, ServeClient};
+pub use pool::ClientPool;
 pub use protocol::{
     ErrorCode, ProfileSummary, Request, Response, ServerCounters, StatsReport, WireError,
     MAX_FRAME, VERSION,

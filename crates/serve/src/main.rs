@@ -4,7 +4,8 @@
 //! ```text
 //! mst-serve [--port N] [--workers N] [--queue N] [--objects N] \
 //!           [--shards N] [--deadline-ms N] [--io-threads N] \
-//!           [--depth N] [--cache N] [--store DIR]
+//!           [--depth N] [--cache N] [--store DIR] \
+//!           [--replica-of ADDR] [--verify-store DIR]
 //! ```
 //!
 //! All flags optional; `--port 0` (the default) picks an ephemeral port
@@ -16,6 +17,19 @@
 //! insert logged through the WAL. Either way `Insert`/`Delete` frames
 //! are accepted and group-committed; without the flag the server is
 //! read-only and answers them with a typed `ReadOnly` error.
+//!
+//! With `--replica-of ADDR` (requires `--store`) the server runs as a
+//! read-only replica of the primary at `ADDR`: an empty store
+//! bootstraps from the primary's snapshot, an occupied one resumes the
+//! stream from its recovered LSN, and the applier follows the primary
+//! forever with jittered reconnect backoff. Writes answer a typed
+//! `NotPrimary` error.
+//!
+//! `--verify-store DIR` runs no server at all: it sweeps the store
+//! offline — snapshot decode, segment scan, per-frame checksums,
+//! gapless-LSN check — prints a report, and exits 0 (clean) or 1
+//! (corrupt). Use it before re-serving a store of questionable
+//! provenance.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -25,7 +39,7 @@ use std::sync::Arc;
 use mst_datagen::GstdConfig;
 use mst_exec::{IngestOp, ShardedDatabase};
 use mst_index::Rtree3D;
-use mst_serve::{Server, ServerConfig, ServerHandle};
+use mst_serve::{RetryPolicy, Server, ServerConfig, ServerHandle};
 use mst_trajectory::TrajectoryId;
 use mst_wal::{DurableDatabase, FileStore, LogStore, WalConfig};
 
@@ -40,6 +54,8 @@ struct Args {
     depth: u16,
     cache: usize,
     store: Option<String>,
+    replica_of: Option<String>,
+    verify_store: Option<String>,
 }
 
 impl Args {
@@ -55,6 +71,8 @@ impl Args {
             depth: 32,
             cache: 0,
             store: None,
+            replica_of: None,
+            verify_store: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -72,14 +90,22 @@ impl Args {
                 "--depth" => args.depth = parse(&value("--depth")?)?,
                 "--cache" => args.cache = parse(&value("--cache")?)?,
                 "--store" => args.store = Some(value("--store")?),
+                "--replica-of" => args.replica_of = Some(value("--replica-of")?),
+                "--verify-store" => args.verify_store = Some(value("--verify-store")?),
                 "--help" | "-h" => {
                     return Err("usage: mst-serve [--port N] [--workers N] [--queue N] \
                          [--objects N] [--shards N] [--deadline-ms N] [--io-threads N] \
-                         [--depth N] [--cache N] [--store DIR]"
+                         [--depth N] [--cache N] [--store DIR] [--replica-of ADDR] \
+                         [--verify-store DIR]"
                         .into())
                 }
                 other => return Err(format!("unknown flag: {other}")),
             }
+        }
+        if args.replica_of.is_some() && args.store.is_none() {
+            return Err(
+                "--replica-of needs --store DIR for the replica's own durable state".into(),
+            );
         }
         Ok(args)
     }
@@ -112,9 +138,13 @@ fn run() -> i32 {
     if let Some(ms) = args.deadline_ms {
         config = config.default_deadline_us(ms.saturating_mul(1000));
     }
-    let started = match &args.store {
-        Some(dir) => start_durable(config, &args, dir),
-        None => start_read_only(config, &args),
+    if let Some(dir) = &args.verify_store {
+        return verify_store(dir);
+    }
+    let started = match (&args.store, &args.replica_of) {
+        (Some(dir), Some(primary)) => start_replica(config, dir, primary),
+        (Some(dir), None) => start_durable(config, &args, dir),
+        (None, _) => start_read_only(config, &args),
     };
     let server = match started {
         Ok(server) => server,
@@ -197,4 +227,65 @@ fn start_durable(
         fresh
     };
     Server::start_durable(config, durable).map_err(|e| format!("failed to start: {e}"))
+}
+
+/// The replica path: follow the primary at `primary`, bootstrapping an
+/// empty store from its snapshot or resuming an occupied one from its
+/// recovered LSN.
+fn start_replica(
+    config: ServerConfig,
+    dir: &str,
+    primary: &str,
+) -> Result<ServerHandle<Rtree3D>, String> {
+    let primary: std::net::SocketAddr = primary
+        .parse()
+        .map_err(|_| format!("--replica-of: not a socket address: {primary}"))?;
+    let store = FileStore::open(dir).map_err(|e| format!("failed to open store {dir}: {e}"))?;
+    eprintln!("starting replica of {primary} over store {dir}");
+    Server::start_replica(
+        config,
+        store,
+        WalConfig::default(),
+        primary,
+        RetryPolicy::default(),
+    )
+    .map_err(|e| format!("failed to start the replica: {e}"))
+}
+
+/// The offline integrity sweep behind `--verify-store`: no server, just
+/// the report and an exit code CI can gate on.
+fn verify_store(dir: &str) -> i32 {
+    let store = match FileStore::open(dir) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("failed to open store {dir}: {e}");
+            return 1;
+        }
+    };
+    match mst_wal::verify_store::<Rtree3D, _>(&store) {
+        Ok(report) => {
+            println!(
+                "store {dir}: snapshot at LSN {} ({} bytes), {} segments, \
+                 {} replayable records, tail {:?}, next LSN {}",
+                report.snapshot_lsn,
+                report.snapshot_bytes,
+                report.segments.len(),
+                report.records,
+                report.tail,
+                report.next_lsn,
+            );
+            if report.tail == mst_wal::TailState::Clean {
+                println!("verdict: clean");
+            } else {
+                // Survivable crash damage: recovery truncates it, but an
+                // operator should know it is there.
+                println!("verdict: recoverable (crash-damaged tail)");
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("store {dir} failed verification: {e}");
+            1
+        }
+    }
 }

@@ -132,6 +132,20 @@ pub(crate) enum Event {
         request_id: u64,
         op: IngestOp,
     },
+    /// A replication fetch forwarded by an I/O worker: a `Subscribe` or
+    /// the ack-doubling-as-poll `ReplicaAck`. Served by the coalescer
+    /// **after** the tick's write batch flushes, so every batch reflects
+    /// the newest committed state.
+    Repl {
+        worker: usize,
+        conn: u64,
+        request_id: u64,
+        /// First LSN the subscriber still needs.
+        from_lsn: u64,
+        /// Whether this was a `Subscribe` (a fresh stream; `from_lsn`
+        /// below the floor triggers a snapshot bootstrap).
+        subscribe: bool,
+    },
     /// An execution finished (token, outcome) — delivered by the
     /// executor workers through [`EventSink`].
     Done(u64, QueryOutcome),
@@ -641,6 +655,36 @@ fn parse_frames<I>(
                     op: IngestOp::Delete { id },
                 });
             }
+            Request::Subscribe { from_lsn } => {
+                if !repl_admitted(conn, request_id, shared) {
+                    continue;
+                }
+                conn.inflight += 1;
+                // invariant: as for queries — undeliverable only when a
+                // forced drain is tearing the connection down anyway
+                let _ = events.send(Event::Repl {
+                    worker,
+                    conn: conn_id,
+                    request_id,
+                    from_lsn,
+                    subscribe: true,
+                });
+            }
+            Request::ReplicaAck { lsn } => {
+                if !repl_admitted(conn, request_id, shared) {
+                    continue;
+                }
+                ServerStats::raise(&shared.stats.repl_acked_lsn, lsn);
+                conn.inflight += 1;
+                // invariant: as above — undeliverable only under a drain
+                let _ = events.send(Event::Repl {
+                    worker,
+                    conn: conn_id,
+                    request_id,
+                    from_lsn: lsn.saturating_add(1),
+                    subscribe: false,
+                });
+            }
             query_request => {
                 if shared.shutting_down.load(Ordering::SeqCst) {
                     let err = Response::Error {
@@ -650,6 +694,25 @@ fn parse_frames<I>(
                     .encode();
                     conn.queue_v2(request_id, &err);
                     continue;
+                }
+                // Read-your-writes gate: a query carrying `min_lsn` is
+                // admitted only once this server's applied watermark has
+                // reached it. Refusal is typed and immediate (never a
+                // block on the I/O thread) so the client can retry or
+                // fail over.
+                if let Some(required) = request_min_lsn(&query_request) {
+                    if !shared.watermark.reached(required) {
+                        let err = Response::Error {
+                            code: ErrorCode::ReplicaLagging {
+                                required,
+                                watermark: shared.watermark.current(),
+                            },
+                            message: "replica has not caught up to the requested LSN".into(),
+                        }
+                        .encode();
+                        conn.queue_v2(request_id, &err);
+                        continue;
+                    }
                 }
                 let Some(key) = cache_key(&query_request) else {
                     // Unreachable by construction (all four query kinds
@@ -696,6 +759,15 @@ fn parse_frames<I>(
 /// directly on the I/O thread. Returns whether the operation may be
 /// forwarded to the coalescer's write lane.
 fn ingest_admitted<I>(conn: &mut Conn, request_id: u64, shared: &Shared<I>) -> bool {
+    if shared.replica {
+        let err = Response::Error {
+            code: ErrorCode::NotPrimary,
+            message: "this server is a read-only replica; write to the primary".into(),
+        }
+        .encode();
+        conn.queue_v2(request_id, &err);
+        return false;
+    }
     if !shared.ingest_enabled {
         let err = Response::Error {
             code: ErrorCode::ReadOnly,
@@ -715,6 +787,53 @@ fn ingest_admitted<I>(conn: &mut Conn, request_id: u64, shared: &Shared<I>) -> b
         return false;
     }
     true
+}
+
+/// Gate on a replication frame: a replica answers `NotPrimary` (streams
+/// fan out from the primary only), a server with no durable store
+/// answers `ReadOnly` (there is no log to ship), a draining server
+/// answers `ShuttingDown`. Returns whether the fetch may be forwarded
+/// to the coalescer's replication lane.
+fn repl_admitted<I>(conn: &mut Conn, request_id: u64, shared: &Shared<I>) -> bool {
+    if shared.replica {
+        let err = Response::Error {
+            code: ErrorCode::NotPrimary,
+            message: "this server is a replica; subscribe to the primary".into(),
+        }
+        .encode();
+        conn.queue_v2(request_id, &err);
+        return false;
+    }
+    if !shared.ingest_enabled {
+        let err = Response::Error {
+            code: ErrorCode::ReadOnly,
+            message: "this server has no durable store and therefore no log to ship".into(),
+        }
+        .encode();
+        conn.queue_v2(request_id, &err);
+        return false;
+    }
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        let err = Response::Error {
+            code: ErrorCode::ShuttingDown,
+            message: "server is draining".into(),
+        }
+        .encode();
+        conn.queue_v2(request_id, &err);
+        return false;
+    }
+    true
+}
+
+/// The read-your-writes token carried by a query request, if any.
+fn request_min_lsn(request: &Request) -> Option<u64> {
+    match request {
+        Request::Kmst { options, .. }
+        | Request::Knn { options, .. }
+        | Request::KnnSegments { options, .. }
+        | Request::Range { options, .. } => options.min_lsn,
+        _ => None,
+    }
 }
 
 /// Runs the version handshake on the first complete frame. Returns false
@@ -859,6 +978,9 @@ pub(crate) fn coalescer_loop<I>(
     let mut backlog: VecDeque<u64> = VecDeque::new();
     // Ingest frames accumulated this tick: (worker, conn, request_id, op).
     let mut write_batch: Vec<(usize, u64, u64, IngestOp)> = Vec::new();
+    // Replication fetches accumulated this tick:
+    // (worker, conn, request_id, from_lsn, subscribe).
+    let mut repl_batch: Vec<(usize, u64, u64, u64, bool)> = Vec::new();
     let mut next_token = 0u64;
     // Queries received and not yet answered (any path).
     let mut outstanding = 0usize;
@@ -878,6 +1000,7 @@ pub(crate) fn coalescer_loop<I>(
                     &mut dedup,
                     &mut backlog,
                     &mut write_batch,
+                    &mut repl_batch,
                     &mut next_token,
                     &mut outstanding,
                     &mut drained_workers,
@@ -892,6 +1015,7 @@ pub(crate) fn coalescer_loop<I>(
                         &mut dedup,
                         &mut backlog,
                         &mut write_batch,
+                        &mut repl_batch,
                         &mut next_token,
                         &mut outstanding,
                         &mut drained_workers,
@@ -914,6 +1038,17 @@ pub(crate) fn coalescer_loop<I>(
             workers,
             &mut ingest,
             &mut write_batch,
+            &mut outstanding,
+        );
+
+        // Replication fetches next: they run **after** the flush so a
+        // subscriber polling right behind a write batch always ships the
+        // records that batch just committed.
+        serve_replication(
+            shared,
+            workers,
+            &mut ingest,
+            &mut repl_batch,
             &mut outstanding,
         );
 
@@ -1022,7 +1157,14 @@ fn flush_write_batch<I>(
     let outcome = backend.apply_batch(&ops);
     // Counters, gauges, and the cache settle BEFORE any ack goes out: a
     // client that pipelines a stats probe (answered on the I/O thread)
-    // right behind its acked write must see the write reflected.
+    // right behind its acked write must see the write reflected. The
+    // watermark in particular must advance before acks, so a client
+    // threading `Ingested.lsn` into its next read's `min_lsn` is always
+    // admitted here on the primary.
+    let committed = backend.committed_lsn();
+    shared.watermark.advance(committed);
+    ServerStats::raise(&shared.stats.repl_committed_lsn, committed);
+    ServerStats::raise(&shared.stats.repl_applied_lsn, committed);
     // WAL counters are gauges owned by the backend; mirror, don't add.
     let wal = backend.wal_counters();
     // ordering: monotonic stats gauges; stale reads only undercount a probe
@@ -1074,6 +1216,102 @@ fn flush_write_batch<I>(
     }
 }
 
+/// Cap on record bytes per `Replicate` response. Keeps any one batch
+/// well inside the frame cap while still amortising the round trip
+/// during catch-up.
+const REPL_BATCH_BYTES: usize = 1 << 20;
+
+/// Answers the tick's accumulated replication fetches from the durable
+/// backend's committed log. Runs right after `flush_write_batch`, so a
+/// poll that raced a write batch onto the same tick ships that batch's
+/// records. A subscriber whose `from_lsn` sits below the log floor
+/// (checkpoints truncated past it — or the bootstrap sentinel
+/// `from_lsn == 0`, since the floor is always at least 1) receives a
+/// full snapshot at the committed LSN instead of records. An empty
+/// record batch with no snapshot is the heartbeat: it still carries the
+/// primary's committed LSN, so lag gauges stay live under a write-idle
+/// primary.
+fn serve_replication<I>(
+    shared: &Shared<I>,
+    workers: &[Sender<WorkerMsg>],
+    ingest: &mut Option<Box<dyn IngestBackend>>,
+    repl_batch: &mut Vec<(usize, u64, u64, u64, bool)>,
+    outstanding: &mut usize,
+) where
+    I: TrajectoryIndex + Send + 'static,
+{
+    if repl_batch.is_empty() {
+        return;
+    }
+    let batch = std::mem::take(repl_batch);
+    *outstanding = outstanding.saturating_sub(batch.len());
+    let Some(backend) = ingest.as_mut() else {
+        // Unreachable: `repl_admitted` gates on `ingest_enabled`.
+        let payload = encode_capped(&Response::Error {
+            code: ErrorCode::ReadOnly,
+            message: "this server has no durable store".into(),
+        });
+        for (worker, conn, request_id, _, _) in batch {
+            respond(workers, worker, conn, request_id, Arc::clone(&payload));
+        }
+        return;
+    };
+    let committed = backend.committed_lsn();
+    ServerStats::raise(&shared.stats.repl_committed_lsn, committed);
+    ServerStats::raise(&shared.stats.repl_applied_lsn, committed);
+    for (worker, conn, request_id, from_lsn, _subscribe) in batch {
+        let floor = match backend.replication_floor() {
+            Ok(floor) => floor,
+            Err(message) => {
+                let payload = encode_capped(&Response::Error {
+                    code: ErrorCode::Internal,
+                    message,
+                });
+                respond(workers, worker, conn, request_id, payload);
+                continue;
+            }
+        };
+        let response = if from_lsn < floor {
+            // The log no longer reaches back far enough (or this is the
+            // bootstrap sentinel): ship a full snapshot instead.
+            match backend.encode_snapshot() {
+                Ok(snapshot) => Response::Replicate {
+                    committed_lsn: committed,
+                    snapshot: Some(snapshot),
+                    records: Vec::new(),
+                },
+                Err(message) => Response::Error {
+                    code: ErrorCode::Internal,
+                    message,
+                },
+            }
+        } else {
+            match backend.read_records(from_lsn, REPL_BATCH_BYTES) {
+                Ok(records) => {
+                    if records.is_empty() {
+                        ServerStats::bump(&shared.stats.repl_heartbeats);
+                    } else {
+                        ServerStats::bump_by(
+                            &shared.stats.repl_records_shipped,
+                            records.len() as u64,
+                        );
+                    }
+                    Response::Replicate {
+                        committed_lsn: committed,
+                        snapshot: None,
+                        records,
+                    }
+                }
+                Err(message) => Response::Error {
+                    code: ErrorCode::Internal,
+                    message,
+                },
+            }
+        };
+        respond(workers, worker, conn, request_id, encode_capped(&response));
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn handle_event<I>(
     event: Event,
@@ -1083,6 +1321,7 @@ fn handle_event<I>(
     dedup: &mut HashMap<(Vec<u8>, Option<u64>), u64>,
     backlog: &mut VecDeque<u64>,
     write_batch: &mut Vec<(usize, u64, u64, IngestOp)>,
+    repl_batch: &mut Vec<(usize, u64, u64, u64, bool)>,
     next_token: &mut u64,
     outstanding: &mut usize,
     drained_workers: &mut usize,
@@ -1165,6 +1404,16 @@ fn handle_event<I>(
         } => {
             *outstanding += 1;
             write_batch.push((worker, conn, request_id, op));
+        }
+        Event::Repl {
+            worker,
+            conn,
+            request_id,
+            from_lsn,
+            subscribe,
+        } => {
+            *outstanding += 1;
+            repl_batch.push((worker, conn, request_id, from_lsn, subscribe));
         }
         Event::Done(token, mut outcome) => {
             let Some(entry) = pending.remove(&token) else {

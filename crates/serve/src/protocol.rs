@@ -40,6 +40,8 @@
 //! | `0x06` | request   | graceful shutdown |
 //! | `0x07` | request   | insert a trajectory (online ingest, v2 only) |
 //! | `0x08` | request   | delete a trajectory (online ingest, v2 only) |
+//! | `0x09` | request   | subscribe to the replication stream (v2 only) |
+//! | `0x0A` | request   | replica ack / poll for more records (v2 only) |
 //! | `0x0F` | request   | hello (version negotiation, v2 only) |
 //! | `0x81` | response  | k-MST matches |
 //! | `0x82` | response  | kNN matches |
@@ -48,6 +50,7 @@
 //! | `0x85` | response  | stats report |
 //! | `0x86` | response  | shutdown acknowledged |
 //! | `0x87` | response  | ingest acknowledged (durable LSN) |
+//! | `0x88` | response  | replication batch (snapshot and/or raw WAL frames) |
 //! | `0x8F` | response  | hello acknowledged (v2 only) |
 //! | `0xE0` | response  | overloaded (admission rejected — backpressure) |
 //! | `0xE1` | response  | typed error |
@@ -264,6 +267,13 @@ fn put_options(out: &mut Vec<u8>, opts: &QueryOptions) {
         None => out.push(0),
     }
     out.push(u8::from(opts.share_bound));
+    match opts.min_lsn {
+        Some(lsn) => {
+            out.push(1);
+            put_u64(out, lsn);
+        }
+        None => out.push(0),
+    }
 }
 
 fn try_options(cur: &mut Cursor<'_>) -> Result<QueryOptions, WireError> {
@@ -290,6 +300,11 @@ fn try_options(cur: &mut Cursor<'_>) -> Result<QueryOptions, WireError> {
         0 => false,
         1 => true,
         _ => return Err(WireError::BadPayload("share flag")),
+    };
+    opts.min_lsn = match cur.try_u8()? {
+        0 => None,
+        1 => Some(cur.try_u64()?),
+        _ => return Err(WireError::BadPayload("min_lsn flag")),
     };
     Ok(opts)
 }
@@ -410,6 +425,27 @@ pub enum Request {
         /// The object to remove.
         id: TrajectoryId,
     },
+    /// A replica opens the replication stream: ship committed WAL
+    /// records starting at `from_lsn`. If `from_lsn` has fallen below
+    /// the primary's replication floor (the log was checkpointed past
+    /// it), the first [`Response::Replicate`] instead carries a full
+    /// snapshot encoded at the primary's committed LSN, and streaming
+    /// continues from there. A server with no durable store answers
+    /// [`ErrorCode::ReadOnly`]; a replica answers
+    /// [`ErrorCode::NotPrimary`].
+    Subscribe {
+        /// First LSN the replica still needs (its applied LSN + 1).
+        from_lsn: u64,
+    },
+    /// The replica's cumulative ack, doubling as the poll for the next
+    /// batch: "everything through `lsn` is applied on my side — send me
+    /// what you have from `lsn + 1`". An empty [`Response::Replicate`]
+    /// is the heartbeat that keeps lag observable when the primary is
+    /// idle.
+    ReplicaAck {
+        /// Highest LSN the replica has durably applied.
+        lsn: u64,
+    },
     /// Version negotiation, the first frame of every v2 session (sent at
     /// request id 0). The body opens with [`MAGIC`], then the version
     /// range the client speaks and the pipeline depth it would like.
@@ -465,6 +501,14 @@ impl Request {
             Request::Delete { id } => {
                 out.push(0x08);
                 put_u64(&mut out, id.0);
+            }
+            Request::Subscribe { from_lsn } => {
+                out.push(0x09);
+                put_u64(&mut out, *from_lsn);
+            }
+            Request::ReplicaAck { lsn } => {
+                out.push(0x0A);
+                put_u64(&mut out, *lsn);
             }
             Request::Hello {
                 min_version,
@@ -535,6 +579,12 @@ impl Request {
             0x08 => Request::Delete {
                 id: TrajectoryId(cur.try_u64()?),
             },
+            0x09 => Request::Subscribe {
+                from_lsn: cur.try_u64()?,
+            },
+            0x0A => Request::ReplicaAck {
+                lsn: cur.try_u64()?,
+            },
             0x0F => {
                 if cur.try_u32()? != MAGIC {
                     return Err(WireError::BadPayload("hello magic"));
@@ -584,6 +634,19 @@ pub enum ErrorCode {
     /// The server has no durable store behind it; ingest requests are
     /// refused. Queries keep working on the same connection.
     ReadOnly,
+    /// The query carried a read-your-writes token
+    /// ([`QueryOptions::min_lsn`]) this server's visible watermark has
+    /// not reached. Carries both LSNs so the client can decide to wait,
+    /// retry, or fall back to the primary. The connection stays open.
+    ReplicaLagging {
+        /// The LSN the query required.
+        required: u64,
+        /// The server's visible watermark at refusal time.
+        watermark: u64,
+    },
+    /// A write or replication subscription hit a replica: replicas are
+    /// read-only and only the primary feeds the replication stream.
+    NotPrimary,
 }
 
 impl ErrorCode {
@@ -599,6 +662,15 @@ impl ErrorCode {
                 put_u16(out, max);
             }
             ErrorCode::ReadOnly => out.push(6),
+            ErrorCode::ReplicaLagging {
+                required,
+                watermark,
+            } => {
+                out.push(7);
+                put_u64(out, required);
+                put_u64(out, watermark);
+            }
+            ErrorCode::NotPrimary => out.push(8),
         }
     }
 
@@ -614,6 +686,15 @@ impl ErrorCode {
                 Ok(ErrorCode::UnsupportedVersion { min, max })
             }
             6 => Ok(ErrorCode::ReadOnly),
+            7 => {
+                let required = cur.try_u64()?;
+                let watermark = cur.try_u64()?;
+                Ok(ErrorCode::ReplicaLagging {
+                    required,
+                    watermark,
+                })
+            }
+            8 => Ok(ErrorCode::NotPrimary),
             _ => Err(WireError::BadPayload("error code")),
         }
     }
@@ -653,6 +734,23 @@ pub struct ServerCounters {
     /// Log records replayed by the recovery that built this server's
     /// database (0 for a fresh or read-only server).
     pub replayed_records: u64,
+    /// Primary: highest LSN committed to the local log (the replication
+    /// watermark replicas are chasing). Replica: 0.
+    pub repl_committed_lsn: u64,
+    /// Primary: highest LSN any replica has cumulatively acked (the
+    /// lag gauge is `repl_committed_lsn - repl_acked_lsn`). Replica: 0.
+    pub repl_acked_lsn: u64,
+    /// Primary: WAL records shipped down replication streams.
+    pub repl_records_shipped: u64,
+    /// Primary: empty replication batches sent as heartbeats.
+    pub repl_heartbeats: u64,
+    /// Replica: highest LSN durably applied from the stream (equals the
+    /// visible watermark). Primary: its own committed LSN.
+    pub repl_applied_lsn: u64,
+    /// Replica: records applied from the replication stream.
+    pub repl_records_applied: u64,
+    /// Replica: times the applier lost the primary and reconnected.
+    pub repl_reconnects: u64,
 }
 
 /// A fixed-size summary of the server's merged [`mst_search::QueryProfile`]:
@@ -719,6 +817,21 @@ pub enum Response {
     Stats(StatsReport),
     /// The server accepted the shutdown request and is draining.
     ShutdownAck,
+    /// A replication batch: committed WAL frames shipped verbatim
+    /// (self-delimiting, checksummed — the replica re-verifies before
+    /// logging), optionally preceded by a full snapshot when the
+    /// subscriber's position fell below the primary's replication
+    /// floor. `records` empty and `snapshot` absent is the heartbeat.
+    Replicate {
+        /// The primary's committed LSN at send time: the position the
+        /// replica is chasing, even when this batch is empty.
+        committed_lsn: u64,
+        /// A full store snapshot (the `encode_snapshot` format) when
+        /// the replica must bootstrap; `None` on the steady path.
+        snapshot: Option<Vec<u8>>,
+        /// Sealed WAL frames, verbatim, in LSN order.
+        records: Vec<Vec<u8>>,
+    },
     /// An ingest operation is durable and visible: its log record's
     /// group-commit fsync returned before this frame was sent.
     Ingested {
@@ -823,6 +936,13 @@ impl Response {
                     c.wal_appends,
                     c.wal_fsyncs,
                     c.replayed_records,
+                    c.repl_committed_lsn,
+                    c.repl_acked_lsn,
+                    c.repl_records_shipped,
+                    c.repl_heartbeats,
+                    c.repl_applied_lsn,
+                    c.repl_records_applied,
+                    c.repl_reconnects,
                 ] {
                     put_u64(&mut out, v);
                 }
@@ -840,6 +960,27 @@ impl Response {
                 }
             }
             Response::ShutdownAck => out.push(0x86),
+            Response::Replicate {
+                committed_lsn,
+                snapshot,
+                records,
+            } => {
+                out.push(0x88);
+                put_u64(&mut out, *committed_lsn);
+                match snapshot {
+                    Some(bytes) => {
+                        out.push(1);
+                        put_count(&mut out, bytes.len());
+                        out.extend_from_slice(bytes);
+                    }
+                    None => out.push(0),
+                }
+                put_count(&mut out, records.len());
+                for r in records {
+                    put_count(&mut out, r.len());
+                    out.extend_from_slice(r);
+                }
+            }
             Response::Ingested { lsn, applied } => {
                 out.push(0x87);
                 put_u64(&mut out, *lsn);
@@ -925,7 +1066,7 @@ impl Response {
                 Response::Range { degraded, entries }
             }
             0x85 => {
-                let mut counters = [0u64; 22];
+                let mut counters = [0u64; 29];
                 for slot in &mut counters {
                     *slot = cur.try_u64()?;
                 }
@@ -946,19 +1087,52 @@ impl Response {
                         wal_appends: counters[12],
                         wal_fsyncs: counters[13],
                         replayed_records: counters[14],
+                        repl_committed_lsn: counters[15],
+                        repl_acked_lsn: counters[16],
+                        repl_records_shipped: counters[17],
+                        repl_heartbeats: counters[18],
+                        repl_applied_lsn: counters[19],
+                        repl_records_applied: counters[20],
+                        repl_reconnects: counters[21],
                     },
                     profile: ProfileSummary {
-                        heap_pushes: counters[15],
-                        heap_pops: counters[16],
-                        nodes_accessed: counters[17],
-                        buffer_hits: counters[18],
-                        buffer_misses: counters[19],
-                        piece_evals: counters[20],
-                        early_terminations: counters[21],
+                        heap_pushes: counters[22],
+                        heap_pops: counters[23],
+                        nodes_accessed: counters[24],
+                        buffer_hits: counters[25],
+                        buffer_misses: counters[26],
+                        piece_evals: counters[27],
+                        early_terminations: counters[28],
                     },
                 })
             }
             0x86 => Response::ShutdownAck,
+            0x88 => {
+                let committed_lsn = cur.try_u64()?;
+                let snapshot = match cur.try_u8()? {
+                    0 => None,
+                    1 => {
+                        let len = usize::try_from(cur.try_u32()?)
+                            .map_err(|_| WireError::BadPayload("snapshot length"))?;
+                        Some(cur.take(len)?.to_vec())
+                    }
+                    _ => return Err(WireError::BadPayload("snapshot flag")),
+                };
+                // Each record costs at least its own 4-byte length
+                // prefix, so a hostile count fails the pre-check.
+                let count = try_count(&mut cur, 4)?;
+                let mut records = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let len = usize::try_from(cur.try_u32()?)
+                        .map_err(|_| WireError::BadPayload("record length"))?;
+                    records.push(cur.take(len)?.to_vec());
+                }
+                Response::Replicate {
+                    committed_lsn,
+                    snapshot,
+                    records,
+                }
+            }
             0x87 => {
                 let lsn = cur.try_u64()?;
                 let applied = match cur.try_u8()? {
@@ -1235,6 +1409,15 @@ mod tests {
             Request::Delete {
                 id: TrajectoryId(12),
             },
+            Request::Subscribe { from_lsn: 17 },
+            Request::ReplicaAck { lsn: 16 },
+            Request::Kmst {
+                points: vec![
+                    SamplePoint::new(0.0, 1.0, 2.0),
+                    SamplePoint::new(1.0, 3.0, 4.0),
+                ],
+                options: opts().min_lsn(88),
+            },
             Request::Hello {
                 min_version: 2,
                 max_version: 2,
@@ -1330,6 +1513,32 @@ mod tests {
                 code: ErrorCode::ReadOnly,
                 message: "no durable store; ingest disabled".into(),
             },
+            Response::Error {
+                code: ErrorCode::ReplicaLagging {
+                    required: 90,
+                    watermark: 85,
+                },
+                message: "watermark 85 below required 90".into(),
+            },
+            Response::Error {
+                code: ErrorCode::NotPrimary,
+                message: "replicas are read-only".into(),
+            },
+            Response::Replicate {
+                committed_lsn: 42,
+                snapshot: None,
+                records: vec![vec![1, 2, 3], vec![], vec![9; 40]],
+            },
+            Response::Replicate {
+                committed_lsn: 7,
+                snapshot: Some(vec![0xAB; 64]),
+                records: vec![],
+            },
+            Response::Replicate {
+                committed_lsn: 0,
+                snapshot: None,
+                records: vec![],
+            },
         ];
         for response in responses {
             let payload = response.encode();
@@ -1362,6 +1571,57 @@ mod tests {
         for cut in 0..payload.len() {
             assert!(Response::decode(&payload[..cut]).is_err(), "cut at {cut}");
         }
+        let response = Response::Replicate {
+            committed_lsn: 9,
+            snapshot: Some(vec![3; 16]),
+            records: vec![vec![1, 2], vec![4, 5, 6]],
+        };
+        let payload = response.encode();
+        for cut in 0..payload.len() {
+            assert!(Response::decode(&payload[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_replication_bodies_are_typed_not_allocated() {
+        // A Replicate claiming u32::MAX records with an empty body: the
+        // count pre-check fails before any Vec::with_capacity.
+        let mut payload = vec![0x88];
+        put_u64(&mut payload, 1);
+        payload.push(0);
+        put_u32(&mut payload, u32::MAX);
+        assert_eq!(Response::decode(&payload), Err(WireError::Truncated));
+        // A snapshot length larger than the body.
+        let mut payload = vec![0x88];
+        put_u64(&mut payload, 1);
+        payload.push(1);
+        put_u32(&mut payload, 1_000_000);
+        assert_eq!(Response::decode(&payload), Err(WireError::Truncated));
+        // A garbage snapshot flag.
+        let mut payload = vec![0x88];
+        put_u64(&mut payload, 1);
+        payload.push(9);
+        assert_eq!(
+            Response::decode(&payload),
+            Err(WireError::BadPayload("snapshot flag"))
+        );
+        // A garbage min_lsn flag in options.
+        let mut payload = vec![0x09];
+        put_u64(&mut payload, 5);
+        payload.push(0);
+        assert_eq!(Request::decode(&payload), Err(WireError::TrailingBytes));
+        let mut bad_opts = Request::Stats.encode();
+        bad_opts.clear();
+        bad_opts.push(0x01);
+        put_u32(&mut bad_opts, 1); // k
+        bad_opts.push(0); // no period
+        bad_opts.push(0); // no deadline
+        bad_opts.push(1); // share_bound
+        bad_opts.push(7); // bad min_lsn flag
+        assert_eq!(
+            Request::decode(&bad_opts),
+            Err(WireError::BadPayload("min_lsn flag"))
+        );
     }
 
     #[test]

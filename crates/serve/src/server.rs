@@ -57,6 +57,10 @@ pub enum ServeError {
     Exec(mst_exec::ExecError),
     /// A socket operation failed while starting or stopping the server.
     Io(std::io::Error),
+    /// Replica bootstrap or the replication stream failed in a way that
+    /// prevents the replica from starting (primary unreachable after
+    /// retries, refused subscription, undecodable snapshot).
+    Replication(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -64,6 +68,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Exec(e) => write!(f, "execution layer: {e}"),
             ServeError::Io(e) => write!(f, "socket: {e}"),
+            ServeError::Replication(msg) => write!(f, "replication: {msg}"),
         }
     }
 }
@@ -73,6 +78,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Exec(e) => Some(e),
             ServeError::Io(e) => Some(e),
+            ServeError::Replication(_) => None,
         }
     }
 }
@@ -218,6 +224,17 @@ pub(crate) struct ServerStats {
     pub(crate) wal_appends: AtomicU64,
     pub(crate) wal_fsyncs: AtomicU64,
     pub(crate) replayed_records: AtomicU64,
+    /// Replication gauges. On a primary: committed = its own log head,
+    /// acked = the highest cumulative replica ack, shipped/heartbeats
+    /// count outbound stream traffic. On a replica: applied/records
+    /// track the applier, reconnects count lost primaries.
+    pub(crate) repl_committed_lsn: AtomicU64,
+    pub(crate) repl_acked_lsn: AtomicU64,
+    pub(crate) repl_records_shipped: AtomicU64,
+    pub(crate) repl_heartbeats: AtomicU64,
+    pub(crate) repl_applied_lsn: AtomicU64,
+    pub(crate) repl_records_applied: AtomicU64,
+    pub(crate) repl_reconnects: AtomicU64,
 }
 
 impl ServerStats {
@@ -229,6 +246,20 @@ impl ServerStats {
         // ordering: monotonic stats counter; it orders nothing and a
         // reader tolerates a slightly stale total.
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises a monotone LSN gauge to at least `v` (never lowers it —
+    /// several replicas may ack out of order).
+    pub(crate) fn raise(counter: &AtomicU64, v: u64) {
+        // ordering: advisory stats gauge; visibility ordering for reads
+        // rides on Shared::watermark, never on these counters.
+        counter.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set(counter: &AtomicU64, v: u64) {
+        // ordering: mirrored gauge owned by the durable backend; a stale
+        // read only undercounts a stats probe.
+        counter.store(v, Ordering::Relaxed);
     }
 
     fn read(counter: &AtomicU64) -> u64 {
@@ -255,6 +286,13 @@ impl ServerStats {
             wal_appends: Self::read(&self.wal_appends),
             wal_fsyncs: Self::read(&self.wal_fsyncs),
             replayed_records: Self::read(&self.replayed_records),
+            repl_committed_lsn: Self::read(&self.repl_committed_lsn),
+            repl_acked_lsn: Self::read(&self.repl_acked_lsn),
+            repl_records_shipped: Self::read(&self.repl_records_shipped),
+            repl_heartbeats: Self::read(&self.repl_heartbeats),
+            repl_applied_lsn: Self::read(&self.repl_applied_lsn),
+            repl_records_applied: Self::read(&self.repl_records_applied),
+            repl_reconnects: Self::read(&self.repl_reconnects),
         }
     }
 }
@@ -274,6 +312,15 @@ pub(crate) struct Shared<I> {
     /// answer ingest frames with a typed `ReadOnly` error on the I/O
     /// thread, before anything reaches the coalescer.
     pub(crate) ingest_enabled: bool,
+    /// Whether this server is a replica: writes and replication
+    /// subscriptions answer a typed `NotPrimary`, and the visibility
+    /// watermark advances as the applier catches up rather than as
+    /// local writes flush.
+    pub(crate) replica: bool,
+    /// The read-your-writes gate: every write at or below this LSN is
+    /// visible to queries. Queries carrying `min_lsn` above it answer a
+    /// typed `ReplicaLagging` on the I/O thread.
+    pub(crate) watermark: mst_exec::Watermark,
     /// The bound address, for the shutdown self-connection poke.
     pub(crate) addr: SocketAddr,
 }
@@ -323,7 +370,7 @@ impl Server {
     where
         I: TrajectoryIndex + Send + 'static,
     {
-        start_inner(config, db, None)
+        start_inner(config, db, None, false, 0)
     }
 
     /// Like [`Server::start`], but over a [`mst_wal::DurableDatabase`]:
@@ -349,7 +396,68 @@ impl Server {
         S::Log: Send,
     {
         let db = Arc::clone(durable.database());
-        start_inner(config, db, Some(Box::new(durable)))
+        let committed = durable.applied_lsn();
+        start_inner(config, db, Some(Box::new(durable)), false, committed)
+    }
+
+    /// Starts a **read-only replica** following the primary at
+    /// `primary`: an occupied `store` is recovered and the stream
+    /// resumed from its applied LSN; an empty one bootstraps from a
+    /// fresh snapshot the primary encodes at its committed LSN
+    /// (`Subscribe { from_lsn: 0 }`). Either way the applier thread then
+    /// polls the primary — `ReplicaAck { lsn }` doubles as "send me what
+    /// follows" — re-verifies every shipped frame, applies gapless
+    /// batches through the same WAL-before-apply path as local ingest,
+    /// invalidates the answer cache, and advances the visibility
+    /// watermark, so `min_lsn` reads are exact on the replica too.
+    ///
+    /// Writes and `Subscribe` frames hitting a replica answer a typed
+    /// [`crate::protocol::ErrorCode::NotPrimary`]. A lost primary is
+    /// retried forever with jittered backoff (`retry` shapes one round;
+    /// reconnects are counted in the stats report) — the replica keeps
+    /// serving reads at its last applied state throughout. A replica
+    /// whose position falls below the primary's replication floor while
+    /// disconnected cannot re-bootstrap in place; it keeps serving and
+    /// retrying, and a restart with an empty store re-bootstraps it.
+    pub fn start_replica<I, S>(
+        config: ServerConfig,
+        store: S,
+        wal_config: mst_wal::WalConfig,
+        primary: SocketAddr,
+        retry: crate::client::RetryPolicy,
+    ) -> Result<ServerHandle<I>, ServeError>
+    where
+        I: mst_wal::DurableSubstrate + Send + 'static,
+        S: mst_wal::LogStore + Send + 'static,
+        S::Log: Send,
+    {
+        let occupied = store
+            .read_snapshot()
+            .map_err(|e| ServeError::Replication(format!("probing the replica store: {e}")))?
+            .is_some();
+        let durable: mst_wal::DurableDatabase<I, S> = if occupied {
+            mst_wal::DurableDatabase::open(store, wal_config)
+                .map_err(|e| ServeError::Replication(format!("recovering the replica: {e}")))?
+        } else {
+            let snapshot = crate::repl::fetch_bootstrap_snapshot(primary, &retry)
+                .map_err(ServeError::Replication)?;
+            mst_wal::DurableDatabase::from_snapshot(store, wal_config, &snapshot)
+                .map_err(|e| ServeError::Replication(format!("applying the bootstrap: {e}")))?
+        };
+        let applied = durable.applied_lsn();
+        let db = Arc::clone(durable.database());
+        let handle = start_inner(config, db, None, true, applied)?;
+        let shared = Arc::clone(&handle.shared);
+        ServerStats::set(&shared.stats.repl_applied_lsn, applied);
+        let applier = std::thread::Builder::new()
+            .name("mst-serve-repl".into())
+            .spawn(move || crate::repl::applier_loop(&shared, durable, primary, &retry))?;
+        *handle
+            .applier
+            .lock()
+            .map_err(|_| ServeError::Replication("applier handle poisoned at startup".into()))? =
+            Some(applier);
+        Ok(handle)
     }
 }
 
@@ -357,6 +465,8 @@ fn start_inner<I>(
     config: ServerConfig,
     db: Arc<ShardedDatabase<I>>,
     ingest: Option<Box<dyn IngestBackend>>,
+    replica: bool,
+    visible_lsn: u64,
 ) -> Result<ServerHandle<I>, ServeError>
 where
     I: TrajectoryIndex + Send + 'static,
@@ -380,8 +490,16 @@ where
             live_conns: AtomicUsize::new(0),
             cache: AnswerCache::new(config.cache_capacity),
             ingest_enabled: ingest.is_some(),
+            replica,
+            watermark: mst_exec::Watermark::at(visible_lsn),
             addr: local_addr,
         });
+        if ingest.is_some() {
+            // A primary's committed LSN is visible (and replicated) from
+            // the first stats probe, not the first write.
+            ServerStats::set(&shared.stats.repl_committed_lsn, visible_lsn);
+            ServerStats::set(&shared.stats.repl_applied_lsn, visible_lsn);
+        }
         if let Some(backend) = &ingest {
             // Seed the WAL gauges so a stats probe right after startup
             // already reports what recovery replayed.
@@ -462,6 +580,7 @@ where
             local_addr,
             shared,
             accept: Mutex::new(Some(accept)),
+            applier: Mutex::new(None),
         })
     }
 }
@@ -470,8 +589,10 @@ where
 /// gracefully (in-flight queries drain).
 pub struct ServerHandle<I> {
     local_addr: SocketAddr,
-    shared: Arc<Shared<I>>,
+    pub(crate) shared: Arc<Shared<I>>,
     accept: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// The replica applier thread, joined at shutdown (replicas only).
+    applier: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl<I> ServerHandle<I>
@@ -511,6 +632,17 @@ where
             // server; surfacing the payload here adds nothing
             let _ = handle.join();
         }
+        // The applier exits on the shutdown flag (its rounds are short
+        // and its socket reads time out), so this join is bounded.
+        let applier = match self.applier.lock() {
+            Ok(mut slot) => slot.take(),
+            Err(_) => None,
+        };
+        if let Some(handle) = applier {
+            // invariant: a panicked applier left the replica serving its
+            // last applied state; the drain must still complete
+            let _ = handle.join();
+        }
     }
 }
 
@@ -524,6 +656,15 @@ impl<I> Drop for ServerHandle<I> {
         if let Some(handle) = handle {
             // invariant: same policy as join() — the server is already
             // stopped when an accept-loop panic would surface here
+            let _ = handle.join();
+        }
+        let applier = match self.applier.lock() {
+            Ok(mut slot) => slot.take(),
+            Err(_) => None,
+        };
+        if let Some(handle) = applier {
+            // invariant: as in join() — a panicked applier changes
+            // nothing about the teardown
             let _ = handle.join();
         }
     }
@@ -570,6 +711,8 @@ pub(crate) fn build_query(request: Request) -> Result<BatchQuery, String> {
         | Request::Shutdown
         | Request::Hello { .. }
         | Request::Insert { .. }
-        | Request::Delete { .. } => Err("not a query".into()),
+        | Request::Delete { .. }
+        | Request::Subscribe { .. }
+        | Request::ReplicaAck { .. } => Err("not a query".into()),
     }
 }

@@ -28,9 +28,10 @@ use mst_exec::{ExecError, IngestOp, IngestOutcome, ShardedDatabase};
 use mst_index::PAGE_SIZE;
 use mst_search::TrajectoryStore;
 
-use crate::record::WalRecord;
+use crate::record::{decode_frame, Decoded, WalRecord};
 use crate::replay::{replay, TailState};
 use crate::snapshot::{decode_snapshot, encode_snapshot, DurableSubstrate};
+use crate::stream::{log_floor, read_committed_frames};
 use crate::writer::{WalConfig, WalWriter};
 use crate::{LogStore, Result, WalError};
 
@@ -306,6 +307,111 @@ impl<I: DurableSubstrate, S: LogStore> DurableDatabase<I, S> {
         Ok(())
     }
 
+    /// Bootstraps a **replica** from a primary's snapshot image: decodes
+    /// it (checksum-verified), makes it the store's own genesis snapshot,
+    /// and opens the log at the snapshot's LSN + 1 so
+    /// [`DurableDatabase::apply_replicated`] can continue the chain.
+    /// Refuses a store that already holds a database — a restarting
+    /// replica recovers its own state with [`DurableDatabase::open`] and
+    /// re-subscribes from where it left off instead.
+    pub fn from_snapshot(store: S, config: WalConfig, snapshot: &[u8]) -> Result<Self> {
+        if store.read_snapshot()?.is_some() || !store.list_logs()?.is_empty() {
+            return Err(WalError::Config(
+                "store already holds a database; open it instead",
+            ));
+        }
+        let (db, snapshot_lsn) = decode_snapshot::<I>(snapshot)?;
+        let db = Arc::new(db);
+        store.write_snapshot(snapshot)?;
+        let writer = WalWriter::create(store, config, snapshot_lsn + 1)?;
+        Ok(DurableDatabase {
+            db,
+            writer,
+            applied_lsn: snapshot_lsn,
+            replayed_records: 0,
+            checkpoints: 0,
+        })
+    }
+
+    /// Applies a batch of sealed frames shipped from a primary's log —
+    /// the replica's write path. Every frame is re-verified from its raw
+    /// bytes (checksum + structure) and must continue the replica's own
+    /// LSN chain gaplessly; any gap, damage, or regression refuses the
+    /// whole batch **before** anything is logged. The verified records
+    /// are then appended to the replica's own log, made durable with one
+    /// group-commit fsync, and applied to the in-memory shards with the
+    /// same guarded (idempotent) application recovery uses — so a
+    /// replica that crashes mid-batch recovers and re-applies
+    /// harmlessly. Returns the new applied LSN.
+    pub fn apply_replicated(&mut self, frames: &[Vec<u8>]) -> Result<u64> {
+        let mut records = Vec::with_capacity(frames.len());
+        let mut expected = self.writer.next_lsn();
+        for frame in frames {
+            match decode_frame(frame) {
+                Decoded::Record {
+                    lsn,
+                    record,
+                    consumed,
+                } => {
+                    if consumed != frame.len() {
+                        return Err(WalError::Corrupt(format!(
+                            "replicated frame for lsn {lsn} carries {} trailing bytes",
+                            frame.len() - consumed
+                        )));
+                    }
+                    if lsn != expected {
+                        return Err(WalError::Corrupt(format!(
+                            "replication stream gap: expected lsn {expected}, frame carries {lsn}"
+                        )));
+                    }
+                    expected += 1;
+                    records.push(record);
+                }
+                Decoded::Torn | Decoded::Corrupt => {
+                    return Err(WalError::Corrupt(format!(
+                        "replicated frame at lsn {expected} failed verification"
+                    )));
+                }
+            }
+        }
+        for record in &records {
+            self.writer.append(record)?;
+        }
+        self.writer.commit()?;
+        for record in &records {
+            if let Some(op) = record.to_op()? {
+                apply_replayed(&self.db, &op)?;
+            }
+        }
+        self.applied_lsn = self.writer.next_lsn() - 1;
+        Ok(self.applied_lsn)
+    }
+
+    /// The lowest LSN still servable from this node's log. A subscriber
+    /// asking to stream from below this floor needs a snapshot first
+    /// (checkpoints prune segments from the front). The floor is the
+    /// first retained segment's name — its first record's LSN.
+    pub fn replication_floor(&self) -> Result<u64> {
+        Ok(log_floor(self.writer.store())?.unwrap_or(self.applied_lsn + 1))
+    }
+
+    /// Encodes a snapshot of the **current** applied state, for
+    /// bootstrapping a subscriber that fell below the replication floor.
+    /// Unlike [`DurableDatabase::checkpoint`] this writes nothing to the
+    /// store and prunes nothing.
+    pub fn encode_current_snapshot(&self) -> Result<Vec<u8>> {
+        encode_snapshot(&self.db, self.applied_lsn)
+    }
+
+    /// Reads the gapless run of sealed frames starting at `from_lsn`, as
+    /// raw bytes, capped at the applied (committed) watermark and
+    /// bounded by `max_bytes` (at least one frame ships when any is
+    /// available). The replication feed: frames travel verbatim and the
+    /// replica re-verifies every checksum on arrival.
+    pub fn read_committed_frames(&self, from_lsn: u64, max_bytes: usize) -> Result<Vec<Vec<u8>>> {
+        read_committed_frames(self.writer.store(), from_lsn, self.applied_lsn, max_bytes)
+    }
+
     /// The shared in-memory database — hand clones of this `Arc` to the
     /// executor ([`mst_exec::ExecHandle`]) and serving layers; they see
     /// every applied ingest at generation granularity.
@@ -504,6 +610,105 @@ mod tests {
         let back = DurableDatabase::<Rtree3D, _>::open(store, WalConfig::default()).unwrap();
         assert_eq!(back.stats().replayed_records, 3);
         assert_eq!(back.database().num_objects(), 2);
+    }
+
+    #[test]
+    fn a_replica_fed_committed_frames_converges_bit_identically() {
+        let mut primary =
+            DurableDatabase::<Rtree3D, _>::create(SimStore::new(), WalConfig::default(), 2)
+                .unwrap();
+        let replica_store = SimStore::new();
+        let mut replica = DurableDatabase::<Rtree3D, _>::from_snapshot(
+            replica_store.clone(),
+            WalConfig::default(),
+            &primary.encode_current_snapshot().unwrap(),
+        )
+        .unwrap();
+
+        primary.apply(&[insert(1), insert(2), insert(3)]).unwrap();
+        primary.apply(&[delete(2), insert(4)]).unwrap();
+        let frames = primary
+            .read_committed_frames(replica.applied_lsn() + 1, usize::MAX)
+            .unwrap();
+        assert_eq!(frames.len(), 5);
+        assert_eq!(replica.apply_replicated(&frames).unwrap(), 5);
+        assert_eq!(replica.applied_lsn(), primary.applied_lsn());
+        assert_eq!(
+            encode_snapshot(replica.database(), 0).unwrap(),
+            encode_snapshot(primary.database(), 0).unwrap(),
+            "replica state must be bit-identical"
+        );
+
+        // The replica's own log is durable: a reopen recovers the same
+        // state without the primary.
+        drop(replica);
+        let back =
+            DurableDatabase::<Rtree3D, _>::open(replica_store, WalConfig::default()).unwrap();
+        assert_eq!(back.applied_lsn(), 5);
+        assert_eq!(
+            encode_snapshot(back.database(), 0).unwrap(),
+            encode_snapshot(primary.database(), 0).unwrap()
+        );
+    }
+
+    #[test]
+    fn replication_gaps_and_tampered_frames_are_refused_before_logging() {
+        let mut primary =
+            DurableDatabase::<Rtree3D, _>::create(SimStore::new(), WalConfig::default(), 1)
+                .unwrap();
+        primary.apply(&[insert(1), insert(2), insert(3)]).unwrap();
+        let frames = primary.read_committed_frames(1, usize::MAX).unwrap();
+
+        let mut replica = DurableDatabase::<Rtree3D, _>::from_snapshot(
+            SimStore::new(),
+            WalConfig::default(),
+            &DurableDatabase::<Rtree3D, _>::create(SimStore::new(), WalConfig::default(), 1)
+                .unwrap()
+                .encode_current_snapshot()
+                .unwrap(),
+        )
+        .unwrap();
+
+        // A gap (skipping lsn 1) is refused.
+        assert!(matches!(
+            replica.apply_replicated(&frames[1..]),
+            Err(WalError::Corrupt(_))
+        ));
+        // A flipped bit is refused.
+        let mut bent = frames.clone();
+        let mid = bent[1].len() / 2;
+        bent[1][mid] ^= 0x20;
+        assert!(matches!(
+            replica.apply_replicated(&bent),
+            Err(WalError::Corrupt(_))
+        ));
+        // Nothing was logged or applied by the refusals.
+        assert_eq!(replica.stats().wal_appends, 0);
+        assert_eq!(replica.database().num_objects(), 0);
+        // The intact batch still applies afterwards.
+        assert_eq!(replica.apply_replicated(&frames).unwrap(), 3);
+        assert_eq!(replica.database().num_objects(), 3);
+    }
+
+    #[test]
+    fn the_replication_floor_rises_with_checkpoints() {
+        let store = SimStore::new();
+        let mut db = DurableDatabase::<Rtree3D, _>::create(
+            store.clone(),
+            WalConfig { rotate_bytes: 256 },
+            1,
+        )
+        .unwrap();
+        for id in 1..=12 {
+            db.apply(&[insert(id)]).unwrap();
+        }
+        assert_eq!(db.replication_floor().unwrap(), 1);
+        db.checkpoint().unwrap();
+        let floor = db.replication_floor().unwrap();
+        assert!(floor > 1, "pruned segments must raise the floor");
+        // From the floor on, frames stream fine; capped at applied_lsn.
+        let frames = db.read_committed_frames(floor, usize::MAX).unwrap();
+        assert!(!frames.is_empty() || floor == db.applied_lsn() + 1);
     }
 
     #[test]

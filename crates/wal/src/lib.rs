@@ -24,6 +24,11 @@
 //!   the first incomplete or checksum-failing record of the final
 //!   segment (that is what a crash leaves behind), while damage anywhere
 //!   else is reported as real corruption.
+//! * [`stream`](read_committed_frames) — the live-log reads: a
+//!   tail-follow cursor returning sealed frames verbatim for the
+//!   replication feed (capped at the committed watermark, so un-fsynced
+//!   bytes never ship), and [`verify_store`], the offline integrity
+//!   sweep behind `mst-serve --verify-store`.
 //! * [`DurableDatabase`] — the coupling: WAL-before-apply ingest over an
 //!   [`mst_exec::ShardedDatabase`], LSN-stamped snapshot images
 //!   (temp-file + rename of the `persist.rs` format), and recovery =
@@ -47,6 +52,7 @@ mod io;
 pub mod record;
 mod replay;
 mod snapshot;
+mod stream;
 mod writer;
 
 pub use durable::{apply_replayed, DurableDatabase, DurableStats};
@@ -54,6 +60,7 @@ pub use io::{FileLog, FileStore, LogIo, LogStore, SimCrashPlan, SimLog, SimStore
 pub use record::WalRecord;
 pub use replay::{replay, ReplayReport, TailState};
 pub use snapshot::{decode_snapshot, encode_snapshot, DurableSubstrate};
+pub use stream::{frame_len, log_floor, read_committed_frames, verify_store, VerifyReport};
 pub use writer::{WalConfig, WalStats, WalWriter};
 
 /// Errors of the durability layer.

@@ -1,0 +1,289 @@
+//! Replication chaos suite at the durable-store level: a primary killed
+//! at every schedule point while a replica follows its committed log,
+//! with mid-batch partitions and hostile streams injected on the way.
+//!
+//! The harness reuses the crash suite's machinery — a fixed ingest
+//! workload against a [`SimStore`] whose every durability operation is
+//! a schedule point — and adds a follower: after each acked batch the
+//! primary's committed frames are "shipped" (read with
+//! [`DurableDatabase::read_committed_frames`], applied with
+//! [`DurableDatabase::apply_replicated`]) to a replica bootstrapped from
+//! the primary's initial snapshot. For **every** kill point `k` the
+//! primary is killed at operation `k`, rebooted, recovered, and the
+//! replica caught up from the recovered log. Each run asserts:
+//!
+//! * nothing the replica applied is ever *ahead* of what the primary
+//!   recovers — an acked, shipped write survives the primary's crash by
+//!   definition of the committed watermark (only fsynced frames ship);
+//! * after catch-up the replica's full store image is **bit-identical**
+//!   to the recovered primary's ([`encode_snapshot`] equality);
+//! * a partition mid-batch (truncated or dropped frames) refuses the
+//!   whole batch, leaves the replica byte-for-byte unchanged, and a
+//!   clean re-ship of the same range converges.
+
+use mst_exec::IngestOp;
+use mst_index::Rtree3D;
+use mst_trajectory::{SamplePoint, Trajectory, TrajectoryId};
+use mst_wal::{
+    encode_snapshot, DurableDatabase, DurableSubstrate, SimCrashPlan, SimStore, WalConfig, WalError,
+};
+
+fn traj(id: u64, n: usize) -> Trajectory {
+    let pts = (0..n)
+        .map(|i| {
+            SamplePoint::new(
+                i as f64,
+                (i as f64 * 0.7 + id as f64 * 1.3) % 10.0,
+                (id as f64 * 2.1 + i as f64 * 0.4) % 10.0,
+            )
+        })
+        .collect();
+    Trajectory::new(pts).expect("valid workload trajectory")
+}
+
+fn ins(id: u64) -> IngestOp {
+    IngestOp::Insert {
+        id: TrajectoryId(id),
+        trajectory: traj(id, 5 + (id % 4) as usize),
+    }
+}
+
+fn del(id: u64) -> IngestOp {
+    IngestOp::Delete {
+        id: TrajectoryId(id),
+    }
+}
+
+/// The replicated workload: batched inserts and deletes, deletes always
+/// targeting earlier inserts so every operation logs.
+fn workload() -> Vec<Vec<IngestOp>> {
+    vec![
+        vec![ins(1), ins(2), ins(3)],
+        vec![ins(4), ins(5)],
+        vec![ins(6), del(2)],
+        vec![ins(7), ins(8)],
+        vec![del(5), ins(9)],
+        vec![ins(10), ins(11)],
+    ]
+}
+
+fn config() -> WalConfig {
+    // Small segments so shipping crosses rotation boundaries.
+    WalConfig { rotate_bytes: 512 }
+}
+
+/// Byte image of a database's full state, the cross-store comparison
+/// key. Encoded at LSN 0 so only the *state* is compared, not the
+/// position metadata.
+fn image<I: DurableSubstrate, S: mst_wal::LogStore>(db: &DurableDatabase<I, S>) -> Vec<u8> {
+    encode_snapshot(db.database(), 0).expect("state image")
+}
+
+/// Ships everything the primary has committed past the replica's
+/// position, in bounded rounds (a tiny byte budget forces multi-frame
+/// catch-up paths through the at-least-one-frame guarantee).
+fn catch_up<I: DurableSubstrate>(
+    primary: &DurableDatabase<I, SimStore>,
+    replica: &mut DurableDatabase<I, SimStore>,
+    max_bytes: usize,
+) {
+    while replica.applied_lsn() < primary.applied_lsn() {
+        let frames = primary
+            .read_committed_frames(replica.applied_lsn() + 1, max_bytes)
+            .expect("primary reads its committed log");
+        assert!(
+            !frames.is_empty(),
+            "a lagging replica always receives at least one frame"
+        );
+        replica
+            .apply_replicated(&frames)
+            .expect("clean frames apply");
+    }
+}
+
+/// A replica bootstrapped from the primary's current state, exactly as
+/// the serving layer does it (`Subscribe {{ from_lsn: 0 }}`).
+fn bootstrap<I: DurableSubstrate>(
+    primary: &DurableDatabase<I, SimStore>,
+) -> DurableDatabase<I, SimStore> {
+    let snapshot = primary
+        .encode_current_snapshot()
+        .expect("primary encodes its state");
+    DurableDatabase::from_snapshot(SimStore::new(), config(), &snapshot)
+        .expect("replica bootstraps from the snapshot")
+}
+
+/// Kill the primary at every schedule point while a replica follows;
+/// recover; catch the replica up; demand bit-identical convergence.
+#[test]
+fn replica_converges_bit_identically_across_every_primary_kill_point() {
+    let batches = workload();
+
+    // Dry run to learn the schedule length.
+    let dry_store = SimStore::new();
+    let mut dry = DurableDatabase::<Rtree3D, _>::create(dry_store.clone(), config(), 2)
+        .expect("dry-run create");
+    let create_ops = dry_store.op_count();
+    for batch in &batches {
+        dry.apply(batch).expect("dry-run apply");
+    }
+    let total_ops = dry_store.op_count();
+    drop(dry);
+
+    // One extra point past the end = the never-crashing control run.
+    for kill in create_ops..=total_ops {
+        let store = SimStore::new();
+        let mut primary = DurableDatabase::<Rtree3D, _>::create(store.clone(), config(), 2)
+            .expect("create under sweep");
+        let mut replica = bootstrap(&primary);
+
+        store.arm(SimCrashPlan {
+            kill_at_op: kill,
+            seed: 0xBEEF ^ kill,
+        });
+        let mut crashed = false;
+        for batch in &batches {
+            match primary.apply(batch) {
+                Ok(outcomes) => assert!(outcomes.iter().all(|o| o.applied)),
+                Err(WalError::Crashed) => {
+                    crashed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected apply error: {e}"),
+            }
+            // The follower polls between batches; a small budget forces
+            // several shipping rounds per batch.
+            catch_up(&primary, &mut replica, 96);
+        }
+        assert_eq!(crashed, kill < total_ops, "kill point {kill}");
+        let shipped_lsn = replica.applied_lsn();
+        drop(primary);
+        store.reopen();
+
+        let recovered = DurableDatabase::<Rtree3D, _>::open(store, config())
+            .unwrap_or_else(|e| panic!("recovery after kill at {kill} failed: {e}"));
+
+        // Only fsynced frames ever shipped, so the replica can never be
+        // ahead of what the primary's log recovers.
+        assert!(
+            shipped_lsn <= recovered.applied_lsn(),
+            "kill {kill}: replica at {shipped_lsn} is ahead of the recovered \
+             primary at {}",
+            recovered.applied_lsn()
+        );
+
+        catch_up(&recovered, &mut replica, 96);
+        assert_eq!(
+            replica.applied_lsn(),
+            recovered.applied_lsn(),
+            "kill {kill}: catch-up must reach the recovered head"
+        );
+        assert_eq!(
+            image(&replica),
+            image(&recovered),
+            "kill {kill}: replica state diverges from the recovered primary"
+        );
+    }
+}
+
+/// A partition mid-batch — frames truncated or dropped in flight — must
+/// refuse the whole batch and leave the replica untouched; re-shipping
+/// the same range cleanly must then converge.
+#[test]
+fn partitioned_batches_refuse_wholesale_and_reship_cleanly() {
+    let mut primary =
+        DurableDatabase::<Rtree3D, _>::create(SimStore::new(), config(), 2).expect("create");
+    let mut replica = bootstrap(&primary);
+    for batch in workload() {
+        primary.apply(&batch).expect("primary applies");
+    }
+
+    let all = primary
+        .read_committed_frames(replica.applied_lsn() + 1, usize::MAX)
+        .expect("full committed run");
+    assert!(all.len() >= 4, "the workload ships several frames");
+
+    // Partition flavour 1: the final frame arrives truncated.
+    let mut torn = all.clone();
+    let last = torn.last_mut().expect("nonempty");
+    last.truncate(last.len() / 2);
+    let before = image(&replica);
+    assert!(
+        replica.apply_replicated(&torn).is_err(),
+        "a truncated frame refuses the batch"
+    );
+    assert_eq!(
+        image(&replica),
+        before,
+        "a refused batch must not half-apply"
+    );
+    assert_eq!(replica.applied_lsn(), 0, "position unchanged after refusal");
+
+    // Partition flavour 2: a frame goes missing mid-stream (the batch
+    // resumes after the gap) — gapless enforcement refuses it.
+    let mut gapped = all.clone();
+    gapped.remove(1);
+    assert!(
+        replica.apply_replicated(&gapped).is_err(),
+        "a resequenced stream refuses the batch"
+    );
+    assert_eq!(image(&replica), before, "still untouched");
+
+    // Partition flavour 3: a bit flips in flight.
+    let mut tampered = all.clone();
+    let mid = tampered[1].len() / 2;
+    tampered[1][mid] ^= 0x40;
+    assert!(
+        replica.apply_replicated(&tampered).is_err(),
+        "a corrupt frame refuses the batch"
+    );
+    assert_eq!(image(&replica), before, "still untouched");
+
+    // The clean re-ship converges bit-identically.
+    let applied = replica.apply_replicated(&all).expect("clean ship applies");
+    assert_eq!(applied, primary.applied_lsn());
+    assert_eq!(image(&replica), image(&primary));
+}
+
+/// A replica that resumes below the primary's replication floor (the
+/// primary checkpointed past its position) needs a snapshot, and a
+/// fresh bootstrap converges — the serving layer's restart-to-rebootstrap
+/// path, exercised at the store level.
+#[test]
+fn checkpoints_raise_the_floor_and_bootstrap_recovers_the_laggard() {
+    let mut primary =
+        DurableDatabase::<Rtree3D, _>::create(SimStore::new(), config(), 2).expect("create");
+    let mut replica = bootstrap(&primary);
+
+    let batches = workload();
+    primary.apply(&batches[0]).expect("first batch");
+    catch_up(&primary, &mut replica, usize::MAX);
+    let stale_position = replica.applied_lsn();
+
+    // The primary moves on and checkpoints: its log now starts after
+    // the laggard's position.
+    for batch in &batches[1..] {
+        primary.apply(batch).expect("later batches");
+    }
+    primary.checkpoint().expect("checkpoint");
+    let floor = primary.replication_floor().expect("floor");
+    assert!(
+        floor > stale_position + 1,
+        "the checkpoint must strand the laggard below the floor \
+         (floor {floor}, laggard resumes at {})",
+        stale_position + 1
+    );
+
+    // What the serving layer does on `Subscribe` below the floor: ship
+    // a snapshot, not records. A fresh bootstrap from it is the
+    // laggard's restart-with-empty-store path.
+    let rebooted = bootstrap(&primary);
+    assert_eq!(rebooted.applied_lsn(), primary.applied_lsn());
+    assert_eq!(image(&rebooted), image(&primary));
+
+    // And a subscriber at the head sees an empty run — the heartbeat.
+    let frames = primary
+        .read_committed_frames(primary.applied_lsn() + 1, usize::MAX)
+        .expect("head read");
+    assert!(frames.is_empty(), "nothing past the committed head");
+}
