@@ -76,6 +76,10 @@ gate "cargo test -p mst-index --features paranoid" \
 gate "observability smoke bench (BENCH_kmst.json)" \
     cargo run --release -q -p mst-bench --bin kmst_profile -- --smoke
 
+gate "index shootout smoke (R-tree / TB-tree / Metric tree agree with the scan)" \
+    cargo run --release -q -p mst-bench --bin index_comparison -- \
+    --objects 16 --samples 200 --queries 6 --k 2 --seed 11
+
 gate "batch executor smoke bench (BENCH_throughput.json)" \
     cargo run --release -q -p mst-bench --bin throughput -- --smoke
 

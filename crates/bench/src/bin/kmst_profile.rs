@@ -1,5 +1,6 @@
 //! Emits `BENCH_kmst.json`: per-query k-MST observability profiles
-//! (pruning, I/O, evaluation counters + wall time) on both substrates.
+//! (pruning, I/O, evaluation counters + wall time) on all three
+//! substrates (3D R-tree, TB-tree, metric tree).
 //!
 //! Usage: `cargo run -p mst-bench --release --bin kmst_profile --
 //! [--smoke] [--objects 250] [--samples 2000] [--queries 50]
@@ -42,5 +43,5 @@ fn main() {
         }
         std::process::exit(1);
     }
-    eprintln!("[kmst_profile] all counters live on both substrates");
+    eprintln!("[kmst_profile] all counters live on every substrate");
 }

@@ -13,7 +13,7 @@
 //! * `scan` — the linear scan over the store (no index at all).
 
 use mst_index::TrajectoryIndex;
-use mst_search::{bfmst_search, scan_kmst, Integration, MstConfig};
+use mst_search::{bfmst_search, scan_kmst, Integration, MstConfig, NoShare, NoopSink};
 
 use crate::datasets::{build_rtree, DatasetSpec};
 use crate::metrics::{pruning_power, time_ms, Summary, Table};
@@ -142,8 +142,16 @@ pub fn ablation(cfg: &AblationConfig) -> Table {
                 Some(mc) => {
                     rtree.reset_stats();
                     let (ms, report) = time_ms(|| {
-                        bfmst_search(&mut rtree, &store, &q.query, &q.period, mc)
-                            .expect("valid query")
+                        bfmst_search(
+                            &mut rtree,
+                            &store,
+                            &q.query,
+                            &q.period,
+                            mc,
+                            &NoShare,
+                            &mut NoopSink,
+                        )
+                        .expect("valid query")
                     });
                     let got: Vec<_> = report.matches.iter().map(|m| m.traj).collect();
                     agree &= got == *expected;

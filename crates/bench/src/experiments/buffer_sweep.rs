@@ -4,7 +4,7 @@
 //! query — the quantity a disk-resident deployment pays for.
 
 use mst_index::TrajectoryIndex;
-use mst_search::{bfmst_search, MstConfig};
+use mst_search::{bfmst_search, MstConfig, NoShare, NoopSink};
 
 use crate::datasets::{build_rtree, DatasetSpec};
 use crate::metrics::{time_ms, Summary, Table};
@@ -72,15 +72,31 @@ pub fn buffer_sweep(cfg: &BufferSweepConfig) -> Table {
         // Warm-up pass so every setting starts from its own steady state.
         rtree.clear_buffer().expect("buffer clear");
         for q in queries.iter().take(3) {
-            bfmst_search(&mut rtree, &store, &q.query, &q.period, &MstConfig::k(1))
-                .expect("warm-up query");
+            bfmst_search(
+                &mut rtree,
+                &store,
+                &q.query,
+                &q.period,
+                &MstConfig::k(1),
+                &NoShare,
+                &mut NoopSink,
+            )
+            .expect("warm-up query");
         }
         rtree.reset_stats();
         let mut times = Vec::with_capacity(queries.len());
         for q in &queries {
             let (ms, _) = time_ms(|| {
-                bfmst_search(&mut rtree, &store, &q.query, &q.period, &MstConfig::k(1))
-                    .expect("sweep query")
+                bfmst_search(
+                    &mut rtree,
+                    &store,
+                    &q.query,
+                    &q.period,
+                    &MstConfig::k(1),
+                    &NoShare,
+                    &mut NoopSink,
+                )
+                .expect("sweep query")
             });
             times.push(ms);
         }

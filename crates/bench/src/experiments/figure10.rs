@@ -3,7 +3,7 @@
 //! and k (Q3), on both the 3D R-tree and the TB-tree.
 
 use mst_index::{Rtree3D, TbTree, TrajectoryIndex};
-use mst_search::{bfmst_search, MstConfig, TrajectoryStore};
+use mst_search::{bfmst_search, MstConfig, NoShare, NoopSink, TrajectoryStore};
 
 use crate::datasets::{build_rtree, build_tbtree, DatasetSpec, IndexKind};
 use crate::metrics::{pruning_power, time_ms, Summary, Table};
@@ -65,8 +65,16 @@ fn run_cell<I: TrajectoryIndex>(
         }
         index.reset_stats();
         let (ms, report) = time_ms(|| {
-            bfmst_search(index, store, &q.query, &q.period, &MstConfig::k(k))
-                .expect("well-formed performance query")
+            bfmst_search(
+                index,
+                store,
+                &q.query,
+                &q.period,
+                &MstConfig::k(k),
+                &NoShare,
+                &mut NoopSink,
+            )
+            .expect("well-formed performance query")
         });
         let stats = index.stats();
         times.push(ms);

@@ -10,7 +10,7 @@ use mst_prng::Rng;
 
 use mst_baselines::{epsilon_for, normalize_all, Edr, Lcss};
 use mst_datagen::{td_tr_fraction, TrucksConfig};
-use mst_search::{bfmst_search, MstConfig, TrajectoryStore};
+use mst_search::{bfmst_search, MstConfig, NoShare, NoopSink, TrajectoryStore};
 use mst_trajectory::{normalize, TimeInterval, Trajectory, TrajectoryId};
 
 use crate::datasets::build_rtree;
@@ -140,8 +140,16 @@ fn dissim_winner(
     query: &Trajectory,
     period: &TimeInterval,
 ) -> Option<TrajectoryId> {
-    let report = bfmst_search(rtree, store, query, period, &MstConfig::k(1))
-        .expect("well-formed quality query");
+    let report = bfmst_search(
+        rtree,
+        store,
+        query,
+        period,
+        &MstConfig::k(1),
+        &NoShare,
+        &mut NoopSink,
+    )
+    .expect("well-formed quality query");
     report.matches.first().map(|m| m.traj)
 }
 

@@ -1,18 +1,22 @@
-//! Per-query observability profiles of the BFMST search — the benchmark
+//! Per-query observability profiles of the k-MST search — the benchmark
 //! face of the `QueryProfile` subsystem.
 //!
-//! Runs a seeded GSTD k-MST workload against both index substrates with a
-//! [`QueryProfile`] attached to every query, and emits the result as
+//! Runs a seeded GSTD k-MST workload against all three index substrates
+//! (each through its own [`mst_search::KmstSubstrate::kmst_search`]) with
+//! a [`QueryProfile`] attached to every query, and emits the result as
 //! `BENCH_kmst.json`: per-query wall time plus every counter the metrics
 //! layer collects (heap traffic, node accesses by level, buffer hits and
 //! misses, bytes decoded, exact vs trapezoid piece evaluations, and the
-//! per-heuristic pruning ledger). [`KmstProfileReport::validate`] is the
+//! per-heuristic pruning ledger — including the metric tree's
+//! triangle-inequality bound). [`KmstProfileReport::validate`] is the
 //! CI tripwire: an all-zero counter means an instrumentation hook fell off.
+//! The liveness set is per substrate — the MBB substrates must show the
+//! paper's MINDIST-family heuristics firing, the metric tree its
+//! triangle-inequality bound.
 
-use mst_index::TrajectoryIndex;
-use mst_search::{bfmst_search_traced, MstConfig, QueryProfile};
+use mst_search::{KmstSubstrate, MstConfig, NoShare, QueryProfile};
 
-use crate::datasets::{build_rtree, build_tbtree, DatasetSpec, IndexKind};
+use crate::datasets::{build_metric, build_rtree, build_tbtree, DatasetSpec, IndexKind};
 use crate::metrics::time_ms;
 use crate::workload::{sample_queries, QuerySpec};
 
@@ -87,7 +91,7 @@ pub struct SubstrateProfile {
     pub rows: Vec<ProfiledQuery>,
 }
 
-/// The whole report: both substrates over the same workload.
+/// The whole report: every substrate over the same workload.
 #[derive(Debug, Clone)]
 pub struct KmstProfileReport {
     /// The configuration that produced the report.
@@ -96,7 +100,7 @@ pub struct KmstProfileReport {
     pub substrates: Vec<SubstrateProfile>,
 }
 
-/// Runs the profiled workload on both substrates.
+/// Runs the profiled workload on every substrate.
 pub fn kmst_profile(cfg: &KmstProfileConfig) -> KmstProfileReport {
     let store = DatasetSpec::Synthetic {
         objects: cfg.objects,
@@ -117,6 +121,10 @@ pub fn kmst_profile(cfg: &KmstProfileConfig) -> KmstProfileReport {
                 let mut idx = build_tbtree(&store);
                 profile_workload(&mut idx, &store, &queries, cfg.k)
             }
+            IndexKind::Metric => {
+                let mut idx = build_metric(&store);
+                profile_workload(&mut idx, &store, &queries, cfg.k)
+            }
         };
         substrates.push(SubstrateProfile {
             kind,
@@ -134,7 +142,7 @@ pub fn kmst_profile(cfg: &KmstProfileConfig) -> KmstProfileReport {
 /// The buffer is cleared first, so query 0 faults every page in (misses)
 /// while later queries re-read the upper tree levels from the buffer
 /// (hits).
-fn profile_workload<I: TrajectoryIndex>(
+fn profile_workload<I: KmstSubstrate>(
     index: &mut I,
     store: &mst_search::TrajectoryStore,
     queries: &[QuerySpec],
@@ -146,15 +154,16 @@ fn profile_workload<I: TrajectoryIndex>(
     for (i, q) in queries.iter().enumerate() {
         let mut profile = QueryProfile::new();
         let (ms, report) = time_ms(|| {
-            bfmst_search_traced(
-                index,
-                store,
-                &q.query,
-                &q.period,
-                &MstConfig::k(k),
-                &mut profile,
-            )
-            .expect("profiled query")
+            index
+                .kmst_search(
+                    store,
+                    &q.query,
+                    &q.period,
+                    &MstConfig::k(k),
+                    &NoShare,
+                    &mut profile,
+                )
+                .expect("profiled query")
         });
         rows.push(ProfiledQuery {
             query: i,
@@ -183,7 +192,8 @@ fn profile_json(p: &QueryProfile) -> String {
             "\"pruning\":{{\"ldd_evals\":{},\"opt_dissim_evals\":{},\"opt_dissim_prunes\":{},",
             "\"pes_dissim_evals\":{},\"pes_dissim_tightenings\":{},",
             "\"opt_dissim_inc_evals\":{},\"opt_dissim_inc_prunes\":{},",
-            "\"min_dissim_inc_evals\":{},\"min_dissim_inc_prunes\":{}}},",
+            "\"min_dissim_inc_evals\":{},\"min_dissim_inc_prunes\":{},",
+            "\"triangle_ineq_evals\":{},\"triangle_ineq_prunes\":{}}},",
             "\"early_terminations\":{}}}"
         ),
         p.heap_pushes,
@@ -208,6 +218,8 @@ fn profile_json(p: &QueryProfile) -> String {
         p.pruning.opt_dissim_inc_prunes,
         p.pruning.min_dissim_inc_evals,
         p.pruning.min_dissim_inc_prunes,
+        p.pruning.triangle_ineq_evals,
+        p.pruning.triangle_ineq_prunes,
         p.early_terminations,
     )
 }
@@ -278,20 +290,38 @@ impl KmstProfileReport {
                 }
                 total.merge(&row.profile);
             }
-            let checks: [(&str, u64); 12] = [
-                ("heap_pushes", total.heap_pushes),
-                ("heap_pops", total.heap_pops),
-                ("node_accesses", total.nodes_accessed()),
-                ("buffer_hits", total.buffer_hits),
-                ("buffer_misses", total.buffer_misses),
-                ("bytes_decoded", total.bytes_decoded),
-                ("piece_evals", total.piece_evals()),
-                ("ldd_evals", total.pruning.ldd_evals),
-                ("opt_dissim_evals", total.pruning.opt_dissim_evals),
-                ("pes_dissim_evals", total.pruning.pes_dissim_evals),
-                ("opt_dissim_inc_evals", total.pruning.opt_dissim_inc_evals),
-                ("min_dissim_inc_evals", total.pruning.min_dissim_inc_evals),
-            ];
+            // Liveness is per substrate: each one must exercise exactly
+            // the counter classes its search is built from.
+            let checks: Vec<(&str, u64)> = match s.kind {
+                IndexKind::Rtree3D | IndexKind::TbTree => vec![
+                    ("heap_pushes", total.heap_pushes),
+                    ("heap_pops", total.heap_pops),
+                    ("node_accesses", total.nodes_accessed()),
+                    ("buffer_hits", total.buffer_hits),
+                    ("buffer_misses", total.buffer_misses),
+                    ("bytes_decoded", total.bytes_decoded),
+                    ("piece_evals", total.piece_evals()),
+                    ("ldd_evals", total.pruning.ldd_evals),
+                    ("opt_dissim_evals", total.pruning.opt_dissim_evals),
+                    ("pes_dissim_evals", total.pruning.pes_dissim_evals),
+                    ("opt_dissim_inc_evals", total.pruning.opt_dissim_inc_evals),
+                    ("min_dissim_inc_evals", total.pruning.min_dissim_inc_evals),
+                ],
+                // The metric substrate never computes MBB bounds; its
+                // ledger lives in the triangle-inequality counters, its
+                // refinements are always exact, and its I/O shows up as
+                // leaf-chain reads (misses + bytes decoded).
+                IndexKind::Metric => vec![
+                    ("heap_pushes", total.heap_pushes),
+                    ("heap_pops", total.heap_pops),
+                    ("node_accesses", total.nodes_accessed()),
+                    ("buffer_misses", total.buffer_misses),
+                    ("bytes_decoded", total.bytes_decoded),
+                    ("exact_piece_evals", total.exact_piece_evals),
+                    ("triangle_ineq_evals", total.pruning.triangle_ineq_evals),
+                    ("candidates_refined", total.candidates.refined),
+                ],
+            };
             for (name, value) in checks {
                 if value == 0 {
                     failures.push(format!(
@@ -300,10 +330,15 @@ impl KmstProfileReport {
                     ));
                 }
             }
-            let prunes = total.candidates.pruned
-                + total.pruning.opt_dissim_prunes
-                + total.pruning.opt_dissim_inc_prunes
-                + total.pruning.min_dissim_inc_prunes;
+            let prunes = match s.kind {
+                IndexKind::Rtree3D | IndexKind::TbTree => {
+                    total.candidates.pruned
+                        + total.pruning.opt_dissim_prunes
+                        + total.pruning.opt_dissim_inc_prunes
+                        + total.pruning.min_dissim_inc_prunes
+                }
+                IndexKind::Metric => total.pruning.triangle_ineq_prunes,
+            };
             if prunes == 0 {
                 failures.push(format!(
                     "{label}: no candidate or node was ever pruned — the \
@@ -324,7 +359,7 @@ mod tests {
         let report = kmst_profile(&KmstProfileConfig::smoke());
         let failures = report.validate();
         assert!(failures.is_empty(), "{failures:#?}");
-        assert_eq!(report.substrates.len(), 2);
+        assert_eq!(report.substrates.len(), 3);
         for s in &report.substrates {
             assert_eq!(s.rows.len(), report.config.queries);
         }
@@ -332,7 +367,9 @@ mod tests {
         assert!(json.contains("\"experiment\": \"kmst_profile\""));
         assert!(json.contains("\"3D R-tree\""));
         assert!(json.contains("\"TB-tree\""));
+        assert!(json.contains("\"Metric tree\""));
         assert!(json.contains("\"min_dissim_inc_evals\""));
+        assert!(json.contains("\"triangle_ineq_evals\""));
         // Crude structural sanity: balanced braces and brackets.
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();

@@ -1,34 +1,40 @@
 //! BFMSTSearch: the best-first k-Most-Similar-Trajectory algorithm
 //! (Section 4, Figure 7 of the paper).
 //!
-//! The algorithm traverses any R-tree-like trajectory index in increasing
-//! order of `MINDIST(Q, N)` (the distance-browsing strategy of Hjaltason &
-//! Samet), incrementally assembling candidate trajectories from the segment
-//! entries it encounters:
+//! The algorithm consumes any [`CandidateSource`] — a priority stream of
+//! candidate segment groups in increasing lower-bound order (for the MBB
+//! substrates, `MINDIST(Q, N)`: the distance-browsing strategy of Hjaltason
+//! & Samet) — incrementally assembling candidate trajectories from the
+//! segment entries it encounters:
 //!
 //! * each candidate keeps the DISSIM enclosure of its retrieved pieces plus
 //!   its OPTDISSIM / PESDISSIM speed-dependent bounds ([`crate::bounds`]);
 //! * **heuristic 1** rejects a candidate whose OPTDISSIM exceeds the current
 //!   k-th best upper key — it provably cannot enter the answer;
-//! * **heuristic 2** terminates the whole search when the popped node's
+//! * **heuristic 2** terminates the whole search when the popped group's
 //!   MINDISSIMINC exceeds that threshold — every unseen segment is at least
-//!   `MINDIST` away, so no remaining or future candidate can qualify;
+//!   the group bound away, so no remaining or future candidate can qualify;
 //! * with trapezoid integration, the **error management** of Section 4.4
 //!   keeps the answer exact: bound comparisons use the enclosure's safe
 //!   side, and a post-processing step recomputes the closed-form DISSIM for
 //!   every candidate whose enclosure straddles the decision boundary.
+//!
+//! There is a single entry point, [`bfmst_search`], generic over the
+//! metrics sink and the cross-shard bound share; pass [`NoopSink`] /
+//! [`NoShare`](crate::share::NoShare) for a plain untraced search — the
+//! hooks monomorphize away, so the observed and unobserved paths are the
+//! same code and tracing can never change an answer.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 
-use mst_index::mindist::trajectory_mbb_mindist;
-use mst_index::{Node, PageId, TrajectoryIndex};
+use mst_index::TrajectoryIndex;
 use mst_trajectory::{Segment, TimeInterval, Trajectory, TrajectoryId};
 
 use crate::bounds::Candidate;
+use crate::descent::{CandidateSource, MbbDescent};
 use crate::dissim::{dissim_between_traced, piece, Dissim, Integration};
-use crate::metrics::{NoopSink, PruningBound, QueryMetrics};
-use crate::share::{BoundShare, NoShare};
+use crate::metrics::{PruningBound, QueryMetrics};
+use crate::share::BoundShare;
 use crate::topk::UpperKeys;
 use crate::{MstMatch, Result, SearchError, TrajectoryStore};
 
@@ -116,29 +122,6 @@ pub struct SearchReport {
     pub deadline_hit: bool,
 }
 
-/// A queue element: node page keyed by its MINDIST from the query.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct QueueEntry {
-    mindist: f64,
-    page: PageId,
-}
-
-impl Eq for QueueEntry {}
-
-impl Ord for QueueEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.mindist
-            .total_cmp(&other.mindist)
-            .then(self.page.cmp(&other.page))
-    }
-}
-
-impl PartialOrd for QueueEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// Runs the best-first k-MST search of `query` over `period` against
 /// `index`, with `store` supplying full trajectories for the exact
 /// post-processing step.
@@ -146,40 +129,16 @@ impl PartialOrd for QueueEntry {
 /// Returns the k most similar trajectories in ascending DISSIM order. With
 /// `error_management` (or exact integration) the result is *exact*: it
 /// matches the linear scan with closed-form integration.
-pub fn bfmst_search<I: TrajectoryIndex>(
-    index: &mut I,
-    store: &TrajectoryStore,
-    query: &Trajectory,
-    period: &TimeInterval,
-    config: &MstConfig,
-) -> Result<SearchReport> {
-    bfmst_search_traced(index, store, query, period, config, &mut NoopSink)
-}
-
-/// [`bfmst_search`] with observability: every traversal, buffer, bound, and
-/// candidate event is reported to `metrics` (a [`crate::QueryProfile`]
-/// collects them all). [`bfmst_search`] is this function instantiated with
-/// the [`NoopSink`] — the same code with every hook compiled away — so
-/// tracing can never change a result.
-pub fn bfmst_search_traced<I: TrajectoryIndex, M: QueryMetrics>(
-    index: &mut I,
-    store: &TrajectoryStore,
-    query: &Trajectory,
-    period: &TimeInterval,
-    config: &MstConfig,
-    metrics: &mut M,
-) -> Result<SearchReport> {
-    bfmst_search_shared(index, store, query, period, config, &NoShare, metrics)
-}
-
-/// [`bfmst_search_traced`] with cooperative pruning: `share` injects an
-/// external upper bound on the global kth DISSIM into both heuristics,
-/// receives every local threshold improvement, and can stop the traversal
-/// (deadlines). With [`NoShare`] this *is* [`bfmst_search_traced`] — the
-/// hooks compile away. Prunes that only the shared bound justifies are
-/// attributed to [`PruningBound::SharedKth`], keeping cross-shard pruning
-/// observable in the profile.
-pub fn bfmst_search_shared<I: TrajectoryIndex, M: QueryMetrics, B: BoundShare>(
+///
+/// This is the single generic entry point: `share` injects an external
+/// upper bound on the global kth DISSIM into both heuristics (pass
+/// [`NoShare`](crate::share::NoShare) for an isolated query) and `metrics`
+/// receives every traversal, buffer, bound, and candidate event (pass
+/// [`&mut NoopSink`](crate::metrics::NoopSink) to trace nothing; a
+/// [`crate::QueryProfile`] collects everything). Prunes that only the
+/// shared bound justifies are attributed to [`PruningBound::SharedKth`],
+/// keeping cross-shard pruning observable in the profile.
+pub fn bfmst_search<I: TrajectoryIndex, M: QueryMetrics, B: BoundShare>(
     index: &mut I,
     store: &TrajectoryStore,
     query: &Trajectory,
@@ -188,9 +147,8 @@ pub fn bfmst_search_shared<I: TrajectoryIndex, M: QueryMetrics, B: BoundShare>(
     share: &B,
     metrics: &mut M,
 ) -> Result<SearchReport> {
-    let mut report = SearchReport::default();
     if config.k == 0 {
-        return Ok(report);
+        return Ok(SearchReport::default());
     }
     if !query.covers(period) {
         return Err(SearchError::QueryOutsidePeriod {
@@ -199,21 +157,33 @@ pub fn bfmst_search_shared<I: TrajectoryIndex, M: QueryMetrics, B: BoundShare>(
         });
     }
     if period.is_instant() {
-        return Ok(report);
+        return Ok(SearchReport::default());
     }
     let q = query.clip(period)?;
     let vmax = index.max_speed() + q.max_speed();
+    let mut source = MbbDescent::new(index, &q, period, metrics);
+    bfmst_search_source(&mut source, store, &q, period, config, vmax, share, metrics)
+}
+
+/// The substrate-agnostic core of [`bfmst_search`]: consumes any
+/// [`CandidateSource`] whose groups arrive in non-decreasing lower-bound
+/// order. `q` must already be clipped to `period`, and `vmax` is the sum of
+/// the query's and the substrate's maximum speeds (the envelope slope both
+/// speed-dependent bounds use).
+#[allow(clippy::too_many_arguments)]
+pub fn bfmst_search_source<S: CandidateSource, M: QueryMetrics, B: BoundShare>(
+    source: &mut S,
+    store: &TrajectoryStore,
+    q: &Trajectory,
+    period: &TimeInterval,
+    config: &MstConfig,
+    vmax: f64,
+    share: &B,
+    metrics: &mut M,
+) -> Result<SearchReport> {
+    let mut report = SearchReport::default();
     let span = period.duration();
     let merge_eps = span.max(1.0) * 1e-9;
-
-    let mut heap: BinaryHeap<Reverse<QueueEntry>> = BinaryHeap::new();
-    if let Some(root) = index.root() {
-        heap.push(Reverse(QueueEntry {
-            mindist: 0.0,
-            page: root,
-        }));
-        metrics.heap_push();
-    }
 
     let mut valid: HashMap<TrajectoryId, Candidate> = HashMap::new();
     let mut completed: HashMap<TrajectoryId, Dissim> = HashMap::new();
@@ -221,16 +191,15 @@ pub fn bfmst_search_shared<I: TrajectoryIndex, M: QueryMetrics, B: BoundShare>(
     let mut upper = UpperKeys::new(config.k);
     let ceiling = config.max_dissim.unwrap_or(f64::INFINITY);
 
-    while let Some(Reverse(head)) = heap.pop() {
-        metrics.heap_pop();
+    while let Some(mindist) = source.pop(metrics) {
         // Cooperative cancellation (per-query deadlines): abandon the
         // traversal and fall through to best-so-far finalization.
         if share.poll_stop() {
             report.deadline_hit = true;
             break;
         }
-        // Heuristic 2: nodes arrive in increasing MINDIST, so once the
-        // node-level MINDISSIMINC exceeds the k-th best upper key nothing
+        // Heuristic 2: groups arrive in increasing lower bound, so once the
+        // group-level MINDISSIMINC exceeds the k-th best upper key nothing
         // later can qualify either — stop the whole search. The threshold
         // folds in the cross-shard hint: another shard's kth upper key
         // bounds the global kth DISSIM just as well as a local one.
@@ -248,11 +217,11 @@ pub fn bfmst_search_shared<I: TrajectoryIndex, M: QueryMetrics, B: BoundShare>(
             // MINDIST * span already clears the threshold.
             if tau.is_finite() {
                 metrics.bound_evals(PruningBound::MinDissimInc, 1);
-                if head.mindist * span > tau {
+                if mindist * span > tau {
                     metrics.bound_evals(PruningBound::OptDissimInc, valid.len() as u64);
                     let min_inc = valid
                         .values()
-                        .map(|c| c.opt_dissim_inc(period, head.mindist))
+                        .map(|c| c.opt_dissim_inc(period, mindist))
                         .fold(f64::INFINITY, f64::min);
                     if min_inc > tau {
                         // The popped head plus everything still queued is
@@ -260,17 +229,17 @@ pub fn bfmst_search_shared<I: TrajectoryIndex, M: QueryMetrics, B: BoundShare>(
                         // each certified out by their OPTDISSIMINC.
                         metrics.early_termination();
                         let local_fires = local_tau.is_finite()
-                            && head.mindist * span > local_tau
+                            && mindist * span > local_tau
                             && min_inc > local_tau;
                         if hint < local_tau && !local_fires {
                             // Only the shared bound justified stopping:
                             // all discarded work is another shard's kill.
                             metrics.pruned_by(
                                 PruningBound::SharedKth,
-                                heap.len() as u64 + 1 + valid.len() as u64,
+                                source.pending() + 1 + valid.len() as u64,
                             );
                         } else {
-                            metrics.pruned_by(PruningBound::MinDissimInc, heap.len() as u64 + 1);
+                            metrics.pruned_by(PruningBound::MinDissimInc, source.pending() + 1);
                             metrics.pruned_by(PruningBound::OptDissimInc, valid.len() as u64);
                         }
                         report.terminated_early = true;
@@ -280,114 +249,102 @@ pub fn bfmst_search_shared<I: TrajectoryIndex, M: QueryMetrics, B: BoundShare>(
             }
         }
 
-        let node = index.read_node_traced(head.page, metrics)?;
-        report.nodes_visited += 1;
-        match node {
-            Node::Leaf { mut entries, .. } => {
-                report.leaves_visited += 1;
-                // Plane sweep over the leaf in temporal order (the TB-tree
-                // stores leaves temporally sorted already; the R-tree needs
-                // the sort — Figure 7, line 10).
-                entries.sort_by(|a, b| {
-                    a.segment
-                        .start()
-                        .t
-                        .total_cmp(&b.segment.start().t)
-                        .then(a.traj.cmp(&b.traj))
-                });
-                for e in entries {
-                    if rejected.contains(&e.traj) {
-                        continue;
-                    }
-                    let Some(window) = e.segment.time().intersect(period) else {
-                        continue;
-                    };
-                    if window.is_instant() {
-                        continue;
-                    }
-                    report.entries_matched += 1;
-                    let cand = match valid.entry(e.traj) {
-                        std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
-                        std::collections::hash_map::Entry::Vacant(v) => {
-                            metrics.candidate_seen();
-                            v.insert(Candidate::new(e.traj, merge_eps))
-                        }
-                    };
-                    match_entry(&q, &e.segment, &window, config.integration, cand, metrics)?;
+        let Some(group) = source.expand(metrics)? else {
+            continue;
+        };
+        let mut entries = group.entries;
+        // Plane sweep over the group in temporal order (the TB-tree stores
+        // leaves temporally sorted already; the R-tree needs the sort —
+        // Figure 7, line 10).
+        entries.sort_by(|a, b| {
+            a.segment
+                .start()
+                .t
+                .total_cmp(&b.segment.start().t)
+                .then(a.traj.cmp(&b.traj))
+        });
+        for e in entries {
+            if rejected.contains(&e.traj) {
+                continue;
+            }
+            let Some(window) = e.segment.time().intersect(period) else {
+                continue;
+            };
+            if window.is_instant() {
+                continue;
+            }
+            report.entries_matched += 1;
+            let cand = match valid.entry(e.traj) {
+                std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    metrics.candidate_seen();
+                    v.insert(Candidate::new(e.traj, merge_eps))
+                }
+            };
+            match_entry(q, &e.segment, &window, config.integration, cand, metrics)?;
 
-                    if cand.is_complete(period) {
-                        let value = cand.value();
-                        valid.remove(&e.traj);
-                        completed.insert(e.traj, value);
-                        report.candidates_completed += 1;
-                        metrics.candidate_refined();
-                        if upper.update(e.traj, value.upper()) {
-                            let kth = upper.kth();
-                            if kth.is_finite() {
-                                share.publish_kth(kth);
-                            }
-                        }
-                    } else {
-                        metrics.bound_evals(PruningBound::Ldd, cand.num_gaps(period) as u64);
-                        metrics.bound_evals(PruningBound::PesDissim, 1);
-                        let pes = cand.pes_dissim(period, vmax);
-                        if upper.update(e.traj, pes) {
-                            metrics.pruned_by(PruningBound::PesDissim, 1);
-                            let kth = upper.kth();
-                            if kth.is_finite() {
-                                share.publish_kth(kth);
-                            }
-                        }
-                        if config.use_heuristic1 {
-                            let local_tau = upper.kth().min(ceiling);
-                            let hint = share.kth_hint();
-                            let tau = local_tau.min(hint);
-                            if hint < local_tau {
-                                metrics.bound_evals(PruningBound::SharedKth, 1);
-                            }
-                            metrics.bound_evals(PruningBound::Ldd, cand.num_gaps(period) as u64);
-                            metrics.bound_evals(PruningBound::OptDissim, 1);
-                            // The enclosure's safe side: OPTDISSIM already
-                            // folds the approximation error in (Section 4.4's
-                            // "PESDISSIM - ERR" discipline on the lower side).
-                            let opt = cand.opt_dissim(period, vmax);
-                            if opt > tau {
-                                valid.remove(&e.traj);
-                                rejected.insert(e.traj);
-                                report.candidates_rejected += 1;
-                                metrics.candidate_pruned();
-                                if opt > local_tau {
-                                    metrics.pruned_by(PruningBound::OptDissim, 1);
-                                } else {
-                                    // The local threshold alone would have
-                                    // kept this candidate alive: the prune
-                                    // is another shard's discovery at work.
-                                    metrics.pruned_by(PruningBound::SharedKth, 1);
-                                }
-                            }
-                        }
+            if cand.is_complete(period) {
+                let value = cand.value();
+                valid.remove(&e.traj);
+                completed.insert(e.traj, value);
+                report.candidates_completed += 1;
+                metrics.candidate_refined();
+                if upper.update(e.traj, value.upper()) {
+                    let kth = upper.kth();
+                    if kth.is_finite() {
+                        share.publish_kth(kth);
                     }
                 }
-            }
-            Node::Internal { entries, .. } => {
-                for e in entries {
-                    if let Some(mindist) = trajectory_mbb_mindist(&q, &e.mbb, period) {
-                        heap.push(Reverse(QueueEntry {
-                            mindist,
-                            page: e.child,
-                        }));
-                        metrics.heap_push();
+            } else {
+                metrics.bound_evals(PruningBound::Ldd, cand.num_gaps(period) as u64);
+                metrics.bound_evals(PruningBound::PesDissim, 1);
+                let pes = cand.pes_dissim(period, vmax);
+                if upper.update(e.traj, pes) {
+                    metrics.pruned_by(PruningBound::PesDissim, 1);
+                    let kth = upper.kth();
+                    if kth.is_finite() {
+                        share.publish_kth(kth);
+                    }
+                }
+                if config.use_heuristic1 {
+                    let local_tau = upper.kth().min(ceiling);
+                    let hint = share.kth_hint();
+                    let tau = local_tau.min(hint);
+                    if hint < local_tau {
+                        metrics.bound_evals(PruningBound::SharedKth, 1);
+                    }
+                    metrics.bound_evals(PruningBound::Ldd, cand.num_gaps(period) as u64);
+                    metrics.bound_evals(PruningBound::OptDissim, 1);
+                    // The enclosure's safe side: OPTDISSIM already folds the
+                    // approximation error in (Section 4.4's "PESDISSIM -
+                    // ERR" discipline on the lower side).
+                    let opt = cand.opt_dissim(period, vmax);
+                    if opt > tau {
+                        valid.remove(&e.traj);
+                        rejected.insert(e.traj);
+                        report.candidates_rejected += 1;
+                        metrics.candidate_pruned();
+                        if opt > local_tau {
+                            metrics.pruned_by(PruningBound::OptDissim, 1);
+                        } else {
+                            // The local threshold alone would have kept
+                            // this candidate alive: the prune is another
+                            // shard's discovery at work.
+                            metrics.pruned_by(PruningBound::SharedKth, 1);
+                        }
                     }
                 }
             }
         }
     }
 
+    report.nodes_visited = source.nodes_visited();
+    report.leaves_visited = source.leaves_visited();
     report.candidates_seen = completed.len() + valid.len() + rejected.len();
     metrics.candidates_pending(valid.len() as u64);
     report.matches = finalize(
         store,
-        &q,
+        q,
         period,
         config,
         completed,
@@ -494,8 +451,21 @@ fn finalize<M: QueryMetrics>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::NoopSink;
     use crate::scan::scan_kmst;
+    use crate::share::NoShare;
     use mst_index::{LeafEntry, Rtree3D, TbTree};
+
+    /// The collapsed entry point with the no-op defaults spelled out once.
+    fn search<I: TrajectoryIndex>(
+        index: &mut I,
+        store: &TrajectoryStore,
+        query: &Trajectory,
+        period: &TimeInterval,
+        config: &MstConfig,
+    ) -> Result<SearchReport> {
+        bfmst_search(index, store, query, period, config, &NoShare, &mut NoopSink)
+    }
 
     /// Builds a small deterministic dataset of horizontal movers at distinct
     /// heights plus one weaving trajectory.
@@ -580,7 +550,7 @@ mod tests {
         let q = query();
         for k in [1usize, 3, 5] {
             let expected = scan_kmst(&store, &q, &period, k, Integration::Exact).unwrap();
-            let got = bfmst_search(&mut idx, &store, &q, &period, &MstConfig::k(k)).unwrap();
+            let got = search(&mut idx, &store, &q, &period, &MstConfig::k(k)).unwrap();
             let e_ids: Vec<_> = expected.iter().map(|m| m.traj).collect();
             let g_ids: Vec<_> = got.matches.iter().map(|m| m.traj).collect();
             assert_eq!(e_ids, g_ids, "k={k}");
@@ -597,7 +567,7 @@ mod tests {
         let period = TimeInterval::new(0.0, 20.0).unwrap();
         let q = query();
         let expected = scan_kmst(&store, &q, &period, 4, Integration::Exact).unwrap();
-        let got = bfmst_search(&mut idx, &store, &q, &period, &MstConfig::k(4)).unwrap();
+        let got = search(&mut idx, &store, &q, &period, &MstConfig::k(4)).unwrap();
         let e_ids: Vec<_> = expected.iter().map(|m| m.traj).collect();
         let g_ids: Vec<_> = got.matches.iter().map(|m| m.traj).collect();
         assert_eq!(e_ids, g_ids);
@@ -615,7 +585,7 @@ mod tests {
             error_management: false,
             ..MstConfig::default()
         };
-        let got = bfmst_search(&mut idx, &store, &q, &period, &cfg).unwrap();
+        let got = search(&mut idx, &store, &q, &period, &cfg).unwrap();
         let expected = scan_kmst(&store, &q, &period, 2, Integration::Exact).unwrap();
         assert_eq!(
             got.matches.iter().map(|m| m.traj).collect::<Vec<_>>(),
@@ -632,7 +602,7 @@ mod tests {
         for (a, b) in [(0.0, 5.0), (3.0, 11.0), (14.5, 20.0)] {
             let period = TimeInterval::new(a, b).unwrap();
             let expected = scan_kmst(&store, &q, &period, 3, Integration::Exact).unwrap();
-            let got = bfmst_search(&mut idx, &store, &q, &period, &MstConfig::k(3)).unwrap();
+            let got = search(&mut idx, &store, &q, &period, &MstConfig::k(3)).unwrap();
             assert_eq!(
                 got.matches.iter().map(|m| m.traj).collect::<Vec<_>>(),
                 expected.iter().map(|m| m.traj).collect::<Vec<_>>(),
@@ -648,7 +618,7 @@ mod tests {
         let q = query();
         let period = TimeInterval::new(0.0, 30.0).unwrap();
         assert!(matches!(
-            bfmst_search(&mut idx, &store, &q, &period, &MstConfig::default()),
+            search(&mut idx, &store, &q, &period, &MstConfig::default()),
             Err(SearchError::QueryOutsidePeriod { .. })
         ));
     }
@@ -659,11 +629,11 @@ mod tests {
         let mut idx = build_rtree(&store);
         let q = query();
         let period = TimeInterval::new(0.0, 20.0).unwrap();
-        let got = bfmst_search(&mut idx, &store, &q, &period, &MstConfig::k(0)).unwrap();
+        let got = search(&mut idx, &store, &q, &period, &MstConfig::k(0)).unwrap();
         assert!(got.matches.is_empty());
 
         let mut empty = Rtree3D::new();
-        let got = bfmst_search(&mut empty, &store, &q, &period, &MstConfig::k(2)).unwrap();
+        let got = search(&mut empty, &store, &q, &period, &MstConfig::k(2)).unwrap();
         assert!(got.matches.is_empty());
         assert_eq!(got.nodes_visited, 0);
     }
@@ -680,10 +650,10 @@ mod tests {
             use_heuristic2: false,
             ..MstConfig::k(2)
         };
-        let baseline = bfmst_search(&mut idx_full, &store, &q, &period, &no_heuristics).unwrap();
+        let baseline = search(&mut idx_full, &store, &q, &period, &no_heuristics).unwrap();
 
         let mut idx = build_rtree(&store);
-        let pruned = bfmst_search(&mut idx, &store, &q, &period, &MstConfig::k(2)).unwrap();
+        let pruned = search(&mut idx, &store, &q, &period, &MstConfig::k(2)).unwrap();
 
         assert_eq!(
             baseline.matches.iter().map(|m| m.traj).collect::<Vec<_>>(),
@@ -698,7 +668,7 @@ mod tests {
         let mut idx = build_rtree(&store);
         let period = TimeInterval::new(0.0, 20.0).unwrap();
         let q = store.get(TrajectoryId(5)).unwrap().clone();
-        let got = bfmst_search(&mut idx, &store, &q, &period, &MstConfig::k(1)).unwrap();
+        let got = search(&mut idx, &store, &q, &period, &MstConfig::k(1)).unwrap();
         assert_eq!(got.matches[0].traj, TrajectoryId(5));
         assert!(got.matches[0].dissim.abs() < 1e-9);
     }

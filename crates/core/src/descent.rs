@@ -1,0 +1,271 @@
+//! The substrate-agnostic candidate/filter seam between a trajectory index
+//! and the best-first search algorithms.
+//!
+//! BFMST and the historical NN search used to be hard-wired to the
+//! MBB-specific descent: they owned the MINDIST priority queue, read pages,
+//! and pushed child entries themselves, so every new index substrate meant
+//! forking the search loop. This module inverts that coupling: a substrate
+//! produces a [`CandidateSource`] — a priority stream of
+//! `(lower_bound, candidate group)` items — and the search algorithms
+//! consume it generically. [`MbbDescent`] reimplements the classic R-tree /
+//! TB-tree MINDIST descent in these terms, event-for-event identical to the
+//! pre-refactor inlined loops (the same heap pushes, pops, node reads, and
+//! buffer traffic in the same order), so answers and profiles are
+//! bit-identical. The metric substrate provides its own whole-trajectory
+//! search instead (see [`crate::substrate`]): its triangle-inequality
+//! bounds apply to complete trajectories, not segment groups, so it
+//! overrides the search rather than the source.
+//!
+//! The protocol is two-phase because heuristic 2 must be able to terminate
+//! a search *without* paying for the node read: [`CandidateSource::pop`]
+//! surfaces the next item's lower bound (one heap pop); only if the search
+//! decides to proceed does [`CandidateSource::expand`] fetch the item —
+//! descending one internal node or yielding a leaf's segment entries.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mst_index::mindist::trajectory_mbb_mindist;
+use mst_index::{LeafEntry, Node, PageId, TrajectoryIndex};
+use mst_trajectory::{TimeInterval, Trajectory};
+
+use crate::metrics::QueryMetrics;
+use crate::Result;
+
+/// One group of candidate segment entries yielded by a source, keyed by a
+/// sound lower bound on the spatial distance between the query and every
+/// entry in the group over the query period.
+#[derive(Debug, Clone)]
+pub struct SegmentGroup {
+    /// Lower bound under which the whole group was enqueued (the node's
+    /// MINDIST for an MBB descent). Groups arrive in non-decreasing
+    /// `lower_bound` order — the property OPTDISSIMINC soundness rests on.
+    pub lower_bound: f64,
+    /// The segment entries, in the substrate's natural storage order (the
+    /// consumer applies whatever ordering its plane sweep needs).
+    pub entries: Vec<LeafEntry>,
+}
+
+/// A priority stream of candidate segment groups, produced by an index
+/// substrate and consumed generically by the best-first searches.
+///
+/// Protocol: call [`CandidateSource::pop`] to surface the next item's lower
+/// bound, then either abandon the item (termination — its content is never
+/// fetched) or call [`CandidateSource::expand`] exactly once to fetch it.
+/// `expand` without a preceding un-expanded `pop` yields `Ok(None)`.
+pub trait CandidateSource {
+    /// Pops the next item off the priority queue and returns its lower
+    /// bound, or `None` when the stream is exhausted. Reports one heap pop.
+    fn pop<M: QueryMetrics>(&mut self, metrics: &mut M) -> Option<f64>;
+
+    /// Fetches the item surfaced by the last [`CandidateSource::pop`]:
+    /// either descends one internal step (enqueueing finer-grained items;
+    /// returns `Ok(None)`) or yields a leaf-level [`SegmentGroup`].
+    fn expand<M: QueryMetrics>(&mut self, metrics: &mut M) -> Result<Option<SegmentGroup>>;
+
+    /// Number of items still enqueued (excluding a popped, un-expanded
+    /// head) — the unit count a terminating search discards unvisited.
+    fn pending(&self) -> u64;
+
+    /// Items fetched so far (internal steps plus leaf groups).
+    fn nodes_visited(&self) -> u64;
+
+    /// Leaf groups among them.
+    fn leaves_visited(&self) -> u64;
+}
+
+/// A queue element: node page keyed by its MINDIST from the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct QueueEntry {
+    mindist: f64,
+    page: PageId,
+}
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.mindist
+            .total_cmp(&other.mindist)
+            .then(self.page.cmp(&other.page))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The classic MBB descent as a [`CandidateSource`]: a best-first MINDIST
+/// traversal of any [`TrajectoryIndex`] (the distance-browsing strategy of
+/// Hjaltason & Samet), yielding each leaf's entries as one group.
+#[derive(Debug)]
+pub struct MbbDescent<'a, I: TrajectoryIndex> {
+    index: &'a mut I,
+    query: &'a Trajectory,
+    period: &'a TimeInterval,
+    heap: BinaryHeap<Reverse<QueueEntry>>,
+    head: Option<QueueEntry>,
+    nodes_visited: u64,
+    leaves_visited: u64,
+}
+
+impl<'a, I: TrajectoryIndex> MbbDescent<'a, I> {
+    /// Starts a descent of `index` for `query` (already clipped to
+    /// `period`), seeding the queue with the root at bound zero.
+    pub fn new<M: QueryMetrics>(
+        index: &'a mut I,
+        query: &'a Trajectory,
+        period: &'a TimeInterval,
+        metrics: &mut M,
+    ) -> Self {
+        let mut heap = BinaryHeap::new();
+        if let Some(root) = index.root() {
+            heap.push(Reverse(QueueEntry {
+                mindist: 0.0,
+                page: root,
+            }));
+            metrics.heap_push();
+        }
+        MbbDescent {
+            index,
+            query,
+            period,
+            heap,
+            head: None,
+            nodes_visited: 0,
+            leaves_visited: 0,
+        }
+    }
+}
+
+impl<I: TrajectoryIndex> CandidateSource for MbbDescent<'_, I> {
+    fn pop<M: QueryMetrics>(&mut self, metrics: &mut M) -> Option<f64> {
+        let Reverse(head) = self.heap.pop()?;
+        metrics.heap_pop();
+        self.head = Some(head);
+        Some(head.mindist)
+    }
+
+    fn expand<M: QueryMetrics>(&mut self, metrics: &mut M) -> Result<Option<SegmentGroup>> {
+        let Some(head) = self.head.take() else {
+            return Ok(None);
+        };
+        let node = self.index.read_node_traced(head.page, metrics)?;
+        self.nodes_visited += 1;
+        match node {
+            Node::Leaf { entries, .. } => {
+                self.leaves_visited += 1;
+                Ok(Some(SegmentGroup {
+                    lower_bound: head.mindist,
+                    entries,
+                }))
+            }
+            Node::Internal { entries, .. } => {
+                for e in entries {
+                    if let Some(mindist) = trajectory_mbb_mindist(self.query, &e.mbb, self.period) {
+                        self.heap.push(Reverse(QueueEntry {
+                            mindist,
+                            page: e.child,
+                        }));
+                        metrics.heap_push();
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    fn pending(&self) -> u64 {
+        self.heap.len() as u64
+    }
+
+    fn nodes_visited(&self) -> u64 {
+        self.nodes_visited
+    }
+
+    fn leaves_visited(&self) -> u64 {
+        self.leaves_visited
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::QueryProfile;
+    use crate::TrajectoryStore;
+    use mst_index::Rtree3D;
+
+    fn store() -> TrajectoryStore {
+        let trajs: Vec<Trajectory> = (0..6)
+            .map(|i| {
+                let y = f64::from(i) * 4.0;
+                Trajectory::from_txy(
+                    &(0..=10)
+                        .map(|s| (f64::from(s), f64::from(s), y))
+                        .collect::<Vec<_>>(),
+                )
+                .unwrap()
+            })
+            .collect();
+        TrajectoryStore::from_trajectories(trajs)
+    }
+
+    #[test]
+    fn mbb_descent_yields_groups_in_nondecreasing_bound_order() {
+        let store = store();
+        let mut idx = Rtree3D::new();
+        for (id, t) in store.iter() {
+            idx.insert_trajectory(id, t).unwrap();
+        }
+        let period = TimeInterval::new(0.0, 10.0).unwrap();
+        let q = Trajectory::from_txy(&[(0.0, 0.0, 0.0), (10.0, 10.0, 0.0)]).unwrap();
+        let mut metrics = QueryProfile::new();
+        let mut src = MbbDescent::new(&mut idx, &q, &period, &mut metrics);
+        let mut last = f64::NEG_INFINITY;
+        let mut groups = 0;
+        let mut entries = 0;
+        while let Some(bound) = src.pop(&mut metrics) {
+            assert!(bound >= last, "bounds regressed: {bound} after {last}");
+            last = bound;
+            if let Some(group) = src.expand(&mut metrics).unwrap() {
+                assert_eq!(group.lower_bound.to_bits(), bound.to_bits());
+                groups += 1;
+                entries += group.entries.len();
+            }
+        }
+        assert!(groups > 0);
+        assert_eq!(entries, 60); // 6 trajectories x 10 segments
+        assert_eq!(src.leaves_visited(), groups);
+        assert!(src.nodes_visited() >= groups);
+        assert_eq!(metrics.heap_pushes, metrics.heap_pops);
+        assert_eq!(src.pending(), 0);
+    }
+
+    #[test]
+    fn expand_without_pop_is_a_noop() {
+        let store = store();
+        let mut idx = Rtree3D::new();
+        for (id, t) in store.iter() {
+            idx.insert_trajectory(id, t).unwrap();
+        }
+        let period = TimeInterval::new(0.0, 10.0).unwrap();
+        let q = Trajectory::from_txy(&[(0.0, 0.0, 0.0), (10.0, 10.0, 0.0)]).unwrap();
+        let mut metrics = QueryProfile::new();
+        let mut src = MbbDescent::new(&mut idx, &q, &period, &mut metrics);
+        assert!(src.expand(&mut metrics).unwrap().is_none());
+        assert_eq!(src.nodes_visited(), 0);
+    }
+
+    #[test]
+    fn empty_index_yields_nothing() {
+        let mut idx = Rtree3D::new();
+        let period = TimeInterval::new(0.0, 10.0).unwrap();
+        let q = Trajectory::from_txy(&[(0.0, 0.0, 0.0), (10.0, 10.0, 0.0)]).unwrap();
+        let mut metrics = QueryProfile::new();
+        let mut src = MbbDescent::new(&mut idx, &q, &period, &mut metrics);
+        assert!(src.pop(&mut metrics).is_none());
+        assert_eq!(metrics.heap_pushes, 0);
+    }
+}

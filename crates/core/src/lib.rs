@@ -27,6 +27,7 @@
 pub mod bfmst;
 pub mod bounds;
 pub mod database;
+pub mod descent;
 pub mod dissim;
 pub mod merge;
 pub mod metrics;
@@ -37,22 +38,21 @@ pub mod scan;
 pub mod selectivity;
 pub mod share;
 mod store;
+pub mod substrate;
 pub mod time_relaxed;
 mod topk;
 
-pub use bfmst::{bfmst_search, bfmst_search_shared, bfmst_search_traced, MstConfig, SearchReport};
+pub use bfmst::{bfmst_search, bfmst_search_source, MstConfig, SearchReport};
 pub use database::MovingObjectDatabase;
+pub use descent::{CandidateSource, MbbDescent, SegmentGroup};
 pub use dissim::{Dissim, Integration};
 pub use merge::{merge_shard_matches, merge_shard_nn, merge_shard_range, merge_shard_segments};
 pub use metrics::{
     CandidateCounters, MetricsSink, NoopSink, PruningBound, PruningCounters, QueryMetrics,
     QueryProfile,
 };
-pub use nn::{
-    nearest_trajectories, nearest_trajectories_shared, nearest_trajectories_traced, NnMatch,
-    NnOutcome,
-};
-pub use options::{canonical_f64_bits, OptionsKey, QueryOptions};
+pub use nn::{nearest_trajectories, nearest_trajectories_source, NnMatch, NnOutcome};
+pub use options::{canonical_f64_bits, OptionsKey, QueryOptions, Substrate};
 pub use query::{
     KmstQuery, KmstSpec, KnnQuery, KnnSegmentsQuery, KnnSpec, Query, RangeQuery, RangeSpec,
     SegmentsSpec, TimeRelaxedQuery,
@@ -61,6 +61,7 @@ pub use scan::{scan_kmst, scan_kmst_traced};
 pub use selectivity::{estimate_selectivity, SelectivityEstimate, SelectivityHistogram};
 pub use share::{BoundShare, NoShare};
 pub use store::TrajectoryStore;
+pub use substrate::{metric_kmst_search, KmstSubstrate};
 pub use time_relaxed::{
     time_relaxed_kmst, time_relaxed_kmst_traced, TimeRelaxedConfig, TimeRelaxedMatch,
 };
@@ -98,6 +99,14 @@ pub enum SearchError {
     /// A [`Query`] builder was run with a required parameter missing or an
     /// inconsistent combination of settings.
     MisconfiguredQuery(&'static str),
+    /// The query pinned a [`Substrate`] the executing database is not
+    /// backed by.
+    SubstrateMismatch {
+        /// The substrate the query options demanded.
+        requested: Substrate,
+        /// The substrate actually backing the database.
+        actual: Substrate,
+    },
 }
 
 impl std::fmt::Display for SearchError {
@@ -115,6 +124,14 @@ impl std::fmt::Display for SearchError {
             }
             SearchError::MisconfiguredQuery(what) => {
                 write!(f, "misconfigured query: {what}")
+            }
+            SearchError::SubstrateMismatch { requested, actual } => {
+                write!(
+                    f,
+                    "query pinned substrate {} but the database runs on {}",
+                    requested.name(),
+                    actual.name()
+                )
             }
         }
     }

@@ -7,18 +7,23 @@
 //! with the approach distance and the instant it happens). Unlike DISSIM
 //! this is a min-, not an integral-aggregate, so candidates never need to
 //! be fully assembled: the best-first traversal terminates as soon as the
-//! next node's MINDIST exceeds the current k-th best approach distance.
+//! next group's lower bound exceeds the current k-th best approach
+//! distance.
+//!
+//! Like [`crate::bfmst`], the search consumes any
+//! [`CandidateSource`] and has a single generic entry point; pass
+//! [`NoShare`](crate::share::NoShare) / [`NoopSink`](crate::metrics::NoopSink)
+//! for a plain isolated, untraced query.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
-
-use mst_index::mindist::trajectory_mbb_mindist;
-use mst_index::{Node, PageId, TrajectoryIndex};
+use mst_index::TrajectoryIndex;
 use mst_trajectory::kinematics::DistanceTrinomial;
 use mst_trajectory::{TimeInterval, Trajectory, TrajectoryId};
 
-use crate::metrics::{NoopSink, PruningBound, QueryMetrics};
-use crate::share::{BoundShare, NoShare};
+use std::collections::HashMap;
+
+use crate::descent::{CandidateSource, MbbDescent};
+use crate::metrics::{PruningBound, QueryMetrics};
+use crate::share::BoundShare;
 use crate::{Result, SearchError};
 
 /// One nearest-neighbour answer.
@@ -32,52 +37,7 @@ pub struct NnMatch {
     pub time: f64,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct NodeEntry {
-    mindist: f64,
-    page: PageId,
-}
-
-impl Eq for NodeEntry {}
-impl Ord for NodeEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.mindist
-            .total_cmp(&other.mindist)
-            .then(self.page.cmp(&other.page))
-    }
-}
-impl PartialOrd for NodeEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Finds the k trajectories with the smallest closest-approach distance to
-/// `query` during `period`, in ascending distance order.
-pub fn nearest_trajectories<I: TrajectoryIndex>(
-    index: &mut I,
-    query: &Trajectory,
-    period: &TimeInterval,
-    k: usize,
-) -> Result<Vec<NnMatch>> {
-    nearest_trajectories_traced(index, query, period, k, &mut NoopSink)
-}
-
-/// [`nearest_trajectories`] with observability: heap traffic, node and
-/// buffer accesses, and candidate discoveries are reported to `metrics`.
-/// [`nearest_trajectories`] is this function instantiated with the no-op
-/// sink.
-pub fn nearest_trajectories_traced<I: TrajectoryIndex, M: QueryMetrics>(
-    index: &mut I,
-    query: &Trajectory,
-    period: &TimeInterval,
-    k: usize,
-    metrics: &mut M,
-) -> Result<Vec<NnMatch>> {
-    Ok(nearest_trajectories_shared(index, query, period, k, &NoShare, metrics)?.matches)
-}
-
-/// Outcome of a shared/partitioned nearest-neighbour search.
+/// Outcome of a nearest-neighbour search.
 #[derive(Debug, Clone, Default)]
 pub struct NnOutcome {
     /// Up to k nearest trajectories, ascending approach distance.
@@ -87,15 +47,18 @@ pub struct NnOutcome {
     pub deadline_hit: bool,
 }
 
-/// [`nearest_trajectories_traced`] with cooperative pruning: `share`
-/// injects an external upper bound on the global kth approach distance
-/// into the termination test, receives every local kth improvement, and
-/// can stop the traversal (deadlines). With [`NoShare`] this *is* the
-/// traced search. The closest-approach distance is a min-aggregate, so the
+/// Finds the k trajectories with the smallest closest-approach distance to
+/// `query` during `period`, in ascending distance order.
+///
+/// The single generic entry point: `share` injects an external upper bound
+/// on the global kth approach distance into the termination test, receives
+/// every local kth improvement, and can stop the traversal (deadlines);
+/// `metrics` receives heap traffic, node and buffer accesses, and candidate
+/// discoveries. The closest-approach distance is a min-aggregate, so the
 /// same soundness argument as the DISSIM bound applies: another shard's
 /// kth best distance upper-bounds the global kth, and every node farther
 /// than it is irrelevant on this shard too.
-pub fn nearest_trajectories_shared<I: TrajectoryIndex, M: QueryMetrics, B: BoundShare>(
+pub fn nearest_trajectories<I: TrajectoryIndex, M: QueryMetrics, B: BoundShare>(
     index: &mut I,
     query: &Trajectory,
     period: &TimeInterval,
@@ -103,9 +66,8 @@ pub fn nearest_trajectories_shared<I: TrajectoryIndex, M: QueryMetrics, B: Bound
     share: &B,
     metrics: &mut M,
 ) -> Result<NnOutcome> {
-    let mut outcome = NnOutcome::default();
     if k == 0 {
-        return Ok(outcome);
+        return Ok(NnOutcome::default());
     }
     if !query.covers(period) {
         return Err(SearchError::QueryOutsidePeriod {
@@ -114,20 +76,26 @@ pub fn nearest_trajectories_shared<I: TrajectoryIndex, M: QueryMetrics, B: Bound
         });
     }
     let q = query.clip(period)?;
+    let mut source = MbbDescent::new(index, &q, period, metrics);
+    nearest_trajectories_source(&mut source, &q, period, k, share, metrics)
+}
 
-    let mut heap: BinaryHeap<Reverse<NodeEntry>> = BinaryHeap::new();
-    if let Some(root) = index.root() {
-        heap.push(Reverse(NodeEntry {
-            mindist: 0.0,
-            page: root,
-        }));
-        metrics.heap_push();
-    }
+/// The substrate-agnostic core of [`nearest_trajectories`]: consumes any
+/// [`CandidateSource`] whose groups arrive in non-decreasing lower-bound
+/// order. `q` must already be clipped to `period`.
+pub fn nearest_trajectories_source<S: CandidateSource, M: QueryMetrics, B: BoundShare>(
+    source: &mut S,
+    q: &Trajectory,
+    period: &TimeInterval,
+    k: usize,
+    share: &B,
+    metrics: &mut M,
+) -> Result<NnOutcome> {
+    let mut outcome = NnOutcome::default();
     // Best approach found so far, per trajectory.
     let mut best: HashMap<TrajectoryId, (f64, f64)> = HashMap::new();
 
-    while let Some(Reverse(head)) = heap.pop() {
-        metrics.heap_pop();
+    while let Some(mindist) = source.pop(metrics) {
         // Cooperative cancellation (per-query deadlines).
         if share.poll_stop() {
             outcome.deadline_hit = true;
@@ -154,49 +122,37 @@ pub fn nearest_trajectories_shared<I: TrajectoryIndex, M: QueryMetrics, B: Bound
             metrics.bound_evals(PruningBound::SharedKth, 1);
         }
         let tau = local_kth.min(hint);
-        if head.mindist > tau {
-            if head.mindist <= local_kth {
+        if mindist > tau {
+            if mindist <= local_kth {
                 // Only the shared bound justified stopping here: the whole
                 // remaining queue is another shard's kill.
-                metrics.pruned_by(PruningBound::SharedKth, heap.len() as u64 + 1);
+                metrics.pruned_by(PruningBound::SharedKth, source.pending() + 1);
             }
             break;
         }
-        match index.read_node_traced(head.page, metrics)? {
-            Node::Leaf { entries, .. } => {
-                for e in entries {
-                    let Some(window) = e.segment.time().intersect(period) else {
-                        continue;
-                    };
-                    let approach = if window.is_instant() {
-                        let qp = q.position_at(window.start())?;
-                        let tp = e.segment.position_at(window.start())?;
-                        (qp.distance(&tp), window.start())
-                    } else {
-                        segment_closest_approach(&q, &e.segment, &window)?
-                    };
-                    let slot = match best.entry(e.traj) {
-                        std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
-                        std::collections::hash_map::Entry::Vacant(v) => {
-                            metrics.candidate_seen();
-                            v.insert((f64::INFINITY, 0.0))
-                        }
-                    };
-                    if approach.0 < slot.0 {
-                        *slot = approach;
-                    }
+        let Some(group) = source.expand(metrics)? else {
+            continue;
+        };
+        for e in group.entries {
+            let Some(window) = e.segment.time().intersect(period) else {
+                continue;
+            };
+            let approach = if window.is_instant() {
+                let qp = q.position_at(window.start())?;
+                let tp = e.segment.position_at(window.start())?;
+                (qp.distance(&tp), window.start())
+            } else {
+                segment_closest_approach(q, &e.segment, &window)?
+            };
+            let slot = match best.entry(e.traj) {
+                std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    metrics.candidate_seen();
+                    v.insert((f64::INFINITY, 0.0))
                 }
-            }
-            Node::Internal { entries, .. } => {
-                for e in entries {
-                    if let Some(mindist) = trajectory_mbb_mindist(&q, &e.mbb, period) {
-                        heap.push(Reverse(NodeEntry {
-                            mindist,
-                            page: e.child,
-                        }));
-                        metrics.heap_push();
-                    }
-                }
+            };
+            if approach.0 < slot.0 {
+                *slot = approach;
             }
         }
     }
@@ -258,8 +214,19 @@ fn segment_closest_approach(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::NoopSink;
+    use crate::share::NoShare;
     use crate::TrajectoryStore;
     use mst_index::Rtree3D;
+
+    fn nn(
+        idx: &mut Rtree3D,
+        q: &Trajectory,
+        period: &TimeInterval,
+        k: usize,
+    ) -> Result<Vec<NnMatch>> {
+        Ok(nearest_trajectories(idx, q, period, k, &NoShare, &mut NoopSink)?.matches)
+    }
 
     fn build(store: &TrajectoryStore) -> Rtree3D {
         let mut idx = Rtree3D::new();
@@ -315,7 +282,7 @@ mod tests {
         let mut idx = build(&store);
         let q = Trajectory::from_txy(&[(0.0, 0.0, 0.0), (10.0, 10.0, 0.0)]).unwrap();
         let period = TimeInterval::new(0.0, 10.0).unwrap();
-        let got = nearest_trajectories(&mut idx, &q, &period, 4).unwrap();
+        let got = nn(&mut idx, &q, &period, 4).unwrap();
         let want = oracle(&store, &q, &period, 4);
         assert_eq!(got.len(), want.len());
         for (g, (wid, wd)) in got.iter().zip(&want) {
@@ -333,7 +300,7 @@ mod tests {
         // Trajectory 1 crosses the diagonal query near t = 5.
         let q = Trajectory::from_txy(&[(0.0, 0.0, 0.0), (10.0, 10.0, 0.0)]).unwrap();
         let period = TimeInterval::new(0.0, 10.0).unwrap();
-        let got = nearest_trajectories(&mut idx, &q, &period, 1).unwrap();
+        let got = nn(&mut idx, &q, &period, 1).unwrap();
         assert_eq!(got[0].traj, TrajectoryId(1));
         assert!((got[0].time - 5.0).abs() < 0.2, "time {}", got[0].time);
         // Verify the reported distance is realized at the reported time.
@@ -351,14 +318,12 @@ mod tests {
         let mut idx = build(&store);
         let q = Trajectory::from_txy(&[(0.0, 0.0, 0.0), (10.0, 10.0, 0.0)]).unwrap();
         let period = TimeInterval::new(0.0, 10.0).unwrap();
-        assert!(nearest_trajectories(&mut idx, &q, &period, 0)
-            .unwrap()
-            .is_empty());
-        let all = nearest_trajectories(&mut idx, &q, &period, 100).unwrap();
+        assert!(nn(&mut idx, &q, &period, 0).unwrap().is_empty());
+        let all = nn(&mut idx, &q, &period, 100).unwrap();
         assert_eq!(all.len(), 4);
         // Query not covering the period errors.
         let bad = TimeInterval::new(0.0, 20.0).unwrap();
-        assert!(nearest_trajectories(&mut idx, &q, &bad, 1).is_err());
+        assert!(nn(&mut idx, &q, &bad, 1).is_err());
     }
 
     #[test]
@@ -380,7 +345,7 @@ mod tests {
         let q = store.get(TrajectoryId(30)).unwrap().clone();
         let period = TimeInterval::new(0.0, 50.0).unwrap();
         idx.reset_stats();
-        let got = nearest_trajectories(&mut idx, &q, &period, 1).unwrap();
+        let got = nn(&mut idx, &q, &period, 1).unwrap();
         assert_eq!(got[0].traj, TrajectoryId(30));
         assert_eq!(got[0].distance, 0.0);
         let reads = idx.stats().node_reads as usize;

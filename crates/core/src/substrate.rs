@@ -1,0 +1,692 @@
+//! Substrate dispatch: which search algorithm answers a k-MST query on
+//! which index structure.
+//!
+//! The MBB substrates (R-tree, TB-tree, STR-tree) all answer k-MST through
+//! the generic BFMST loop over their MINDIST descent
+//! ([`crate::descent::MbbDescent`]). The metric tree cannot: its pruning
+//! information — pivot trajectories, covering radii, stored pivot
+//! distances — lives at whole-trajectory granularity, which the
+//! node-at-a-time [`TrajectoryIndex`] surface does not carry. So the
+//! substrate itself picks its search: [`KmstSubstrate::kmst_search`]
+//! defaults to BFMST and the metric tree overrides it with
+//! [`metric_kmst_search`], a best-first traversal of the ball directory
+//! whose candidate pruning rests on the triangle inequality instead of the
+//! speed envelopes.
+//!
+//! **Why the triangle bound is sound here.** Build-time distances are exact
+//! DISSIM over the two trajectories' validity overlap; the query-time pivot
+//! distance `d(Q,P)` is exact DISSIM over `W ∩ V_P` (query window ∩ pivot
+//! validity). For any answer-eligible trajectory `T` (it covers `W`), on
+//! the common window `I = W ∩ V_P` the pointwise triangle inequality
+//! integrates to `DISSIM_I(Q,T) ≥ d(Q,P) − DISSIM_I(P,T)`; DISSIM only
+//! grows with the window, so `DISSIM_W(Q,T) ≥ d(Q,P) − dist(P,T) ≥ d(Q,P) −
+//! r` for every `T` inside a ball of radius `r`. Only this one-sided bound
+//! is used — the reverse side would need the *build* distance restricted to
+//! `I`, which the directory does not store.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use mst_index::{IndexReader, MetricTree, Rtree3D, StrTree, TbTree, TrajectoryIndex};
+use mst_trajectory::{TimeInterval, Trajectory, TrajectoryId};
+
+use crate::bfmst::{bfmst_search, MstConfig, SearchReport};
+use crate::dissim::{dissim_between, dissim_between_traced, Integration};
+use crate::metrics::{PruningBound, QueryMetrics};
+use crate::options::Substrate;
+use crate::share::BoundShare;
+use crate::topk::UpperKeys;
+use crate::{MstMatch, Result, SearchError, TrajectoryStore};
+
+/// An index substrate that can answer k-MST queries.
+///
+/// The default implementation runs the generic BFMST loop, which any
+/// [`TrajectoryIndex`] supports through its MBB descent; substrates with a
+/// richer pruning structure (the metric tree) override
+/// [`KmstSubstrate::kmst_search`] wholesale.
+pub trait KmstSubstrate: TrajectoryIndex + Sized {
+    /// Which [`Substrate`] selector this index satisfies — what
+    /// [`crate::QueryOptions::substrate`] is validated against, and what
+    /// answer caches key on.
+    const KIND: Substrate;
+
+    /// True when the substrate's search needs exclusive access to the
+    /// concrete index (it reads state beyond the [`TrajectoryIndex`]
+    /// surface). Shared readers then run the whole per-shard search under
+    /// the shard lock instead of locking per node fetch.
+    const EXCLUSIVE_SEARCH: bool = false;
+
+    /// Answers a k-MST query on this substrate. Contract: identical
+    /// answers to the linear scan with exact integration (for exact
+    /// configurations), identical answer *sets* across substrates.
+    fn kmst_search<M: QueryMetrics, B: BoundShare>(
+        &mut self,
+        store: &TrajectoryStore,
+        query: &Trajectory,
+        period: &TimeInterval,
+        config: &MstConfig,
+        share: &B,
+        metrics: &mut M,
+    ) -> Result<SearchReport> {
+        bfmst_search(self, store, query, period, config, share, metrics)
+    }
+}
+
+impl KmstSubstrate for Rtree3D {
+    const KIND: Substrate = Substrate::Rtree;
+}
+
+impl KmstSubstrate for TbTree {
+    const KIND: Substrate = Substrate::TbTree;
+}
+
+impl KmstSubstrate for StrTree {
+    const KIND: Substrate = Substrate::StrTree;
+}
+
+impl KmstSubstrate for MetricTree {
+    const KIND: Substrate = Substrate::Metric;
+    const EXCLUSIVE_SEARCH: bool = true;
+
+    fn kmst_search<M: QueryMetrics, B: BoundShare>(
+        &mut self,
+        store: &TrajectoryStore,
+        query: &Trajectory,
+        period: &TimeInterval,
+        config: &MstConfig,
+        share: &B,
+        metrics: &mut M,
+    ) -> Result<SearchReport> {
+        metric_kmst_search(self, store, query, period, config, share, metrics)
+    }
+}
+
+/// Shared readers dispatch to the wrapped substrate's search. MBB
+/// substrates keep the per-node-fetch locking (jobs on one shard
+/// interleave); exclusive-search substrates take the shard lock for the
+/// whole query via [`IndexReader::with_exclusive`].
+impl<I: KmstSubstrate> KmstSubstrate for IndexReader<'_, I> {
+    const KIND: Substrate = I::KIND;
+    const EXCLUSIVE_SEARCH: bool = I::EXCLUSIVE_SEARCH;
+
+    fn kmst_search<M: QueryMetrics, B: BoundShare>(
+        &mut self,
+        store: &TrajectoryStore,
+        query: &Trajectory,
+        period: &TimeInterval,
+        config: &MstConfig,
+        share: &B,
+        metrics: &mut M,
+    ) -> Result<SearchReport> {
+        if I::EXCLUSIVE_SEARCH {
+            self.with_exclusive(|inner| {
+                inner.kmst_search(store, query, period, config, share, metrics)
+            })
+            .map_err(SearchError::Index)?
+        } else {
+            bfmst_search(self, store, query, period, config, share, metrics)
+        }
+    }
+}
+
+/// The ball-directory build oracle: exact DISSIM over the two
+/// trajectories' validity overlap (zero for a missing or instant overlap —
+/// those pairs share no motion to compare).
+fn build_distance(a: &Trajectory, b: &Trajectory) -> Result<f64> {
+    match a.time().intersect(&b.time()) {
+        Some(w) if !w.is_instant() => Ok(dissim_between(a, b, &w, Integration::Exact)?.approx),
+        _ => Ok(0.0),
+    }
+}
+
+/// A ball-heap element: directory node keyed by its triangle-inequality
+/// lower bound on any answer inside it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct BallQueueEntry {
+    lb: f64,
+    ball: usize,
+}
+
+impl Eq for BallQueueEntry {}
+
+impl Ord for BallQueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.lb
+            .total_cmp(&other.lb)
+            .then(self.ball.cmp(&other.ball))
+    }
+}
+
+impl PartialOrd for BallQueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Exact k-MST over a [`MetricTree`]: best-first traversal of the ball
+/// directory with triangle-inequality pruning.
+///
+/// The loop mirrors BFMST's shape — pop the smallest lower bound, check
+/// heuristic 2 (stop the whole search when even the best remaining bound
+/// exceeds the k-th upper key), expand, filter members with heuristic 1 —
+/// but every bound is `max(0, d(Q,P) − r)` instead of a speed envelope,
+/// and refinement is a whole-trajectory exact DISSIM (chain pages read
+/// through the buffer pool, so the I/O cost of not pruning is real).
+/// Answers are exact regardless of `config.integration`; there is no
+/// trapezoid phase to post-process, so `exact_recomputations` stays 0.
+/// Cross-shard hints fold into both heuristics exactly as in BFMST, with
+/// prunes only the hint justifies attributed to
+/// [`PruningBound::SharedKth`].
+pub fn metric_kmst_search<M: QueryMetrics, B: BoundShare>(
+    tree: &mut MetricTree,
+    _store: &TrajectoryStore,
+    query: &Trajectory,
+    period: &TimeInterval,
+    config: &MstConfig,
+    share: &B,
+    metrics: &mut M,
+) -> Result<SearchReport> {
+    if config.k == 0 {
+        return Ok(SearchReport::default());
+    }
+    if !query.covers(period) {
+        return Err(SearchError::QueryOutsidePeriod {
+            period: (period.start(), period.end()),
+            valid: (query.start_time(), query.end_time()),
+        });
+    }
+    if period.is_instant() {
+        return Ok(SearchReport::default());
+    }
+    let q = query.clip(period)?;
+    tree.ensure_directory(build_distance)?;
+
+    let mut report = SearchReport::default();
+    let mut upper = UpperKeys::new(config.k);
+    let ceiling = config.max_dissim.unwrap_or(f64::INFINITY);
+    // Exact DISSIM of every refined candidate.
+    let mut completed: HashMap<TrajectoryId, f64> = HashMap::new();
+    // Trajectories already decided (refined, pruned, or ineligible).
+    let mut done: HashSet<TrajectoryId> = HashSet::new();
+    // Memoized query-to-pivot distances.
+    let mut pivot_dist: HashMap<TrajectoryId, f64> = HashMap::new();
+
+    let mut heap: BinaryHeap<Reverse<BallQueueEntry>> = BinaryHeap::new();
+    if let Some(root) = tree.ball_root() {
+        heap.push(Reverse(BallQueueEntry {
+            lb: 0.0,
+            ball: root,
+        }));
+        metrics.heap_push();
+    }
+
+    while let Some(Reverse(BallQueueEntry { lb, ball })) = heap.pop() {
+        metrics.heap_pop();
+        if share.poll_stop() {
+            report.deadline_hit = true;
+            break;
+        }
+        // Heuristic 2, metric flavour: balls pop in non-decreasing lower
+        // bound, so once the bound clears the k-th upper key nothing later
+        // can qualify — stop the whole search. The cross-shard hint folds
+        // in exactly as in BFMST.
+        let hint = share.kth_hint();
+        if config.use_heuristic2
+            && (!completed.is_empty() || ceiling.is_finite() || hint.is_finite())
+        {
+            let local_tau = upper.kth().min(ceiling);
+            let tau = local_tau.min(hint);
+            if hint < local_tau {
+                metrics.bound_evals(PruningBound::SharedKth, 1);
+            }
+            if tau.is_finite() {
+                metrics.bound_evals(PruningBound::TriangleIneq, 1);
+                if lb > tau {
+                    metrics.early_termination();
+                    let units = heap.len() as u64 + 1;
+                    if hint < local_tau && !(local_tau.is_finite() && lb > local_tau) {
+                        // Only the shared bound justified stopping.
+                        metrics.pruned_by(PruningBound::SharedKth, units);
+                    } else {
+                        metrics.pruned_by(PruningBound::TriangleIneq, units);
+                    }
+                    report.terminated_early = true;
+                    break;
+                }
+            }
+        }
+
+        let Some(node) = tree.ball(ball).cloned() else {
+            continue;
+        };
+        report.nodes_visited += 1;
+        let d_p = pivot_distance(
+            tree,
+            &q,
+            period,
+            node.pivot,
+            &mut pivot_dist,
+            &mut completed,
+            &mut done,
+            &mut upper,
+            &mut report,
+            share,
+            metrics,
+        )?;
+
+        match node.kind {
+            mst_index::BallKind::Inner { near, far } => {
+                for child_idx in [near, far] {
+                    let Some(child) = tree.ball(child_idx).cloned() else {
+                        continue;
+                    };
+                    let d_c = pivot_distance(
+                        tree,
+                        &q,
+                        period,
+                        child.pivot,
+                        &mut pivot_dist,
+                        &mut completed,
+                        &mut done,
+                        &mut upper,
+                        &mut report,
+                        share,
+                        metrics,
+                    )?;
+                    // A child ball never admits a bound weaker than its
+                    // parent's: keep the max.
+                    let clb = (d_c - child.radius).max(lb).max(0.0);
+                    heap.push(Reverse(BallQueueEntry {
+                        lb: clb,
+                        ball: child_idx,
+                    }));
+                    metrics.heap_push();
+                }
+            }
+            mst_index::BallKind::Leaf { members } => {
+                report.leaves_visited += 1;
+                for (id, dp) in members {
+                    if done.contains(&id) {
+                        continue;
+                    }
+                    let Some(t_meta) = tree.cached_trajectory(id) else {
+                        return Err(SearchError::MissingTrajectory(id));
+                    };
+                    // The linear scan only considers trajectories covering
+                    // the period; mirror its candidate ledger.
+                    if !t_meta.covers(period) {
+                        done.insert(id);
+                        continue;
+                    }
+                    report.entries_matched += 1;
+                    metrics.candidate_seen();
+                    // Heuristic 1, metric flavour: the member's own
+                    // triangle bound against the current threshold.
+                    if config.use_heuristic1 {
+                        let local_tau = upper.kth().min(ceiling);
+                        let hint = share.kth_hint();
+                        let tau = local_tau.min(hint);
+                        if hint < local_tau {
+                            metrics.bound_evals(PruningBound::SharedKth, 1);
+                        }
+                        metrics.bound_evals(PruningBound::TriangleIneq, 1);
+                        let lb_m = (d_p - dp).max(lb).max(0.0);
+                        if lb_m > tau {
+                            done.insert(id);
+                            report.candidates_rejected += 1;
+                            metrics.candidate_pruned();
+                            if lb_m > local_tau {
+                                metrics.pruned_by(PruningBound::TriangleIneq, 1);
+                            } else {
+                                metrics.pruned_by(PruningBound::SharedKth, 1);
+                            }
+                            continue;
+                        }
+                    }
+                    // Refine: read the trajectory's chain pages (honest
+                    // buffer/disk traffic) and compute the exact DISSIM.
+                    let t = tree
+                        .assemble_trajectory_traced(id, metrics)?
+                        .ok_or(SearchError::MissingTrajectory(id))?;
+                    let d =
+                        dissim_between_traced(&q, &t, period, Integration::Exact, metrics)?.approx;
+                    done.insert(id);
+                    completed.insert(id, d);
+                    report.candidates_completed += 1;
+                    metrics.candidate_refined();
+                    if upper.update(id, d) {
+                        let kth = upper.kth();
+                        if kth.is_finite() {
+                            share.publish_kth(kth);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    report.candidates_seen = completed.len() + report.candidates_rejected;
+    metrics.candidates_pending(0);
+    let mut all: Vec<MstMatch> = completed
+        .into_iter()
+        .map(|(traj, dissim)| MstMatch { traj, dissim })
+        .collect();
+    all.sort_by(|a, b| a.dissim.total_cmp(&b.dissim).then(a.traj.cmp(&b.traj)));
+    all.retain(|m| m.dissim <= ceiling);
+    all.truncate(config.k);
+    report.matches = all;
+    Ok(report)
+}
+
+/// Memoized exact query-to-pivot distance over `W ∩ V_P`.
+///
+/// Computing it is most of a refinement, so when the pivot actually covers
+/// the window the value *is* its exact DISSIM and the pivot is completed
+/// for free; a non-covering pivot is navigation-only (never an answer) and
+/// is marked done without entering the candidate ledger — mirroring the
+/// linear scan, which never considers it either.
+#[allow(clippy::too_many_arguments)]
+fn pivot_distance<M: QueryMetrics, B: BoundShare>(
+    tree: &mut MetricTree,
+    q: &Trajectory,
+    period: &TimeInterval,
+    pivot: TrajectoryId,
+    pivot_dist: &mut HashMap<TrajectoryId, f64>,
+    completed: &mut HashMap<TrajectoryId, f64>,
+    done: &mut HashSet<TrajectoryId>,
+    upper: &mut UpperKeys,
+    report: &mut SearchReport,
+    share: &B,
+    metrics: &mut M,
+) -> Result<f64> {
+    if let Some(&d) = pivot_dist.get(&pivot) {
+        return Ok(d);
+    }
+    let pt = tree
+        .cached_trajectory(pivot)
+        .cloned()
+        .ok_or(SearchError::MissingTrajectory(pivot))?;
+    let d = match period.intersect(&pt.time()) {
+        Some(w) if !w.is_instant() => {
+            dissim_between_traced(q, &pt, &w, Integration::Exact, metrics)?.approx
+        }
+        _ => 0.0,
+    };
+    pivot_dist.insert(pivot, d);
+    if !done.contains(&pivot) {
+        if pt.covers(period) {
+            // The distance window was the whole query window: `d` is the
+            // pivot's exact DISSIM.
+            done.insert(pivot);
+            completed.insert(pivot, d);
+            report.entries_matched += 1;
+            report.candidates_completed += 1;
+            metrics.candidate_seen();
+            metrics.candidate_refined();
+            if upper.update(pivot, d) {
+                let kth = upper.kth();
+                if kth.is_finite() {
+                    share.publish_kth(kth);
+                }
+            }
+        } else {
+            done.insert(pivot);
+        }
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{NoopSink, QueryProfile};
+    use crate::scan::scan_kmst;
+    use crate::share::NoShare;
+
+    fn wavy(id: u64, n: usize) -> Trajectory {
+        let pts: Vec<(f64, f64, f64)> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                (
+                    t,
+                    t * 0.7 + (t * 0.31 + id as f64).sin() * 3.0,
+                    id as f64 * 2.5 + (t * 0.17).cos() * (id % 5) as f64,
+                )
+            })
+            .collect();
+        Trajectory::from_txy(&pts).unwrap()
+    }
+
+    fn dataset(objects: u64, n: usize) -> (TrajectoryStore, MetricTree) {
+        let trajs: Vec<Trajectory> = (0..objects).map(|id| wavy(id, n)).collect();
+        let store = TrajectoryStore::from_trajectories(trajs);
+        let mut tree = MetricTree::new();
+        for (id, t) in store.iter() {
+            tree.insert_trajectory(id, t).unwrap();
+        }
+        (store, tree)
+    }
+
+    #[test]
+    fn metric_knn_matches_the_linear_scan_bit_for_bit() {
+        let (store, mut tree) = dataset(24, 40);
+        let period = TimeInterval::new(5.0, 35.0).unwrap();
+        for qid in [0u64, 7, 19] {
+            let query = store.get(TrajectoryId(qid)).unwrap().clone();
+            for k in [1usize, 4, 10] {
+                let truth = scan_kmst(&store, &query, &period, k, Integration::Exact).unwrap();
+                let report = tree
+                    .kmst_search(
+                        &store,
+                        &query,
+                        &period,
+                        &MstConfig::k(k),
+                        &NoShare,
+                        &mut NoopSink,
+                    )
+                    .unwrap();
+                assert_eq!(report.matches.len(), truth.len());
+                for (got, want) in report.matches.iter().zip(&truth) {
+                    assert_eq!(got.traj, want.traj, "qid {qid} k {k}");
+                    assert_eq!(
+                        got.dissim.to_bits(),
+                        want.dissim.to_bits(),
+                        "qid {qid} k {k}: {} vs {}",
+                        got.dissim,
+                        want.dissim
+                    );
+                }
+                assert_eq!(report.exact_recomputations, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn metric_search_prunes_and_profiles_consistently() {
+        let (store, mut tree) = dataset(30, 40);
+        let period = TimeInterval::new(0.0, 39.0).unwrap();
+        let query = store.get(TrajectoryId(3)).unwrap().clone();
+        let mut profile = QueryProfile::new();
+        let report = tree
+            .kmst_search(
+                &store,
+                &query,
+                &period,
+                &MstConfig::k(2),
+                &NoShare,
+                &mut profile,
+            )
+            .unwrap();
+        assert_eq!(report.matches[0].traj, TrajectoryId(3));
+        assert!(profile.is_consistent(), "{profile:?}");
+        assert!(profile.pruning.triangle_ineq_evals > 0);
+        assert!(
+            report.candidates_rejected > 0 || report.terminated_early,
+            "with k=2 of 30 the triangle bound must cut something: {report:?}"
+        );
+        // Every rejected candidate was attributed to a bound (termination
+        // additionally counts discarded heap units).
+        assert!(
+            profile.pruning.triangle_ineq_prunes + profile.pruning.shared_kth_prunes
+                >= report.candidates_rejected as u64
+        );
+        // Honest refinement I/O: chain pages flowed through the buffer.
+        assert!(profile.nodes_accessed() > 0);
+        assert!(profile.exact_piece_evals > 0);
+    }
+
+    #[test]
+    fn heuristics_off_still_exact_and_refines_everything() {
+        let (store, mut tree) = dataset(16, 30);
+        let period = TimeInterval::new(0.0, 29.0).unwrap();
+        let query = store.get(TrajectoryId(5)).unwrap().clone();
+        let mut config = MstConfig::k(3);
+        config.use_heuristic1 = false;
+        config.use_heuristic2 = false;
+        let report = tree
+            .kmst_search(&store, &query, &period, &config, &NoShare, &mut NoopSink)
+            .unwrap();
+        let truth = scan_kmst(&store, &query, &period, 3, Integration::Exact).unwrap();
+        assert_eq!(report.candidates_rejected, 0);
+        assert!(!report.terminated_early);
+        assert_eq!(report.candidates_completed, 16);
+        for (got, want) in report.matches.iter().zip(&truth) {
+            assert_eq!(
+                (got.traj, got.dissim.to_bits()),
+                (want.traj, want.dissim.to_bits())
+            );
+        }
+    }
+
+    #[test]
+    fn range_mode_and_edge_cases() {
+        let (store, mut tree) = dataset(12, 25);
+        let period = TimeInterval::new(0.0, 24.0).unwrap();
+        let query = store.get(TrajectoryId(0)).unwrap().clone();
+        // k = 0: empty.
+        let r = tree
+            .kmst_search(
+                &store,
+                &query,
+                &period,
+                &MstConfig::k(0),
+                &NoShare,
+                &mut NoopSink,
+            )
+            .unwrap();
+        assert!(r.matches.is_empty());
+        // Range mode: every answer within the ceiling, same set as scan.
+        let theta = 40.0;
+        let r = tree
+            .kmst_search(
+                &store,
+                &query,
+                &period,
+                &MstConfig::within(12, theta),
+                &NoShare,
+                &mut NoopSink,
+            )
+            .unwrap();
+        let truth: Vec<MstMatch> = scan_kmst(&store, &query, &period, 12, Integration::Exact)
+            .unwrap()
+            .into_iter()
+            .filter(|m| m.dissim <= theta)
+            .collect();
+        assert_eq!(r.matches.len(), truth.len());
+        for (got, want) in r.matches.iter().zip(&truth) {
+            assert_eq!(
+                (got.traj, got.dissim.to_bits()),
+                (want.traj, want.dissim.to_bits())
+            );
+        }
+        // A period outside the query's validity is the same typed error
+        // BFMST raises.
+        let outside = TimeInterval::new(0.0, 500.0).unwrap();
+        assert!(matches!(
+            tree.kmst_search(
+                &store,
+                &query,
+                &outside,
+                &MstConfig::k(1),
+                &NoShare,
+                &mut NoopSink
+            ),
+            Err(SearchError::QueryOutsidePeriod { .. })
+        ));
+    }
+
+    #[test]
+    fn non_covering_trajectories_are_ineligible_like_the_scan() {
+        // Half the population only covers a prefix of the period.
+        let mut trajs: Vec<Trajectory> = (0..6).map(|id| wavy(id, 40)).collect();
+        for id in 6..12u64 {
+            let pts: Vec<(f64, f64, f64)> =
+                (0..15).map(|i| (i as f64, i as f64, id as f64)).collect();
+            trajs.push(Trajectory::from_txy(&pts).unwrap());
+        }
+        let store = TrajectoryStore::from_trajectories(trajs);
+        let mut tree = MetricTree::new();
+        for (id, t) in store.iter() {
+            tree.insert_trajectory(id, t).unwrap();
+        }
+        let period = TimeInterval::new(0.0, 39.0).unwrap();
+        let query = store.get(TrajectoryId(1)).unwrap().clone();
+        let report = tree
+            .kmst_search(
+                &store,
+                &query,
+                &period,
+                &MstConfig::k(12),
+                &NoShare,
+                &mut NoopSink,
+            )
+            .unwrap();
+        let truth = scan_kmst(&store, &query, &period, 12, Integration::Exact).unwrap();
+        assert_eq!(report.matches.len(), truth.len());
+        assert_eq!(truth.len(), 6, "only the covering trajectories qualify");
+        for (got, want) in report.matches.iter().zip(&truth) {
+            assert_eq!(
+                (got.traj, got.dissim.to_bits()),
+                (want.traj, want.dissim.to_bits())
+            );
+        }
+    }
+
+    #[test]
+    fn mbb_substrates_default_to_bfmst() {
+        let (store, _) = dataset(10, 25);
+        let mut rtree = Rtree3D::new();
+        for (id, t) in store.iter() {
+            rtree.insert_trajectory(id, t).unwrap();
+        }
+        let period = TimeInterval::new(0.0, 24.0).unwrap();
+        let query = store.get(TrajectoryId(2)).unwrap().clone();
+        let via_trait = rtree
+            .kmst_search(
+                &store,
+                &query,
+                &period,
+                &MstConfig::k(4),
+                &NoShare,
+                &mut NoopSink,
+            )
+            .unwrap();
+        let direct = bfmst_search(
+            &mut rtree,
+            &store,
+            &query,
+            &period,
+            &MstConfig::k(4),
+            &NoShare,
+            &mut NoopSink,
+        )
+        .unwrap();
+        assert_eq!(via_trait.matches, direct.matches);
+        assert_eq!(Rtree3D::KIND, Substrate::Rtree);
+        assert_eq!(TbTree::KIND, Substrate::TbTree);
+        assert_eq!(StrTree::KIND, Substrate::StrTree);
+        assert_eq!(MetricTree::KIND, Substrate::Metric);
+        assert!(MetricTree::EXCLUSIVE_SEARCH);
+        assert!(!Rtree3D::EXCLUSIVE_SEARCH);
+    }
+}

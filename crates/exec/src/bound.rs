@@ -80,8 +80,9 @@ impl SharedBound {
 /// first-start/last-end timestamps the latency report is built from.
 ///
 /// This is the executor's implementation of [`BoundShare`]; a reference to
-/// it is threaded into [`mst_search::bfmst_search_shared`] /
-/// [`mst_search::nearest_trajectories_shared`] on every shard.
+/// it is threaded into the per-shard searches
+/// ([`mst_search::KmstSubstrate::kmst_search`] /
+/// [`mst_search::nearest_trajectories`]).
 #[derive(Debug)]
 pub struct QueryControl {
     bound: SharedBound,

@@ -31,6 +31,7 @@ pub mod checksum;
 mod codec;
 pub mod fault;
 pub mod knn;
+pub mod metric;
 pub mod metrics;
 pub mod mindist;
 mod node;
@@ -46,6 +47,7 @@ mod validate;
 pub use buffer::{BufferPool, BufferStats, LruCache};
 pub use fault::{FaultConfig, FaultInjector, FaultStats, FaultableStore, PageIo};
 pub use knn::{knn_segments, knn_segments_traced, KnnMatch};
+pub use metric::{BallKind, BallNode, MetricTree};
 pub use metrics::{MetricsSink, NoopSink, SharedSink};
 pub use node::{InternalEntry, LeafEntry, Node, INTERNAL_CAPACITY, LEAF_CAPACITY};
 pub use pagestore::{DiskStats, PageId, PageStore, PAGE_SIZE};

@@ -44,6 +44,8 @@ pub enum ImageKind {
     TbTree,
     /// An STR-tree image.
     StrTree,
+    /// A metric-tree image.
+    MetricTree,
 }
 
 /// Everything needed to reconstruct a tree (internal representation shared
@@ -75,6 +77,7 @@ impl Image {
             ImageKind::Rtree3D => 0,
             ImageKind::TbTree => 1,
             ImageKind::StrTree => 2,
+            ImageKind::MetricTree => 3,
         });
         header.extend_from_slice(&self.lsn.to_le_bytes());
         header.extend_from_slice(&self.root.unwrap_or(PageId::NONE).0.to_le_bytes());
@@ -113,6 +116,7 @@ impl Image {
             0 => ImageKind::Rtree3D,
             1 => ImageKind::TbTree,
             2 => ImageKind::StrTree,
+            3 => ImageKind::MetricTree,
             other => {
                 return Err(IndexError::Persist(format!("unknown tree kind {other}")));
             }

@@ -68,7 +68,7 @@
 //! connection.
 
 use mst_index::{KnnMatch, LeafEntry};
-use mst_search::{MstMatch, NnMatch, QueryOptions};
+use mst_search::{MstMatch, NnMatch, QueryOptions, Substrate};
 use mst_trajectory::{Mbb, Point, SamplePoint, Segment, TimeInterval, TrajectoryId};
 
 /// Hard cap on a frame's payload (opcode + body): 4 MiB.
@@ -274,6 +274,7 @@ fn put_options(out: &mut Vec<u8>, opts: &QueryOptions) {
         }
         None => out.push(0),
     }
+    out.push(opts.substrate.tag());
 }
 
 fn try_options(cur: &mut Cursor<'_>) -> Result<QueryOptions, WireError> {
@@ -306,6 +307,8 @@ fn try_options(cur: &mut Cursor<'_>) -> Result<QueryOptions, WireError> {
         1 => Some(cur.try_u64()?),
         _ => return Err(WireError::BadPayload("min_lsn flag")),
     };
+    opts.substrate =
+        Substrate::from_tag(cur.try_u8()?).ok_or(WireError::BadPayload("substrate tag"))?;
     Ok(opts)
 }
 

@@ -15,7 +15,7 @@
 //! recovery suite assert replay-twice idempotence on image bits.
 //!
 //! [`DurableSubstrate`] is the seam that lets the codec stay generic
-//! over the three index substrates: their `save_lsn`/`load_lsn` are
+//! over the index substrates: their `save_lsn`/`load_lsn` are
 //! inherent methods (each validates its own image kind), so the trait
 //! re-routes them, adds [`DurableSubstrate::fresh`] for bootstrapping an
 //! empty database, and declares whether the substrate can honor delete
@@ -26,8 +26,8 @@ use std::io::{Read, Write};
 
 use mst_exec::ShardedDatabase;
 use mst_index::checksum::fold_bytes;
-use mst_index::{Rtree3D, StrTree, TbTree, TrajectoryIndexWrite};
-use mst_search::TrajectoryStore;
+use mst_index::{MetricTree, Rtree3D, StrTree, TbTree, TrajectoryIndexWrite};
+use mst_search::{KmstSubstrate, TrajectoryStore};
 use mst_trajectory::{SamplePoint, Trajectory, TrajectoryId};
 
 use crate::record::Cursor;
@@ -36,7 +36,7 @@ use crate::{Result, WalError};
 const MAGIC: &[u8; 8] = b"MSTWALSS";
 
 /// An index substrate the durable store can checkpoint and recover.
-pub trait DurableSubstrate: TrajectoryIndexWrite + Sized {
+pub trait DurableSubstrate: TrajectoryIndexWrite + KmstSubstrate + Sized {
     /// Substrate name, for error messages and bench labels.
     const NAME: &'static str;
 
@@ -103,6 +103,23 @@ impl DurableSubstrate for StrTree {
 
     fn load_image<R: Read>(reader: R) -> mst_index::Result<(Self, u64)> {
         StrTree::load_lsn(reader)
+    }
+}
+
+impl DurableSubstrate for MetricTree {
+    const NAME: &'static str = "metric";
+    const SUPPORTS_DELETE: bool = false;
+
+    fn fresh() -> Self {
+        MetricTree::new()
+    }
+
+    fn save_image<W: Write>(&mut self, writer: W, lsn: u64) -> mst_index::Result<()> {
+        self.save_lsn(writer, lsn)
+    }
+
+    fn load_image<R: Read>(reader: R) -> mst_index::Result<(Self, u64)> {
+        MetricTree::load_lsn(reader)
     }
 }
 

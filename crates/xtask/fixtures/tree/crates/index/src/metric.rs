@@ -1,0 +1,12 @@
+//! Seeded: R1 (an expect), R8 (a discarded `Result`), and R2 (a lossy
+//! `as` cast) in the metric tree's snapshot codec scope.
+
+fn radius_of(rs: &[f64]) -> f64 {
+    let r = rs.last().expect("non-empty");
+    let _ = persist(rs);
+    *r
+}
+
+fn encode_count(n: u64) -> u32 {
+    n as u32
+}

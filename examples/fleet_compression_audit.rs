@@ -12,7 +12,7 @@
 use mst::baselines::{epsilon_for, normalize_all, Edr, Lcss};
 use mst::datagen::{td_tr_fraction, TrucksConfig};
 use mst::index::Rtree3D;
-use mst::search::{bfmst_search, MstConfig, TrajectoryStore};
+use mst::search::{bfmst_search, MstConfig, NoShare, NoopSink, TrajectoryStore};
 use mst::trajectory::{normalize, TrajectoryId};
 
 fn main() {
@@ -50,9 +50,17 @@ fn main() {
             let compressed = td_tr_fraction(original, p);
 
             // DISSIM via the index.
-            let top = bfmst_search(&mut index, &store, &compressed, &period, &MstConfig::k(1))
-                .unwrap()
-                .matches[0]
+            let top = bfmst_search(
+                &mut index,
+                &store,
+                &compressed,
+                &period,
+                &MstConfig::k(1),
+                &NoShare,
+                &mut NoopSink,
+            )
+            .unwrap()
+            .matches[0]
                 .traj;
             wrong[0] += usize::from(top != TrajectoryId(qi as u64));
 

@@ -8,7 +8,7 @@
 
 use mst::datagen::GstdConfig;
 use mst::index::{check_invariants, Rtree3D, TbTree, TrajectoryIndex};
-use mst::search::{bfmst_search, MstConfig, TrajectoryStore};
+use mst::search::{bfmst_search, MstConfig, NoShare, NoopSink, TrajectoryStore};
 use mst::trajectory::{Mbb, TimeInterval};
 
 fn main() {
@@ -91,12 +91,30 @@ fn main() {
     for (name, result) in [
         ("3D R-tree", {
             rtree.reset_stats();
-            let r = bfmst_search(&mut rtree, &store, &query, &period, &MstConfig::k(3)).unwrap();
+            let r = bfmst_search(
+                &mut rtree,
+                &store,
+                &query,
+                &period,
+                &MstConfig::k(3),
+                &NoShare,
+                &mut NoopSink,
+            )
+            .unwrap();
             (r, rtree.stats())
         }),
         ("TB-tree", {
             tbtree.reset_stats();
-            let r = bfmst_search(&mut tbtree, &store, &query, &period, &MstConfig::k(3)).unwrap();
+            let r = bfmst_search(
+                &mut tbtree,
+                &store,
+                &query,
+                &period,
+                &MstConfig::k(3),
+                &NoShare,
+                &mut NoopSink,
+            )
+            .unwrap();
             (r, tbtree.stats())
         }),
     ] {

@@ -7,7 +7,8 @@
 use mst::datagen::TrucksConfig;
 use mst::index::{Rtree3D, TrajectoryIndex};
 use mst::search::{
-    estimate_selectivity, MovingObjectDatabase, Query, SelectivityHistogram, TrajectoryStore,
+    estimate_selectivity, MovingObjectDatabase, NoShare, NoopSink, Query, SelectivityHistogram,
+    TrajectoryStore,
 };
 use mst::trajectory::{Point, TimeInterval, TrajectoryId};
 
@@ -133,6 +134,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &q,
         &horizon,
         &mst::search::MstConfig::k(4),
+        &NoShare,
+        &mut NoopSink,
     )?;
     assert_eq!(
         again.matches.iter().map(|m| m.traj).collect::<Vec<_>>(),

@@ -5,7 +5,9 @@
 
 use mst::datagen::GstdConfig;
 use mst::index::{Rtree3D, TrajectoryIndex};
-use mst::search::{bfmst_search, scan_kmst, Integration, MstConfig, TrajectoryStore};
+use mst::search::{
+    bfmst_search, scan_kmst, Integration, MstConfig, NoShare, NoopSink, TrajectoryStore,
+};
 use mst::trajectory::TimeInterval;
 
 fn main() {
@@ -47,8 +49,16 @@ fn main() {
         .unwrap();
 
     index.reset_stats();
-    let report = bfmst_search(&mut index, &store, &query, &period, &MstConfig::k(5))
-        .expect("well-formed query");
+    let report = bfmst_search(
+        &mut index,
+        &store,
+        &query,
+        &period,
+        &MstConfig::k(5),
+        &NoShare,
+        &mut NoopSink,
+    )
+    .expect("well-formed query");
     println!("\nk-MST results (5 most similar to object 17 on [100, 250]):");
     for (rank, m) in report.matches.iter().enumerate() {
         println!("  {}. {}  DISSIM = {:.6}", rank + 1, m.traj, m.dissim);

@@ -11,7 +11,7 @@
 //! Run with: `cargo run --release --example transit_planning`
 
 use mst::index::TbTree;
-use mst::search::{bfmst_search, MstConfig, TrajectoryStore};
+use mst::search::{bfmst_search, MstConfig, NoShare, NoopSink, TrajectoryStore};
 use mst::trajectory::{SamplePoint, TimeInterval, Trajectory, TrajectoryBuilder, TrajectoryId};
 
 /// A transit line: stops on a polyline, constant cruise speed, fixed dwell
@@ -111,6 +111,8 @@ fn main() {
         &metro_padded,
         &period,
         &MstConfig::k(buses.len()),
+        &NoShare,
+        &mut NoopSink,
     )
     .expect("planning query");
 

@@ -4,7 +4,9 @@
 
 use mst::datagen::{GstdConfig, TrucksConfig};
 use mst::index::{check_invariants, LeafEntry, Rtree3D, TbTree, TrajectoryIndex};
-use mst::search::{bfmst_search, scan_kmst, Integration, MstConfig, TrajectoryStore};
+use mst::search::{
+    bfmst_search, scan_kmst, Integration, MstConfig, NoShare, NoopSink, TrajectoryStore,
+};
 use mst::trajectory::{TimeInterval, TrajectoryId};
 
 fn build_both(store: &TrajectoryStore) -> (Rtree3D, TbTree) {
@@ -59,8 +61,26 @@ fn gstd_pipeline_bfmst_equals_scan_for_many_settings() {
                 .clip(&period)
                 .unwrap();
             let expected = ids(&scan_kmst(&store, &q, &period, k, Integration::Exact).unwrap());
-            let r = bfmst_search(&mut rtree, &store, &q, &period, &MstConfig::k(k)).unwrap();
-            let t = bfmst_search(&mut tbtree, &store, &q, &period, &MstConfig::k(k)).unwrap();
+            let r = bfmst_search(
+                &mut rtree,
+                &store,
+                &q,
+                &period,
+                &MstConfig::k(k),
+                &NoShare,
+                &mut NoopSink,
+            )
+            .unwrap();
+            let t = bfmst_search(
+                &mut tbtree,
+                &store,
+                &q,
+                &period,
+                &MstConfig::k(k),
+                &NoShare,
+                &mut NoopSink,
+            )
+            .unwrap();
             assert_eq!(ids(&r.matches), expected, "rtree seed {seed} k {k}");
             assert_eq!(ids(&t.matches), expected, "tbtree seed {seed} k {k}");
         }
@@ -75,7 +95,16 @@ fn trucks_pipeline_identifies_compressed_originals() {
     let period = fleet[0].time();
     for qi in [0usize, 7, 14] {
         let compressed = mst::datagen::td_tr_fraction(&fleet[qi], 0.01);
-        let got = bfmst_search(&mut rtree, &store, &compressed, &period, &MstConfig::k(1)).unwrap();
+        let got = bfmst_search(
+            &mut rtree,
+            &store,
+            &compressed,
+            &period,
+            &MstConfig::k(1),
+            &NoShare,
+            &mut NoopSink,
+        )
+        .unwrap();
         assert_eq!(got.matches[0].traj, TrajectoryId(qi as u64));
     }
 }
@@ -100,8 +129,26 @@ fn foreign_query_trajectory_works() {
     ])
     .unwrap();
     let expected = ids(&scan_kmst(&store, &q, &period, 4, Integration::Exact).unwrap());
-    let r = bfmst_search(&mut rtree, &store, &q, &period, &MstConfig::k(4)).unwrap();
-    let t = bfmst_search(&mut tbtree, &store, &q, &period, &MstConfig::k(4)).unwrap();
+    let r = bfmst_search(
+        &mut rtree,
+        &store,
+        &q,
+        &period,
+        &MstConfig::k(4),
+        &NoShare,
+        &mut NoopSink,
+    )
+    .unwrap();
+    let t = bfmst_search(
+        &mut tbtree,
+        &store,
+        &q,
+        &period,
+        &MstConfig::k(4),
+        &NoShare,
+        &mut NoopSink,
+    )
+    .unwrap();
     assert_eq!(ids(&r.matches), expected);
     assert_eq!(ids(&t.matches), expected);
     // Exact values agree with the scan within post-processing tolerance.
@@ -126,11 +173,29 @@ fn repeated_queries_are_deterministic_and_buffer_friendly() {
 
     rtree.clear_buffer().unwrap();
     rtree.reset_stats();
-    let first = bfmst_search(&mut rtree, &store, &q, &period, &MstConfig::k(3)).unwrap();
+    let first = bfmst_search(
+        &mut rtree,
+        &store,
+        &q,
+        &period,
+        &MstConfig::k(3),
+        &NoShare,
+        &mut NoopSink,
+    )
+    .unwrap();
     let cold_misses = rtree.stats().buffer.misses;
 
     rtree.reset_stats();
-    let second = bfmst_search(&mut rtree, &store, &q, &period, &MstConfig::k(3)).unwrap();
+    let second = bfmst_search(
+        &mut rtree,
+        &store,
+        &q,
+        &period,
+        &MstConfig::k(3),
+        &NoShare,
+        &mut NoopSink,
+    )
+    .unwrap();
     let warm_misses = rtree.stats().buffer.misses;
 
     assert_eq!(ids(&first.matches), ids(&second.matches));
@@ -153,7 +218,16 @@ fn results_are_sorted_and_k_bounded() {
     let period = TimeInterval::new(0.0, 79.0).unwrap();
     let q = store.get(TrajectoryId(0)).unwrap().clone();
     for k in [1usize, 5, 29, 30, 100] {
-        let got = bfmst_search(&mut rtree, &store, &q, &period, &MstConfig::k(k)).unwrap();
+        let got = bfmst_search(
+            &mut rtree,
+            &store,
+            &q,
+            &period,
+            &MstConfig::k(k),
+            &NoShare,
+            &mut NoopSink,
+        )
+        .unwrap();
         assert!(got.matches.len() <= k);
         assert!(got.matches.len() <= store.len());
         for w in got.matches.windows(2) {
@@ -176,13 +250,31 @@ fn error_management_never_changes_the_winner_set() {
     let period = TimeInterval::new(5.0, 110.0).unwrap();
     for qi in 0..5u64 {
         let q = store.get(TrajectoryId(qi)).unwrap().clip(&period).unwrap();
-        let approx = bfmst_search(&mut rtree, &store, &q, &period, &MstConfig::k(4)).unwrap();
+        let approx = bfmst_search(
+            &mut rtree,
+            &store,
+            &q,
+            &period,
+            &MstConfig::k(4),
+            &NoShare,
+            &mut NoopSink,
+        )
+        .unwrap();
         let exact_cfg = MstConfig {
             integration: Integration::Exact,
             error_management: false,
             ..MstConfig::k(4)
         };
-        let exact = bfmst_search(&mut rtree, &store, &q, &period, &exact_cfg).unwrap();
+        let exact = bfmst_search(
+            &mut rtree,
+            &store,
+            &q,
+            &period,
+            &exact_cfg,
+            &NoShare,
+            &mut NoopSink,
+        )
+        .unwrap();
         assert_eq!(ids(&approx.matches), ids(&exact.matches), "query {qi}");
     }
 }
@@ -206,7 +298,16 @@ fn range_mst_respects_the_ceiling_and_matches_scan_filtering() {
     let theta = 0.5 * (scan[2].dissim + scan[3].dissim);
 
     let cfg = mst::search::MstConfig::within(20, theta);
-    let got = bfmst_search(&mut rtree, &store, &q, &period, &cfg).unwrap();
+    let got = bfmst_search(
+        &mut rtree,
+        &store,
+        &q,
+        &period,
+        &cfg,
+        &NoShare,
+        &mut NoopSink,
+    )
+    .unwrap();
     assert_eq!(got.matches.len(), 3);
     assert_eq!(
         ids(&got.matches),
@@ -223,15 +324,35 @@ fn range_mst_respects_the_ceiling_and_matches_scan_filtering() {
         &q,
         &period,
         &mst::search::MstConfig::within(5, scan[0].dissim * 0.5 - 1e-9),
+        &NoShare,
+        &mut NoopSink,
     )
     .unwrap();
     assert!(none.matches.is_empty());
 
     // The ceiling must also reduce work relative to the unbounded query.
     rtree.reset_stats();
-    let unbounded = bfmst_search(&mut rtree, &store, &q, &period, &MstConfig::k(20)).unwrap();
+    let unbounded = bfmst_search(
+        &mut rtree,
+        &store,
+        &q,
+        &period,
+        &MstConfig::k(20),
+        &NoShare,
+        &mut NoopSink,
+    )
+    .unwrap();
     rtree.reset_stats();
-    let bounded = bfmst_search(&mut rtree, &store, &q, &period, &cfg).unwrap();
+    let bounded = bfmst_search(
+        &mut rtree,
+        &store,
+        &q,
+        &period,
+        &cfg,
+        &NoShare,
+        &mut NoopSink,
+    )
+    .unwrap();
     assert!(bounded.nodes_visited <= unbounded.nodes_visited);
 }
 
@@ -291,7 +412,16 @@ fn strtree_bfmst_equals_scan_too() {
         let period = TimeInterval::new(a, b).unwrap();
         let q = store.get(TrajectoryId(9)).unwrap().clip(&period).unwrap();
         let expected = ids(&scan_kmst(&store, &q, &period, k, Integration::Exact).unwrap());
-        let got = bfmst_search(&mut strtree, &store, &q, &period, &MstConfig::k(k)).unwrap();
+        let got = bfmst_search(
+            &mut strtree,
+            &store,
+            &q,
+            &period,
+            &MstConfig::k(k),
+            &NoShare,
+            &mut NoopSink,
+        )
+        .unwrap();
         assert_eq!(ids(&got.matches), expected, "k={k}");
     }
 }
@@ -315,13 +445,23 @@ fn nearest_trajectories_consistent_with_dissim_on_parallel_lanes() {
     let (mut rtree, _) = build_both(&store);
     let period = TimeInterval::new(0.0, 60.0).unwrap();
     let q = store.get(TrajectoryId(6)).unwrap().clone();
-    let nn = mst::search::nearest_trajectories(&mut rtree, &q, &period, 5).unwrap();
-    let mst_res = bfmst_search(&mut rtree, &store, &q, &period, &MstConfig::k(5)).unwrap();
+    let nn = mst::search::nearest_trajectories(&mut rtree, &q, &period, 5, &NoShare, &mut NoopSink)
+        .unwrap();
+    let mst_res = bfmst_search(
+        &mut rtree,
+        &store,
+        &q,
+        &period,
+        &MstConfig::k(5),
+        &NoShare,
+        &mut NoopSink,
+    )
+    .unwrap();
     assert_eq!(
-        nn.iter().map(|m| m.traj).collect::<Vec<_>>(),
+        nn.matches.iter().map(|m| m.traj).collect::<Vec<_>>(),
         ids(&mst_res.matches)
     );
-    assert_eq!(nn[0].distance, 0.0);
+    assert_eq!(nn.matches[0].distance, 0.0);
 }
 
 #[test]
@@ -356,7 +496,15 @@ fn corrupted_index_image_fails_cleanly_not_by_panic() {
             use_heuristic2: false,
             ..MstConfig::k(8)
         };
-        let result = bfmst_search(&mut loaded, &store, &q, &period, &cfg);
+        let result = bfmst_search(
+            &mut loaded,
+            &store,
+            &q,
+            &period,
+            &cfg,
+            &NoShare,
+            &mut NoopSink,
+        );
         assert!(result.is_err(), "query over a corrupt page must error");
     }
 }

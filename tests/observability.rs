@@ -6,9 +6,8 @@
 use mst::datagen::GstdConfig;
 use mst::index::{LeafEntry, Rtree3D, TbTree, TrajectoryIndex};
 use mst::search::{
-    bfmst_search, bfmst_search_traced, scan_kmst, scan_kmst_traced, time_relaxed_kmst,
-    time_relaxed_kmst_traced, Integration, MstConfig, QueryProfile, TimeRelaxedConfig,
-    TrajectoryStore,
+    bfmst_search, scan_kmst, scan_kmst_traced, time_relaxed_kmst, time_relaxed_kmst_traced,
+    Integration, MstConfig, NoShare, NoopSink, QueryProfile, TimeRelaxedConfig, TrajectoryStore,
 };
 use mst::trajectory::{TimeInterval, TrajectoryId};
 
@@ -70,7 +69,7 @@ fn candidate_ledger_balances_on_both_substrates() {
                 },
             ] {
                 let mut pr = QueryProfile::new();
-                bfmst_search_traced(&mut rtree, &store, &q, &period, &config, &mut pr).unwrap();
+                bfmst_search(&mut rtree, &store, &q, &period, &config, &NoShare, &mut pr).unwrap();
                 assert!(
                     pr.is_consistent(),
                     "rtree seed {seed} q {qi}: seen {} != {} pruned + {} refined + {} pending",
@@ -80,7 +79,7 @@ fn candidate_ledger_balances_on_both_substrates() {
                     pr.candidates.pending
                 );
                 let mut pt = QueryProfile::new();
-                bfmst_search_traced(&mut tbtree, &store, &q, &period, &config, &mut pt).unwrap();
+                bfmst_search(&mut tbtree, &store, &q, &period, &config, &NoShare, &mut pt).unwrap();
                 assert!(pt.is_consistent(), "tbtree seed {seed} q {qi}");
             }
         }
@@ -98,12 +97,13 @@ fn counters_are_monotone_across_queries() {
     let mut last = QueryProfile::new();
     for qi in 0..5u64 {
         let q = store.get(TrajectoryId(qi)).unwrap().clip(&period).unwrap();
-        bfmst_search_traced(
+        bfmst_search(
             &mut rtree,
             &store,
             &q,
             &period,
             &MstConfig::k(2),
+            &NoShare,
             &mut profile,
         )
         .unwrap();
@@ -137,9 +137,16 @@ fn profile_agrees_with_the_search_report() {
         for qi in 0..5u64 {
             let q = store.get(TrajectoryId(qi)).unwrap().clip(&period).unwrap();
             let mut profile = QueryProfile::new();
-            let report =
-                bfmst_search_traced(index, store, &q, &period, &MstConfig::k(3), &mut profile)
-                    .unwrap();
+            let report = bfmst_search(
+                index,
+                store,
+                &q,
+                &period,
+                &MstConfig::k(3),
+                &NoShare,
+                &mut profile,
+            )
+            .unwrap();
             assert_eq!(
                 profile.nodes_accessed(),
                 report.nodes_visited,
@@ -184,24 +191,50 @@ fn tracing_never_changes_a_result_bit() {
     for qi in [0u64, 8, 16, 24] {
         let q = store.get(TrajectoryId(qi)).unwrap().clip(&period).unwrap();
 
-        let plain = bfmst_search(&mut rtree, &store, &q, &period, &MstConfig::k(4)).unwrap();
-        let mut profile = QueryProfile::new();
-        let traced = bfmst_search_traced(
+        let plain = bfmst_search(
             &mut rtree,
             &store,
             &q,
             &period,
             &MstConfig::k(4),
+            &NoShare,
+            &mut NoopSink,
+        )
+        .unwrap();
+        let mut profile = QueryProfile::new();
+        let traced = bfmst_search(
+            &mut rtree,
+            &store,
+            &q,
+            &period,
+            &MstConfig::k(4),
+            &NoShare,
             &mut profile,
         )
         .unwrap();
         assert_eq!(dissim_bits(&plain.matches), dissim_bits(&traced.matches));
 
-        let plain_tb = bfmst_search(&mut tbtree, &store, &q, &period, &MstConfig::k(4)).unwrap();
+        let plain_tb = bfmst_search(
+            &mut tbtree,
+            &store,
+            &q,
+            &period,
+            &MstConfig::k(4),
+            &NoShare,
+            &mut NoopSink,
+        )
+        .unwrap();
         let mut ptb = QueryProfile::new();
-        let traced_tb =
-            bfmst_search_traced(&mut tbtree, &store, &q, &period, &MstConfig::k(4), &mut ptb)
-                .unwrap();
+        let traced_tb = bfmst_search(
+            &mut tbtree,
+            &store,
+            &q,
+            &period,
+            &MstConfig::k(4),
+            &NoShare,
+            &mut ptb,
+        )
+        .unwrap();
         assert_eq!(
             dissim_bits(&plain_tb.matches),
             dissim_bits(&traced_tb.matches)

@@ -17,7 +17,9 @@ use mst::index::mindist::trajectory_mbb_mindist;
 use mst::index::{check_invariants, LeafEntry, Rtree3D, TbTree, TrajectoryIndex};
 use mst::search::bounds::Candidate;
 use mst::search::dissim::{dissim_between, dissim_exact, piece};
-use mst::search::{bfmst_search, scan_kmst, Integration, MstConfig, TrajectoryStore};
+use mst::search::{
+    bfmst_search, scan_kmst, Integration, MstConfig, NoShare, NoopSink, TrajectoryStore,
+};
 use mst::trajectory::cosample::co_segments;
 use mst::trajectory::{TimeInterval, Trajectory, TrajectoryId};
 use mst_prng::Rng;
@@ -133,8 +135,26 @@ fn bfmst_equals_scan_on_random_datasets() {
             rtree.insert_trajectory(id, t).unwrap();
             tbtree.insert_trajectory(id, t).unwrap();
         }
-        let r = bfmst_search(&mut rtree, &store, &q, &period, &MstConfig::k(k)).unwrap();
-        let t = bfmst_search(&mut tbtree, &store, &q, &period, &MstConfig::k(k)).unwrap();
+        let r = bfmst_search(
+            &mut rtree,
+            &store,
+            &q,
+            &period,
+            &MstConfig::k(k),
+            &NoShare,
+            &mut NoopSink,
+        )
+        .unwrap();
+        let t = bfmst_search(
+            &mut tbtree,
+            &store,
+            &q,
+            &period,
+            &MstConfig::k(k),
+            &NoShare,
+            &mut NoopSink,
+        )
+        .unwrap();
         let got_r: Vec<_> = r.matches.iter().map(|m| m.traj).collect();
         let got_t: Vec<_> = t.matches.iter().map(|m| m.traj).collect();
         assert_eq!(got_r, expected);
@@ -233,8 +253,26 @@ fn strtree_matches_rtree_query_results() {
         check_invariants(&mut strtree).unwrap();
         let period = TimeInterval::new(0.0, 9.0).unwrap();
         let q = store.get(TrajectoryId(qi as u64)).unwrap().clone();
-        let a = bfmst_search(&mut rtree, &store, &q, &period, &MstConfig::k(3)).unwrap();
-        let b = bfmst_search(&mut strtree, &store, &q, &period, &MstConfig::k(3)).unwrap();
+        let a = bfmst_search(
+            &mut rtree,
+            &store,
+            &q,
+            &period,
+            &MstConfig::k(3),
+            &NoShare,
+            &mut NoopSink,
+        )
+        .unwrap();
+        let b = bfmst_search(
+            &mut strtree,
+            &store,
+            &q,
+            &period,
+            &MstConfig::k(3),
+            &NoShare,
+            &mut NoopSink,
+        )
+        .unwrap();
         let ids_a: Vec<_> = a.matches.iter().map(|m| m.traj).collect();
         let ids_b: Vec<_> = b.matches.iter().map(|m| m.traj).collect();
         assert_eq!(ids_a, ids_b);
@@ -253,12 +291,30 @@ fn persistence_roundtrip_preserves_query_answers() {
         }
         let period = TimeInterval::new(0.0, 7.0).unwrap();
         let q = store.get(TrajectoryId(qi as u64)).unwrap().clone();
-        let before = bfmst_search(&mut tree, &store, &q, &period, &MstConfig::k(2)).unwrap();
+        let before = bfmst_search(
+            &mut tree,
+            &store,
+            &q,
+            &period,
+            &MstConfig::k(2),
+            &NoShare,
+            &mut NoopSink,
+        )
+        .unwrap();
         let mut bytes = Vec::new();
         tree.save(&mut bytes).unwrap();
         let mut loaded = Rtree3D::load(&bytes[..]).unwrap();
         check_invariants(&mut loaded).unwrap();
-        let after = bfmst_search(&mut loaded, &store, &q, &period, &MstConfig::k(2)).unwrap();
+        let after = bfmst_search(
+            &mut loaded,
+            &store,
+            &q,
+            &period,
+            &MstConfig::k(2),
+            &NoShare,
+            &mut NoopSink,
+        )
+        .unwrap();
         let ids_before: Vec<_> = before.matches.iter().map(|m| m.traj).collect();
         let ids_after: Vec<_> = after.matches.iter().map(|m| m.traj).collect();
         assert_eq!(ids_before, ids_after);

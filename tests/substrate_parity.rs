@@ -1,0 +1,187 @@
+//! Cross-substrate parity: the metric tree's exact DISSIM k-MST must be
+//! bit-identical to the linear-scan ground truth and to the R-tree BFMST
+//! answer — on both seeded datasets (Trucks-like and GSTD synthetic),
+//! through the single-index `Query` builder and through the sharded
+//! batch executor across 1/4 shards x 1/8 workers.
+
+use mst::datagen::{GstdConfig, TrucksConfig};
+use mst::exec::{BatchExecutor, BatchQuery, ShardedDatabase};
+use mst::search::{
+    scan_kmst, Integration, MovingObjectDatabase, MstMatch, Query, Substrate, TrajectoryStore,
+};
+use mst::trajectory::{TimeInterval, Trajectory, TrajectoryId};
+
+fn trucks_store() -> TrajectoryStore {
+    let trajs = TrucksConfig {
+        num_trucks: 10,
+        ..TrucksConfig::paper_like(5)
+    }
+    .generate();
+    TrajectoryStore::from_trajectories(trajs)
+}
+
+fn synthetic_store() -> TrajectoryStore {
+    let trajs = GstdConfig {
+        num_objects: 10,
+        samples_per_object: 150,
+        ..GstdConfig::paper_dataset(10, 7)
+    }
+    .generate();
+    TrajectoryStore::from_trajectories(trajs)
+}
+
+/// Query workload over a store: a handful of member trajectories clipped
+/// to the middle half of their own lifetime.
+fn workload(store: &TrajectoryStore, k: usize) -> Vec<(Trajectory, TimeInterval, usize)> {
+    (0..4u64)
+        .map(|qi| {
+            let t = store.get(TrajectoryId(qi)).expect("query trajectory");
+            let span = t.time();
+            let quarter = span.duration() * 0.25;
+            let period = TimeInterval::new(span.start() + quarter, span.end() - quarter)
+                .expect("valid period");
+            let q = t.clip(&period).expect("clip to period");
+            (q, period, k)
+        })
+        .collect()
+}
+
+fn bits(matches: &[MstMatch]) -> Vec<(TrajectoryId, u64)> {
+    matches
+        .iter()
+        .map(|m| (m.traj, m.dissim.to_bits()))
+        .collect()
+}
+
+fn ground_truth(
+    store: &TrajectoryStore,
+    workload: &[(Trajectory, TimeInterval, usize)],
+) -> Vec<Vec<(TrajectoryId, u64)>> {
+    workload
+        .iter()
+        .map(|(q, period, k)| {
+            bits(&scan_kmst(store, q, period, *k, Integration::Exact).expect("scan ground truth"))
+        })
+        .collect()
+}
+
+/// Single-index parity on one dataset: scan == metric tree == R-tree,
+/// bit for bit, through the `Query` builder.
+fn check_single_index(name: &str, store: &TrajectoryStore) {
+    let wl = workload(store, 3);
+    let truth = ground_truth(store, &wl);
+
+    let mut metric = MovingObjectDatabase::with_metric();
+    let mut rtree = MovingObjectDatabase::with_rtree();
+    for (id, t) in store.iter() {
+        metric.insert_trajectory(id, t).expect("metric insert");
+        rtree.insert_trajectory(id, t).expect("rtree insert");
+    }
+
+    for (i, (q, period, k)) in wl.iter().enumerate() {
+        let m = Query::kmst(q)
+            .k(*k)
+            .during(period)
+            .substrate(Substrate::Metric)
+            .run(&mut metric)
+            .expect("metric query");
+        let r = Query::kmst(q)
+            .k(*k)
+            .during(period)
+            .substrate(Substrate::Rtree)
+            .run(&mut rtree)
+            .expect("rtree query");
+        assert_eq!(bits(&m), truth[i], "{name} q{i}: metric vs scan");
+        assert_eq!(bits(&r), truth[i], "{name} q{i}: rtree vs scan");
+    }
+}
+
+/// Sharded parity on one dataset: every shard count x worker count cell
+/// reproduces the scan answer bit-for-bit on the metric substrate.
+fn check_sharded(name: &str, store: &TrajectoryStore) {
+    let wl = workload(store, 3);
+    let truth = ground_truth(store, &wl);
+    let fleet: Vec<(TrajectoryId, Trajectory)> =
+        store.iter().map(|(id, t)| (id, t.clone())).collect();
+
+    for shards in [1usize, 4] {
+        let db = ShardedDatabase::with_metric(shards, fleet.iter().cloned())
+            .expect("sharded metric build");
+        assert_eq!(db.substrate(), Substrate::Metric);
+        for workers in [1usize, 8] {
+            let batch: Vec<BatchQuery> = wl
+                .iter()
+                .map(|(q, period, k)| {
+                    BatchQuery::kmst(
+                        Query::kmst(q)
+                            .k(*k)
+                            .during(period)
+                            .substrate(Substrate::Metric),
+                    )
+                    .expect("kmst spec")
+                })
+                .collect();
+            let outcome = BatchExecutor::new().workers(workers).run(&db, batch);
+            assert_eq!(outcome.degraded_count(), 0, "{name} s={shards} w={workers}");
+            for (i, want) in truth.iter().enumerate() {
+                let got = outcome.outcomes[i].as_ref().expect("query ok");
+                let matches = got.answer.as_kmst().expect("kmst answer");
+                assert_eq!(
+                    &bits(matches),
+                    want,
+                    "{name} s={shards} w={workers} q{i}: metric shard parity"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn metric_tree_matches_scan_and_rtree_on_trucks() {
+    check_single_index("trucks", &trucks_store());
+}
+
+#[test]
+fn metric_tree_matches_scan_and_rtree_on_synthetic() {
+    check_single_index("synthetic", &synthetic_store());
+}
+
+#[test]
+fn sharded_metric_tree_matches_scan_on_trucks() {
+    check_sharded("trucks", &trucks_store());
+}
+
+#[test]
+fn sharded_metric_tree_matches_scan_on_synthetic() {
+    check_sharded("synthetic", &synthetic_store());
+}
+
+#[test]
+fn substrate_pin_refuses_the_wrong_index() {
+    let store = synthetic_store();
+    let mut metric = MovingObjectDatabase::with_metric();
+    for (id, t) in store.iter() {
+        metric.insert_trajectory(id, t).expect("insert");
+    }
+    let (q, period, k) = workload(&store, 2).remove(0);
+    // Pinned to the R-tree, a metric-backed database must refuse rather
+    // than silently answer from a different structure.
+    let err = Query::kmst(&q)
+        .k(k)
+        .during(&period)
+        .substrate(Substrate::Rtree)
+        .run(&mut metric)
+        .expect_err("substrate mismatch");
+    let text = err.to_string();
+    assert!(text.contains("substrate"), "{text}");
+    // Auto (the default) runs on whatever the database holds.
+    let auto = Query::kmst(&q)
+        .k(k)
+        .during(&period)
+        .run(&mut metric)
+        .expect("auto substrate");
+    assert_eq!(
+        bits(&auto),
+        ground_truth(&store, &[(q, period, k)]).remove(0)
+    );
+}
